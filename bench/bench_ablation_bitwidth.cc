@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation B (DESIGN.md): bit-width sweep per scheme. Reproduces the
+ * Section II-A2 claim that power-of-2 precision saturates with
+ * increasing m (only the region near the mean gains resolution)
+ * while fixed-point and SP2 keep improving. Two views: quantization
+ * MSE of a trained layer (post-training, fast) and quantized
+ * accuracy at selected widths (with ADMM fine-tuning).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "data/synth_images.hh"
+#include "quant/quantizer.hh"
+#include "util/table.hh"
+
+using namespace mixq;
+
+int
+main()
+{
+    std::printf("== Ablation: bit-width sweep per scheme ==\n\n");
+    ModelFactory factory = miniResNetFactory(8);
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 600, 95);
+    LabeledImages test = makeImageDataset(ImageTask::Easy, 400, 96);
+
+    auto pretrained = factory.build(train.numClasses, 600);
+    TrainCfg pre;
+    pre.epochs = 8;
+    pre.lr = 0.1;
+    trainClassifier(*pretrained, train, pre);
+    double fp = evalClassifier(*pretrained, test);
+
+    // View 1: post-training quantization MSE of the largest layer.
+    Param* layer = nullptr;
+    for (Param* p : pretrained->params()) {
+        if (p->quantizable() &&
+            (!layer || p->w.size() > layer->w.size()))
+            layer = p;
+    }
+    std::printf("quantization MSE of %s (%zu weights):\n\n",
+                layer->name.c_str(), layer->w.size());
+    Table m({"bits", "Fixed MSE", "P2 MSE", "SP2 MSE",
+             "P2 gain vs previous bit"});
+    double prev_p2 = 0.0;
+    for (int bits = 2; bits <= 8; ++bits) {
+        double mse[3];
+        int i = 0;
+        for (QuantScheme s : {QuantScheme::Fixed, QuantScheme::Pow2,
+                              QuantScheme::Sp2}) {
+            std::vector<float> out(layer->w.size());
+            quantizeGroup(layer->w.span(), out, s, bits);
+            mse[i++] = quantMse(layer->w.span(),
+                                std::span<const float>(out.data(),
+                                                       out.size()));
+        }
+        char gain[32] = "-";
+        if (bits > 2)
+            std::snprintf(gain, sizeof(gain), "%.2fx",
+                          prev_p2 / mse[1]);
+        prev_p2 = mse[1];
+        char b1[16], b2[16], b3[16];
+        std::snprintf(b1, sizeof(b1), "%.2e", mse[0]);
+        std::snprintf(b2, sizeof(b2), "%.2e", mse[1]);
+        std::snprintf(b3, sizeof(b3), "%.2e", mse[2]);
+        m.addRow({std::to_string(bits), b1, b2, b3, gain});
+    }
+    m.print();
+
+    // View 2: quantized accuracy at m = 2..5 (ADMM fine-tuned).
+    std::printf("\nquantized accuracy (FP32 baseline %.2f%%):\n\n",
+                fp * 100);
+    Table a({"bits", "Fixed Top-1 (%)", "P2 Top-1 (%)",
+             "SP2 Top-1 (%)"});
+    TrainCfg fin;
+    fin.epochs = 4;
+    fin.lr = 0.02;
+    for (int bits : {2, 3, 4, 5}) {
+        std::vector<std::string> row = {std::to_string(bits)};
+        for (QuantScheme s : {QuantScheme::Fixed, QuantScheme::Pow2,
+                              QuantScheme::Sp2}) {
+            QConfig qcfg;
+            qcfg.scheme = s;
+            qcfg.bits = bits;
+            qcfg.actBits = std::max(bits, 4);
+            double acc = quantizedAccuracy(factory, *pretrained,
+                                           train, test, qcfg, fin,
+                                           600);
+            row.push_back(Table::withDelta(acc * 100,
+                                           (acc - fp) * 100, 2));
+        }
+        a.addRow(row);
+    }
+    a.print();
+    std::printf("\nShape check: P2's MSE improvement per extra bit "
+                "collapses toward 1x (tail resolution is stuck) "
+                "while Fixed/SP2 keep shrinking ~4x per bit; at 4+ "
+                "bits Fixed ~ SP2 >> P2 in accuracy.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 1 reproduction: the 4-bit quantization level sets of
+ * fixed-point, power-of-2 and SP2 against the weight distribution of
+ * a trained convolutional layer. A MiniResNet is trained briefly on
+ * the synthetic data; one conv layer's weight histogram is printed
+ * as ASCII art with the three level sets marked underneath.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/synth_images.hh"
+#include "nn/models.hh"
+#include "nn/trainer.hh"
+#include "quant/quantizer.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+using namespace mixq;
+
+int
+main()
+{
+    std::printf("== Figure 1: quantization levels vs trained weight "
+                "distribution ==\n\n");
+    Rng rng(1);
+    auto model = makeMiniResNet(10, rng, 8);
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 500, 1);
+    TrainCfg cfg;
+    cfg.epochs = 5;
+    cfg.lr = 0.1;
+    trainClassifier(*model, train, cfg);
+
+    // Pick the first non-stem conv layer (inside the first block).
+    Param* layer = nullptr;
+    for (Param* p : model->params()) {
+        if (p->quantizable() && p->qCols > 32) {
+            layer = p;
+            break;
+        }
+    }
+    if (layer == nullptr)
+        return 1;
+
+    // Histogram of w / alpha over [-1, 1].
+    std::vector<double> fixed_mags = fixedMagnitudes(4);
+    double alpha = fitAlpha(layer->w.span(), fixed_mags);
+    Histogram h(-1.0, 1.0, 64);
+    for (size_t i = 0; i < layer->w.size(); ++i)
+        h.add(double(layer->w[i]) / alpha);
+
+    double peak = 0.0;
+    for (size_t b = 0; b < h.bins.size(); ++b)
+        peak = std::max(peak, h.frac(b));
+    std::printf("weight probability distribution of %s "
+                "(%zu x %zu), normalized to [-1, 1]:\n\n",
+                layer->name.c_str(), layer->qRows, layer->qCols);
+    const int rows = 12;
+    for (int r = rows; r >= 1; --r) {
+        std::printf("  ");
+        for (size_t b = 0; b < h.bins.size(); ++b) {
+            double v = h.frac(b) / peak * rows;
+            std::printf("%c", v >= r ? '#' : ' ');
+        }
+        std::printf("\n");
+    }
+    std::printf("  %s\n", std::string(64, '-').c_str());
+
+    auto level_line = [&](QuantScheme s) {
+        std::string line(64, ' ');
+        for (double v : signedLevels(s, 4)) {
+            int b = int((v + 1.0) / 2.0 * 63.999);
+            line[size_t(std::clamp(b, 0, 63))] = '|';
+        }
+        std::printf("  %s  %s (%zu levels)\n", line.c_str(),
+                    toString(s).c_str(), signedLevels(s, 4).size());
+    };
+    level_line(QuantScheme::Fixed);
+    level_line(QuantScheme::Pow2);
+    level_line(QuantScheme::Sp2);
+
+    // Quantization error per scheme on this layer (Fig. 1's point).
+    std::printf("\nquantization MSE of this layer at 4 bits:\n");
+    for (QuantScheme s : {QuantScheme::Fixed, QuantScheme::Pow2,
+                          QuantScheme::Sp2}) {
+        std::vector<float> out(layer->w.size());
+        quantizeGroup(layer->w.span(), out, s, 4);
+        std::printf("  %-6s %.3e\n", toString(s).c_str(),
+                    quantMse(layer->w.span(),
+                             std::span<const float>(out.data(),
+                                                    out.size())));
+    }
+    std::printf("\nShape check: P2 crowds its levels near zero and "
+                "leaves the tails coarse; SP2's levels spread almost "
+                "like fixed-point — hence P2's MSE is the worst of "
+                "the three (Section III-A).\n");
+    return 0;
+}

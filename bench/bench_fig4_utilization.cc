@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 4 / Table VIII (resource columns) reproduction: estimated
+ * LUT/FF/BRAM/DSP usage and utilization for the six design points.
+ * The model is calibrated to Table VIII's absolute counts; Fig. 4's
+ * percentage bars are inconsistent with those counts (see DESIGN.md),
+ * so both the raw-LUT utilization and a slice-level view (~2
+ * LUT/slice occupancy, matching Fig. 4's magnitudes) are printed.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "fpga/design_point.hh"
+#include "fpga/resource_model.hh"
+#include "util/table.hh"
+
+using namespace mixq;
+
+int
+main()
+{
+    std::printf("== Table VIII resource columns (model vs paper) "
+                "==\n\n");
+    struct Ref { const char* dp; double lut, ff, bram, dsp; };
+    const Ref refs[] = {
+        {"D1-1", 12160, 9403, 39, 220},
+        {"D1-2", 22912, 14523, 49, 220},
+        {"D1-3", 28288, 17083, 56, 220},
+        {"D2-1", 41830, 31293, 160, 900},
+        {"D2-2", 93440, 65699, 194, 900},
+        {"D2-3", 145049, 111575, 225.5, 900},
+    };
+    Table t({"Impl.", "LUT (model)", "LUT (paper)", "FF (model)",
+             "FF (paper)", "BRAM36 (model)", "BRAM36 (paper)",
+             "DSP"});
+    for (const Ref& r : refs) {
+        const DesignPoint& dp = designPointByName(r.dp);
+        ResourceUsage use =
+            estimateResources(dp, deviceByName(dp.device));
+        t.addRow({r.dp, Table::integer(std::llround(use.luts)),
+                  Table::integer(std::llround(r.lut)),
+                  Table::integer(std::llround(use.ffs)),
+                  Table::integer(std::llround(r.ff)),
+                  Table::num(use.bram36, 1), Table::num(r.bram, 1),
+                  Table::integer(std::llround(use.dsps))});
+    }
+    t.print();
+
+    std::printf("\n== Figure 4: resource utilization ==\n\n");
+    Table u({"Impl.", "LUT %", "LUT % (slice view)", "FF %",
+             "BRAM36 %", "DSP %", "Paper Fig.4 LUT %"});
+    const double fig4_lut[] = {0.46, 0.66, 0.77, 0.24, 0.48, 0.72};
+    size_t i = 0;
+    for (const Ref& r : refs) {
+        const DesignPoint& dp = designPointByName(r.dp);
+        const FpgaDevice& dev = deviceByName(dp.device);
+        ResourceUtil util =
+            utilization(estimateResources(dp, dev), dev);
+        u.addRow({r.dp, Table::pct(util.lut),
+                  Table::pct(util.lut * 2.0), // ~2 LUT/slice packing
+                  Table::pct(util.ff), Table::pct(util.bram),
+                  Table::pct(util.dsp), Table::pct(fig4_lut[i++])});
+    }
+    u.print();
+    std::printf("\nShape check: DSP pinned at 100%% in every design; "
+                "LUT utilization rises monotonically with the SP2 "
+                "core size and approaches the budget at the optimal "
+                "points.\n");
+    return 0;
+}

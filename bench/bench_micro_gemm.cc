@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the simulator data path:
+ * the two heterogeneous GEMM cores (multiply-accumulate vs
+ * shift-shift-add), the functional accelerator round trip, and the
+ * timing-only network scheduler.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/model_zoo.hh"
+#include "compiler/runner.hh"
+#include "sim/gemm_core.hh"
+#include "util/rng.hh"
+
+using namespace mixq;
+
+namespace {
+
+void
+BM_GemmFixedCoreStep(benchmark::State& state)
+{
+    size_t bat = 4, bin = 16, bout = 16;
+    GemmFixedCore core(bat, bin, bout);
+    Rng rng(1);
+    std::vector<int8_t> w(bout * bin), a(bat * bin);
+    for (int8_t& v : w)
+        v = int8_t(rng.randint(-7, 7));
+    for (int8_t& v : a)
+        v = int8_t(rng.randint(0, 15));
+    for (auto _ : state)
+        core.step(w.data(), a.data());
+    state.SetItemsProcessed(state.iterations() * bat * bin * bout);
+}
+BENCHMARK(BM_GemmFixedCoreStep);
+
+void
+BM_GemmSp2CoreStep(benchmark::State& state)
+{
+    size_t bat = 4, bin = 16, bout = 32;
+    GemmSp2Core core(bat, bin, bout);
+    Rng rng(2);
+    Sp2Codec codec(4);
+    std::vector<Sp2Code> w(bout * bin);
+    const auto& mags = codec.intMagnitudes();
+    for (Sp2Code& c : w) {
+        double v = double(mags[size_t(rng.randint(
+                       0, int64_t(mags.size()) - 1))]) / 8.0;
+        c = codec.encode(float(rng.bernoulli(0.5) ? v : -v), 1.0f);
+    }
+    std::vector<int8_t> a(bat * bin);
+    for (int8_t& v : a)
+        v = int8_t(rng.randint(0, 15));
+    for (auto _ : state)
+        core.step(w.data(), a.data());
+    state.SetItemsProcessed(state.iterations() * bat * bin * bout);
+}
+BENCHMARK(BM_GemmSp2CoreStep);
+
+void
+BM_FunctionalGemmRoundTrip(benchmark::State& state)
+{
+    Rng rng(3);
+    QuantizedGemm q;
+    q.m = 16;
+    q.k = 64;
+    q.nf = 16;
+    q.ns = 32;
+    q.acts.resize(q.m * q.k);
+    for (int8_t& v : q.acts)
+        v = int8_t(rng.randint(0, 15));
+    q.wF.resize(q.nf * q.k);
+    for (int8_t& v : q.wF)
+        v = int8_t(rng.randint(-7, 7));
+    Sp2Codec codec(4);
+    q.wS.resize(q.ns * q.k);
+    const auto& mags = codec.intMagnitudes();
+    for (Sp2Code& c : q.wS) {
+        double v = double(mags[size_t(rng.randint(
+                       0, int64_t(mags.size()) - 1))]) / 8.0;
+        c = codec.encode(float(v), 1.0f);
+    }
+    const DesignPoint& dp = designPointByName("D2-3");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runGemmFunctional(q, dp));
+    state.SetItemsProcessed(state.iterations() * q.m * q.k *
+                            (q.nf + q.ns));
+}
+BENCHMARK(BM_FunctionalGemmRoundTrip);
+
+void
+BM_SimulateNetworkTiming(benchmark::State& state)
+{
+    NetworkSpec net = resnet18Spec();
+    const DesignPoint& dp = designPointByName("D2-3");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(simulateNetwork(net, dp));
+}
+BENCHMARK(BM_SimulateNetworkTiming);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the quantization kernels:
+ * level projection, alpha fitting, matrix quantization per scheme,
+ * row partitioning and SP2 encoding. These bound the software-side
+ * cost of Algorithm 2's per-epoch projection step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "quant/partition.hh"
+#include "quant/quantizer.hh"
+#include "quant/sp2_codec.hh"
+#include "util/rng.hh"
+
+using namespace mixq;
+
+namespace {
+
+std::vector<float>
+weights(size_t n, uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<float> w(n);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.25));
+    return w;
+}
+
+void
+BM_FitAlpha(benchmark::State& state)
+{
+    auto w = weights(size_t(state.range(0)));
+    auto mags = fixedMagnitudes(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fitAlpha(w, mags));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FitAlpha)->Arg(1024)->Arg(16384);
+
+void
+BM_QuantizeMatrix(benchmark::State& state)
+{
+    QuantScheme scheme = QuantScheme(state.range(0));
+    size_t rows = 64, cols = 576;
+    auto w = weights(rows * cols);
+    std::vector<float> out(w.size());
+    QConfig cfg;
+    cfg.scheme = scheme;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            quantizeMatrix(w.data(), out.data(), rows, cols, cfg));
+    }
+    state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_QuantizeMatrix)
+    ->Arg(int(QuantScheme::Fixed))
+    ->Arg(int(QuantScheme::Pow2))
+    ->Arg(int(QuantScheme::Sp2))
+    ->Arg(int(QuantScheme::Mixed));
+
+void
+BM_PartitionRows(benchmark::State& state)
+{
+    size_t rows = size_t(state.range(0)), cols = 576;
+    auto w = weights(rows * cols);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            partitionRows(w.data(), rows, cols, 2.0 / 3.0));
+    }
+    state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_PartitionRows)->Arg(64)->Arg(512);
+
+void
+BM_Sp2Encode(benchmark::State& state)
+{
+    Sp2Codec codec(4);
+    auto w = weights(4096);
+    std::vector<float> q(w.size());
+    double alpha = quantizeGroup(w, q, QuantScheme::Sp2, 4);
+    for (auto _ : state) {
+        for (float v : q)
+            benchmark::DoNotOptimize(codec.encode(v, float(alpha)));
+    }
+    state.SetItemsProcessed(state.iterations() * q.size());
+}
+BENCHMARK(BM_Sp2Encode);
+
+} // namespace
+
+BENCHMARK_MAIN();

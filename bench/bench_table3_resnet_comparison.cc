@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table III reproduction: MSQ vs six existing 4-bit quantization
+ * methods on the ResNet stand-in over the ImageNet stand-in
+ * (synth-hard). All methods start from the same FP32 pretrained
+ * model, per the paper's protocol. The comparators are simplified
+ * re-implementations (see src/baselines/methods.hh for the exact
+ * simplifications).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/methods.hh"
+#include "bench_util.hh"
+#include "data/synth_images.hh"
+#include "util/table.hh"
+
+using namespace mixq;
+
+int
+main()
+{
+    std::printf("== Table III: comparison with existing methods, "
+                "MiniResNet on synth-hard (~ResNet-18/ImageNet) "
+                "==\n\n");
+    ModelFactory factory = miniResNetFactory(8);
+    LabeledImages train = makeImageDataset(ImageTask::Hard, 700, 21);
+    LabeledImages test = makeImageDataset(ImageTask::Hard, 400, 22);
+
+    auto pretrained = factory.build(train.numClasses, 300);
+    TrainCfg pre;
+    pre.epochs = 8;
+    pre.lr = 0.1;
+    trainClassifier(*pretrained, train, pre);
+    double fp = evalClassifier(*pretrained, test);
+
+    Table t({"Method", "Bits (W/A)", "Top-1 (%)", "Top-5 (%)"});
+    double fp5 = evalClassifierTopK(*pretrained, test, 5);
+    t.addRow({"Baseline (FP)", "32/32", Table::num(fp * 100, 2),
+              Table::num(fp5 * 100, 2)});
+    t.addRule();
+
+    TrainCfg fin;
+    fin.epochs = 6;
+    fin.lr = 0.01;
+
+    // STE-based comparators.
+    std::unique_ptr<WeightProjector> projs[6];
+    projs[0] = std::make_unique<DorefaProjector>(4);
+    projs[1] = std::make_unique<PactProjector>(4);
+    projs[2] = std::make_unique<DsqProjector>(4);
+    projs[3] = std::make_unique<QilProjector>(4);
+    projs[4] = std::make_unique<Ul2qProjector>(4);
+    projs[5] = std::make_unique<LqNetsProjector>(4);
+    for (auto& proj : projs) {
+        auto model = factory.build(train.numClasses, 300);
+        copyParams(*pretrained, *model);
+        // uL2Q quantizes activations at full precision in the paper
+        // (4/32); all others at 4 bits.
+        int act_bits = proj->name() == "uL2Q" ? 16 : 4;
+        steQatTrain(*model, train, fin, *proj, act_bits);
+        double acc = evalClassifier(*model, test);
+        double acc5 = evalClassifierTopK(*model, test, 5);
+        t.addRow({proj->name(),
+                  proj->name() == "uL2Q" ? "4/32" : "4/4",
+                  Table::withDelta(acc * 100, (acc - fp) * 100, 2),
+                  Table::num(acc5 * 100, 2)});
+    }
+
+    // MSQ (ours) at the hardware-optimal 2:1 ratio.
+    QConfig qcfg;
+    qcfg.scheme = QuantScheme::Mixed;
+    qcfg.prSp2 = 2.0 / 3.0;
+    double msq = quantizedAccuracy(factory, *pretrained, train, test,
+                                   qcfg, fin, 300);
+    {
+        auto model = factory.build(train.numClasses, 300);
+        copyParams(*pretrained, *model);
+        QatContext qat(qcfg);
+        qat.attach(model->params());
+        trainClassifier(*model, train, fin, &qat);
+        double acc5 = evalClassifierTopK(*model, test, 5);
+        t.addRule();
+        t.addRow({"MSQ (ours)", "4/4",
+                  Table::withDelta(msq * 100, (msq - fp) * 100, 2),
+                  Table::num(acc5 * 100, 2)});
+    }
+    t.print();
+    std::printf("\nPaper shape to check: several comparators lose "
+                "noticeable accuracy at 4 bits while MSQ lands at or "
+                "above the FP baseline (paper: +0.51%% Top-1 over "
+                "baseline, best of the table).\n");
+    return 0;
+}

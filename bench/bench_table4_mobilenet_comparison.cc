@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table IV reproduction: MSQ vs PACT and DSQ on the MobileNet-v2
+ * stand-in over the ImageNet stand-in (synth-hard). Lightweight
+ * models are the hard case for 4-bit quantization (the paper's
+ * point); the expected shape is a visible drop for the comparators
+ * and the smallest drop for MSQ.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/methods.hh"
+#include "bench_util.hh"
+#include "data/synth_images.hh"
+#include "util/table.hh"
+
+using namespace mixq;
+
+int
+main()
+{
+    std::printf("== Table IV: comparison with existing methods, "
+                "MiniMobileNet on synth-hard (~MobileNet-v2/"
+                "ImageNet) ==\n\n");
+    ModelFactory factory = miniMobileNetFactory(8);
+    LabeledImages train = makeImageDataset(ImageTask::Hard, 700, 31);
+    LabeledImages test = makeImageDataset(ImageTask::Hard, 400, 32);
+
+    auto pretrained = factory.build(train.numClasses, 400);
+    TrainCfg pre;
+    pre.epochs = 8;
+    pre.lr = 0.1;
+    trainClassifier(*pretrained, train, pre);
+    double fp = evalClassifier(*pretrained, test);
+    double fp5 = evalClassifierTopK(*pretrained, test, 5);
+
+    Table t({"Method", "Bits (W/A)", "Top-1 (%)", "Top-5 (%)"});
+    t.addRow({"Baseline (FP)", "32/32", Table::num(fp * 100, 2),
+              Table::num(fp5 * 100, 2)});
+    t.addRule();
+
+    TrainCfg fin;
+    fin.epochs = 6;
+    fin.lr = 0.01;
+
+    std::unique_ptr<WeightProjector> projs[2];
+    projs[0] = std::make_unique<PactProjector>(4);
+    projs[1] = std::make_unique<DsqProjector>(4);
+    for (auto& proj : projs) {
+        auto model = factory.build(train.numClasses, 400);
+        copyParams(*pretrained, *model);
+        steQatTrain(*model, train, fin, *proj, 4);
+        double acc = evalClassifier(*model, test);
+        double acc5 = evalClassifierTopK(*model, test, 5);
+        t.addRow({proj->name(), "4/4",
+                  Table::withDelta(acc * 100, (acc - fp) * 100, 2),
+                  Table::num(acc5 * 100, 2)});
+    }
+
+    QConfig qcfg;
+    qcfg.scheme = QuantScheme::Mixed;
+    qcfg.prSp2 = 2.0 / 3.0;
+    auto model = factory.build(train.numClasses, 400);
+    copyParams(*pretrained, *model);
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    trainClassifier(*model, train, fin, &qat);
+    double msq = evalClassifier(*model, test);
+    double msq5 = evalClassifierTopK(*model, test, 5);
+    t.addRule();
+    t.addRow({"MSQ (ours)", "4/4",
+              Table::withDelta(msq * 100, (msq - fp) * 100, 2),
+              Table::num(msq5 * 100, 2)});
+    t.print();
+    std::printf("\nPaper shape to check: the lightweight model is "
+                "harder to quantize (paper: PACT -10.5%%, DSQ "
+                "-7.1%%, MSQ -6.2%% on real ImageNet); MSQ should "
+                "show the smallest degradation here as well.\n");
+    return 0;
+}

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Table VI reproduction: the three RNN applications under Fixed /
+ * SP2 / MSQ(1:1) / MSQ(optimal) 4-bit quantization —
+ *   LSTM language model, perplexity (PTB stand-in, lower better);
+ *   GRU frame tagger, phoneme error rate (TIMIT stand-in, lower
+ *   better);
+ *   LSTM classifier, accuracy (IMDB stand-in, higher better).
+ * Protocol: one FP32 pretrain per task; each scheme ADMM-fine-tunes
+ * a copy.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/synth_seq.hh"
+#include "metrics/seq_metrics.hh"
+#include "nn/loss.hh"
+#include "nn/optim.hh"
+#include "nn/rnn_models.hh"
+#include "nn/trainer.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+using namespace mixq;
+
+namespace {
+
+struct SchemeRow
+{
+    const char* label;
+    bool quantize;
+    QuantScheme scheme;
+    double prSp2;
+};
+
+const SchemeRow kSchemes[] = {
+    {"Baseline (FP)", false, QuantScheme::Fixed, 0.0},
+    {"Fixed", true, QuantScheme::Fixed, 0.0},
+    {"SP2", true, QuantScheme::Sp2, 0.0},
+    {"MSQ (half/half)", true, QuantScheme::Mixed, 0.5},
+    {"MSQ (optimal)", true, QuantScheme::Mixed, 2.0 / 3.0},
+};
+
+QConfig
+makeQcfg(const SchemeRow& s)
+{
+    QConfig q;
+    q.scheme = s.scheme;
+    q.prSp2 = s.prSp2;
+    return q;
+}
+
+// ----------------------------------------------------- LM / perplexity
+
+double
+lmEpoch(LstmLm& lm, const std::vector<LmBatch>& batches, Sgd& sgd,
+        QatContext* qat)
+{
+    double loss_sum = 0.0;
+    for (const LmBatch& b : batches) {
+        sgd.zeroGrad();
+        Tensor logits = lm.forward(b.input, b.t, b.n, true);
+        Tensor d;
+        double loss = softmaxCrossEntropy(logits, b.target, d);
+        lm.backward(d);
+        if (qat)
+            qat->addPenaltyGrads();
+        sgd.step();
+        loss_sum += loss;
+    }
+    return loss_sum / double(batches.size());
+}
+
+double
+lmPerplexity(LstmLm& lm, const std::vector<LmBatch>& batches)
+{
+    double nll = 0.0;
+    size_t tokens = 0;
+    for (const LmBatch& b : batches) {
+        Tensor logits = lm.forward(b.input, b.t, b.n, false);
+        Tensor d;
+        nll += softmaxCrossEntropy(logits, b.target, d) *
+               double(b.target.size());
+        tokens += b.target.size();
+    }
+    return perplexity(nll, tokens);
+}
+
+double
+runLm(const SchemeRow& s)
+{
+    const size_t vocab = 32;
+    LmCorpus train_c = makeLmCorpus(vocab, 24000, 51);
+    LmCorpus valid_c = makeLmCorpus(vocab, 8000, 52);
+    auto train = makeLmBatches(train_c, 16, 8);
+    auto valid = makeLmBatches(valid_c, 16, 8);
+
+    Rng rng(61);
+    LstmLm lm(vocab, 16, 48, 2, rng);
+    Sgd sgd(lm.params(), 0.5, 0.9, 1e-5);
+    for (int e = 0; e < 8; ++e) {
+        sgd.setLr(cosineLr(0.5, e, 8));
+        lmEpoch(lm, train, sgd, nullptr);
+    }
+    if (!s.quantize)
+        return lmPerplexity(lm, valid);
+
+    QatContext qat(makeQcfg(s));
+    qat.attach(lm.params());
+    lm.setActQuant(4, true);
+    Sgd fsgd(lm.params(), 0.1, 0.9, 1e-5);
+    for (int e = 0; e < 5; ++e) {
+        fsgd.setLr(cosineLr(0.1, e, 5));
+        qat.epochUpdate();
+        lmEpoch(lm, train, fsgd, &qat);
+    }
+    qat.finalize();
+    return lmPerplexity(lm, valid);
+}
+
+// ------------------------------------------------------- Tagger / PER
+
+double
+taggerEpoch(GruTagger& tg, const PhonemeDataset& data, Sgd& sgd,
+            QatContext* qat)
+{
+    double loss_sum = 0.0;
+    for (size_t b = 0; b < data.features.size(); ++b) {
+        sgd.zeroGrad();
+        Tensor logits = tg.forward(data.features[b], true);
+        Tensor d;
+        double loss = softmaxCrossEntropy(logits, data.labels[b], d);
+        tg.backward(d);
+        if (qat)
+            qat->addPenaltyGrads();
+        sgd.step();
+        loss_sum += loss;
+    }
+    return loss_sum / double(data.features.size());
+}
+
+double
+taggerPer(GruTagger& tg, const PhonemeDataset& data)
+{
+    std::vector<std::vector<int>> refs, hyps;
+    for (size_t b = 0; b < data.features.size(); ++b) {
+        Tensor logits = tg.forward(data.features[b], false);
+        size_t t = data.features[b].dim(0);
+        size_t n = data.features[b].dim(1);
+        size_t p = tg.phonemes();
+        for (size_t j = 0; j < n; ++j) {
+            std::vector<int> ref(t), hyp(t);
+            for (size_t st = 0; st < t; ++st) {
+                ref[st] = data.labels[b][st * n + j];
+                const float* row = logits.data() + (st * n + j) * p;
+                int best = 0;
+                for (size_t c = 1; c < p; ++c) {
+                    if (row[c] > row[size_t(best)])
+                        best = int(c);
+                }
+                hyp[st] = best;
+            }
+            refs.push_back(collapseRuns(ref));
+            hyps.push_back(collapseRuns(hyp));
+        }
+    }
+    return phonemeErrorRate(refs, hyps);
+}
+
+double
+runTagger(const SchemeRow& s)
+{
+    PhonemeDataset train = makePhonemeDataset(24, 24, 8, 10, 16, 71);
+    PhonemeDataset test = makePhonemeDataset(8, 24, 8, 10, 16, 72);
+
+    Rng rng(73);
+    GruTagger tg(16, 40, 2, 10, rng);
+    Sgd sgd(tg.params(), 0.3, 0.9, 1e-5);
+    for (int e = 0; e < 10; ++e) {
+        sgd.setLr(cosineLr(0.3, e, 10));
+        taggerEpoch(tg, train, sgd, nullptr);
+    }
+    if (!s.quantize)
+        return taggerPer(tg, test);
+
+    QatContext qat(makeQcfg(s));
+    qat.attach(tg.params());
+    tg.setActQuant(4, true);
+    Sgd fsgd(tg.params(), 0.05, 0.9, 1e-5);
+    for (int e = 0; e < 5; ++e) {
+        fsgd.setLr(cosineLr(0.05, e, 5));
+        qat.epochUpdate();
+        taggerEpoch(tg, train, fsgd, &qat);
+    }
+    qat.finalize();
+    return taggerPer(tg, test);
+}
+
+// -------------------------------------------------- Sentiment / accuracy
+
+double
+sentimentEpoch(LstmClassifier& cls, const SentimentDataset& data,
+               Sgd& sgd, QatContext* qat)
+{
+    double loss_sum = 0.0;
+    for (size_t b = 0; b < data.seqs.size(); ++b) {
+        sgd.zeroGrad();
+        Tensor logits = cls.forward(data.seqs[b], data.t, data.n,
+                                    true);
+        Tensor d;
+        double loss = softmaxCrossEntropy(logits, data.labels[b], d);
+        cls.backward(d);
+        if (qat)
+            qat->addPenaltyGrads();
+        sgd.step();
+        loss_sum += loss;
+    }
+    return loss_sum / double(data.seqs.size());
+}
+
+double
+sentimentAccuracy(LstmClassifier& cls, const SentimentDataset& data)
+{
+    size_t correct = 0, total = 0;
+    for (size_t b = 0; b < data.seqs.size(); ++b) {
+        Tensor logits = cls.forward(data.seqs[b], data.t, data.n,
+                                    false);
+        for (size_t j = 0; j < data.n; ++j) {
+            int pred = logits.at2(j, 1) > logits.at2(j, 0) ? 1 : 0;
+            correct += pred == data.labels[b][j];
+            ++total;
+        }
+    }
+    return double(correct) / double(total);
+}
+
+double
+runSentiment(const SchemeRow& s)
+{
+    SentimentDataset train = makeSentimentDataset(40, 16, 8, 24, 81);
+    SentimentDataset test = makeSentimentDataset(12, 16, 8, 24, 82);
+
+    Rng rng(83);
+    LstmClassifier cls(24, 12, 32, 1, 2, rng);
+    Sgd sgd(cls.params(), 0.3, 0.9, 1e-5);
+    for (int e = 0; e < 10; ++e) {
+        sgd.setLr(cosineLr(0.3, e, 10));
+        sentimentEpoch(cls, train, sgd, nullptr);
+    }
+    if (!s.quantize)
+        return sentimentAccuracy(cls, test);
+
+    QatContext qat(makeQcfg(s));
+    qat.attach(cls.params());
+    cls.setActQuant(4, true);
+    Sgd fsgd(cls.params(), 0.05, 0.9, 1e-5);
+    for (int e = 0; e < 5; ++e) {
+        fsgd.setLr(cosineLr(0.05, e, 5));
+        qat.epochUpdate();
+        sentimentEpoch(cls, train, fsgd, &qat);
+    }
+    qat.finalize();
+    return sentimentAccuracy(cls, test);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Table VI: RNNs on machine translation / speech "
+                "recognition / sentiment stand-ins ==\n\n");
+    Table t({"Scheme", "Bits (W/A)", "LSTM LM PPL (lower=better)",
+             "GRU tagger PER (lower=better)",
+             "LSTM sentiment Acc (%)"});
+    for (const SchemeRow& s : kSchemes) {
+        double ppl = runLm(s);
+        double per = runTagger(s);
+        double acc = runSentiment(s);
+        t.addRow({s.label, s.quantize ? "4/4" : "32/32",
+                  Table::num(ppl, 2), Table::pct(per, 2),
+                  Table::num(acc * 100, 2)});
+    }
+    t.print();
+    std::printf("\nPaper shape to check (their numbers: PPL "
+                "110.9->112.7, PER 19.24%%->19.53%%, Acc "
+                "86.37%%->86.31%% for MSQ-optimal): quantization "
+                "costs little, and MSQ is at least as good as Fixed "
+                "or SP2 alone on every task.\n");
+    return 0;
+}

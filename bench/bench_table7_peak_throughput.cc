@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table VII reproduction: the six hardware design points (D1-1..D2-3)
+ * with their GEMM array geometry and peak throughput, plus the
+ * characterizer's reproduction of the paper's optimal ratios.
+ */
+
+#include <cstdio>
+
+#include "fpga/characterize.hh"
+#include "fpga/design_point.hh"
+#include "util/table.hh"
+
+using namespace mixq;
+
+int
+main()
+{
+    std::printf("== Table VII: implementation parameters and peak "
+                "throughput ==\n\n");
+    // Paper peak values; 106 for D1-2 is the paper's rounding.
+    const double paper[] = {52.8, 106.0, 132.0, 208.0, 416.0, 624.0};
+    Table t({"Impl.", "Device", "Bat", "Blkin", "Blkout fixed",
+             "Blkout SP2", "Ratio", "Peak GOPS", "Paper GOPS"});
+    size_t i = 0;
+    for (const DesignPoint& dp : paperDesignPoints()) {
+        t.addRow({dp.name, dp.device, Table::integer(long(dp.bat)),
+                  Table::integer(long(dp.blkIn)),
+                  Table::integer(long(dp.blkFixed)),
+                  Table::integer(long(dp.blkSp2)), dp.ratioLabel(),
+                  Table::num(dp.peakGops(), 1),
+                  Table::num(paper[i++], 1)});
+    }
+    t.print();
+
+    std::printf("\n== Section VI-A: characterizer-derived optimal "
+                "designs ==\n\n");
+    Table c({"Device", "Bat", "Blkout fixed", "Blkout SP2", "Ratio",
+             "PR_SP2 (to Alg. 2)", "Peak GOPS"});
+    struct Probe { const char* dev; size_t bat; };
+    const Probe probes[] = {{"XC7Z020", 1}, {"XC7Z045", 4},
+                            {"XCZU3CG", 1}, {"XCZU5CG", 4}};
+    for (const Probe& p : probes) {
+        DesignPoint dp = characterize(deviceByName(p.dev), p.bat, 16);
+        c.addRow({p.dev, Table::integer(long(p.bat)),
+                  Table::integer(long(dp.blkFixed)),
+                  Table::integer(long(dp.blkSp2)), dp.ratioLabel(),
+                  Table::num(dp.sp2Fraction(), 3),
+                  Table::num(dp.peakGops(), 1)});
+    }
+    c.print();
+    std::printf("\nShape check: the characterizer reproduces the "
+                "paper's 1:1.5 (XC7Z020) and 1:2 (XC7Z045) optima; "
+                "LUT-poor UltraScale+ parts get smaller SP2 "
+                "shares.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the table/figure benches: the paper's protocol
+ * of pretraining one FP32 model per (model, dataset) and quantizing
+ * copies of it under each scheme, plus table formatting shortcuts.
+ */
+
+#ifndef MIXQ_BENCH_BENCH_UTIL_HH
+#define MIXQ_BENCH_BENCH_UTIL_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nn/models.hh"
+#include "nn/trainer.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+
+/** A model family: rebuildable from a seed so copies share init. */
+struct ModelFactory
+{
+    std::string name;
+    std::function<std::unique_ptr<Sequential>(size_t classes,
+                                              uint64_t seed)> build;
+};
+
+inline ModelFactory
+miniResNetFactory(size_t base = 8)
+{
+    return {"MiniResNet",
+            [base](size_t classes, uint64_t seed) {
+                Rng rng(seed);
+                return makeMiniResNet(classes, rng, base);
+            }};
+}
+
+inline ModelFactory
+miniMobileNetFactory(size_t base = 8)
+{
+    return {"MiniMobileNet",
+            [base](size_t classes, uint64_t seed) {
+                Rng rng(seed);
+                return makeMiniMobileNet(classes, rng, base);
+            }};
+}
+
+/** Copy all parameter tensors from src to dst (same architecture). */
+inline void
+copyParams(Sequential& src, Sequential& dst)
+{
+    auto s = src.params();
+    auto d = dst.params();
+    for (size_t i = 0; i < s.size(); ++i)
+        d[i]->w = s[i]->w;
+}
+
+/**
+ * Quantize a copy of a pretrained model with the given config
+ * (Algorithm 1/2) and return its test accuracy.
+ */
+inline double
+quantizedAccuracy(const ModelFactory& factory, Sequential& pretrained,
+                  const LabeledImages& train, const LabeledImages& test,
+                  const QConfig& qcfg, const TrainCfg& fin,
+                  uint64_t seed)
+{
+    auto model = factory.build(train.numClasses, seed);
+    copyParams(pretrained, *model);
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    trainClassifier(*model, train, fin, &qat);
+    return evalClassifier(*model, test);
+}
+
+} // namespace mixq
+
+#endif // MIXQ_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Domain example: the full FPGA-centric co-design loop of the paper
+ * (Sections V-VI) on a device of your choice —
+ *
+ *   characterize device -> design point (DSP pinned, LUT budget)
+ *       -> partition ratio PR_SP2
+ *       -> MSQ quantization training (Algorithm 2)
+ *       -> deploy: simulate the published ResNet-18 shapes on the
+ *          design point and report throughput/latency.
+ *
+ * Build & run:  ./build/examples/codesign_flow [device]
+ *               (default XC7Z045; try XC7Z020 or XCZU5CG)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "compiler/model_zoo.hh"
+#include "compiler/runner.hh"
+#include "data/synth_images.hh"
+#include "fpga/characterize.hh"
+#include "nn/models.hh"
+#include "nn/trainer.hh"
+#include "util/rng.hh"
+
+using namespace mixq;
+
+int
+main(int argc, char** argv)
+{
+    std::string dev_name = argc > 1 ? argv[1] : "XC7Z045";
+    const FpgaDevice& dev = deviceByName(dev_name);
+
+    // --- Step 1: resource characterization (Section V-A).
+    size_t bat = dev.luts > 100000 ? 4 : 1;
+    DesignPoint dp = characterize(dev, bat, 16);
+    ResourceUsage use = estimateResources(dp, dev);
+    ResourceUtil util = utilization(use, dev);
+    std::printf("device %s: %zu LUT, %zu DSP\n", dev.name.c_str(),
+                dev.luts, dev.dsps);
+    std::printf("characterized design: Bat=%zu Blkin=%zu "
+                "Blkout=%zu(fixed)+%zu(SP2), ratio %s\n",
+                dp.bat, dp.blkIn, dp.blkFixed, dp.blkSp2,
+                dp.ratioLabel().c_str());
+    std::printf("estimated LUT %.0f (%.0f%%), DSP %.0f (%.0f%%), "
+                "peak %.1f GOPS\n\n", use.luts, util.lut * 100,
+                use.dsps, util.dsp * 100, dp.peakGops());
+
+    // --- Step 2: MSQ training with the hardware-derived ratio.
+    double pr = dp.sp2Fraction();
+    std::printf("training MSQ model with PR_SP2 = %.3f "
+                "(Algorithm 2)...\n", pr);
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 500, 3);
+    LabeledImages test = makeImageDataset(ImageTask::Easy, 250, 4);
+    Rng rng(9);
+    auto model = makeMiniResNet(train.numClasses, rng, 8);
+    TrainCfg pre;
+    pre.epochs = 7;
+    pre.lr = 0.1;
+    trainClassifier(*model, train, pre);
+    double fp = evalClassifier(*model, test);
+
+    QConfig qcfg;
+    qcfg.scheme = pr > 0.0 ? QuantScheme::Mixed : QuantScheme::Fixed;
+    qcfg.prSp2 = pr;
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    TrainCfg fin;
+    fin.epochs = 4;
+    fin.lr = 0.02;
+    trainClassifier(*model, train, fin, &qat);
+    double acc = evalClassifier(*model, test);
+    std::printf("accuracy: FP32 %.2f%% -> MSQ 4-bit %.2f%% "
+                "(%+.2f)\n\n", fp * 100, acc * 100,
+                (acc - fp) * 100);
+
+    // --- Step 3: deployment throughput on the published shapes.
+    NetworkPerf perf = simulateNetwork(resnet18Spec(), dp);
+    DesignPoint dsp_only = dp;
+    dsp_only.blkSp2 = 0;
+    NetworkPerf base = simulateNetwork(resnet18Spec(), dsp_only);
+    std::printf("ResNet-18 (224x224) on %s:\n", dev.name.c_str());
+    std::printf("  DSP-only  : %7.1f GOPS, %6.1f ms/image\n",
+                base.gops, base.latencyMs);
+    std::printf("  MSQ design: %7.1f GOPS, %6.1f ms/image "
+                "(%.2fx speedup, %.0f%% PE utilization)\n",
+                perf.gops, perf.latencyMs, perf.gops / base.gops,
+                perf.peUtil * 100);
+    return 0;
+}

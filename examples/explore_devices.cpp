@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Domain example: design-space exploration across the whole device
+ * table (the Fig. 2 -> Section V-A pipeline, beyond the two boards
+ * the paper evaluates). For every device: characterize, estimate
+ * resources, and simulate ResNet-18 — showing how the optimal
+ * SP2 share follows the LUT/DSP ratio.
+ *
+ * Build & run:  ./build/examples/explore_devices
+ */
+
+#include <cstdio>
+
+#include "compiler/model_zoo.hh"
+#include "compiler/runner.hh"
+#include "fpga/characterize.hh"
+#include "util/table.hh"
+
+using namespace mixq;
+
+int
+main()
+{
+    std::printf("design-space exploration: optimal MSQ design per "
+                "device, ResNet-18 throughput\n\n");
+    Table t({"Device", "LUT/DSP", "Bat", "Ratio (fixed:SP2)",
+             "PR_SP2", "Peak GOPS", "ResNet-18 GOPS", "Speedup vs "
+             "DSP-only"});
+    for (const FpgaDevice& dev : allDevices()) {
+        if (dev.name == "XCZU3EG")
+            continue; // same silicon as XCZU3CG
+        size_t bat = dev.luts > 100000 ? 4 : 1;
+        DesignPoint dp = characterize(dev, bat, 16);
+        NetworkPerf perf = simulateNetwork(resnet18Spec(), dp);
+        DesignPoint base = dp;
+        base.blkSp2 = 0;
+        NetworkPerf bperf = simulateNetwork(resnet18Spec(), base);
+        t.addRow({dev.name, Table::num(dev.lutPerDsp(), 1),
+                  Table::integer(long(bat)), dp.ratioLabel(),
+                  Table::num(dp.sp2Fraction(), 2),
+                  Table::num(dp.peakGops(), 1),
+                  Table::num(perf.gops, 1),
+                  Table::num(perf.gops / bperf.gops, 2) + "x"});
+    }
+    t.print();
+    std::printf("\nReading: LUT-rich parts (Zynq-7000, ~240 LUT/DSP) "
+                "sustain SP2 shares of 1:1.5-1:2 and gain >2x; "
+                "DSP-rich UltraScale+ parts saturate their LUT "
+                "budget early and gain less — exactly the paper's "
+                "motivation for deriving PR_SP2 from the device.\n");
+    return 0;
+}

@@ -1,0 +1,334 @@
+#include "baselines/methods.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantizer.hh"
+#include "quant/scheme.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace mixq {
+
+namespace {
+
+/** Uniform symmetric projection with L = 2^(m-1)-1 magnitudes. */
+void
+uniformProject(Param& p, double alpha, int bits)
+{
+    double levels = double((1 << (bits - 1)) - 1);
+    for (size_t i = 0; i < p.w.size(); ++i) {
+        double t = std::clamp(double(p.w[i]) / alpha, -1.0, 1.0);
+        p.w[i] = float(std::nearbyint(t * levels) / levels * alpha);
+    }
+}
+
+/** Closed-form alternating MSE fit of a uniform step (LSQ-style). */
+double
+fitUniformAlpha(const Param& p, int bits)
+{
+    std::vector<double> mags = fixedMagnitudes(bits);
+    return fitAlpha(p.w.span(), mags);
+}
+
+} // namespace
+
+// --------------------------------------------------------------- DoReFa
+
+void
+DorefaProjector::project(Param& p)
+{
+    // t = tanh(w) / max|tanh(w)| in [-1, 1], quantized uniformly.
+    double tmax = 0.0;
+    for (size_t i = 0; i < p.w.size(); ++i)
+        tmax = std::max(tmax, std::fabs(std::tanh(double(p.w[i]))));
+    if (tmax == 0.0)
+        return;
+    // Keep the pre-projection magnitude so deeper nets don't collapse.
+    double scale = maxAbs(p.w.span());
+    double levels = double((1 << (bits_ - 1)) - 1);
+    for (size_t i = 0; i < p.w.size(); ++i) {
+        double t = std::tanh(double(p.w[i])) / tmax;
+        double q = std::nearbyint(t * levels) / levels;
+        p.w[i] = float(q * scale);
+    }
+}
+
+// ------------------------------------------------------------------ LSQ
+
+void
+LsqProjector::attach(const std::vector<Param*>& params)
+{
+    WeightProjector::attach(params);
+    step_.assign(params_.size(), 0.0);
+    refit();
+}
+
+void
+LsqProjector::epochBegin(int epoch, int total)
+{
+    WeightProjector::epochBegin(epoch, total);
+    refit();
+}
+
+void
+LsqProjector::refit()
+{
+    for (size_t i = 0; i < params_.size(); ++i)
+        step_[i] = fitUniformAlpha(*params_[i], bits_);
+}
+
+void
+LsqProjector::project(Param& p)
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        if (params_[i] == &p) {
+            uniformProject(p, step_[i], bits_);
+            return;
+        }
+    }
+    panic("LSQ: unknown parameter");
+}
+
+// ------------------------------------------------------------------ DSQ
+
+void
+DsqProjector::project(Param& p)
+{
+    double alpha = maxAbs(p.w.span());
+    if (alpha == 0.0)
+        return;
+    // Soft-to-hard annealing: blend toward the hard quantizer.
+    double lambda = 0.5 + 0.5 * double(epoch_ + 1) /
+                              double(totalEpochs_);
+    lambda = std::min(lambda, 1.0);
+    double levels = double((1 << (bits_ - 1)) - 1);
+    for (size_t i = 0; i < p.w.size(); ++i) {
+        double t = std::clamp(double(p.w[i]) / alpha, -1.0, 1.0);
+        double hard = std::nearbyint(t * levels) / levels * alpha;
+        p.w[i] = float(lambda * hard + (1.0 - lambda) * double(p.w[i]));
+    }
+}
+
+// ----------------------------------------------------------------- uL2Q
+
+void
+Ul2qProjector::attach(const std::vector<Param*>& params)
+{
+    WeightProjector::attach(params);
+    alpha_.clear();
+    for (Param* p : params_) {
+        // lambda* sigma for a zero-mean Gaussian: computed here
+        // directly by the alternating MSE fit on the *initial*
+        // distribution, then frozen (the method's data-free scale).
+        alpha_.push_back(fitUniformAlpha(*p, bits_));
+    }
+}
+
+void
+Ul2qProjector::project(Param& p)
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        if (params_[i] == &p) {
+            uniformProject(p, alpha_[i], bits_);
+            return;
+        }
+    }
+    panic("uL2Q: unknown parameter");
+}
+
+// ------------------------------------------------------------------ QIL
+
+void
+QilProjector::attach(const std::vector<Param*>& params)
+{
+    WeightProjector::attach(params);
+    alpha_.assign(params_.size(), 0.0);
+    prune_.assign(params_.size(), 0.0);
+    refit();
+}
+
+void
+QilProjector::epochBegin(int epoch, int total)
+{
+    WeightProjector::epochBegin(epoch, total);
+    refit();
+}
+
+void
+QilProjector::refit()
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        const Param& p = *params_[i];
+        alpha_[i] = fitUniformAlpha(p, bits_);
+        // Pruning point: a small fraction of the clip range; the
+        // interval tightens a little over training (QIL's learned
+        // interval typically shrinks).
+        double frac = 0.05 + 0.05 * double(epoch_) /
+                                 double(totalEpochs_);
+        prune_[i] = frac * alpha_[i];
+    }
+}
+
+void
+QilProjector::project(Param& p)
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        if (params_[i] != &p)
+            continue;
+        double a = alpha_[i], pr = prune_[i];
+        double levels = double((1 << (bits_ - 1)) - 1);
+        for (size_t j = 0; j < p.w.size(); ++j) {
+            double x = p.w[j];
+            double ax = std::fabs(x);
+            if (ax <= pr) {
+                p.w[j] = 0.0f;
+                continue;
+            }
+            // Map [pr, a] onto the uniform grid over [0, a].
+            double t = std::clamp((ax - pr) / (a - pr), 0.0, 1.0);
+            double q = std::max(1.0, std::nearbyint(t * levels)) /
+                       levels * a;
+            p.w[j] = float(x < 0 ? -q : q);
+        }
+        return;
+    }
+    panic("QIL: unknown parameter");
+}
+
+// -------------------------------------------------------------- LQ-Nets
+
+void
+LqNetsProjector::attach(const std::vector<Param*>& params)
+{
+    WeightProjector::attach(params);
+    size_t nb = size_t(bits_ - 1);
+    basis_.assign(params_.size(), std::vector<double>(nb));
+    levelCache_.assign(params_.size(), {});
+    for (size_t i = 0; i < params_.size(); ++i) {
+        // Power-of-two initialized basis (the paper's init).
+        double a = maxAbs(params_[i]->w.span());
+        if (a == 0.0)
+            a = 1.0;
+        for (size_t j = 0; j < nb; ++j)
+            basis_[i][j] = a / double(1 << (j + 1));
+    }
+    refit();
+}
+
+void
+LqNetsProjector::epochBegin(int epoch, int total)
+{
+    WeightProjector::epochBegin(epoch, total);
+    refit();
+}
+
+void
+LqNetsProjector::refit()
+{
+    size_t nb = size_t(bits_ - 1);
+    size_t combos = size_t(1) << nb;
+    for (size_t pi = 0; pi < params_.size(); ++pi) {
+        const Param& p = *params_[pi];
+        std::vector<double>& v = basis_[pi];
+        // Alternate assignment and least squares a few rounds.
+        for (int round = 0; round < 3; ++round) {
+            // Levels for the current basis.
+            std::vector<double> levels(combos);
+            for (size_t c = 0; c < combos; ++c) {
+                double s = 0.0;
+                for (size_t j = 0; j < nb; ++j)
+                    s += ((c >> j) & 1 ? 1.0 : -1.0) * v[j];
+                levels[c] = s;
+            }
+            // Assignment + normal equations (B^T B) v = B^T w.
+            std::vector<double> btb(nb * nb, 0.0), btw(nb, 0.0);
+            for (size_t i = 0; i < p.w.size(); ++i) {
+                double w = p.w[i];
+                size_t best = 0;
+                double bd = 1e30;
+                for (size_t c = 0; c < combos; ++c) {
+                    double d = std::fabs(levels[c] - w);
+                    if (d < bd) {
+                        bd = d;
+                        best = c;
+                    }
+                }
+                double b[8];
+                for (size_t j = 0; j < nb; ++j)
+                    b[j] = (best >> j) & 1 ? 1.0 : -1.0;
+                for (size_t r = 0; r < nb; ++r) {
+                    btw[r] += b[r] * w;
+                    for (size_t c2 = 0; c2 < nb; ++c2)
+                        btb[r * nb + c2] += b[r] * b[c2];
+                }
+            }
+            // Solve the small SPD system by Gaussian elimination.
+            std::vector<double> a = btb, x = btw;
+            for (size_t col = 0; col < nb; ++col) {
+                size_t piv = col;
+                for (size_t r = col + 1; r < nb; ++r) {
+                    if (std::fabs(a[r * nb + col]) >
+                        std::fabs(a[piv * nb + col]))
+                        piv = r;
+                }
+                if (std::fabs(a[piv * nb + col]) < 1e-12)
+                    continue;
+                for (size_t c2 = 0; c2 < nb; ++c2)
+                    std::swap(a[col * nb + c2], a[piv * nb + c2]);
+                std::swap(x[col], x[piv]);
+                for (size_t r = 0; r < nb; ++r) {
+                    if (r == col)
+                        continue;
+                    double f = a[r * nb + col] / a[col * nb + col];
+                    for (size_t c2 = 0; c2 < nb; ++c2)
+                        a[r * nb + c2] -= f * a[col * nb + c2];
+                    x[r] -= f * x[col];
+                }
+            }
+            for (size_t j = 0; j < nb; ++j) {
+                if (std::fabs(a[j * nb + j]) > 1e-12)
+                    v[j] = x[j] / a[j * nb + j];
+            }
+        }
+        // Cache the final level set, sorted for projection.
+        std::vector<double> levels(combos);
+        for (size_t c = 0; c < combos; ++c) {
+            double s = 0.0;
+            for (size_t j = 0; j < nb; ++j)
+                s += ((c >> j) & 1 ? 1.0 : -1.0) * v[j];
+            levels[c] = s;
+        }
+        std::sort(levels.begin(), levels.end());
+        levelCache_[pi] = std::move(levels);
+    }
+}
+
+void
+LqNetsProjector::project(Param& p)
+{
+    for (size_t pi = 0; pi < params_.size(); ++pi) {
+        if (params_[pi] != &p)
+            continue;
+        const std::vector<double>& levels = levelCache_[pi];
+        for (size_t i = 0; i < p.w.size(); ++i) {
+            double w = p.w[i];
+            auto it = std::lower_bound(levels.begin(), levels.end(),
+                                       w);
+            double best;
+            if (it == levels.end()) {
+                best = levels.back();
+            } else if (it == levels.begin()) {
+                best = levels.front();
+            } else {
+                double hi = *it, lo = *(it - 1);
+                best = (w - lo) <= (hi - w) ? lo : hi;
+            }
+            p.w[i] = float(best);
+        }
+        return;
+    }
+    panic("LQ-Nets: unknown parameter");
+}
+
+} // namespace mixq

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Simplified re-implementations of the comparison methods of the
+ * paper's Tables III/IV. Each captures the method's defining weight
+ * projection; training-side details that need custom autograd (PACT's
+ * learned clip gradient, LSQ's step-size gradient, DSQ's evolving
+ * soft function) are replaced by closed-form or annealed equivalents.
+ * The simplifications are documented per class and in DESIGN.md.
+ */
+
+#ifndef MIXQ_BASELINES_METHODS_HH
+#define MIXQ_BASELINES_METHODS_HH
+
+#include <vector>
+
+#include "baselines/ste_qat.hh"
+
+namespace mixq {
+
+/**
+ * DoReFa-Net: weights pass through tanh, are normalized by the
+ * maximum magnitude, linearly quantized in [0, 1] and mapped back to
+ * [-1, 1]; a per-tensor scale keeps the magnitude (gradient flows
+ * straight through).
+ */
+class DorefaProjector : public WeightProjector
+{
+  public:
+    explicit DorefaProjector(int bits) : bits_(bits) {}
+    std::string name() const override { return "Dorefa"; }
+    void project(Param& p) override;
+
+  private:
+    int bits_;
+};
+
+/**
+ * PACT: DoReFa-style weights plus a learnable activation clip. The
+ * clip's task-loss gradient is replaced by the EMA-calibrated clip of
+ * ActFakeQuant (same role, simpler estimator).
+ */
+class PactProjector : public DorefaProjector
+{
+  public:
+    explicit PactProjector(int bits) : DorefaProjector(bits) {}
+    std::string name() const override { return "PACT"; }
+};
+
+/**
+ * LSQ: symmetric uniform quantizer with a learned step size. The
+ * gradient-learned step is replaced by a per-epoch closed-form MSE
+ * refit (alternating assignment / least squares).
+ */
+class LsqProjector : public WeightProjector
+{
+  public:
+    explicit LsqProjector(int bits) : bits_(bits) {}
+    std::string name() const override { return "LSQ"; }
+    void attach(const std::vector<Param*>& params) override;
+    void epochBegin(int epoch, int total) override;
+    void project(Param& p) override;
+
+  private:
+    void refit();
+    int bits_;
+    std::vector<double> step_; //!< one step size per tensor
+};
+
+/**
+ * DSQ: differentiable soft quantization. The annealed soft-to-hard
+ * schedule is kept (blend factor ramps across epochs); the tanh
+ * soft cell is approximated by linear blending.
+ */
+class DsqProjector : public WeightProjector
+{
+  public:
+    explicit DsqProjector(int bits) : bits_(bits) {}
+    std::string name() const override { return "DSQ"; }
+    void project(Param& p) override;
+
+  private:
+    int bits_;
+};
+
+/**
+ * muL2Q: linear symmetric quantization whose scale is derived from
+ * the weight distribution once at attach time (lambda* sigma rule)
+ * and then frozen — the defining "distribution-driven, data-free
+ * scale" property.
+ */
+class Ul2qProjector : public WeightProjector
+{
+  public:
+    explicit Ul2qProjector(int bits) : bits_(bits) {}
+    std::string name() const override { return "uL2Q"; }
+    void attach(const std::vector<Param*>& params) override;
+    void project(Param& p) override;
+
+  private:
+    int bits_;
+    std::vector<double> alpha_;
+};
+
+/**
+ * QIL: quantization interval learning. The task-loss-trained interval
+ * (center/width transformer) is replaced by a per-epoch refit of a
+ * clipping interval [p, alpha]: weights below the pruning point p
+ * quantize to zero, the rest map uniformly onto [p, alpha] — the
+ * method's defining joint pruning+clipping interval.
+ */
+class QilProjector : public WeightProjector
+{
+  public:
+    explicit QilProjector(int bits) : bits_(bits) {}
+    std::string name() const override { return "QIL"; }
+    void attach(const std::vector<Param*>& params) override;
+    void epochBegin(int epoch, int total) override;
+    void project(Param& p) override;
+
+  private:
+    void refit();
+    int bits_;
+    std::vector<double> alpha_; //!< clip point per tensor
+    std::vector<double> prune_; //!< pruning point per tensor
+};
+
+/**
+ * LQ-Nets: quantizer with a learned basis v (m-1 coefficients);
+ * levels are all +/- sign combinations sum(b_i v_i). The basis is
+ * refit each epoch by alternating nearest-level assignment and a
+ * 3x3 (for 4 bits) least-squares solve.
+ */
+class LqNetsProjector : public WeightProjector
+{
+  public:
+    explicit LqNetsProjector(int bits) : bits_(bits) {}
+    std::string name() const override { return "LQ-NETS"; }
+    void attach(const std::vector<Param*>& params) override;
+    void epochBegin(int epoch, int total) override;
+    void project(Param& p) override;
+
+  private:
+    void refit();
+    int bits_;
+    std::vector<std::vector<double>> basis_; //!< per tensor, m-1 coefs
+    std::vector<std::vector<double>> levelCache_;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_BASELINES_METHODS_HH

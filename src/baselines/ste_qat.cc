@@ -1,0 +1,101 @@
+#include "baselines/ste_qat.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "nn/loss.hh"
+#include "nn/optim.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+
+void
+WeightProjector::attach(const std::vector<Param*>& params)
+{
+    params_.clear();
+    for (Param* p : params) {
+        if (p->quantizable())
+            params_.push_back(p);
+    }
+    MIXQ_ASSERT(!params_.empty(), "projector: nothing to quantize");
+}
+
+void
+WeightProjector::epochBegin(int epoch, int total_epochs)
+{
+    epoch_ = epoch;
+    totalEpochs_ = std::max(total_epochs, 1);
+}
+
+void
+steQatTrain(Module& model, const LabeledImages& train,
+            const TrainCfg& cfg, WeightProjector& proj, int act_bits)
+{
+    proj.attach(model.params());
+    model.setActQuant(act_bits, true);
+
+    Sgd sgd(model.params(), cfg.lr, cfg.momentum, cfg.weightDecay);
+    Rng rng(cfg.seed);
+    std::vector<size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<Tensor> latents;
+    auto save_and_project = [&]() {
+        latents.clear();
+        for (Param* p : model.params()) {
+            if (!p->quantizable())
+                continue;
+            latents.push_back(p->w);
+            proj.project(*p);
+        }
+    };
+    auto restore = [&]() {
+        size_t i = 0;
+        for (Param* p : model.params()) {
+            if (!p->quantizable())
+                continue;
+            p->w = latents[i++];
+        }
+    };
+
+    size_t item = train.images.size() / train.images.dim(0);
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        proj.epochBegin(epoch, cfg.epochs);
+        sgd.setLr(cfg.cosine ? cosineLr(cfg.lr, epoch, cfg.epochs)
+                             : stepLr(cfg.lr, epoch, cfg.stepEvery));
+        rng.shuffle(order);
+        for (size_t b0 = 0; b0 < train.size(); b0 += cfg.batch) {
+            size_t b1 = std::min(b0 + cfg.batch, train.size());
+            size_t bn = b1 - b0;
+            std::vector<size_t> shape = train.images.shape();
+            shape[0] = bn;
+            Tensor x(shape);
+            std::vector<int> y(bn);
+            for (size_t i = 0; i < bn; ++i) {
+                size_t src = order[b0 + i];
+                std::memcpy(x.data() + i * item,
+                            train.images.data() + src * item,
+                            item * sizeof(float));
+                y[i] = train.labels[src];
+            }
+
+            sgd.zeroGrad();
+            save_and_project();
+            Tensor logits = model.forward(x, true);
+            Tensor dlogits;
+            softmaxCrossEntropy(logits, y, dlogits);
+            model.backward(dlogits);
+            restore();
+            sgd.step();
+        }
+    }
+    // Deployable model: hard-project the trained latents.
+    for (Param* p : model.params()) {
+        if (p->quantizable())
+            proj.project(*p);
+    }
+}
+
+} // namespace mixq

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared quantization-aware fine-tuning loop for the comparator
+ * methods of Tables III/IV. Unlike the paper's ADMM (Algorithm 1),
+ * these methods fake-quantize the weights in the forward pass and
+ * pass gradients straight through to the latent weights (STE): per
+ * batch the latent weights are saved, projected in place, the batch
+ * runs, and the latent values are restored before the optimizer step.
+ */
+
+#ifndef MIXQ_BASELINES_STE_QAT_HH
+#define MIXQ_BASELINES_STE_QAT_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/trainer.hh"
+
+namespace mixq {
+
+/** Per-method weight projection strategy. */
+class WeightProjector
+{
+  public:
+    virtual ~WeightProjector() = default;
+
+    /** Method name as used in the comparison tables. */
+    virtual std::string name() const = 0;
+
+    /** Called once with the quantizable parameters. */
+    virtual void attach(const std::vector<Param*>& params);
+
+    /** Called at the start of each epoch (for annealing/refits). */
+    virtual void epochBegin(int epoch, int total_epochs);
+
+    /** Project one parameter tensor in place (latent -> quantized). */
+    virtual void project(Param& p) = 0;
+
+  protected:
+    std::vector<Param*> params_;
+    int epoch_ = 0;
+    int totalEpochs_ = 1;
+};
+
+/**
+ * STE fine-tuning: quantize-forward-backward-restore per batch, with
+ * activation fake-quantization enabled at @p act_bits. Ends with the
+ * weights hard-projected (deployable model).
+ */
+void steQatTrain(Module& model, const LabeledImages& train,
+                 const TrainCfg& cfg, WeightProjector& proj,
+                 int act_bits);
+
+} // namespace mixq
+
+#endif // MIXQ_BASELINES_STE_QAT_HH

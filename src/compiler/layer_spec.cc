@@ -1,0 +1,98 @@
+#include "compiler/layer_spec.hh"
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+double
+NetworkSpec::macs() const
+{
+    double s = 0.0;
+    for (const LayerSpec& l : layers)
+        s += l.macs();
+    return s;
+}
+
+double
+NetworkSpec::ops() const
+{
+    return 2.0 * macs();
+}
+
+namespace {
+
+size_t
+outDim(size_t in, size_t kernel, size_t stride)
+{
+    size_t pad = (kernel - 1) / 2;
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+} // namespace
+
+LayerSpec
+convLayer(const std::string& name, size_t in_ch, size_t out_ch,
+          size_t kernel, size_t stride, size_t in_h, size_t in_w)
+{
+    LayerSpec l;
+    l.name = name;
+    l.kind = LayerKind::Conv;
+    l.m = outDim(in_h, kernel, stride) * outDim(in_w, kernel, stride);
+    l.k = in_ch * kernel * kernel;
+    l.n = out_ch;
+    return l;
+}
+
+LayerSpec
+dwLayer(const std::string& name, size_t channels, size_t kernel,
+        size_t stride, size_t in_h, size_t in_w)
+{
+    LayerSpec l;
+    l.name = name;
+    l.kind = LayerKind::DwConv;
+    l.m = outDim(in_h, kernel, stride) * outDim(in_w, kernel, stride);
+    l.k = kernel * kernel;
+    l.n = channels;
+    return l;
+}
+
+LayerSpec
+fcLayer(const std::string& name, size_t in, size_t out, size_t batch)
+{
+    LayerSpec l;
+    l.name = name;
+    l.kind = LayerKind::Linear;
+    l.m = batch;
+    l.k = in;
+    l.n = out;
+    return l;
+}
+
+LayerSpec
+rnnInputGemm(const std::string& name, size_t in, size_t gates_out,
+             size_t steps, size_t batch)
+{
+    LayerSpec l;
+    l.name = name;
+    l.kind = LayerKind::RnnGemm;
+    l.m = steps * batch;
+    l.k = in;
+    l.n = gates_out;
+    return l;
+}
+
+LayerSpec
+rnnRecurrentGemm(const std::string& name, size_t hidden,
+                 size_t gates_out, size_t steps, size_t batch)
+{
+    LayerSpec l;
+    l.name = name;
+    l.kind = LayerKind::RnnGemm;
+    l.m = batch;
+    l.k = hidden;
+    l.n = gates_out;
+    l.repeat = steps;
+    return l;
+}
+
+} // namespace mixq

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Dimension-level network description consumed by the performance
+ * simulator. Every layer is reduced to its GEMM form: convolutions
+ * via implicit im2col (M = OH*OW, K = Cin*kh*kw, N = Cout), depthwise
+ * convolutions as thin GEMMs (K = kh*kw, N = C, mapped channel-
+ * parallel across the input lanes), fully-connected and recurrent
+ * gate GEMMs directly. `repeat` expresses sequentially dependent
+ * repetitions (RNN timesteps).
+ */
+
+#ifndef MIXQ_COMPILER_LAYER_SPEC_HH
+#define MIXQ_COMPILER_LAYER_SPEC_HH
+
+#include <string>
+#include <vector>
+
+namespace mixq {
+
+/** Layer category (informational; all lower to GEMM). */
+enum class LayerKind { Conv, DwConv, Linear, RnnGemm };
+
+/** One GEMM-form layer. */
+struct LayerSpec
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+    size_t m = 1; //!< output rows (spatial positions or batch)
+    size_t k = 1; //!< reduction length
+    size_t n = 1; //!< output channels / units
+    size_t repeat = 1; //!< sequentially dependent repetitions
+
+    double macs() const
+    {
+        return double(m) * double(k) * double(n) * double(repeat);
+    }
+    double ops() const { return 2.0 * macs(); }
+};
+
+/** A whole network as an ordered layer list. */
+struct NetworkSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    double macs() const;
+    double ops() const;
+};
+
+/** Convolution helper; pad defaults to (kernel-1)/2 ("same"). */
+LayerSpec convLayer(const std::string& name, size_t in_ch,
+                    size_t out_ch, size_t kernel, size_t stride,
+                    size_t in_h, size_t in_w);
+
+/** Depthwise convolution helper. */
+LayerSpec dwLayer(const std::string& name, size_t channels,
+                  size_t kernel, size_t stride, size_t in_h,
+                  size_t in_w);
+
+/** Fully-connected helper (M = batch). */
+LayerSpec fcLayer(const std::string& name, size_t in, size_t out,
+                  size_t batch = 1);
+
+/** Batched (time-parallel) RNN input GEMM. */
+LayerSpec rnnInputGemm(const std::string& name, size_t in,
+                       size_t gates_out, size_t steps, size_t batch);
+
+/** Sequential (per-step) RNN recurrent GEMM. */
+LayerSpec rnnRecurrentGemm(const std::string& name, size_t hidden,
+                           size_t gates_out, size_t steps,
+                           size_t batch);
+
+} // namespace mixq
+
+#endif // MIXQ_COMPILER_LAYER_SPEC_HH

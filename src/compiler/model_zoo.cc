@@ -1,0 +1,216 @@
+#include "compiler/model_zoo.hh"
+
+#include <cstdio>
+
+namespace mixq {
+
+namespace {
+
+std::string
+tag(const char* base, int i)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s%d", base, i);
+    return buf;
+}
+
+} // namespace
+
+NetworkSpec
+resnet18Spec()
+{
+    NetworkSpec net;
+    net.name = "ResNet-18";
+    net.layers.push_back(convLayer("conv1", 3, 64, 7, 2, 224, 224));
+    // After 3x3/2 max-pool: 56x56.
+    for (int b = 0; b < 2; ++b) {
+        net.layers.push_back(
+            convLayer(tag("l1b", b) + ".c1", 64, 64, 3, 1, 56, 56));
+        net.layers.push_back(
+            convLayer(tag("l1b", b) + ".c2", 64, 64, 3, 1, 56, 56));
+    }
+    net.layers.push_back(convLayer("l2b0.c1", 64, 128, 3, 2, 56, 56));
+    net.layers.push_back(convLayer("l2b0.c2", 128, 128, 3, 1, 28, 28));
+    net.layers.push_back(convLayer("l2b0.down", 64, 128, 1, 2, 56, 56));
+    net.layers.push_back(convLayer("l2b1.c1", 128, 128, 3, 1, 28, 28));
+    net.layers.push_back(convLayer("l2b1.c2", 128, 128, 3, 1, 28, 28));
+    net.layers.push_back(convLayer("l3b0.c1", 128, 256, 3, 2, 28, 28));
+    net.layers.push_back(convLayer("l3b0.c2", 256, 256, 3, 1, 14, 14));
+    net.layers.push_back(convLayer("l3b0.down", 128, 256, 1, 2, 28,
+                                   28));
+    net.layers.push_back(convLayer("l3b1.c1", 256, 256, 3, 1, 14, 14));
+    net.layers.push_back(convLayer("l3b1.c2", 256, 256, 3, 1, 14, 14));
+    net.layers.push_back(convLayer("l4b0.c1", 256, 512, 3, 2, 14, 14));
+    net.layers.push_back(convLayer("l4b0.c2", 512, 512, 3, 1, 7, 7));
+    net.layers.push_back(convLayer("l4b0.down", 256, 512, 1, 2, 14,
+                                   14));
+    net.layers.push_back(convLayer("l4b1.c1", 512, 512, 3, 1, 7, 7));
+    net.layers.push_back(convLayer("l4b1.c2", 512, 512, 3, 1, 7, 7));
+    net.layers.push_back(fcLayer("fc", 512, 1000));
+    return net;
+}
+
+NetworkSpec
+mobilenetV2Spec()
+{
+    NetworkSpec net;
+    net.name = "MobileNet-v2";
+    net.layers.push_back(convLayer("conv1", 3, 32, 3, 2, 224, 224));
+
+    struct Stage { size_t t, c, n, s; };
+    // The (expansion, channels, blocks, stride) table of the paper.
+    const Stage stages[] = {
+        {1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+        {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+    };
+    size_t in_ch = 32;
+    size_t res = 112;
+    int blk = 0;
+    for (const Stage& st : stages) {
+        for (size_t i = 0; i < st.n; ++i, ++blk) {
+            size_t stride = i == 0 ? st.s : 1;
+            size_t exp_ch = in_ch * st.t;
+            std::string b = tag("ir", blk);
+            if (st.t != 1) {
+                net.layers.push_back(convLayer(b + ".expand", in_ch,
+                                               exp_ch, 1, 1, res,
+                                               res));
+            }
+            net.layers.push_back(
+                dwLayer(b + ".dw", exp_ch, 3, stride, res, res));
+            size_t out_res = stride == 2 ? res / 2 : res;
+            net.layers.push_back(convLayer(b + ".project", exp_ch,
+                                           st.c, 1, 1, out_res,
+                                           out_res));
+            in_ch = st.c;
+            res = out_res;
+        }
+    }
+    net.layers.push_back(convLayer("conv_last", 320, 1280, 1, 1, 7, 7));
+    net.layers.push_back(fcLayer("fc", 1280, 1000));
+    return net;
+}
+
+NetworkSpec
+yolov3Spec(size_t img)
+{
+    NetworkSpec net;
+    net.name = "YOLO-v3-" + std::to_string(img);
+    size_t res = img;
+    net.layers.push_back(convLayer("d0", 3, 32, 3, 1, res, res));
+
+    // Darknet-53 residual stages: (out channels, residual blocks).
+    struct Stage { size_t c; size_t blocks; };
+    const Stage stages[] = {
+        {64, 1}, {128, 2}, {256, 8}, {512, 8}, {1024, 4},
+    };
+    size_t in_ch = 32;
+    int li = 0;
+    for (const Stage& st : stages) {
+        net.layers.push_back(convLayer(tag("down", li), in_ch, st.c, 3,
+                                       2, res, res));
+        res /= 2;
+        for (size_t b = 0; b < st.blocks; ++b) {
+            net.layers.push_back(convLayer(tag("r", li) + "a", st.c,
+                                           st.c / 2, 1, 1, res, res));
+            net.layers.push_back(convLayer(tag("r", li) + "b",
+                                           st.c / 2, st.c, 3, 1, res,
+                                           res));
+            ++li;
+        }
+        in_ch = st.c;
+    }
+
+    // Detection heads at strides 32, 16, 8 (bottom-up).
+    size_t r32 = img / 32, r16 = img / 16, r8 = img / 8;
+    auto head = [&](const char* nm, size_t cin, size_t mid, size_t res_h)
+    {
+        for (int i = 0; i < 2; ++i) {
+            net.layers.push_back(convLayer(std::string(nm) +
+                                               tag(".a", i),
+                                           cin, mid, 1, 1, res_h,
+                                           res_h));
+            net.layers.push_back(convLayer(std::string(nm) +
+                                               tag(".b", i),
+                                           mid, mid * 2, 3, 1, res_h,
+                                           res_h));
+            cin = mid * 2;
+        }
+        net.layers.push_back(convLayer(std::string(nm) + ".c", cin,
+                                       mid, 1, 1, res_h, res_h));
+        net.layers.push_back(convLayer(std::string(nm) + ".out1", mid,
+                                       mid * 2, 3, 1, res_h, res_h));
+        net.layers.push_back(convLayer(std::string(nm) + ".out2",
+                                       mid * 2, 255, 1, 1, res_h,
+                                       res_h));
+    };
+    head("h32", 1024, 512, r32);
+    net.layers.push_back(convLayer("up16", 512, 256, 1, 1, r32, r32));
+    head("h16", 256 + 512, 256, r16);
+    net.layers.push_back(convLayer("up8", 256, 128, 1, 1, r16, r16));
+    head("h8", 128 + 256, 128, r8);
+    return net;
+}
+
+namespace {
+
+NetworkSpec
+lstmStack(const std::string& name, size_t input, size_t hidden,
+          size_t layers, size_t vocab_out, size_t batch, size_t steps)
+{
+    NetworkSpec net;
+    net.name = name;
+    size_t in = input;
+    for (size_t l = 0; l < layers; ++l) {
+        net.layers.push_back(rnnInputGemm(tag("l", int(l)) + ".wx", in,
+                                          4 * hidden, steps, batch));
+        net.layers.push_back(rnnRecurrentGemm(tag("l", int(l)) + ".wh",
+                                              hidden, 4 * hidden,
+                                              steps, batch));
+        in = hidden;
+    }
+    if (vocab_out > 0) {
+        net.layers.push_back(
+            fcLayer("head", hidden, vocab_out, batch * steps));
+    }
+    return net;
+}
+
+} // namespace
+
+NetworkSpec
+lstmPtbSpec(size_t batch, size_t steps)
+{
+    // 2x256-unit LSTM LM, 10k vocabulary, per the paper's Section
+    // IV-C1 description of [58] on PTB.
+    NetworkSpec net = lstmStack("LSTM-PTB", 256, 256, 2, 10000, batch,
+                                steps);
+    return net;
+}
+
+NetworkSpec
+gruTimitSpec(size_t batch, size_t steps)
+{
+    NetworkSpec net;
+    net.name = "GRU-TIMIT";
+    size_t hidden = 1024;
+    size_t in = 39; // MFCC features
+    for (size_t l = 0; l < 2; ++l) {
+        net.layers.push_back(rnnInputGemm(tag("l", int(l)) + ".wx", in,
+                                          3 * hidden, steps, batch));
+        net.layers.push_back(rnnRecurrentGemm(tag("l", int(l)) + ".wh",
+                                              hidden, 3 * hidden,
+                                              steps, batch));
+        in = hidden;
+    }
+    net.layers.push_back(fcLayer("head", hidden, 39, batch * steps));
+    return net;
+}
+
+NetworkSpec
+lstmImdbSpec(size_t batch, size_t steps)
+{
+    return lstmStack("LSTM-IMDB", 512, 512, 3, 2, batch, steps);
+}
+
+} // namespace mixq

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Published layer dimensions of the networks in the paper's Table
+ * VIII: ResNet-18 and MobileNet-v2 at 224x224 (ImageNet), YOLO-v3 at
+ * 320/640 (COCO), and the three RNNs (PTB LSTM, TIMIT GRU, IMDB
+ * LSTM). Throughput simulation needs only these shapes — weights are
+ * irrelevant to Table VIII/IX — so the real architectures are used
+ * here even though the accuracy experiments run miniature models.
+ */
+
+#ifndef MIXQ_COMPILER_MODEL_ZOO_HH
+#define MIXQ_COMPILER_MODEL_ZOO_HH
+
+#include "compiler/layer_spec.hh"
+
+namespace mixq {
+
+/** ResNet-18, 224x224x3 input, 1000 classes (~1.8 GMAC). */
+NetworkSpec resnet18Spec();
+
+/** MobileNet-v2, 224x224x3 input, 1000 classes (~0.3 GMAC). */
+NetworkSpec mobilenetV2Spec();
+
+/** YOLO-v3 (Darknet-53 + 3 heads) at a given square input size. */
+NetworkSpec yolov3Spec(size_t img = 320);
+
+/** 2-layer 256-unit LSTM LM on PTB (batch 16, 35 steps). */
+NetworkSpec lstmPtbSpec(size_t batch = 16, size_t steps = 35);
+
+/** 2-layer 1024-unit GRU on TIMIT frames (batch 16, 100 steps). */
+NetworkSpec gruTimitSpec(size_t batch = 16, size_t steps = 100);
+
+/** 3-layer 512-unit LSTM on IMDB (batch 16, 200 steps). */
+NetworkSpec lstmImdbSpec(size_t batch = 16, size_t steps = 200);
+
+} // namespace mixq
+
+#endif // MIXQ_COMPILER_MODEL_ZOO_HH

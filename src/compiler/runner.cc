@@ -1,0 +1,209 @@
+#include "compiler/runner.hh"
+
+#include <algorithm>
+
+#include "fpga/device.hh"
+#include "util/logging.hh"
+
+namespace mixq {
+
+namespace {
+
+size_t
+autoDramBytes(const DesignPoint& dp, const SimKnobs& knobs)
+{
+    if (knobs.dramBytesPerCycle > 0)
+        return knobs.dramBytesPerCycle;
+    return 16 * dp.bat;
+}
+
+size_t
+autoWgtBufBytes(const DesignPoint& dp, const SimKnobs& knobs)
+{
+    if (knobs.wgtBufBytes > 0)
+        return knobs.wgtBufBytes;
+    const FpgaDevice& dev = deviceByName(dp.device);
+    return dev.bram36 * 4608 / 2; // half the BRAM, in bytes
+}
+
+AccelConfig
+makeConfig(const DesignPoint& dp, const GemmTilePlan& plan,
+           const SimKnobs& knobs, bool functional)
+{
+    AccelConfig cfg;
+    cfg.dp = dp;
+    cfg.inputBufRows = plan.inputBufRows();
+    cfg.wgtFixedRows = plan.wgtBufRows();
+    cfg.wgtSp2Rows = plan.wgtBufRows();
+    cfg.outBufRows = plan.outBufRows();
+    cfg.dramBytesPerCycle = autoDramBytes(dp, knobs);
+    cfg.dramLatencyCycles = knobs.dramLatencyCycles;
+    cfg.gemmPipeFill = knobs.gemmPipeFill;
+    cfg.functional = functional;
+    return cfg;
+}
+
+} // namespace
+
+NetworkPerf
+simulateNetwork(const NetworkSpec& net, const DesignPoint& dp,
+                const SimKnobs& knobs)
+{
+    NetworkPerf perf;
+    perf.network = net.name;
+    perf.design = dp.name;
+
+    for (const LayerSpec& layer : net.layers) {
+        auto [nf, ns] = splitChannels(dp, layer.n);
+        GemmTilePlan plan = planGemm(dp, layer.m, layer.k, nf, ns,
+                                     knobs.maxInstrPerLayer,
+                                     autoWgtBufBytes(dp, knobs));
+        Program prog = emitGemm(dp, plan);
+        Accelerator accel(makeConfig(dp, plan, knobs, false));
+        RunStats stats = accel.run(prog);
+
+        LayerPerf lp;
+        lp.name = layer.name;
+        lp.ops = layer.ops();
+        lp.cycles = stats.cycles * layer.repeat;
+        lp.gops = lp.cycles == 0
+            ? 0.0
+            : lp.ops * dp.freqMhz / (double(lp.cycles) * 1000.0);
+        perf.layers.push_back(lp);
+        perf.ops += lp.ops;
+        perf.cycles += lp.cycles;
+    }
+    perf.gops = perf.cycles == 0
+        ? 0.0
+        : perf.ops * dp.freqMhz / (double(perf.cycles) * 1000.0);
+    perf.latencyMs = double(perf.cycles) / (dp.freqMhz * 1000.0);
+    perf.peUtil = perf.gops / dp.peakGops();
+    return perf;
+}
+
+std::vector<int32_t>
+referenceGemmInt(const QuantizedGemm& q)
+{
+    MIXQ_ASSERT(q.acts.size() == q.m * q.k, "acts size");
+    MIXQ_ASSERT(q.wF.size() == q.nf * q.k, "fixed weight size");
+    MIXQ_ASSERT(q.wS.size() == q.ns * q.k, "sp2 weight size");
+    std::vector<int32_t> out(q.m * (q.nf + q.ns), 0);
+    for (size_t i = 0; i < q.m; ++i) {
+        const int8_t* a = q.acts.data() + i * q.k;
+        for (size_t c = 0; c < q.nf; ++c) {
+            const int8_t* w = q.wF.data() + c * q.k;
+            int32_t s = 0;
+            for (size_t j = 0; j < q.k; ++j)
+                s += int32_t(w[j]) * int32_t(a[j]);
+            out[i * (q.nf + q.ns) + c] = s;
+        }
+        for (size_t c = 0; c < q.ns; ++c) {
+            const Sp2Code* w = q.wS.data() + c * q.k;
+            int32_t s = 0;
+            for (size_t j = 0; j < q.k; ++j)
+                s += w[j].apply(int32_t(a[j]));
+            out[i * (q.nf + q.ns) + q.nf + c] = s;
+        }
+    }
+    return out;
+}
+
+std::vector<int32_t>
+runGemmFunctional(const QuantizedGemm& q, const DesignPoint& dp,
+                  RunStats* stats, const SimKnobs& knobs)
+{
+    GemmTilePlan plan = planGemm(dp, q.m, q.k, q.nf, q.ns, 0);
+    Program prog = emitGemm(dp, plan);
+    Accelerator accel(makeConfig(dp, plan, knobs, true));
+
+    size_t bat = dp.bat, bin = dp.blkIn;
+    size_t bf = dp.blkFixed, bs = dp.blkSp2;
+
+    // Lay out the DRAM tile arrays with zero padding.
+    DramModel& dram = accel.dram();
+    dram.inputs.assign(plan.mTiles * plan.kTiles * bat * bin, 0);
+    for (size_t mt = 0; mt < plan.mTiles; ++mt) {
+        for (size_t kt = 0; kt < plan.kTiles; ++kt) {
+            int8_t* row = dram.inputs.data() +
+                          (mt * plan.kTiles + kt) * bat * bin;
+            for (size_t b = 0; b < bat; ++b) {
+                size_t i = mt * bat + b;
+                if (i >= q.m)
+                    continue;
+                for (size_t j = 0; j < bin; ++j) {
+                    size_t kk = kt * bin + j;
+                    if (kk < q.k)
+                        row[b * bin + j] = q.acts[i * q.k + kk];
+                }
+            }
+        }
+    }
+    dram.wgtFixed.assign(
+        std::max<size_t>(plan.nfTiles, 1) * plan.kTiles * bf * bin, 0);
+    for (size_t nt = 0; nt < plan.nfTiles; ++nt) {
+        for (size_t kt = 0; kt < plan.kTiles; ++kt) {
+            int8_t* row = dram.wgtFixed.data() +
+                          (nt * plan.kTiles + kt) * bf * bin;
+            for (size_t o = 0; o < bf; ++o) {
+                size_t c = nt * bf + o;
+                if (c >= q.nf)
+                    continue;
+                for (size_t j = 0; j < bin; ++j) {
+                    size_t kk = kt * bin + j;
+                    if (kk < q.k)
+                        row[o * bin + j] = q.wF[c * q.k + kk];
+                }
+            }
+        }
+    }
+    dram.wgtSp2.assign(
+        std::max<size_t>(plan.nsTiles, 1) * plan.kTiles * bs * bin,
+        Sp2Code{});
+    for (size_t nt = 0; nt < plan.nsTiles; ++nt) {
+        for (size_t kt = 0; kt < plan.kTiles; ++kt) {
+            Sp2Code* row = dram.wgtSp2.data() +
+                           (nt * plan.kTiles + kt) * bs * bin;
+            for (size_t o = 0; o < bs; ++o) {
+                size_t c = nt * bs + o;
+                if (c >= q.ns)
+                    continue;
+                for (size_t j = 0; j < bin; ++j) {
+                    size_t kk = kt * bin + j;
+                    if (kk < q.k)
+                        row[o * bin + j] = q.wS[c * q.k + kk];
+                }
+            }
+        }
+    }
+    dram.outputs.assign(plan.nTiles * plan.mTiles * bat *
+                            dp.blkOutTotal(), 0);
+
+    RunStats st = accel.run(prog);
+    if (stats)
+        *stats = st;
+
+    // Gather [m][nf+ns] from the output tile rows.
+    std::vector<int32_t> out(q.m * (q.nf + q.ns), 0);
+    size_t bo = dp.blkOutTotal();
+    for (size_t c = 0; c < q.nf; ++c) {
+        size_t nt = c / bf, o = c % bf;
+        for (size_t i = 0; i < q.m; ++i) {
+            size_t mt = i / bat, b = i % bat;
+            out[i * (q.nf + q.ns) + c] =
+                dram.outputs[(nt * plan.mTiles + mt) * bat * bo +
+                             b * bo + o];
+        }
+    }
+    for (size_t c = 0; c < q.ns; ++c) {
+        size_t nt = c / bs, o = c % bs;
+        for (size_t i = 0; i < q.m; ++i) {
+            size_t mt = i / bat, b = i % bat;
+            out[i * (q.nf + q.ns) + q.nf + c] =
+                dram.outputs[(nt * plan.mTiles + mt) * bat * bo +
+                             b * bo + bf + o];
+        }
+    }
+    return out;
+}
+
+} // namespace mixq

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Network-level drivers of the simulator. simulateNetwork() is the
+ * timing path behind Tables VII/VIII/IX: every layer of a
+ * NetworkSpec is planned, emitted and run on the event-driven
+ * engine, and per-layer/aggregate throughput reported.
+ * runGemmFunctional() is the bit-exact path used by integration
+ * tests and examples: a quantized GEMM is laid out in DRAM tiles,
+ * executed through both heterogeneous cores, and gathered back.
+ */
+
+#ifndef MIXQ_COMPILER_RUNNER_HH
+#define MIXQ_COMPILER_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/layer_spec.hh"
+#include "compiler/tiler.hh"
+#include "sim/accelerator.hh"
+
+namespace mixq {
+
+/** Simulator knobs shared across layers. */
+struct SimKnobs
+{
+    size_t maxInstrPerLayer = 4096;
+    /** DRAM bytes per cycle; 0 = auto (16 per batch lane, modeling
+     *  one 64-bit HP port pair per parallel batch). */
+    size_t dramBytesPerCycle = 0;
+    /** Per-request issue overhead; the DMA queues outstanding
+     *  transactions, so latency is mostly hidden. */
+    size_t dramLatencyCycles = 8;
+    size_t gemmPipeFill = 4;
+    /** Weight-buffer capacity in bytes; 0 = auto (half the device
+     *  BRAM capacity reserved for resident weights). */
+    size_t wgtBufBytes = 0;
+};
+
+/** Per-layer result of a timing run. */
+struct LayerPerf
+{
+    std::string name;
+    double ops = 0.0;
+    uint64_t cycles = 0;
+    double gops = 0.0;
+};
+
+/** Whole-network result of a timing run. */
+struct NetworkPerf
+{
+    std::string network;
+    std::string design;
+    double ops = 0.0;
+    uint64_t cycles = 0;
+    double gops = 0.0;      //!< achieved throughput
+    double latencyMs = 0.0; //!< one inference (batch) latency
+    double peUtil = 0.0;    //!< achieved / peak
+    std::vector<LayerPerf> layers;
+};
+
+/** Simulate a network's layer list on a design point (timing only). */
+NetworkPerf simulateNetwork(const NetworkSpec& net,
+                            const DesignPoint& dp,
+                            const SimKnobs& knobs = {});
+
+/** A fully quantized GEMM problem for the functional path. */
+struct QuantizedGemm
+{
+    size_t m = 0, k = 0, nf = 0, ns = 0;
+    std::vector<int8_t> acts;  //!< [m][k] unsigned activations
+    std::vector<int8_t> wF;    //!< [nf][k] sign-magnitude integers
+    std::vector<Sp2Code> wS;   //!< [ns][k] SP2 codes
+};
+
+/**
+ * Reference integer GEMM (plain C++ loops). Output is [m][nf+ns]
+ * with the fixed-core channels first. The SP2 outputs are in units of
+ * act * 2^K1-scaled weight (the codec denominator).
+ */
+std::vector<int32_t> referenceGemmInt(const QuantizedGemm& q);
+
+/**
+ * Run the same problem through the accelerator simulator (functional
+ * mode, mGroup = 1) and gather the outputs in the same layout;
+ * the result must equal referenceGemmInt() exactly.
+ */
+std::vector<int32_t> runGemmFunctional(const QuantizedGemm& q,
+                                       const DesignPoint& dp,
+                                       RunStats* stats = nullptr,
+                                       const SimKnobs& knobs = {});
+
+} // namespace mixq
+
+#endif // MIXQ_COMPILER_RUNNER_HH

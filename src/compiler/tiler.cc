@@ -1,0 +1,197 @@
+#include "compiler/tiler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+namespace {
+
+size_t
+ceilDiv(size_t a, size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+std::pair<size_t, size_t>
+splitChannels(const DesignPoint& dp, size_t n)
+{
+    if (dp.blkSp2 == 0)
+        return {n, 0};
+    size_t nf = size_t(std::llround(double(n) * double(dp.blkFixed) /
+                                    double(dp.blkOutTotal())));
+    nf = std::min(nf, n);
+    if (nf == 0 && n > 0)
+        nf = std::min<size_t>(n, 1); // keep the DSP core non-idle
+    return {nf, n - nf};
+}
+
+GemmTilePlan
+planGemm(const DesignPoint& dp, size_t m, size_t k, size_t nf,
+         size_t ns, size_t max_instr, size_t wgt_buf_bytes)
+{
+    MIXQ_ASSERT(m > 0 && k > 0 && nf + ns > 0, "degenerate GEMM");
+    MIXQ_ASSERT(ns == 0 || dp.blkSp2 > 0,
+                "SP2 channels on a design without an SP2 core");
+    GemmTilePlan p;
+    p.m = m;
+    p.k = k;
+    p.nf = nf;
+    p.ns = ns;
+    p.mTiles = ceilDiv(m, dp.bat);
+    p.kTiles = ceilDiv(k, dp.blkIn);
+    p.nfTiles = nf == 0 ? 0 : ceilDiv(nf, dp.blkFixed);
+    p.nsTiles = ns == 0 ? 0 : ceilDiv(ns, dp.blkSp2);
+    p.nTiles = std::max(p.nfTiles, p.nsTiles);
+    MIXQ_ASSERT(p.nTiles > 0, "no output tiles");
+
+    // Chunk size: n-tiles whose weights (both cores, 4-bit packed)
+    // fit the weight-buffer budget together.
+    p.chunkTiles = p.nTiles;
+    if (wgt_buf_bytes > 0) {
+        double bytes_per_ntile =
+            double(p.kTiles * dp.blkIn *
+                   (dp.blkFixed + dp.blkSp2)) * 0.5;
+        size_t fit = std::max<size_t>(
+            1, size_t(double(wgt_buf_bytes) / bytes_per_ntile));
+        p.chunkTiles = std::min(p.nTiles, fit);
+    }
+
+    p.mGroup = 1;
+    if (max_instr > 0) {
+        // ~4 instructions per (n-tile, m-group). Prefer few, large
+        // groups: each GEMM instruction pays one pipeline fill and
+        // each load one DMA issue, so VTA-style long micro-op loops
+        // (<= 64 groups along m) keep the overhead marginal.
+        size_t groups_budget = std::clamp<size_t>(
+            max_instr / (4 * p.nTiles), 1, 64);
+        p.mGroup = std::max<size_t>(1,
+                                    ceilDiv(p.mTiles, groups_budget));
+    }
+    return p;
+}
+
+Program
+emitGemm(const DesignPoint& dp, const GemmTilePlan& p, bool relu)
+{
+    Program prog;
+    size_t inp_slot_rows = p.mGroup * p.kTiles;
+    size_t wgt_slot_rows = p.kTiles; // per n-tile within the chunk
+
+    size_t inp_load_idx = 0; // global input-group counter
+    size_t out_idx = 0;      // global output-group counter
+    size_t mgroups = p.mGroups();
+    size_t chunks = p.nChunks();
+
+    for (size_t ch = 0; ch < chunks; ++ch) {
+        size_t nt0 = ch * p.chunkTiles;
+        size_t nt1 = std::min(nt0 + p.chunkTiles, p.nTiles);
+        size_t wgt_loads = 0;
+        bool first_wgt_load = true;
+
+        // Resident weights of the chunk (both cores).
+        for (size_t nt = nt0; nt < nt1; ++nt) {
+            for (int core = 0; core < 2; ++core) {
+                bool active = core == 0 ? nt < p.nfTiles
+                                        : (nt < p.nsTiles &&
+                                           dp.blkSp2 > 0);
+                if (!active)
+                    continue;
+                Instruction ld;
+                ld.op = Opcode::Load;
+                ld.buf = core == 0 ? BufKind::WgtFixed
+                                   : BufKind::WgtSp2;
+                ld.dramRow = uint32_t(nt * p.kTiles);
+                ld.sramRow = uint32_t((nt - nt0) * wgt_slot_rows);
+                ld.rows = uint32_t(p.kTiles);
+                if (ch > 0 && first_wgt_load) {
+                    // Wait for the previous chunk to finish before
+                    // overwriting the resident weights.
+                    ld.pops.push_back({Sem::C2LWgtF, 1});
+                    first_wgt_load = false;
+                }
+                ld.pushes.push_back({Sem::L2C, 1});
+                prog.load.push_back(ld);
+                ++wgt_loads;
+            }
+        }
+
+        for (size_t mg = 0; mg < mgroups; ++mg) {
+            size_t g = std::min(p.mGroup, p.mTiles - mg * p.mGroup);
+            size_t inp_slot = (inp_load_idx % 2) * inp_slot_rows;
+
+            Instruction ld;
+            ld.op = Opcode::Load;
+            ld.buf = BufKind::Input;
+            ld.dramRow = uint32_t(mg * p.mGroup * p.kTiles);
+            ld.sramRow = uint32_t(inp_slot);
+            ld.rows = uint32_t(g * p.kTiles);
+            if (inp_load_idx >= 2)
+                ld.pops.push_back({Sem::C2LInp, 1});
+            ld.pushes.push_back({Sem::L2C, 1});
+            prog.load.push_back(ld);
+
+            for (size_t nt = nt0; nt < nt1; ++nt) {
+                bool has_f = nt < p.nfTiles;
+                bool has_s = nt < p.nsTiles && dp.blkSp2 > 0;
+
+                Instruction gm;
+                gm.op = Opcode::Gemm;
+                gm.kTiles = uint32_t(p.kTiles);
+                gm.groups = uint32_t(g);
+                gm.inpBase = uint32_t(inp_slot);
+                gm.wgtFixedBase =
+                    uint32_t((nt - nt0) * wgt_slot_rows);
+                gm.wgtSp2Base = gm.wgtFixedBase;
+                gm.useFixed = has_f;
+                gm.useSp2 = has_s;
+                if (nt == nt0) {
+                    // Wait for this m-group's input, plus (on the
+                    // first group of the chunk) the chunk weights.
+                    uint16_t l2c =
+                        uint16_t(1 + (mg == 0 ? wgt_loads : 0));
+                    gm.pops.push_back({Sem::L2C, l2c});
+                }
+                if (nt + 1 == nt1) {
+                    // Input group fully consumed by the chunk.
+                    gm.pushes.push_back({Sem::C2LInp, 1});
+                    if (mg + 1 == mgroups && ch + 1 < chunks) {
+                        // Weights may be overwritten by next chunk.
+                        gm.pushes.push_back({Sem::C2LWgtF, 1});
+                    }
+                }
+                prog.compute.push_back(gm);
+
+                Instruction alu;
+                alu.op = Opcode::Alu;
+                alu.groups = uint32_t(g);
+                alu.outBase =
+                    uint32_t((out_idx % 2) * p.outBufRows() / 2);
+                alu.relu = relu;
+                if (out_idx >= 2)
+                    alu.pops.push_back({Sem::S2C, 1});
+                alu.pushes.push_back({Sem::C2S, 1});
+                prog.compute.push_back(alu);
+
+                Instruction st;
+                st.op = Opcode::Store;
+                st.outBase = alu.outBase;
+                st.dramRow =
+                    uint32_t(nt * p.mTiles + mg * p.mGroup);
+                st.rows = uint32_t(g);
+                st.pops.push_back({Sem::C2S, 1});
+                st.pushes.push_back({Sem::S2C, 1});
+                prog.store.push_back(st);
+                ++out_idx;
+            }
+            ++inp_load_idx;
+        }
+    }
+    return prog;
+}
+
+} // namespace mixq

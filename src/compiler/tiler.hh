@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lowering of a GEMM-form layer onto a design point: tile counts,
+ * output-channel partition across the two cores, and emission of the
+ * token-wired three-queue instruction program.
+ *
+ * Schedule: output channels are processed in chunks whose weights fit
+ * the on-chip weight buffers (weight-stationary); within a chunk the
+ * input stripes stream once per m-group and are reused by every
+ * n-tile of the chunk. Inputs are double buffered; chunk transitions
+ * serialize on a weights-resident token.
+ */
+
+#ifndef MIXQ_COMPILER_TILER_HH
+#define MIXQ_COMPILER_TILER_HH
+
+#include <cstddef>
+#include <utility>
+
+#include "fpga/design_point.hh"
+#include "sim/isa.hh"
+
+namespace mixq {
+
+/** Tile geometry of one lowered GEMM. */
+struct GemmTilePlan
+{
+    size_t m = 0, k = 0, nf = 0, ns = 0; //!< problem dims
+    size_t mTiles = 0;   //!< ceil(m / bat)
+    size_t kTiles = 0;   //!< ceil(k / blkIn)
+    size_t nfTiles = 0;  //!< ceil(nf / blkFixed)
+    size_t nsTiles = 0;  //!< ceil(ns / blkSp2)
+    size_t nTiles = 0;   //!< max(nfTiles, nsTiles): cores in lockstep
+    size_t mGroup = 1;   //!< m-tiles fused per instruction (timing)
+    size_t chunkTiles = 0; //!< n-tiles whose weights are co-resident
+
+    size_t mGroups() const { return (mTiles + mGroup - 1) / mGroup; }
+    size_t nChunks() const
+    {
+        return (nTiles + chunkTiles - 1) / chunkTiles;
+    }
+
+    /** Buffer rows required. */
+    size_t inputBufRows() const { return 2 * mGroup * kTiles; }
+    size_t wgtBufRows() const { return chunkTiles * kTiles; }
+    size_t outBufRows() const { return 2 * mGroup; }
+};
+
+/**
+ * Plan a GEMM: split N into nf/ns per the core lane ratio, compute
+ * tile counts, pick the chunk size from the weight-buffer byte
+ * budget, and pick an m-group size keeping the instruction count
+ * under @p max_instr (functional lowering passes max_instr = 0 to
+ * force mGroup = 1).
+ *
+ * @param wgt_buf_bytes  on-chip weight buffer capacity (per design,
+ *                       across both cores); 0 means unbounded.
+ */
+GemmTilePlan planGemm(const DesignPoint& dp, size_t m, size_t k,
+                      size_t nf, size_t ns, size_t max_instr,
+                      size_t wgt_buf_bytes = 0);
+
+/**
+ * Split output channels across the cores proportionally to the lane
+ * counts (the paper matches PR_SP2 to the PE ratio). Returns
+ * {nFixed, nSp2} with nFixed + nSp2 == n.
+ */
+std::pair<size_t, size_t> splitChannels(const DesignPoint& dp,
+                                        size_t n);
+
+/**
+ * Emit the three instruction queues for a planned GEMM. DRAM layout
+ * convention (functional runs):
+ *   input row  (mt, kt) at  mt * kTiles + kt
+ *   fixed wgt  (nt, kt) at  nt * kTiles + kt
+ *   sp2 wgt    (nt, kt) at  nt * kTiles + kt
+ *   output row (nt, mt) at  nt * mTiles + mt
+ */
+Program emitGemm(const DesignPoint& dp, const GemmTilePlan& plan,
+                 bool relu = false);
+
+} // namespace mixq
+
+#endif // MIXQ_COMPILER_TILER_HH

@@ -1,0 +1,77 @@
+#include "data/synth_detect.hh"
+
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace mixq {
+
+DetectDataset
+makeDetectDataset(size_t n, size_t img_size, uint64_t seed)
+{
+    Rng rng(seed);
+    DetectDataset ds;
+    ds.images = Tensor({n, 3, img_size, img_size});
+    ds.boxes.resize(n);
+    double s = double(img_size);
+
+    for (size_t i = 0; i < n; ++i) {
+        // Textured background.
+        for (size_t c = 0; c < 3; ++c)
+            for (size_t y = 0; y < img_size; ++y)
+                for (size_t x = 0; x < img_size; ++x)
+                    ds.images.at4(i, c, y, x) =
+                        float(0.2 + 0.05 * rng.normal());
+
+        size_t objs = size_t(rng.randint(1, 3));
+        for (size_t o = 0; o < objs; ++o) {
+            int cls = int(rng.randint(0, 2));
+            double bw = rng.uniform(0.25, 0.45);
+            double bh = bw; // square-ish objects
+            double cx = rng.uniform(bw / 2, 1.0 - bw / 2);
+            double cy = rng.uniform(bh / 2, 1.0 - bh / 2);
+            ObjBox box{float(cx), float(cy), float(bw), float(bh), cls};
+            ds.boxes[i].push_back(box);
+
+            // Per-class color bias.
+            double col[3] = {cls == 0 ? 0.9 : 0.3,
+                             cls == 1 ? 0.9 : 0.3,
+                             cls == 2 ? 0.9 : 0.3};
+            long x1 = long((cx - bw / 2) * s);
+            long y1 = long((cy - bh / 2) * s);
+            long x2 = long((cx + bw / 2) * s);
+            long y2 = long((cy + bh / 2) * s);
+            double rx = (bw / 2) * s, ry = (bh / 2) * s;
+            double ox = cx * s, oy = cy * s;
+            for (long y = std::max(0L, y1);
+                 y < std::min(long(img_size), y2); ++y) {
+                for (long x = std::max(0L, x1);
+                     x < std::min(long(img_size), x2); ++x) {
+                    bool inside = false;
+                    double ux = (double(x) - ox) / rx;
+                    double uy = (double(y) - oy) / ry;
+                    switch (cls) {
+                      case 0: // square
+                        inside = true;
+                        break;
+                      case 1: // disc
+                        inside = ux * ux + uy * uy <= 1.0;
+                        break;
+                      case 2: // cross
+                        inside = std::fabs(ux) < 0.35 ||
+                                 std::fabs(uy) < 0.35;
+                        break;
+                    }
+                    if (!inside)
+                        continue;
+                    for (size_t c = 0; c < 3; ++c)
+                        ds.images.at4(i, c, size_t(y), size_t(x)) =
+                            float(col[c]);
+                }
+            }
+        }
+    }
+    return ds;
+}
+
+} // namespace mixq

@@ -1,0 +1,94 @@
+#include "data/synth_images.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+
+ImageTaskSpec
+imageTaskSpec(ImageTask task)
+{
+    switch (task) {
+      case ImageTask::Easy: return {10, 12, 0.32, 0.15, 1};
+      case ImageTask::Mid:  return {20, 12, 0.42, 0.20, 1};
+      case ImageTask::Hard: return {32, 16, 0.48, 0.25, 2};
+    }
+    panic("unknown image task");
+}
+
+const char*
+imageTaskName(ImageTask task)
+{
+    switch (task) {
+      case ImageTask::Easy: return "synth-easy";
+      case ImageTask::Mid:  return "synth-mid";
+      case ImageTask::Hard: return "synth-hard";
+    }
+    panic("unknown image task");
+}
+
+LabeledImages
+makeImageDataset(ImageTask task, size_t n, uint64_t seed)
+{
+    ImageTaskSpec spec = imageTaskSpec(task);
+    Rng rng(seed);
+    size_t s = spec.imgSize;
+    LabeledImages data;
+    data.numClasses = spec.classes;
+    data.images = Tensor({n, 3, s, s});
+    data.labels.resize(n);
+
+    for (size_t i = 0; i < n; ++i) {
+        int cls = int(rng.randint(0, int64_t(spec.classes) - 1));
+        data.labels[i] = cls;
+
+        // Class factors: orientation, spatial frequency, color tint,
+        // and a blob quadrant. Derived deterministically from cls.
+        // 16 orientation bins (11.25 degrees apart) keep adjacent
+        // classes confusable under noise.
+        double angle =
+            std::numbers::pi * double(cls % 16) / 16.0;
+        double freq = 1.0 + double((cls / 16) % 2);
+        double tint[3] = {0.5 + 0.5 * double(cls % 3 == 0),
+                          0.5 + 0.5 * double(cls % 3 == 1),
+                          0.5 + 0.5 * double(cls % 3 == 2)};
+        size_t quad = size_t(cls) % 4;
+
+        double bright = 1.0 + rng.uniform(-spec.jitter, spec.jitter);
+        long dx = rng.randint(-int64_t(spec.maxShift),
+                              int64_t(spec.maxShift));
+        long dy = rng.randint(-int64_t(spec.maxShift),
+                              int64_t(spec.maxShift));
+        double phase = rng.uniform(0.0, std::numbers::pi / 2.0);
+
+        double bx = (quad % 2 == 0 ? 0.25 : 0.75) * double(s);
+        double by = (quad / 2 == 0 ? 0.25 : 0.75) * double(s);
+
+        for (size_t y = 0; y < s; ++y) {
+            for (size_t x = 0; x < s; ++x) {
+                double xr = double(long(x) + dx);
+                double yr = double(long(y) + dy);
+                double u = std::cos(angle) * xr + std::sin(angle) * yr;
+                double g = 0.5 +
+                           0.5 * std::sin(2.0 * std::numbers::pi *
+                                          freq * u / double(s) + phase);
+                double d2 = (xr - bx) * (xr - bx) +
+                            (yr - by) * (yr - by);
+                double blob =
+                    std::exp(-d2 / (0.08 * double(s) * double(s)));
+                for (size_t c = 0; c < 3; ++c) {
+                    double v = bright * tint[c] * (0.4 * g + 0.4 * blob);
+                    v += rng.normal(0.0, spec.noise);
+                    data.images.at4(i, c, y, x) =
+                        float(std::clamp(v, 0.0, 1.0));
+                }
+            }
+        }
+    }
+    return data;
+}
+
+} // namespace mixq

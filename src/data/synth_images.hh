@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic class-conditional image generator standing in for
+ * CIFAR-10 / CIFAR-100 / ImageNet (see DESIGN.md substitutions).
+ * Each class is a combination of an oriented grating, a color tint
+ * and a blob position; samples add noise, brightness jitter and
+ * random translation so the task needs a real (small) CNN and leaves
+ * headroom for quantization schemes to separate.
+ */
+
+#ifndef MIXQ_DATA_SYNTH_IMAGES_HH
+#define MIXQ_DATA_SYNTH_IMAGES_HH
+
+#include <cstdint>
+
+#include "nn/trainer.hh"
+
+namespace mixq {
+
+/** Difficulty presets (stand-ins for the paper's three datasets). */
+enum class ImageTask
+{
+    Easy,  //!< 10 classes, 12x12 (CIFAR-10 stand-in)
+    Mid,   //!< 20 classes, 12x12, more noise (CIFAR-100 stand-in)
+    Hard   //!< 32 classes, 16x16, most variation (ImageNet stand-in)
+};
+
+/** Parameters of a generated image task. */
+struct ImageTaskSpec
+{
+    size_t classes;
+    size_t imgSize;
+    double noise;      //!< additive Gaussian sigma
+    double jitter;     //!< brightness jitter amplitude
+    size_t maxShift;   //!< random translation in pixels
+};
+
+/** Preset lookup. */
+ImageTaskSpec imageTaskSpec(ImageTask task);
+
+/** Short name for tables ("synth-easy", ...). */
+const char* imageTaskName(ImageTask task);
+
+/**
+ * Generate @p n labeled images for a task preset. Deterministic in
+ * (task, seed); train/test splits use different seeds.
+ */
+LabeledImages makeImageDataset(ImageTask task, size_t n, uint64_t seed);
+
+} // namespace mixq
+
+#endif // MIXQ_DATA_SYNTH_IMAGES_HH

@@ -1,0 +1,159 @@
+#include "data/synth_seq.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+
+LmCorpus
+makeLmCorpus(size_t vocab, size_t length, uint64_t seed)
+{
+    MIXQ_ASSERT(vocab >= 4, "LM corpus needs a few symbols");
+    // Transition table derived from a fixed structural seed so that
+    // train/valid corpora (different walk seeds) share the chain.
+    Rng structure(0xC0FFEE);
+    std::vector<std::vector<double>> trans(vocab * vocab);
+    for (auto& row : trans) {
+        row.resize(vocab);
+        // Sparse-ish peaked distribution: 3 likely successors.
+        for (size_t j = 0; j < vocab; ++j)
+            row[j] = 0.05;
+        for (int k = 0; k < 3; ++k)
+            row[size_t(structure.randint(0, int64_t(vocab) - 1))] +=
+                3.0 * structure.uniform(0.5, 1.0);
+    }
+
+    Rng rng(seed);
+    LmCorpus corpus;
+    corpus.vocab = vocab;
+    corpus.tokens.resize(length);
+    int prev2 = 0, prev1 = 1;
+    for (size_t i = 0; i < length; ++i) {
+        const auto& row =
+            trans[size_t(prev2) * vocab + size_t(prev1)];
+        int next = int(rng.categorical(row));
+        corpus.tokens[i] = next;
+        prev2 = prev1;
+        prev1 = next;
+    }
+    return corpus;
+}
+
+std::vector<LmBatch>
+makeLmBatches(const LmCorpus& corpus, size_t t, size_t n)
+{
+    MIXQ_ASSERT(corpus.tokens.size() > (t + 1) * n,
+                "corpus too small for batch shape");
+    // Split the corpus into n parallel streams (standard BPTT
+    // batching), then cut streams into length-t windows.
+    size_t stream_len = corpus.tokens.size() / n;
+    size_t windows = (stream_len - 1) / t;
+    std::vector<LmBatch> batches(windows);
+    for (size_t w = 0; w < windows; ++w) {
+        LmBatch& b = batches[w];
+        b.t = t;
+        b.n = n;
+        b.input.resize(t * n);
+        b.target.resize(t * n);
+        for (size_t s = 0; s < t; ++s) {
+            for (size_t j = 0; j < n; ++j) {
+                size_t pos = j * stream_len + w * t + s;
+                b.input[s * n + j] = corpus.tokens[pos];
+                b.target[s * n + j] = corpus.tokens[pos + 1];
+            }
+        }
+    }
+    return batches;
+}
+
+PhonemeDataset
+makePhonemeDataset(size_t batches, size_t t, size_t n, size_t phonemes,
+                   size_t feat, uint64_t seed)
+{
+    MIXQ_ASSERT(feat >= phonemes / 2 + 1, "feature dim too small");
+    // Fixed per-phoneme prototype patterns.
+    Rng proto_rng(0xFEED);
+    std::vector<std::vector<double>> proto(phonemes,
+                                           std::vector<double>(feat));
+    for (size_t p = 0; p < phonemes; ++p)
+        for (size_t f = 0; f < feat; ++f)
+            proto[p][f] = proto_rng.normal(0.0, 1.0);
+
+    Rng rng(seed);
+    PhonemeDataset ds;
+    ds.numPhonemes = phonemes;
+    ds.featDim = feat;
+    for (size_t b = 0; b < batches; ++b) {
+        Tensor x({t, n, feat});
+        std::vector<int> y(t * n);
+        for (size_t j = 0; j < n; ++j) {
+            size_t s = 0;
+            while (s < t) {
+                int p = int(rng.randint(0, int64_t(phonemes) - 1));
+                size_t dur = size_t(rng.randint(2, 4));
+                for (size_t d = 0; d < dur && s < t; ++d, ++s) {
+                    y[s * n + j] = p;
+                    for (size_t f = 0; f < feat; ++f) {
+                        x.data()[(s * n + j) * feat + f] =
+                            float(proto[size_t(p)][f] +
+                                  rng.normal(0.0, 0.45));
+                    }
+                }
+            }
+        }
+        ds.features.push_back(std::move(x));
+        ds.labels.push_back(std::move(y));
+    }
+    return ds;
+}
+
+SentimentDataset
+makeSentimentDataset(size_t batches, size_t t, size_t n, size_t vocab,
+                     uint64_t seed)
+{
+    MIXQ_ASSERT(vocab >= 8, "sentiment vocab too small");
+    Rng rng(seed);
+    SentimentDataset ds;
+    ds.t = t;
+    ds.n = n;
+    ds.vocab = vocab;
+    // Token sentiment: first third positive, second third negative,
+    // rest neutral.
+    size_t third = vocab / 3;
+    for (size_t b = 0; b < batches; ++b) {
+        std::vector<int> seq(t * n);
+        std::vector<int> lab(n);
+        for (size_t j = 0; j < n; ++j) {
+            double bias = rng.uniform(-1.0, 1.0);
+            double score = 0.0;
+            for (size_t s = 0; s < t; ++s) {
+                double draw = rng.uniform(-1.0, 1.0) + 0.8 * bias;
+                int tok;
+                if (draw > 0.35) {
+                    tok = int(rng.randint(0, int64_t(third) - 1));
+                } else if (draw < -0.35) {
+                    tok = int(rng.randint(int64_t(third),
+                                          int64_t(2 * third) - 1));
+                } else {
+                    tok = int(rng.randint(int64_t(2 * third),
+                                          int64_t(vocab) - 1));
+                }
+                seq[s * n + j] = tok;
+                // Recency weighting: late tokens matter more.
+                double w = 0.5 + double(s) / double(t);
+                if (tok < int(third))
+                    score += w;
+                else if (tok < int(2 * third))
+                    score -= w;
+            }
+            lab[j] = score >= 0.0 ? 1 : 0;
+        }
+        ds.seqs.push_back(std::move(seq));
+        ds.labels.push_back(std::move(lab));
+    }
+    return ds;
+}
+
+} // namespace mixq

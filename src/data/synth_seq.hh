@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Synthetic sequence datasets for the three RNN tasks of Table VI:
+ * an order-2 Markov corpus (PTB stand-in for language modeling),
+ * noisy phoneme frame streams (TIMIT stand-in for PER), and
+ * sentiment-style token sequences (IMDB stand-in for accuracy).
+ */
+
+#ifndef MIXQ_DATA_SYNTH_SEQ_HH
+#define MIXQ_DATA_SYNTH_SEQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/rnn_models.hh"
+#include "nn/tensor.hh"
+
+namespace mixq {
+
+/**
+ * Markov language-model corpus. The transition structure is
+ * deterministic in the seed; train/valid splits are different walks
+ * of the same chain, so a model that learns the chain generalizes.
+ */
+struct LmCorpus
+{
+    size_t vocab = 0;
+    std::vector<int> tokens;
+};
+
+/** Generate a corpus of @p length tokens over @p vocab symbols. */
+LmCorpus makeLmCorpus(size_t vocab, size_t length, uint64_t seed);
+
+/** Cut a corpus into BPTT batches of [T, N] id grids. */
+std::vector<LmBatch> makeLmBatches(const LmCorpus& corpus, size_t t,
+                                   size_t n);
+
+/** A phoneme-tagging dataset: features [T, N, F] + frame labels. */
+struct PhonemeDataset
+{
+    std::vector<Tensor> features;            //!< each [T, N, F]
+    std::vector<std::vector<int>> labels;    //!< each [T * N]
+    size_t numPhonemes = 0;
+    size_t featDim = 0;
+};
+
+/**
+ * Generate phoneme streams: each utterance is a random phoneme
+ * sequence; each phoneme persists 2-4 frames; frame features are a
+ * noisy class embedding (formant-like pattern).
+ */
+PhonemeDataset makePhonemeDataset(size_t batches, size_t t, size_t n,
+                                  size_t phonemes, size_t feat,
+                                  uint64_t seed);
+
+/** Sentiment dataset: token sequences + binary labels. */
+struct SentimentDataset
+{
+    std::vector<std::vector<int>> seqs; //!< each [T * N] grid
+    std::vector<std::vector<int>> labels; //!< each [N]
+    size_t t = 0, n = 0;
+    size_t vocab = 0;
+};
+
+/**
+ * Generate sentiment sequences: vocabulary contains positive,
+ * negative and neutral tokens; the label is decided by which
+ * sentiment class dominates, with late tokens weighted higher
+ * (forcing actual recurrence, not bag-of-words).
+ */
+SentimentDataset makeSentimentDataset(size_t batches, size_t t,
+                                      size_t n, size_t vocab,
+                                      uint64_t seed);
+
+} // namespace mixq
+
+#endif // MIXQ_DATA_SYNTH_SEQ_HH

@@ -1,0 +1,49 @@
+#include "fpga/characterize.hh"
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+DesignPoint
+characterize(const FpgaDevice& dev, size_t bat, size_t blk_in,
+             const CharacterizeCfg& cfg)
+{
+    MIXQ_ASSERT(bat >= 1 && blk_in >= 1, "bad geometry");
+
+    DesignPoint dp;
+    dp.name = "opt-" + dev.name;
+    dp.device = dev.name;
+    dp.bat = bat;
+    dp.blkIn = blk_in;
+    dp.freqMhz = cfg.freqMhz;
+
+    // Smallest Blkout_fixed (multiple of 8) saturating the DSPs.
+    size_t blk_fixed = 8;
+    while (bat * blk_in * blk_fixed < dev.dsps)
+        blk_fixed += 8;
+    dp.blkFixed = blk_fixed;
+    dp.blkSp2 = 0;
+
+    double budget_frac = cfg.lutBudgetFrac;
+    if (dev.luts < cfg.smallDeviceLuts)
+        budget_frac -= cfg.smallDeviceReserve;
+    double budget = budget_frac * double(dev.luts);
+
+    ResourceUsage base = estimateResources(dp, dev);
+    if (base.luts > budget) {
+        warn("characterize: base design already exceeds LUT budget on " +
+             dev.name);
+        return dp;
+    }
+
+    while (dp.blkSp2 + cfg.blkSp2Step <= cfg.maxBlkSp2) {
+        DesignPoint next = dp;
+        next.blkSp2 += cfg.blkSp2Step;
+        if (estimateResources(next, dev).luts > budget)
+            break;
+        dp = next;
+    }
+    return dp;
+}
+
+} // namespace mixq

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The paper's Section V-A/VI-A resource-characterization flow: pick
+ * Bat/Blkin/Blkout_fixed so DSP utilization reaches its maximum,
+ * then progressively grow the SP2 core (Blkout_sp2 in steps) until
+ * the LUT budget is exhausted. The resulting SP2:fixed lane ratio is
+ * the partition ratio handed to Algorithm 2 (QConfig::prSp2).
+ */
+
+#ifndef MIXQ_FPGA_CHARACTERIZE_HH
+#define MIXQ_FPGA_CHARACTERIZE_HH
+
+#include "fpga/design_point.hh"
+#include "fpga/device.hh"
+#include "fpga/resource_model.hh"
+
+namespace mixq {
+
+/** Knobs of the characterization search. */
+struct CharacterizeCfg
+{
+    /**
+     * Fraction of the device LUT inventory the design may occupy.
+     * Real designs cannot use 100% of LUTs (routing congestion and
+     * timing closure); the default reproduces the paper's choices.
+     */
+    double lutBudgetFrac = 0.67;
+    /**
+     * Extra LUT fraction reserved for Load/Store on small devices
+     * (< smallDeviceLuts): the paper notes a portion of LUTs is
+     * consumed accommodating the GEMM_sp2 core on the XC7Z020.
+     */
+    double smallDeviceReserve = 0.07;
+    size_t smallDeviceLuts = 100000;
+    size_t blkSp2Step = 8;    //!< lane-growth granularity
+    size_t maxBlkSp2 = 512;
+    double freqMhz = 100.0;
+};
+
+/**
+ * Derive the optimal design point for a device: Blkout_fixed is the
+ * smallest multiple of 8 whose multiplier demand covers the DSP
+ * inventory (DSP util = 100%), then Blkout_sp2 grows until the LUT
+ * budget would be exceeded.
+ */
+DesignPoint characterize(const FpgaDevice& dev, size_t bat,
+                         size_t blk_in,
+                         const CharacterizeCfg& cfg = {});
+
+} // namespace mixq
+
+#endif // MIXQ_FPGA_CHARACTERIZE_HH

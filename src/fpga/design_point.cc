@@ -1,0 +1,59 @@
+#include "fpga/design_point.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+double
+DesignPoint::sp2Fraction() const
+{
+    return double(blkSp2) / double(blkOutTotal());
+}
+
+double
+DesignPoint::peakGops() const
+{
+    double ops_per_cycle =
+        2.0 * double(macsPerCycle()) + double(aluOpsPerCycle());
+    return ops_per_cycle * freqMhz / 1000.0;
+}
+
+std::string
+DesignPoint::ratioLabel() const
+{
+    double r = double(blkSp2) / double(blkFixed);
+    char buf[32];
+    if (r == double(long(r)))
+        std::snprintf(buf, sizeof(buf), "1:%ld", long(r));
+    else
+        std::snprintf(buf, sizeof(buf), "1:%.1f", r);
+    return buf;
+}
+
+const std::vector<DesignPoint>&
+paperDesignPoints()
+{
+    static const std::vector<DesignPoint> points = {
+        {"D1-1", "XC7Z020", 1, 16, 16, 0, 100.0},
+        {"D1-2", "XC7Z020", 1, 16, 16, 16, 100.0},
+        {"D1-3", "XC7Z020", 1, 16, 16, 24, 100.0},
+        {"D2-1", "XC7Z045", 4, 16, 16, 0, 100.0},
+        {"D2-2", "XC7Z045", 4, 16, 16, 16, 100.0},
+        {"D2-3", "XC7Z045", 4, 16, 16, 32, 100.0},
+    };
+    return points;
+}
+
+const DesignPoint&
+designPointByName(const std::string& name)
+{
+    for (const DesignPoint& p : paperDesignPoints()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown design point: " + name);
+}
+
+} // namespace mixq

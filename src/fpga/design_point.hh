@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A design point of the heterogeneous-GEMM architecture (Section V):
+ * the device, the GEMM array geometry (Bat, Blkin, Blkout per core)
+ * and the clock. peakGops() reproduces the Table VII arithmetic:
+ * every cycle the two GEMM cores retire Bat*Blkin*Blkout_total MACs
+ * (2 ops each) and the TensorALU retires ceil(Bat/2)*Blkout_total
+ * element ops.
+ */
+
+#ifndef MIXQ_FPGA_DESIGN_POINT_HH
+#define MIXQ_FPGA_DESIGN_POINT_HH
+
+#include <string>
+#include <vector>
+
+namespace mixq {
+
+/** One hardware configuration (a row of Table VII). */
+struct DesignPoint
+{
+    std::string name;    //!< e.g. "D1-3"
+    std::string device;  //!< e.g. "XC7Z020"
+    size_t bat = 1;      //!< batch rows processed in parallel
+    size_t blkIn = 16;   //!< input-channel block (K tile)
+    size_t blkFixed = 16; //!< fixed-point core output lanes
+    size_t blkSp2 = 0;   //!< SP2 core output lanes
+    double freqMhz = 100.0;
+
+    size_t blkOutTotal() const { return blkFixed + blkSp2; }
+
+    /** SP2 fraction of output lanes (the PR_SP2 sent to Alg. 2). */
+    double sp2Fraction() const;
+
+    /** GEMM MACs retired per cycle across both cores. */
+    size_t macsPerCycle() const { return bat * blkIn * blkOutTotal(); }
+
+    /** TensorALU element operations retired per cycle. */
+    size_t aluOpsPerCycle() const
+    {
+        return ((bat + 1) / 2) * blkOutTotal();
+    }
+
+    /** Peak throughput in GOPS (Table VII's "Peak Thrpt."). */
+    double peakGops() const;
+
+    /** Ratio label in the paper's "1:1.5" style. */
+    std::string ratioLabel() const;
+};
+
+/** The six implementations D1-1..D2-3 of Table VII. */
+const std::vector<DesignPoint>& paperDesignPoints();
+
+/** Lookup by name; fatal() on unknown. */
+const DesignPoint& designPointByName(const std::string& name);
+
+} // namespace mixq
+
+#endif // MIXQ_FPGA_DESIGN_POINT_HH

@@ -1,0 +1,34 @@
+#include "fpga/device.hh"
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+const std::vector<FpgaDevice>&
+allDevices()
+{
+    // LUT / FF / BRAM36 / DSP from the Xilinx Zynq-7000 (DS190) and
+    // Zynq UltraScale+ (DS891) product tables.
+    static const std::vector<FpgaDevice> devices = {
+        {"XC7Z045", 218600, 437200, 545, 900},
+        {"XC7Z020", 53200, 106400, 140, 220},
+        {"XCZU2CG", 47232, 94464, 150, 240},
+        {"XCZU3CG", 70560, 141120, 216, 360},
+        {"XCZU4CG", 87840, 175680, 128, 728},
+        {"XCZU5CG", 117120, 234240, 144, 1248},
+        {"XCZU3EG", 70560, 141120, 216, 360},
+    };
+    return devices;
+}
+
+const FpgaDevice&
+deviceByName(const std::string& name)
+{
+    for (const FpgaDevice& d : allDevices()) {
+        if (d.name == name)
+            return d;
+    }
+    fatal("unknown FPGA device: " + name);
+}
+
+} // namespace mixq

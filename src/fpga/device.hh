@@ -1,0 +1,45 @@
+/**
+ * @file
+ * FPGA device inventory database. The resource counts are the public
+ * Xilinx datasheet numbers for the Zynq-7000 and Zynq UltraScale+
+ * parts the paper characterizes in Fig. 2 (LUT, FF, BRAM36, DSP);
+ * Fig. 2's ratio bars are reproduced exactly from these values.
+ */
+
+#ifndef MIXQ_FPGA_DEVICE_HH
+#define MIXQ_FPGA_DEVICE_HH
+
+#include <string>
+#include <vector>
+
+namespace mixq {
+
+/** Resource inventory of one device. */
+struct FpgaDevice
+{
+    std::string name;
+    size_t luts;
+    size_t ffs;
+    size_t bram36; //!< number of 36 Kb block RAMs
+    size_t dsps;
+
+    /** LUT count per DSP slice (the ratio driving the PE split). */
+    double lutPerDsp() const { return double(luts) / double(dsps); }
+    /** FF count per DSP slice. */
+    double ffPerDsp() const { return double(ffs) / double(dsps); }
+    /** BRAM capacity in Kb per DSP slice (Fig. 2's metric). */
+    double bramKbPerDsp() const
+    {
+        return double(bram36) * 36.0 / double(dsps);
+    }
+};
+
+/** The devices of Fig. 2 plus the XCZU3EG used in Table IX. */
+const std::vector<FpgaDevice>& allDevices();
+
+/** Lookup by name ("XC7Z020", ...); fatal() on unknown name. */
+const FpgaDevice& deviceByName(const std::string& name);
+
+} // namespace mixq
+
+#endif // MIXQ_FPGA_DEVICE_HH

@@ -1,0 +1,133 @@
+#include "metrics/map.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+double
+iou(float ax1, float ay1, float ax2, float ay2,
+    float bx1, float by1, float bx2, float by2)
+{
+    float ix1 = std::max(ax1, bx1);
+    float iy1 = std::max(ay1, by1);
+    float ix2 = std::min(ax2, bx2);
+    float iy2 = std::min(ay2, by2);
+    double iw = std::max(0.0f, ix2 - ix1);
+    double ih = std::max(0.0f, iy2 - iy1);
+    double inter = iw * ih;
+    double area_a = double(std::max(0.0f, ax2 - ax1)) *
+                    double(std::max(0.0f, ay2 - ay1));
+    double area_b = double(std::max(0.0f, bx2 - bx1)) *
+                    double(std::max(0.0f, by2 - by1));
+    double uni = area_a + area_b - inter;
+    return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
+double
+iou(const DetBox& a, const GtBox& b)
+{
+    return iou(a.x1, a.y1, a.x2, a.y2, b.x1, b.y1, b.x2, b.y2);
+}
+
+double
+averagePrecision(std::vector<DetBox> dets, const std::vector<GtBox>& gts,
+                 double iou_thresh)
+{
+    if (gts.empty())
+        return dets.empty() ? 1.0 : 0.0;
+    std::sort(dets.begin(), dets.end(),
+              [](const DetBox& a, const DetBox& b) {
+                  return a.score > b.score;
+              });
+
+    // Ground truths grouped per image, with matched flags.
+    std::map<int, std::vector<size_t>> gt_by_img;
+    for (size_t i = 0; i < gts.size(); ++i)
+        gt_by_img[gts[i].img].push_back(i);
+    std::vector<bool> matched(gts.size(), false);
+
+    std::vector<int> tp(dets.size(), 0);
+    for (size_t d = 0; d < dets.size(); ++d) {
+        auto it = gt_by_img.find(dets[d].img);
+        if (it == gt_by_img.end())
+            continue;
+        double best = iou_thresh;
+        long best_g = -1;
+        for (size_t g : it->second) {
+            if (matched[g])
+                continue;
+            double v = iou(dets[d], gts[g]);
+            if (v >= best) {
+                best = v;
+                best_g = long(g);
+            }
+        }
+        if (best_g >= 0) {
+            matched[size_t(best_g)] = true;
+            tp[d] = 1;
+        }
+    }
+
+    // Precision-recall curve with all-point interpolation.
+    double ap = 0.0;
+    size_t cum_tp = 0;
+    std::vector<double> precision(dets.size()), recall(dets.size());
+    for (size_t d = 0; d < dets.size(); ++d) {
+        cum_tp += size_t(tp[d]);
+        precision[d] = double(cum_tp) / double(d + 1);
+        recall[d] = double(cum_tp) / double(gts.size());
+    }
+    // Make precision monotone non-increasing from the right.
+    for (size_t d = dets.size(); d-- > 1;)
+        precision[d - 1] = std::max(precision[d - 1], precision[d]);
+    double prev_recall = 0.0;
+    for (size_t d = 0; d < dets.size(); ++d) {
+        ap += (recall[d] - prev_recall) * precision[d];
+        prev_recall = recall[d];
+    }
+    return ap;
+}
+
+double
+meanAp(const std::vector<DetBox>& dets, const std::vector<GtBox>& gts,
+       int num_classes, double iou_thresh)
+{
+    MIXQ_ASSERT(num_classes > 0, "meanAp: need classes");
+    double sum = 0.0;
+    int counted = 0;
+    for (int c = 0; c < num_classes; ++c) {
+        std::vector<DetBox> dc;
+        std::vector<GtBox> gc;
+        for (const DetBox& d : dets) {
+            if (d.cls == c)
+                dc.push_back(d);
+        }
+        for (const GtBox& g : gts) {
+            if (g.cls == c)
+                gc.push_back(g);
+        }
+        if (gc.empty())
+            continue; // class absent from the ground truth
+        sum += averagePrecision(std::move(dc), gc, iou_thresh);
+        ++counted;
+    }
+    return counted == 0 ? 0.0 : sum / double(counted);
+}
+
+double
+meanApRange(const std::vector<DetBox>& dets,
+            const std::vector<GtBox>& gts, int num_classes)
+{
+    double sum = 0.0;
+    int n = 0;
+    for (double t = 0.50; t <= 0.951; t += 0.05) {
+        sum += meanAp(dets, gts, num_classes, t);
+        ++n;
+    }
+    return sum / double(n);
+}
+
+} // namespace mixq

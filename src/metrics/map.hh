@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Object-detection evaluation: IoU, per-class average precision with
+ * all-point interpolation, and mAP averaged over IoU thresholds —
+ * the mAP@0.5 and mAP@0.5:0.95 metrics of the paper's Table V.
+ */
+
+#ifndef MIXQ_METRICS_MAP_HH
+#define MIXQ_METRICS_MAP_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mixq {
+
+/** A detection in corner format with confidence, class and image id. */
+struct DetBox
+{
+    float x1, y1, x2, y2;
+    float score;
+    int cls;
+    int img;
+};
+
+/** A ground-truth box in corner format with class and image id. */
+struct GtBox
+{
+    float x1, y1, x2, y2;
+    int cls;
+    int img;
+};
+
+/** Intersection-over-union of two corner-format boxes. */
+double iou(float ax1, float ay1, float ax2, float ay2,
+           float bx1, float by1, float bx2, float by2);
+
+/** IoU of a detection and a ground truth box. */
+double iou(const DetBox& a, const GtBox& b);
+
+/**
+ * Average precision for one class at one IoU threshold, using
+ * all-point interpolation (COCO style). Detections are greedily
+ * matched to the highest-IoU unmatched ground truth of the same
+ * image; duplicates count as false positives.
+ */
+double averagePrecision(std::vector<DetBox> dets,
+                        const std::vector<GtBox>& gts,
+                        double iou_thresh);
+
+/** Mean AP over classes at a single IoU threshold (mAP@t). */
+double meanAp(const std::vector<DetBox>& dets,
+              const std::vector<GtBox>& gts, int num_classes,
+              double iou_thresh);
+
+/** Mean AP averaged over IoU 0.50:0.05:0.95 (mAP@0.5:0.95). */
+double meanApRange(const std::vector<DetBox>& dets,
+                   const std::vector<GtBox>& gts, int num_classes);
+
+} // namespace mixq
+
+#endif // MIXQ_METRICS_MAP_HH

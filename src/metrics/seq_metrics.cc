@@ -1,0 +1,60 @@
+#include "metrics/seq_metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+size_t
+editDistance(const std::vector<int>& a, const std::vector<int>& b)
+{
+    size_t n = a.size(), m = b.size();
+    std::vector<size_t> prev(m + 1), cur(m + 1);
+    for (size_t j = 0; j <= m; ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= n; ++i) {
+        cur[0] = i;
+        for (size_t j = 1; j <= m; ++j) {
+            size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+std::vector<int>
+collapseRuns(const std::vector<int>& frames)
+{
+    std::vector<int> out;
+    for (int f : frames) {
+        if (out.empty() || out.back() != f)
+            out.push_back(f);
+    }
+    return out;
+}
+
+double
+phonemeErrorRate(const std::vector<std::vector<int>>& refs,
+                 const std::vector<std::vector<int>>& hyps)
+{
+    MIXQ_ASSERT(refs.size() == hyps.size(), "PER: sequence count");
+    size_t dist = 0, len = 0;
+    for (size_t i = 0; i < refs.size(); ++i) {
+        dist += editDistance(refs[i], hyps[i]);
+        len += refs[i].size();
+    }
+    MIXQ_ASSERT(len > 0, "PER: empty reference");
+    return double(dist) / double(len);
+}
+
+double
+perplexity(double nll_sum, size_t tokens)
+{
+    MIXQ_ASSERT(tokens > 0, "perplexity: no tokens");
+    return std::exp(nll_sum / double(tokens));
+}
+
+} // namespace mixq

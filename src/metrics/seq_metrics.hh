@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Sequence-task metrics: Levenshtein edit distance, phoneme error
+ * rate (Table VI's PER for the TIMIT stand-in) and perplexity
+ * (Table VI's PPL for the PTB stand-in).
+ */
+
+#ifndef MIXQ_METRICS_SEQ_METRICS_HH
+#define MIXQ_METRICS_SEQ_METRICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mixq {
+
+/** Levenshtein distance between two label sequences. */
+size_t editDistance(const std::vector<int>& a, const std::vector<int>& b);
+
+/** Merge consecutive duplicate frame labels ("greedy collapse"). */
+std::vector<int> collapseRuns(const std::vector<int>& frames);
+
+/**
+ * Phoneme error rate: sum of edit distances between collapsed
+ * hypothesis and reference sequences divided by total reference
+ * length.
+ */
+double phonemeErrorRate(const std::vector<std::vector<int>>& refs,
+                        const std::vector<std::vector<int>>& hyps);
+
+/** Perplexity from a summed negative log likelihood over tokens. */
+double perplexity(double nll_sum, size_t tokens);
+
+} // namespace mixq
+
+#endif // MIXQ_METRICS_SEQ_METRICS_HH

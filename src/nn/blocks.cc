@@ -1,0 +1,129 @@
+#include "nn/blocks.hh"
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+BasicBlock::BasicBlock(size_t in_ch, size_t out_ch, size_t stride,
+                       Rng& rng)
+    : conv1_(in_ch, out_ch, 3, stride, 1, rng),
+      bn1_(out_ch),
+      conv2_(out_ch, out_ch, 3, 1, 1, rng),
+      bn2_(out_ch)
+{
+    if (stride != 1 || in_ch != out_ch) {
+        downConv_ =
+            std::make_unique<Conv2d>(in_ch, out_ch, 1, stride, 0, rng);
+        downBn_ = std::make_unique<BatchNorm2d>(out_ch);
+    }
+}
+
+std::vector<Module*>
+BasicBlock::children()
+{
+    std::vector<Module*> v = {&conv1_, &bn1_, &relu1_, &conv2_, &bn2_,
+                              &reluOut_};
+    if (downConv_) {
+        v.push_back(downConv_.get());
+        v.push_back(downBn_.get());
+    }
+    return v;
+}
+
+Tensor
+BasicBlock::forward(const Tensor& x, bool train)
+{
+    Tensor h = conv1_.forward(x, train);
+    h = bn1_.forward(h, train);
+    h = relu1_.forward(h, train);
+    h = conv2_.forward(h, train);
+    h = bn2_.forward(h, train);
+
+    Tensor s = x;
+    if (downConv_) {
+        s = downConv_->forward(x, train);
+        s = downBn_->forward(s, train);
+    }
+    h.add(s);
+    return reluOut_.forward(h, train);
+}
+
+Tensor
+BasicBlock::backward(const Tensor& gy)
+{
+    Tensor g = reluOut_.backward(gy);
+
+    // Main branch.
+    Tensor gm = bn2_.backward(g);
+    gm = conv2_.backward(gm);
+    gm = relu1_.backward(gm);
+    gm = bn1_.backward(gm);
+    gm = conv1_.backward(gm);
+
+    // Shortcut branch.
+    if (downConv_) {
+        Tensor gs = downBn_->backward(g);
+        gs = downConv_->backward(gs);
+        gm.add(gs);
+    } else {
+        gm.add(g);
+    }
+    return gm;
+}
+
+InvertedResidual::InvertedResidual(size_t in_ch, size_t out_ch,
+                                   size_t expand, size_t stride,
+                                   Rng& rng)
+    : skip_(stride == 1 && in_ch == out_ch),
+      expandConv_(in_ch, in_ch * expand, 1, 1, 0, rng),
+      bn1_(in_ch * expand),
+      relu1_(6.0),
+      dw_(in_ch * expand, 3, stride, 1, rng),
+      bn2_(in_ch * expand),
+      relu2_(6.0),
+      projectConv_(in_ch * expand, out_ch, 1, 1, 0, rng),
+      bn3_(out_ch)
+{
+    MIXQ_ASSERT(expand >= 1, "expansion factor must be >= 1");
+}
+
+std::vector<Module*>
+InvertedResidual::children()
+{
+    return {&expandConv_, &bn1_, &relu1_, &dw_, &bn2_, &relu2_,
+            &projectConv_, &bn3_};
+}
+
+Tensor
+InvertedResidual::forward(const Tensor& x, bool train)
+{
+    Tensor h = expandConv_.forward(x, train);
+    h = bn1_.forward(h, train);
+    h = relu1_.forward(h, train);
+    h = dw_.forward(h, train);
+    h = bn2_.forward(h, train);
+    h = relu2_.forward(h, train);
+    h = projectConv_.forward(h, train);
+    h = bn3_.forward(h, train);
+    if (skip_)
+        h.add(x);
+    return h;
+}
+
+Tensor
+InvertedResidual::backward(const Tensor& gy)
+{
+    Tensor g = bn3_.backward(gy);
+    g = projectConv_.backward(g);
+    g = relu2_.backward(g);
+    g = bn2_.backward(g);
+    g = dw_.backward(g);
+    g = relu1_.backward(g);
+    g = bn1_.backward(g);
+    g = expandConv_.backward(g);
+    if (skip_)
+        g.add(gy);
+    return g;
+}
+
+} // namespace mixq

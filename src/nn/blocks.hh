@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Composite CNN blocks: the ResNet BasicBlock (two 3x3 convolutions
+ * with identity or projection shortcut) and the MobileNet-v2
+ * InvertedResidual (1x1 expand, 3x3 depthwise, 1x1 project with
+ * linear bottleneck). These mirror the structures the paper quantizes
+ * (ResNet-18 / MobileNet-v2) at miniature scale.
+ */
+
+#ifndef MIXQ_NN_BLOCKS_HH
+#define MIXQ_NN_BLOCKS_HH
+
+#include <memory>
+
+#include "nn/layers.hh"
+
+namespace mixq {
+
+/** ResNet basic residual block. */
+class BasicBlock : public Module
+{
+  public:
+    BasicBlock(size_t in_ch, size_t out_ch, size_t stride, Rng& rng);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+    std::vector<Module*> children() override;
+
+  private:
+    Conv2d conv1_;
+    BatchNorm2d bn1_;
+    ReLU relu1_;
+    Conv2d conv2_;
+    BatchNorm2d bn2_;
+    ReLU reluOut_;
+    std::unique_ptr<Conv2d> downConv_;
+    std::unique_ptr<BatchNorm2d> downBn_;
+};
+
+/** MobileNet-v2 inverted residual block with linear bottleneck. */
+class InvertedResidual : public Module
+{
+  public:
+    InvertedResidual(size_t in_ch, size_t out_ch, size_t expand,
+                     size_t stride, Rng& rng);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+    std::vector<Module*> children() override;
+
+    bool hasSkip() const { return skip_; }
+
+  private:
+    bool skip_;
+    Conv2d expandConv_;
+    BatchNorm2d bn1_;
+    ReLU relu1_;
+    DwConv2d dw_;
+    BatchNorm2d bn2_;
+    ReLU relu2_;
+    Conv2d projectConv_;
+    BatchNorm2d bn3_;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_NN_BLOCKS_HH

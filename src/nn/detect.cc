@@ -1,0 +1,222 @@
+#include "nn/detect.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.hh"
+#include "util/logging.hh"
+
+namespace mixq {
+
+size_t
+detectChannels(const DetectConfig& cfg)
+{
+    return 5 + cfg.classes;
+}
+
+namespace {
+
+/** Flattened channel-plane index helper for [N, CH, S, S]. */
+inline size_t
+idx4(size_t n, size_t ch, size_t y, size_t x, size_t chs, size_t s)
+{
+    return ((n * chs + ch) * s + y) * s + x;
+}
+
+} // namespace
+
+double
+detectionLoss(const Tensor& out,
+              const std::vector<std::vector<ObjBox>>& gts,
+              Tensor& dout, const DetectConfig& cfg)
+{
+    size_t n = out.dim(0), chs = out.dim(1), s = out.dim(2);
+    MIXQ_ASSERT(chs == detectChannels(cfg) && out.dim(3) == s,
+                "detection head shape");
+    MIXQ_ASSERT(gts.size() == n, "one GT list per image");
+    dout = Tensor(out.shape());
+
+    double loss = 0.0;
+    double count = double(n * s * s);
+    // Per-cell responsibility map: which GT (if any) owns the cell.
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<long> owner(s * s, -1);
+        for (size_t g = 0; g < gts[i].size(); ++g) {
+            const ObjBox& b = gts[i][g];
+            size_t cx = std::min(size_t(b.cx * float(s)), s - 1);
+            size_t cy = std::min(size_t(b.cy * float(s)), s - 1);
+            owner[cy * s + cx] = long(g);
+        }
+        for (size_t y = 0; y < s; ++y) {
+            for (size_t x = 0; x < s; ++x) {
+                long g = owner[y * s + x];
+                float conf_logit = out[idx4(i, 4, y, x, chs, s)];
+                float conf = sigmoidf(conf_logit);
+                if (g < 0) {
+                    // No object: push confidence to zero (BCE).
+                    loss += -double(cfg.lambdaNoobj) *
+                            std::log(std::max(1.0f - conf, 1e-7f)) /
+                            count;
+                    dout[idx4(i, 4, y, x, chs, s)] =
+                        cfg.lambdaNoobj * conf / float(count);
+                    continue;
+                }
+                const ObjBox& b = gts[i][size_t(g)];
+                // Box regression: predictions squash through sigmoid.
+                float tx = sigmoidf(out[idx4(i, 0, y, x, chs, s)]);
+                float ty = sigmoidf(out[idx4(i, 1, y, x, chs, s)]);
+                float tw = sigmoidf(out[idx4(i, 2, y, x, chs, s)]);
+                float th = sigmoidf(out[idx4(i, 3, y, x, chs, s)]);
+                float gx = b.cx * float(s) - float(x); // offset in cell
+                float gy = b.cy * float(s) - float(y);
+                float targets[4] = {gx, gy, b.w, b.h};
+                float preds[4] = {tx, ty, tw, th};
+                for (int k = 0; k < 4; ++k) {
+                    float d = preds[k] - targets[k];
+                    loss += double(cfg.lambdaBox) * d * d / count;
+                    // d/dlogit = 2*lambda*d * sigmoid'(logit)
+                    dout[idx4(i, size_t(k), y, x, chs, s)] =
+                        2.0f * cfg.lambdaBox * d * preds[k] *
+                        (1.0f - preds[k]) / float(count);
+                }
+                // Objectness: BCE toward 1.
+                loss += -std::log(std::max(conf, 1e-7f)) / count;
+                dout[idx4(i, 4, y, x, chs, s)] =
+                    (conf - 1.0f) / float(count);
+                // Class cross-entropy over the class logits.
+                double zmax = -1e30;
+                for (size_t c = 0; c < cfg.classes; ++c)
+                    zmax = std::max(
+                        zmax, double(out[idx4(i, 5 + c, y, x, chs, s)]));
+                double zsum = 0.0;
+                for (size_t c = 0; c < cfg.classes; ++c)
+                    zsum += std::exp(
+                        double(out[idx4(i, 5 + c, y, x, chs, s)]) -
+                        zmax);
+                for (size_t c = 0; c < cfg.classes; ++c) {
+                    double p = std::exp(double(out[idx4(i, 5 + c, y, x,
+                                                        chs, s)]) -
+                                        zmax) / zsum;
+                    bool is_y = long(c) == long(b.cls);
+                    if (is_y)
+                        loss += -std::log(std::max(p, 1e-12)) / count;
+                    dout[idx4(i, 5 + c, y, x, chs, s)] =
+                        float((p - (is_y ? 1.0 : 0.0)) / count);
+                }
+            }
+        }
+    }
+    return loss;
+}
+
+std::vector<DetBox>
+nms(std::vector<DetBox> dets, float iou_thresh)
+{
+    std::sort(dets.begin(), dets.end(),
+              [](const DetBox& a, const DetBox& b) {
+                  return a.score > b.score;
+              });
+    std::vector<DetBox> keep;
+    for (const DetBox& d : dets) {
+        bool ok = true;
+        for (const DetBox& k : keep) {
+            if (k.cls != d.cls)
+                continue;
+            double v = iou(d.x1, d.y1, d.x2, d.y2, k.x1, k.y1, k.x2,
+                           k.y2);
+            if (v > iou_thresh) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            keep.push_back(d);
+    }
+    return keep;
+}
+
+std::vector<DetBox>
+decodeDetections(const Tensor& out, size_t n, const DetectConfig& cfg,
+                 float conf_thresh, float nms_iou)
+{
+    size_t chs = out.dim(1), s = out.dim(2);
+    std::vector<DetBox> dets;
+    for (size_t y = 0; y < s; ++y) {
+        for (size_t x = 0; x < s; ++x) {
+            float conf = sigmoidf(out[idx4(n, 4, y, x, chs, s)]);
+            if (conf < conf_thresh)
+                continue;
+            float tx = sigmoidf(out[idx4(n, 0, y, x, chs, s)]);
+            float ty = sigmoidf(out[idx4(n, 1, y, x, chs, s)]);
+            float tw = sigmoidf(out[idx4(n, 2, y, x, chs, s)]);
+            float th = sigmoidf(out[idx4(n, 3, y, x, chs, s)]);
+            float cx = (float(x) + tx) / float(s);
+            float cy = (float(y) + ty) / float(s);
+            int best_c = 0;
+            float best_v = -1e30f;
+            for (size_t c = 0; c < cfg.classes; ++c) {
+                float v = out[idx4(n, 5 + c, y, x, chs, s)];
+                if (v > best_v) {
+                    best_v = v;
+                    best_c = int(c);
+                }
+            }
+            DetBox d;
+            d.x1 = cx - tw / 2.0f;
+            d.y1 = cy - th / 2.0f;
+            d.x2 = cx + tw / 2.0f;
+            d.y2 = cy + th / 2.0f;
+            d.score = conf;
+            d.cls = best_c;
+            d.img = int(n);
+            dets.push_back(d);
+        }
+    }
+    return nms(std::move(dets), nms_iou);
+}
+
+GtBox
+toGtBox(const ObjBox& b, int img)
+{
+    GtBox g;
+    g.x1 = b.cx - b.w / 2.0f;
+    g.y1 = b.cy - b.h / 2.0f;
+    g.x2 = b.cx + b.w / 2.0f;
+    g.y2 = b.cy + b.h / 2.0f;
+    g.cls = b.cls;
+    g.img = img;
+    return g;
+}
+
+std::unique_ptr<Sequential>
+makeTinyDet(const DetectConfig& cfg, size_t img_size, Rng& rng,
+            size_t base)
+{
+    // Downsample from img_size to cfg.grid with stride-2 stages.
+    MIXQ_ASSERT(img_size % cfg.grid == 0, "image/grid mismatch");
+    size_t down = img_size / cfg.grid;
+    auto net = std::make_unique<Sequential>();
+    size_t ch = 3;
+    size_t width = base;
+    net->add(std::make_unique<Conv2d>(ch, width, 3, 1, 1, rng));
+    net->add(std::make_unique<BatchNorm2d>(width));
+    net->add(std::make_unique<ReLU>());
+    ch = width;
+    while (down > 1) {
+        size_t next = std::min<size_t>(width * 2, 4 * base);
+        net->add(std::make_unique<Conv2d>(ch, next, 3, 2, 1, rng));
+        net->add(std::make_unique<BatchNorm2d>(next));
+        net->add(std::make_unique<ReLU>());
+        ch = next;
+        width = next;
+        down /= 2;
+    }
+    net->add(std::make_unique<Conv2d>(ch, ch, 3, 1, 1, rng));
+    net->add(std::make_unique<BatchNorm2d>(ch));
+    net->add(std::make_unique<ReLU>());
+    net->add(std::make_unique<Conv2d>(ch, detectChannels(cfg), 1, 1, 0,
+                                      rng, true));
+    return net;
+}
+
+} // namespace mixq

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * TinyDet: a single-scale, single-anchor convolutional detector used
+ * as the YOLO-v3 stand-in for Table V. The head predicts, per grid
+ * cell, (tx, ty, tw, th, conf, class logits); the loss combines box
+ * regression (responsible cells), objectness BCE and class CE. The
+ * decode path emits corner-format DetBox records for the mAP
+ * evaluator.
+ */
+
+#ifndef MIXQ_NN_DETECT_HH
+#define MIXQ_NN_DETECT_HH
+
+#include <memory>
+#include <vector>
+
+#include "metrics/map.hh"
+#include "nn/layers.hh"
+
+namespace mixq {
+
+/** Ground truth in center format, normalized to [0, 1]. */
+struct ObjBox
+{
+    float cx, cy, w, h;
+    int cls;
+};
+
+/** Detection head/loss configuration. */
+struct DetectConfig
+{
+    size_t grid = 4;          //!< S x S output cells
+    size_t classes = 3;
+    float lambdaNoobj = 0.5f; //!< weight of no-object confidence loss
+    float lambdaBox = 5.0f;   //!< weight of box regression loss
+};
+
+/** Channels of the head output per cell: 5 + classes. */
+size_t detectChannels(const DetectConfig& cfg);
+
+/**
+ * Detection loss over a batch. @p out is the raw head output
+ * [N, 5+C, S, S]; @p gts has one box list per image. Fills @p dout
+ * with the gradient and returns the mean loss.
+ */
+double detectionLoss(const Tensor& out,
+                     const std::vector<std::vector<ObjBox>>& gts,
+                     Tensor& dout, const DetectConfig& cfg);
+
+/**
+ * Decode one image's raw head output (index @p n of the batch) into
+ * corner-format detections above the confidence threshold, with
+ * class-wise non-maximum suppression.
+ */
+std::vector<DetBox> decodeDetections(const Tensor& out, size_t n,
+                                     const DetectConfig& cfg,
+                                     float conf_thresh = 0.3f,
+                                     float nms_iou = 0.45f);
+
+/** Greedy NMS on a detection list (class-aware). */
+std::vector<DetBox> nms(std::vector<DetBox> dets, float iou_thresh);
+
+/** Convert an ObjBox to a corner-format GtBox for the evaluator. */
+GtBox toGtBox(const ObjBox& b, int img);
+
+/** Backbone + head builder; output is [N, 5+C, S, S]. */
+std::unique_ptr<Sequential>
+makeTinyDet(const DetectConfig& cfg, size_t img_size, Rng& rng,
+            size_t base = 8);
+
+} // namespace mixq
+
+#endif // MIXQ_NN_DETECT_HH

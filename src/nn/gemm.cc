@@ -1,0 +1,146 @@
+#include "nn/gemm.hh"
+
+#include <cstring>
+
+namespace mixq {
+
+void
+gemmAcc(const float* a, const float* b, float* c,
+        size_t m, size_t n, size_t k)
+{
+    #pragma omp parallel for schedule(static) if (m * n * k > 16384)
+    for (long i = 0; i < long(m); ++i) {
+        float* crow = c + size_t(i) * n;
+        const float* arow = a + size_t(i) * k;
+        for (size_t p = 0; p < k; ++p) {
+            float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float* brow = b + p * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemm(const float* a, const float* b, float* c,
+     size_t m, size_t n, size_t k)
+{
+    std::memset(c, 0, m * n * sizeof(float));
+    gemmAcc(a, b, c, m, n, k);
+}
+
+void
+gemmBTAcc(const float* a, const float* b, float* c,
+          size_t m, size_t n, size_t k)
+{
+    #pragma omp parallel for schedule(static) if (m * n * k > 16384)
+    for (long i = 0; i < long(m); ++i) {
+        const float* arow = a + size_t(i) * k;
+        float* crow = c + size_t(i) * n;
+        for (size_t j = 0; j < n; ++j) {
+            const float* brow = b + j * k;
+            float s = 0.0f;
+            for (size_t p = 0; p < k; ++p)
+                s += arow[p] * brow[p];
+            crow[j] += s;
+        }
+    }
+}
+
+void
+gemmBT(const float* a, const float* b, float* c,
+       size_t m, size_t n, size_t k)
+{
+    std::memset(c, 0, m * n * sizeof(float));
+    gemmBTAcc(a, b, c, m, n, k);
+}
+
+void
+gemmATAcc(const float* a, const float* b, float* c,
+          size_t m, size_t n, size_t k)
+{
+    // A is [K x M]; C[i][j] += sum_p A[p][i] * B[p][j].
+    #pragma omp parallel for schedule(static) if (m * n * k > 16384)
+    for (long i = 0; i < long(m); ++i) {
+        float* crow = c + size_t(i) * n;
+        for (size_t p = 0; p < k; ++p) {
+            float av = a[p * m + size_t(i)];
+            if (av == 0.0f)
+                continue;
+            const float* brow = b + p * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+size_t
+convOut(size_t in, size_t kernel, size_t stride, size_t pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+void
+im2col(const float* img, size_t c, size_t h, size_t w,
+       size_t kh, size_t kw, size_t stride, size_t pad,
+       float* cols)
+{
+    size_t oh = convOut(h, kh, stride, pad);
+    size_t ow = convOut(w, kw, stride, pad);
+    size_t ncols = oh * ow;
+    size_t row = 0;
+    for (size_t ch = 0; ch < c; ++ch) {
+        for (size_t ki = 0; ki < kh; ++ki) {
+            for (size_t kj = 0; kj < kw; ++kj, ++row) {
+                float* dst = cols + row * ncols;
+                for (size_t oy = 0; oy < oh; ++oy) {
+                    long iy = long(oy * stride + ki) - long(pad);
+                    for (size_t ox = 0; ox < ow; ++ox) {
+                        long ix = long(ox * stride + kj) - long(pad);
+                        float v = 0.0f;
+                        if (iy >= 0 && iy < long(h) && ix >= 0 &&
+                            ix < long(w)) {
+                            v = img[(ch * h + size_t(iy)) * w +
+                                    size_t(ix)];
+                        }
+                        dst[oy * ow + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2im(const float* cols, size_t c, size_t h, size_t w,
+       size_t kh, size_t kw, size_t stride, size_t pad,
+       float* img)
+{
+    size_t oh = convOut(h, kh, stride, pad);
+    size_t ow = convOut(w, kw, stride, pad);
+    size_t ncols = oh * ow;
+    size_t row = 0;
+    for (size_t ch = 0; ch < c; ++ch) {
+        for (size_t ki = 0; ki < kh; ++ki) {
+            for (size_t kj = 0; kj < kw; ++kj, ++row) {
+                const float* src = cols + row * ncols;
+                for (size_t oy = 0; oy < oh; ++oy) {
+                    long iy = long(oy * stride + ki) - long(pad);
+                    if (iy < 0 || iy >= long(h))
+                        continue;
+                    for (size_t ox = 0; ox < ow; ++ox) {
+                        long ix = long(ox * stride + kj) - long(pad);
+                        if (ix < 0 || ix >= long(w))
+                            continue;
+                        img[(ch * h + size_t(iy)) * w + size_t(ix)] +=
+                            src[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace mixq

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Float matrix-multiply kernels and im2col/col2im transforms — the
+ * computational backbone of the training substrate. The layouts are
+ * plain row-major; kernels are OpenMP-parallel over output rows.
+ */
+
+#ifndef MIXQ_NN_GEMM_HH
+#define MIXQ_NN_GEMM_HH
+
+#include <cstddef>
+
+namespace mixq {
+
+/** C[MxN] += A[MxK] * B[KxN] (row-major). */
+void gemmAcc(const float* a, const float* b, float* c,
+             size_t m, size_t n, size_t k);
+
+/** C[MxN] = A[MxK] * B[KxN] (row-major, overwrite). */
+void gemm(const float* a, const float* b, float* c,
+          size_t m, size_t n, size_t k);
+
+/** C[MxN] += A[MxK] * B[NxK]^T. */
+void gemmBTAcc(const float* a, const float* b, float* c,
+               size_t m, size_t n, size_t k);
+
+/** C[MxN] = A[MxK] * B[NxK]^T. */
+void gemmBT(const float* a, const float* b, float* c,
+            size_t m, size_t n, size_t k);
+
+/** C[MxN] += A[KxM]^T * B[KxN]. */
+void gemmATAcc(const float* a, const float* b, float* c,
+               size_t m, size_t n, size_t k);
+
+/**
+ * im2col for one image: input [C, H, W] to columns
+ * [C*kh*kw, OH*OW] for a kh x kw kernel with the given stride and
+ * symmetric zero padding.
+ */
+void im2col(const float* img, size_t c, size_t h, size_t w,
+            size_t kh, size_t kw, size_t stride, size_t pad,
+            float* cols);
+
+/** Reverse of im2col: scatter-add columns back into an image. */
+void col2im(const float* cols, size_t c, size_t h, size_t w,
+            size_t kh, size_t kw, size_t stride, size_t pad,
+            float* img);
+
+/** Convolution output size for one spatial dim. */
+size_t convOut(size_t in, size_t kernel, size_t stride, size_t pad);
+
+} // namespace mixq
+
+#endif // MIXQ_NN_GEMM_HH

@@ -1,0 +1,619 @@
+#include "nn/layers.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "nn/gemm.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+
+namespace {
+
+/** Kaiming-style init std for a fan-in. */
+double
+kaimingStd(size_t fan_in)
+{
+    return std::sqrt(2.0 / double(std::max<size_t>(fan_in, 1)));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(size_t in, size_t out, Rng& rng, bool bias,
+               bool signed_act)
+    : in_(in), out_(out),
+      w_("linear.w", Tensor::randn({out, in}, rng, kaimingStd(in)),
+         out, in),
+      b_("linear.b", Tensor::zeros({out}), 0, 0, false),
+      hasBias_(bias), actq_(4, signed_act)
+{
+}
+
+void
+Linear::ownParams(std::vector<Param*>& out)
+{
+    out.push_back(&w_);
+    if (hasBias_)
+        out.push_back(&b_);
+}
+
+void
+Linear::configureOwnActQuant(int bits, bool enable)
+{
+    actq_ = ActFakeQuant(bits, actq_.isSigned());
+    actq_.setEnabled(enable);
+}
+
+Tensor
+Linear::forward(const Tensor& x, bool train)
+{
+    MIXQ_ASSERT(x.ndim() == 2 && x.dim(1) == in_, "Linear shape");
+    size_t n = x.dim(0);
+    xq_ = x;
+    if (actq_.enabled()) {
+        xPre_ = x;
+        actq_.forward(xq_.span());
+    }
+    Tensor y({n, out_});
+    gemmBT(xq_.data(), w_.w.data(), y.data(), n, out_, in_);
+    if (hasBias_) {
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j < out_; ++j)
+                y.at2(i, j) += b_.w[j];
+    }
+    (void)train;
+    return y;
+}
+
+Tensor
+Linear::backward(const Tensor& gy)
+{
+    size_t n = gy.dim(0);
+    MIXQ_ASSERT(gy.ndim() == 2 && gy.dim(1) == out_, "Linear grad shape");
+    // gW += gy^T x  (A = gy [N x out] read as [K x M], B = xq [N x in])
+    gemmATAcc(gy.data(), xq_.data(), w_.grad.data(), out_, in_, n);
+    if (hasBias_) {
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j < out_; ++j)
+                b_.grad[j] += gy.at2(i, j);
+    }
+    Tensor gx({n, in_});
+    gemm(gy.data(), w_.w.data(), gx.data(), n, in_, out_);
+    if (actq_.enabled())
+        actq_.backwardSte(xPre_.span(), gx.span());
+    return gx;
+}
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(size_t in_ch, size_t out_ch, size_t kernel,
+               size_t stride, size_t pad, Rng& rng, bool bias)
+    : inCh_(in_ch), outCh_(out_ch), k_(kernel), stride_(stride),
+      pad_(pad),
+      w_("conv.w",
+         Tensor::randn({out_ch, in_ch * kernel * kernel}, rng,
+                       kaimingStd(in_ch * kernel * kernel)),
+         out_ch, in_ch * kernel * kernel),
+      b_("conv.b", Tensor::zeros({out_ch}), 0, 0, false),
+      hasBias_(bias), actq_(4, false)
+{
+}
+
+void
+Conv2d::ownParams(std::vector<Param*>& out)
+{
+    out.push_back(&w_);
+    if (hasBias_)
+        out.push_back(&b_);
+}
+
+void
+Conv2d::configureOwnActQuant(int bits, bool enable)
+{
+    actq_ = ActFakeQuant(bits, false);
+    actq_.setEnabled(enable);
+}
+
+Tensor
+Conv2d::forward(const Tensor& x, bool train)
+{
+    MIXQ_ASSERT(x.ndim() == 4 && x.dim(1) == inCh_, "Conv2d shape");
+    inShape_ = x.shape();
+    size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    size_t oh = convOut(h, k_, stride_, pad_);
+    size_t ow = convOut(w, k_, stride_, pad_);
+    size_t ckk = inCh_ * k_ * k_;
+    size_t ohow = oh * ow;
+
+    Tensor xq = x;
+    if (actq_.enabled()) {
+        xPre_ = x;
+        actq_.forward(xq.span());
+    }
+
+    cols_ = Tensor({n, ckk, ohow});
+    Tensor y({n, outCh_, oh, ow});
+    #pragma omp parallel for schedule(static)
+    for (long i = 0; i < long(n); ++i) {
+        const float* img = xq.data() + size_t(i) * inCh_ * h * w;
+        float* col = cols_.data() + size_t(i) * ckk * ohow;
+        im2col(img, inCh_, h, w, k_, k_, stride_, pad_, col);
+        float* out = y.data() + size_t(i) * outCh_ * ohow;
+        std::memset(out, 0, outCh_ * ohow * sizeof(float));
+        // y = W [outCh x ckk] * col [ckk x ohow]
+        for (size_t r = 0; r < outCh_; ++r) {
+            float* yrow = out + r * ohow;
+            const float* wrow = w_.w.data() + r * ckk;
+            for (size_t p = 0; p < ckk; ++p) {
+                float wv = wrow[p];
+                if (wv == 0.0f)
+                    continue;
+                const float* crow = col + p * ohow;
+                for (size_t q = 0; q < ohow; ++q)
+                    yrow[q] += wv * crow[q];
+            }
+            if (hasBias_) {
+                for (size_t q = 0; q < ohow; ++q)
+                    yrow[q] += b_.w[r];
+            }
+        }
+    }
+    (void)train;
+    return y;
+}
+
+Tensor
+Conv2d::backward(const Tensor& gy)
+{
+    size_t n = inShape_[0], h = inShape_[2], w = inShape_[3];
+    size_t oh = convOut(h, k_, stride_, pad_);
+    size_t ow = convOut(w, k_, stride_, pad_);
+    size_t ckk = inCh_ * k_ * k_;
+    size_t ohow = oh * ow;
+    MIXQ_ASSERT(gy.ndim() == 4 && gy.dim(1) == outCh_ &&
+                gy.dim(2) == oh && gy.dim(3) == ow, "Conv2d grad shape");
+
+    Tensor gx(inShape_);
+    // Parallel over batch; per-thread weight gradients are merged
+    // after the loop to avoid atomics.
+    std::vector<Tensor> gw_parts;
+    #pragma omp parallel
+    {
+        Tensor gw_local = Tensor::zeros(w_.grad.shape());
+        #pragma omp for schedule(static) nowait
+        for (long i = 0; i < long(n); ++i) {
+            const float* g = gy.data() + size_t(i) * outCh_ * ohow;
+            const float* col = cols_.data() + size_t(i) * ckk * ohow;
+            // gW += g [outCh x ohow] * col^T [ohow x ckk]
+            gemmBTAcc(g, col, gw_local.data(), outCh_, ckk, ohow);
+            // gcols = W^T [ckk x outCh] * g [outCh x ohow]
+            std::vector<float> gcols(ckk * ohow, 0.0f);
+            gemmATAcc(w_.w.data(), g, gcols.data(), ckk, ohow, outCh_);
+            float* gimg = gx.data() + size_t(i) * inCh_ * h * w;
+            col2im(gcols.data(), inCh_, h, w, k_, k_, stride_, pad_,
+                   gimg);
+        }
+        #pragma omp critical
+        gw_parts.push_back(std::move(gw_local));
+    }
+    for (const Tensor& part : gw_parts)
+        w_.grad.add(part);
+
+    if (hasBias_) {
+        for (size_t i = 0; i < n; ++i)
+            for (size_t r = 0; r < outCh_; ++r)
+                for (size_t q = 0; q < ohow; ++q)
+                    b_.grad[r] += gy.data()[(i * outCh_ + r) * ohow + q];
+    }
+    if (actq_.enabled())
+        actq_.backwardSte(xPre_.span(), gx.span());
+    return gx;
+}
+
+// -------------------------------------------------------------- DwConv2d
+
+DwConv2d::DwConv2d(size_t channels, size_t kernel, size_t stride,
+                   size_t pad, Rng& rng)
+    : ch_(channels), k_(kernel), stride_(stride), pad_(pad),
+      w_("dwconv.w",
+         Tensor::randn({channels, kernel * kernel}, rng,
+                       kaimingStd(kernel * kernel)),
+         channels, kernel * kernel),
+      actq_(4, false)
+{
+}
+
+void
+DwConv2d::ownParams(std::vector<Param*>& out)
+{
+    out.push_back(&w_);
+}
+
+void
+DwConv2d::configureOwnActQuant(int bits, bool enable)
+{
+    actq_ = ActFakeQuant(bits, false);
+    actq_.setEnabled(enable);
+}
+
+Tensor
+DwConv2d::forward(const Tensor& x, bool train)
+{
+    MIXQ_ASSERT(x.ndim() == 4 && x.dim(1) == ch_, "DwConv2d shape");
+    inShape_ = x.shape();
+    size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    size_t oh = convOut(h, k_, stride_, pad_);
+    size_t ow = convOut(w, k_, stride_, pad_);
+
+    xq_ = x;
+    if (actq_.enabled()) {
+        xPre_ = x;
+        actq_.forward(xq_.span());
+    }
+
+    Tensor y({n, ch_, oh, ow});
+    #pragma omp parallel for schedule(static)
+    for (long idx = 0; idx < long(n * ch_); ++idx) {
+        size_t i = size_t(idx) / ch_;
+        size_t c = size_t(idx) % ch_;
+        const float* img = xq_.data() + (i * ch_ + c) * h * w;
+        const float* ker = w_.w.data() + c * k_ * k_;
+        float* out = y.data() + (i * ch_ + c) * oh * ow;
+        for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+                float s = 0.0f;
+                for (size_t ki = 0; ki < k_; ++ki) {
+                    long iy = long(oy * stride_ + ki) - long(pad_);
+                    if (iy < 0 || iy >= long(h))
+                        continue;
+                    for (size_t kj = 0; kj < k_; ++kj) {
+                        long ix = long(ox * stride_ + kj) - long(pad_);
+                        if (ix < 0 || ix >= long(w))
+                            continue;
+                        s += ker[ki * k_ + kj] *
+                             img[size_t(iy) * w + size_t(ix)];
+                    }
+                }
+                out[oy * ow + ox] = s;
+            }
+        }
+    }
+    (void)train;
+    return y;
+}
+
+Tensor
+DwConv2d::backward(const Tensor& gy)
+{
+    size_t n = inShape_[0], h = inShape_[2], w = inShape_[3];
+    size_t oh = convOut(h, k_, stride_, pad_);
+    size_t ow = convOut(w, k_, stride_, pad_);
+    Tensor gx(inShape_);
+
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < ch_; ++c) {
+            const float* img = xq_.data() + (i * ch_ + c) * h * w;
+            const float* g = gy.data() + (i * ch_ + c) * oh * ow;
+            const float* ker = w_.w.data() + c * k_ * k_;
+            float* gk = w_.grad.data() + c * k_ * k_;
+            float* gi = gx.data() + (i * ch_ + c) * h * w;
+            for (size_t oy = 0; oy < oh; ++oy) {
+                for (size_t ox = 0; ox < ow; ++ox) {
+                    float gv = g[oy * ow + ox];
+                    if (gv == 0.0f)
+                        continue;
+                    for (size_t ki = 0; ki < k_; ++ki) {
+                        long iy = long(oy * stride_ + ki) - long(pad_);
+                        if (iy < 0 || iy >= long(h))
+                            continue;
+                        for (size_t kj = 0; kj < k_; ++kj) {
+                            long ix =
+                                long(ox * stride_ + kj) - long(pad_);
+                            if (ix < 0 || ix >= long(w))
+                                continue;
+                            size_t ii = size_t(iy) * w + size_t(ix);
+                            gk[ki * k_ + kj] += gv * img[ii];
+                            gi[ii] += gv * ker[ki * k_ + kj];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if (actq_.enabled())
+        actq_.backwardSte(xPre_.span(), gx.span());
+    return gx;
+}
+
+// ----------------------------------------------------------- BatchNorm2d
+
+BatchNorm2d::BatchNorm2d(size_t channels, double momentum, double eps)
+    : ch_(channels), momentum_(momentum), eps_(eps),
+      gamma_("bn.gamma", Tensor::full({channels}, 1.0f), 0, 0, false),
+      beta_("bn.beta", Tensor::zeros({channels}), 0, 0, false),
+      runMean_(Tensor::zeros({channels})),
+      runVar_(Tensor::full({channels}, 1.0f))
+{
+}
+
+void
+BatchNorm2d::ownParams(std::vector<Param*>& out)
+{
+    out.push_back(&gamma_);
+    out.push_back(&beta_);
+}
+
+Tensor
+BatchNorm2d::forward(const Tensor& x, bool train)
+{
+    MIXQ_ASSERT(x.ndim() == 4 && x.dim(1) == ch_, "BatchNorm2d shape");
+    inShape_ = x.shape();
+    size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    size_t plane = h * w;
+    size_t count = n * plane;
+
+    Tensor y(x.shape());
+    if (train) {
+        xhat_ = Tensor(x.shape());
+        invStd_ = Tensor({ch_});
+    }
+
+    for (size_t c = 0; c < ch_; ++c) {
+        double m, v;
+        if (train) {
+            double s = 0.0;
+            for (size_t i = 0; i < n; ++i)
+                for (size_t p = 0; p < plane; ++p)
+                    s += x.data()[(i * ch_ + c) * plane + p];
+            m = s / double(count);
+            double sv = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+                for (size_t p = 0; p < plane; ++p) {
+                    double d =
+                        x.data()[(i * ch_ + c) * plane + p] - m;
+                    sv += d * d;
+                }
+            }
+            v = sv / double(count);
+            runMean_[c] = float((1.0 - momentum_) * runMean_[c] +
+                                momentum_ * m);
+            runVar_[c] = float((1.0 - momentum_) * runVar_[c] +
+                               momentum_ * v);
+        } else {
+            m = runMean_[c];
+            v = runVar_[c];
+        }
+        float istd = float(1.0 / std::sqrt(v + eps_));
+        float g = gamma_.w[c], b = beta_.w[c];
+        if (train)
+            invStd_[c] = istd;
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t p = 0; p < plane; ++p) {
+                size_t idx = (i * ch_ + c) * plane + p;
+                float xh = (x.data()[idx] - float(m)) * istd;
+                if (train)
+                    xhat_[idx] = xh;
+                y[idx] = g * xh + b;
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+BatchNorm2d::backward(const Tensor& gy)
+{
+    size_t n = inShape_[0], h = inShape_[2], w = inShape_[3];
+    size_t plane = h * w;
+    double count = double(n * plane);
+    Tensor gx(inShape_);
+
+    for (size_t c = 0; c < ch_; ++c) {
+        double sum_gy = 0.0, sum_gy_xh = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t p = 0; p < plane; ++p) {
+                size_t idx = (i * ch_ + c) * plane + p;
+                sum_gy += gy[idx];
+                sum_gy_xh += gy[idx] * xhat_[idx];
+            }
+        }
+        gamma_.grad[c] += float(sum_gy_xh);
+        beta_.grad[c] += float(sum_gy);
+        float g = gamma_.w[c];
+        float istd = invStd_[c];
+        float mean_gy = float(sum_gy / count);
+        float mean_gy_xh = float(sum_gy_xh / count);
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t p = 0; p < plane; ++p) {
+                size_t idx = (i * ch_ + c) * plane + p;
+                gx[idx] = g * istd *
+                          (gy[idx] - mean_gy - xhat_[idx] * mean_gy_xh);
+            }
+        }
+    }
+    return gx;
+}
+
+// -------------------------------------------------------------- ReLU
+
+Tensor
+ReLU::forward(const Tensor& x, bool train)
+{
+    Tensor y = x;
+    mask_.assign(x.size(), 0);
+    float cap = float(cap_);
+    for (size_t i = 0; i < y.size(); ++i) {
+        bool pass = y[i] > 0.0f && (cap_ == 0.0 || y[i] < cap);
+        mask_[i] = pass ? 1 : 0;
+        if (y[i] < 0.0f)
+            y[i] = 0.0f;
+        else if (cap_ != 0.0 && y[i] > cap)
+            y[i] = cap;
+    }
+    (void)train;
+    return y;
+}
+
+Tensor
+ReLU::backward(const Tensor& gy)
+{
+    MIXQ_ASSERT(gy.size() == mask_.size(), "ReLU grad size");
+    Tensor gx = gy;
+    for (size_t i = 0; i < gx.size(); ++i) {
+        if (!mask_[i])
+            gx[i] = 0.0f;
+    }
+    return gx;
+}
+
+// ----------------------------------------------------------- MaxPool2d
+
+Tensor
+MaxPool2d::forward(const Tensor& x, bool train)
+{
+    MIXQ_ASSERT(x.ndim() == 4, "MaxPool2d shape");
+    inShape_ = x.shape();
+    size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    size_t oh = h / k_, ow = w / k_;
+    Tensor y({n, c, oh, ow});
+    argmax_.assign(n * c * oh * ow, 0);
+    for (size_t i = 0; i < n * c; ++i) {
+        const float* img = x.data() + i * h * w;
+        float* out = y.data() + i * oh * ow;
+        size_t* am = argmax_.data() + i * oh * ow;
+        for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+                float best = -1e30f;
+                size_t bi = 0;
+                for (size_t ki = 0; ki < k_; ++ki) {
+                    for (size_t kj = 0; kj < k_; ++kj) {
+                        size_t idx =
+                            (oy * k_ + ki) * w + (ox * k_ + kj);
+                        if (img[idx] > best) {
+                            best = img[idx];
+                            bi = idx;
+                        }
+                    }
+                }
+                out[oy * ow + ox] = best;
+                am[oy * ow + ox] = bi;
+            }
+        }
+    }
+    (void)train;
+    return y;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor& gy)
+{
+    size_t n = inShape_[0], c = inShape_[1], h = inShape_[2],
+           w = inShape_[3];
+    size_t oh = h / k_, ow = w / k_;
+    Tensor gx(inShape_);
+    for (size_t i = 0; i < n * c; ++i) {
+        const float* g = gy.data() + i * oh * ow;
+        const size_t* am = argmax_.data() + i * oh * ow;
+        float* gi = gx.data() + i * h * w;
+        for (size_t p = 0; p < oh * ow; ++p)
+            gi[am[p]] += g[p];
+    }
+    return gx;
+}
+
+// -------------------------------------------------------- GlobalAvgPool
+
+Tensor
+GlobalAvgPool::forward(const Tensor& x, bool train)
+{
+    MIXQ_ASSERT(x.ndim() == 4, "GlobalAvgPool shape");
+    inShape_ = x.shape();
+    size_t n = x.dim(0), c = x.dim(1), plane = x.dim(2) * x.dim(3);
+    Tensor y({n, c});
+    for (size_t i = 0; i < n * c; ++i) {
+        const float* img = x.data() + i * plane;
+        double s = 0.0;
+        for (size_t p = 0; p < plane; ++p)
+            s += img[p];
+        y[i] = float(s / double(plane));
+    }
+    (void)train;
+    return y;
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor& gy)
+{
+    size_t plane = inShape_[2] * inShape_[3];
+    Tensor gx(inShape_);
+    for (size_t i = 0; i < gy.size(); ++i) {
+        float g = gy[i] / float(plane);
+        float* gi = gx.data() + i * plane;
+        for (size_t p = 0; p < plane; ++p)
+            gi[p] = g;
+    }
+    return gx;
+}
+
+// ------------------------------------------------------------- Flatten
+
+Tensor
+Flatten::forward(const Tensor& x, bool train)
+{
+    inShape_ = x.shape();
+    Tensor y = x;
+    y.reshape({x.dim(0), x.size() / x.dim(0)});
+    (void)train;
+    return y;
+}
+
+Tensor
+Flatten::backward(const Tensor& gy)
+{
+    Tensor gx = gy;
+    gx.reshape(inShape_);
+    return gx;
+}
+
+// ---------------------------------------------------------- Sequential
+
+Sequential&
+Sequential::add(std::unique_ptr<Module> m)
+{
+    mods_.push_back(std::move(m));
+    return *this;
+}
+
+Tensor
+Sequential::forward(const Tensor& x, bool train)
+{
+    Tensor h = x;
+    for (auto& m : mods_)
+        h = m->forward(h, train);
+    return h;
+}
+
+Tensor
+Sequential::backward(const Tensor& gy)
+{
+    Tensor g = gy;
+    for (size_t i = mods_.size(); i > 0; --i)
+        g = mods_[i - 1]->backward(g);
+    return g;
+}
+
+std::vector<Module*>
+Sequential::children()
+{
+    std::vector<Module*> v;
+    v.reserve(mods_.size());
+    for (auto& m : mods_)
+        v.push_back(m.get());
+    return v;
+}
+
+} // namespace mixq

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Leaf layers of the CNN substrate: Linear, Conv2d, DwConv2d,
+ * BatchNorm2d, activations, pooling, Flatten, and the Sequential
+ * container. Convolution weights are stored in their GEMM-matrix
+ * layout [Cout, Cin*kh*kw] — the same row view that MSQ partitions.
+ */
+
+#ifndef MIXQ_NN_LAYERS_HH
+#define MIXQ_NN_LAYERS_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hh"
+#include "quant/act_quant.hh"
+
+namespace mixq {
+
+class Rng;
+
+/** Fully connected layer: y = x W^T + b, x is [N, in]. */
+class Linear : public Module
+{
+  public:
+    Linear(size_t in, size_t out, Rng& rng, bool bias = true,
+           bool signed_act = false);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+    void ownParams(std::vector<Param*>& out) override;
+    void configureOwnActQuant(int bits, bool enable) override;
+
+    Param& weight() { return w_; }
+
+  private:
+    size_t in_, out_;
+    Param w_;
+    Param b_;
+    bool hasBias_;
+    ActFakeQuant actq_;
+    Tensor xPre_;   //!< pre-quantization input (STE mask)
+    Tensor xq_;     //!< quantized input (gradient computation)
+};
+
+/** 2-D convolution via im2col; weight is [Cout, Cin*kh*kw]. */
+class Conv2d : public Module
+{
+  public:
+    Conv2d(size_t in_ch, size_t out_ch, size_t kernel, size_t stride,
+           size_t pad, Rng& rng, bool bias = false);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+    void ownParams(std::vector<Param*>& out) override;
+    void configureOwnActQuant(int bits, bool enable) override;
+
+    Param& weight() { return w_; }
+    size_t outChannels() const { return outCh_; }
+
+  private:
+    size_t inCh_, outCh_, k_, stride_, pad_;
+    Param w_;
+    Param b_;
+    bool hasBias_;
+    ActFakeQuant actq_;
+    Tensor xPre_;
+    Tensor cols_;   //!< cached im2col of the quantized input [N,CKK,OHOW]
+    std::vector<size_t> inShape_;
+};
+
+/** Depthwise 3x3-style convolution; weight is [C, kh*kw]. */
+class DwConv2d : public Module
+{
+  public:
+    DwConv2d(size_t channels, size_t kernel, size_t stride, size_t pad,
+             Rng& rng);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+    void ownParams(std::vector<Param*>& out) override;
+    void configureOwnActQuant(int bits, bool enable) override;
+
+    Param& weight() { return w_; }
+
+  private:
+    size_t ch_, k_, stride_, pad_;
+    Param w_;
+    ActFakeQuant actq_;
+    Tensor xPre_;
+    Tensor xq_;
+    std::vector<size_t> inShape_;
+};
+
+/** Batch normalization over NCHW channels with running statistics. */
+class BatchNorm2d : public Module
+{
+  public:
+    explicit BatchNorm2d(size_t channels, double momentum = 0.1,
+                         double eps = 1e-5);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+    void ownParams(std::vector<Param*>& out) override;
+
+    /** Running statistics (for export / folding). */
+    const Tensor& runningMean() const { return runMean_; }
+    const Tensor& runningVar() const { return runVar_; }
+
+  private:
+    size_t ch_;
+    double momentum_, eps_;
+    Param gamma_, beta_;
+    Tensor runMean_, runVar_;
+    Tensor xhat_;       //!< cached normalized input
+    Tensor invStd_;     //!< cached per-channel 1/std
+    std::vector<size_t> inShape_;
+};
+
+/** ReLU, optionally capped at 6 (ReLU6 for the MobileNet blocks). */
+class ReLU : public Module
+{
+  public:
+    explicit ReLU(double cap = 0.0) : cap_(cap) {}
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+
+  private:
+    double cap_;
+    std::vector<uint8_t> mask_;
+};
+
+/** 2-D max pooling with square window and stride == window. */
+class MaxPool2d : public Module
+{
+  public:
+    explicit MaxPool2d(size_t k) : k_(k) {}
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+
+  private:
+    size_t k_;
+    std::vector<size_t> argmax_;
+    std::vector<size_t> inShape_;
+};
+
+/** Global average pooling [N,C,H,W] -> [N,C]. */
+class GlobalAvgPool : public Module
+{
+  public:
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+
+  private:
+    std::vector<size_t> inShape_;
+};
+
+/** Flatten to [N, rest]. */
+class Flatten : public Module
+{
+  public:
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+
+  private:
+    std::vector<size_t> inShape_;
+};
+
+/** Ordered container running children in sequence. */
+class Sequential : public Module
+{
+  public:
+    Sequential() = default;
+
+    /** Append a layer; returns a reference for chaining. */
+    Sequential& add(std::unique_ptr<Module> m);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+    std::vector<Module*> children() override;
+
+    size_t size() const { return mods_.size(); }
+    Module& at(size_t i) { return *mods_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<Module>> mods_;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_NN_LAYERS_HH

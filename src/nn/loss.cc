@@ -1,0 +1,88 @@
+#include "nn/loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+float
+sigmoidf(float x)
+{
+    if (x >= 0.0f) {
+        float e = std::exp(-x);
+        return 1.0f / (1.0f + e);
+    }
+    float e = std::exp(x);
+    return e / (1.0f + e);
+}
+
+Tensor
+softmax(const Tensor& logits)
+{
+    MIXQ_ASSERT(logits.ndim() == 2, "softmax expects [N, C]");
+    size_t n = logits.dim(0), c = logits.dim(1);
+    Tensor p(logits.shape());
+    for (size_t i = 0; i < n; ++i) {
+        const float* row = logits.data() + i * c;
+        float m = *std::max_element(row, row + c);
+        double z = 0.0;
+        for (size_t j = 0; j < c; ++j)
+            z += std::exp(double(row[j] - m));
+        for (size_t j = 0; j < c; ++j)
+            p.at2(i, j) =
+                float(std::exp(double(row[j] - m)) / z);
+    }
+    return p;
+}
+
+double
+softmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
+                    Tensor& dlogits, int ignore_index)
+{
+    MIXQ_ASSERT(logits.ndim() == 2 && labels.size() == logits.dim(0),
+                "cross-entropy shape mismatch");
+    size_t n = logits.dim(0), c = logits.dim(1);
+    dlogits = Tensor(logits.shape());
+    Tensor p = softmax(logits);
+
+    size_t valid = 0;
+    for (int y : labels) {
+        if (y != ignore_index)
+            ++valid;
+    }
+    MIXQ_ASSERT(valid > 0, "cross-entropy: all labels ignored");
+
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        int y = labels[i];
+        if (y == ignore_index)
+            continue;
+        MIXQ_ASSERT(y >= 0 && size_t(y) < c, "label out of range");
+        loss -= std::log(std::max(double(p.at2(i, size_t(y))), 1e-12));
+        for (size_t j = 0; j < c; ++j) {
+            dlogits.at2(i, j) =
+                (p.at2(i, j) - (j == size_t(y) ? 1.0f : 0.0f)) /
+                float(valid);
+        }
+    }
+    return loss / double(valid);
+}
+
+double
+mseLoss(const Tensor& pred, const Tensor& target, Tensor& dpred)
+{
+    MIXQ_ASSERT(pred.size() == target.size(), "mse shape mismatch");
+    dpred = Tensor(pred.shape());
+    double loss = 0.0;
+    double n = double(pred.size());
+    for (size_t i = 0; i < pred.size(); ++i) {
+        double d = double(pred[i]) - double(target[i]);
+        loss += d * d;
+        dpred[i] = float(2.0 * d / n);
+    }
+    return loss / n;
+}
+
+} // namespace mixq

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Loss functions. Each returns the mean loss and fills the gradient
+ * with respect to the logits (already divided by the batch size, so
+ * the backward pass propagates mean-loss gradients).
+ */
+
+#ifndef MIXQ_NN_LOSS_HH
+#define MIXQ_NN_LOSS_HH
+
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace mixq {
+
+/**
+ * Mean softmax cross-entropy over a [N, C] logit matrix.
+ * @param ignore_index  labels equal to this value contribute neither
+ *                      loss nor gradient (use -1 for "none ignored").
+ */
+double softmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int>& labels,
+                           Tensor& dlogits, int ignore_index = -1);
+
+/** Row-wise softmax probabilities of a [N, C] logit matrix. */
+Tensor softmax(const Tensor& logits);
+
+/** Mean squared error between prediction and target (same shape). */
+double mseLoss(const Tensor& pred, const Tensor& target, Tensor& dpred);
+
+/** Numerically stable sigmoid. */
+float sigmoidf(float x);
+
+} // namespace mixq
+
+#endif // MIXQ_NN_LOSS_HH

@@ -1,0 +1,54 @@
+#include "nn/models.hh"
+
+namespace mixq {
+
+std::unique_ptr<Sequential>
+makeMiniResNet(size_t classes, Rng& rng, size_t base, size_t in_ch)
+{
+    auto net = std::make_unique<Sequential>();
+    net->add(std::make_unique<Conv2d>(in_ch, base, 3, 1, 1, rng));
+    net->add(std::make_unique<BatchNorm2d>(base));
+    net->add(std::make_unique<ReLU>());
+    net->add(std::make_unique<BasicBlock>(base, base, 1, rng));
+    net->add(std::make_unique<BasicBlock>(base, 2 * base, 2, rng));
+    net->add(std::make_unique<BasicBlock>(2 * base, 2 * base, 1, rng));
+    net->add(std::make_unique<GlobalAvgPool>());
+    net->add(std::make_unique<Linear>(2 * base, classes, rng, true));
+    return net;
+}
+
+std::unique_ptr<Sequential>
+makeMiniMobileNet(size_t classes, Rng& rng, size_t base, size_t in_ch,
+                  size_t expand)
+{
+    auto net = std::make_unique<Sequential>();
+    net->add(std::make_unique<Conv2d>(in_ch, base, 3, 1, 1, rng));
+    net->add(std::make_unique<BatchNorm2d>(base));
+    net->add(std::make_unique<ReLU>(6.0));
+    net->add(std::make_unique<InvertedResidual>(base, base, expand, 1,
+                                                rng));
+    net->add(std::make_unique<InvertedResidual>(base, 2 * base, expand,
+                                                2, rng));
+    net->add(std::make_unique<InvertedResidual>(2 * base, 2 * base,
+                                                expand, 1, rng));
+    net->add(std::make_unique<GlobalAvgPool>());
+    net->add(std::make_unique<Linear>(2 * base, classes, rng, true));
+    return net;
+}
+
+std::unique_ptr<Sequential>
+makeTinyConvNet(size_t classes, Rng& rng, size_t base, size_t in_ch)
+{
+    auto net = std::make_unique<Sequential>();
+    net->add(std::make_unique<Conv2d>(in_ch, base, 3, 1, 1, rng, true));
+    net->add(std::make_unique<ReLU>());
+    net->add(std::make_unique<MaxPool2d>(2));
+    net->add(std::make_unique<Conv2d>(base, 2 * base, 3, 1, 1, rng,
+                                      true));
+    net->add(std::make_unique<ReLU>());
+    net->add(std::make_unique<GlobalAvgPool>());
+    net->add(std::make_unique<Linear>(2 * base, classes, rng, true));
+    return net;
+}
+
+} // namespace mixq

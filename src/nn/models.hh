@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Miniature CNN builders mirroring the structure of the paper's
+ * evaluation models: MiniResNet (residual basic blocks, standing in
+ * for ResNet-18) and MiniMobileNet (inverted residual blocks with
+ * depthwise convolutions, standing in for MobileNet-v2). Sized for
+ * the synthetic datasets so a full quantization experiment runs in
+ * seconds on a CPU.
+ */
+
+#ifndef MIXQ_NN_MODELS_HH
+#define MIXQ_NN_MODELS_HH
+
+#include <memory>
+
+#include "nn/blocks.hh"
+#include "nn/layers.hh"
+
+namespace mixq {
+
+/**
+ * conv3x3 -> BN -> ReLU -> BasicBlock(b) -> BasicBlock(b->2b, s2)
+ * -> BasicBlock(2b) -> GAP -> FC.
+ */
+std::unique_ptr<Sequential>
+makeMiniResNet(size_t classes, Rng& rng, size_t base = 8,
+               size_t in_ch = 3);
+
+/**
+ * conv3x3 -> BN -> ReLU6 -> IR(b,b,e) -> IR(b,2b,e,s2) -> IR(2b,2b,e)
+ * -> GAP -> FC, with expansion factor e (default 4; MobileNet-v2
+ * uses 6 at full scale).
+ */
+std::unique_ptr<Sequential>
+makeMiniMobileNet(size_t classes, Rng& rng, size_t base = 8,
+                  size_t in_ch = 3, size_t expand = 4);
+
+/** Small plain ConvNet used by unit tests. */
+std::unique_ptr<Sequential>
+makeTinyConvNet(size_t classes, Rng& rng, size_t base = 4,
+                size_t in_ch = 3);
+
+} // namespace mixq
+
+#endif // MIXQ_NN_MODELS_HH

@@ -1,0 +1,62 @@
+#include "nn/module.hh"
+
+namespace mixq {
+
+Param::Param(std::string name, Tensor init, size_t q_rows,
+             size_t q_cols, bool decay)
+    : name(std::move(name)), w(std::move(init)),
+      grad(Tensor::zeros(w.shape())), qRows(q_rows), qCols(q_cols),
+      decay(decay)
+{
+}
+
+void
+Param::zeroGrad()
+{
+    grad.fill(0.0f);
+}
+
+void
+Module::ownParams(std::vector<Param*>&)
+{
+}
+
+void
+Module::configureOwnActQuant(int, bool)
+{
+}
+
+void
+Module::setActQuant(int bits, bool enable)
+{
+    configureOwnActQuant(bits, enable);
+    for (Module* c : children())
+        c->setActQuant(bits, enable);
+}
+
+std::vector<Param*>
+Module::params()
+{
+    std::vector<Param*> out;
+    collectParams(out);
+    return out;
+}
+
+void
+Module::collectParams(std::vector<Param*>& out)
+{
+    ownParams(out);
+    for (Module* c : children())
+        c->collectParams(out);
+}
+
+size_t
+numParams(const std::vector<Param*>& ps)
+{
+    size_t n = 0;
+    for (const Param* p : ps)
+        n += p->w.size();
+    return n;
+}
+
+} // namespace mixq

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Module/Param abstractions of the training substrate. A Module owns
+ * parameters and implements forward/backward; composite modules
+ * expose children so parameter collection and activation-quantizer
+ * configuration recurse automatically.
+ */
+
+#ifndef MIXQ_NN_MODULE_HH
+#define MIXQ_NN_MODULE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace mixq {
+
+/**
+ * A trainable parameter tensor plus its gradient. qRows/qCols describe
+ * the 2-D GEMM-matrix view used by weight quantization (rows = output
+ * channels / gate units); qRows == 0 marks the parameter as not
+ * weight-quantized (biases, BN affine parameters, embeddings).
+ */
+struct Param
+{
+    std::string name;
+    Tensor w;
+    Tensor grad;
+    size_t qRows = 0;
+    size_t qCols = 0;
+    bool decay = true; //!< participates in weight decay
+
+    Param() = default;
+    Param(std::string name, Tensor init, size_t q_rows = 0,
+          size_t q_cols = 0, bool decay = true);
+
+    void zeroGrad();
+    bool quantizable() const { return qRows > 0; }
+};
+
+/** Base class of all layers and blocks. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /**
+     * Run the layer. @p train selects training behaviour (batch-norm
+     * statistics, cached activations for backward).
+     */
+    virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+    /**
+     * Back-propagate. Accumulates parameter gradients and returns the
+     * gradient with respect to the forward input. Must be called after
+     * a forward with train == true.
+     */
+    virtual Tensor backward(const Tensor& gy) = 0;
+
+    /** Direct sub-modules (for recursion); leaves return {}. */
+    virtual std::vector<Module*> children() { return {}; }
+
+    /** Parameters owned directly by this module (not children's). */
+    virtual void ownParams(std::vector<Param*>& out);
+
+    /**
+     * Configure/enable activation fake-quantization. The default
+     * implementation recurses into children; leaf layers with
+     * quantized inputs (conv/linear/RNN cells) override
+     * configureOwnActQuant().
+     */
+    void setActQuant(int bits, bool enable);
+
+    /** Hook for leaves; default no-op. */
+    virtual void configureOwnActQuant(int bits, bool enable);
+
+    /** All parameters in the subtree, depth-first. */
+    std::vector<Param*> params();
+
+    /** Collect subtree parameters into @p out. */
+    void collectParams(std::vector<Param*>& out);
+};
+
+/** Total number of scalar parameters in a param set. */
+size_t numParams(const std::vector<Param*>& ps);
+
+} // namespace mixq
+
+#endif // MIXQ_NN_MODULE_HH

@@ -1,0 +1,58 @@
+#include "nn/optim.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+Sgd::Sgd(std::vector<Param*> params, double lr, double momentum,
+         double weight_decay)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum),
+      wd_(weight_decay)
+{
+    vel_.reserve(params_.size());
+    for (Param* p : params_)
+        vel_.push_back(Tensor::zeros(p->w.shape()));
+}
+
+void
+Sgd::step()
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Param* p = params_[i];
+        Tensor& v = vel_[i];
+        float lr = float(lr_), mu = float(momentum_);
+        float wd = p->decay ? float(wd_) : 0.0f;
+        for (size_t j = 0; j < p->w.size(); ++j) {
+            float g = p->grad[j] + wd * p->w[j];
+            v[j] = mu * v[j] - lr * g;
+            p->w[j] += v[j];
+        }
+    }
+}
+
+void
+Sgd::zeroGrad()
+{
+    for (Param* p : params_)
+        p->zeroGrad();
+}
+
+double
+cosineLr(double base, int epoch, int total_epochs)
+{
+    MIXQ_ASSERT(total_epochs > 0, "cosineLr: bad schedule");
+    double t = double(epoch) / double(total_epochs);
+    return base * 0.5 * (1.0 + std::cos(std::numbers::pi * t));
+}
+
+double
+stepLr(double base, int epoch, int every, double gamma)
+{
+    MIXQ_ASSERT(every > 0, "stepLr: bad schedule");
+    return base * std::pow(gamma, double(epoch / every));
+}
+
+} // namespace mixq

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SGD with momentum and weight decay, plus the step / cosine learning
+ * rate schedules used by the paper's quantization training recipes.
+ */
+
+#ifndef MIXQ_NN_OPTIM_HH
+#define MIXQ_NN_OPTIM_HH
+
+#include <vector>
+
+#include "nn/module.hh"
+
+namespace mixq {
+
+/** Classic SGD: v = mu*v - lr*(g + wd*w); w += v. */
+class Sgd
+{
+  public:
+    Sgd(std::vector<Param*> params, double lr, double momentum = 0.9,
+        double weight_decay = 0.0);
+
+    /** Apply one update using the accumulated gradients. */
+    void step();
+
+    /** Zero every parameter gradient. */
+    void zeroGrad();
+
+    void setLr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+
+  private:
+    std::vector<Param*> params_;
+    std::vector<Tensor> vel_;
+    double lr_, momentum_, wd_;
+};
+
+/** Cosine annealing from base to ~0 across total epochs. */
+double cosineLr(double base, int epoch, int total_epochs);
+
+/** Step decay: base * gamma^(epoch / every). */
+double stepLr(double base, int epoch, int every, double gamma = 0.1);
+
+} // namespace mixq
+
+#endif // MIXQ_NN_OPTIM_HH

@@ -1,0 +1,400 @@
+#include "nn/rnn.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "nn/gemm.hh"
+#include "nn/loss.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+
+namespace {
+
+double
+rnnInitStd(size_t fan_in)
+{
+    return 1.0 / std::sqrt(double(std::max<size_t>(fan_in, 1)));
+}
+
+} // namespace
+
+// ------------------------------------------------------------ Embedding
+
+Embedding::Embedding(size_t vocab, size_t dim, Rng& rng)
+    : vocab_(vocab), dim_(dim),
+      w_("embed.w", Tensor::randn({vocab, dim}, rng, 0.1))
+{
+}
+
+Tensor
+Embedding::forward(const std::vector<int>& ids, size_t t, size_t n)
+{
+    MIXQ_ASSERT(ids.size() == t * n, "Embedding: id grid mismatch");
+    ids_ = ids;
+    t_ = t;
+    n_ = n;
+    Tensor y({t, n, dim_});
+    for (size_t i = 0; i < ids.size(); ++i) {
+        int id = ids[i];
+        MIXQ_ASSERT(id >= 0 && size_t(id) < vocab_,
+                    "Embedding: id out of range");
+        std::memcpy(y.data() + i * dim_, w_.w.data() + size_t(id) * dim_,
+                    dim_ * sizeof(float));
+    }
+    return y;
+}
+
+void
+Embedding::backward(const Tensor& gy)
+{
+    MIXQ_ASSERT(gy.size() == ids_.size() * dim_,
+                "Embedding: grad mismatch");
+    for (size_t i = 0; i < ids_.size(); ++i) {
+        float* g = w_.grad.data() + size_t(ids_[i]) * dim_;
+        const float* src = gy.data() + i * dim_;
+        for (size_t d = 0; d < dim_; ++d)
+            g[d] += src[d];
+    }
+}
+
+// ----------------------------------------------------------------- Lstm
+
+Lstm::Lstm(size_t input, size_t hidden, Rng& rng)
+    : i_(input), h_(hidden),
+      wx_("lstm.wx", Tensor::randn({4 * hidden, input}, rng,
+                                   rnnInitStd(input)),
+          4 * hidden, input),
+      wh_("lstm.wh", Tensor::randn({4 * hidden, hidden}, rng,
+                                   rnnInitStd(hidden)),
+          4 * hidden, hidden),
+      b_("lstm.b", Tensor::zeros({4 * hidden}), 0, 0, false),
+      axq_(4, true), ahq_(4, true)
+{
+    // Forget-gate bias of 1 helps early training stability.
+    for (size_t j = hidden; j < 2 * hidden; ++j)
+        b_.w[j] = 1.0f;
+}
+
+void
+Lstm::ownParams(std::vector<Param*>& out)
+{
+    out.push_back(&wx_);
+    out.push_back(&wh_);
+    out.push_back(&b_);
+}
+
+void
+Lstm::configureOwnActQuant(int bits, bool enable)
+{
+    axq_ = ActFakeQuant(bits, true);
+    ahq_ = ActFakeQuant(bits, true);
+    axq_.setEnabled(enable);
+    ahq_.setEnabled(enable);
+}
+
+Tensor
+Lstm::forward(const Tensor& x, bool train)
+{
+    MIXQ_ASSERT(x.ndim() == 3 && x.dim(2) == i_, "Lstm input shape");
+    t_ = x.dim(0);
+    n_ = x.dim(1);
+    size_t t = t_, n = n_;
+
+    xPre_ = x;
+    xq_ = x;
+    if (axq_.enabled())
+        axq_.forward(xq_.span());
+
+    hq_ = Tensor({t, n, h_});
+    hPre_ = Tensor({t, n, h_});
+    gates_ = Tensor({t, n, 4 * h_});
+    c_ = Tensor({t, n, h_});
+    tanhc_ = Tensor({t, n, h_});
+    Tensor hOut({t, n, h_});
+
+    std::vector<float> a(n * 4 * h_);
+    for (size_t s = 0; s < t; ++s) {
+        // h_{t-1}: zero at s == 0, else previous output.
+        float* hprev = hPre_.data() + s * n * h_;
+        if (s == 0) {
+            std::memset(hprev, 0, n * h_ * sizeof(float));
+        } else {
+            std::memcpy(hprev, hOut.data() + (s - 1) * n * h_,
+                        n * h_ * sizeof(float));
+        }
+        float* hqs = hq_.data() + s * n * h_;
+        std::memcpy(hqs, hprev, n * h_ * sizeof(float));
+        if (ahq_.enabled())
+            ahq_.forward(std::span<float>(hqs, n * h_));
+
+        // Pre-activations a = xq Wx^T + hq Wh^T + b.
+        const float* xs = xq_.data() + s * n * i_;
+        gemmBT(xs, wx_.w.data(), a.data(), n, 4 * h_, i_);
+        gemmBTAcc(hqs, wh_.w.data(), a.data(), n, 4 * h_, h_);
+
+        float* g = gates_.data() + s * n * 4 * h_;
+        float* cs = c_.data() + s * n * h_;
+        const float* cprev =
+            s == 0 ? nullptr : c_.data() + (s - 1) * n * h_;
+        float* th = tanhc_.data() + s * n * h_;
+        float* ho = hOut.data() + s * n * h_;
+        for (size_t b = 0; b < n; ++b) {
+            const float* ab = a.data() + b * 4 * h_;
+            float* gb = g + b * 4 * h_;
+            for (size_t j = 0; j < h_; ++j) {
+                float iv = sigmoidf(ab[j] + b_.w[j]);
+                float fv = sigmoidf(ab[h_ + j] + b_.w[h_ + j]);
+                float gv = std::tanh(ab[2 * h_ + j] + b_.w[2 * h_ + j]);
+                float ov = sigmoidf(ab[3 * h_ + j] + b_.w[3 * h_ + j]);
+                gb[j] = iv;
+                gb[h_ + j] = fv;
+                gb[2 * h_ + j] = gv;
+                gb[3 * h_ + j] = ov;
+                float cp = cprev ? cprev[b * h_ + j] : 0.0f;
+                float cv = fv * cp + iv * gv;
+                cs[b * h_ + j] = cv;
+                float tv = std::tanh(cv);
+                th[b * h_ + j] = tv;
+                ho[b * h_ + j] = ov * tv;
+            }
+        }
+    }
+    (void)train;
+    return hOut;
+}
+
+Tensor
+Lstm::backward(const Tensor& gy)
+{
+    size_t t = t_, n = n_;
+    MIXQ_ASSERT(gy.ndim() == 3 && gy.dim(0) == t && gy.dim(1) == n &&
+                gy.dim(2) == h_, "Lstm grad shape");
+
+    Tensor gx({t, n, i_});
+    std::vector<float> dh_next(n * h_, 0.0f);
+    std::vector<float> dc_next(n * h_, 0.0f);
+    std::vector<float> da(n * 4 * h_);
+
+    for (size_t s = t; s-- > 0;) {
+        const float* g = gates_.data() + s * n * 4 * h_;
+        const float* th = tanhc_.data() + s * n * h_;
+        const float* cprev =
+            s == 0 ? nullptr : c_.data() + (s - 1) * n * h_;
+        const float* gys = gy.data() + s * n * h_;
+
+        for (size_t b = 0; b < n; ++b) {
+            const float* gb = g + b * 4 * h_;
+            float* dab = da.data() + b * 4 * h_;
+            for (size_t j = 0; j < h_; ++j) {
+                float dh = gys[b * h_ + j] + dh_next[b * h_ + j];
+                float iv = gb[j], fv = gb[h_ + j];
+                float gv = gb[2 * h_ + j], ov = gb[3 * h_ + j];
+                float tv = th[b * h_ + j];
+                float dct = dh * ov * (1.0f - tv * tv) +
+                            dc_next[b * h_ + j];
+                float cp = cprev ? cprev[b * h_ + j] : 0.0f;
+                dab[j] = dct * gv * iv * (1.0f - iv);
+                dab[h_ + j] = dct * cp * fv * (1.0f - fv);
+                dab[2 * h_ + j] = dct * iv * (1.0f - gv * gv);
+                dab[3 * h_ + j] = dh * tv * ov * (1.0f - ov);
+                dc_next[b * h_ + j] = dct * fv;
+            }
+        }
+
+        // Parameter gradients.
+        const float* xs = xq_.data() + s * n * i_;
+        const float* hqs = hq_.data() + s * n * h_;
+        gemmATAcc(da.data(), xs, wx_.grad.data(), 4 * h_, i_, n);
+        gemmATAcc(da.data(), hqs, wh_.grad.data(), 4 * h_, h_, n);
+        for (size_t b = 0; b < n; ++b)
+            for (size_t j = 0; j < 4 * h_; ++j)
+                b_.grad[j] += da[b * 4 * h_ + j];
+
+        // Input and recurrent gradients.
+        float* gxs = gx.data() + s * n * i_;
+        gemm(da.data(), wx_.w.data(), gxs, n, i_, 4 * h_);
+        gemm(da.data(), wh_.w.data(), dh_next.data(), n, h_, 4 * h_);
+        if (ahq_.enabled()) {
+            const float* hp = hPre_.data() + s * n * h_;
+            ahq_.backwardSte(std::span<const float>(hp, n * h_),
+                             std::span<float>(dh_next.data(), n * h_));
+        }
+    }
+    if (axq_.enabled())
+        axq_.backwardSte(xPre_.span(), gx.span());
+    return gx;
+}
+
+// ------------------------------------------------------------------ Gru
+
+Gru::Gru(size_t input, size_t hidden, Rng& rng)
+    : i_(input), h_(hidden),
+      wx_("gru.wx", Tensor::randn({3 * hidden, input}, rng,
+                                  rnnInitStd(input)),
+          3 * hidden, input),
+      wh_("gru.wh", Tensor::randn({3 * hidden, hidden}, rng,
+                                  rnnInitStd(hidden)),
+          3 * hidden, hidden),
+      b_("gru.b", Tensor::zeros({3 * hidden}), 0, 0, false),
+      axq_(4, true), ahq_(4, true)
+{
+}
+
+void
+Gru::ownParams(std::vector<Param*>& out)
+{
+    out.push_back(&wx_);
+    out.push_back(&wh_);
+    out.push_back(&b_);
+}
+
+void
+Gru::configureOwnActQuant(int bits, bool enable)
+{
+    axq_ = ActFakeQuant(bits, true);
+    ahq_ = ActFakeQuant(bits, true);
+    axq_.setEnabled(enable);
+    ahq_.setEnabled(enable);
+}
+
+Tensor
+Gru::forward(const Tensor& x, bool train)
+{
+    MIXQ_ASSERT(x.ndim() == 3 && x.dim(2) == i_, "Gru input shape");
+    t_ = x.dim(0);
+    n_ = x.dim(1);
+    size_t t = t_, n = n_;
+
+    xPre_ = x;
+    xq_ = x;
+    if (axq_.enabled())
+        axq_.forward(xq_.span());
+
+    hq_ = Tensor({t, n, h_});
+    hPre_ = Tensor({t, n, h_});
+    gates_ = Tensor({t, n, 3 * h_});
+    ahn_ = Tensor({t, n, h_});
+    hOut_ = Tensor({t, n, h_});
+
+    std::vector<float> ax(n * 3 * h_);
+    std::vector<float> ah(n * 3 * h_);
+    for (size_t s = 0; s < t; ++s) {
+        float* hprev = hPre_.data() + s * n * h_;
+        if (s == 0) {
+            std::memset(hprev, 0, n * h_ * sizeof(float));
+        } else {
+            std::memcpy(hprev, hOut_.data() + (s - 1) * n * h_,
+                        n * h_ * sizeof(float));
+        }
+        float* hqs = hq_.data() + s * n * h_;
+        std::memcpy(hqs, hprev, n * h_ * sizeof(float));
+        if (ahq_.enabled())
+            ahq_.forward(std::span<float>(hqs, n * h_));
+
+        const float* xs = xq_.data() + s * n * i_;
+        gemmBT(xs, wx_.w.data(), ax.data(), n, 3 * h_, i_);
+        gemmBT(hqs, wh_.w.data(), ah.data(), n, 3 * h_, h_);
+
+        float* g = gates_.data() + s * n * 3 * h_;
+        float* hu = ahn_.data() + s * n * h_;
+        float* ho = hOut_.data() + s * n * h_;
+        for (size_t b = 0; b < n; ++b) {
+            const float* axb = ax.data() + b * 3 * h_;
+            const float* ahb = ah.data() + b * 3 * h_;
+            float* gb = g + b * 3 * h_;
+            for (size_t j = 0; j < h_; ++j) {
+                float zv = sigmoidf(axb[j] + ahb[j] + b_.w[j]);
+                float rv = sigmoidf(axb[h_ + j] + ahb[h_ + j] +
+                                    b_.w[h_ + j]);
+                float huv = ahb[2 * h_ + j];
+                float nv = std::tanh(axb[2 * h_ + j] + b_.w[2 * h_ + j] +
+                                     rv * huv);
+                gb[j] = zv;
+                gb[h_ + j] = rv;
+                gb[2 * h_ + j] = nv;
+                hu[b * h_ + j] = huv;
+                float hp = hprev[b * h_ + j];
+                ho[b * h_ + j] = (1.0f - zv) * nv + zv * hp;
+            }
+        }
+    }
+    (void)train;
+    return hOut_;
+}
+
+Tensor
+Gru::backward(const Tensor& gy)
+{
+    size_t t = t_, n = n_;
+    MIXQ_ASSERT(gy.ndim() == 3 && gy.dim(0) == t && gy.dim(1) == n &&
+                gy.dim(2) == h_, "Gru grad shape");
+
+    Tensor gx({t, n, i_});
+    std::vector<float> dh_next(n * h_, 0.0f);
+    std::vector<float> dax(n * 3 * h_);
+    std::vector<float> dah(n * 3 * h_);
+
+    for (size_t s = t; s-- > 0;) {
+        const float* g = gates_.data() + s * n * 3 * h_;
+        const float* hu = ahn_.data() + s * n * h_;
+        const float* hprev = hPre_.data() + s * n * h_;
+        const float* gys = gy.data() + s * n * h_;
+
+        std::vector<float> dh_prev(n * h_, 0.0f);
+        for (size_t b = 0; b < n; ++b) {
+            const float* gb = g + b * 3 * h_;
+            float* daxb = dax.data() + b * 3 * h_;
+            float* dahb = dah.data() + b * 3 * h_;
+            for (size_t j = 0; j < h_; ++j) {
+                float dh = gys[b * h_ + j] + dh_next[b * h_ + j];
+                float zv = gb[j], rv = gb[h_ + j], nv = gb[2 * h_ + j];
+                float hp = hprev[b * h_ + j];
+                float huv = hu[b * h_ + j];
+
+                float dz = dh * (hp - nv);
+                float dn = dh * (1.0f - zv);
+                dh_prev[b * h_ + j] += dh * zv;
+
+                float da_z = dz * zv * (1.0f - zv);
+                float da_n = dn * (1.0f - nv * nv);
+                float dr = da_n * huv;
+                float da_r = dr * rv * (1.0f - rv);
+                float dhu = da_n * rv;
+
+                daxb[j] = da_z;
+                daxb[h_ + j] = da_r;
+                daxb[2 * h_ + j] = da_n;
+                dahb[j] = da_z;
+                dahb[h_ + j] = da_r;
+                dahb[2 * h_ + j] = dhu;
+            }
+        }
+
+        const float* xs = xq_.data() + s * n * i_;
+        const float* hqs = hq_.data() + s * n * h_;
+        gemmATAcc(dax.data(), xs, wx_.grad.data(), 3 * h_, i_, n);
+        gemmATAcc(dah.data(), hqs, wh_.grad.data(), 3 * h_, h_, n);
+        for (size_t b = 0; b < n; ++b)
+            for (size_t j = 0; j < 3 * h_; ++j)
+                b_.grad[j] += dax[b * 3 * h_ + j];
+
+        float* gxs = gx.data() + s * n * i_;
+        gemm(dax.data(), wx_.w.data(), gxs, n, i_, 3 * h_);
+        // Recurrent gradient through the three Uh paths.
+        std::vector<float> dh_rec(n * h_, 0.0f);
+        gemm(dah.data(), wh_.w.data(), dh_rec.data(), n, h_, 3 * h_);
+        if (ahq_.enabled()) {
+            ahq_.backwardSte(std::span<const float>(hprev, n * h_),
+                             std::span<float>(dh_rec.data(), n * h_));
+        }
+        for (size_t k = 0; k < n * h_; ++k)
+            dh_next[k] = dh_prev[k] + dh_rec[k];
+    }
+    if (axq_.enabled())
+        axq_.backwardSte(xPre_.span(), gx.span());
+    return gx;
+}
+
+} // namespace mixq

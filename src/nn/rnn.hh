@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Recurrent layers with manual BPTT: LSTM and GRU cells unrolled over
+ * [T, N, F] sequence tensors, and an Embedding lookup. The gate
+ * weight matrices are the quantization targets of the paper's RNN
+ * experiments (Table VI); their rows (gate units) are what MSQ
+ * partitions. Hidden/input activations are fake-quantized with a
+ * symmetric signed range because tanh outputs are in [-1, 1].
+ */
+
+#ifndef MIXQ_NN_RNN_HH
+#define MIXQ_NN_RNN_HH
+
+#include <vector>
+
+#include "nn/module.hh"
+#include "quant/act_quant.hh"
+
+namespace mixq {
+
+class Rng;
+
+/** Token embedding: ids [T*N] -> [T, N, E]. */
+class Embedding
+{
+  public:
+    Embedding(size_t vocab, size_t dim, Rng& rng);
+
+    /** Look up a [T, N] id grid into a [T, N, E] tensor. */
+    Tensor forward(const std::vector<int>& ids, size_t t, size_t n);
+
+    /** Scatter-add gradient for the last forward. */
+    void backward(const Tensor& gy);
+
+    void ownParams(std::vector<Param*>& out) { out.push_back(&w_); }
+    size_t dim() const { return dim_; }
+
+  private:
+    size_t vocab_, dim_;
+    Param w_;
+    std::vector<int> ids_;
+    size_t t_ = 0, n_ = 0;
+};
+
+/** Unrolled LSTM layer, gate order (i, f, g, o). */
+class Lstm : public Module
+{
+  public:
+    Lstm(size_t input, size_t hidden, Rng& rng);
+
+    /** x is [T, N, I]; returns hidden states [T, N, H]. */
+    Tensor forward(const Tensor& x, bool train) override;
+
+    /** gy is [T, N, H]; returns [T, N, I]. */
+    Tensor backward(const Tensor& gy) override;
+
+    void ownParams(std::vector<Param*>& out) override;
+    void configureOwnActQuant(int bits, bool enable) override;
+
+    size_t hidden() const { return h_; }
+
+  private:
+    size_t i_, h_;
+    Param wx_;   //!< [4H, I]
+    Param wh_;   //!< [4H, H]
+    Param b_;    //!< [4H]
+    ActFakeQuant axq_, ahq_;
+
+    // Caches (train forward).
+    size_t t_ = 0, n_ = 0;
+    Tensor xq_, xPre_;   //!< quantized / raw input
+    Tensor hq_;          //!< quantized h_{t-1} per step [T, N, H]
+    Tensor hPre_;        //!< raw h_{t-1} per step
+    Tensor gates_;       //!< post-activation (i,f,g,o) [T, N, 4H]
+    Tensor c_;           //!< cell states [T, N, H]
+    Tensor tanhc_;       //!< tanh(c_t)
+};
+
+/** Unrolled GRU layer, gate order (z, r, n); bias applied on the
+ *  input path (the "v3" GRU variant: n = tanh(Wn x + bn + r .* Un h)).
+ */
+class Gru : public Module
+{
+  public:
+    Gru(size_t input, size_t hidden, Rng& rng);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& gy) override;
+    void ownParams(std::vector<Param*>& out) override;
+    void configureOwnActQuant(int bits, bool enable) override;
+
+    size_t hidden() const { return h_; }
+
+  private:
+    size_t i_, h_;
+    Param wx_;   //!< [3H, I]
+    Param wh_;   //!< [3H, H]
+    Param b_;    //!< [3H]
+    ActFakeQuant axq_, ahq_;
+
+    size_t t_ = 0, n_ = 0;
+    Tensor xq_, xPre_;
+    Tensor hq_, hPre_;
+    Tensor gates_;   //!< post-activation (z, r, n~) [T, N, 3H]
+    Tensor ahn_;     //!< cached Un * h term [T, N, H]
+    Tensor hOut_;    //!< produced hidden states [T, N, H]
+};
+
+} // namespace mixq
+
+#endif // MIXQ_NN_RNN_HH

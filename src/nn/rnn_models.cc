@@ -1,0 +1,185 @@
+#include "nn/rnn_models.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+// --------------------------------------------------------------- LstmLm
+
+LstmLm::LstmLm(size_t vocab, size_t embed, size_t hidden, size_t layers,
+               Rng& rng)
+    : vocab_(vocab), emb_(vocab, embed, rng),
+      head_(hidden, vocab, rng, true, /*signed_act=*/true)
+{
+    MIXQ_ASSERT(layers >= 1, "LstmLm needs at least one layer");
+    size_t in = embed;
+    for (size_t l = 0; l < layers; ++l) {
+        lstm_.push_back(std::make_unique<Lstm>(in, hidden, rng));
+        in = hidden;
+    }
+}
+
+Tensor
+LstmLm::forward(const std::vector<int>& ids, size_t t, size_t n,
+                bool train)
+{
+    t_ = t;
+    n_ = n;
+    Tensor h = emb_.forward(ids, t, n);
+    for (auto& l : lstm_)
+        h = l->forward(h, train);
+    h.reshape({t * n, h.dim(2)});
+    return head_.forward(h, train);
+}
+
+void
+LstmLm::backward(const Tensor& dlogits)
+{
+    Tensor g = head_.backward(dlogits);
+    g.reshape({t_, n_, g.dim(1) / 1});
+    g.reshape({t_, n_, g.size() / (t_ * n_)});
+    for (size_t i = lstm_.size(); i-- > 0;)
+        g = lstm_[i]->backward(g);
+    emb_.backward(g);
+}
+
+std::vector<Param*>
+LstmLm::params()
+{
+    std::vector<Param*> v;
+    emb_.ownParams(v);
+    for (auto& l : lstm_)
+        l->ownParams(v);
+    head_.ownParams(v);
+    return v;
+}
+
+void
+LstmLm::setActQuant(int bits, bool enable)
+{
+    for (auto& l : lstm_)
+        l->configureOwnActQuant(bits, enable);
+    head_.configureOwnActQuant(bits, enable);
+}
+
+// ------------------------------------------------------------ GruTagger
+
+GruTagger::GruTagger(size_t features, size_t hidden, size_t layers,
+                     size_t phonemes, Rng& rng)
+    : phonemes_(phonemes),
+      head_(hidden, phonemes, rng, true, /*signed_act=*/true)
+{
+    MIXQ_ASSERT(layers >= 1, "GruTagger needs at least one layer");
+    size_t in = features;
+    for (size_t l = 0; l < layers; ++l) {
+        gru_.push_back(std::make_unique<Gru>(in, hidden, rng));
+        in = hidden;
+    }
+}
+
+Tensor
+GruTagger::forward(const Tensor& x, bool train)
+{
+    t_ = x.dim(0);
+    n_ = x.dim(1);
+    Tensor h = x;
+    for (auto& l : gru_)
+        h = l->forward(h, train);
+    h.reshape({t_ * n_, h.size() / (t_ * n_)});
+    return head_.forward(h, train);
+}
+
+void
+GruTagger::backward(const Tensor& dlogits)
+{
+    Tensor g = head_.backward(dlogits);
+    g.reshape({t_, n_, g.size() / (t_ * n_)});
+    for (size_t i = gru_.size(); i-- > 0;)
+        g = gru_[i]->backward(g);
+}
+
+std::vector<Param*>
+GruTagger::params()
+{
+    std::vector<Param*> v;
+    for (auto& l : gru_)
+        l->ownParams(v);
+    head_.ownParams(v);
+    return v;
+}
+
+void
+GruTagger::setActQuant(int bits, bool enable)
+{
+    for (auto& l : gru_)
+        l->configureOwnActQuant(bits, enable);
+    head_.configureOwnActQuant(bits, enable);
+}
+
+// ------------------------------------------------------- LstmClassifier
+
+LstmClassifier::LstmClassifier(size_t vocab, size_t embed, size_t hidden,
+                               size_t layers, size_t classes, Rng& rng)
+    : emb_(vocab, embed, rng),
+      head_(hidden, classes, rng, true, /*signed_act=*/true)
+{
+    MIXQ_ASSERT(layers >= 1, "LstmClassifier needs at least one layer");
+    size_t in = embed;
+    for (size_t l = 0; l < layers; ++l) {
+        lstm_.push_back(std::make_unique<Lstm>(in, hidden, rng));
+        in = hidden;
+    }
+}
+
+Tensor
+LstmClassifier::forward(const std::vector<int>& ids, size_t t, size_t n,
+                        bool train)
+{
+    t_ = t;
+    n_ = n;
+    Tensor h = emb_.forward(ids, t, n);
+    for (auto& l : lstm_)
+        h = l->forward(h, train);
+    // Final-step hidden state: h[t-1] is [N, H].
+    size_t hd = h.dim(2);
+    Tensor last({n, hd});
+    std::memcpy(last.data(), h.data() + (t - 1) * n * hd,
+                n * hd * sizeof(float));
+    return head_.forward(last, train);
+}
+
+void
+LstmClassifier::backward(const Tensor& dlogits)
+{
+    Tensor glast = head_.backward(dlogits);
+    size_t hd = glast.dim(1);
+    Tensor g({t_, n_, hd});
+    std::memcpy(g.data() + (t_ - 1) * n_ * hd, glast.data(),
+                n_ * hd * sizeof(float));
+    for (size_t i = lstm_.size(); i-- > 0;)
+        g = lstm_[i]->backward(g);
+    emb_.backward(g);
+}
+
+std::vector<Param*>
+LstmClassifier::params()
+{
+    std::vector<Param*> v;
+    emb_.ownParams(v);
+    for (auto& l : lstm_)
+        l->ownParams(v);
+    head_.ownParams(v);
+    return v;
+}
+
+void
+LstmClassifier::setActQuant(int bits, bool enable)
+{
+    for (auto& l : lstm_)
+        l->configureOwnActQuant(bits, enable);
+    head_.configureOwnActQuant(bits, enable);
+}
+
+} // namespace mixq

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * RNN task models for Table VI's three applications: an LSTM language
+ * model (perplexity, PTB stand-in), a GRU frame tagger (PER, TIMIT
+ * stand-in) and an LSTM sequence classifier (accuracy, IMDB
+ * stand-in). Each exposes its parameter list so the model-agnostic
+ * QatContext can attach ADMM quantization.
+ */
+
+#ifndef MIXQ_NN_RNN_MODELS_HH
+#define MIXQ_NN_RNN_MODELS_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hh"
+#include "nn/rnn.hh"
+
+namespace mixq {
+
+/** One BPTT batch of a language-model corpus: ids are [T, N] grids. */
+struct LmBatch
+{
+    std::vector<int> input;  //!< [T * N] token ids
+    std::vector<int> target; //!< [T * N] next-token ids
+    size_t t = 0, n = 0;
+};
+
+/** Word-level LSTM language model: Embedding -> LSTM stack -> FC. */
+class LstmLm
+{
+  public:
+    LstmLm(size_t vocab, size_t embed, size_t hidden, size_t layers,
+           Rng& rng);
+
+    /** Returns logits [T*N, V]. */
+    Tensor forward(const std::vector<int>& ids, size_t t, size_t n,
+                   bool train);
+    void backward(const Tensor& dlogits);
+
+    std::vector<Param*> params();
+    void setActQuant(int bits, bool enable);
+    size_t vocab() const { return vocab_; }
+
+  private:
+    size_t vocab_;
+    Embedding emb_;
+    std::vector<std::unique_ptr<Lstm>> lstm_;
+    Linear head_;
+    size_t t_ = 0, n_ = 0;
+};
+
+/** GRU frame tagger over real-valued feature streams. */
+class GruTagger
+{
+  public:
+    GruTagger(size_t features, size_t hidden, size_t layers,
+              size_t phonemes, Rng& rng);
+
+    /** x is [T, N, F]; returns frame logits [T*N, P]. */
+    Tensor forward(const Tensor& x, bool train);
+    void backward(const Tensor& dlogits);
+
+    std::vector<Param*> params();
+    void setActQuant(int bits, bool enable);
+    size_t phonemes() const { return phonemes_; }
+
+  private:
+    size_t phonemes_;
+    std::vector<std::unique_ptr<Gru>> gru_;
+    Linear head_;
+    size_t t_ = 0, n_ = 0;
+};
+
+/** LSTM sequence classifier (final hidden state -> FC). */
+class LstmClassifier
+{
+  public:
+    LstmClassifier(size_t vocab, size_t embed, size_t hidden,
+                   size_t layers, size_t classes, Rng& rng);
+
+    /** Returns logits [N, classes]. */
+    Tensor forward(const std::vector<int>& ids, size_t t, size_t n,
+                   bool train);
+    void backward(const Tensor& dlogits);
+
+    std::vector<Param*> params();
+    void setActQuant(int bits, bool enable);
+
+  private:
+    Embedding emb_;
+    std::vector<std::unique_ptr<Lstm>> lstm_;
+    Linear head_;
+    size_t t_ = 0, n_ = 0;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_NN_RNN_MODELS_HH

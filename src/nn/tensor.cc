@@ -1,0 +1,129 @@
+#include "nn/tensor.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+
+size_t
+shapeSize(const std::vector<size_t>& shape)
+{
+    size_t n = 1;
+    for (size_t d : shape)
+        n *= d;
+    return n;
+}
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(shapeSize(shape_), 0.0f)
+{
+}
+
+Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    MIXQ_ASSERT(data_.size() == shapeSize(shape_),
+                "tensor data/shape mismatch");
+}
+
+Tensor
+Tensor::zeros(std::vector<size_t> shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::full(std::vector<size_t> shape, float v)
+{
+    Tensor t(std::move(shape));
+    t.fill(v);
+    return t;
+}
+
+Tensor
+Tensor::randn(std::vector<size_t> shape, Rng& rng, double stddev)
+{
+    Tensor t(std::move(shape));
+    for (float& v : t.data_)
+        v = float(rng.normal(0.0, stddev));
+    return t;
+}
+
+size_t
+Tensor::dim(size_t i) const
+{
+    MIXQ_ASSERT(i < shape_.size(), "dim index out of range");
+    return shape_[i];
+}
+
+float&
+Tensor::at2(size_t i, size_t j)
+{
+    return data_[i * shape_[1] + j];
+}
+
+float
+Tensor::at2(size_t i, size_t j) const
+{
+    return data_[i * shape_[1] + j];
+}
+
+float&
+Tensor::at4(size_t n, size_t c, size_t h, size_t w)
+{
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float
+Tensor::at4(size_t n, size_t c, size_t h, size_t w) const
+{
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+void
+Tensor::reshape(std::vector<size_t> shape)
+{
+    MIXQ_ASSERT(shapeSize(shape) == data_.size(),
+                "reshape changes element count");
+    shape_ = std::move(shape);
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Tensor::add(const Tensor& other)
+{
+    MIXQ_ASSERT(other.size() == size(), "add size mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Tensor::addScaled(const Tensor& other, float s)
+{
+    MIXQ_ASSERT(other.size() == size(), "addScaled size mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += s * other.data_[i];
+}
+
+void
+Tensor::scale(float s)
+{
+    for (float& v : data_)
+        v *= s;
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += v;
+    return s;
+}
+
+} // namespace mixq

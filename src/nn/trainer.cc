@@ -1,0 +1,219 @@
+#include "nn/trainer.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+
+#include "nn/loss.hh"
+#include "nn/optim.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+
+namespace {
+
+/** Gather batch images/labels by shuffled index range. */
+void
+gatherBatch(const LabeledImages& data, const std::vector<size_t>& order,
+            size_t b0, size_t b1, Tensor& x, std::vector<int>& y)
+{
+    size_t n = b1 - b0;
+    std::vector<size_t> shape = data.images.shape();
+    size_t item = data.images.size() / shape[0];
+    shape[0] = n;
+    x = Tensor(shape);
+    y.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        size_t src = order[b0 + i];
+        std::memcpy(x.data() + i * item, data.images.data() + src * item,
+                    item * sizeof(float));
+        y[i] = data.labels[src];
+    }
+}
+
+} // namespace
+
+AdmmState::ProjectFn
+QatContext::makeProj(Entry* e)
+{
+    size_t rows = e->p->qRows;
+    size_t cols = e->p->qCols;
+    const QConfig* cfg = &cfg_;
+    return [e, rows, cols, cfg](std::span<const float> in,
+                                std::span<float> out) {
+        MIXQ_ASSERT(in.size() == rows * cols && out.size() == in.size(),
+                    "projection size mismatch");
+        e->proj = quantizeMatrix(in.data(), out.data(), rows, cols,
+                                 *cfg);
+    };
+}
+
+void
+QatContext::attach(const std::vector<Param*>& params)
+{
+    MIXQ_ASSERT(entries_.empty(), "QatContext: already attached");
+    for (Param* p : params) {
+        if (!p->quantizable())
+            continue;
+        MIXQ_ASSERT(p->qRows * p->qCols == p->w.size(),
+                    "quantizable param has inconsistent matrix view");
+        entries_.push_back(Entry{p, AdmmState{}, MatrixQuantResult{}});
+    }
+    MIXQ_ASSERT(!entries_.empty(), "QatContext: nothing to quantize");
+    for (Entry& e : entries_)
+        e.admm.init(e.p->w.span(), makeProj(&e), cfg_.rho);
+}
+
+void
+QatContext::epochUpdate()
+{
+    for (Entry& e : entries_)
+        e.admm.epochUpdate(e.p->w.span(), makeProj(&e));
+}
+
+void
+QatContext::addPenaltyGrads()
+{
+    for (Entry& e : entries_)
+        e.admm.addPenaltyGrad(e.p->w.span(), e.p->grad.span());
+}
+
+double
+QatContext::penaltyTotal() const
+{
+    double s = 0.0;
+    for (const Entry& e : entries_)
+        s += e.admm.penalty(e.p->w.span());
+    return s;
+}
+
+void
+QatContext::finalize()
+{
+    for (Entry& e : entries_) {
+        e.proj = quantizeMatrix(e.p->w.data(), e.p->w.data(),
+                                e.p->qRows, e.p->qCols, cfg_);
+    }
+    finalized_ = true;
+}
+
+void
+trainClassifier(Module& model, const LabeledImages& train,
+                const TrainCfg& cfg, QatContext* qat)
+{
+    MIXQ_ASSERT(train.size() > 0, "empty training set");
+    if (qat) {
+        model.setActQuant(qat->config().quantizeActivations
+                              ? qat->config().actBits : 8,
+                          qat->config().quantizeActivations);
+    }
+
+    Sgd sgd(model.params(), cfg.lr, cfg.momentum, cfg.weightDecay);
+    Rng rng(cfg.seed);
+    std::vector<size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        double lr = cfg.cosine
+            ? cosineLr(cfg.lr, epoch, cfg.epochs)
+            : stepLr(cfg.lr, epoch, cfg.stepEvery);
+        sgd.setLr(lr);
+        if (qat)
+            qat->epochUpdate();
+        rng.shuffle(order);
+
+        double loss_sum = 0.0;
+        size_t batches = 0;
+        for (size_t b0 = 0; b0 < train.size(); b0 += cfg.batch) {
+            size_t b1 = std::min(b0 + cfg.batch, train.size());
+            Tensor x;
+            std::vector<int> y;
+            gatherBatch(train, order, b0, b1, x, y);
+
+            sgd.zeroGrad();
+            Tensor logits = model.forward(x, true);
+            Tensor dlogits;
+            double loss = softmaxCrossEntropy(logits, y, dlogits);
+            model.backward(dlogits);
+            if (qat) {
+                qat->addPenaltyGrads();
+                loss += qat->penaltyTotal();
+            }
+            sgd.step();
+            loss_sum += loss;
+            ++batches;
+        }
+        if (cfg.verbose) {
+            std::ostringstream oss;
+            oss << "epoch " << epoch << " lr " << lr << " loss "
+                << loss_sum / double(std::max<size_t>(batches, 1));
+            inform(oss.str());
+        }
+    }
+    if (qat)
+        qat->finalize();
+}
+
+namespace {
+
+double
+evalTopK(Module& model, const LabeledImages& data, size_t k,
+         size_t batch)
+{
+    MIXQ_ASSERT(data.size() > 0 && k >= 1, "bad eval arguments");
+    std::vector<size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+    size_t correct = 0;
+    for (size_t b0 = 0; b0 < data.size(); b0 += batch) {
+        size_t b1 = std::min(b0 + batch, data.size());
+        Tensor x;
+        std::vector<int> y;
+        gatherBatch(data, order, b0, b1, x, y);
+        Tensor logits = model.forward(x, false);
+        size_t c = logits.dim(1);
+        for (size_t i = 0; i < y.size(); ++i) {
+            const float* row = logits.data() + i * c;
+            float truth = row[size_t(y[i])];
+            size_t better = 0;
+            for (size_t j = 0; j < c; ++j) {
+                if (row[j] > truth)
+                    ++better;
+            }
+            if (better < k)
+                ++correct;
+        }
+    }
+    return double(correct) / double(data.size());
+}
+
+} // namespace
+
+double
+evalClassifier(Module& model, const LabeledImages& data, size_t batch)
+{
+    return evalTopK(model, data, 1, batch);
+}
+
+double
+evalClassifierTopK(Module& model, const LabeledImages& data, size_t k,
+                   size_t batch)
+{
+    return evalTopK(model, data, k, batch);
+}
+
+std::vector<MatrixQuantResult>
+hardQuantize(const std::vector<Param*>& params, const QConfig& cfg)
+{
+    std::vector<MatrixQuantResult> out;
+    for (Param* p : params) {
+        if (!p->quantizable())
+            continue;
+        out.push_back(quantizeMatrix(p->w.data(), p->w.data(), p->qRows,
+                                     p->qCols, cfg));
+    }
+    return out;
+}
+
+} // namespace mixq

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Training loops. trainClassifier() runs plain FP32 training; handing
+ * it a QatContext turns it into the paper's Algorithm 1/2: ADMM dual
+ * updates every epoch (with the MSQ per-row partition refreshed from
+ * the current weights), the rho/2 ||W - Z + U||^2 penalty gradient
+ * every batch, STE-quantized activations, and a final hard projection
+ * of every quantizable parameter.
+ */
+
+#ifndef MIXQ_NN_TRAINER_HH
+#define MIXQ_NN_TRAINER_HH
+
+#include <vector>
+
+#include "nn/module.hh"
+#include "quant/admm.hh"
+#include "quant/qconfig.hh"
+#include "quant/quantizer.hh"
+
+namespace mixq {
+
+/** Simple in-memory labeled image set ([N,C,H,W] + labels). */
+struct LabeledImages
+{
+    Tensor images;
+    std::vector<int> labels;
+    size_t numClasses = 0;
+
+    size_t size() const { return labels.size(); }
+};
+
+/** Hyper-parameters of one training run. */
+struct TrainCfg
+{
+    int epochs = 10;
+    size_t batch = 32;
+    double lr = 0.05;
+    double momentum = 0.9;
+    double weightDecay = 5e-4;
+    bool cosine = true;        //!< cosine schedule (else step decay)
+    int stepEvery = 10;        //!< step-decay period when !cosine
+    uint64_t seed = 1;
+    bool verbose = false;
+};
+
+/**
+ * ADMM quantization-training state over a set of parameters
+ * (Algorithm 1; Algorithm 2 when cfg.scheme == Mixed). The context is
+ * model-agnostic: CNNs pass Module::params(), the RNN task models
+ * pass their own parameter lists.
+ */
+class QatContext
+{
+  public:
+    explicit QatContext(QConfig cfg) : cfg_(std::move(cfg)) {}
+
+    /** Register all quantizable params and initialize Z = proj(W). */
+    void attach(const std::vector<Param*>& params);
+
+    /** Per-epoch dual update (re-partitions rows under MSQ). */
+    void epochUpdate();
+
+    /** Add rho (W - Z + U) to every attached parameter gradient. */
+    void addPenaltyGrads();
+
+    /** Sum of the ADMM penalty terms (for loss reporting). */
+    double penaltyTotal() const;
+
+    /** Hard-project every parameter onto its constraint set. */
+    void finalize();
+
+    /** Per-parameter record kept by the context. */
+    struct Entry
+    {
+        Param* p;
+        AdmmState admm;
+        MatrixQuantResult proj; //!< result of the latest projection
+    };
+
+    const std::vector<Entry>& entries() const { return entries_; }
+    const QConfig& config() const { return cfg_; }
+    bool finalized() const { return finalized_; }
+
+  private:
+    AdmmState::ProjectFn makeProj(Entry* e);
+
+    QConfig cfg_;
+    std::vector<Entry> entries_;
+    bool finalized_ = false;
+};
+
+/**
+ * Train a classifier on a labeled image set. With @p qat non-null the
+ * loop runs quantization-aware: activation quantizers are enabled,
+ * ADMM penalties applied, and weights hard-projected at the end.
+ */
+void trainClassifier(Module& model, const LabeledImages& train,
+                     const TrainCfg& cfg, QatContext* qat = nullptr);
+
+/** Top-1 accuracy of a classifier on a labeled image set. */
+double evalClassifier(Module& model, const LabeledImages& data,
+                      size_t batch = 128);
+
+/** Top-k accuracy (k >= 1). */
+double evalClassifierTopK(Module& model, const LabeledImages& data,
+                          size_t k, size_t batch = 128);
+
+/**
+ * Post-training hard quantization of a parameter list (no retraining).
+ * Returns the per-parameter projection records.
+ */
+std::vector<MatrixQuantResult>
+hardQuantize(const std::vector<Param*>& params, const QConfig& cfg);
+
+} // namespace mixq
+
+#endif // MIXQ_NN_TRAINER_HH

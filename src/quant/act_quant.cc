@@ -1,0 +1,67 @@
+#include "quant/act_quant.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace mixq {
+
+ActFakeQuant::ActFakeQuant(int bits, bool is_signed)
+    : bits_(bits), signed_(is_signed)
+{
+    MIXQ_ASSERT(bits >= 2 && bits <= 16, "activation bits out of range");
+}
+
+void
+ActFakeQuant::observe(std::span<const float> x)
+{
+    double m = maxAbs(x);
+    if (m == 0.0)
+        return;
+    if (!calibrated_) {
+        alpha_ = m;
+        calibrated_ = true;
+    } else {
+        alpha_ = ema_ * alpha_ + (1.0 - ema_) * m;
+    }
+}
+
+void
+ActFakeQuant::forward(std::span<float> x)
+{
+    if (!enabled_)
+        return;
+    observe(x);
+    if (!calibrated_)
+        return;
+    // Unsigned: L = 2^n - 1 levels over [0, alpha].
+    // Signed: L = 2^(n-1) - 1 magnitudes over [-alpha, alpha].
+    double levels = signed_ ? double((1 << (bits_ - 1)) - 1)
+                            : double((1 << bits_) - 1);
+    float a = float(alpha_);
+    for (float& v : x) {
+        float c = signed_ ? std::clamp(v, -a, a)
+                          : std::clamp(v, 0.0f, a);
+        double t = double(c) / double(a) * levels;
+        v = float(std::nearbyint(t) / levels * double(a));
+    }
+}
+
+void
+ActFakeQuant::backwardSte(std::span<const float> x_pre,
+                          std::span<float> grad) const
+{
+    if (!enabled_ || !calibrated_)
+        return;
+    MIXQ_ASSERT(x_pre.size() == grad.size(), "STE size mismatch");
+    float a = float(alpha_);
+    float lo = signed_ ? -a : 0.0f;
+    for (size_t i = 0; i < grad.size(); ++i) {
+        if (x_pre[i] < lo || x_pre[i] > a)
+            grad[i] = 0.0f;
+    }
+}
+
+} // namespace mixq

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Activation fake-quantization with a straight-through estimator
+ * (Eq. 7). Activations use n-bit fixed-point: unsigned after ReLU
+ * (Table I's assumption), or symmetric signed for tanh-style ranges
+ * in the RNN cells. The clip range alpha is calibrated with an EMA
+ * of the observed batch maxima, as is standard for STE training.
+ */
+
+#ifndef MIXQ_QUANT_ACT_QUANT_HH
+#define MIXQ_QUANT_ACT_QUANT_HH
+
+#include <span>
+
+namespace mixq {
+
+/**
+ * One fake-quantizer instance per activation site. forward() quantizes
+ * in place; backwardSte() masks the incoming gradient outside the clip
+ * range (clipped STE). When `enabled` is false both are no-ops, so the
+ * same network code runs the FP32 baseline.
+ */
+class ActFakeQuant
+{
+  public:
+    ActFakeQuant() = default;
+
+    /**
+     * @param bits      activation bit width n
+     * @param is_signed symmetric signed range [-alpha, alpha] instead
+     *                  of unsigned [0, alpha]
+     */
+    ActFakeQuant(int bits, bool is_signed);
+
+    /** Enable/disable quantization (disabled passes values through). */
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /** Update the EMA clip range from a batch of activations. */
+    void observe(std::span<const float> x);
+
+    /** Quantize in place; also records x for the STE mask. */
+    void forward(std::span<float> x);
+
+    /**
+     * Apply the clipped-STE mask to a gradient: entries whose forward
+     * input fell outside the clip range are zeroed. @p x_pre must be
+     * the pre-quantization input saved by the caller.
+     */
+    void backwardSte(std::span<const float> x_pre,
+                     std::span<float> grad) const;
+
+    double alpha() const { return alpha_; }
+    int bits() const { return bits_; }
+    bool isSigned() const { return signed_; }
+
+  private:
+    int bits_ = 4;
+    bool signed_ = false;
+    bool enabled_ = false;
+    bool calibrated_ = false;
+    double alpha_ = 1.0;
+    double ema_ = 0.95;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_QUANT_ACT_QUANT_HH

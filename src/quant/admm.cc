@@ -1,0 +1,52 @@
+#include "quant/admm.hh"
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+void
+AdmmState::init(std::span<const float> w, const ProjectFn& proj,
+                double rho)
+{
+    rho_ = rho;
+    z_.assign(w.size(), 0.0f);
+    u_.assign(w.size(), 0.0f);
+    proj(w, z_);
+}
+
+void
+AdmmState::epochUpdate(std::span<const float> w, const ProjectFn& proj)
+{
+    MIXQ_ASSERT(w.size() == z_.size(), "AdmmState: size changed");
+    std::vector<float> wu(w.size());
+    for (size_t i = 0; i < w.size(); ++i)
+        wu[i] = w[i] + u_[i];
+    proj(wu, z_);
+    for (size_t i = 0; i < w.size(); ++i)
+        u_[i] = w[i] - z_[i] + u_[i];
+}
+
+void
+AdmmState::addPenaltyGrad(std::span<const float> w,
+                          std::span<float> grad) const
+{
+    MIXQ_ASSERT(w.size() == z_.size() && grad.size() == z_.size(),
+                "AdmmState: size mismatch");
+    float rho = float(rho_);
+    for (size_t i = 0; i < w.size(); ++i)
+        grad[i] += rho * (w[i] - z_[i] + u_[i]);
+}
+
+double
+AdmmState::penalty(std::span<const float> w) const
+{
+    MIXQ_ASSERT(w.size() == z_.size(), "AdmmState: size mismatch");
+    double s = 0.0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        double d = double(w[i]) - double(z_[i]) + double(u_[i]);
+        s += d * d;
+    }
+    return 0.5 * rho_ * s;
+}
+
+} // namespace mixq

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ADMM state for quantization-aware training (Algorithm 1/2). One
+ * AdmmState is kept per quantized weight tensor; each epoch the dual
+ * variables are refreshed with the projection of W + U, and each batch
+ * the penalty gradient rho * (W - Z + U) is added to the weight
+ * gradient, steering W toward the quantization constraint set.
+ */
+
+#ifndef MIXQ_QUANT_ADMM_HH
+#define MIXQ_QUANT_ADMM_HH
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace mixq {
+
+/**
+ * Dual/auxiliary variables of the ADMM splitting for one tensor.
+ * The projection operator is supplied by the caller so that the same
+ * state drives Fixed, P2, SP2 and MSQ (with its per-epoch partition).
+ */
+class AdmmState
+{
+  public:
+    /** proj: (input weights, output projected weights), equal size. */
+    using ProjectFn = std::function<void(std::span<const float>,
+                                         std::span<float>)>;
+
+    AdmmState() = default;
+
+    /** Initialize Z = proj(W), U = 0 for an n-element tensor. */
+    void init(std::span<const float> w, const ProjectFn& proj,
+              double rho);
+
+    /** Per-epoch dual update: Z = proj(W + U); U = W - Z + U. */
+    void epochUpdate(std::span<const float> w, const ProjectFn& proj);
+
+    /** Add rho * (W - Z + U) into an existing gradient. */
+    void addPenaltyGrad(std::span<const float> w,
+                        std::span<float> grad) const;
+
+    /** The penalty term rho/2 * ||W - Z + U||^2 (for loss reporting). */
+    double penalty(std::span<const float> w) const;
+
+    /** Auxiliary variable Z (the current projected target). */
+    std::span<const float> z() const { return z_; }
+    /** Scaled dual variable U. */
+    std::span<const float> u() const { return u_; }
+    double rho() const { return rho_; }
+    bool initialized() const { return !z_.empty(); }
+
+  private:
+    std::vector<float> z_;
+    std::vector<float> u_;
+    double rho_ = 1e-3;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_QUANT_ADMM_HH

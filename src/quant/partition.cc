@@ -1,0 +1,74 @@
+#include "quant/partition.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace mixq {
+
+PartitionResult
+partitionRows(const float* w, size_t rows, size_t cols, double pr_sp2,
+              PartitionPolicy policy, uint64_t rng_seed)
+{
+    MIXQ_ASSERT(rows > 0 && cols > 0, "partition: empty matrix");
+    MIXQ_ASSERT(pr_sp2 >= 0.0 && pr_sp2 <= 1.0,
+                "partition: pr_sp2 must be a fraction in [0,1]");
+
+    PartitionResult res;
+    res.rowScheme.assign(rows, QuantScheme::Fixed);
+    res.rowVariance.resize(rows);
+    for (size_t r = 0; r < rows; ++r) {
+        res.rowVariance[r] =
+            variance(std::span<const float>(w + r * cols, cols));
+    }
+
+    size_t n_sp2 =
+        size_t(std::llround(pr_sp2 * double(rows)));
+    n_sp2 = std::min(n_sp2, rows);
+    res.numSp2 = n_sp2;
+    if (n_sp2 == 0)
+        return res;
+
+    std::vector<size_t> order(rows);
+    std::iota(order.begin(), order.end(), 0);
+
+    switch (policy) {
+      case PartitionPolicy::Variance:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return res.rowVariance[a] <
+                                    res.rowVariance[b];
+                         });
+        break;
+      case PartitionPolicy::Inverted:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return res.rowVariance[a] >
+                                    res.rowVariance[b];
+                         });
+        break;
+      case PartitionPolicy::Random: {
+        Rng rng(rng_seed);
+        rng.shuffle(order);
+        break;
+      }
+    }
+
+    for (size_t i = 0; i < n_sp2; ++i)
+        res.rowScheme[order[i]] = QuantScheme::Sp2;
+
+    if (policy == PartitionPolicy::Variance) {
+        // theta: the variance separating the two groups (Alg. 2).
+        res.threshold = n_sp2 < rows
+            ? res.rowVariance[order[n_sp2]]
+            : res.rowVariance[order[rows - 1]] + 1.0;
+    }
+    return res;
+}
+
+} // namespace mixq

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Algorithm 2's row partitioner: compute the variance of every row of
+ * a layer's weight matrix, pick the threshold theta at the PR_SP2
+ * percentile, and assign low-variance (Gaussian-like) rows to SP2 and
+ * the rest to fixed-point. Random/Inverted policies support the
+ * assignment ablation.
+ */
+
+#ifndef MIXQ_QUANT_PARTITION_HH
+#define MIXQ_QUANT_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/qconfig.hh"
+
+namespace mixq {
+
+/** Outcome of a row partition. */
+struct PartitionResult
+{
+    std::vector<QuantScheme> rowScheme; //!< Fixed or Sp2 per row
+    std::vector<double> rowVariance;    //!< variance of each row
+    double threshold = 0.0;             //!< theta (Variance policy)
+    size_t numSp2 = 0;                  //!< rows assigned to SP2
+};
+
+/**
+ * Partition the rows of a rows x cols matrix so that a fraction
+ * pr_sp2 of rows (rounded to the nearest row count) is assigned SP2.
+ *
+ * Variance policy: the pr_sp2 lowest-variance rows -> SP2 (paper).
+ * Inverted: the highest-variance rows -> SP2 (ablation).
+ * Random: uniformly random rows -> SP2 (ablation), seeded.
+ */
+PartitionResult partitionRows(const float* w, size_t rows, size_t cols,
+                              double pr_sp2,
+                              PartitionPolicy policy =
+                                  PartitionPolicy::Variance,
+                              uint64_t rng_seed = 1);
+
+} // namespace mixq
+
+#endif // MIXQ_QUANT_PARTITION_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quantization configuration shared across the library: which scheme,
+ * how many bits, how scales are grouped, and the MSQ partition knobs
+ * (Algorithm 2 of the paper).
+ */
+
+#ifndef MIXQ_QUANT_QCONFIG_HH
+#define MIXQ_QUANT_QCONFIG_HH
+
+#include <string>
+
+namespace mixq {
+
+/**
+ * Weight quantization scheme. Fixed/Pow2/Sp2 follow Eqs. (1), (4) and
+ * (8) of the paper; Mixed is the paper's MSQ — an intra-layer ensemble
+ * where each weight-matrix row uses either Fixed or Sp2.
+ */
+enum class QuantScheme { Fixed, Pow2, Sp2, Mixed };
+
+/** Human-readable scheme name as used in the paper's tables. */
+std::string toString(QuantScheme s);
+
+/**
+ * How Algorithm 2 assigns rows to schemes under Mixed.
+ * Variance is the paper's rule (lowest-variance rows get SP2, which
+ * suits Gaussian-like rows); Random and Inverted exist for the
+ * assignment ablation.
+ */
+enum class PartitionPolicy { Variance, Random, Inverted };
+
+/** Scale (alpha) granularity for weight quantization. */
+enum class Granularity {
+    PerGroup,   //!< one alpha per scheme group per layer (paper default)
+    PerRow      //!< one alpha per weight-matrix row (per-channel style)
+};
+
+/**
+ * Full quantization recipe for a training run. Defaults mirror the
+ * paper's main configuration: 4-bit weights and activations, MSQ with
+ * the FPGA-derived SP2:Fixed = 2:1 ratio, variance partitioning.
+ */
+struct QConfig
+{
+    QuantScheme scheme = QuantScheme::Mixed;
+    int bits = 4;                   //!< weight bits (sign included)
+    /** Fraction of rows assigned to SP2 under Mixed (2:1 -> 2/3). */
+    double prSp2 = 2.0 / 3.0;
+    PartitionPolicy policy = PartitionPolicy::Variance;
+    /**
+     * Per-row scales by default: one alpha per output channel folds
+     * into the (per-channel) batch-norm constants on the FPGA, costs
+     * nothing at inference, and markedly lowers projection error.
+     */
+    Granularity granularity = Granularity::PerRow;
+
+    bool quantizeActivations = true;
+    int actBits = 4;                //!< activation bits (unsigned)
+
+    double rho = 1e-2;              //!< ADMM penalty coefficient
+
+    /** Build the SP2:Fixed fraction from a ratio like 2:1. */
+    static double fractionFromRatio(double sp2, double fixed);
+};
+
+} // namespace mixq
+
+#endif // MIXQ_QUANT_QCONFIG_HH

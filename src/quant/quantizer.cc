@@ -1,0 +1,164 @@
+#include "quant/quantizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/partition.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace mixq {
+
+namespace {
+
+/** Nearest magnitude (by absolute distance) in a sorted set. */
+double
+nearestMag(double t, std::span<const double> mags)
+{
+    auto it = std::lower_bound(mags.begin(), mags.end(), t);
+    if (it == mags.end())
+        return mags.back();
+    if (it == mags.begin())
+        return mags.front();
+    double hi = *it;
+    double lo = *(it - 1);
+    return (t - lo) <= (hi - t) ? lo : hi;
+}
+
+} // namespace
+
+double
+projectValue(double x, std::span<const double> mags, double alpha)
+{
+    MIXQ_ASSERT(alpha > 0.0, "projectValue: non-positive alpha");
+    double t = std::fabs(x) / alpha;
+    t = std::min(t, 1.0); // Eq. (3) clip
+    double q = nearestMag(t, mags);
+    return (x < 0.0 ? -1.0 : 1.0) * alpha * q;
+}
+
+double
+fitAlpha(std::span<const float> w, std::span<const double> mags, int iters)
+{
+    double amax = maxAbs(w);
+    if (amax == 0.0)
+        return 1.0;
+    double alpha = amax;
+    for (int i = 0; i < iters; ++i) {
+        double num = 0.0;
+        double den = 0.0;
+        for (float x : w) {
+            double t = std::min(double(std::fabs(x)) / alpha, 1.0);
+            double q = nearestMag(t, mags);
+            num += std::fabs(double(x)) * q;
+            den += q * q;
+        }
+        if (den == 0.0) {
+            // alpha so large everything collapsed to the zero level
+            alpha *= 0.5;
+            continue;
+        }
+        double next = num / den;
+        if (std::fabs(next - alpha) <= 1e-7 * alpha) {
+            alpha = next;
+            break;
+        }
+        alpha = next;
+    }
+    return std::max(alpha, 1e-12);
+}
+
+double
+quantizeGroup(std::span<const float> w, std::span<float> out,
+              QuantScheme scheme, int bits)
+{
+    MIXQ_ASSERT(w.size() == out.size(), "quantizeGroup size mismatch");
+    std::vector<double> mags = magnitudes(scheme, bits);
+    double alpha = fitAlpha(w, mags);
+    for (size_t i = 0; i < w.size(); ++i)
+        out[i] = float(projectValue(w[i], mags, alpha));
+    return alpha;
+}
+
+MatrixQuantResult
+quantizeMatrix(const float* w, float* out, size_t rows, size_t cols,
+               const QConfig& cfg, uint64_t rng_seed)
+{
+    MIXQ_ASSERT(rows > 0 && cols > 0, "empty matrix");
+    MatrixQuantResult res;
+    res.rowScheme.assign(rows, cfg.scheme);
+    res.rowAlpha.assign(rows, 1.0f);
+
+    if (cfg.scheme == QuantScheme::Mixed) {
+        PartitionResult part =
+            partitionRows(w, rows, cols, cfg.prSp2, cfg.policy, rng_seed);
+        res.rowScheme = std::move(part.rowScheme);
+        res.threshold = part.threshold;
+        res.numSp2 = part.numSp2;
+    }
+
+    std::vector<double> fixed_mags = fixedMagnitudes(cfg.bits);
+    std::vector<double> sp2_mags = sp2Magnitudes(cfg.bits);
+    std::vector<double> pow2_mags = pow2Magnitudes(cfg.bits);
+    auto mags_for = [&](QuantScheme s) -> std::span<const double> {
+        switch (s) {
+          case QuantScheme::Fixed: return fixed_mags;
+          case QuantScheme::Sp2:   return sp2_mags;
+          case QuantScheme::Pow2:  return pow2_mags;
+          default: panic("row scheme must be concrete");
+        }
+    };
+
+    if (cfg.granularity == Granularity::PerRow) {
+        for (size_t r = 0; r < rows; ++r) {
+            std::span<const float> row(w + r * cols, cols);
+            auto mags = mags_for(res.rowScheme[r]);
+            double alpha = fitAlpha(row, mags);
+            res.rowAlpha[r] = float(alpha);
+            for (size_t c = 0; c < cols; ++c)
+                out[r * cols + c] =
+                    float(projectValue(row[c], mags, alpha));
+        }
+        return res;
+    }
+
+    // PerGroup: gather each scheme group, fit a joint alpha, project.
+    for (QuantScheme s : {QuantScheme::Fixed, QuantScheme::Sp2,
+                          QuantScheme::Pow2}) {
+        std::vector<float> group;
+        for (size_t r = 0; r < rows; ++r) {
+            if (res.rowScheme[r] == s)
+                group.insert(group.end(), w + r * cols,
+                             w + (r + 1) * cols);
+        }
+        if (group.empty())
+            continue;
+        auto mags = mags_for(s);
+        double alpha = fitAlpha(group, mags);
+        for (size_t r = 0; r < rows; ++r) {
+            if (res.rowScheme[r] != s)
+                continue;
+            res.rowAlpha[r] = float(alpha);
+            for (size_t c = 0; c < cols; ++c)
+                out[r * cols + c] =
+                    float(projectValue(w[r * cols + c], mags, alpha));
+        }
+    }
+    return res;
+}
+
+double
+quantMse(std::span<const float> a, std::span<const float> b)
+{
+    MIXQ_ASSERT(a.size() == b.size(), "quantMse size mismatch");
+    if (a.empty())
+        return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = double(a[i]) - double(b[i]);
+        s += d * d;
+    }
+    return s / double(a.size());
+}
+
+} // namespace mixq

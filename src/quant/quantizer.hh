@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Projection of float weights onto a quantization level set with
+ * optimized scale alpha, plus the matrix-level MSQ projection that
+ * combines the row partitioner with per-group or per-row scales.
+ * This is the proj_S(.) operator used by Algorithms 1 and 2.
+ */
+
+#ifndef MIXQ_QUANT_QUANTIZER_HH
+#define MIXQ_QUANT_QUANTIZER_HH
+
+#include <span>
+#include <vector>
+
+#include "quant/qconfig.hh"
+#include "quant/scheme.hh"
+
+namespace mixq {
+
+/**
+ * Project one value onto alpha * (sorted magnitude set), preserving
+ * sign and clipping to [-alpha, alpha] per Eq. (3). @p mags must be
+ * sorted ascending with mags.front() == 0 and mags.back() == max.
+ */
+double projectValue(double x, std::span<const double> mags, double alpha);
+
+/**
+ * Fit the scale alpha for a weight group by alternating nearest-level
+ * assignment and the closed-form least-squares scale
+ * alpha = sum(|w| q) / sum(q^2). Returns the fitted alpha
+ * (strictly positive; 1.0 for an all-zero group).
+ */
+double fitAlpha(std::span<const float> w, std::span<const double> mags,
+                int iters = 8);
+
+/**
+ * Quantize a flat group of weights with one scheme and one alpha.
+ * Writes the dequantized values (alpha * level) into @p out and
+ * returns the fitted alpha.
+ */
+double quantizeGroup(std::span<const float> w, std::span<float> out,
+                     QuantScheme scheme, int bits);
+
+/** Result of a matrix (per-layer) quantization. */
+struct MatrixQuantResult
+{
+    /** Scheme assigned to each row (all identical unless Mixed). */
+    std::vector<QuantScheme> rowScheme;
+    /** Effective scale used for each row. */
+    std::vector<float> rowAlpha;
+    /** Variance threshold theta chosen by the partitioner (Mixed). */
+    double threshold = 0.0;
+    /** Number of rows assigned to SP2. */
+    size_t numSp2 = 0;
+};
+
+/**
+ * Quantize a rows x cols weight matrix per the QConfig: single-scheme
+ * configs project every row with that scheme; Mixed runs Algorithm 2's
+ * variance partition and projects each row group with its own scheme.
+ * Granularity selects one alpha per scheme group or one per row.
+ *
+ * @param w     input weights, row-major rows x cols
+ * @param out   output dequantized weights, same layout (may alias w)
+ * @param rng_seed  seed for the Random partition policy
+ */
+MatrixQuantResult quantizeMatrix(const float* w, float* out, size_t rows,
+                                 size_t cols, const QConfig& cfg,
+                                 uint64_t rng_seed = 1);
+
+/** Mean squared quantization error between two equal-size spans. */
+double quantMse(std::span<const float> a, std::span<const float> b);
+
+} // namespace mixq
+
+#endif // MIXQ_QUANT_QUANTIZER_HH

@@ -1,0 +1,127 @@
+#include "quant/scheme.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+std::string
+toString(QuantScheme s)
+{
+    switch (s) {
+      case QuantScheme::Fixed: return "Fixed";
+      case QuantScheme::Pow2:  return "P2";
+      case QuantScheme::Sp2:   return "SP2";
+      case QuantScheme::Mixed: return "MSQ";
+    }
+    panic("unknown scheme");
+}
+
+double
+QConfig::fractionFromRatio(double sp2, double fixed)
+{
+    MIXQ_ASSERT(sp2 >= 0.0 && fixed >= 0.0 && sp2 + fixed > 0.0,
+                "bad SP2:Fixed ratio");
+    return sp2 / (sp2 + fixed);
+}
+
+Sp2Split
+sp2Split(int bits)
+{
+    MIXQ_ASSERT(bits >= 2, "SP2 needs at least 2 bits");
+    int payload = bits - 1; // one sign bit
+    int m1 = (payload + 1) / 2;
+    int m2 = payload - m1;
+    return {m1, m2};
+}
+
+std::vector<double>
+fixedMagnitudes(int bits)
+{
+    MIXQ_ASSERT(bits >= 2 && bits <= 16, "fixed bits out of range");
+    int levels = (1 << (bits - 1)) - 1; // max integer magnitude
+    std::vector<double> v;
+    v.reserve(levels + 1);
+    for (int k = 0; k <= levels; ++k)
+        v.push_back(double(k) / double(levels));
+    return v;
+}
+
+std::vector<double>
+pow2Magnitudes(int bits)
+{
+    MIXQ_ASSERT(bits >= 2 && bits <= 8, "pow2 bits out of range");
+    std::vector<double> v;
+    v.push_back(0.0);
+    int max_exp = (1 << (bits - 1)) - 2; // Eq. (4)
+    for (int k = max_exp; k >= 0; --k)
+        v.push_back(std::ldexp(1.0, -k));
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+namespace {
+
+/** The q-term magnitude set {0} + {2^-k : k = 1..2^mi - 1}. */
+std::vector<double>
+sp2TermSet(int mi)
+{
+    std::vector<double> v;
+    v.push_back(0.0);
+    int kmax = (1 << mi) - 1;
+    for (int k = 1; k <= kmax; ++k)
+        v.push_back(std::ldexp(1.0, -k));
+    return v;
+}
+
+} // namespace
+
+std::vector<double>
+sp2Magnitudes(int bits)
+{
+    MIXQ_ASSERT(bits >= 2 && bits <= 8, "sp2 bits out of range");
+    Sp2Split sp = sp2Split(bits);
+    std::vector<double> q1 = sp2TermSet(sp.m1);
+    std::vector<double> q2 = sp2TermSet(sp.m2);
+    std::vector<double> v;
+    v.reserve(q1.size() * q2.size());
+    for (double a : q1) {
+        for (double b : q2)
+            v.push_back(a + b);
+    }
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+}
+
+std::vector<double>
+magnitudes(QuantScheme s, int bits)
+{
+    switch (s) {
+      case QuantScheme::Fixed: return fixedMagnitudes(bits);
+      case QuantScheme::Pow2:  return pow2Magnitudes(bits);
+      case QuantScheme::Sp2:   return sp2Magnitudes(bits);
+      case QuantScheme::Mixed:
+        fatal("Mixed has no single level set; use per-row schemes");
+    }
+    panic("unknown scheme");
+}
+
+std::vector<double>
+signedLevels(QuantScheme s, int bits)
+{
+    std::vector<double> mags = magnitudes(s, bits);
+    std::vector<double> v;
+    v.reserve(mags.size() * 2);
+    for (double m : mags) {
+        v.push_back(m);
+        if (m != 0.0)
+            v.push_back(-m);
+    }
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+} // namespace mixq

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quantization level-set construction for the three schemes of the
+ * paper: m-bit fixed-point (Eq. 1), power-of-2 (Eq. 4) and the novel
+ * sum-of-power-of-2 (Eq. 8). Level sets are expressed as sorted,
+ * de-duplicated non-negative magnitudes in [0, 1]; the sign bit is
+ * applied at projection time (sign-magnitude representation).
+ */
+
+#ifndef MIXQ_QUANT_SCHEME_HH
+#define MIXQ_QUANT_SCHEME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/qconfig.hh"
+
+namespace mixq {
+
+/**
+ * The (m1, m2) bit split used by SP2: one sign bit plus two power-of-2
+ * exponent fields, m1 + m2 + 1 = m with m1 >= m2 (Section III-A).
+ */
+struct Sp2Split
+{
+    int m1;
+    int m2;
+};
+
+/** Compute the SP2 bit split for an m-bit representation (m >= 2). */
+Sp2Split sp2Split(int bits);
+
+/**
+ * Non-negative magnitudes of the m-bit fixed-point scheme:
+ * { k / (2^(m-1) - 1) : k = 0 .. 2^(m-1) - 1 }.
+ */
+std::vector<double> fixedMagnitudes(int bits);
+
+/**
+ * Non-negative magnitudes of the m-bit power-of-2 scheme:
+ * { 0 } + { 2^-k : k = 0 .. 2^(m-1) - 2 }.
+ */
+std::vector<double> pow2Magnitudes(int bits);
+
+/**
+ * Non-negative magnitudes of the m-bit SP2 scheme: all distinct sums
+ * q1 + q2 with q1 in {0} + {2^-k : k=1..2^m1-1} and q2 likewise for
+ * m2. Note: Eq. (8) counts 2^m - 1 signed levels assuming all sums are
+ * distinct; collisions (e.g. 0 + 1/2 = 1/2 + 0) make the distinct
+ * count smaller for some m — this function returns the de-duplicated
+ * set (see DESIGN.md).
+ */
+std::vector<double> sp2Magnitudes(int bits);
+
+/** Magnitude set for any non-Mixed scheme. */
+std::vector<double> magnitudes(QuantScheme s, int bits);
+
+/**
+ * Full signed level set (for plots and tests): the union of
+ * +magnitudes and -magnitudes with the shared zero de-duplicated.
+ */
+std::vector<double> signedLevels(QuantScheme s, int bits);
+
+} // namespace mixq
+
+#endif // MIXQ_QUANT_SCHEME_HH

@@ -1,0 +1,126 @@
+#include "quant/sp2_codec.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+int32_t
+Sp2Code::intMagnitude() const
+{
+    int32_t v = 0;
+    if (j1 >= 0)
+        v += int32_t(1) << j1;
+    if (j2 >= 0)
+        v += int32_t(1) << j2;
+    return v;
+}
+
+int32_t
+Sp2Code::apply(int32_t act) const
+{
+    int32_t v = 0;
+    if (j1 >= 0)
+        v += act << j1;
+    if (j2 >= 0)
+        v += act << j2;
+    return sign < 0 ? -v : v;
+}
+
+Sp2Codec::Sp2Codec(int bits)
+    : bits_(bits)
+{
+    Sp2Split sp = sp2Split(bits);
+    int k1 = (1 << sp.m1) - 1;
+    int k2 = (1 << sp.m2) - 1;
+    denomLog2_ = k1;
+    maxShift1_ = k1 - 1;               // exponents k=1..K1 -> j=K1-k
+    maxShift2_ = k1 - 1;               // term-2 shifts live in the
+                                       // high end of the same range
+    int min_shift2 = k1 - k2;          // smallest term-2 shift
+
+    // Enumerate all (q1, q2) combinations; for duplicate integer
+    // magnitudes keep the first code found (canonical form).
+    std::vector<std::pair<int32_t, Sp2Code>> all;
+    for (int k1v = 0; k1v <= k1; ++k1v) {       // 0 encodes q1 = 0
+        for (int k2v = 0; k2v <= k2; ++k2v) {   // 0 encodes q2 = 0
+            Sp2Code c;
+            c.sign = 1;
+            c.j1 = k1v == 0 ? -1 : int8_t(k1 - k1v);
+            c.j2 = k2v == 0 ? -1 : int8_t(k1 - k2v);
+            if (c.j2 >= 0)
+                MIXQ_ASSERT(c.j2 >= min_shift2, "term-2 shift range");
+            all.emplace_back(c.intMagnitude(), c);
+        }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first < b.first;
+              });
+    for (const auto& [mag, code] : all) {
+        if (!ints_.empty() && ints_.back() == mag)
+            continue;
+        ints_.push_back(mag);
+        codeForInt_.push_back(code);
+    }
+
+    // Cross-check against the float level set.
+    std::vector<double> mags = sp2Magnitudes(bits);
+    MIXQ_ASSERT(mags.size() == ints_.size(),
+                "codec/level-set cardinality mismatch");
+    for (size_t i = 0; i < mags.size(); ++i) {
+        double expect = double(ints_[i]) / double(1 << denomLog2_);
+        MIXQ_ASSERT(std::fabs(mags[i] - expect) < 1e-12,
+                    "codec/level-set value mismatch");
+    }
+}
+
+Sp2Code
+Sp2Codec::encode(float value, float alpha) const
+{
+    MIXQ_ASSERT(alpha > 0.0f, "encode: non-positive alpha");
+    double t = double(std::fabs(value)) / double(alpha);
+    double scaled = t * double(1 << denomLog2_);
+    int32_t target = int32_t(std::llround(scaled));
+    // Levels are integers >= 1 apart; tolerate float32 rounding of
+    // value/alpha (relative 2^-23 scaled by the denominator).
+    MIXQ_ASSERT(std::fabs(scaled - double(target)) < 0.02,
+                "encode: value is not an SP2 level multiple");
+    auto it = std::lower_bound(ints_.begin(), ints_.end(), target);
+    MIXQ_ASSERT(it != ints_.end() && *it == target,
+                "encode: integer magnitude not representable");
+    Sp2Code code = codeForInt_[size_t(it - ints_.begin())];
+    code.sign = value < 0.0f ? -1 : 1;
+    return code;
+}
+
+float
+Sp2Codec::decode(const Sp2Code& code, float alpha) const
+{
+    double mag = double(code.intMagnitude()) / double(1 << denomLog2_);
+    return float((code.sign < 0 ? -mag : mag) * double(alpha));
+}
+
+int32_t
+encodeFixed(float value, float alpha, int bits)
+{
+    MIXQ_ASSERT(alpha > 0.0f, "encodeFixed: non-positive alpha");
+    int levels = (1 << (bits - 1)) - 1;
+    double t = double(value) / double(alpha) * double(levels);
+    int32_t k = int32_t(std::llround(t));
+    MIXQ_ASSERT(std::fabs(t - double(k)) < 1e-3,
+                "encodeFixed: value is not on the fixed grid");
+    MIXQ_ASSERT(std::abs(k) <= levels, "encodeFixed: magnitude overflow");
+    return k;
+}
+
+float
+decodeFixed(int32_t code, float alpha, int bits)
+{
+    int levels = (1 << (bits - 1)) - 1;
+    return float(double(code) / double(levels) * double(alpha));
+}
+
+} // namespace mixq

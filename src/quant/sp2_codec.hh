@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Integer encodings of quantized weights — the exact arithmetic
+ * contract between the quantizer and the simulator's GEMM cores.
+ *
+ * Fixed rows encode as sign-magnitude integers in
+ * [-(2^(m-1)-1), +(2^(m-1)-1)]; the DSP core multiplies them directly.
+ *
+ * SP2 rows encode as (sign, j1, j2) where the weight magnitude is
+ * (2^j1 + 2^j2) / 2^K1 with K1 = 2^m1 - 1; a shift field of -1 means
+ * that term is zero. The LUT core computes (a << j1) + (a << j2) —
+ * two shifts and one add, never a multiply (Table I of the paper).
+ */
+
+#ifndef MIXQ_QUANT_SP2_CODEC_HH
+#define MIXQ_QUANT_SP2_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/scheme.hh"
+
+namespace mixq {
+
+/** Hardware encoding of one SP2 weight. */
+struct Sp2Code
+{
+    int8_t sign = 1;   //!< +1 or -1
+    int8_t j1 = -1;    //!< shift of term 1, -1 encodes a zero term
+    int8_t j2 = -1;    //!< shift of term 2, -1 encodes a zero term
+
+    /** Integer magnitude (2^j1 + 2^j2, with -1 terms contributing 0). */
+    int32_t intMagnitude() const;
+
+    /**
+     * Multiply an activation by this weight using only shifts and an
+     * add; the result is scaled by 2^K1 relative to the real product.
+     */
+    int32_t apply(int32_t act) const;
+
+    bool operator==(const Sp2Code&) const = default;
+};
+
+/**
+ * Codec for one (scheme, bits) configuration of SP2. Builds the
+ * magnitude/code correspondence once and encodes/decodes values.
+ */
+class Sp2Codec
+{
+  public:
+    explicit Sp2Codec(int bits);
+
+    /** log2 of the common denominator, K1 = 2^m1 - 1. */
+    int denomLog2() const { return denomLog2_; }
+
+    /** Sorted distinct integer magnitudes representable by the codec. */
+    const std::vector<int32_t>& intMagnitudes() const { return ints_; }
+
+    /**
+     * Encode a dequantized weight value (must be alpha * level for a
+     * level of the m-bit SP2 set, within tolerance). Exact-match
+     * lookup; calls panic() on a value outside the level set.
+     */
+    Sp2Code encode(float value, float alpha) const;
+
+    /** Decode a code back to a dequantized float weight. */
+    float decode(const Sp2Code& code, float alpha) const;
+
+    /** Maximum shift amount of term 1 (2^m1 - 2, per Table I). */
+    int maxShift1() const { return maxShift1_; }
+    /** Maximum shift amount of term 2. */
+    int maxShift2() const { return maxShift2_; }
+
+  private:
+    int bits_;
+    int denomLog2_;
+    int maxShift1_;
+    int maxShift2_;
+    std::vector<int32_t> ints_;      //!< sorted distinct magnitudes
+    std::vector<Sp2Code> codeForInt_; //!< parallel to ints_
+};
+
+/**
+ * Encode a dequantized fixed-point weight (alpha * k / L with
+ * L = 2^(m-1)-1) as the signed integer k. Calls panic() when the value
+ * is not on the fixed grid.
+ */
+int32_t encodeFixed(float value, float alpha, int bits);
+
+/** Decode a fixed sign-magnitude integer back to a float weight. */
+float decodeFixed(int32_t code, float alpha, int bits);
+
+} // namespace mixq
+
+#endif // MIXQ_QUANT_SP2_CODEC_HH

@@ -1,0 +1,273 @@
+#include "sim/accelerator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+Accelerator::Accelerator(AccelConfig cfg)
+    : cfg_(std::move(cfg)),
+      fixedCore_(cfg_.dp.bat, cfg_.dp.blkIn, cfg_.dp.blkFixed),
+      sp2Core_(cfg_.dp.bat, cfg_.dp.blkIn, cfg_.dp.blkSp2)
+{
+    if (cfg_.functional) {
+        inpBuf_.assign(cfg_.inputBufRows * inputRowElems(), 0);
+        wgtFixedBuf_.assign(cfg_.wgtFixedRows * wgtFixedRowElems(), 0);
+        wgtSp2Buf_.assign(cfg_.wgtSp2Rows * wgtSp2RowElems(),
+                          Sp2Code{});
+        outBuf_.assign(cfg_.outBufRows * outputRowElems(), 0);
+    }
+}
+
+size_t
+Accelerator::inputRowElems() const
+{
+    return cfg_.dp.bat * cfg_.dp.blkIn;
+}
+
+size_t
+Accelerator::wgtFixedRowElems() const
+{
+    return cfg_.dp.blkFixed * cfg_.dp.blkIn;
+}
+
+size_t
+Accelerator::wgtSp2RowElems() const
+{
+    return cfg_.dp.blkSp2 * cfg_.dp.blkIn;
+}
+
+size_t
+Accelerator::outputRowElems() const
+{
+    return cfg_.dp.bat * cfg_.dp.blkOutTotal();
+}
+
+double
+Accelerator::instrBytes(const Instruction& insn) const
+{
+    switch (insn.op) {
+      case Opcode::Load: {
+        double row_bytes = 0.0;
+        switch (insn.buf) {
+          case BufKind::Input:
+            row_bytes = double(inputRowElems()) * cfg_.bytesPerAct;
+            break;
+          case BufKind::WgtFixed:
+            row_bytes = double(wgtFixedRowElems()) * cfg_.bytesPerWgt;
+            break;
+          case BufKind::WgtSp2:
+            row_bytes = double(wgtSp2RowElems()) * cfg_.bytesPerWgt;
+            break;
+        }
+        return double(insn.rows) * row_bytes;
+      }
+      case Opcode::Store:
+        return double(insn.rows) * double(outputRowElems()) *
+               cfg_.bytesPerOut;
+      default:
+        return 0.0;
+    }
+}
+
+uint64_t
+Accelerator::instrCycles(const Instruction& insn) const
+{
+    switch (insn.op) {
+      case Opcode::Load:
+      case Opcode::Store: {
+        double bytes = instrBytes(insn);
+        return cfg_.dramLatencyCycles +
+               uint64_t(std::ceil(bytes /
+                                  double(cfg_.dramBytesPerCycle)));
+      }
+      case Opcode::Gemm:
+        return cfg_.gemmPipeFill +
+               uint64_t(insn.groups) * uint64_t(insn.kTiles);
+      case Opcode::Alu:
+        // Requant/ReLU is fused with the accumulator drain: one
+        // issue cycle per output group (the TensorALU's throughput
+        // is already accounted in DesignPoint::aluOpsPerCycle()).
+        return std::max<uint64_t>(1, insn.groups);
+    }
+    panic("unknown opcode");
+}
+
+void
+Accelerator::execute(const Instruction& insn)
+{
+    if (!cfg_.functional)
+        return;
+    switch (insn.op) {
+      case Opcode::Load: {
+        switch (insn.buf) {
+          case BufKind::Input: {
+            size_t w = inputRowElems();
+            MIXQ_ASSERT((insn.sramRow + insn.rows) * w <=
+                        inpBuf_.size(), "input buffer overflow");
+            MIXQ_ASSERT((insn.dramRow + insn.rows) * w <=
+                        dram_.inputs.size(), "input DRAM overrun");
+            std::memcpy(inpBuf_.data() + insn.sramRow * w,
+                        dram_.inputs.data() + insn.dramRow * w,
+                        insn.rows * w * sizeof(int8_t));
+            break;
+          }
+          case BufKind::WgtFixed: {
+            size_t w = wgtFixedRowElems();
+            MIXQ_ASSERT((insn.sramRow + insn.rows) * w <=
+                        wgtFixedBuf_.size(), "wgtF buffer overflow");
+            std::memcpy(wgtFixedBuf_.data() + insn.sramRow * w,
+                        dram_.wgtFixed.data() + insn.dramRow * w,
+                        insn.rows * w * sizeof(int8_t));
+            break;
+          }
+          case BufKind::WgtSp2: {
+            size_t w = wgtSp2RowElems();
+            MIXQ_ASSERT((insn.sramRow + insn.rows) * w <=
+                        wgtSp2Buf_.size(), "wgtS buffer overflow");
+            std::memcpy(wgtSp2Buf_.data() + insn.sramRow * w,
+                        dram_.wgtSp2.data() + insn.dramRow * w,
+                        insn.rows * w * sizeof(Sp2Code));
+            break;
+          }
+        }
+        break;
+      }
+      case Opcode::Gemm: {
+        MIXQ_ASSERT(insn.groups == 1,
+                    "functional GEMM requires groups == 1");
+        fixedCore_.clear();
+        sp2Core_.clear();
+        for (uint32_t k = 0; k < insn.kTiles; ++k) {
+            const int8_t* acts =
+                inpBuf_.data() + (insn.inpBase + k) * inputRowElems();
+            if (insn.useFixed && cfg_.dp.blkFixed > 0) {
+                fixedCore_.step(wgtFixedBuf_.data() +
+                                    (insn.wgtFixedBase + k) *
+                                        wgtFixedRowElems(),
+                                acts);
+            }
+            if (insn.useSp2 && cfg_.dp.blkSp2 > 0) {
+                sp2Core_.step(wgtSp2Buf_.data() +
+                                  (insn.wgtSp2Base + k) *
+                                      wgtSp2RowElems(),
+                              acts);
+            }
+        }
+        break;
+      }
+      case Opcode::Alu: {
+        MIXQ_ASSERT(insn.groups == 1,
+                    "functional ALU requires groups == 1");
+        size_t w = outputRowElems();
+        MIXQ_ASSERT((insn.outBase + 1) * w <= outBuf_.size(),
+                    "output buffer overflow");
+        int32_t* out = outBuf_.data() + insn.outBase * w;
+        size_t bf = cfg_.dp.blkFixed, bs = cfg_.dp.blkSp2;
+        for (size_t b = 0; b < cfg_.dp.bat; ++b) {
+            for (size_t o = 0; o < bf; ++o) {
+                int32_t v = fixedCore_.acc()[b * bf + o];
+                if (insn.relu)
+                    v = std::max(v, 0);
+                out[b * (bf + bs) + o] = v;
+            }
+            for (size_t o = 0; o < bs; ++o) {
+                int32_t v = sp2Core_.acc()[b * bs + o];
+                if (insn.relu)
+                    v = std::max(v, 0);
+                out[b * (bf + bs) + bf + o] = v;
+            }
+        }
+        break;
+      }
+      case Opcode::Store: {
+        size_t w = outputRowElems();
+        MIXQ_ASSERT((insn.dramRow + insn.rows) * w <=
+                    dram_.outputs.size(), "output DRAM overrun");
+        std::memcpy(dram_.outputs.data() + insn.dramRow * w,
+                    outBuf_.data() + insn.outBase * w,
+                    insn.rows * w * sizeof(int32_t));
+        break;
+      }
+    }
+}
+
+RunStats
+Accelerator::run(const Program& prog)
+{
+    struct SemState
+    {
+        std::vector<uint64_t> pushTimes;
+        size_t popped = 0;
+    };
+    std::vector<SemState> sems(size_t(Sem::NumSems));
+
+    const std::vector<Instruction>* queues[3] = {&prog.load,
+                                                 &prog.compute,
+                                                 &prog.store};
+    size_t idx[3] = {0, 0, 0};
+    uint64_t fu_free[3] = {0, 0, 0};
+    uint64_t busy[3] = {0, 0, 0};
+
+    RunStats stats;
+    stats.instructions = prog.totalInstructions();
+
+    auto pops_ready = [&](const Instruction& insn) {
+        for (const TokenOp& t : insn.pops) {
+            const SemState& s = sems[size_t(t.sem)];
+            if (s.pushTimes.size() - s.popped < t.count)
+                return false;
+        }
+        return true;
+    };
+
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (int fu = 0; fu < 3; ++fu) {
+            while (idx[fu] < queues[fu]->size()) {
+                const Instruction& insn = (*queues[fu])[idx[fu]];
+                if (!pops_ready(insn))
+                    break;
+                uint64_t start = fu_free[fu];
+                for (const TokenOp& t : insn.pops) {
+                    SemState& s = sems[size_t(t.sem)];
+                    s.popped += t.count;
+                    start = std::max(start, s.pushTimes[s.popped - 1]);
+                }
+                uint64_t dur = instrCycles(insn);
+                uint64_t end = start + dur;
+                fu_free[fu] = end;
+                busy[fu] += dur;
+                if (insn.op == Opcode::Load)
+                    stats.dramBytesRead +=
+                        uint64_t(std::ceil(instrBytes(insn)));
+                else if (insn.op == Opcode::Store)
+                    stats.dramBytesWritten +=
+                        uint64_t(std::ceil(instrBytes(insn)));
+                execute(insn);
+                for (const TokenOp& t : insn.pushes) {
+                    SemState& s = sems[size_t(t.sem)];
+                    for (uint16_t c = 0; c < t.count; ++c)
+                        s.pushTimes.push_back(end);
+                }
+                ++idx[fu];
+                progressed = true;
+            }
+        }
+    }
+    for (int fu = 0; fu < 3; ++fu) {
+        MIXQ_ASSERT(idx[fu] == queues[fu]->size(),
+                    "token deadlock in instruction streams");
+    }
+    stats.cycles = std::max({fu_free[0], fu_free[1], fu_free[2]});
+    stats.loadBusy = busy[0];
+    stats.computeBusy = busy[1];
+    stats.storeBusy = busy[2];
+    return stats;
+}
+
+} // namespace mixq

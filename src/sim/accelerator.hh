@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The accelerator simulator: three concurrent pipelines (Load,
+ * Compute with the two heterogeneous GEMM cores + TensorALU, Store)
+ * around double-buffered SRAMs, synchronized by dependency-token
+ * semaphores, with an event-driven timing engine and an optional
+ * functional data path (bit-exact integer arithmetic).
+ *
+ * Timing model:
+ *   LOAD/STORE: dramLatencyCycles + ceil(bytes / dramBytesPerCycle)
+ *   GEMM:       gemmPipeFill + groups * kTiles   (one k-step/cycle,
+ *               all bat*blkIn*blkOutTotal MACs retire per step)
+ *   ALU:        groups * ceil(bat*blkOutTotal / aluOpsPerCycle)
+ */
+
+#ifndef MIXQ_SIM_ACCELERATOR_HH
+#define MIXQ_SIM_ACCELERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/design_point.hh"
+#include "sim/gemm_core.hh"
+#include "sim/isa.hh"
+
+namespace mixq {
+
+/** Static configuration of one accelerator instance. */
+struct AccelConfig
+{
+    DesignPoint dp;
+
+    // On-chip buffer capacities in tile rows.
+    size_t inputBufRows = 8192;
+    size_t wgtFixedRows = 4096;
+    size_t wgtSp2Rows = 4096;
+    size_t outBufRows = 4096;
+
+    // DRAM interface.
+    double bytesPerAct = 0.5;  //!< 4-bit packed activations
+    double bytesPerWgt = 0.5;  //!< 4-bit packed weights (both schemes)
+    double bytesPerOut = 0.5;  //!< requantized 4-bit outputs
+    size_t dramBytesPerCycle = 8;
+    size_t dramLatencyCycles = 30;
+
+    size_t gemmPipeFill = 4;
+
+    /**
+     * Execute the data path. Timing-only runs (functional = false)
+     * skip all buffer traffic so huge networks can be scheduled
+     * cheaply; functional runs require GEMM/ALU groups == 1.
+     */
+    bool functional = true;
+
+    int weightBits = 4; //!< for the Sp2 codec in the functional path
+};
+
+/** DRAM-side tile arrays (only used by functional runs). */
+struct DramModel
+{
+    std::vector<int8_t> inputs;    //!< [row][bat * blkIn]
+    std::vector<int8_t> wgtFixed;  //!< [row][blkFixed * blkIn]
+    std::vector<Sp2Code> wgtSp2;   //!< [row][blkSp2 * blkIn]
+    std::vector<int32_t> outputs;  //!< [row][bat * blkOutTotal]
+};
+
+/** Counters produced by one run. */
+struct RunStats
+{
+    uint64_t cycles = 0;
+    uint64_t loadBusy = 0;
+    uint64_t computeBusy = 0;
+    uint64_t storeBusy = 0;
+    uint64_t dramBytesRead = 0;
+    uint64_t dramBytesWritten = 0;
+    size_t instructions = 0;
+
+    /** Achieved throughput for a workload of `ops` operations. */
+    double achievedGops(double freq_mhz, double ops) const
+    {
+        return cycles == 0
+            ? 0.0 : ops * freq_mhz / (double(cycles) * 1000.0);
+    }
+};
+
+/** The simulator. */
+class Accelerator
+{
+  public:
+    explicit Accelerator(AccelConfig cfg);
+
+    DramModel& dram() { return dram_; }
+    const AccelConfig& config() const { return cfg_; }
+
+    /** Row widths (elements per tile row) for each array. */
+    size_t inputRowElems() const;
+    size_t wgtFixedRowElems() const;
+    size_t wgtSp2RowElems() const;
+    size_t outputRowElems() const;
+
+    /**
+     * Run a program to completion; returns the timing counters.
+     * Calls panic() on token deadlock (malformed program).
+     */
+    RunStats run(const Program& prog);
+
+  private:
+    uint64_t instrCycles(const Instruction& insn) const;
+    double instrBytes(const Instruction& insn) const;
+    void execute(const Instruction& insn);
+
+    AccelConfig cfg_;
+    DramModel dram_;
+    std::vector<int8_t> inpBuf_;
+    std::vector<int8_t> wgtFixedBuf_;
+    std::vector<Sp2Code> wgtSp2Buf_;
+    std::vector<int32_t> outBuf_;
+    GemmFixedCore fixedCore_;
+    GemmSp2Core sp2Core_;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_SIM_ACCELERATOR_HH

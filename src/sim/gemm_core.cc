@@ -1,0 +1,66 @@
+#include "sim/gemm_core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+GemmFixedCore::GemmFixedCore(size_t bat, size_t blk_in, size_t blk_out)
+    : bat_(bat), blkIn_(blk_in), blkOut_(blk_out),
+      acc_(bat * blk_out, 0)
+{
+}
+
+void
+GemmFixedCore::clear()
+{
+    std::fill(acc_.begin(), acc_.end(), 0);
+}
+
+void
+GemmFixedCore::step(const int8_t* weights, const int8_t* acts)
+{
+    for (size_t b = 0; b < bat_; ++b) {
+        const int8_t* a = acts + b * blkIn_;
+        for (size_t o = 0; o < blkOut_; ++o) {
+            const int8_t* w = weights + o * blkIn_;
+            int32_t s = 0;
+            for (size_t j = 0; j < blkIn_; ++j)
+                s += int32_t(w[j]) * int32_t(a[j]);
+            acc_[b * blkOut_ + o] += s;
+        }
+    }
+}
+
+GemmSp2Core::GemmSp2Core(size_t bat, size_t blk_in, size_t blk_out)
+    : bat_(bat), blkIn_(blk_in), blkOut_(blk_out),
+      acc_(bat * blk_out, 0)
+{
+}
+
+void
+GemmSp2Core::clear()
+{
+    std::fill(acc_.begin(), acc_.end(), 0);
+}
+
+void
+GemmSp2Core::step(const Sp2Code* weights, const int8_t* acts)
+{
+    for (size_t b = 0; b < bat_; ++b) {
+        const int8_t* a = acts + b * blkIn_;
+        for (size_t o = 0; o < blkOut_; ++o) {
+            const Sp2Code* w = weights + o * blkIn_;
+            int32_t s = 0;
+            for (size_t j = 0; j < blkIn_; ++j) {
+                // Two shifts and an add (Table I); Sp2Code::apply
+                // contains no multiplication.
+                s += w[j].apply(int32_t(a[j]));
+            }
+            acc_[b * blkOut_ + o] += s;
+        }
+    }
+}
+
+} // namespace mixq

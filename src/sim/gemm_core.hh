@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Functional models of the two heterogeneous GEMM cores of Fig. 3(c).
+ * GemmFixedCore models the DSP datapath: a signed integer
+ * multiply-accumulate per weight lane. GemmSp2Core models the LUT
+ * datapath: per Table I, each product is two logic shifts of the
+ * activation plus one addition — the class contains no multiply on
+ * the weight path by construction.
+ */
+
+#ifndef MIXQ_SIM_GEMM_CORE_HH
+#define MIXQ_SIM_GEMM_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/sp2_codec.hh"
+
+namespace mixq {
+
+/** DSP-backed fixed-point core: acc[b][o] += w[o][j] * a[b][j]. */
+class GemmFixedCore
+{
+  public:
+    GemmFixedCore(size_t bat, size_t blk_in, size_t blk_out);
+
+    /** Zero all accumulators. */
+    void clear();
+
+    /**
+     * One k-step: weights is a [blkOut x blkIn] tile of sign-magnitude
+     * integers, acts a [bat x blkIn] tile of unsigned activations.
+     */
+    void step(const int8_t* weights, const int8_t* acts);
+
+    const std::vector<int32_t>& acc() const { return acc_; }
+    size_t bat() const { return bat_; }
+    size_t blkOut() const { return blkOut_; }
+
+  private:
+    size_t bat_, blkIn_, blkOut_;
+    std::vector<int32_t> acc_; //!< [bat x blkOut]
+};
+
+/** LUT-backed SP2 core: shift-shift-add per product (no multiplier). */
+class GemmSp2Core
+{
+  public:
+    GemmSp2Core(size_t bat, size_t blk_in, size_t blk_out);
+
+    void clear();
+
+    /** One k-step over a [blkOut x blkIn] tile of Sp2Code weights. */
+    void step(const Sp2Code* weights, const int8_t* acts);
+
+    const std::vector<int32_t>& acc() const { return acc_; }
+    size_t bat() const { return bat_; }
+    size_t blkOut() const { return blkOut_; }
+
+  private:
+    size_t bat_, blkIn_, blkOut_;
+    std::vector<int32_t> acc_;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_SIM_GEMM_CORE_HH

@@ -1,0 +1,64 @@
+#include "sim/isa.hh"
+
+#include <sstream>
+
+namespace mixq {
+
+const char*
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:  return "LOAD";
+      case Opcode::Gemm:  return "GEMM";
+      case Opcode::Alu:   return "ALU";
+      case Opcode::Store: return "STORE";
+    }
+    return "?";
+}
+
+const char*
+toString(Sem s)
+{
+    switch (s) {
+      case Sem::L2C:     return "l2c";
+      case Sem::C2S:     return "c2s";
+      case Sem::S2C:     return "s2c";
+      case Sem::C2LInp:  return "c2l.inp";
+      case Sem::C2LWgtF: return "c2l.wf";
+      case Sem::C2LWgtS: return "c2l.ws";
+      default:           return "?";
+    }
+}
+
+std::string
+Instruction::str() const
+{
+    std::ostringstream oss;
+    oss << toString(op);
+    switch (op) {
+      case Opcode::Load:
+        oss << " buf=" << int(buf) << " dram=" << dramRow
+            << " sram=" << sramRow << " rows=" << rows;
+        break;
+      case Opcode::Gemm:
+        oss << " k=" << kTiles << " groups=" << groups
+            << " inp=" << inpBase << " wf=" << wgtFixedBase
+            << " ws=" << wgtSp2Base;
+        break;
+      case Opcode::Alu:
+        oss << " out=" << outBase << " groups=" << groups
+            << (relu ? " relu" : "");
+        break;
+      case Opcode::Store:
+        oss << " out=" << outBase << " dram=" << dramRow
+            << " rows=" << rows;
+        break;
+    }
+    for (const TokenOp& t : pops)
+        oss << " pop(" << toString(t.sem) << "," << t.count << ")";
+    for (const TokenOp& t : pushes)
+        oss << " push(" << toString(t.sem) << "," << t.count << ")";
+    return oss.str();
+}
+
+} // namespace mixq

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Instruction set of the heterogeneous-GEMM accelerator (Fig. 3).
+ * Like VTA, the machine has three concurrent pipelines — Load,
+ * Compute, Store — that synchronize through dependency-token
+ * semaphores; unlike VTA's four single-bit flags we keep one
+ * semaphore per hazard pair (documented deviation, same semantics)
+ * so the heterogeneous weight buffers can be tracked independently.
+ *
+ * Data moves in tile rows:
+ *   Input row:    bat x blkIn activations
+ *   WgtFixed row: blkFixed x blkIn sign-magnitude integers
+ *   WgtSp2 row:   blkSp2 x blkIn Sp2Code entries
+ *   Output row:   bat x blkOutTotal accumulators
+ *
+ * A GEMM instruction performs `groups` consecutive output-tile
+ * reductions of `kTiles` steps each; every step all
+ * bat x blkIn x blkOutTotal MACs retire in one cycle (the DSP core
+ * multiplies, the LUT core shifts and adds; see Table I).
+ */
+
+#ifndef MIXQ_SIM_ISA_HH
+#define MIXQ_SIM_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mixq {
+
+/** Pipeline operations. */
+enum class Opcode : uint8_t { Load, Gemm, Alu, Store };
+
+/** On-chip buffer targets for Load. */
+enum class BufKind : uint8_t { Input, WgtFixed, WgtSp2 };
+
+/** Dependency-token semaphores. */
+enum class Sem : uint8_t
+{
+    L2C,      //!< load -> compute (data ready)
+    C2S,      //!< compute -> store (output ready)
+    S2C,      //!< store -> compute (output slot free)
+    C2LInp,   //!< compute -> load (input slot free)
+    C2LWgtF,  //!< compute -> load (fixed-weight slot free)
+    C2LWgtS,  //!< compute -> load (SP2-weight slot free)
+    NumSems
+};
+
+/** One semaphore operation attached to an instruction. */
+struct TokenOp
+{
+    Sem sem;
+    uint16_t count;
+};
+
+/** One instruction of any pipeline. */
+struct Instruction
+{
+    Opcode op = Opcode::Load;
+
+    // Load / Store fields.
+    BufKind buf = BufKind::Input;
+    uint32_t dramRow = 0;  //!< first tile row in DRAM
+    uint32_t sramRow = 0;  //!< first tile row in the target buffer
+    uint32_t rows = 0;     //!< rows moved
+
+    // Gemm fields.
+    uint32_t kTiles = 0;       //!< reduction steps per group
+    uint32_t groups = 1;       //!< consecutive output tiles computed
+    uint32_t inpBase = 0;      //!< input buffer row of (group 0, k 0)
+    uint32_t wgtFixedBase = 0; //!< fixed weight buffer row of k 0
+    uint32_t wgtSp2Base = 0;   //!< SP2 weight buffer row of k 0
+    bool useFixed = true;      //!< fixed core participates
+    bool useSp2 = true;        //!< SP2 core participates
+
+    // Alu fields (accumulator -> output buffer).
+    uint32_t outBase = 0;      //!< output buffer row written / stored
+    bool relu = false;         //!< clamp negatives to zero
+
+    /** Tokens consumed before issue / produced at completion. */
+    std::vector<TokenOp> pops;
+    std::vector<TokenOp> pushes;
+
+    /** Pretty printer for traces and tests. */
+    std::string str() const;
+};
+
+/** The three instruction queues of one kernel invocation. */
+struct Program
+{
+    std::vector<Instruction> load;
+    std::vector<Instruction> compute;
+    std::vector<Instruction> store;
+
+    size_t totalInstructions() const
+    {
+        return load.size() + compute.size() + store.size();
+    }
+};
+
+const char* toString(Opcode op);
+const char* toString(Sem s);
+
+} // namespace mixq
+
+#endif // MIXQ_SIM_ISA_HH

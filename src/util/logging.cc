@@ -1,0 +1,34 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mixq {
+
+void
+inform(const std::string& msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+fatal(const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace mixq

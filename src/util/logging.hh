@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 discipline:
+ * inform()/warn() for status, fatal() for user-correctable errors,
+ * panic() for internal invariant violations (bugs in this library).
+ */
+
+#ifndef MIXQ_UTIL_LOGGING_HH
+#define MIXQ_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace mixq {
+
+/** Print an informational message to stderr ("info: ..."). */
+void inform(const std::string& msg);
+
+/** Print a warning message to stderr ("warn: ..."). */
+void warn(const std::string& msg);
+
+/**
+ * Abort because of a user-correctable error (bad configuration,
+ * invalid argument values). Prints the message and exits with
+ * status 1; never returns.
+ */
+[[noreturn]] void fatal(const std::string& msg);
+
+/**
+ * Abort because an internal invariant is broken — a bug in mixq
+ * itself, regardless of user input. Prints the message and calls
+ * std::abort(); never returns.
+ */
+[[noreturn]] void panic(const std::string& msg);
+
+/**
+ * Check an internal invariant; calls panic() with the location and
+ * message when the condition is false. Active in all build types —
+ * these guards protect simulator state, not hot loops.
+ */
+#define MIXQ_ASSERT(cond, msg)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            std::ostringstream oss_;                                    \
+            oss_ << __FILE__ << ":" << __LINE__ << ": " << (msg);       \
+            ::mixq::panic(oss_.str());                                  \
+        }                                                               \
+    } while (0)
+
+} // namespace mixq
+
+#endif // MIXQ_UTIL_LOGGING_HH

@@ -1,0 +1,53 @@
+#include "util/rng.hh"
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+double
+Rng::uniform(double lo, double hi)
+{
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    std::normal_distribution<double> d(mean, stddev);
+    return d(gen_);
+}
+
+int64_t
+Rng::randint(int64_t lo, int64_t hi)
+{
+    MIXQ_ASSERT(lo <= hi, "randint: empty range");
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution d(p);
+    return d(gen_);
+}
+
+size_t
+Rng::categorical(const std::vector<double>& weights)
+{
+    MIXQ_ASSERT(!weights.empty(), "categorical: no weights");
+    std::discrete_distribution<size_t> d(weights.begin(), weights.end());
+    return d(gen_);
+}
+
+void
+Rng::shuffle(std::vector<size_t>& idx)
+{
+    for (size_t i = idx.size(); i > 1; --i) {
+        size_t j = static_cast<size_t>(randint(0, int64_t(i) - 1));
+        std::swap(idx[i - 1], idx[j]);
+    }
+}
+
+} // namespace mixq

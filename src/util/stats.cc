@@ -1,0 +1,88 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+double
+mean(std::span<const float> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (float x : xs)
+        s += x;
+    return s / double(xs.size());
+}
+
+double
+variance(std::span<const float> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (float x : xs)
+        s += (x - m) * (x - m);
+    return s / double(xs.size());
+}
+
+double
+maxAbs(std::span<const float> xs)
+{
+    double m = 0.0;
+    for (float x : xs)
+        m = std::max(m, double(std::fabs(x)));
+    return m;
+}
+
+double
+percentile(std::span<const float> xs, double p)
+{
+    MIXQ_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    if (xs.empty())
+        return 0.0;
+    std::vector<float> v(xs.begin(), xs.end());
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1)
+        return v[0];
+    double rank = p / 100.0 * double(v.size() - 1);
+    size_t lo_i = size_t(std::floor(rank));
+    size_t hi_i = std::min(lo_i + 1, v.size() - 1);
+    double w = rank - double(lo_i);
+    return v[lo_i] * (1.0 - w) + v[hi_i] * w;
+}
+
+Histogram::Histogram(double lo, double hi, size_t n_bins)
+    : lo(lo), hi(hi), bins(n_bins, 0)
+{
+    MIXQ_ASSERT(hi > lo && n_bins > 0, "bad histogram spec");
+}
+
+void
+Histogram::add(double x)
+{
+    double t = (x - lo) / (hi - lo);
+    t = std::clamp(t, 0.0, 1.0);
+    size_t i = std::min(size_t(t * double(bins.size())), bins.size() - 1);
+    ++bins[i];
+    ++total;
+}
+
+double
+Histogram::center(size_t i) const
+{
+    double w = (hi - lo) / double(bins.size());
+    return lo + (double(i) + 0.5) * w;
+}
+
+double
+Histogram::frac(size_t i) const
+{
+    return total == 0 ? 0.0 : double(bins[i]) / double(total);
+}
+
+} // namespace mixq

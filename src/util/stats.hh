@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small statistics helpers shared by the quantizer (row variances,
+ * alpha fitting) and the benches (histograms over weight values).
+ */
+
+#ifndef MIXQ_UTIL_STATS_HH
+#define MIXQ_UTIL_STATS_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mixq {
+
+/** Arithmetic mean; 0 for an empty span. */
+double mean(std::span<const float> xs);
+
+/** Population variance (divide by N); 0 for fewer than 1 element. */
+double variance(std::span<const float> xs);
+
+/** Maximum absolute value; 0 for an empty span. */
+double maxAbs(std::span<const float> xs);
+
+/**
+ * p-th percentile (0..100) by linear interpolation over the sorted
+ * sample. The input is copied; the span is not modified.
+ */
+double percentile(std::span<const float> xs, double p);
+
+/** Fixed-width histogram over [lo, hi] with the given bin count. */
+struct Histogram
+{
+    double lo = 0.0;            //!< inclusive lower edge
+    double hi = 1.0;            //!< inclusive upper edge
+    std::vector<size_t> bins;   //!< per-bin counts
+    size_t total = 0;           //!< number of accumulated samples
+
+    Histogram(double lo, double hi, size_t n_bins);
+
+    /** Accumulate one sample (clamped to [lo, hi]). */
+    void add(double x);
+
+    /** Bin center for bin i. */
+    double center(size_t i) const;
+
+    /** Fraction of samples in bin i (0 when empty). */
+    double frac(size_t i) const;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_UTIL_STATS_HH

@@ -1,0 +1,105 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    MIXQ_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    MIXQ_ASSERT(cells.size() == headers_.size(),
+                "row arity mismatches header");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    rows_.emplace_back(); // empty row encodes a rule
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto rule = [&]() {
+        std::string s = "+";
+        for (size_t c = 0; c < width.size(); ++c)
+            s += std::string(width[c] + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto line = [&](const std::vector<std::string>& cells) {
+        std::string s = "|";
+        for (size_t c = 0; c < width.size(); ++c) {
+            const std::string& v = c < cells.size() ? cells[c] : "";
+            s += " " + v + std::string(width[c] - v.size(), ' ') + " |";
+        }
+        return s + "\n";
+    };
+
+    std::string out = rule() + line(headers_) + rule();
+    for (const auto& row : rows_) {
+        out += row.empty() ? rule() : line(row);
+    }
+    out += rule();
+    return out;
+}
+
+void
+Table::print(const std::string& title) const
+{
+    if (!title.empty())
+        std::printf("%s\n", title.c_str());
+    std::printf("%s", str().c_str());
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::withDelta(double v, double delta, int decimals)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.*f (%+.*f)", decimals, v,
+                  decimals, delta);
+    return buf;
+}
+
+std::string
+Table::integer(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+std::string
+Table::pct(double frac, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, frac * 100.0);
+    return buf;
+}
+
+} // namespace mixq

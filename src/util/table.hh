@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer. Every bench binary prints its
+ * reproduction of a paper table through this class so the stdout
+ * output reads like the paper's own tables.
+ */
+
+#ifndef MIXQ_UTIL_TABLE_HH
+#define MIXQ_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace mixq {
+
+/**
+ * Accumulates rows of string cells and renders them with aligned
+ * columns, a header rule, and an optional title. Numeric helpers
+ * format with a fixed precision so table columns stay aligned.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a full row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator rule between row groups. */
+    void addRule();
+
+    /** Render to a string (also see print()). */
+    std::string str() const;
+
+    /** Render to stdout with an optional title line. */
+    void print(const std::string& title = "") const;
+
+    /** Format a double with fixed decimals. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format "v (+/-d)" in the paper's accuracy-delta style. */
+    static std::string withDelta(double v, double delta, int decimals = 2);
+
+    /** Format an integer with no decorations. */
+    static std::string integer(long long v);
+
+    /** Format a percentage "xx.x%". */
+    static std::string pct(double frac, int decimals = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    /** Rows; an empty vector encodes a separator rule. */
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_UTIL_TABLE_HH

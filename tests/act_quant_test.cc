@@ -1,0 +1,102 @@
+/** @file Activation fake-quantization (STE) tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/act_quant.hh"
+
+namespace mixq {
+namespace {
+
+TEST(ActQuant, DisabledIsPassThrough)
+{
+    ActFakeQuant q(4, false);
+    std::vector<float> x = {0.1f, 0.7f, 2.0f};
+    std::vector<float> orig = x;
+    q.forward(x);
+    EXPECT_EQ(x, orig);
+}
+
+TEST(ActQuant, UnsignedGrid)
+{
+    ActFakeQuant q(4, false);
+    q.setEnabled(true);
+    std::vector<float> calib = {1.0f};
+    q.forward(calib); // sets alpha = 1
+    std::vector<float> x = {0.0f, 0.5f, 1.0f, -0.3f, 2.0f};
+    q.forward(x);
+    double alpha = q.alpha();
+    double levels = 15.0;
+    for (float v : x) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(double(v), alpha + 1e-6);
+        double t = double(v) / alpha * levels;
+        EXPECT_NEAR(t, std::nearbyint(t), 1e-4);
+    }
+}
+
+TEST(ActQuant, SignedGridSymmetric)
+{
+    ActFakeQuant q(4, true);
+    q.setEnabled(true);
+    std::vector<float> x = {-1.0f, -0.3f, 0.3f, 1.0f};
+    q.forward(x);
+    EXPECT_FLOAT_EQ(x[0], -x[3]);
+    EXPECT_FLOAT_EQ(x[1], -x[2]);
+}
+
+TEST(ActQuant, EmaTracksRange)
+{
+    ActFakeQuant q(4, false);
+    q.setEnabled(true);
+    std::vector<float> big = {10.0f};
+    q.forward(big);
+    double a0 = q.alpha();
+    for (int i = 0; i < 50; ++i) {
+        std::vector<float> small = {1.0f};
+        q.forward(small);
+    }
+    EXPECT_LT(q.alpha(), a0);
+    EXPECT_GT(q.alpha(), 1.0);
+}
+
+TEST(ActQuant, SteMaskZeroesOutOfRange)
+{
+    ActFakeQuant q(4, false);
+    q.setEnabled(true);
+    std::vector<float> calib = {1.0f};
+    q.forward(calib);
+    std::vector<float> x_pre = {-0.5f, 0.5f, 1.5f};
+    std::vector<float> grad = {1.0f, 1.0f, 1.0f};
+    q.backwardSte(x_pre, grad);
+    EXPECT_FLOAT_EQ(grad[0], 0.0f); // below range
+    EXPECT_FLOAT_EQ(grad[1], 1.0f); // inside
+    EXPECT_FLOAT_EQ(grad[2], 0.0f); // clipped
+}
+
+TEST(ActQuant, SignedSteMaskKeepsNegatives)
+{
+    ActFakeQuant q(4, true);
+    q.setEnabled(true);
+    std::vector<float> calib = {1.0f};
+    q.forward(calib);
+    std::vector<float> x_pre = {-0.5f, -1.5f};
+    std::vector<float> grad = {1.0f, 1.0f};
+    q.backwardSte(x_pre, grad);
+    EXPECT_FLOAT_EQ(grad[0], 1.0f);
+    EXPECT_FLOAT_EQ(grad[1], 0.0f);
+}
+
+TEST(ActQuant, ZeroBatchDoesNotCalibrate)
+{
+    ActFakeQuant q(4, false);
+    q.setEnabled(true);
+    std::vector<float> zeros(8, 0.0f);
+    q.forward(zeros);
+    for (float v : zeros)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+} // namespace
+} // namespace mixq

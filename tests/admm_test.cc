@@ -1,0 +1,118 @@
+/** @file ADMM state tests (Algorithm 1 mechanics). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/admm.hh"
+#include "quant/quantizer.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+AdmmState::ProjectFn
+fixedProj(int bits)
+{
+    return [bits](std::span<const float> in, std::span<float> out) {
+        quantizeGroup(in, out, QuantScheme::Fixed, bits);
+    };
+}
+
+TEST(Admm, InitSetsZToProjectionAndUToZero)
+{
+    Rng rng(1);
+    std::vector<float> w(64);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.3));
+    AdmmState st;
+    st.init(w, fixedProj(4), 1e-2);
+    std::vector<float> expect(w.size());
+    quantizeGroup(w, expect, QuantScheme::Fixed, 4);
+    for (size_t i = 0; i < w.size(); ++i) {
+        EXPECT_FLOAT_EQ(st.z()[i], expect[i]);
+        EXPECT_FLOAT_EQ(st.u()[i], 0.0f);
+    }
+}
+
+TEST(Admm, EpochUpdateInvariant)
+{
+    // After an update, U_new = W - Z_new + U_old (Algorithm 1).
+    Rng rng(2);
+    std::vector<float> w(32);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.3));
+    AdmmState st;
+    st.init(w, fixedProj(4), 1e-2);
+    std::vector<float> u_old(st.u().begin(), st.u().end());
+    st.epochUpdate(w, fixedProj(4));
+    for (size_t i = 0; i < w.size(); ++i) {
+        EXPECT_NEAR(st.u()[i], w[i] - st.z()[i] + u_old[i], 1e-6);
+    }
+}
+
+TEST(Admm, PenaltyGradientMatchesFormula)
+{
+    Rng rng(3);
+    std::vector<float> w(16);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.3));
+    AdmmState st;
+    st.init(w, fixedProj(4), 0.5);
+    std::vector<float> grad(16, 1.0f);
+    st.addPenaltyGrad(w, grad);
+    for (size_t i = 0; i < w.size(); ++i) {
+        float expect = 1.0f + 0.5f * (w[i] - st.z()[i] + st.u()[i]);
+        EXPECT_NEAR(grad[i], expect, 1e-6);
+    }
+}
+
+TEST(Admm, PenaltyIsHalfRhoSquaredNorm)
+{
+    std::vector<float> w = {0.4f, -0.2f};
+    AdmmState st;
+    st.init(w, fixedProj(4), 2.0);
+    double expect = 0.0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        double d = w[i] - st.z()[i] + st.u()[i];
+        expect += d * d;
+    }
+    expect *= 0.5 * 2.0;
+    EXPECT_NEAR(st.penalty(w), expect, 1e-9);
+}
+
+TEST(Admm, GradientDescentWithPenaltyConvergesToConstraintSet)
+{
+    // Minimize 1/2||w - target||^2 s.t. w on the 4-bit fixed grid,
+    // via the ADMM-regularized gradient flow of Algorithm 1.
+    Rng rng(5);
+    std::vector<float> target(64), w(64);
+    for (size_t i = 0; i < w.size(); ++i) {
+        target[i] = float(rng.normal(0.0, 0.3));
+        w[i] = target[i];
+    }
+    AdmmState st;
+    st.init(w, fixedProj(4), 1.0);
+    for (int epoch = 0; epoch < 80; ++epoch) {
+        st.epochUpdate(w, fixedProj(4));
+        for (int it = 0; it < 20; ++it) {
+            std::vector<float> g(w.size());
+            for (size_t i = 0; i < w.size(); ++i)
+                g[i] = w[i] - target[i];
+            st.addPenaltyGrad(w, g);
+            for (size_t i = 0; i < w.size(); ++i)
+                w[i] -= 0.2f * g[i];
+        }
+    }
+    // Distance to the projection should have shrunk a lot.
+    std::vector<float> proj(w.size());
+    quantizeGroup(w, proj, QuantScheme::Fixed, 4);
+    double dist = quantMse(w, proj);
+    std::vector<float> proj_t(target.size());
+    quantizeGroup(target, proj_t, QuantScheme::Fixed, 4);
+    double dist0 = quantMse(target, proj_t);
+    EXPECT_LT(dist, 0.5 * dist0);
+}
+
+} // namespace
+} // namespace mixq

@@ -1,0 +1,184 @@
+/** @file Comparator method (Tables III/IV) projector tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/methods.hh"
+#include "data/synth_images.hh"
+#include "nn/models.hh"
+#include "util/rng.hh"
+#include "quant/quantizer.hh"
+#include "util/stats.hh"
+
+namespace mixq {
+namespace {
+
+Param
+randomParam(size_t rows, size_t cols, uint64_t seed, double sigma = 0.3)
+{
+    Rng rng(seed);
+    return Param("w", Tensor::randn({rows, cols}, rng, sigma), rows,
+                 cols);
+}
+
+/** Count distinct values in a tensor (grid cardinality proxy). */
+size_t
+distinctValues(const Tensor& t)
+{
+    std::vector<float> v(t.data(), t.data() + t.size());
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v.size();
+}
+
+TEST(Dorefa, ProjectsToAtMostGridCardinality)
+{
+    Param p = randomParam(8, 32, 1);
+    DorefaProjector proj(4);
+    proj.attach({&p});
+    proj.project(p);
+    EXPECT_LE(distinctValues(p.w), 15u); // 2^4 - 1 signed levels
+}
+
+TEST(Dorefa, PreservesSigns)
+{
+    Param p = randomParam(4, 16, 2);
+    std::vector<float> before(p.w.data(), p.w.data() + p.w.size());
+    DorefaProjector proj(4);
+    proj.attach({&p});
+    proj.project(p);
+    for (size_t i = 0; i < p.w.size(); ++i) {
+        if (std::fabs(before[i]) > 0.05f)
+            EXPECT_GE(before[i] * p.w[i], 0.0f) << i;
+    }
+}
+
+TEST(Lsq, RefitReducesMse)
+{
+    Param p = randomParam(8, 64, 3);
+    std::vector<float> latent(p.w.data(), p.w.data() + p.w.size());
+    LsqProjector proj(4);
+    proj.attach({&p});
+    proj.project(p);
+    double mse_fit = quantMse(
+        latent, std::span<const float>(p.w.data(), p.w.size()));
+
+    // Compare to a crude max-abs step.
+    Param q("q", Tensor({8, 64}, latent), 8, 64);
+    double amax = maxAbs(std::span<const float>(latent));
+    double levels = 7.0;
+    for (size_t i = 0; i < q.w.size(); ++i) {
+        double t = std::clamp(double(latent[i]) / amax, -1.0, 1.0);
+        q.w[i] = float(std::nearbyint(t * levels) / levels * amax);
+    }
+    double mse_max = quantMse(
+        latent, std::span<const float>(q.w.data(), q.w.size()));
+    EXPECT_LE(mse_fit, mse_max + 1e-9);
+}
+
+TEST(Dsq, AnnealsTowardHardQuantization)
+{
+    Param p = randomParam(4, 64, 4);
+    std::vector<float> latent(p.w.data(), p.w.data() + p.w.size());
+    DsqProjector proj(4);
+    proj.attach({&p});
+
+    proj.epochBegin(0, 10);
+    proj.project(p);
+    size_t early = distinctValues(p.w);
+
+    // Restore latent and project at the final epoch.
+    std::copy(latent.begin(), latent.end(), p.w.data());
+    proj.epochBegin(9, 10);
+    proj.project(p);
+    size_t late = distinctValues(p.w);
+    EXPECT_LE(late, 15u);     // fully hard at the end
+    EXPECT_GE(early, late);   // soft blend keeps more values early
+}
+
+TEST(Ul2q, ScaleFrozenAtAttach)
+{
+    Param p = randomParam(4, 64, 5, 0.1);
+    Ul2qProjector proj(4);
+    proj.attach({&p});
+    proj.project(p);
+    std::vector<float> first(p.w.data(), p.w.data() + p.w.size());
+    // Rescale the latent weights; the frozen alpha now clips hard.
+    for (size_t i = 0; i < p.w.size(); ++i)
+        p.w[i] = first[i] * 10.0f;
+    proj.project(p);
+    double m = maxAbs(p.w.span());
+    double m_first = maxAbs(std::span<const float>(first));
+    EXPECT_NEAR(m, m_first, 1e-4); // clipped to the original range
+}
+
+TEST(LqNets, LevelsAreSignedBasisCombinations)
+{
+    Param p = randomParam(4, 64, 6);
+    LqNetsProjector proj(4);
+    proj.attach({&p});
+    proj.project(p);
+    EXPECT_LE(distinctValues(p.w), 8u); // 2^(m-1) combos
+}
+
+TEST(LqNets, BasisFitBeatsPow2InitOnGaussian)
+{
+    Param p = randomParam(8, 128, 7);
+    std::vector<float> latent(p.w.data(), p.w.data() + p.w.size());
+    LqNetsProjector proj(4);
+    proj.attach({&p});
+    proj.project(p);
+    double mse_fit = quantMse(
+        latent, std::span<const float>(p.w.data(), p.w.size()));
+    EXPECT_GT(mse_fit, 0.0);
+    EXPECT_LT(mse_fit, 0.02); // sane fit on sigma = 0.3 weights
+}
+
+TEST(SteQat, TrainsAndEndsQuantized)
+{
+    Rng rng(8);
+    auto model = makeTinyConvNet(10, rng);
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 200, 9);
+    TrainCfg cfg;
+    cfg.epochs = 2;
+    cfg.lr = 0.02;
+    DorefaProjector proj(4);
+    steQatTrain(*model, train, cfg, proj, 4);
+    for (Param* p : model->params()) {
+        if (!p->quantizable())
+            continue;
+        EXPECT_LE(distinctValues(p->w), 15u) << p->name;
+    }
+}
+
+TEST(SteQat, AccuracyRemainsAboveChance)
+{
+    Rng rng(9);
+    auto model = makeMiniResNet(10, rng, 4);
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 400, 10);
+    LabeledImages test = makeImageDataset(ImageTask::Easy, 150, 11);
+    TrainCfg pre;
+    pre.epochs = 6;
+    pre.lr = 0.1;
+    trainClassifier(*model, train, pre);
+    TrainCfg cfg;
+    cfg.epochs = 3;
+    cfg.lr = 0.02;
+    LsqProjector proj(4);
+    steQatTrain(*model, train, cfg, proj, 4);
+    EXPECT_GT(evalClassifier(*model, test), 0.25);
+}
+
+TEST(Projectors, Names)
+{
+    EXPECT_EQ(DorefaProjector(4).name(), "Dorefa");
+    EXPECT_EQ(PactProjector(4).name(), "PACT");
+    EXPECT_EQ(LsqProjector(4).name(), "LSQ");
+    EXPECT_EQ(DsqProjector(4).name(), "DSQ");
+    EXPECT_EQ(Ul2qProjector(4).name(), "uL2Q");
+    EXPECT_EQ(LqNetsProjector(4).name(), "LQ-NETS");
+}
+
+} // namespace
+} // namespace mixq

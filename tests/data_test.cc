@@ -1,0 +1,214 @@
+/** @file Synthetic dataset generators. */
+
+#include <gtest/gtest.h>
+
+#include "data/synth_detect.hh"
+#include "data/synth_images.hh"
+#include <cmath>
+
+#include "data/synth_seq.hh"
+
+namespace mixq {
+namespace {
+
+TEST(SynthImages, ShapesAndLabelRanges)
+{
+    for (ImageTask task : {ImageTask::Easy, ImageTask::Mid,
+                           ImageTask::Hard}) {
+        ImageTaskSpec spec = imageTaskSpec(task);
+        LabeledImages d = makeImageDataset(task, 50, 1);
+        EXPECT_EQ(d.images.shape(),
+                  (std::vector<size_t>{50, 3, spec.imgSize,
+                                       spec.imgSize}));
+        EXPECT_EQ(d.numClasses, spec.classes);
+        for (int y : d.labels) {
+            EXPECT_GE(y, 0);
+            EXPECT_LT(size_t(y), spec.classes);
+        }
+    }
+}
+
+TEST(SynthImages, PixelsInUnitRange)
+{
+    LabeledImages d = makeImageDataset(ImageTask::Hard, 20, 2);
+    for (size_t i = 0; i < d.images.size(); ++i) {
+        EXPECT_GE(d.images[i], 0.0f);
+        EXPECT_LE(d.images[i], 1.0f);
+    }
+}
+
+TEST(SynthImages, DeterministicInSeed)
+{
+    LabeledImages a = makeImageDataset(ImageTask::Easy, 10, 5);
+    LabeledImages b = makeImageDataset(ImageTask::Easy, 10, 5);
+    EXPECT_EQ(a.labels, b.labels);
+    for (size_t i = 0; i < a.images.size(); ++i)
+        EXPECT_FLOAT_EQ(a.images[i], b.images[i]);
+}
+
+TEST(SynthImages, DifferentSeedsDiffer)
+{
+    LabeledImages a = makeImageDataset(ImageTask::Easy, 30, 5);
+    LabeledImages b = makeImageDataset(ImageTask::Easy, 30, 6);
+    EXPECT_NE(a.labels, b.labels);
+}
+
+TEST(SynthImages, ClassesAreSeparableByPixels)
+{
+    // Two samples of a class should correlate more with each other
+    // than with another class, on average — the CNN has signal.
+    LabeledImages d = makeImageDataset(ImageTask::Easy, 400, 7);
+    size_t item = d.images.size() / 400;
+    auto corr = [&](size_t i, size_t j) {
+        double s = 0.0;
+        for (size_t p = 0; p < item; ++p)
+            s += double(d.images[i * item + p]) *
+                 double(d.images[j * item + p]);
+        return s;
+    };
+    double same = 0.0, diff = 0.0;
+    size_t ns = 0, nd = 0;
+    for (size_t i = 0; i < 60; ++i) {
+        for (size_t j = i + 1; j < 60; ++j) {
+            if (d.labels[i] == d.labels[j]) {
+                same += corr(i, j);
+                ++ns;
+            } else {
+                diff += corr(i, j);
+                ++nd;
+            }
+        }
+    }
+    ASSERT_GT(ns, 0u);
+    ASSERT_GT(nd, 0u);
+    EXPECT_GT(same / double(ns), diff / double(nd));
+}
+
+TEST(SynthDetect, BoxesInsideImage)
+{
+    DetectDataset d = makeDetectDataset(30, 32, 3);
+    EXPECT_EQ(d.size(), 30u);
+    for (const auto& boxes : d.boxes) {
+        EXPECT_GE(boxes.size(), 1u);
+        EXPECT_LE(boxes.size(), 3u);
+        for (const ObjBox& b : boxes) {
+            EXPECT_GE(b.cx - b.w / 2, -1e-5f);
+            EXPECT_LE(b.cx + b.w / 2, 1.0f + 1e-5f);
+            EXPECT_GE(b.cls, 0);
+            EXPECT_LT(b.cls, 3);
+        }
+    }
+}
+
+TEST(SynthDetect, ObjectsBrighterThanBackground)
+{
+    DetectDataset d = makeDetectDataset(5, 32, 4);
+    const ObjBox& b = d.boxes[0][0];
+    size_t cx = size_t(b.cx * 32), cy = size_t(b.cy * 32);
+    double obj = 0.0;
+    for (size_t c = 0; c < 3; ++c)
+        obj += d.images.at4(0, c, cy, cx);
+    EXPECT_GT(obj, 3 * 0.25);
+}
+
+TEST(LmCorpus, TokensInVocab)
+{
+    LmCorpus c = makeLmCorpus(16, 5000, 1);
+    EXPECT_EQ(c.tokens.size(), 5000u);
+    for (int t : c.tokens) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, 16);
+    }
+}
+
+TEST(LmCorpus, MarkovStructureIsLearnable)
+{
+    // The chain is peaked: the empirical entropy of successors given
+    // the previous two tokens must be far below log(vocab).
+    LmCorpus c = makeLmCorpus(16, 20000, 2);
+    std::vector<std::vector<size_t>> counts(16 * 16,
+                                            std::vector<size_t>(16, 0));
+    for (size_t i = 2; i < c.tokens.size(); ++i)
+        ++counts[size_t(c.tokens[i - 2]) * 16 +
+                 size_t(c.tokens[i - 1])][size_t(c.tokens[i])];
+    double h = 0.0;
+    size_t total = 0;
+    for (const auto& row : counts) {
+        size_t rs = 0;
+        for (size_t v : row)
+            rs += v;
+        if (rs < 20)
+            continue;
+        for (size_t v : row) {
+            if (v == 0)
+                continue;
+            double p = double(v) / double(rs);
+            h -= double(v) * std::log2(p);
+        }
+        total += rs;
+    }
+    ASSERT_GT(total, 0u);
+    EXPECT_LT(h / double(total), 3.2); // << log2(16) = 4
+}
+
+TEST(LmBatches, TargetIsNextToken)
+{
+    LmCorpus c = makeLmCorpus(16, 4000, 3);
+    auto batches = makeLmBatches(c, 8, 4);
+    ASSERT_FALSE(batches.empty());
+    size_t stream_len = c.tokens.size() / 4;
+    const LmBatch& b = batches[0];
+    for (size_t s = 0; s + 1 < b.t; ++s) {
+        for (size_t j = 0; j < b.n; ++j)
+            EXPECT_EQ(b.target[s * b.n + j], b.input[(s + 1) * b.n + j]);
+    }
+    EXPECT_EQ(b.input[0], c.tokens[0]);
+    EXPECT_EQ(b.input[1], c.tokens[stream_len]);
+}
+
+TEST(PhonemeDataset, ShapesAndFrameCoherence)
+{
+    PhonemeDataset d = makePhonemeDataset(3, 20, 4, 8, 12, 5);
+    ASSERT_EQ(d.features.size(), 3u);
+    EXPECT_EQ(d.features[0].shape(), (std::vector<size_t>{20, 4, 12}));
+    // Phonemes persist 2-4 frames (runs can merge when the same
+    // phoneme is drawn twice), so most frames repeat their
+    // predecessor: repeat fraction must be well above the i.i.d.
+    // baseline of 1/8.
+    size_t repeats = 0, total = 0;
+    for (size_t j = 0; j < 4; ++j) {
+        for (size_t s = 1; s < 20; ++s) {
+            repeats += d.labels[0][s * 4 + j] ==
+                       d.labels[0][(s - 1) * 4 + j];
+            ++total;
+        }
+    }
+    EXPECT_GT(double(repeats) / double(total), 0.4);
+    for (int y : d.labels[0]) {
+        EXPECT_GE(y, 0);
+        EXPECT_LT(y, 8);
+    }
+}
+
+TEST(SentimentDataset, LabelsMatchWeightedScore)
+{
+    SentimentDataset d = makeSentimentDataset(2, 12, 8, 12, 6);
+    size_t third = 12 / 3;
+    for (size_t b = 0; b < d.seqs.size(); ++b) {
+        for (size_t j = 0; j < d.n; ++j) {
+            double score = 0.0;
+            for (size_t s = 0; s < d.t; ++s) {
+                int tok = d.seqs[b][s * d.n + j];
+                double w = 0.5 + double(s) / double(d.t);
+                if (tok < int(third))
+                    score += w;
+                else if (tok < int(2 * third))
+                    score -= w;
+            }
+            EXPECT_EQ(d.labels[b][j], score >= 0.0 ? 1 : 0);
+        }
+    }
+}
+
+} // namespace
+} // namespace mixq

@@ -1,0 +1,182 @@
+/** @file Device DB (Fig. 2), design points (Table VII), resource
+ *  model (Table VIII) and characterizer (Section VI-A) tests. */
+
+#include <gtest/gtest.h>
+
+#include "fpga/characterize.hh"
+#include "fpga/design_point.hh"
+#include "fpga/device.hh"
+#include "fpga/resource_model.hh"
+
+namespace mixq {
+namespace {
+
+TEST(Device, Fig2RatiosExact)
+{
+    // The LUT/DSP, FF/DSP and BRAM-Kb/DSP bars of Fig. 2.
+    struct Row { const char* name; double lut, ff, bram; };
+    const Row rows[] = {
+        {"XC7Z045", 242.9, 485.8, 21.8},
+        {"XC7Z020", 241.8, 483.6, 22.9},
+        {"XCZU2CG", 196.8, 393.6, 22.5},
+        {"XCZU3CG", 196.0, 392.0, 21.6},
+        {"XCZU4CG", 120.7, 241.3, 6.3},
+        {"XCZU5CG", 93.8, 187.7, 4.2},
+    };
+    for (const Row& r : rows) {
+        const FpgaDevice& d = deviceByName(r.name);
+        EXPECT_NEAR(d.lutPerDsp(), r.lut, 0.1) << r.name;
+        EXPECT_NEAR(d.ffPerDsp(), r.ff, 0.1) << r.name;
+        EXPECT_NEAR(d.bramKbPerDsp(), r.bram, 0.1) << r.name;
+    }
+}
+
+TEST(Device, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(deviceByName("XC9999"), "unknown FPGA device");
+}
+
+TEST(DesignPoint, TableVIIPeakThroughputExact)
+{
+    // Paper values; D1-2's 106 is the paper's rounding of 105.6.
+    struct Row { const char* name; double gops; double tol; };
+    const Row rows[] = {
+        {"D1-1", 52.8, 0.05}, {"D1-2", 105.6, 0.05},
+        {"D1-3", 132.0, 0.05}, {"D2-1", 208.0, 0.05},
+        {"D2-2", 416.0, 0.05}, {"D2-3", 624.0, 0.05},
+    };
+    for (const Row& r : rows)
+        EXPECT_NEAR(designPointByName(r.name).peakGops(), r.gops,
+                    r.tol) << r.name;
+}
+
+TEST(DesignPoint, RatioLabels)
+{
+    EXPECT_EQ(designPointByName("D1-1").ratioLabel(), "1:0");
+    EXPECT_EQ(designPointByName("D1-3").ratioLabel(), "1:1.5");
+    EXPECT_EQ(designPointByName("D2-3").ratioLabel(), "1:2");
+}
+
+TEST(DesignPoint, Sp2Fraction)
+{
+    EXPECT_DOUBLE_EQ(designPointByName("D1-1").sp2Fraction(), 0.0);
+    EXPECT_DOUBLE_EQ(designPointByName("D2-3").sp2Fraction(),
+                     2.0 / 3.0);
+}
+
+TEST(ResourceModel, TableVIIILutCountsWithinOnePercent)
+{
+    struct Row { const char* dp; double lut; };
+    const Row rows[] = {
+        {"D1-1", 12160}, {"D1-2", 22912}, {"D1-3", 28288},
+        {"D2-1", 41830}, {"D2-2", 93440}, {"D2-3", 145049},
+    };
+    for (const Row& r : rows) {
+        const DesignPoint& dp = designPointByName(r.dp);
+        ResourceUsage use =
+            estimateResources(dp, deviceByName(dp.device));
+        EXPECT_NEAR(use.luts, r.lut, 0.01 * r.lut) << r.dp;
+    }
+}
+
+TEST(ResourceModel, TableVIIIFfBramWithinTwentyFivePercent)
+{
+    struct Row { const char* dp; double ff, bram; };
+    const Row rows[] = {
+        {"D1-1", 9403, 39}, {"D1-2", 14523, 49}, {"D1-3", 17083, 56},
+        {"D2-1", 31293, 160}, {"D2-2", 65699, 194},
+        {"D2-3", 111575, 225.5},
+    };
+    for (const Row& r : rows) {
+        const DesignPoint& dp = designPointByName(r.dp);
+        ResourceUsage use =
+            estimateResources(dp, deviceByName(dp.device));
+        EXPECT_NEAR(use.ffs, r.ff, 0.25 * r.ff) << r.dp;
+        EXPECT_NEAR(use.bram36, r.bram, 0.25 * r.bram) << r.dp;
+    }
+}
+
+TEST(ResourceModel, DspPinnedAtHundredPercent)
+{
+    for (const DesignPoint& dp : paperDesignPoints()) {
+        const FpgaDevice& dev = deviceByName(dp.device);
+        ResourceUtil u = utilization(estimateResources(dp, dev), dev);
+        EXPECT_DOUBLE_EQ(u.dsp, 1.0) << dp.name;
+    }
+}
+
+TEST(ResourceModel, LutGrowsWithSp2Lanes)
+{
+    double prev = 0.0;
+    for (const char* n : {"D1-1", "D1-2", "D1-3"}) {
+        const DesignPoint& dp = designPointByName(n);
+        double lut =
+            estimateResources(dp, deviceByName(dp.device)).luts;
+        EXPECT_GT(lut, prev);
+        prev = lut;
+    }
+}
+
+TEST(ResourceModel, UtilizationFractions)
+{
+    const DesignPoint& dp = designPointByName("D1-3");
+    const FpgaDevice& dev = deviceByName("XC7Z020");
+    ResourceUtil u = utilization(estimateResources(dp, dev), dev);
+    EXPECT_GT(u.lut, 0.4);
+    EXPECT_LT(u.lut, 0.7);
+    EXPECT_GT(u.bram, 0.2);
+    EXPECT_LT(u.bram, 0.6);
+}
+
+TEST(Characterize, ReproducesPaperRatios)
+{
+    // XC7Z020 at Bat=1 -> 16 fixed + 24 SP2 lanes (1:1.5);
+    // XC7Z045 at Bat=4 -> 16 fixed + 32 SP2 lanes (1:2).
+    DesignPoint d1 = characterize(deviceByName("XC7Z020"), 1, 16);
+    EXPECT_EQ(d1.blkFixed, 16u);
+    EXPECT_EQ(d1.blkSp2, 24u);
+    DesignPoint d2 = characterize(deviceByName("XC7Z045"), 4, 16);
+    EXPECT_EQ(d2.blkFixed, 16u);
+    EXPECT_EQ(d2.blkSp2, 32u);
+}
+
+TEST(Characterize, DspDemandCoversInventory)
+{
+    for (const char* name : {"XC7Z020", "XC7Z045", "XCZU3CG"}) {
+        const FpgaDevice& dev = deviceByName(name);
+        size_t bat = dev.name == "XC7Z045" ? 4 : 1;
+        DesignPoint dp = characterize(dev, bat, 16);
+        EXPECT_GE(dspDemand(dp), dev.dsps) << name;
+        // ... but not grossly (within one 8-lane step).
+        DesignPoint smaller = dp;
+        smaller.blkFixed -= 8;
+        EXPECT_LT(dspDemand(smaller), dev.dsps) << name;
+    }
+}
+
+TEST(Characterize, RespectsLutBudget)
+{
+    CharacterizeCfg cfg;
+    const FpgaDevice& dev = deviceByName("XC7Z045");
+    DesignPoint dp = characterize(dev, 4, 16, cfg);
+    double budget = cfg.lutBudgetFrac * double(dev.luts);
+    EXPECT_LE(estimateResources(dp, dev).luts, budget);
+    // One more step would exceed it.
+    DesignPoint next = dp;
+    next.blkSp2 += cfg.blkSp2Step;
+    EXPECT_GT(estimateResources(next, dev).luts, budget);
+}
+
+TEST(Characterize, UltraScaleDevicesGetSmallerSp2Share)
+{
+    // ZU5CG has LUT/DSP ~94 vs 7Z045's ~243: the SP2 share of the
+    // optimal design must shrink accordingly (Fig. 2's argument).
+    DesignPoint z7 = characterize(deviceByName("XC7Z045"), 4, 16);
+    DesignPoint zu = characterize(deviceByName("XCZU5CG"), 4, 16);
+    double r7 = double(z7.blkSp2) / double(z7.blkFixed);
+    double ru = double(zu.blkSp2) / double(zu.blkFixed);
+    EXPECT_LT(ru, r7);
+}
+
+} // namespace
+} // namespace mixq

@@ -1,0 +1,143 @@
+/** @file GEMM kernel and im2col/col2im tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/gemm.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+std::vector<float>
+randVec(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (float& x : v)
+        x = float(rng.normal(0.0, 1.0));
+    return v;
+}
+
+void
+naiveGemm(const float* a, const float* b, float* c, size_t m, size_t n,
+          size_t k, bool ta, bool tb)
+{
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double s = 0.0;
+            for (size_t p = 0; p < k; ++p) {
+                float av = ta ? a[p * m + i] : a[i * k + p];
+                float bv = tb ? b[j * k + p] : b[p * n + j];
+                s += double(av) * double(bv);
+            }
+            c[i * n + j] = float(s);
+        }
+    }
+}
+
+TEST(Gemm, MatchesNaive)
+{
+    size_t m = 7, n = 5, k = 9;
+    auto a = randVec(m * k, 1);
+    auto b = randVec(k * n, 2);
+    std::vector<float> c1(m * n), c2(m * n);
+    gemm(a.data(), b.data(), c1.data(), m, n, k);
+    naiveGemm(a.data(), b.data(), c2.data(), m, n, k, false, false);
+    for (size_t i = 0; i < c1.size(); ++i)
+        EXPECT_NEAR(c1[i], c2[i], 1e-4);
+}
+
+TEST(Gemm, BTransposedMatchesNaive)
+{
+    size_t m = 4, n = 6, k = 8;
+    auto a = randVec(m * k, 3);
+    auto b = randVec(n * k, 4);
+    std::vector<float> c1(m * n), c2(m * n);
+    gemmBT(a.data(), b.data(), c1.data(), m, n, k);
+    naiveGemm(a.data(), b.data(), c2.data(), m, n, k, false, true);
+    for (size_t i = 0; i < c1.size(); ++i)
+        EXPECT_NEAR(c1[i], c2[i], 1e-4);
+}
+
+TEST(Gemm, ATransposedAccumulates)
+{
+    size_t m = 5, n = 4, k = 6;
+    auto a = randVec(k * m, 5);
+    auto b = randVec(k * n, 6);
+    std::vector<float> c1(m * n, 1.0f), c2(m * n);
+    gemmATAcc(a.data(), b.data(), c1.data(), m, n, k);
+    naiveGemm(a.data(), b.data(), c2.data(), m, n, k, true, false);
+    for (size_t i = 0; i < c1.size(); ++i)
+        EXPECT_NEAR(c1[i], c2[i] + 1.0f, 1e-4);
+}
+
+TEST(Gemm, LargeSizeTriggersParallelPath)
+{
+    size_t m = 64, n = 48, k = 32; // above the OpenMP threshold
+    auto a = randVec(m * k, 7);
+    auto b = randVec(k * n, 8);
+    std::vector<float> c1(m * n), c2(m * n);
+    gemm(a.data(), b.data(), c1.data(), m, n, k);
+    naiveGemm(a.data(), b.data(), c2.data(), m, n, k, false, false);
+    for (size_t i = 0; i < c1.size(); ++i)
+        EXPECT_NEAR(c1[i], c2[i], 1e-3);
+}
+
+TEST(ConvOut, Formula)
+{
+    EXPECT_EQ(convOut(12, 3, 1, 1), 12u);
+    EXPECT_EQ(convOut(12, 3, 2, 1), 6u);
+    EXPECT_EQ(convOut(7, 1, 1, 0), 7u);
+    EXPECT_EQ(convOut(224, 7, 2, 3), 112u);
+}
+
+TEST(Im2col, IdentityKernel)
+{
+    // 1x1 kernel, no pad: columns equal the image.
+    auto img = randVec(2 * 3 * 3, 9);
+    std::vector<float> cols(2 * 9);
+    im2col(img.data(), 2, 3, 3, 1, 1, 1, 0, cols.data());
+    for (size_t i = 0; i < img.size(); ++i)
+        EXPECT_FLOAT_EQ(cols[i], img[i]);
+}
+
+TEST(Im2col, PaddingProducesZeros)
+{
+    std::vector<float> img(1 * 2 * 2, 1.0f);
+    std::vector<float> cols(9 * 4);
+    im2col(img.data(), 1, 2, 2, 3, 3, 1, 1, cols.data());
+    // Top-left kernel tap at output (0,0) reads padded zero.
+    EXPECT_FLOAT_EQ(cols[0], 0.0f);
+    // Center tap (row 4) equals the image.
+    EXPECT_FLOAT_EQ(cols[4 * 4 + 0], 1.0f);
+}
+
+TEST(Im2colCol2im, AdjointProperty)
+{
+    // <im2col(x), y> == <x, col2im(y)> — the transforms are adjoint,
+    // which is exactly what conv backward relies on.
+    size_t c = 2, h = 5, w = 4, kh = 3, kw = 3, stride = 2, pad = 1;
+    size_t oh = convOut(h, kh, stride, pad);
+    size_t ow = convOut(w, kw, stride, pad);
+    auto x = randVec(c * h * w, 10);
+    auto y = randVec(c * kh * kw * oh * ow, 11);
+
+    std::vector<float> cols(c * kh * kw * oh * ow);
+    im2col(x.data(), c, h, w, kh, kw, stride, pad, cols.data());
+    double lhs = 0.0;
+    for (size_t i = 0; i < cols.size(); ++i)
+        lhs += double(cols[i]) * double(y[i]);
+
+    std::vector<float> back(c * h * w, 0.0f);
+    col2im(y.data(), c, h, w, kh, kw, stride, pad, back.data());
+    double rhs = 0.0;
+    for (size_t i = 0; i < back.size(); ++i)
+        rhs += double(back[i]) * double(x[i]);
+
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+} // namespace
+} // namespace mixq

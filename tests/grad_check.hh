@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Finite-difference gradient checking shared by the layer tests.
+ * Loss is L = sum(forward(x) .* r) for a fixed random r; analytic
+ * gradients from backward(r) are compared against central
+ * differences on inputs and parameters.
+ */
+
+#ifndef MIXQ_TESTS_GRAD_CHECK_HH
+#define MIXQ_TESTS_GRAD_CHECK_HH
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/module.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+
+inline double
+dotLoss(const Tensor& y, const Tensor& r)
+{
+    double s = 0.0;
+    for (size_t i = 0; i < y.size(); ++i)
+        s += double(y[i]) * double(r[i]);
+    return s;
+}
+
+/**
+ * Check input and parameter gradients of a module by central
+ * differences. Checks a strided subset of coordinates to keep the
+ * test fast (stride chosen so at least ~20 coords are probed).
+ */
+inline void
+checkGradients(Module& mod, const Tensor& x, double eps = 1e-3,
+               double tol = 2e-2)
+{
+    Rng rng(1234);
+    Tensor y0 = mod.forward(x, true);
+    Tensor r = Tensor::randn(y0.shape(), rng, 1.0);
+
+    for (Param* p : mod.params())
+        p->zeroGrad();
+    Tensor y = mod.forward(x, true);
+    Tensor gx = mod.backward(r);
+    ASSERT_EQ(gx.size(), x.size());
+
+    // Input gradient.
+    Tensor xp = x;
+    size_t stride = std::max<size_t>(1, x.size() / 20);
+    for (size_t i = 0; i < x.size(); i += stride) {
+        float orig = xp[i];
+        xp[i] = orig + float(eps);
+        double lp = dotLoss(mod.forward(xp, true), r);
+        xp[i] = orig - float(eps);
+        double lm = dotLoss(mod.forward(xp, true), r);
+        xp[i] = orig;
+        double num = (lp - lm) / (2 * eps);
+        EXPECT_NEAR(gx[i], num, tol * std::max(1.0, std::fabs(num)))
+            << "input coord " << i;
+    }
+
+    // Parameter gradients (recompute analytic after restoring x).
+    for (Param* p : mod.params())
+        p->zeroGrad();
+    mod.forward(x, true);
+    mod.backward(r);
+    for (Param* p : mod.params()) {
+        size_t ps = std::max<size_t>(1, p->w.size() / 10);
+        for (size_t i = 0; i < p->w.size(); i += ps) {
+            float orig = p->w[i];
+            p->w[i] = orig + float(eps);
+            double lp = dotLoss(mod.forward(x, true), r);
+            p->w[i] = orig - float(eps);
+            double lm = dotLoss(mod.forward(x, true), r);
+            p->w[i] = orig;
+            double num = (lp - lm) / (2 * eps);
+            EXPECT_NEAR(p->grad[i], num,
+                        tol * std::max(1.0, std::fabs(num)))
+                << p->name << " coord " << i;
+        }
+    }
+}
+
+} // namespace mixq
+
+#endif // MIXQ_TESTS_GRAD_CHECK_HH

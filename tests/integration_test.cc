@@ -1,0 +1,176 @@
+/** @file End-to-end integration: train -> MSQ quantize -> encode ->
+ *  simulate on the heterogeneous accelerator -> verify. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/runner.hh"
+#include "util/rng.hh"
+#include "data/synth_images.hh"
+#include "fpga/characterize.hh"
+#include "nn/models.hh"
+#include "nn/trainer.hh"
+#include "quant/sp2_codec.hh"
+
+namespace mixq {
+namespace {
+
+TEST(EndToEnd, CodesignFlowQuantizedLinearLayerRunsOnAccelerator)
+{
+    // 1. Characterize a device -> design point + partition ratio.
+    const FpgaDevice& dev = deviceByName("XC7Z020");
+    DesignPoint dp = characterize(dev, 1, 16);
+    double pr_sp2 = dp.sp2Fraction();
+    EXPECT_GT(pr_sp2, 0.5);
+
+    // 2. Train a small classifier and ADMM-quantize it with the
+    //    hardware-derived ratio (Algorithm 2).
+    Rng rng(1);
+    auto model = makeTinyConvNet(10, rng);
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 250, 2);
+    TrainCfg pre;
+    pre.epochs = 4;
+    pre.lr = 0.08;
+    trainClassifier(*model, train, pre);
+
+    QConfig qcfg;
+    qcfg.scheme = QuantScheme::Mixed;
+    qcfg.prSp2 = pr_sp2;
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    TrainCfg fin;
+    fin.epochs = 3;
+    fin.lr = 0.02;
+    trainClassifier(*model, train, fin, &qat);
+
+    // 3. Export the classifier head (a Linear layer) to the
+    //    accelerator's integer formats.
+    const QatContext::Entry* head = nullptr;
+    for (const auto& e : qat.entries()) {
+        if (e.p->name == "linear.w")
+            head = &e;
+    }
+    ASSERT_NE(head, nullptr);
+    size_t rows = head->p->qRows, cols = head->p->qCols;
+
+    std::vector<size_t> fixed_rows, sp2_rows;
+    for (size_t r = 0; r < rows; ++r) {
+        (head->proj.rowScheme[r] == QuantScheme::Sp2 ? sp2_rows
+                                                     : fixed_rows)
+            .push_back(r);
+    }
+    EXPECT_GT(sp2_rows.size(), fixed_rows.size()); // 2:1-ish split
+
+    Sp2Codec codec(4);
+    QuantizedGemm q;
+    q.m = 4;
+    q.k = cols;
+    q.nf = fixed_rows.size();
+    q.ns = sp2_rows.size();
+    Rng arng(3);
+    q.acts.resize(q.m * q.k);
+    for (int8_t& a : q.acts)
+        a = int8_t(arng.randint(0, 15));
+    for (size_t r : fixed_rows) {
+        for (size_t c = 0; c < cols; ++c)
+            q.wF.push_back(int8_t(encodeFixed(
+                head->p->w[r * cols + c],
+                head->proj.rowAlpha[r], 4)));
+    }
+    for (size_t r : sp2_rows) {
+        for (size_t c = 0; c < cols; ++c)
+            q.wS.push_back(codec.encode(head->p->w[r * cols + c],
+                                        head->proj.rowAlpha[r]));
+    }
+
+    // 4. Simulator output must equal the integer reference exactly.
+    std::vector<int32_t> ref = referenceGemmInt(q);
+    RunStats stats;
+    std::vector<int32_t> sim = runGemmFunctional(q, dp, &stats);
+    ASSERT_EQ(ref.size(), sim.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(ref[i], sim[i]);
+
+    // 5. And the dequantized outputs must reproduce the nn library's
+    //    float matmul of the quantized weights.
+    for (size_t i = 0; i < q.m; ++i) {
+        for (size_t c = 0; c < q.nf + q.ns; ++c) {
+            size_t r = c < q.nf ? fixed_rows[c] : sp2_rows[c - q.nf];
+            double w_scale = c < q.nf
+                ? double(head->proj.rowAlpha[r]) / 7.0
+                : double(head->proj.rowAlpha[r]) / 8.0;
+            double deq = double(sim[i * (q.nf + q.ns) + c]) * w_scale;
+            double expect = 0.0;
+            for (size_t j = 0; j < cols; ++j)
+                expect += double(q.acts[i * cols + j]) *
+                          double(head->p->w[r * cols + j]);
+            EXPECT_NEAR(deq, expect,
+                        1e-3 * std::max(1.0, std::fabs(expect)));
+        }
+    }
+}
+
+TEST(EndToEnd, MsqAccuracyCompetitiveWithFixedAndSp2)
+{
+    // Miniature Table II: same pretrained model quantized three ways.
+    Rng rng(5);
+    auto model = makeMiniResNet(10, rng, 4);
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 400, 6);
+    LabeledImages test = makeImageDataset(ImageTask::Easy, 150, 7);
+    TrainCfg pre;
+    pre.epochs = 6;
+    pre.lr = 0.1;
+    trainClassifier(*model, train, pre);
+
+    auto quantized_acc = [&](QuantScheme s, double pr) {
+        Rng r2(5); // identical init
+        auto m2 = makeMiniResNet(10, r2, 4);
+        // Clone the pretrained weights.
+        auto src = model->params();
+        auto dst = m2->params();
+        for (size_t i = 0; i < src.size(); ++i)
+            dst[i]->w = src[i]->w;
+        QConfig qcfg;
+        qcfg.scheme = s;
+        qcfg.prSp2 = pr;
+        QatContext qat(qcfg);
+        qat.attach(m2->params());
+        TrainCfg fin;
+        fin.epochs = 3;
+        fin.lr = 0.02;
+        trainClassifier(*m2, train, fin, &qat);
+        return evalClassifier(*m2, test);
+    };
+
+    double acc_fixed = quantized_acc(QuantScheme::Fixed, 0.0);
+    double acc_sp2 = quantized_acc(QuantScheme::Sp2, 0.0);
+    double acc_msq = quantized_acc(QuantScheme::Mixed, 2.0 / 3.0);
+    // MSQ should be in the same band as the single schemes (the
+    // paper's Table II: within a few tenths of a percent).
+    double best = std::max(acc_fixed, acc_sp2);
+    EXPECT_GT(acc_msq, best - 0.10);
+}
+
+TEST(EndToEnd, CharacterizedRatioFeedsAlgorithmTwo)
+{
+    // The fraction produced by hardware characterization must be a
+    // valid QConfig fraction and reproduce the partition on a model.
+    DesignPoint dp = characterize(deviceByName("XC7Z045"), 4, 16);
+    QConfig qcfg;
+    qcfg.scheme = QuantScheme::Mixed;
+    qcfg.prSp2 = dp.sp2Fraction();
+    Rng rng(9);
+    auto model = makeMiniResNet(10, rng);
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    qat.finalize();
+    for (const auto& e : qat.entries()) {
+        double frac = double(e.proj.numSp2) / double(e.p->qRows);
+        EXPECT_NEAR(frac, qcfg.prSp2, 0.5 / double(e.p->qRows) + 0.01)
+            << e.p->name;
+    }
+}
+
+} // namespace
+} // namespace mixq

@@ -1,0 +1,265 @@
+/** @file Gradient and behaviour tests for the CNN layers and blocks. */
+
+#include <gtest/gtest.h>
+
+#include "grad_check.hh"
+#include "nn/blocks.hh"
+#include "nn/layers.hh"
+
+namespace mixq {
+namespace {
+
+TEST(Linear, ForwardShapeAndBias)
+{
+    Rng rng(1);
+    Linear fc(3, 2, rng, true);
+    Tensor x = Tensor::randn({4, 3}, rng, 1.0);
+    Tensor y = fc.forward(x, false);
+    EXPECT_EQ(y.shape(), (std::vector<size_t>{4, 2}));
+}
+
+TEST(Linear, Gradients)
+{
+    Rng rng(2);
+    Linear fc(5, 3, rng, true);
+    Tensor x = Tensor::randn({4, 5}, rng, 1.0);
+    checkGradients(fc, x);
+}
+
+TEST(Linear, QuantizableParamView)
+{
+    Rng rng(3);
+    Linear fc(5, 3, rng, true);
+    auto ps = fc.params();
+    ASSERT_EQ(ps.size(), 2u);
+    EXPECT_EQ(ps[0]->qRows, 3u);
+    EXPECT_EQ(ps[0]->qCols, 5u);
+    EXPECT_FALSE(ps[1]->quantizable()); // bias
+}
+
+TEST(Conv2d, ForwardShape)
+{
+    Rng rng(4);
+    Conv2d conv(3, 8, 3, 2, 1, rng);
+    Tensor x = Tensor::randn({2, 3, 8, 8}, rng, 1.0);
+    Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.shape(), (std::vector<size_t>{2, 8, 4, 4}));
+}
+
+TEST(Conv2d, MatchesDirectConvolution)
+{
+    Rng rng(5);
+    Conv2d conv(1, 1, 3, 1, 0, rng, true);
+    // Fixed small kernel / image: compare with a hand computation.
+    Param& w = conv.weight();
+    for (size_t i = 0; i < 9; ++i)
+        w.w[i] = float(i + 1);
+    Tensor x({1, 1, 3, 3});
+    for (size_t i = 0; i < 9; ++i)
+        x[i] = 1.0f;
+    Tensor y = conv.forward(x, false);
+    ASSERT_EQ(y.size(), 1u);
+    EXPECT_FLOAT_EQ(y[0], 45.0f); // sum of 1..9
+}
+
+TEST(Conv2d, Gradients)
+{
+    Rng rng(6);
+    Conv2d conv(2, 3, 3, 1, 1, rng, true);
+    Tensor x = Tensor::randn({2, 2, 5, 5}, rng, 1.0);
+    checkGradients(conv, x);
+}
+
+TEST(Conv2d, StridedGradients)
+{
+    Rng rng(7);
+    Conv2d conv(2, 4, 3, 2, 1, rng);
+    Tensor x = Tensor::randn({1, 2, 6, 6}, rng, 1.0);
+    checkGradients(conv, x);
+}
+
+TEST(DwConv2d, ChannelsStayIndependent)
+{
+    Rng rng(8);
+    DwConv2d dw(2, 3, 1, 1, rng);
+    Tensor x({1, 2, 4, 4});
+    // Only channel 0 is non-zero.
+    for (size_t i = 0; i < 16; ++i)
+        x[i] = 1.0f;
+    Tensor y = dw.forward(x, false);
+    double ch1 = 0.0;
+    for (size_t i = 16; i < 32; ++i)
+        ch1 += std::fabs(y[i]);
+    EXPECT_DOUBLE_EQ(ch1, 0.0);
+}
+
+TEST(DwConv2d, Gradients)
+{
+    Rng rng(9);
+    DwConv2d dw(3, 3, 1, 1, rng);
+    Tensor x = Tensor::randn({2, 3, 5, 5}, rng, 1.0);
+    checkGradients(dw, x);
+}
+
+TEST(BatchNorm2d, NormalizesTrainBatch)
+{
+    Rng rng(10);
+    BatchNorm2d bn(2);
+    Tensor x = Tensor::randn({8, 2, 4, 4}, rng, 3.0);
+    Tensor y = bn.forward(x, true);
+    // Per-channel mean ~0, var ~1.
+    for (size_t c = 0; c < 2; ++c) {
+        double s = 0.0, s2 = 0.0;
+        size_t cnt = 0;
+        for (size_t n = 0; n < 8; ++n) {
+            for (size_t p = 0; p < 16; ++p) {
+                double v = y.at4(n, c, p / 4, p % 4);
+                s += v;
+                s2 += v * v;
+                ++cnt;
+            }
+        }
+        EXPECT_NEAR(s / cnt, 0.0, 1e-4);
+        EXPECT_NEAR(s2 / cnt, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats)
+{
+    Rng rng(11);
+    BatchNorm2d bn(1);
+    Tensor x = Tensor::full({4, 1, 2, 2}, 2.0f);
+    for (int i = 0; i < 100; ++i)
+        bn.forward(x, true);
+    Tensor y = bn.forward(x, false);
+    // Running mean approaches 2, var approaches 0 -> y ~ 0.
+    EXPECT_NEAR(y[0], 0.0f, 0.2f);
+}
+
+TEST(BatchNorm2d, Gradients)
+{
+    Rng rng(12);
+    BatchNorm2d bn(3);
+    Tensor x = Tensor::randn({4, 3, 3, 3}, rng, 1.0);
+    checkGradients(bn, x, 1e-3, 3e-2);
+}
+
+TEST(ReLU, ForwardBackwardMasks)
+{
+    ReLU relu;
+    Tensor x({4});
+    x[0] = -1.0f; x[1] = 0.5f; x[2] = 0.0f; x[3] = 2.0f;
+    Tensor y = relu.forward(x, true);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.5f);
+    Tensor g = Tensor::full({4}, 1.0f);
+    Tensor gx = relu.backward(g);
+    EXPECT_FLOAT_EQ(gx[0], 0.0f);
+    EXPECT_FLOAT_EQ(gx[1], 1.0f);
+    EXPECT_FLOAT_EQ(gx[3], 1.0f);
+}
+
+TEST(ReLU6, CapsAndMasks)
+{
+    ReLU relu6(6.0);
+    Tensor x({3});
+    x[0] = 3.0f; x[1] = 7.0f; x[2] = -1.0f;
+    Tensor y = relu6.forward(x, true);
+    EXPECT_FLOAT_EQ(y[1], 6.0f);
+    Tensor g = Tensor::full({3}, 1.0f);
+    Tensor gx = relu6.backward(g);
+    EXPECT_FLOAT_EQ(gx[0], 1.0f);
+    EXPECT_FLOAT_EQ(gx[1], 0.0f); // capped region
+    EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(MaxPool2d, ForwardAndGradRouting)
+{
+    MaxPool2d pool(2);
+    Tensor x({1, 1, 2, 2});
+    x[0] = 1.0f; x[1] = 4.0f; x[2] = 2.0f; x[3] = 3.0f;
+    Tensor y = pool.forward(x, true);
+    ASSERT_EQ(y.size(), 1u);
+    EXPECT_FLOAT_EQ(y[0], 4.0f);
+    Tensor g = Tensor::full({1, 1, 1, 1}, 5.0f);
+    Tensor gx = pool.backward(g);
+    EXPECT_FLOAT_EQ(gx[1], 5.0f);
+    EXPECT_FLOAT_EQ(gx[0], 0.0f);
+}
+
+TEST(GlobalAvgPool, ForwardBackward)
+{
+    GlobalAvgPool gap;
+    Tensor x = Tensor::full({2, 3, 2, 2}, 2.0f);
+    Tensor y = gap.forward(x, true);
+    EXPECT_EQ(y.shape(), (std::vector<size_t>{2, 3}));
+    EXPECT_FLOAT_EQ(y[0], 2.0f);
+    Tensor g = Tensor::full({2, 3}, 4.0f);
+    Tensor gx = gap.backward(g);
+    EXPECT_FLOAT_EQ(gx[0], 1.0f); // 4 / plane(4)
+}
+
+TEST(Flatten, RoundTrip)
+{
+    Flatten fl;
+    Tensor x = Tensor::randn({2, 3, 2, 2}, *(new Rng(13)), 1.0);
+    Tensor y = fl.forward(x, true);
+    EXPECT_EQ(y.shape(), (std::vector<size_t>{2, 12}));
+    Tensor gx = fl.backward(y);
+    EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(BasicBlock, IdentityShortcutGradients)
+{
+    Rng rng(14);
+    BasicBlock blk(4, 4, 1, rng);
+    Tensor x = Tensor::randn({2, 4, 4, 4}, rng, 1.0);
+    checkGradients(blk, x, 1e-3, 4e-2);
+}
+
+TEST(BasicBlock, ProjectionShortcutShapeAndGradients)
+{
+    Rng rng(15);
+    BasicBlock blk(3, 6, 2, rng);
+    Tensor x = Tensor::randn({2, 3, 6, 6}, rng, 1.0);
+    Tensor y = blk.forward(x, true);
+    EXPECT_EQ(y.shape(), (std::vector<size_t>{2, 6, 3, 3}));
+    checkGradients(blk, x, 1e-3, 4e-2);
+}
+
+TEST(InvertedResidual, SkipConditions)
+{
+    Rng rng(16);
+    InvertedResidual a(4, 4, 2, 1, rng);
+    InvertedResidual b(4, 8, 2, 1, rng);
+    InvertedResidual c(4, 4, 2, 2, rng);
+    EXPECT_TRUE(a.hasSkip());
+    EXPECT_FALSE(b.hasSkip());
+    EXPECT_FALSE(c.hasSkip());
+}
+
+TEST(InvertedResidual, Gradients)
+{
+    Rng rng(17);
+    InvertedResidual blk(3, 3, 2, 1, rng);
+    Tensor x = Tensor::randn({2, 3, 4, 4}, rng, 1.0);
+    checkGradients(blk, x, 1e-3, 4e-2);
+}
+
+TEST(Sequential, ChainsAndCollectsParams)
+{
+    Rng rng(18);
+    Sequential net;
+    net.add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, rng, true));
+    net.add(std::make_unique<ReLU>());
+    net.add(std::make_unique<GlobalAvgPool>());
+    net.add(std::make_unique<Linear>(2, 3, rng, true));
+    Tensor x = Tensor::randn({2, 1, 4, 4}, rng, 1.0);
+    Tensor y = net.forward(x, true);
+    EXPECT_EQ(y.shape(), (std::vector<size_t>{2, 3}));
+    EXPECT_EQ(net.params().size(), 4u);
+    checkGradients(net, x);
+}
+
+} // namespace
+} // namespace mixq

@@ -1,0 +1,146 @@
+/** @file mAP, edit distance / PER and perplexity tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/map.hh"
+#include "metrics/seq_metrics.hh"
+
+namespace mixq {
+namespace {
+
+TEST(Iou, KnownCases)
+{
+    // Identical boxes.
+    EXPECT_DOUBLE_EQ(iou(0, 0, 1, 1, 0, 0, 1, 1), 1.0);
+    // Disjoint boxes.
+    EXPECT_DOUBLE_EQ(iou(0, 0, 1, 1, 2, 2, 3, 3), 0.0);
+    // Half overlap: inter 0.5, union 1.5.
+    EXPECT_NEAR(iou(0, 0, 1, 1, 0.5, 0, 1.5, 1), 1.0 / 3.0, 1e-9);
+}
+
+DetBox
+det(float x1, float y1, float x2, float y2, float score, int cls,
+    int img)
+{
+    return DetBox{x1, y1, x2, y2, score, cls, img};
+}
+
+GtBox
+gt(float x1, float y1, float x2, float y2, int cls, int img)
+{
+    return GtBox{x1, y1, x2, y2, cls, img};
+}
+
+TEST(Ap, PerfectDetections)
+{
+    std::vector<GtBox> gts = {gt(0, 0, 1, 1, 0, 0),
+                              gt(2, 2, 3, 3, 0, 0)};
+    std::vector<DetBox> dets = {det(0, 0, 1, 1, 0.9f, 0, 0),
+                                det(2, 2, 3, 3, 0.8f, 0, 0)};
+    EXPECT_DOUBLE_EQ(averagePrecision(dets, gts, 0.5), 1.0);
+}
+
+TEST(Ap, MissedGroundTruthHalvesRecall)
+{
+    std::vector<GtBox> gts = {gt(0, 0, 1, 1, 0, 0),
+                              gt(2, 2, 3, 3, 0, 0)};
+    std::vector<DetBox> dets = {det(0, 0, 1, 1, 0.9f, 0, 0)};
+    EXPECT_DOUBLE_EQ(averagePrecision(dets, gts, 0.5), 0.5);
+}
+
+TEST(Ap, DuplicateDetectionIsFalsePositive)
+{
+    std::vector<GtBox> gts = {gt(0, 0, 1, 1, 0, 0)};
+    std::vector<DetBox> dets = {det(0, 0, 1, 1, 0.9f, 0, 0),
+                                det(0.01f, 0, 1.01f, 1, 0.8f, 0, 0)};
+    // First matches (AP contribution complete at recall 1), second is
+    // a duplicate FP after full recall -> AP stays 1.
+    EXPECT_DOUBLE_EQ(averagePrecision(dets, gts, 0.5), 1.0);
+}
+
+TEST(Ap, LowConfidenceCorrectAfterFalsePositive)
+{
+    std::vector<GtBox> gts = {gt(0, 0, 1, 1, 0, 0)};
+    std::vector<DetBox> dets = {det(5, 5, 6, 6, 0.9f, 0, 0),
+                                det(0, 0, 1, 1, 0.8f, 0, 0)};
+    // Precision at the match is 1/2.
+    EXPECT_DOUBLE_EQ(averagePrecision(dets, gts, 0.5), 0.5);
+}
+
+TEST(Ap, WrongImageDoesNotMatch)
+{
+    std::vector<GtBox> gts = {gt(0, 0, 1, 1, 0, 0)};
+    std::vector<DetBox> dets = {det(0, 0, 1, 1, 0.9f, 0, 1)};
+    EXPECT_DOUBLE_EQ(averagePrecision(dets, gts, 0.5), 0.0);
+}
+
+TEST(MeanAp, AveragesOverPresentClassesOnly)
+{
+    std::vector<GtBox> gts = {gt(0, 0, 1, 1, 0, 0),
+                              gt(2, 2, 3, 3, 1, 0)};
+    std::vector<DetBox> dets = {det(0, 0, 1, 1, 0.9f, 0, 0)};
+    // Class 0 AP = 1, class 1 AP = 0, class 2 absent.
+    EXPECT_DOUBLE_EQ(meanAp(dets, gts, 3, 0.5), 0.5);
+}
+
+TEST(MeanApRange, TightBoxesDegradeWithThreshold)
+{
+    // A detection with IoU ~0.7 counts at 0.5 but not at 0.9.
+    std::vector<GtBox> gts = {gt(0, 0, 1.0f, 1.0f, 0, 0)};
+    std::vector<DetBox> dets = {det(0, 0, 0.85f, 0.85f, 0.9f, 0, 0)};
+    double map50 = meanAp(dets, gts, 1, 0.5);
+    double map_range = meanApRange(dets, gts, 1);
+    EXPECT_DOUBLE_EQ(map50, 1.0);
+    EXPECT_LT(map_range, map50);
+    EXPECT_GT(map_range, 0.0);
+}
+
+TEST(EditDistance, Cases)
+{
+    EXPECT_EQ(editDistance({}, {}), 0u);
+    EXPECT_EQ(editDistance({1, 2, 3}, {1, 2, 3}), 0u);
+    EXPECT_EQ(editDistance({1, 2, 3}, {1, 3}), 1u);      // deletion
+    EXPECT_EQ(editDistance({1, 3}, {1, 2, 3}), 1u);      // insertion
+    EXPECT_EQ(editDistance({1, 2, 3}, {1, 9, 3}), 1u);   // substitution
+    EXPECT_EQ(editDistance({1, 2}, {3, 4}), 2u);
+    EXPECT_EQ(editDistance({}, {1, 2, 3}), 3u);
+}
+
+TEST(CollapseRuns, MergesConsecutive)
+{
+    EXPECT_EQ(collapseRuns({1, 1, 2, 2, 2, 1}),
+              (std::vector<int>{1, 2, 1}));
+    EXPECT_EQ(collapseRuns({}), (std::vector<int>{}));
+    EXPECT_EQ(collapseRuns({5}), (std::vector<int>{5}));
+}
+
+TEST(Per, PerfectHypothesisIsZero)
+{
+    std::vector<std::vector<int>> refs = {{1, 2, 3}};
+    EXPECT_DOUBLE_EQ(phonemeErrorRate(refs, refs), 0.0);
+}
+
+TEST(Per, NormalizedByReferenceLength)
+{
+    std::vector<std::vector<int>> refs = {{1, 2, 3, 4}};
+    std::vector<std::vector<int>> hyps = {{1, 2}};
+    EXPECT_DOUBLE_EQ(phonemeErrorRate(refs, hyps), 0.5);
+}
+
+TEST(Perplexity, UniformModel)
+{
+    // NLL per token = log(V) -> PPL = V.
+    size_t v = 32, tokens = 100;
+    double nll = double(tokens) * std::log(double(v));
+    EXPECT_NEAR(perplexity(nll, tokens), double(v), 1e-9);
+}
+
+TEST(Perplexity, PerfectModel)
+{
+    EXPECT_DOUBLE_EQ(perplexity(0.0, 10), 1.0);
+}
+
+} // namespace
+} // namespace mixq

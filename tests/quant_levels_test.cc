@@ -1,0 +1,167 @@
+/** @file Level-set properties of the three quantization schemes. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/scheme.hh"
+
+namespace mixq {
+namespace {
+
+class LevelBits : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LevelBits, FixedCardinality)
+{
+    int m = GetParam();
+    // 2^(m-1) magnitudes including zero -> 2^m - 1 signed levels.
+    EXPECT_EQ(fixedMagnitudes(m).size(), size_t(1) << (m - 1));
+    EXPECT_EQ(signedLevels(QuantScheme::Fixed, m).size(),
+              (size_t(1) << m) - 1);
+}
+
+TEST_P(LevelBits, Pow2Cardinality)
+{
+    int m = GetParam();
+    EXPECT_EQ(pow2Magnitudes(m).size(), size_t(1) << (m - 1));
+    EXPECT_EQ(signedLevels(QuantScheme::Pow2, m).size(),
+              (size_t(1) << m) - 1);
+}
+
+TEST_P(LevelBits, AllSchemesSortedUniqueInUnitRange)
+{
+    int m = GetParam();
+    for (QuantScheme s : {QuantScheme::Fixed, QuantScheme::Pow2,
+                          QuantScheme::Sp2}) {
+        auto mags = magnitudes(s, m);
+        EXPECT_TRUE(std::is_sorted(mags.begin(), mags.end()));
+        EXPECT_EQ(std::adjacent_find(mags.begin(), mags.end()),
+                  mags.end());
+        EXPECT_DOUBLE_EQ(mags.front(), 0.0);
+        EXPECT_LE(mags.back(), 1.0);
+        EXPECT_GT(mags.back(), 0.0);
+    }
+}
+
+TEST_P(LevelBits, SignedLevelsSymmetric)
+{
+    int m = GetParam();
+    for (QuantScheme s : {QuantScheme::Fixed, QuantScheme::Pow2,
+                          QuantScheme::Sp2}) {
+        auto levels = signedLevels(s, m);
+        for (double v : levels) {
+            EXPECT_NE(std::find_if(levels.begin(), levels.end(),
+                                   [v](double u) {
+                                       return std::fabs(u + v) <
+                                              1e-15;
+                                   }),
+                      levels.end());
+        }
+    }
+}
+
+TEST_P(LevelBits, Sp2LevelsAreSumsOfTwoPowersOfTwo)
+{
+    int m = GetParam();
+    Sp2Split sp = sp2Split(m);
+    auto mags = sp2Magnitudes(m);
+    for (double v : mags) {
+        bool ok = false;
+        for (int k1 = 0; k1 <= (1 << sp.m1) - 1 && !ok; ++k1) {
+            for (int k2 = 0; k2 <= (1 << sp.m2) - 1 && !ok; ++k2) {
+                double q1 = k1 == 0 ? 0.0 : std::ldexp(1.0, -k1);
+                double q2 = k2 == 0 ? 0.0 : std::ldexp(1.0, -k2);
+                ok = std::fabs(q1 + q2 - v) < 1e-15;
+            }
+        }
+        EXPECT_TRUE(ok) << "level " << v << " at m=" << m;
+    }
+}
+
+TEST_P(LevelBits, Sp2CardinalityAtMostNominal)
+{
+    int m = GetParam();
+    // Eq. (8) nominally promises 2^m - 1 signed levels; collisions
+    // (0 + 1/2 == 1/2 + 0) can only reduce the count (DESIGN.md).
+    auto levels = signedLevels(QuantScheme::Sp2, m);
+    EXPECT_LE(levels.size(), (size_t(1) << m) - 1);
+    // Collisions shrink the set but never below ~3/4 of 2^(m-1)
+    // (observed: m=7 keeps 59 of the nominal 127 signed levels).
+    EXPECT_GE(levels.size(), (size_t(1) << (m - 1)) * 3 / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitSweep, LevelBits,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(Levels, FourBitFixedValues)
+{
+    auto mags = fixedMagnitudes(4);
+    ASSERT_EQ(mags.size(), 8u);
+    for (int k = 0; k < 8; ++k)
+        EXPECT_DOUBLE_EQ(mags[size_t(k)], k / 7.0);
+}
+
+TEST(Levels, FourBitPow2Values)
+{
+    // Eq. (4): {0} + {1, 1/2, ..., 1/64}.
+    auto mags = pow2Magnitudes(4);
+    ASSERT_EQ(mags.size(), 8u);
+    EXPECT_DOUBLE_EQ(mags[0], 0.0);
+    EXPECT_DOUBLE_EQ(mags[1], 1.0 / 64.0);
+    EXPECT_DOUBLE_EQ(mags[7], 1.0);
+}
+
+TEST(Levels, FourBitSp2Values)
+{
+    // m1=2, m2=1: q1 in {0,1/8,1/4,1/2}, q2 in {0,1/2}; the sum set
+    // collides at 1/2, leaving 7 distinct magnitudes.
+    auto mags = sp2Magnitudes(4);
+    std::vector<double> expect = {0.0, 0.125, 0.25, 0.5,
+                                  0.625, 0.75, 1.0};
+    ASSERT_EQ(mags.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_DOUBLE_EQ(mags[i], expect[i]);
+}
+
+TEST(Levels, Sp2SplitRules)
+{
+    for (int m = 2; m <= 8; ++m) {
+        Sp2Split sp = sp2Split(m);
+        EXPECT_EQ(sp.m1 + sp.m2 + 1, m);
+        EXPECT_GE(sp.m1, sp.m2);
+        EXPECT_LE(sp.m1 - sp.m2, 1);
+    }
+}
+
+TEST(Levels, Pow2TailGapIsLargerThanSp2)
+{
+    // The paper's Fig. 1 argument: P2 has a huge gap below 1.0
+    // (1 -> 1/2), SP2's top gap is much smaller (1 -> 3/4).
+    auto p2 = pow2Magnitudes(4);
+    auto sp2 = sp2Magnitudes(4);
+    double p2_gap = p2.back() - p2[p2.size() - 2];
+    double sp2_gap = sp2.back() - sp2[sp2.size() - 2];
+    EXPECT_DOUBLE_EQ(p2_gap, 0.5);
+    EXPECT_DOUBLE_EQ(sp2_gap, 0.25);
+}
+
+TEST(Levels, SchemeNames)
+{
+    EXPECT_EQ(toString(QuantScheme::Fixed), "Fixed");
+    EXPECT_EQ(toString(QuantScheme::Pow2), "P2");
+    EXPECT_EQ(toString(QuantScheme::Sp2), "SP2");
+    EXPECT_EQ(toString(QuantScheme::Mixed), "MSQ");
+}
+
+TEST(Levels, RatioHelper)
+{
+    EXPECT_DOUBLE_EQ(QConfig::fractionFromRatio(2.0, 1.0), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(QConfig::fractionFromRatio(1.0, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(QConfig::fractionFromRatio(0.0, 1.0), 0.0);
+}
+
+} // namespace
+} // namespace mixq

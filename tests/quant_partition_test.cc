@@ -1,0 +1,108 @@
+/** @file Algorithm 2 row-partitioner tests. */
+
+#include <gtest/gtest.h>
+
+#include "quant/partition.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+/** Build a matrix whose row r has stddev proportional to (r+1). */
+std::vector<float>
+gradedMatrix(size_t rows, size_t cols, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> w(rows * cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            w[r * cols + c] =
+                float(rng.normal(0.0, 0.01 * double(r + 1)));
+    return w;
+}
+
+TEST(Partition, FractionRounding)
+{
+    auto w = gradedMatrix(10, 32, 1);
+    EXPECT_EQ(partitionRows(w.data(), 10, 32, 0.5).numSp2, 5u);
+    EXPECT_EQ(partitionRows(w.data(), 10, 32, 0.0).numSp2, 0u);
+    EXPECT_EQ(partitionRows(w.data(), 10, 32, 1.0).numSp2, 10u);
+    EXPECT_EQ(partitionRows(w.data(), 10, 32, 2.0 / 3.0).numSp2, 7u);
+}
+
+TEST(Partition, VariancePolicyPicksLowVarianceRows)
+{
+    auto w = gradedMatrix(12, 256, 2);
+    auto res = partitionRows(w.data(), 12, 256, 0.5,
+                             PartitionPolicy::Variance);
+    // The 6 lowest-variance rows are (statistically) rows 0..5.
+    for (size_t r = 0; r < 6; ++r)
+        EXPECT_EQ(res.rowScheme[r], QuantScheme::Sp2) << r;
+    for (size_t r = 6; r < 12; ++r)
+        EXPECT_EQ(res.rowScheme[r], QuantScheme::Fixed) << r;
+}
+
+TEST(Partition, ThresholdSeparatesGroups)
+{
+    auto w = gradedMatrix(12, 256, 3);
+    auto res = partitionRows(w.data(), 12, 256, 0.5,
+                             PartitionPolicy::Variance);
+    for (size_t r = 0; r < 12; ++r) {
+        if (res.rowScheme[r] == QuantScheme::Sp2)
+            EXPECT_LT(res.rowVariance[r], res.threshold);
+        else
+            EXPECT_GE(res.rowVariance[r], res.threshold);
+    }
+}
+
+TEST(Partition, InvertedPolicyPicksHighVarianceRows)
+{
+    auto w = gradedMatrix(12, 256, 4);
+    auto res = partitionRows(w.data(), 12, 256, 0.5,
+                             PartitionPolicy::Inverted);
+    for (size_t r = 6; r < 12; ++r)
+        EXPECT_EQ(res.rowScheme[r], QuantScheme::Sp2) << r;
+}
+
+TEST(Partition, RandomPolicyIsSeedDeterministic)
+{
+    auto w = gradedMatrix(16, 32, 5);
+    auto a = partitionRows(w.data(), 16, 32, 0.5,
+                           PartitionPolicy::Random, 7);
+    auto b = partitionRows(w.data(), 16, 32, 0.5,
+                           PartitionPolicy::Random, 7);
+    auto c = partitionRows(w.data(), 16, 32, 0.5,
+                           PartitionPolicy::Random, 8);
+    EXPECT_EQ(a.rowScheme, b.rowScheme);
+    EXPECT_EQ(a.numSp2, c.numSp2);
+}
+
+TEST(Partition, RowVariancesMatchDefinition)
+{
+    std::vector<float> w = {1.0f, 1.0f, 1.0f, 1.0f,   // var 0
+                            0.0f, 2.0f, 0.0f, 2.0f};  // var 1
+    auto res = partitionRows(w.data(), 2, 4, 0.5);
+    EXPECT_DOUBLE_EQ(res.rowVariance[0], 0.0);
+    EXPECT_DOUBLE_EQ(res.rowVariance[1], 1.0);
+    EXPECT_EQ(res.rowScheme[0], QuantScheme::Sp2);
+    EXPECT_EQ(res.rowScheme[1], QuantScheme::Fixed);
+}
+
+class PartitionFraction : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PartitionFraction, ExactCounts)
+{
+    double pr = GetParam();
+    auto w = gradedMatrix(24, 16, 6);
+    auto res = partitionRows(w.data(), 24, 16, pr);
+    EXPECT_EQ(res.numSp2, size_t(llround(pr * 24.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, PartitionFraction,
+                         ::testing::Values(0.0, 0.25, 1.0 / 3.0, 0.5,
+                                           0.6, 2.0 / 3.0, 0.75, 1.0));
+
+} // namespace
+} // namespace mixq

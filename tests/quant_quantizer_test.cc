@@ -1,0 +1,259 @@
+/** @file Projection and alpha-fitting tests (Eqs. 2/3/5, Section III). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quantizer.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+TEST(Project, NearestLevelAndClip)
+{
+    std::vector<double> mags = {0.0, 0.5, 1.0};
+    EXPECT_DOUBLE_EQ(projectValue(0.1, mags, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(projectValue(0.3, mags, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(projectValue(0.8, mags, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(projectValue(5.0, mags, 1.0), 1.0);   // clip
+    EXPECT_DOUBLE_EQ(projectValue(-0.8, mags, 1.0), -1.0); // sign
+    EXPECT_DOUBLE_EQ(projectValue(-9.0, mags, 2.0), -2.0); // alpha
+}
+
+TEST(Project, Idempotent)
+{
+    auto mags = fixedMagnitudes(4);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        double x = rng.normal(0.0, 0.5);
+        double q1 = projectValue(x, mags, 0.7);
+        double q2 = projectValue(q1, mags, 0.7);
+        EXPECT_NEAR(q1, q2, 1e-12);
+    }
+}
+
+TEST(Project, ErrorBoundedByHalfStep)
+{
+    auto mags = fixedMagnitudes(4);
+    double alpha = 1.0;
+    double step = alpha / 7.0; // level spacing
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        double x = rng.uniform(-1.0, 1.0);
+        double q = projectValue(x, mags, alpha);
+        EXPECT_LE(std::fabs(x - q), step / 2 + 1e-12);
+    }
+}
+
+TEST(FitAlpha, RecoversScaleOfOnGridData)
+{
+    // Weights already on alpha * levels: the fit must find ~alpha.
+    auto mags = fixedMagnitudes(4);
+    double alpha = 0.37;
+    std::vector<float> w;
+    for (double m : mags) {
+        w.push_back(float(alpha * m));
+        w.push_back(float(-alpha * m));
+    }
+    double fit = fitAlpha(w, mags);
+    EXPECT_NEAR(fit, alpha, 1e-3);
+}
+
+TEST(FitAlpha, AllZeros)
+{
+    std::vector<float> w(16, 0.0f);
+    EXPECT_DOUBLE_EQ(fitAlpha(w, fixedMagnitudes(4)), 1.0);
+}
+
+TEST(FitAlpha, ImprovesOverMaxAbsInit)
+{
+    // With a heavy outlier, the fitted alpha should beat alpha =
+    // max|w| in mean squared error.
+    Rng rng(11);
+    std::vector<float> w;
+    for (int i = 0; i < 500; ++i)
+        w.push_back(float(rng.normal(0.0, 0.1)));
+    w.push_back(2.0f); // outlier
+    auto mags = fixedMagnitudes(4);
+    double a_fit = fitAlpha(w, mags);
+    double a_max = 2.0;
+    auto mse_at = [&](double a) {
+        double s = 0.0;
+        for (float x : w) {
+            double q = projectValue(x, mags, a);
+            s += (x - q) * (x - q);
+        }
+        return s / double(w.size());
+    };
+    EXPECT_LT(mse_at(a_fit), mse_at(a_max));
+}
+
+TEST(QuantizeGroup, OutputOnGrid)
+{
+    Rng rng(17);
+    std::vector<float> w(128), out(128);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.3));
+    double alpha = quantizeGroup(w, out, QuantScheme::Sp2, 4);
+    auto mags = sp2Magnitudes(4);
+    for (float q : out) {
+        double t = std::fabs(q) / alpha;
+        bool on_grid = false;
+        for (double m : mags)
+            on_grid |= std::fabs(t - m) < 1e-6;
+        EXPECT_TRUE(on_grid) << q;
+    }
+}
+
+TEST(SchemeError, Sp2BeatsPow2OnGaussian)
+{
+    // The central claim of Section III: on Gaussian weights at 4
+    // bits, SP2's quantization error is well below P2's and close to
+    // fixed-point.
+    Rng rng(23);
+    std::vector<float> w(4096);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.25));
+    auto mse_for = [&](QuantScheme s) {
+        std::vector<float> out(w.size());
+        quantizeGroup(w, out, s, 4);
+        return quantMse(w, out);
+    };
+    double mse_p2 = mse_for(QuantScheme::Pow2);
+    double mse_sp2 = mse_for(QuantScheme::Sp2);
+    double mse_fx = mse_for(QuantScheme::Fixed);
+    EXPECT_LT(mse_sp2, mse_p2);
+    EXPECT_LT(mse_sp2, 2.0 * mse_fx);
+}
+
+TEST(SchemeError, FixedBestOnUniform)
+{
+    Rng rng(29);
+    std::vector<float> w(4096);
+    for (float& x : w)
+        x = float(rng.uniform(-0.5, 0.5));
+    auto mse_for = [&](QuantScheme s) {
+        std::vector<float> out(w.size());
+        quantizeGroup(w, out, s, 4);
+        return quantMse(w, out);
+    };
+    EXPECT_LT(mse_for(QuantScheme::Fixed),
+              mse_for(QuantScheme::Pow2));
+}
+
+class QuantizeMatrixTest : public ::testing::TestWithParam<QuantScheme>
+{
+};
+
+TEST_P(QuantizeMatrixTest, SingleSchemeAssignsAllRows)
+{
+    QConfig cfg;
+    cfg.scheme = GetParam();
+    cfg.bits = 4;
+    Rng rng(31);
+    size_t rows = 8, cols = 16;
+    std::vector<float> w(rows * cols), out(rows * cols);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.2));
+    auto res = quantizeMatrix(w.data(), out.data(), rows, cols, cfg);
+    for (QuantScheme s : res.rowScheme)
+        EXPECT_EQ(s, cfg.scheme);
+    for (float a : res.rowAlpha)
+        EXPECT_GT(a, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, QuantizeMatrixTest,
+                         ::testing::Values(QuantScheme::Fixed,
+                                           QuantScheme::Pow2,
+                                           QuantScheme::Sp2));
+
+TEST(QuantizeMatrix, MixedPartitionCounts)
+{
+    QConfig cfg;
+    cfg.scheme = QuantScheme::Mixed;
+    cfg.prSp2 = 2.0 / 3.0;
+    Rng rng(37);
+    size_t rows = 9, cols = 32;
+    std::vector<float> w(rows * cols), out(rows * cols);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.2));
+    auto res = quantizeMatrix(w.data(), out.data(), rows, cols, cfg);
+    EXPECT_EQ(res.numSp2, 6u); // round(9 * 2/3)
+    size_t n_sp2 = 0;
+    for (QuantScheme s : res.rowScheme)
+        n_sp2 += s == QuantScheme::Sp2;
+    EXPECT_EQ(n_sp2, 6u);
+}
+
+TEST(QuantizeMatrix, PerRowGranularityGivesRowAlphas)
+{
+    QConfig cfg;
+    cfg.scheme = QuantScheme::Fixed;
+    cfg.granularity = Granularity::PerRow;
+    Rng rng(41);
+    size_t rows = 4, cols = 64;
+    std::vector<float> w(rows * cols), out(rows * cols);
+    // Rows with very different scales.
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            w[r * cols + c] =
+                float(rng.normal(0.0, 0.05 * double(r + 1)));
+    auto res = quantizeMatrix(w.data(), out.data(), rows, cols, cfg);
+    EXPECT_LT(res.rowAlpha[0], res.rowAlpha[3]);
+}
+
+TEST(QuantizeMatrix, PerRowBeatsPerLayerOnHeterogeneousRows)
+{
+    Rng rng(43);
+    size_t rows = 8, cols = 64;
+    std::vector<float> w(rows * cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            w[r * cols + c] =
+                float(rng.normal(0.0, r < 4 ? 0.02 : 0.4));
+    QConfig cfg;
+    cfg.scheme = QuantScheme::Fixed;
+    std::vector<float> out1(w.size()), out2(w.size());
+    cfg.granularity = Granularity::PerGroup;
+    quantizeMatrix(w.data(), out1.data(), rows, cols, cfg);
+    cfg.granularity = Granularity::PerRow;
+    quantizeMatrix(w.data(), out2.data(), rows, cols, cfg);
+    EXPECT_LT(quantMse(w, out2), quantMse(w, out1));
+}
+
+TEST(QuantizeMatrix, MixedMseNotWorseThanWorstSingle)
+{
+    Rng rng(47);
+    size_t rows = 16, cols = 64;
+    std::vector<float> w(rows * cols);
+    // Half the rows Gaussian-tight, half uniform-wide (the paper's
+    // motivating weight heterogeneity).
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+            w[r * cols + c] = r % 2 == 0
+                ? float(rng.normal(0.0, 0.05))
+                : float(rng.uniform(-0.4, 0.4));
+        }
+    }
+    auto mse_for = [&](QuantScheme s, double pr) {
+        QConfig cfg;
+        cfg.scheme = s;
+        cfg.prSp2 = pr;
+        std::vector<float> out(w.size());
+        quantizeMatrix(w.data(), out.data(), rows, cols, cfg);
+        return quantMse(w, out);
+    };
+    double mixed = mse_for(QuantScheme::Mixed, 0.5);
+    double p2 = mse_for(QuantScheme::Pow2, 0.0);
+    EXPECT_LT(mixed, p2);
+}
+
+TEST(QuantMse, ZeroForIdentical)
+{
+    std::vector<float> a = {1.0f, 2.0f};
+    EXPECT_DOUBLE_EQ(quantMse(a, a), 0.0);
+}
+
+} // namespace
+} // namespace mixq

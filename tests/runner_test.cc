@@ -1,0 +1,218 @@
+/** @file Functional equivalence (simulator vs reference) and
+ *  network-level timing sanity (Tables VII/VIII shapes). */
+
+#include <gtest/gtest.h>
+
+#include "compiler/model_zoo.hh"
+#include "compiler/runner.hh"
+#include "quant/quantizer.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+QuantizedGemm
+randomProblem(size_t m, size_t k, size_t nf, size_t ns, uint64_t seed)
+{
+    Rng rng(seed);
+    Sp2Codec codec(4);
+    QuantizedGemm q;
+    q.m = m;
+    q.k = k;
+    q.nf = nf;
+    q.ns = ns;
+    q.acts.resize(m * k);
+    for (int8_t& a : q.acts)
+        a = int8_t(rng.randint(0, 15)); // 4-bit unsigned
+    q.wF.resize(nf * k);
+    for (int8_t& w : q.wF)
+        w = int8_t(rng.randint(-7, 7)); // 4-bit sign-magnitude
+    q.wS.resize(ns * k);
+    const auto& mags = codec.intMagnitudes();
+    for (Sp2Code& w : q.wS) {
+        double v = double(mags[size_t(
+                       rng.randint(0, int64_t(mags.size()) - 1))]) /
+                   8.0;
+        w = codec.encode(float(rng.bernoulli(0.5) ? v : -v), 1.0f);
+    }
+    return q;
+}
+
+struct Case
+{
+    const char* dp;
+    size_t m, k, nf, ns;
+};
+
+class FunctionalEquiv : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(FunctionalEquiv, SimulatorMatchesReferenceExactly)
+{
+    Case c = GetParam();
+    const DesignPoint& dp = designPointByName(c.dp);
+    QuantizedGemm q = randomProblem(c.m, c.k, c.nf, c.ns,
+                                    c.m * 31 + c.k);
+    std::vector<int32_t> ref = referenceGemmInt(q);
+    RunStats stats;
+    std::vector<int32_t> sim = runGemmFunctional(q, dp, &stats);
+    ASSERT_EQ(ref.size(), sim.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(ref[i], sim[i]) << "element " << i;
+    EXPECT_GT(stats.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FunctionalEquiv,
+    ::testing::Values(
+        // Exact-tile shapes.
+        Case{"D1-2", 4, 16, 16, 16},
+        // Ragged in every dimension.
+        Case{"D1-3", 7, 27, 13, 29}, Case{"D1-3", 1, 5, 3, 50},
+        // Multi-batch design, ragged m.
+        Case{"D2-2", 10, 40, 20, 20}, Case{"D2-3", 9, 33, 11, 22},
+        // One-sided problems.
+        Case{"D1-1", 6, 20, 24, 0}, Case{"D2-3", 5, 16, 0, 48},
+        // Larger reduction crossing several k tiles.
+        Case{"D2-3", 8, 100, 17, 35}));
+
+TEST(FunctionalEquiv, DequantizedResultTracksFloatGemm)
+{
+    // Quantize a float problem, run it on the simulator, dequantize,
+    // and compare to the float GEMM of the quantized operands.
+    Rng rng(77);
+    size_t m = 6, k = 32, n = 12;
+    std::vector<float> x(m * k), w(n * k);
+    for (float& v : x)
+        v = float(rng.uniform(0.0, 1.0));
+    for (float& v : w)
+        v = float(rng.normal(0.0, 0.2));
+
+    // Weight quantization: MSQ with half rows SP2.
+    QConfig cfg;
+    cfg.scheme = QuantScheme::Mixed;
+    cfg.prSp2 = 0.5;
+    std::vector<float> wq(w.size());
+    auto res = quantizeMatrix(w.data(), wq.data(), n, k, cfg);
+
+    // Activation quantization: 4-bit unsigned with alpha_a = 1.
+    double act_scale = 15.0;
+    QuantizedGemm q;
+    q.m = m;
+    q.k = k;
+    std::vector<size_t> fixed_rows, sp2_rows;
+    for (size_t r = 0; r < n; ++r) {
+        (res.rowScheme[r] == QuantScheme::Sp2 ? sp2_rows : fixed_rows)
+            .push_back(r);
+    }
+    q.nf = fixed_rows.size();
+    q.ns = sp2_rows.size();
+    q.acts.resize(m * k);
+    std::vector<float> xq(m * k);
+    for (size_t i = 0; i < m * k; ++i) {
+        int v = int(std::nearbyint(std::min(x[i], 1.0f) * act_scale));
+        q.acts[i] = int8_t(v);
+        xq[i] = float(v) / float(act_scale);
+    }
+    Sp2Codec codec(4);
+    for (size_t r : fixed_rows) {
+        for (size_t j = 0; j < k; ++j)
+            q.wF.push_back(int8_t(encodeFixed(wq[r * k + j],
+                                              res.rowAlpha[r], 4)));
+    }
+    for (size_t r : sp2_rows) {
+        for (size_t j = 0; j < k; ++j)
+            q.wS.push_back(codec.encode(wq[r * k + j],
+                                        res.rowAlpha[r]));
+    }
+
+    std::vector<int32_t> sim =
+        runGemmFunctional(q, designPointByName("D1-3"));
+
+    // Dequantize and compare row by row against float math.
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t c = 0; c < q.nf + q.ns; ++c) {
+            size_t r = c < q.nf ? fixed_rows[c]
+                                : sp2_rows[c - q.nf];
+            double w_scale = c < q.nf
+                ? double(res.rowAlpha[r]) / 7.0
+                : double(res.rowAlpha[r]) / 8.0;
+            double deq = double(sim[i * (q.nf + q.ns) + c]) *
+                         w_scale / act_scale;
+            double expect = 0.0;
+            for (size_t j = 0; j < k; ++j)
+                expect += double(xq[i * k + j]) *
+                          double(wq[r * k + j]);
+            EXPECT_NEAR(deq, expect, 1e-3) << i << "," << c;
+        }
+    }
+}
+
+TEST(SimulateNetwork, ThroughputBelowPeakAboveFloor)
+{
+    NetworkSpec net = resnet18Spec();
+    for (const DesignPoint& dp : paperDesignPoints()) {
+        NetworkPerf perf = simulateNetwork(net, dp);
+        EXPECT_LT(perf.gops, dp.peakGops()) << dp.name;
+        EXPECT_GT(perf.peUtil, 0.25) << dp.name;
+        EXPECT_GT(perf.latencyMs, 0.0);
+    }
+}
+
+TEST(SimulateNetwork, Sp2CoreSpeedsUpResNet)
+{
+    // The paper's headline: the optimal heterogeneous design beats
+    // the DSP-only design by >= 2x on each device.
+    NetworkSpec net = resnet18Spec();
+    double g11 = simulateNetwork(net, designPointByName("D1-1")).gops;
+    double g13 = simulateNetwork(net, designPointByName("D1-3")).gops;
+    double g21 = simulateNetwork(net, designPointByName("D2-1")).gops;
+    double g23 = simulateNetwork(net, designPointByName("D2-3")).gops;
+    EXPECT_GT(g13 / g11, 1.8);
+    EXPECT_GT(g23 / g21, 1.8);
+}
+
+TEST(ModelZoo, OpCountsMatchPublishedNumbers)
+{
+    // 2x MACs, in GOP per inference.
+    EXPECT_NEAR(resnet18Spec().ops() / 1e9, 3.6, 0.4);
+    EXPECT_NEAR(mobilenetV2Spec().ops() / 1e9, 0.6, 0.12);
+    EXPECT_NEAR(yolov3Spec(320).ops() / 1e9, 39.0, 6.0);
+    // 640 is ~4x the 320 cost.
+    EXPECT_NEAR(yolov3Spec(640).ops() / yolov3Spec(320).ops(), 4.0,
+                0.3);
+}
+
+TEST(ModelZoo, RnnSpecsHaveRecurrentLayers)
+{
+    for (const NetworkSpec& net : {lstmPtbSpec(), gruTimitSpec(),
+                                   lstmImdbSpec()}) {
+        bool has_repeat = false;
+        for (const LayerSpec& l : net.layers)
+            has_repeat |= l.repeat > 1;
+        EXPECT_TRUE(has_repeat) << net.name;
+        EXPECT_GT(net.ops(), 0.0);
+    }
+}
+
+TEST(SimulateNetwork, DepthwiseLayersHurtMobileNetUtilization)
+{
+    const DesignPoint& dp = designPointByName("D2-3");
+    NetworkPerf rn = simulateNetwork(resnet18Spec(), dp);
+    NetworkPerf mb = simulateNetwork(mobilenetV2Spec(), dp);
+    EXPECT_LT(mb.peUtil, rn.peUtil);
+}
+
+TEST(SimulateNetwork, PerLayerCyclesSumToTotal)
+{
+    NetworkPerf perf = simulateNetwork(mobilenetV2Spec(),
+                                       designPointByName("D1-2"));
+    uint64_t sum = 0;
+    for (const LayerPerf& l : perf.layers)
+        sum += l.cycles;
+    EXPECT_EQ(sum, perf.cycles);
+}
+
+} // namespace
+} // namespace mixq

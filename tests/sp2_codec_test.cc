@@ -1,0 +1,131 @@
+/** @file SP2/fixed integer codec tests — the Table I arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quantizer.hh"
+#include "quant/sp2_codec.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+class CodecBits : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CodecBits, RoundTripEveryLevel)
+{
+    int m = GetParam();
+    Sp2Codec codec(m);
+    auto mags = sp2Magnitudes(m);
+    float alpha = 0.43f;
+    for (double v : mags) {
+        for (double sign : {1.0, -1.0}) {
+            if (v == 0.0 && sign < 0)
+                continue;
+            float x = float(sign * v * alpha);
+            Sp2Code code = codec.encode(x, alpha);
+            EXPECT_NEAR(codec.decode(code, alpha), x, 1e-6);
+        }
+    }
+}
+
+TEST_P(CodecBits, ApplyMatchesIntegerMultiplication)
+{
+    int m = GetParam();
+    Sp2Codec codec(m);
+    auto mags = sp2Magnitudes(m);
+    for (double v : mags) {
+        Sp2Code code = codec.encode(float(v), 1.0f);
+        for (int32_t act : {0, 1, 3, 7, 15, 100}) {
+            int32_t expect =
+                int32_t(llround(v * double(1 << codec.denomLog2()))) *
+                act;
+            EXPECT_EQ(code.apply(act), expect) << "level " << v;
+        }
+        Sp2Code neg = code;
+        neg.sign = -1;
+        EXPECT_EQ(neg.apply(5), -code.apply(5));
+    }
+}
+
+TEST_P(CodecBits, ShiftBoundsPerTableI)
+{
+    // Table I: shifts up to 2^m1 - 2 bits.
+    int m = GetParam();
+    Sp2Split sp = sp2Split(m);
+    Sp2Codec codec(m);
+    EXPECT_EQ(codec.maxShift1(), (1 << sp.m1) - 2);
+    auto mags = sp2Magnitudes(m);
+    for (double v : mags) {
+        Sp2Code c = codec.encode(float(v), 1.0f);
+        EXPECT_LE(int(c.j1), codec.maxShift1());
+        EXPECT_LE(int(c.j2), codec.maxShift2());
+    }
+}
+
+TEST_P(CodecBits, IntMagnitudesMatchLevelSet)
+{
+    int m = GetParam();
+    Sp2Codec codec(m);
+    auto mags = sp2Magnitudes(m);
+    ASSERT_EQ(codec.intMagnitudes().size(), mags.size());
+    for (size_t i = 0; i < mags.size(); ++i) {
+        EXPECT_DOUBLE_EQ(double(codec.intMagnitudes()[i]) /
+                             double(1 << codec.denomLog2()),
+                         mags[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitSweep, CodecBits,
+                         ::testing::Values(3, 4, 5, 6, 7, 8));
+
+TEST(Sp2Code, ZeroCode)
+{
+    Sp2Code z;
+    EXPECT_EQ(z.intMagnitude(), 0);
+    EXPECT_EQ(z.apply(123), 0);
+}
+
+TEST(Sp2Codec, FourBitDenominator)
+{
+    Sp2Codec codec(4);
+    EXPECT_EQ(codec.denomLog2(), 3); // K1 = 2^2 - 1
+    // Integer magnitudes: {0,1,2,4,5,6,8} * alpha / 8.
+    std::vector<int32_t> expect = {0, 1, 2, 4, 5, 6, 8};
+    EXPECT_EQ(codec.intMagnitudes(), expect);
+}
+
+TEST(FixedCodec, RoundTripAllLevels)
+{
+    float alpha = 1.7f;
+    for (int bits : {2, 3, 4, 5, 8}) {
+        int levels = (1 << (bits - 1)) - 1;
+        for (int k = -levels; k <= levels; ++k) {
+            float v = float(double(k) / levels * alpha);
+            EXPECT_EQ(encodeFixed(v, alpha, bits), k);
+            EXPECT_NEAR(decodeFixed(k, alpha, bits), v, 1e-6);
+        }
+    }
+}
+
+TEST(Codec, QuantizeThenEncodeConsistent)
+{
+    // End-to-end: project random weights with the SP2 quantizer and
+    // verify every output encodes.
+    Rng rng(9);
+    std::vector<float> w(512), out(512);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.3));
+    double alpha = quantizeGroup(w, out, QuantScheme::Sp2, 4);
+    Sp2Codec codec(4);
+    for (float q : out) {
+        Sp2Code code = codec.encode(q, float(alpha));
+        EXPECT_NEAR(codec.decode(code, float(alpha)), q, 1e-5);
+    }
+}
+
+} // namespace
+} // namespace mixq

@@ -1,0 +1,87 @@
+/** @file Tensor container tests. */
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.size(), 6u);
+    EXPECT_EQ(t.ndim(), 2u);
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, At2And4Indexing)
+{
+    Tensor t({2, 3});
+    t.at2(1, 2) = 5.0f;
+    EXPECT_FLOAT_EQ(t[5], 5.0f);
+
+    Tensor u({2, 3, 4, 5});
+    u.at4(1, 2, 3, 4) = 7.0f;
+    EXPECT_FLOAT_EQ(u[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 6});
+    t[7] = 3.0f;
+    t.reshape({3, 4});
+    EXPECT_EQ(t.dim(0), 3u);
+    EXPECT_FLOAT_EQ(t[7], 3.0f);
+}
+
+TEST(Tensor, FullAndFill)
+{
+    Tensor t = Tensor::full({4}, 2.5f);
+    EXPECT_FLOAT_EQ(t[3], 2.5f);
+    t.fill(-1.0f);
+    EXPECT_FLOAT_EQ(t[0], -1.0f);
+}
+
+TEST(Tensor, AddAndScale)
+{
+    Tensor a = Tensor::full({3}, 1.0f);
+    Tensor b = Tensor::full({3}, 2.0f);
+    a.add(b);
+    EXPECT_FLOAT_EQ(a[0], 3.0f);
+    a.addScaled(b, 0.5f);
+    EXPECT_FLOAT_EQ(a[1], 4.0f);
+    a.scale(2.0f);
+    EXPECT_FLOAT_EQ(a[2], 8.0f);
+    EXPECT_DOUBLE_EQ(a.sum(), 24.0);
+}
+
+TEST(Tensor, RandnStatistics)
+{
+    Rng rng(1);
+    Tensor t = Tensor::randn({10000}, rng, 0.5);
+    double s = 0.0, s2 = 0.0;
+    for (size_t i = 0; i < t.size(); ++i) {
+        s += t[i];
+        s2 += double(t[i]) * double(t[i]);
+    }
+    EXPECT_NEAR(s / double(t.size()), 0.0, 0.03);
+    EXPECT_NEAR(s2 / double(t.size()), 0.25, 0.03);
+}
+
+TEST(TensorDeath, ReshapeSizeMismatchPanics)
+{
+    Tensor t({2, 3});
+    EXPECT_DEATH(t.reshape({7}), "reshape");
+}
+
+TEST(TensorDeath, AddSizeMismatchPanics)
+{
+    Tensor a({2}), b({3});
+    EXPECT_DEATH(a.add(b), "mismatch");
+}
+
+} // namespace
+} // namespace mixq

@@ -1,0 +1,147 @@
+/** @file GEMM lowering tests: plans, channel splits, token wiring. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compiler/tiler.hh"
+#include "fpga/design_point.hh"
+
+namespace mixq {
+namespace {
+
+TEST(SplitChannels, ProportionalToLanes)
+{
+    const DesignPoint& d23 = designPointByName("D2-3"); // 16:32
+    auto [nf, ns] = splitChannels(d23, 96);
+    EXPECT_EQ(nf, 32u);
+    EXPECT_EQ(ns, 64u);
+}
+
+TEST(SplitChannels, DspOnlyDesignGetsEverything)
+{
+    const DesignPoint& d11 = designPointByName("D1-1");
+    auto [nf, ns] = splitChannels(d11, 100);
+    EXPECT_EQ(nf, 100u);
+    EXPECT_EQ(ns, 0u);
+}
+
+TEST(SplitChannels, TinyLayerKeepsFixedCoreBusy)
+{
+    const DesignPoint& d23 = designPointByName("D2-3");
+    auto [nf, ns] = splitChannels(d23, 1);
+    EXPECT_EQ(nf + ns, 1u);
+    EXPECT_GE(nf, 1u);
+}
+
+TEST(PlanGemm, TileCounts)
+{
+    const DesignPoint& dp = designPointByName("D1-3"); // 1/16/16/24
+    GemmTilePlan p = planGemm(dp, 100, 27, 26, 38, 0);
+    EXPECT_EQ(p.mTiles, 100u);     // bat = 1
+    EXPECT_EQ(p.kTiles, 2u);       // ceil(27/16)
+    EXPECT_EQ(p.nfTiles, 2u);      // ceil(26/16)
+    EXPECT_EQ(p.nsTiles, 2u);      // ceil(38/24)
+    EXPECT_EQ(p.nTiles, 2u);
+    EXPECT_EQ(p.mGroup, 1u);       // functional
+}
+
+TEST(PlanGemm, MGroupBoundsInstructionCount)
+{
+    const DesignPoint& dp = designPointByName("D2-3");
+    GemmTilePlan p = planGemm(dp, 100000, 512, 300, 600, 4096);
+    Program prog = emitGemm(dp, p);
+    EXPECT_LE(prog.totalInstructions(), 4096u * 2);
+    EXPECT_GT(p.mGroup, 1u);
+}
+
+TEST(PlanGemm, CoreImbalanceShowsInTileCounts)
+{
+    // All channels on SP2 with a small fixed share: nTiles follows
+    // the slower core (the paper's under-utilization argument).
+    const DesignPoint& dp = designPointByName("D2-2"); // 16:16
+    GemmTilePlan p = planGemm(dp, 64, 64, 8, 120, 0);
+    EXPECT_EQ(p.nfTiles, 1u);
+    EXPECT_EQ(p.nsTiles, 8u);
+    EXPECT_EQ(p.nTiles, 8u);
+}
+
+TEST(EmitGemm, TokenPushesCoverPops)
+{
+    const DesignPoint& dp = designPointByName("D1-3");
+    GemmTilePlan p = planGemm(dp, 40, 50, 20, 30, 0);
+    Program prog = emitGemm(dp, p);
+    std::map<Sem, long> balance;
+    auto tally = [&](const std::vector<Instruction>& q) {
+        for (const Instruction& i : q) {
+            for (const TokenOp& t : i.pushes)
+                balance[t.sem] += t.count;
+            for (const TokenOp& t : i.pops)
+                balance[t.sem] -= t.count;
+        }
+    };
+    tally(prog.load);
+    tally(prog.compute);
+    tally(prog.store);
+    for (const auto& [sem, b] : balance)
+        EXPECT_GE(b, 0) << toString(sem);
+    // Every ALU'd tile is stored exactly once.
+    EXPECT_EQ(balance[Sem::C2S], 0);
+}
+
+TEST(EmitGemm, QueueStructure)
+{
+    const DesignPoint& dp = designPointByName("D1-2"); // 16:16
+    GemmTilePlan p = planGemm(dp, 4, 16, 16, 16, 0);
+    Program prog = emitGemm(dp, p);
+    // nTiles = 1: loads = wgtF + wgtS + 4 input groups.
+    EXPECT_EQ(prog.load.size(), 6u);
+    // compute = (gemm + alu) per m tile; store = 1 per m tile.
+    EXPECT_EQ(prog.compute.size(), 8u);
+    EXPECT_EQ(prog.store.size(), 4u);
+}
+
+TEST(EmitGemm, FirstGemmWaitsForWeights)
+{
+    const DesignPoint& dp = designPointByName("D1-2");
+    GemmTilePlan p = planGemm(dp, 4, 16, 16, 16, 0);
+    Program prog = emitGemm(dp, p);
+    const Instruction& g0 = prog.compute[0];
+    ASSERT_EQ(g0.pops.size(), 1u);
+    EXPECT_EQ(g0.pops[0].sem, Sem::L2C);
+    EXPECT_EQ(g0.pops[0].count, 3u); // wgtF + wgtS + input
+    const Instruction& g1 = prog.compute[2];
+    EXPECT_EQ(g1.pops[0].count, 1u); // only its input
+}
+
+TEST(EmitGemm, SkipsIdleCoreLoads)
+{
+    const DesignPoint& dp = designPointByName("D2-2");
+    // Fixed core runs out of tiles after 1; SP2 needs 4.
+    GemmTilePlan p = planGemm(dp, 8, 16, 16, 64, 0);
+    Program prog = emitGemm(dp, p);
+    size_t wf_loads = 0, ws_loads = 0;
+    for (const Instruction& i : prog.load) {
+        wf_loads += i.op == Opcode::Load && i.buf == BufKind::WgtFixed;
+        ws_loads += i.op == Opcode::Load && i.buf == BufKind::WgtSp2;
+    }
+    EXPECT_EQ(wf_loads, 1u);
+    EXPECT_EQ(ws_loads, 4u);
+}
+
+TEST(EmitGemm, BufferFootprintsMatchPlan)
+{
+    const DesignPoint& dp = designPointByName("D1-3");
+    GemmTilePlan p = planGemm(dp, 16, 64, 16, 24, 0);
+    Program prog = emitGemm(dp, p);
+    for (const Instruction& i : prog.load) {
+        if (i.op != Opcode::Load)
+            continue;
+        size_t cap = i.buf == BufKind::Input ? p.inputBufRows()
+                                             : p.wgtBufRows();
+        EXPECT_LE(i.sramRow + i.rows, cap);
+    }
+}
+
+} // namespace
+} // namespace mixq

@@ -1,0 +1,157 @@
+/** @file Unit tests for src/util. */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace mixq {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (a.randint(0, 1000) == b.randint(0, 1000))
+            ++same;
+    }
+    EXPECT_LT(same, 10);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, RandintInclusiveBounds)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.randint(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double s = 0.0, s2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal(1.0, 2.0);
+        s += v;
+        s2 += v * v;
+    }
+    double mean = s / n;
+    double var = s2 / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, CategoricalFollowsWeights)
+{
+    Rng rng(13);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    size_t counts[3] = {0, 0, 0};
+    for (int i = 0; i < 4000; ++i)
+        ++counts[rng.categorical(w)];
+    EXPECT_EQ(counts[1], 0u);
+    EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(Rng, ShufflePermutes)
+{
+    Rng rng(17);
+    std::vector<size_t> idx = {0, 1, 2, 3, 4, 5, 6, 7};
+    std::vector<size_t> orig = idx;
+    rng.shuffle(idx);
+    std::vector<size_t> sorted = idx;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, orig);
+}
+
+TEST(Stats, MeanVariance)
+{
+    std::vector<float> xs = {1.0f, 2.0f, 3.0f, 4.0f};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+}
+
+TEST(Stats, EmptySpans)
+{
+    std::vector<float> xs;
+    EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+    EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+    EXPECT_DOUBLE_EQ(maxAbs(xs), 0.0);
+}
+
+TEST(Stats, MaxAbs)
+{
+    std::vector<float> xs = {-3.0f, 2.0f, 1.0f};
+    EXPECT_DOUBLE_EQ(maxAbs(xs), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<float> xs = {0.0f, 10.0f};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+}
+
+TEST(Stats, HistogramBinsAndFractions)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.1);
+    h.add(0.1);
+    h.add(0.9);
+    h.add(2.0); // clamped into the last bin
+    EXPECT_EQ(h.total, 4u);
+    EXPECT_EQ(h.bins[0], 2u);
+    EXPECT_EQ(h.bins[3], 2u);
+    EXPECT_DOUBLE_EQ(h.frac(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.center(0), 0.125);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRule();
+    t.addRow({"333", "4"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("| a   | bb |"), std::string::npos);
+    EXPECT_NE(s.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::withDelta(92.5, -0.3, 1), "92.5 (-0.3)");
+    EXPECT_EQ(Table::withDelta(92.5, 0.3, 1), "92.5 (+0.3)");
+    EXPECT_EQ(Table::integer(42), "42");
+    EXPECT_EQ(Table::pct(0.725, 1), "72.5%");
+}
+
+} // namespace
+} // namespace mixq
