@@ -1,7 +1,9 @@
 /**
  * @file
- * Micro-benchmarks (google-benchmark) of the simulator data path:
- * the two heterogeneous GEMM cores (multiply-accumulate vs
+ * Micro-benchmarks (google-benchmark) of the compute hot path and
+ * the simulator data path: naive vs cache-blocked float GEMM at
+ * several shapes (the items/s ratio is the blocked backend's
+ * speedup), the two heterogeneous GEMM cores (multiply-accumulate vs
  * shift-shift-add), the functional accelerator round trip, and the
  * timing-only network scheduler.
  */
@@ -10,12 +12,82 @@
 
 #include "compiler/model_zoo.hh"
 #include "compiler/runner.hh"
+#include "nn/gemm_backend.hh"
 #include "sim/gemm_core.hh"
 #include "util/rng.hh"
 
 using namespace mixq;
 
 namespace {
+
+std::vector<float>
+randMat(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (float& x : v)
+        x = float(rng.normal(0.0, 1.0));
+    return v;
+}
+
+// Items processed = FLOPs (2*m*n*k per multiply), so the reported
+// items/s of BM_GemmBlocked over BM_GemmNaive at equal Args is the
+// blocked backend's throughput speedup.
+void
+runFloatGemm(benchmark::State& state,
+             void (*kernel)(const float*, const float*, float*,
+                            size_t, size_t, size_t))
+{
+    size_t m = size_t(state.range(0));
+    size_t n = size_t(state.range(1));
+    size_t k = size_t(state.range(2));
+    auto a = randMat(m * k, 1);
+    auto b = randMat(k * n, 2);
+    std::vector<float> c(m * n, 0.0f);
+    for (auto _ : state) {
+        kernel(a.data(), b.data(), c.data(), m, n, k);
+        benchmark::DoNotOptimize(c.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(2 * m * n * k));
+}
+
+void
+BM_GemmNaive(benchmark::State& state)
+{
+    runFloatGemm(state, gemmNaiveAcc);
+}
+BENCHMARK(BM_GemmNaive)
+    ->Args({128, 128, 128})
+    ->Args({512, 512, 512})
+    ->Args({64, 1024, 256})   // fat
+    ->Args({1024, 64, 256});  // tall
+
+void
+BM_GemmBlocked(benchmark::State& state)
+{
+    runFloatGemm(state, gemmBlockedAcc);
+}
+BENCHMARK(BM_GemmBlocked)
+    ->Args({128, 128, 128})
+    ->Args({512, 512, 512})
+    ->Args({64, 1024, 256})
+    ->Args({1024, 64, 256});
+
+void
+BM_GemmBlockedBT(benchmark::State& state)
+{
+    runFloatGemm(state, gemmBlockedBTAcc);
+}
+BENCHMARK(BM_GemmBlockedBT)->Args({512, 512, 512});
+
+void
+BM_GemmNaiveBT(benchmark::State& state)
+{
+    runFloatGemm(state, gemmNaiveBTAcc);
+}
+BENCHMARK(BM_GemmNaiveBT)->Args({512, 512, 512});
 
 void
 BM_GemmFixedCoreStep(benchmark::State& state)

@@ -2,25 +2,18 @@
 
 #include <cstring>
 
+#include "nn/gemm_backend.hh"
+
 namespace mixq {
 
 void
 gemmAcc(const float* a, const float* b, float* c,
         size_t m, size_t n, size_t k)
 {
-    #pragma omp parallel for schedule(static) if (m * n * k > 16384)
-    for (long i = 0; i < long(m); ++i) {
-        float* crow = c + size_t(i) * n;
-        const float* arow = a + size_t(i) * k;
-        for (size_t p = 0; p < k; ++p) {
-            float av = arow[p];
-            if (av == 0.0f)
-                continue;
-            const float* brow = b + p * n;
-            for (size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    if (activeGemmKernel(m, n, k) == GemmKernel::Blocked)
+        gemmBlockedAcc(a, b, c, m, n, k);
+    else
+        gemmNaiveAcc(a, b, c, m, n, k);
 }
 
 void
@@ -35,18 +28,10 @@ void
 gemmBTAcc(const float* a, const float* b, float* c,
           size_t m, size_t n, size_t k)
 {
-    #pragma omp parallel for schedule(static) if (m * n * k > 16384)
-    for (long i = 0; i < long(m); ++i) {
-        const float* arow = a + size_t(i) * k;
-        float* crow = c + size_t(i) * n;
-        for (size_t j = 0; j < n; ++j) {
-            const float* brow = b + j * k;
-            float s = 0.0f;
-            for (size_t p = 0; p < k; ++p)
-                s += arow[p] * brow[p];
-            crow[j] += s;
-        }
-    }
+    if (activeGemmKernel(m, n, k) == GemmKernel::Blocked)
+        gemmBlockedBTAcc(a, b, c, m, n, k);
+    else
+        gemmNaiveBTAcc(a, b, c, m, n, k);
 }
 
 void
@@ -61,19 +46,10 @@ void
 gemmATAcc(const float* a, const float* b, float* c,
           size_t m, size_t n, size_t k)
 {
-    // A is [K x M]; C[i][j] += sum_p A[p][i] * B[p][j].
-    #pragma omp parallel for schedule(static) if (m * n * k > 16384)
-    for (long i = 0; i < long(m); ++i) {
-        float* crow = c + size_t(i) * n;
-        for (size_t p = 0; p < k; ++p) {
-            float av = a[p * m + size_t(i)];
-            if (av == 0.0f)
-                continue;
-            const float* brow = b + p * n;
-            for (size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    if (activeGemmKernel(m, n, k) == GemmKernel::Blocked)
+        gemmBlockedATAcc(a, b, c, m, n, k);
+    else
+        gemmNaiveATAcc(a, b, c, m, n, k);
 }
 
 size_t

@@ -1,8 +1,13 @@
 /**
  * @file
- * Float matrix-multiply kernels and im2col/col2im transforms — the
- * computational backbone of the training substrate. The layouts are
- * plain row-major; kernels are OpenMP-parallel over output rows.
+ * Float matrix-multiply entry points and im2col/col2im transforms —
+ * the computational backbone of the training substrate. The layouts
+ * are plain row-major. Each GEMM call dispatches at runtime through
+ * nn/gemm_backend.hh: problems with m*n*k above kGemmBlockThreshold
+ * and at least kGemmMR output rows run the cache-blocked,
+ * register-tiled kernel; small or row-skinny problems run the naive
+ * OpenMP-over-rows reference kernel. See gemm_backend.hh for the
+ * dispatch rules and the MIXQ_GEMM_KERNEL override.
  */
 
 #ifndef MIXQ_NN_GEMM_HH

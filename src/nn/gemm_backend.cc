@@ -1,0 +1,314 @@
+#include "nn/gemm_backend.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mixq {
+
+namespace {
+
+// Cache-block sizes: a KC x NR sliver of B lives in L1 across one
+// microkernel call, the MC x KC block of A lives in L2, the KC x NC
+// panel of B in the outer cache. MC is a multiple of MR.
+constexpr size_t kMC = 72;
+constexpr size_t kKC = 256;
+constexpr size_t kNC = 1024;
+
+GemmKernel
+initialForcedKernel()
+{
+    const char* env = std::getenv("MIXQ_GEMM_KERNEL");
+    if (!env)
+        return GemmKernel::Auto;
+    std::string s(env);
+    if (s == "naive")
+        return GemmKernel::Naive;
+    if (s == "blocked")
+        return GemmKernel::Blocked;
+    return GemmKernel::Auto;
+}
+
+GemmKernel gForced = initialForcedKernel();
+
+// ------------------------------------------------------------ packing
+
+// Pack an mc x kc block of A into microkernel order: consecutive
+// MR-row panels, each laid out [p][i] so the microkernel reads one
+// contiguous MR-vector per k step. Rows past mc are zero-filled, so
+// edge tiles need no bounds checks in the inner loop. transA means A
+// is stored [K x M] and we pack its transpose.
+void
+packA(const float* a, size_t lda, bool transA, size_t mc, size_t kc,
+      float* buf)
+{
+    for (size_t ir = 0; ir < mc; ir += kGemmMR) {
+        size_t mr = std::min(kGemmMR, mc - ir);
+        float* panel = buf + ir * kc;
+        for (size_t p = 0; p < kc; ++p) {
+            float* dst = panel + p * kGemmMR;
+            for (size_t i = 0; i < mr; ++i)
+                dst[i] = transA ? a[p * lda + (ir + i)]
+                                : a[(ir + i) * lda + p];
+            for (size_t i = mr; i < kGemmMR; ++i)
+                dst[i] = 0.0f;
+        }
+    }
+}
+
+// Pack a kc x nc panel of B into consecutive NR-column panels laid
+// out [p][j]. transB means B is stored [N x K] and we pack its
+// transpose. Columns past nc are zero-filled.
+void
+packB(const float* b, size_t ldb, bool transB, size_t kc, size_t nc,
+      float* buf)
+{
+    for (size_t jr = 0; jr < nc; jr += kGemmNR) {
+        size_t nr = std::min(kGemmNR, nc - jr);
+        float* panel = buf + jr * kc;
+        for (size_t p = 0; p < kc; ++p) {
+            float* dst = panel + p * kGemmNR;
+            for (size_t j = 0; j < nr; ++j)
+                dst[j] = transB ? b[(jr + j) * ldb + p]
+                                : b[p * ldb + (jr + j)];
+            for (size_t j = nr; j < kGemmNR; ++j)
+                dst[j] = 0.0f;
+        }
+    }
+}
+
+// -------------------------------------------------------- microkernel
+
+// MR x NR register tile: six NR-wide accumulators live in vector
+// registers across the whole k loop, which then runs
+// load-broadcast-fma with no C traffic. The packed operands are
+// zero-padded, so the full tile is always computed; only the valid
+// mr x nr corner is written back. GCC/Clang get explicit vector
+// types — the equivalent scalar accumulator array defeats their
+// register allocators and runs ~30x slower.
+#if defined(__GNUC__) || defined(__clang__)
+
+typedef float VecNR
+    __attribute__((vector_size(kGemmNR * sizeof(float))));
+
+void
+microKernel(const float* apanel, const float* bpanel, size_t kc,
+            float* c, size_t ldc, size_t mr, size_t nr)
+{
+    static_assert(kGemmMR == 6, "accumulator count is hand-unrolled");
+    VecNR acc0{}, acc1{}, acc2{}, acc3{}, acc4{}, acc5{};
+    for (size_t p = 0; p < kc; ++p) {
+        VecNR bv;
+        std::memcpy(&bv, bpanel + p * kGemmNR, sizeof bv);
+        const float* av = apanel + p * kGemmMR;
+        acc0 += av[0] * bv;
+        acc1 += av[1] * bv;
+        acc2 += av[2] * bv;
+        acc3 += av[3] * bv;
+        acc4 += av[4] * bv;
+        acc5 += av[5] * bv;
+    }
+    const VecNR* accs[kGemmMR] = {&acc0, &acc1, &acc2,
+                                  &acc3, &acc4, &acc5};
+    if (mr == kGemmMR && nr == kGemmNR) {
+        for (size_t i = 0; i < kGemmMR; ++i) {
+            float* crow = c + i * ldc;
+            const float* t = reinterpret_cast<const float*>(accs[i]);
+            for (size_t j = 0; j < kGemmNR; ++j)
+                crow[j] += t[j];
+        }
+    } else {
+        for (size_t i = 0; i < mr; ++i) {
+            float* crow = c + i * ldc;
+            const float* t = reinterpret_cast<const float*>(accs[i]);
+            for (size_t j = 0; j < nr; ++j)
+                crow[j] += t[j];
+        }
+    }
+}
+
+#else // portable fallback for compilers without vector extensions
+
+void
+microKernel(const float* apanel, const float* bpanel, size_t kc,
+            float* c, size_t ldc, size_t mr, size_t nr)
+{
+    float acc[kGemmMR][kGemmNR] = {};
+    for (size_t p = 0; p < kc; ++p) {
+        const float* av = apanel + p * kGemmMR;
+        const float* bv = bpanel + p * kGemmNR;
+        for (size_t i = 0; i < kGemmMR; ++i)
+            for (size_t j = 0; j < kGemmNR; ++j)
+                acc[i][j] += av[i] * bv[j];
+    }
+    for (size_t i = 0; i < mr; ++i)
+        for (size_t j = 0; j < nr; ++j)
+            c[i * ldc + j] += acc[i][j];
+}
+
+#endif
+
+// ------------------------------------------------------------- driver
+
+// C[MxN] += op(A) * op(B) with both operands repacked; the packing
+// step absorbs the transposes, so one driver serves all variants.
+void
+blockedDriver(const float* a, const float* b, float* c,
+              size_t m, size_t n, size_t k, bool transA, bool transB)
+{
+    size_t lda = transA ? m : k;
+    size_t ldb = transB ? k : n;
+    // Sized to the problem, reused across calls: a fixed kKC x kNC
+    // allocation would cost more than a small GEMM computes.
+    size_t ncMax = std::min(kNC, (n + kGemmNR - 1) / kGemmNR * kGemmNR);
+    size_t kcMax = std::min(kKC, k);
+    static thread_local std::vector<float> bbuf;
+    bbuf.resize(ncMax * kcMax);
+    for (size_t jc = 0; jc < n; jc += kNC) {
+        size_t nc = std::min(kNC, n - jc);
+        for (size_t pc = 0; pc < k; pc += kKC) {
+            size_t kc = std::min(kKC, k - pc);
+            const float* bsrc =
+                transB ? b + jc * ldb + pc : b + pc * ldb + jc;
+            packB(bsrc, ldb, transB, kc, nc, bbuf.data());
+            #pragma omp parallel for schedule(dynamic) \
+                if (m > kMC && m * nc * kc > kGemmBlockThreshold)
+            for (long icl = 0; icl < long((m + kMC - 1) / kMC); ++icl) {
+                size_t ic = size_t(icl) * kMC;
+                size_t mc = std::min(kMC, m - ic);
+                size_t mcPad = (mc + kGemmMR - 1) / kGemmMR * kGemmMR;
+                static thread_local std::vector<float> abuf;
+                abuf.resize(mcPad * kc);
+                const float* asrc =
+                    transA ? a + pc * lda + ic : a + ic * lda + pc;
+                packA(asrc, lda, transA, mc, kc, abuf.data());
+                for (size_t ir = 0; ir < mc; ir += kGemmMR) {
+                    size_t mr = std::min(kGemmMR, mc - ir);
+                    const float* apanel = abuf.data() + ir * kc;
+                    for (size_t jr = 0; jr < nc; jr += kGemmNR) {
+                        size_t nr = std::min(kGemmNR, nc - jr);
+                        microKernel(apanel, bbuf.data() + jr * kc, kc,
+                                    c + (ic + ir) * n + jc + jr, n,
+                                    mr, nr);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+GemmKernel
+chooseGemmKernel(size_t m, size_t n, size_t k)
+{
+    if (m * n * k <= kGemmBlockThreshold)
+        return GemmKernel::Naive;
+    if (m < kGemmMR)
+        return GemmKernel::Naive;
+    return GemmKernel::Blocked;
+}
+
+void
+setGemmKernel(GemmKernel kernel)
+{
+    gForced = kernel;
+}
+
+GemmKernel
+forcedGemmKernel()
+{
+    return gForced;
+}
+
+GemmKernel
+activeGemmKernel(size_t m, size_t n, size_t k)
+{
+    if (gForced != GemmKernel::Auto)
+        return gForced;
+    return chooseGemmKernel(m, n, k);
+}
+
+void
+gemmNaiveAcc(const float* a, const float* b, float* c,
+             size_t m, size_t n, size_t k)
+{
+    #pragma omp parallel for schedule(static) \
+        if (m * n * k > kGemmBlockThreshold)
+    for (long i = 0; i < long(m); ++i) {
+        float* crow = c + size_t(i) * n;
+        const float* arow = a + size_t(i) * k;
+        for (size_t p = 0; p < k; ++p) {
+            float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float* brow = b + p * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmNaiveBTAcc(const float* a, const float* b, float* c,
+               size_t m, size_t n, size_t k)
+{
+    #pragma omp parallel for schedule(static) \
+        if (m * n * k > kGemmBlockThreshold)
+    for (long i = 0; i < long(m); ++i) {
+        const float* arow = a + size_t(i) * k;
+        float* crow = c + size_t(i) * n;
+        for (size_t j = 0; j < n; ++j) {
+            const float* brow = b + j * k;
+            float s = 0.0f;
+            for (size_t p = 0; p < k; ++p)
+                s += arow[p] * brow[p];
+            crow[j] += s;
+        }
+    }
+}
+
+void
+gemmNaiveATAcc(const float* a, const float* b, float* c,
+               size_t m, size_t n, size_t k)
+{
+    // A is [K x M]; C[i][j] += sum_p A[p][i] * B[p][j].
+    #pragma omp parallel for schedule(static) \
+        if (m * n * k > kGemmBlockThreshold)
+    for (long i = 0; i < long(m); ++i) {
+        float* crow = c + size_t(i) * n;
+        for (size_t p = 0; p < k; ++p) {
+            float av = a[p * m + size_t(i)];
+            if (av == 0.0f)
+                continue;
+            const float* brow = b + p * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmBlockedAcc(const float* a, const float* b, float* c,
+               size_t m, size_t n, size_t k)
+{
+    blockedDriver(a, b, c, m, n, k, false, false);
+}
+
+void
+gemmBlockedBTAcc(const float* a, const float* b, float* c,
+                 size_t m, size_t n, size_t k)
+{
+    blockedDriver(a, b, c, m, n, k, false, true);
+}
+
+void
+gemmBlockedATAcc(const float* a, const float* b, float* c,
+                 size_t m, size_t n, size_t k)
+{
+    blockedDriver(a, b, c, m, n, k, true, false);
+}
+
+} // namespace mixq

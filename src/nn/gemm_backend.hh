@@ -1,0 +1,107 @@
+/**
+ * @file
+ * GEMM backend dispatch layer: naive reference kernels and
+ * cache-blocked (MC/KC/NC tiled, MR x NR register-tiled) kernels
+ * behind a runtime shape-based selector.
+ *
+ * The public entry points in gemm.hh (`gemm`, `gemmAcc`, `gemmBT`,
+ * `gemmBTAcc`, `gemmATAcc`) keep their signatures and route through
+ * this layer, so the float-compute consumers — nn/layers (conv and
+ * linear, forward and backward) and nn/rnn (cell gates) — pick the
+ * tuned path up transparently. The simulator's integer cores
+ * (sim/gemm_core) model datapath semantics and deliberately stay
+ * off this dispatcher.
+ *
+ * Dispatch rules (see chooseGemmKernel):
+ *   - problems with m*n*k <= kGemmBlockThreshold run the naive
+ *     kernel: packing overhead dominates below that size;
+ *   - row-skinny problems (m < kGemmMR) run the naive kernel: with
+ *     one or two output rows its row-broadcast saxpy wins, while a
+ *     mostly-padded register tile wastes its FLOPs (column-skinny
+ *     problems measure faster blocked, so n has no such rule);
+ *   - everything else runs the blocked kernel.
+ * `setGemmKernel` (or the MIXQ_GEMM_KERNEL environment variable,
+ * read once at startup: "naive", "blocked", "auto") overrides the
+ * heuristic globally, which the tests and benches use to pin a path.
+ */
+
+#ifndef MIXQ_NN_GEMM_BACKEND_HH
+#define MIXQ_NN_GEMM_BACKEND_HH
+
+#include <cstddef>
+
+namespace mixq {
+
+/** Which kernel family services a GEMM call. */
+enum class GemmKernel {
+    Auto,    ///< pick per call from the problem shape (default)
+    Naive,   ///< seed triple-loop kernels, OpenMP over output rows
+    Blocked, ///< packed cache-blocked kernels with register tiling
+};
+
+/** Register-tile rows of the blocked microkernel. */
+constexpr size_t kGemmMR = 6;
+/** Register-tile columns of the blocked microkernel. */
+constexpr size_t kGemmNR = 16;
+/** Problems at or below this m*n*k volume stay on the naive path. */
+constexpr size_t kGemmBlockThreshold = 16384;
+
+/**
+ * Pick the kernel for an m x n x k problem under the rules above.
+ * Only consulted when the forced kernel is GemmKernel::Auto.
+ */
+GemmKernel chooseGemmKernel(size_t m, size_t n, size_t k);
+
+/**
+ * Force every subsequent GEMM call onto one kernel family
+ * (GemmKernel::Auto restores shape-based dispatch). Not thread-safe
+ * against concurrent GEMM calls; intended for test/bench setup.
+ */
+void setGemmKernel(GemmKernel kernel);
+
+/** Currently forced kernel (GemmKernel::Auto unless overridden). */
+GemmKernel forcedGemmKernel();
+
+/** Kernel that will actually service an m x n x k call right now. */
+GemmKernel activeGemmKernel(size_t m, size_t n, size_t k);
+
+// ------------------------------------------------------------------
+// Naive reference kernels (the seed's triple loops, kept both as the
+// small-problem fast path and as the ground truth the blocked
+// kernels are tested against).
+// ------------------------------------------------------------------
+
+/** C[MxN] += A[MxK] * B[KxN], naive row-saxpy kernel. */
+void gemmNaiveAcc(const float* a, const float* b, float* c,
+                  size_t m, size_t n, size_t k);
+
+/** C[MxN] += A[MxK] * B[NxK]^T, naive dot-product kernel. */
+void gemmNaiveBTAcc(const float* a, const float* b, float* c,
+                    size_t m, size_t n, size_t k);
+
+/** C[MxN] += A[KxM]^T * B[KxN], naive row-saxpy kernel. */
+void gemmNaiveATAcc(const float* a, const float* b, float* c,
+                    size_t m, size_t n, size_t k);
+
+// ------------------------------------------------------------------
+// Cache-blocked kernels. All three share one driver that packs
+// KC x NC panels of B and MC x KC blocks of A into contiguous,
+// zero-padded buffers (the packing step absorbs either transpose),
+// then runs an MR x NR register-tiled microkernel over the panels.
+// ------------------------------------------------------------------
+
+/** C[MxN] += A[MxK] * B[KxN], cache-blocked kernel. */
+void gemmBlockedAcc(const float* a, const float* b, float* c,
+                    size_t m, size_t n, size_t k);
+
+/** C[MxN] += A[MxK] * B[NxK]^T, cache-blocked kernel. */
+void gemmBlockedBTAcc(const float* a, const float* b, float* c,
+                      size_t m, size_t n, size_t k);
+
+/** C[MxN] += A[KxM]^T * B[KxN], cache-blocked kernel. */
+void gemmBlockedATAcc(const float* a, const float* b, float* c,
+                      size_t m, size_t n, size_t k);
+
+} // namespace mixq
+
+#endif // MIXQ_NN_GEMM_BACKEND_HH

@@ -4,6 +4,9 @@
  * BatchNorm2d, activations, pooling, Flatten, and the Sequential
  * container. Convolution weights are stored in their GEMM-matrix
  * layout [Cout, Cin*kh*kw] — the same row view that MSQ partitions.
+ * All matrix compute (Linear forward/backward, conv via im2col)
+ * funnels through nn/gemm.hh and inherits its shape-based dispatch
+ * onto the cache-blocked backend.
  */
 
 #ifndef MIXQ_NN_LAYERS_HH

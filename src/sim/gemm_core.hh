@@ -6,6 +6,10 @@
  * datapath: per Table I, each product is two logic shifts of the
  * activation plus one addition — the class contains no multiply on
  * the weight path by construction.
+ *
+ * These integer cores intentionally do not route through the float
+ * nn/gemm_backend.hh dispatcher: they model datapath semantics
+ * (shift-add vs MAC), not host throughput.
  */
 
 #ifndef MIXQ_SIM_GEMM_CORE_HH

@@ -1,10 +1,12 @@
-/** @file GEMM kernel and im2col/col2im tests. */
+/** @file GEMM kernel, backend-dispatch, and im2col/col2im tests. */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "nn/gemm.hh"
+#include "nn/gemm_backend.hh"
 #include "util/rng.hh"
 
 namespace mixq {
@@ -83,6 +85,131 @@ TEST(Gemm, LargeSizeTriggersParallelPath)
     naiveGemm(a.data(), b.data(), c2.data(), m, n, k, false, false);
     for (size_t i = 0; i < c1.size(); ++i)
         EXPECT_NEAR(c1[i], c2[i], 1e-3);
+}
+
+// ------------------------------------------------------------------
+// Backend dispatch and blocked-vs-naive equivalence.
+// ------------------------------------------------------------------
+
+// Shapes chosen to cross every dispatch regime: square, skinny in m
+// (below kGemmMR), skinny in n (below kGemmNR), fat/tall rectangles,
+// tile-edge remainders, and sizes straddling kGemmBlockThreshold.
+struct Shape
+{
+    size_t m, n, k;
+};
+
+const Shape kShapes[] = {
+    {1, 1, 1},      {3, 17, 5},    {6, 16, 256},  {7, 17, 33},
+    {2, 300, 80},   {300, 2, 80},  {64, 64, 4},   {13, 150, 40},
+    {150, 13, 40},  {96, 96, 96},  {25, 25, 27},  {26, 26, 26},
+    {61, 127, 253},
+};
+
+void
+expectNear(const std::vector<float>& got, const std::vector<float>& want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        double tol = 1e-4 * (1.0 + std::fabs(double(want[i])));
+        EXPECT_NEAR(got[i], want[i], tol) << "index " << i;
+    }
+}
+
+TEST(GemmBackend, DispatchRules)
+{
+    ASSERT_EQ(forcedGemmKernel(), GemmKernel::Auto);
+    // Exactly at the threshold stays naive; one past it goes blocked.
+    // 16384 = 32*32*16.
+    EXPECT_EQ(chooseGemmKernel(32, 32, 16), GemmKernel::Naive);
+    EXPECT_EQ(chooseGemmKernel(32, 32, 17), GemmKernel::Blocked);
+    // Row-skinny shapes stay naive no matter the volume; column-
+    // skinny ones go blocked (measured faster there).
+    EXPECT_EQ(chooseGemmKernel(kGemmMR - 1, 512, 512),
+              GemmKernel::Naive);
+    EXPECT_EQ(chooseGemmKernel(512, kGemmNR - 1, 512),
+              GemmKernel::Blocked);
+    EXPECT_EQ(chooseGemmKernel(kGemmMR, kGemmNR, 512),
+              GemmKernel::Blocked);
+    // Forcing overrides the heuristic.
+    setGemmKernel(GemmKernel::Blocked);
+    EXPECT_EQ(activeGemmKernel(1, 1, 1), GemmKernel::Blocked);
+    setGemmKernel(GemmKernel::Auto);
+    EXPECT_EQ(activeGemmKernel(1, 1, 1), GemmKernel::Naive);
+}
+
+TEST(GemmBackend, BlockedMatchesNaive)
+{
+    uint64_t seed = 100;
+    for (const Shape& s : kShapes) {
+        auto a = randVec(s.m * s.k, seed++);
+        auto b = randVec(s.k * s.n, seed++);
+        auto init = randVec(s.m * s.n, seed++);
+        std::vector<float> c1 = init, c2 = init;
+        gemmNaiveAcc(a.data(), b.data(), c1.data(), s.m, s.n, s.k);
+        gemmBlockedAcc(a.data(), b.data(), c2.data(), s.m, s.n, s.k);
+        expectNear(c2, c1);
+    }
+}
+
+TEST(GemmBackend, BlockedBTMatchesNaive)
+{
+    uint64_t seed = 200;
+    for (const Shape& s : kShapes) {
+        auto a = randVec(s.m * s.k, seed++);
+        auto b = randVec(s.n * s.k, seed++);
+        auto init = randVec(s.m * s.n, seed++);
+        std::vector<float> c1 = init, c2 = init;
+        gemmNaiveBTAcc(a.data(), b.data(), c1.data(), s.m, s.n, s.k);
+        gemmBlockedBTAcc(a.data(), b.data(), c2.data(), s.m, s.n, s.k);
+        expectNear(c2, c1);
+    }
+}
+
+TEST(GemmBackend, BlockedATMatchesNaive)
+{
+    uint64_t seed = 300;
+    for (const Shape& s : kShapes) {
+        auto a = randVec(s.k * s.m, seed++);
+        auto b = randVec(s.k * s.n, seed++);
+        auto init = randVec(s.m * s.n, seed++);
+        std::vector<float> c1 = init, c2 = init;
+        gemmNaiveATAcc(a.data(), b.data(), c1.data(), s.m, s.n, s.k);
+        gemmBlockedATAcc(a.data(), b.data(), c2.data(), s.m, s.n, s.k);
+        expectNear(c2, c1);
+    }
+}
+
+TEST(GemmBackend, DispatchedEntryPointsMatchForcedKernels)
+{
+    // The public gemm() must give the same answer whichever kernel
+    // the dispatcher lands on, including just past the threshold.
+    size_t m = 32, n = 32, k = 17;
+    auto a = randVec(m * k, 400);
+    auto b = randVec(k * n, 401);
+    std::vector<float> cAuto(m * n), cNaive(m * n), cBlocked(m * n);
+    setGemmKernel(GemmKernel::Auto);
+    gemm(a.data(), b.data(), cAuto.data(), m, n, k);
+    setGemmKernel(GemmKernel::Naive);
+    gemm(a.data(), b.data(), cNaive.data(), m, n, k);
+    setGemmKernel(GemmKernel::Blocked);
+    gemm(a.data(), b.data(), cBlocked.data(), m, n, k);
+    setGemmKernel(GemmKernel::Auto);
+    expectNear(cNaive, cAuto);
+    expectNear(cBlocked, cAuto);
+}
+
+TEST(GemmBackend, LargeBlockedCrossesEveryBlockBoundary)
+{
+    // Big enough that MC/KC/NC all wrap with remainders: exercises
+    // panel repacking and edge tiles in one shot.
+    size_t m = 80, n = 1040, k = 260;
+    auto a = randVec(m * k, 500);
+    auto b = randVec(k * n, 501);
+    std::vector<float> c1(m * n, 0.0f), c2(m * n, 0.0f);
+    gemmNaiveAcc(a.data(), b.data(), c1.data(), m, n, k);
+    gemmBlockedAcc(a.data(), b.data(), c2.data(), m, n, k);
+    expectNear(c2, c1);
 }
 
 TEST(ConvOut, Formula)
