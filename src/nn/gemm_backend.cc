@@ -6,6 +6,10 @@
 #include <string>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace mixq {
 
 namespace {
@@ -166,6 +170,19 @@ blockedDriver(const float* a, const float* b, float* c,
     size_t kcMax = std::min(kKC, k);
     static thread_local std::vector<float> bbuf;
     bbuf.resize(ncMax * kcMax);
+    // Row-block size: kMC fills L2, but fixed 72-row chunks starve
+    // threads on small-m shapes (m=64 would run serial where the old
+    // row-parallel naive kernel used every core). Shrink blocks —
+    // MR-aligned — until each thread gets one.
+    size_t mcBlock = kMC;
+#ifdef _OPENMP
+    size_t nthreads = size_t(omp_get_max_threads());
+    if (nthreads > 1) {
+        size_t per = (m + nthreads - 1) / nthreads;
+        per = (per + kGemmMR - 1) / kGemmMR * kGemmMR;
+        mcBlock = std::clamp(per, size_t(kGemmMR), kMC);
+    }
+#endif
     for (size_t jc = 0; jc < n; jc += kNC) {
         size_t nc = std::min(kNC, n - jc);
         for (size_t pc = 0; pc < k; pc += kKC) {
@@ -173,11 +190,18 @@ blockedDriver(const float* a, const float* b, float* c,
             const float* bsrc =
                 transB ? b + jc * ldb + pc : b + pc * ldb + jc;
             packB(bsrc, ldb, transB, kc, nc, bbuf.data());
+            // Capture the packed panel before the parallel region:
+            // bbuf is thread_local (so concurrent callers don't
+            // race), and OpenMP workers would otherwise resolve it
+            // to their own empty per-thread copies. A plain pointer
+            // is shared by default and refers to the caller's panel.
+            const float* bpacked = bbuf.data();
             #pragma omp parallel for schedule(dynamic) \
-                if (m > kMC && m * nc * kc > kGemmBlockThreshold)
-            for (long icl = 0; icl < long((m + kMC - 1) / kMC); ++icl) {
-                size_t ic = size_t(icl) * kMC;
-                size_t mc = std::min(kMC, m - ic);
+                if (m > mcBlock && m * nc * kc > kGemmBlockThreshold)
+            for (long icl = 0; icl < long((m + mcBlock - 1) / mcBlock);
+                 ++icl) {
+                size_t ic = size_t(icl) * mcBlock;
+                size_t mc = std::min(mcBlock, m - ic);
                 size_t mcPad = (mc + kGemmMR - 1) / kGemmMR * kGemmMR;
                 static thread_local std::vector<float> abuf;
                 abuf.resize(mcPad * kc);
@@ -189,7 +213,7 @@ blockedDriver(const float* a, const float* b, float* c,
                     const float* apanel = abuf.data() + ir * kc;
                     for (size_t jr = 0; jr < nc; jr += kGemmNR) {
                         size_t nr = std::min(kGemmNR, nc - jr);
-                        microKernel(apanel, bbuf.data() + jr * kc, kc,
+                        microKernel(apanel, bpacked + jr * kc, kc,
                                     c + (ic + ir) * n + jc + jr, n,
                                     mr, nr);
                     }

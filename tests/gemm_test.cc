@@ -5,6 +5,10 @@
 #include <cmath>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "nn/gemm.hh"
 #include "nn/gemm_backend.hh"
 #include "util/rng.hh"
@@ -209,6 +213,31 @@ TEST(GemmBackend, LargeBlockedCrossesEveryBlockBoundary)
     std::vector<float> c1(m * n, 0.0f), c2(m * n, 0.0f);
     gemmNaiveAcc(a.data(), b.data(), c1.data(), m, n, k);
     gemmBlockedAcc(a.data(), b.data(), c2.data(), m, n, k);
+    expectNear(c2, c1);
+}
+
+TEST(GemmBackend, BlockedMatchesNaiveMultiThreaded)
+{
+    // The blocked driver packs B on the calling thread and reads the
+    // panel from OpenMP workers; this regressed once when the packed
+    // buffer was resolved per-thread. Force >1 threads so the test
+    // bites even when CI sets OMP_NUM_THREADS=1 or the machine
+    // reports one core. m spans 5 row blocks (MC = 72) so dynamic
+    // scheduling can't hand every chunk to the master thread — a
+    // non-master worker is all but guaranteed to run one.
+#ifdef _OPENMP
+    int prev = omp_get_max_threads();
+    omp_set_num_threads(4);
+#endif
+    size_t m = 300, n = 1040, k = 260;
+    auto a = randVec(m * k, 600);
+    auto b = randVec(k * n, 601);
+    std::vector<float> c1(m * n, 0.0f), c2(m * n, 0.0f);
+    gemmNaiveAcc(a.data(), b.data(), c1.data(), m, n, k);
+    gemmBlockedAcc(a.data(), b.data(), c2.data(), m, n, k);
+#ifdef _OPENMP
+    omp_set_num_threads(prev);
+#endif
     expectNear(c2, c1);
 }
 
