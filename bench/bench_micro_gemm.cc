@@ -3,15 +3,21 @@
  * Micro-benchmarks (google-benchmark) of the compute hot path and
  * the simulator data path: naive vs cache-blocked float GEMM at
  * several shapes (the items/s ratio is the blocked backend's
- * speedup), the two heterogeneous GEMM cores (multiply-accumulate vs
- * shift-shift-add), the functional accelerator round trip, and the
- * timing-only network scheduler.
+ * speedup), pre-packed weight plans vs repack-every-call at both
+ * square and RNN-gate shapes (the ratio is the pack-reuse win that
+ * tools/check_perf_budget.py gates in CI), the two heterogeneous
+ * GEMM cores (multiply-accumulate vs shift-shift-add), the
+ * functional accelerator round trip, and the timing-only network
+ * scheduler.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "compiler/model_zoo.hh"
 #include "compiler/runner.hh"
+#include "nn/gemm.hh"
 #include "nn/gemm_backend.hh"
 #include "sim/gemm_core.hh"
 #include "util/rng.hh"
@@ -32,7 +38,10 @@ randMat(size_t n, uint64_t seed)
 
 // Items processed = FLOPs (2*m*n*k per multiply), so the reported
 // items/s of BM_GemmBlocked over BM_GemmNaive at equal Args is the
-// blocked backend's throughput speedup.
+// blocked backend's throughput speedup. C is cleared every
+// iteration: the kernels accumulate, and letting C grow across
+// thousands of iterations overflows to inf (and the zero-skip in
+// the naive kernels would start measuring a different code path).
 void
 runFloatGemm(benchmark::State& state,
              void (*kernel)(const float*, const float*, float*,
@@ -45,6 +54,7 @@ runFloatGemm(benchmark::State& state,
     auto b = randMat(k * n, 2);
     std::vector<float> c(m * n, 0.0f);
     for (auto _ : state) {
+        std::memset(c.data(), 0, c.size() * sizeof(float));
         kernel(a.data(), b.data(), c.data(), m, n, k);
         benchmark::DoNotOptimize(c.data());
         benchmark::ClobberMemory();
@@ -88,6 +98,79 @@ BM_GemmNaiveBT(benchmark::State& state)
     runFloatGemm(state, gemmNaiveBTAcc);
 }
 BENCHMARK(BM_GemmNaiveBT)->Args({512, 512, 512});
+
+// Pre-packed B plan vs the repack-every-call blocked kernel at the
+// same shape. The weight (B, stored [N x K] as the layers keep it)
+// is packed once outside the timing loop; the items/s ratio over
+// BM_GemmBlockedBT is the pack-reuse win on a single large call.
+void
+BM_GemmPackedBT(benchmark::State& state)
+{
+    size_t m = size_t(state.range(0));
+    size_t n = size_t(state.range(1));
+    size_t k = size_t(state.range(2));
+    auto a = randMat(m * k, 1);
+    auto b = randMat(n * k, 2);
+    PackedMat plan;
+    plan.ensureB(b.data(), k, n, /*trans=*/true, 1);
+    std::vector<float> c(m * n, 0.0f);
+    for (auto _ : state) {
+        gemmPackedB(a.data(), plan, c.data(), m, n, k);
+        benchmark::DoNotOptimize(c.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(2 * m * n * k));
+}
+BENCHMARK(BM_GemmPackedBT)->Args({512, 512, 512});
+
+// The RNN-gate shape: one LSTM-style weight [4H x H] streamed
+// against a small batch for T consecutive timesteps, exactly the
+// hot loop of Lstm::forward. Repacked packs the weight T times per
+// iteration, Planned packs it once ever — the items/s ratio is the
+// sequence-level reuse win the plan API exists for.
+constexpr size_t kRnnFlopsFactor = 2 * 4; // 2*m*(4h)*h per step
+
+void
+runRnnGateGemm(benchmark::State& state, bool usePlan)
+{
+    size_t n = size_t(state.range(0)); // batch
+    size_t h = size_t(state.range(1)); // hidden
+    size_t t = size_t(state.range(2)); // timesteps
+    auto w = randMat(4 * h * h, 1);    // [4H x H]
+    auto x = randMat(t * n * h, 2);    // one sequence
+    PackedMat plan;
+    if (usePlan)
+        plan.ensureB(w.data(), h, 4 * h, /*trans=*/true, 1);
+    std::vector<float> c(n * 4 * h, 0.0f);
+    for (auto _ : state) {
+        for (size_t s = 0; s < t; ++s) {
+            const float* xs = x.data() + s * n * h;
+            if (usePlan)
+                gemmPackedB(xs, plan, c.data(), n, 4 * h, h);
+            else
+                gemmBT(xs, w.data(), c.data(), n, 4 * h, h);
+            benchmark::DoNotOptimize(c.data());
+        }
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(t * kRnnFlopsFactor * n * h * h));
+}
+
+void
+BM_RnnGateGemmRepacked(benchmark::State& state)
+{
+    runRnnGateGemm(state, false);
+}
+BENCHMARK(BM_RnnGateGemmRepacked)->Args({16, 256, 16});
+
+void
+BM_RnnGateGemmPlanned(benchmark::State& state)
+{
+    runRnnGateGemm(state, true);
+}
+BENCHMARK(BM_RnnGateGemmPlanned)->Args({16, 256, 16});
 
 void
 BM_GemmFixedCoreStep(benchmark::State& state)

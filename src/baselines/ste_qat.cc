@@ -49,6 +49,7 @@ steQatTrain(Module& model, const LabeledImages& train,
                 continue;
             latents.push_back(p->w);
             proj.project(*p);
+            p->noteUpdated();
         }
     };
     auto restore = [&]() {
@@ -57,6 +58,7 @@ steQatTrain(Module& model, const LabeledImages& train,
             if (!p->quantizable())
                 continue;
             p->w = latents[i++];
+            p->noteUpdated();
         }
     };
 
@@ -93,8 +95,10 @@ steQatTrain(Module& model, const LabeledImages& train,
     }
     // Deployable model: hard-project the trained latents.
     for (Param* p : model.params()) {
-        if (p->quantizable())
+        if (p->quantizable()) {
             proj.project(*p);
+            p->noteUpdated();
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "nn/gemm_backend.hh"
+#include "util/logging.hh"
 
 namespace mixq {
 
@@ -55,6 +56,11 @@ gemmATAcc(const float* a, const float* b, float* c,
 size_t
 convOut(size_t in, size_t kernel, size_t stride, size_t pad)
 {
+    // Everything is unsigned: a kernel larger than the padded input
+    // would wrap to a huge "output size" instead of failing.
+    MIXQ_ASSERT(stride > 0, "convOut: stride must be positive");
+    MIXQ_ASSERT(in + 2 * pad >= kernel,
+                "convOut: kernel exceeds padded input");
     return (in + 2 * pad - kernel) / stride + 1;
 }
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.hh"
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -156,6 +158,86 @@ microKernel(const float* apanel, const float* bpanel, size_t kc,
 
 // ------------------------------------------------------------- driver
 
+// Row-block size: kMC fills L2, but fixed 72-row chunks starve
+// threads on small-m shapes (m=64 would run serial where the old
+// row-parallel naive kernel used every core). Shrink blocks —
+// MR-aligned — until each thread gets one.
+size_t
+rowBlockSize(size_t m)
+{
+    size_t mcBlock = kMC;
+#ifdef _OPENMP
+    size_t nthreads = size_t(omp_get_max_threads());
+    if (nthreads > 1) {
+        size_t per = (m + nthreads - 1) / nthreads;
+        per = (per + kGemmMR - 1) / kGemmMR * kGemmMR;
+        mcBlock = std::clamp(per, size_t(kGemmMR), kMC);
+    }
+#endif
+    return mcBlock;
+}
+
+// One (jc, pc) super-block against an already-packed B panel: packs
+// MR-row blocks of op(A) per row chunk and streams them through the
+// microkernel. Shared by the per-call driver (B packed just before)
+// and the packed-B plan path (B packed once, long ago) — keeping the
+// two paths on one sweep makes their results bit-identical.
+void
+sweepRowBlocks(const float* a, size_t lda, bool transA,
+               const float* bpacked, float* c, size_t m, size_t n,
+               size_t jc, size_t pc, size_t nc, size_t kc,
+               size_t mcBlock)
+{
+    #pragma omp parallel for schedule(dynamic) \
+        if (m > mcBlock && m * nc * kc > kGemmBlockThreshold)
+    for (long icl = 0; icl < long((m + mcBlock - 1) / mcBlock);
+         ++icl) {
+        size_t ic = size_t(icl) * mcBlock;
+        size_t mc = std::min(mcBlock, m - ic);
+        size_t mcPad = (mc + kGemmMR - 1) / kGemmMR * kGemmMR;
+        static thread_local std::vector<float> abuf;
+        abuf.resize(mcPad * kc);
+        const float* asrc =
+            transA ? a + pc * lda + ic : a + ic * lda + pc;
+        packA(asrc, lda, transA, mc, kc, abuf.data());
+        for (size_t ir = 0; ir < mc; ir += kGemmMR) {
+            size_t mr = std::min(kGemmMR, mc - ir);
+            const float* apanel = abuf.data() + ir * kc;
+            for (size_t jr = 0; jr < nc; jr += kGemmNR) {
+                size_t nr = std::min(kGemmNR, nc - jr);
+                microKernel(apanel, bpacked + jr * kc, kc,
+                            c + (ic + ir) * n + jc + jr, n, mr, nr);
+            }
+        }
+    }
+}
+
+// Same sweep with op(A) pre-packed: apacked is one KC-deep block
+// holding all m rows as MR panels, so the row-panel for row r sits
+// at r * kc (r MR-aligned; rowBlockSize keeps chunks MR-aligned).
+void
+sweepPackedRowBlocks(const float* apacked, const float* bpacked,
+                     float* c, size_t m, size_t n, size_t jc,
+                     size_t nc, size_t kc, size_t mcBlock)
+{
+    #pragma omp parallel for schedule(dynamic) \
+        if (m > mcBlock && m * nc * kc > kGemmBlockThreshold)
+    for (long icl = 0; icl < long((m + mcBlock - 1) / mcBlock);
+         ++icl) {
+        size_t ic = size_t(icl) * mcBlock;
+        size_t mc = std::min(mcBlock, m - ic);
+        for (size_t ir = 0; ir < mc; ir += kGemmMR) {
+            size_t mr = std::min(kGemmMR, mc - ir);
+            const float* apanel = apacked + (ic + ir) * kc;
+            for (size_t jr = 0; jr < nc; jr += kGemmNR) {
+                size_t nr = std::min(kGemmNR, nc - jr);
+                microKernel(apanel, bpacked + jr * kc, kc,
+                            c + (ic + ir) * n + jc + jr, n, mr, nr);
+            }
+        }
+    }
+}
+
 // C[MxN] += op(A) * op(B) with both operands repacked; the packing
 // step absorbs the transposes, so one driver serves all variants.
 void
@@ -170,19 +252,7 @@ blockedDriver(const float* a, const float* b, float* c,
     size_t kcMax = std::min(kKC, k);
     static thread_local std::vector<float> bbuf;
     bbuf.resize(ncMax * kcMax);
-    // Row-block size: kMC fills L2, but fixed 72-row chunks starve
-    // threads on small-m shapes (m=64 would run serial where the old
-    // row-parallel naive kernel used every core). Shrink blocks —
-    // MR-aligned — until each thread gets one.
-    size_t mcBlock = kMC;
-#ifdef _OPENMP
-    size_t nthreads = size_t(omp_get_max_threads());
-    if (nthreads > 1) {
-        size_t per = (m + nthreads - 1) / nthreads;
-        per = (per + kGemmMR - 1) / kGemmMR * kGemmMR;
-        mcBlock = std::clamp(per, size_t(kGemmMR), kMC);
-    }
-#endif
+    size_t mcBlock = rowBlockSize(m);
     for (size_t jc = 0; jc < n; jc += kNC) {
         size_t nc = std::min(kNC, n - jc);
         for (size_t pc = 0; pc < k; pc += kKC) {
@@ -196,29 +266,8 @@ blockedDriver(const float* a, const float* b, float* c,
             // to their own empty per-thread copies. A plain pointer
             // is shared by default and refers to the caller's panel.
             const float* bpacked = bbuf.data();
-            #pragma omp parallel for schedule(dynamic) \
-                if (m > mcBlock && m * nc * kc > kGemmBlockThreshold)
-            for (long icl = 0; icl < long((m + mcBlock - 1) / mcBlock);
-                 ++icl) {
-                size_t ic = size_t(icl) * mcBlock;
-                size_t mc = std::min(mcBlock, m - ic);
-                size_t mcPad = (mc + kGemmMR - 1) / kGemmMR * kGemmMR;
-                static thread_local std::vector<float> abuf;
-                abuf.resize(mcPad * kc);
-                const float* asrc =
-                    transA ? a + pc * lda + ic : a + ic * lda + pc;
-                packA(asrc, lda, transA, mc, kc, abuf.data());
-                for (size_t ir = 0; ir < mc; ir += kGemmMR) {
-                    size_t mr = std::min(kGemmMR, mc - ir);
-                    const float* apanel = abuf.data() + ir * kc;
-                    for (size_t jr = 0; jr < nc; jr += kGemmNR) {
-                        size_t nr = std::min(kGemmNR, nc - jr);
-                        microKernel(apanel, bpacked + jr * kc, kc,
-                                    c + (ic + ir) * n + jc + jr, n,
-                                    mr, nr);
-                    }
-                }
-            }
+            sweepRowBlocks(a, lda, transA, bpacked, c, m, n, jc, pc,
+                           nc, kc, mcBlock);
         }
     }
 }
@@ -333,6 +382,174 @@ gemmBlockedATAcc(const float* a, const float* b, float* c,
                  size_t m, size_t n, size_t k)
 {
     blockedDriver(a, b, c, m, n, k, true, false);
+}
+
+// --------------------------------------------------- pre-packed plans
+
+void
+PackedMat::ensureA(const float* src, size_t m, size_t k, bool trans,
+                   uint64_t version)
+{
+    if (packed_ && side_ == Side::A && src_ == src && rows_ == m &&
+        cols_ == k && trans_ == trans && version_ == version)
+        return;
+    side_ = Side::A;
+    src_ = src;
+    rows_ = m;
+    cols_ = k;
+    trans_ = trans;
+    version_ = version;
+    repack();
+}
+
+void
+PackedMat::ensureB(const float* src, size_t k, size_t n, bool trans,
+                   uint64_t version)
+{
+    if (packed_ && side_ == Side::B && src_ == src && rows_ == k &&
+        cols_ == n && trans_ == trans && version_ == version)
+        return;
+    side_ = Side::B;
+    src_ = src;
+    rows_ = k;
+    cols_ = n;
+    trans_ = trans;
+    version_ = version;
+    repack();
+}
+
+void
+PackedMat::repack()
+{
+    MIXQ_ASSERT(src_ && rows_ > 0 && cols_ > 0,
+                "PackedMat: empty source");
+    off_.clear();
+    if (side_ == Side::A) {
+        // op(A) [m x k]: one block per KC slice of k, each holding
+        // all m rows as MR panels (mPad * kc floats). Blocks are
+        // ordered by pc, so block pcIdx starts at mPad * pc.
+        size_t m = rows_, k = cols_;
+        size_t lda = trans_ ? m : k;
+        size_t mPad = (m + kGemmMR - 1) / kGemmMR * kGemmMR;
+        buf_.resize(mPad * k);
+        for (size_t pc = 0; pc < k; pc += kKC) {
+            size_t kc = std::min(kKC, k - pc);
+            off_.push_back(mPad * pc);
+            const float* asrc = trans_ ? src_ + pc * lda : src_ + pc;
+            packA(asrc, lda, trans_, m, kc, buf_.data() + mPad * pc);
+        }
+    } else {
+        // op(B) [k x n]: blocks ordered (jc, pc) exactly as the
+        // per-call driver walks them, each an NC x KC panel of
+        // NR-wide slivers (ncPad * kc floats).
+        size_t k = rows_, n = cols_;
+        size_t ldb = trans_ ? k : n;
+        size_t total = 0;
+        for (size_t jc = 0; jc < n; jc += kNC) {
+            size_t nc = std::min(kNC, n - jc);
+            size_t ncPad = (nc + kGemmNR - 1) / kGemmNR * kGemmNR;
+            for (size_t pc = 0; pc < k; pc += kKC) {
+                size_t kc = std::min(kKC, k - pc);
+                off_.push_back(total);
+                total += ncPad * kc;
+            }
+        }
+        buf_.resize(total);
+        size_t blk = 0;
+        for (size_t jc = 0; jc < n; jc += kNC) {
+            size_t nc = std::min(kNC, n - jc);
+            for (size_t pc = 0; pc < k; pc += kKC) {
+                size_t kc = std::min(kKC, k - pc);
+                const float* bsrc = trans_ ? src_ + jc * ldb + pc
+                                           : src_ + pc * ldb + jc;
+                packB(bsrc, ldb, trans_, kc, nc,
+                      buf_.data() + off_[blk++]);
+            }
+        }
+    }
+    packed_ = true;
+    ++packCount_;
+}
+
+void
+gemmPackedBAcc(const float* a, const PackedMat& pb, float* c,
+               size_t m, size_t n, size_t k)
+{
+    MIXQ_ASSERT(pb.packed_ && pb.side_ == PackedMat::Side::B &&
+                pb.rows_ == k && pb.cols_ == n,
+                "gemmPackedBAcc: plan/shape mismatch");
+    // Same dispatch as the per-call path: naive-regime shapes run
+    // the naive kernel straight off the plan's source matrix.
+    if (activeGemmKernel(m, n, k) == GemmKernel::Naive) {
+        if (pb.trans_)
+            gemmNaiveBTAcc(a, pb.src_, c, m, n, k);
+        else
+            gemmNaiveAcc(a, pb.src_, c, m, n, k);
+        return;
+    }
+    size_t mcBlock = rowBlockSize(m);
+    size_t numPc = (k + kKC - 1) / kKC;
+    size_t jci = 0;
+    for (size_t jc = 0; jc < n; jc += kNC, ++jci) {
+        size_t nc = std::min(kNC, n - jc);
+        size_t pci = 0;
+        for (size_t pc = 0; pc < k; pc += kKC, ++pci) {
+            size_t kc = std::min(kKC, k - pc);
+            const float* bpacked =
+                pb.buf_.data() + pb.off_[jci * numPc + pci];
+            sweepRowBlocks(a, k, false, bpacked, c, m, n, jc, pc, nc,
+                           kc, mcBlock);
+        }
+    }
+}
+
+void
+gemmPackedB(const float* a, const PackedMat& pb, float* c,
+            size_t m, size_t n, size_t k)
+{
+    std::memset(c, 0, m * n * sizeof(float));
+    gemmPackedBAcc(a, pb, c, m, n, k);
+}
+
+void
+gemmPackedAAcc(const PackedMat& pa, const float* b, float* c,
+               size_t m, size_t n, size_t k)
+{
+    MIXQ_ASSERT(pa.packed_ && pa.side_ == PackedMat::Side::A &&
+                pa.rows_ == m && pa.cols_ == k,
+                "gemmPackedAAcc: plan/shape mismatch");
+    if (activeGemmKernel(m, n, k) == GemmKernel::Naive) {
+        if (pa.trans_)
+            gemmNaiveATAcc(pa.src_, b, c, m, n, k);
+        else
+            gemmNaiveAcc(pa.src_, b, c, m, n, k);
+        return;
+    }
+    size_t ncMax = std::min(kNC, (n + kGemmNR - 1) / kGemmNR * kGemmNR);
+    size_t kcMax = std::min(kKC, k);
+    static thread_local std::vector<float> bbuf;
+    bbuf.resize(ncMax * kcMax);
+    size_t mcBlock = rowBlockSize(m);
+    for (size_t jc = 0; jc < n; jc += kNC) {
+        size_t nc = std::min(kNC, n - jc);
+        size_t pci = 0;
+        for (size_t pc = 0; pc < k; pc += kKC, ++pci) {
+            size_t kc = std::min(kKC, k - pc);
+            packB(b + pc * n + jc, n, false, kc, nc, bbuf.data());
+            const float* bpacked = bbuf.data();
+            const float* apacked = pa.buf_.data() + pa.off_[pci];
+            sweepPackedRowBlocks(apacked, bpacked, c, m, n, jc, nc,
+                                 kc, mcBlock);
+        }
+    }
+}
+
+void
+gemmPackedA(const PackedMat& pa, const float* b, float* c,
+            size_t m, size_t n, size_t k)
+{
+    std::memset(c, 0, m * n * sizeof(float));
+    gemmPackedAAcc(pa, b, c, m, n, k);
 }
 
 } // namespace mixq

@@ -23,12 +23,44 @@
  * `setGemmKernel` (or the MIXQ_GEMM_KERNEL environment variable,
  * read once at startup: "naive", "blocked", "auto") overrides the
  * heuristic globally, which the tests and benches use to pin a path.
+ *
+ * Pre-packed weight plans (PackedMat): the blocked kernels normally
+ * repack both operands on every call, which wastes work when one
+ * operand is a weight matrix reused across calls — every Linear/Conv
+ * batch, and every timestep of an LSTM/GRU sequence. This mirrors
+ * the paper's weight-stationary accelerator (Fig. 3), where
+ * quantized weights are packed once into on-chip buffers and
+ * activations stream past them. A PackedMat packs one operand of
+ * C = op(A) * op(B) into the panel layout once (the pack absorbs
+ * the transpose, exactly like the per-call path) and the
+ * gemmPacked{A,B}[Acc] entry points reuse it.
+ *
+ * Plan lifecycle and invalidation contract:
+ *   - the consumer (a layer) owns the PackedMat and calls
+ *     ensureA()/ensureB() before use with the source pointer, the
+ *     logical op() shape, and a version number;
+ *   - ensure*() repacks only when the source pointer, shape,
+ *     transpose flag, or version changed — otherwise it is O(1);
+ *   - every code path that rewrites a Param's weights must bump
+ *     Param::version via Param::noteUpdated() (optimizer steps,
+ *     quantizer projections, test-side perturbation). A mutation
+ *     without a bump leaves plans silently stale — that is the
+ *     contract, enforced by the packed-vs-naive equivalence tests.
+ *
+ * The packed entry points follow the same dispatch rules as the
+ * per-call path: shapes that activeGemmKernel() sends to the naive
+ * kernel are serviced by the naive kernel reading the plan's source
+ * matrix directly (the plan keeps the pointer), so small problems
+ * keep the row-saxpy fast path and packed results match the
+ * dispatched per-call results bit for bit.
  */
 
 #ifndef MIXQ_NN_GEMM_BACKEND_HH
 #define MIXQ_NN_GEMM_BACKEND_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 namespace mixq {
 
@@ -101,6 +133,94 @@ void gemmBlockedBTAcc(const float* a, const float* b, float* c,
 /** C[MxN] += A[KxM]^T * B[KxN], cache-blocked kernel. */
 void gemmBlockedATAcc(const float* a, const float* b, float* c,
                       size_t m, size_t n, size_t k);
+
+// ------------------------------------------------------------------
+// Pre-packed weight plans. A PackedMat holds one operand of
+// C = op(A) * op(B) in the blocked kernels' panel layout, packed
+// once and reused across calls (see the file comment for the
+// lifecycle and invalidation contract).
+// ------------------------------------------------------------------
+
+class PackedMat;
+
+/** C[MxN] += A[MxK] * packedB, A row-major, plan holds op(B) [KxN]. */
+void gemmPackedBAcc(const float* a, const PackedMat& pb, float* c,
+                    size_t m, size_t n, size_t k);
+
+/** C[MxN] = A[MxK] * packedB (overwrite). */
+void gemmPackedB(const float* a, const PackedMat& pb, float* c,
+                 size_t m, size_t n, size_t k);
+
+/** C[MxN] += packedA * B[KxN], B row-major, plan holds op(A) [MxK]. */
+void gemmPackedAAcc(const PackedMat& pa, const float* b, float* c,
+                    size_t m, size_t n, size_t k);
+
+/** C[MxN] = packedA * B[KxN] (overwrite). */
+void gemmPackedA(const PackedMat& pa, const float* b, float* c,
+                 size_t m, size_t n, size_t k);
+
+/**
+ * One operand of a GEMM, packed into the blocked kernels' MR/NR
+ * panel layout. Side::B plans hold op(B) [K x N] as KC x NC panels
+ * of NR-wide slivers; Side::A plans hold op(A) [M x K] as KC-deep
+ * blocks of MR-row panels. Packing absorbs the source transpose, so
+ * one plan type serves the BT/AT weight views used by the layers.
+ *
+ * Not thread-safe to ensure*() concurrently; concurrent *reads*
+ * (gemmPacked* from parallel workers) are safe. Call ensure*() from
+ * the orchestrating thread before any parallel region.
+ */
+class PackedMat
+{
+  public:
+    /** Which operand of C = op(A) * op(B) this plan packs. */
+    enum class Side { A, B };
+
+    PackedMat() = default;
+
+    /**
+     * Make the plan hold op(A) [m x k]; src is stored [m x k]
+     * row-major, or [k x m] when trans is true. Repacks only when
+     * src/shape/trans/version differ from the current pack.
+     */
+    void ensureA(const float* src, size_t m, size_t k, bool trans,
+                 uint64_t version);
+
+    /**
+     * Make the plan hold op(B) [k x n]; src is stored [k x n]
+     * row-major, or [n x k] when trans is true. Repacks only when
+     * src/shape/trans/version differ from the current pack.
+     */
+    void ensureB(const float* src, size_t k, size_t n, bool trans,
+                 uint64_t version);
+
+    bool packed() const { return packed_; }
+    Side side() const { return side_; }
+    /** Rows of the logical op() matrix (m for A plans, k for B). */
+    size_t rows() const { return rows_; }
+    /** Columns of the logical op() matrix (k for A plans, n for B). */
+    size_t cols() const { return cols_; }
+    /** Times the source was actually packed (reuse observability). */
+    uint64_t packCount() const { return packCount_; }
+
+  private:
+    friend void gemmPackedBAcc(const float*, const PackedMat&, float*,
+                               size_t, size_t, size_t);
+    friend void gemmPackedAAcc(const PackedMat&, const float*, float*,
+                               size_t, size_t, size_t);
+
+    void repack();
+
+    Side side_ = Side::B;
+    const float* src_ = nullptr;
+    size_t rows_ = 0, cols_ = 0; //!< logical op() dims
+    bool trans_ = false;
+    uint64_t version_ = 0;
+    bool packed_ = false;
+    uint64_t packCount_ = 0;
+    std::vector<float> buf_;
+    std::vector<size_t> off_; //!< per cache-block offsets into buf_
+};
 
 } // namespace mixq
 

@@ -59,7 +59,9 @@ Linear::forward(const Tensor& x, bool train)
         actq_.forward(xq_.span());
     }
     Tensor y({n, out_});
-    gemmBT(xq_.data(), w_.w.data(), y.data(), n, out_, in_);
+    wPlanFwd_.ensureB(w_.w.data(), in_, out_, /*trans=*/true,
+                      w_.version);
+    gemmPackedB(xq_.data(), wPlanFwd_, y.data(), n, out_, in_);
     if (hasBias_) {
         for (size_t i = 0; i < n; ++i)
             for (size_t j = 0; j < out_; ++j)
@@ -82,7 +84,9 @@ Linear::backward(const Tensor& gy)
                 b_.grad[j] += gy.at2(i, j);
     }
     Tensor gx({n, in_});
-    gemm(gy.data(), w_.w.data(), gx.data(), n, in_, out_);
+    wPlanBwd_.ensureB(w_.w.data(), out_, in_, /*trans=*/false,
+                      w_.version);
+    gemmPackedB(gy.data(), wPlanBwd_, gx.data(), n, in_, out_);
     if (actq_.enabled())
         actq_.backwardSte(xPre_.span(), gx.span());
     return gx;
@@ -137,26 +141,22 @@ Conv2d::forward(const Tensor& x, bool train)
 
     cols_ = Tensor({n, ckk, ohow});
     Tensor y({n, outCh_, oh, ow});
+    // Pack the weight once for the whole batch (and every batch
+    // until the optimizer/quantizer bumps w_.version). Must happen
+    // before the parallel region: ensure mutates the plan.
+    wPlanFwd_.ensureA(w_.w.data(), outCh_, ckk, /*trans=*/false,
+                      w_.version);
     #pragma omp parallel for schedule(static)
     for (long i = 0; i < long(n); ++i) {
         const float* img = xq.data() + size_t(i) * inCh_ * h * w;
         float* col = cols_.data() + size_t(i) * ckk * ohow;
         im2col(img, inCh_, h, w, k_, k_, stride_, pad_, col);
         float* out = y.data() + size_t(i) * outCh_ * ohow;
-        std::memset(out, 0, outCh_ * ohow * sizeof(float));
         // y = W [outCh x ckk] * col [ckk x ohow]
-        for (size_t r = 0; r < outCh_; ++r) {
-            float* yrow = out + r * ohow;
-            const float* wrow = w_.w.data() + r * ckk;
-            for (size_t p = 0; p < ckk; ++p) {
-                float wv = wrow[p];
-                if (wv == 0.0f)
-                    continue;
-                const float* crow = col + p * ohow;
-                for (size_t q = 0; q < ohow; ++q)
-                    yrow[q] += wv * crow[q];
-            }
-            if (hasBias_) {
+        gemmPackedA(wPlanFwd_, col, out, outCh_, ohow, ckk);
+        if (hasBias_) {
+            for (size_t r = 0; r < outCh_; ++r) {
+                float* yrow = out + r * ohow;
                 for (size_t q = 0; q < ohow; ++q)
                     yrow[q] += b_.w[r];
             }
@@ -178,12 +178,16 @@ Conv2d::backward(const Tensor& gy)
                 gy.dim(2) == oh && gy.dim(3) == ow, "Conv2d grad shape");
 
     Tensor gx(inShape_);
+    wPlanBwd_.ensureA(w_.w.data(), ckk, outCh_, /*trans=*/true,
+                      w_.version);
     // Parallel over batch; per-thread weight gradients are merged
-    // after the loop to avoid atomics.
+    // after the loop to avoid atomics. gcols is per-thread scratch
+    // sized once, not a fresh heap allocation per batch item.
     std::vector<Tensor> gw_parts;
     #pragma omp parallel
     {
         Tensor gw_local = Tensor::zeros(w_.grad.shape());
+        std::vector<float> gcols(ckk * ohow);
         #pragma omp for schedule(static) nowait
         for (long i = 0; i < long(n); ++i) {
             const float* g = gy.data() + size_t(i) * outCh_ * ohow;
@@ -191,8 +195,8 @@ Conv2d::backward(const Tensor& gy)
             // gW += g [outCh x ohow] * col^T [ohow x ckk]
             gemmBTAcc(g, col, gw_local.data(), outCh_, ckk, ohow);
             // gcols = W^T [ckk x outCh] * g [outCh x ohow]
-            std::vector<float> gcols(ckk * ohow, 0.0f);
-            gemmATAcc(w_.w.data(), g, gcols.data(), ckk, ohow, outCh_);
+            gemmPackedA(wPlanBwd_, g, gcols.data(), ckk, ohow,
+                        outCh_);
             float* gimg = gx.data() + size_t(i) * inCh_ * h * w;
             col2im(gcols.data(), inCh_, h, w, k_, k_, stride_, pad_,
                    gimg);

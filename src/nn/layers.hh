@@ -6,7 +6,10 @@
  * layout [Cout, Cin*kh*kw] — the same row view that MSQ partitions.
  * All matrix compute (Linear forward/backward, conv via im2col)
  * funnels through nn/gemm.hh and inherits its shape-based dispatch
- * onto the cache-blocked backend.
+ * onto the cache-blocked backend. The weight-side operand of each
+ * GEMM is held as a pre-packed PackedMat plan (one per weight view),
+ * refreshed against Param::version so weights repack only after an
+ * optimizer step or quantizer projection, not on every call.
  */
 
 #ifndef MIXQ_NN_LAYERS_HH
@@ -15,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/gemm_backend.hh"
 #include "nn/module.hh"
 #include "quant/act_quant.hh"
 
@@ -44,6 +48,8 @@ class Linear : public Module
     ActFakeQuant actq_;
     Tensor xPre_;   //!< pre-quantization input (STE mask)
     Tensor xq_;     //!< quantized input (gradient computation)
+    PackedMat wPlanFwd_; //!< packed W^T (forward x W^T)
+    PackedMat wPlanBwd_; //!< packed W (backward gy W)
 };
 
 /** 2-D convolution via im2col; weight is [Cout, Cin*kh*kw]. */
@@ -69,6 +75,8 @@ class Conv2d : public Module
     ActFakeQuant actq_;
     Tensor xPre_;
     Tensor cols_;   //!< cached im2col of the quantized input [N,CKK,OHOW]
+    PackedMat wPlanFwd_; //!< packed W (forward W * cols)
+    PackedMat wPlanBwd_; //!< packed W^T (backward W^T * gy)
     std::vector<size_t> inShape_;
 };
 

@@ -9,6 +9,7 @@
 #ifndef MIXQ_NN_MODULE_HH
 #define MIXQ_NN_MODULE_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,13 @@ namespace mixq {
  * the 2-D GEMM-matrix view used by weight quantization (rows = output
  * channels / gate units); qRows == 0 marks the parameter as not
  * weight-quantized (biases, BN affine parameters, embeddings).
+ *
+ * `version` tracks weight rewrites for the pre-packed GEMM plans
+ * (nn/gemm_backend.hh PackedMat): every code path that mutates `w`
+ * after construction — optimizer steps, quantizer projections,
+ * latent save/restore, test-side perturbation — must call
+ * noteUpdated() afterwards, or plans packed from the old weights
+ * stay silently stale.
  */
 struct Param
 {
@@ -30,7 +38,8 @@ struct Param
     Tensor grad;
     size_t qRows = 0;
     size_t qCols = 0;
-    bool decay = true; //!< participates in weight decay
+    bool decay = true;    //!< participates in weight decay
+    uint64_t version = 1; //!< bumped on every rewrite of w
 
     Param() = default;
     Param(std::string name, Tensor init, size_t q_rows = 0,
@@ -38,6 +47,9 @@ struct Param
 
     void zeroGrad();
     bool quantizable() const { return qRows > 0; }
+
+    /** Record that w was rewritten (invalidates packed GEMM plans). */
+    void noteUpdated() { ++version; }
 };
 
 /** Base class of all layers and blocks. */

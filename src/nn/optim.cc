@@ -30,6 +30,7 @@ Sgd::step()
             v[j] = mu * v[j] - lr * g;
             p->w[j] += v[j];
         }
+        p->noteUpdated();
     }
 }
 

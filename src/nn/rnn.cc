@@ -1,5 +1,6 @@
 #include "nn/rnn.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -114,6 +115,13 @@ Lstm::forward(const Tensor& x, bool train)
     tanhc_ = Tensor({t, n, h_});
     Tensor hOut({t, n, h_});
 
+    // Pack the gate weights once for all T timesteps (and all later
+    // sequences until the optimizer/quantizer bumps the versions).
+    wxPlanFwd_.ensureB(wx_.w.data(), i_, 4 * h_, /*trans=*/true,
+                       wx_.version);
+    whPlanFwd_.ensureB(wh_.w.data(), h_, 4 * h_, /*trans=*/true,
+                       wh_.version);
+
     std::vector<float> a(n * 4 * h_);
     for (size_t s = 0; s < t; ++s) {
         // h_{t-1}: zero at s == 0, else previous output.
@@ -131,8 +139,8 @@ Lstm::forward(const Tensor& x, bool train)
 
         // Pre-activations a = xq Wx^T + hq Wh^T + b.
         const float* xs = xq_.data() + s * n * i_;
-        gemmBT(xs, wx_.w.data(), a.data(), n, 4 * h_, i_);
-        gemmBTAcc(hqs, wh_.w.data(), a.data(), n, 4 * h_, h_);
+        gemmPackedB(xs, wxPlanFwd_, a.data(), n, 4 * h_, i_);
+        gemmPackedBAcc(hqs, whPlanFwd_, a.data(), n, 4 * h_, h_);
 
         float* g = gates_.data() + s * n * 4 * h_;
         float* cs = c_.data() + s * n * h_;
@@ -173,6 +181,12 @@ Lstm::backward(const Tensor& gy)
                 gy.dim(2) == h_, "Lstm grad shape");
 
     Tensor gx({t, n, i_});
+    // Backward streams da against the un-transposed weights; the
+    // plans again pack once for all T steps.
+    wxPlanBwd_.ensureB(wx_.w.data(), 4 * h_, i_, /*trans=*/false,
+                       wx_.version);
+    whPlanBwd_.ensureB(wh_.w.data(), 4 * h_, h_, /*trans=*/false,
+                       wh_.version);
     std::vector<float> dh_next(n * h_, 0.0f);
     std::vector<float> dc_next(n * h_, 0.0f);
     std::vector<float> da(n * 4 * h_);
@@ -214,8 +228,9 @@ Lstm::backward(const Tensor& gy)
 
         // Input and recurrent gradients.
         float* gxs = gx.data() + s * n * i_;
-        gemm(da.data(), wx_.w.data(), gxs, n, i_, 4 * h_);
-        gemm(da.data(), wh_.w.data(), dh_next.data(), n, h_, 4 * h_);
+        gemmPackedB(da.data(), wxPlanBwd_, gxs, n, i_, 4 * h_);
+        gemmPackedB(da.data(), whPlanBwd_, dh_next.data(), n, h_,
+                    4 * h_);
         if (ahq_.enabled()) {
             const float* hp = hPre_.data() + s * n * h_;
             ahq_.backwardSte(std::span<const float>(hp, n * h_),
@@ -278,6 +293,11 @@ Gru::forward(const Tensor& x, bool train)
     ahn_ = Tensor({t, n, h_});
     hOut_ = Tensor({t, n, h_});
 
+    wxPlanFwd_.ensureB(wx_.w.data(), i_, 3 * h_, /*trans=*/true,
+                       wx_.version);
+    whPlanFwd_.ensureB(wh_.w.data(), h_, 3 * h_, /*trans=*/true,
+                       wh_.version);
+
     std::vector<float> ax(n * 3 * h_);
     std::vector<float> ah(n * 3 * h_);
     for (size_t s = 0; s < t; ++s) {
@@ -294,8 +314,8 @@ Gru::forward(const Tensor& x, bool train)
             ahq_.forward(std::span<float>(hqs, n * h_));
 
         const float* xs = xq_.data() + s * n * i_;
-        gemmBT(xs, wx_.w.data(), ax.data(), n, 3 * h_, i_);
-        gemmBT(hqs, wh_.w.data(), ah.data(), n, 3 * h_, h_);
+        gemmPackedB(xs, wxPlanFwd_, ax.data(), n, 3 * h_, i_);
+        gemmPackedB(hqs, whPlanFwd_, ah.data(), n, 3 * h_, h_);
 
         float* g = gates_.data() + s * n * 3 * h_;
         float* hu = ahn_.data() + s * n * h_;
@@ -332,9 +352,18 @@ Gru::backward(const Tensor& gy)
                 gy.dim(2) == h_, "Gru grad shape");
 
     Tensor gx({t, n, i_});
+    wxPlanBwd_.ensureB(wx_.w.data(), 3 * h_, i_, /*trans=*/false,
+                       wx_.version);
+    whPlanBwd_.ensureB(wh_.w.data(), 3 * h_, h_, /*trans=*/false,
+                       wh_.version);
     std::vector<float> dh_next(n * h_, 0.0f);
     std::vector<float> dax(n * 3 * h_);
     std::vector<float> dah(n * 3 * h_);
+    // Per-step scratch hoisted out of the timestep loop: dh_prev is
+    // re-zeroed each step (accumulated below); dh_rec is overwritten
+    // by gemmPackedB.
+    std::vector<float> dh_prev(n * h_);
+    std::vector<float> dh_rec(n * h_);
 
     for (size_t s = t; s-- > 0;) {
         const float* g = gates_.data() + s * n * 3 * h_;
@@ -342,7 +371,7 @@ Gru::backward(const Tensor& gy)
         const float* hprev = hPre_.data() + s * n * h_;
         const float* gys = gy.data() + s * n * h_;
 
-        std::vector<float> dh_prev(n * h_, 0.0f);
+        std::fill(dh_prev.begin(), dh_prev.end(), 0.0f);
         for (size_t b = 0; b < n; ++b) {
             const float* gb = g + b * 3 * h_;
             float* daxb = dax.data() + b * 3 * h_;
@@ -381,10 +410,10 @@ Gru::backward(const Tensor& gy)
                 b_.grad[j] += dax[b * 3 * h_ + j];
 
         float* gxs = gx.data() + s * n * i_;
-        gemm(dax.data(), wx_.w.data(), gxs, n, i_, 3 * h_);
+        gemmPackedB(dax.data(), wxPlanBwd_, gxs, n, i_, 3 * h_);
         // Recurrent gradient through the three Uh paths.
-        std::vector<float> dh_rec(n * h_, 0.0f);
-        gemm(dah.data(), wh_.w.data(), dh_rec.data(), n, h_, 3 * h_);
+        gemmPackedB(dah.data(), whPlanBwd_, dh_rec.data(), n, h_,
+                    3 * h_);
         if (ahq_.enabled()) {
             ahq_.backwardSte(std::span<const float>(hprev, n * h_),
                              std::span<float>(dh_rec.data(), n * h_));

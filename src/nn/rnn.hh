@@ -6,6 +6,12 @@
  * experiments (Table VI); their rows (gate units) are what MSQ
  * partitions. Hidden/input activations are fake-quantized with a
  * symmetric signed range because tanh outputs are in [-1, 1].
+ *
+ * The gate weight matrices are packed once per sequence into
+ * PackedMat plans (nn/gemm_backend.hh) and reused across all T
+ * timesteps of forward and backward — the host-side mirror of the
+ * paper's weight-stationary buffers, and the difference between
+ * packing wx/wh twice per sequence and 2T times.
  */
 
 #ifndef MIXQ_NN_RNN_HH
@@ -13,6 +19,7 @@
 
 #include <vector>
 
+#include "nn/gemm_backend.hh"
 #include "nn/module.hh"
 #include "quant/act_quant.hh"
 
@@ -65,6 +72,8 @@ class Lstm : public Module
     Param wh_;   //!< [4H, H]
     Param b_;    //!< [4H]
     ActFakeQuant axq_, ahq_;
+    PackedMat wxPlanFwd_, whPlanFwd_; //!< packed Wx^T / Wh^T
+    PackedMat wxPlanBwd_, whPlanBwd_; //!< packed Wx / Wh
 
     // Caches (train forward).
     size_t t_ = 0, n_ = 0;
@@ -97,6 +106,8 @@ class Gru : public Module
     Param wh_;   //!< [3H, H]
     Param b_;    //!< [3H]
     ActFakeQuant axq_, ahq_;
+    PackedMat wxPlanFwd_, whPlanFwd_; //!< packed Wx^T / Wh^T
+    PackedMat wxPlanBwd_, whPlanBwd_; //!< packed Wx / Wh
 
     size_t t_ = 0, n_ = 0;
     Tensor xq_, xPre_;

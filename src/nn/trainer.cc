@@ -95,6 +95,7 @@ QatContext::finalize()
     for (Entry& e : entries_) {
         e.proj = quantizeMatrix(e.p->w.data(), e.p->w.data(),
                                 e.p->qRows, e.p->qCols, cfg_);
+        e.p->noteUpdated();
     }
     finalized_ = true;
 }
@@ -212,6 +213,7 @@ hardQuantize(const std::vector<Param*>& params, const QConfig& cfg)
             continue;
         out.push_back(quantizeMatrix(p->w.data(), p->w.data(), p->qRows,
                                      p->qCols, cfg));
+        p->noteUpdated();
     }
     return out;
 }

@@ -241,12 +241,150 @@ TEST(GemmBackend, BlockedMatchesNaiveMultiThreaded)
     expectNear(c2, c1);
 }
 
+// ------------------------------------------------------------------
+// Pre-packed weight plans (PackedMat).
+// ------------------------------------------------------------------
+
+TEST(GemmPacked, PackedBMatchesNaiveAcrossShapes)
+{
+    // Both storage orientations of op(B), against the naive kernels
+    // as ground truth, across the same dispatch-regime shapes as the
+    // blocked tests (the packed path falls back to naive below the
+    // dispatch threshold, so both regimes are covered).
+    uint64_t seed = 700;
+    for (const Shape& s : kShapes) {
+        auto a = randVec(s.m * s.k, seed++);
+        auto b = randVec(s.k * s.n, seed++);
+        auto init = randVec(s.m * s.n, seed++);
+
+        std::vector<float> c1 = init, c2 = init;
+        gemmNaiveAcc(a.data(), b.data(), c1.data(), s.m, s.n, s.k);
+        PackedMat plain;
+        plain.ensureB(b.data(), s.k, s.n, false, 1);
+        gemmPackedBAcc(a.data(), plain, c2.data(), s.m, s.n, s.k);
+        expectNear(c2, c1);
+
+        auto bt = randVec(s.n * s.k, seed++); // stored [N x K]
+        std::vector<float> c3 = init, c4 = init;
+        gemmNaiveBTAcc(a.data(), bt.data(), c3.data(), s.m, s.n, s.k);
+        PackedMat transposed;
+        transposed.ensureB(bt.data(), s.k, s.n, true, 1);
+        gemmPackedBAcc(a.data(), transposed, c4.data(), s.m, s.n,
+                       s.k);
+        expectNear(c4, c3);
+    }
+}
+
+TEST(GemmPacked, PackedAMatchesNaiveAcrossShapes)
+{
+    uint64_t seed = 800;
+    for (const Shape& s : kShapes) {
+        auto b = randVec(s.k * s.n, seed++);
+        auto init = randVec(s.m * s.n, seed++);
+
+        auto a = randVec(s.m * s.k, seed++);
+        std::vector<float> c1 = init, c2 = init;
+        gemmNaiveAcc(a.data(), b.data(), c1.data(), s.m, s.n, s.k);
+        PackedMat plain;
+        plain.ensureA(a.data(), s.m, s.k, false, 1);
+        gemmPackedAAcc(plain, b.data(), c2.data(), s.m, s.n, s.k);
+        expectNear(c2, c1);
+
+        auto at = randVec(s.k * s.m, seed++); // stored [K x M]
+        std::vector<float> c3 = init, c4 = init;
+        gemmNaiveATAcc(at.data(), b.data(), c3.data(), s.m, s.n, s.k);
+        PackedMat transposed;
+        transposed.ensureA(at.data(), s.m, s.k, true, 1);
+        gemmPackedAAcc(transposed, b.data(), c4.data(), s.m, s.n,
+                       s.k);
+        expectNear(c4, c3);
+    }
+}
+
+TEST(GemmPacked, MatchesDispatchedEntryPointsBitExact)
+{
+    // The packed path must be bit-identical to the per-call
+    // dispatched path in both regimes: it shares the naive kernels
+    // below the threshold and the exact sweep/panel layout above it.
+    struct Case
+    {
+        size_t m, n, k;
+    };
+    const Case cases[] = {{4, 8, 16}, {61, 300, 270}};
+    uint64_t seed = 900;
+    for (const Case& s : cases) {
+        auto a = randVec(s.m * s.k, seed++);
+        auto bt = randVec(s.n * s.k, seed++);
+        std::vector<float> c1(s.m * s.n), c2(s.m * s.n);
+        gemmBT(a.data(), bt.data(), c1.data(), s.m, s.n, s.k);
+        PackedMat plan;
+        plan.ensureB(bt.data(), s.k, s.n, true, 1);
+        gemmPackedB(a.data(), plan, c2.data(), s.m, s.n, s.k);
+        for (size_t i = 0; i < c1.size(); ++i)
+            EXPECT_EQ(c1[i], c2[i]) << "index " << i;
+    }
+}
+
+TEST(GemmPacked, EnsureRepacksOnlyOnVersionChange)
+{
+    // Force the blocked path so results come from the packed panels
+    // (the naive fallback reads the live source and would mask
+    // staleness).
+    setGemmKernel(GemmKernel::Blocked);
+    size_t m = 8, n = 32, k = 16;
+    auto a = randVec(m * k, 1000);
+    auto b = randVec(k * n, 1001);
+
+    PackedMat plan;
+    plan.ensureB(b.data(), k, n, false, 1);
+    EXPECT_EQ(plan.packCount(), 1u);
+    std::vector<float> before(m * n, 0.0f);
+    gemmPackedBAcc(a.data(), plan, before.data(), m, n, k);
+
+    // Mutate the source without bumping the version: ensure() is a
+    // no-op and the plan keeps serving the old weights. This is the
+    // documented contract, not a bug — Param::noteUpdated() is what
+    // turns a mutation into a repack.
+    for (float& v : b)
+        v += 1.0f;
+    plan.ensureB(b.data(), k, n, false, 1);
+    EXPECT_EQ(plan.packCount(), 1u);
+    std::vector<float> stale(m * n, 0.0f);
+    gemmPackedBAcc(a.data(), plan, stale.data(), m, n, k);
+    expectNear(stale, before);
+
+    // Bump the version: repacks, and the result tracks the update.
+    plan.ensureB(b.data(), k, n, false, 2);
+    EXPECT_EQ(plan.packCount(), 2u);
+    std::vector<float> fresh(m * n, 0.0f);
+    std::vector<float> want(m * n, 0.0f);
+    gemmPackedBAcc(a.data(), plan, fresh.data(), m, n, k);
+    gemmNaiveAcc(a.data(), b.data(), want.data(), m, n, k);
+    setGemmKernel(GemmKernel::Auto);
+    expectNear(fresh, want);
+
+    // Unchanged version again: still no repack.
+    plan.ensureB(b.data(), k, n, false, 2);
+    EXPECT_EQ(plan.packCount(), 2u);
+}
+
 TEST(ConvOut, Formula)
 {
     EXPECT_EQ(convOut(12, 3, 1, 1), 12u);
     EXPECT_EQ(convOut(12, 3, 2, 1), 6u);
     EXPECT_EQ(convOut(7, 1, 1, 0), 7u);
     EXPECT_EQ(convOut(224, 7, 2, 3), 112u);
+}
+
+TEST(ConvOutDeath, RejectsKernelLargerThanPaddedInput)
+{
+    // (in + 2*pad - kernel) is computed in size_t: before the guard,
+    // kernel > in + 2*pad wrapped to a huge output size instead of
+    // failing. OpenMP worker threads may already exist, so use the
+    // threadsafe death-test style.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(convOut(3, 8, 1, 1), "kernel exceeds padded input");
+    EXPECT_DEATH(convOut(5, 4, 0, 0), "stride must be positive");
 }
 
 TEST(Im2col, IdentityKernel)

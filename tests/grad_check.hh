@@ -69,12 +69,18 @@ checkGradients(Module& mod, const Tensor& x, double eps = 1e-3,
     for (Param* p : mod.params()) {
         size_t ps = std::max<size_t>(1, p->w.size() / 10);
         for (size_t i = 0; i < p->w.size(); i += ps) {
+            // Each in-place perturbation must bump the param version
+            // or the layer's packed GEMM plan would serve the
+            // pre-perturbation weights (see Param::noteUpdated).
             float orig = p->w[i];
             p->w[i] = orig + float(eps);
+            p->noteUpdated();
             double lp = dotLoss(mod.forward(x, true), r);
             p->w[i] = orig - float(eps);
+            p->noteUpdated();
             double lm = dotLoss(mod.forward(x, true), r);
             p->w[i] = orig;
+            p->noteUpdated();
             double num = (lp - lm) / (2 * eps);
             EXPECT_NEAR(p->grad[i], num,
                         tol * std::max(1.0, std::fabs(num)))

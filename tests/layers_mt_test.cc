@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Multi-threaded backward-pass equivalence for the layers whose
+ * backward runs GEMMs inside (or under) OpenMP parallel regions:
+ * Conv2d, Lstm, Gru. The PR 1 thread-local packing bug was only
+ * caught at the gemm level — these tests pin OMP_NUM_THREADS-style
+ * thread counts at the layer level so a regression in how layers
+ * drive the backend (shared plans read from workers, per-thread
+ * scratch, gradient merge order) is caught where it bites.
+ *
+ * Also: layer-level invalidation correctness for the pre-packed
+ * weight plans — after an in-place weight update plus
+ * Param::noteUpdated(), forward must track the new weights.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "nn/gemm.hh"
+#include "nn/layers.hh"
+#include "nn/rnn.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+/** Snapshot of all parameter gradients of a module. */
+std::vector<std::vector<float>>
+gradSnapshot(Module& mod)
+{
+    std::vector<std::vector<float>> out;
+    for (Param* p : mod.params())
+        out.emplace_back(p->grad.data(),
+                         p->grad.data() + p->grad.size());
+    return out;
+}
+
+void
+expectNearVec(const std::vector<float>& got,
+              const std::vector<float>& want, double tol)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        double t = tol * (1.0 + std::fabs(double(want[i])));
+        EXPECT_NEAR(got[i], want[i], t) << "index " << i;
+    }
+}
+
+/**
+ * Run forward+backward at 1 thread and at @p threads threads and
+ * compare the input gradient and every parameter gradient. The
+ * gradient merge order across threads is nondeterministic, so the
+ * comparison is tolerance-based, not bit-exact.
+ */
+void
+checkBackwardThreadEquivalence(Module& mod, const Tensor& x,
+                               int threads, double tol = 1e-3)
+{
+#ifndef _OPENMP
+    GTEST_SKIP() << "built without OpenMP";
+#else
+    Rng rng(77);
+    Tensor y = mod.forward(x, true);
+    Tensor gy = Tensor::randn(y.shape(), rng, 1.0);
+
+    int prev = omp_get_max_threads();
+    omp_set_num_threads(1);
+    for (Param* p : mod.params())
+        p->zeroGrad();
+    mod.forward(x, true);
+    Tensor gx1 = mod.backward(gy);
+    auto grads1 = gradSnapshot(mod);
+
+    omp_set_num_threads(threads);
+    for (Param* p : mod.params())
+        p->zeroGrad();
+    mod.forward(x, true);
+    Tensor gx4 = mod.backward(gy);
+    auto grads4 = gradSnapshot(mod);
+    omp_set_num_threads(prev);
+
+    ASSERT_EQ(gx1.size(), gx4.size());
+    for (size_t i = 0; i < gx1.size(); ++i) {
+        double t = tol * (1.0 + std::fabs(double(gx1[i])));
+        EXPECT_NEAR(gx4[i], gx1[i], t) << "gx index " << i;
+    }
+    ASSERT_EQ(grads1.size(), grads4.size());
+    for (size_t i = 0; i < grads1.size(); ++i)
+        expectNearVec(grads4[i], grads1[i], tol);
+#endif
+}
+
+TEST(LayersMt, Conv2dBackwardMatchesSingleThread)
+{
+    Rng rng(1);
+    // Big enough that the conv GEMMs clear the blocked-dispatch
+    // threshold: ckk = 3*3*3 = 27, ohow = 144, outCh = 16.
+    Conv2d conv(3, 16, 3, 1, 1, rng, /*bias=*/true);
+    Tensor x = Tensor::randn({4, 3, 12, 12}, rng, 1.0);
+    checkBackwardThreadEquivalence(conv, x, 4);
+}
+
+TEST(LayersMt, LstmBackwardMatchesSingleThread)
+{
+    Rng rng(2);
+    // n=8 >= kGemmMR and n * 4h * h = 8*256*64 clears the threshold,
+    // so the gate GEMMs run the blocked/packed path.
+    Lstm lstm(32, 64, rng);
+    Tensor x = Tensor::randn({6, 8, 32}, rng, 1.0);
+    checkBackwardThreadEquivalence(lstm, x, 4);
+}
+
+TEST(LayersMt, GruBackwardMatchesSingleThread)
+{
+    Rng rng(3);
+    Gru gru(32, 64, rng);
+    Tensor x = Tensor::randn({6, 8, 32}, rng, 1.0);
+    checkBackwardThreadEquivalence(gru, x, 4);
+}
+
+// ------------------------------------------------------------------
+// Plan invalidation at the layer level: an in-place weight rewrite
+// plus noteUpdated() must be visible in the next forward.
+// ------------------------------------------------------------------
+
+TEST(LayersPlanInvalidation, LinearForwardTracksWeightUpdate)
+{
+    Rng rng(4);
+    size_t batch = 8, in = 96, out = 64; // blocked-dispatch regime
+    Linear lin(in, out, rng, /*bias=*/false);
+    Tensor x = Tensor::randn({batch, in}, rng, 1.0);
+    lin.forward(x, false); // packs the plan from the initial weights
+
+    Param& w = lin.weight();
+    for (size_t i = 0; i < w.w.size(); ++i)
+        w.w[i] = float(rng.normal(0.0, 1.0));
+    w.noteUpdated();
+
+    Tensor y = lin.forward(x, false);
+    std::vector<float> want(batch * out, 0.0f);
+    gemmNaiveBTAcc(x.data(), w.w.data(), want.data(), batch, out, in);
+    for (size_t i = 0; i < want.size(); ++i) {
+        double tol = 1e-4 * (1.0 + std::fabs(double(want[i])));
+        EXPECT_NEAR(y[i], want[i], tol) << "index " << i;
+    }
+}
+
+TEST(LayersPlanInvalidation, Conv2dForwardTracksWeightUpdate)
+{
+    Rng rng(5);
+    Conv2d conv(3, 16, 3, 1, 1, rng, /*bias=*/false);
+    Tensor x = Tensor::randn({2, 3, 10, 10}, rng, 1.0);
+    conv.forward(x, false);
+
+    Param& w = conv.weight();
+    for (size_t i = 0; i < w.w.size(); ++i)
+        w.w[i] = float(rng.normal(0.0, 1.0));
+    w.noteUpdated();
+    Tensor y = conv.forward(x, false);
+
+    // Reference: a fresh layer given the same weights has no stale
+    // plan to serve.
+    Rng rng2(5);
+    Conv2d ref(3, 16, 3, 1, 1, rng2, /*bias=*/false);
+    Param& wr = ref.weight();
+    for (size_t i = 0; i < wr.w.size(); ++i)
+        wr.w[i] = w.w[i];
+    Tensor ywant = ref.forward(x, false);
+
+    ASSERT_EQ(y.size(), ywant.size());
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_EQ(y[i], ywant[i]) << "index " << i;
+}
+
+TEST(LayersPlanInvalidation, LstmForwardTracksWeightUpdate)
+{
+    Rng rng(6);
+    Lstm lstm(32, 64, rng);
+    Tensor x = Tensor::randn({4, 8, 32}, rng, 1.0);
+    lstm.forward(x, false);
+
+    std::vector<Param*> ps = lstm.params();
+    for (Param* p : ps) {
+        for (size_t i = 0; i < p->w.size(); ++i)
+            p->w[i] = float(rng.normal(0.0, 0.2));
+        p->noteUpdated();
+    }
+    Tensor y = lstm.forward(x, false);
+
+    Rng rng2(6);
+    Lstm ref(32, 64, rng2);
+    std::vector<Param*> rs = ref.params();
+    ASSERT_EQ(ps.size(), rs.size());
+    for (size_t j = 0; j < ps.size(); ++j)
+        for (size_t i = 0; i < ps[j]->w.size(); ++i)
+            rs[j]->w[i] = ps[j]->w[i];
+    Tensor ywant = ref.forward(x, false);
+
+    ASSERT_EQ(y.size(), ywant.size());
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_EQ(y[i], ywant[i]) << "index " << i;
+}
+
+} // namespace
+} // namespace mixq

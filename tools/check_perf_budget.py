@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""CI gate for the GEMM microbenchmark perf budget.
+
+Runs ``bench_micro_gemm`` (google-benchmark JSON output) on exactly
+the benchmarks named by the budget file, then checks every ratio
+listed there: ``items_per_second(fast) / items_per_second(slow) >=
+min_ratio``. Ratios between two benchmarks from the same run are far
+more stable on shared CI runners than absolute times, so the budget
+gates the *structure* of the hot path (blocked beats naive, a
+pre-packed plan beats repack-every-call) rather than the machine.
+
+Exit status is non-zero on any violated check unless --warn-only is
+given. Medians over --repetitions runs feed the ratios.
+
+Usage:
+  tools/check_perf_budget.py --bench build/bench_micro_gemm \
+      [--budget bench/perf_budget.json] [--repetitions 3] [--warn-only]
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+
+
+def load_budget(path):
+    with open(path) as f:
+        budget = json.load(f)
+    checks = budget.get("checks", [])
+    if not checks:
+        sys.exit(f"error: no checks in budget file {path}")
+    return checks
+
+
+def run_bench(bench, names, repetitions):
+    # Anchored alternation so e.g. ".../16" does not also match a
+    # ".../160" variant added later.
+    pattern = "^(" + "|".join(re.escape(n) for n in names) + ")$"
+    cmd = [
+        bench,
+        f"--benchmark_filter={pattern}",
+        f"--benchmark_repetitions={repetitions}",
+        "--benchmark_report_aggregates_only=true",
+        "--benchmark_format=json",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"error: benchmark run failed: {' '.join(cmd)}")
+    return json.loads(proc.stdout)
+
+
+def median_items_per_second(report, name):
+    for b in report.get("benchmarks", []):
+        if (b.get("run_name") == name
+                and b.get("aggregate_name") == "median"):
+            return b["items_per_second"]
+    sys.exit(f"error: no median aggregate for '{name}' in benchmark "
+             "output — name drift between the bench and the budget?")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True,
+                    help="path to the bench_micro_gemm binary")
+    ap.add_argument("--budget", default="bench/perf_budget.json")
+    ap.add_argument("--repetitions", type=int, default=3)
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report violations but exit 0")
+    args = ap.parse_args()
+
+    checks = load_budget(args.budget)
+    names = sorted({c["fast"] for c in checks}
+                   | {c["slow"] for c in checks})
+    report = run_bench(args.bench, names, args.repetitions)
+
+    failed = []
+    for c in checks:
+        fast = median_items_per_second(report, c["fast"])
+        slow = median_items_per_second(report, c["slow"])
+        ratio = fast / slow
+        ok = ratio >= c["min_ratio"]
+        status = "ok  " if ok else "FAIL"
+        print(f"{status} {c['name']}: {c['fast']} / {c['slow']} = "
+              f"{ratio:.2f}x (budget >= {c['min_ratio']:.2f}x)")
+        if not ok:
+            failed.append(c["name"])
+
+    if failed:
+        msg = f"perf budget violated: {', '.join(failed)}"
+        if args.warn_only:
+            print(f"warning: {msg} (--warn-only, not failing)")
+            return 0
+        sys.exit(msg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
