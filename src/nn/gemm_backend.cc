@@ -384,6 +384,62 @@ gemmBlockedATAcc(const float* a, const float* b, float* c,
     blockedDriver(a, b, c, m, n, k, true, false);
 }
 
+// ------------------------------------- deterministic batch reduction
+
+std::vector<size_t>
+deterministicBatchChunks(size_t rows, size_t minRows,
+                        size_t maxChunks)
+{
+    MIXQ_ASSERT(minRows > 0 && maxChunks > 0,
+                "deterministicBatchChunks: bad arguments");
+    if (rows == 0)
+        return {0, 0}; // one empty chunk: callers' loops no-op
+    size_t count = std::clamp(rows / minRows, size_t(1), maxChunks);
+    size_t base = rows / count;
+    size_t rem = rows % count;
+    std::vector<size_t> bounds(count + 1);
+    bounds[0] = 0;
+    for (size_t i = 0; i < count; ++i)
+        bounds[i + 1] = bounds[i] + base + (i < rem ? 1 : 0);
+    return bounds;
+}
+
+void
+treeReduceParts(float* const* parts, size_t count, size_t len)
+{
+    // Stride-doubling pairwise merge: parts[i] += parts[i + s].
+    // Every pair add is elementwise-independent, so parallelizing
+    // over the pairs of one level cannot change any accumulation
+    // order; levels are separated by the loop's implicit barrier.
+    for (size_t stride = 1; stride < count; stride *= 2) {
+        size_t step = 2 * stride;
+        size_t pairs = (count > stride) ? (count - stride + step - 1) /
+                                              step
+                                        : 0;
+        #pragma omp parallel for schedule(static) \
+            if (pairs > 1 && len > 4096)
+        for (long p = 0; p < long(pairs); ++p) {
+            float* dst = parts[size_t(p) * step];
+            const float* src = parts[size_t(p) * step + stride];
+            for (size_t j = 0; j < len; ++j)
+                dst[j] += src[j];
+        }
+    }
+}
+
+void
+treeReduceAcc(float* const* parts, size_t count, size_t len,
+              float* dst)
+{
+    if (count == 0)
+        return;
+    treeReduceParts(parts, count, len);
+    const float* total = parts[0];
+    #pragma omp parallel for schedule(static) if (len > 65536)
+    for (long j = 0; j < long(len); ++j)
+        dst[size_t(j)] += total[size_t(j)];
+}
+
 // --------------------------------------------------- pre-packed plans
 
 void

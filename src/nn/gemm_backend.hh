@@ -159,6 +159,54 @@ void gemmPackedAAcc(const PackedMat& pa, const float* b, float* c,
 void gemmPackedA(const PackedMat& pa, const float* b, float* c,
                  size_t m, size_t n, size_t k);
 
+// ------------------------------------------------------------------
+// Deterministic batch partitioning and tree-shaped gradient merge.
+// The training layers parallelize over the batch dimension and give
+// every worker chunk a private partial weight gradient. Both the
+// chunk boundaries and the merge order are pure functions of the
+// problem shape — never of the thread count — so the floating-point
+// accumulation order, and therefore every gradient bit, is identical
+// for any OMP_NUM_THREADS. tests/rnn_mt_test.cc pins that guarantee.
+// ------------------------------------------------------------------
+
+/**
+ * Contiguous partition of @p rows batch rows for parallel workers:
+ * returns chunk boundaries 0 = b[0] < b[1] < ... < b[count] = rows.
+ * Every chunk has at least @p minRows rows — floor division plus
+ * remainder spread, never a skinny tail, so per-chunk GEMMs with
+ * minRows = kGemmMR all stay on the blocked/packed path (a sub-MR
+ * tail would fall onto the naive BT dot kernel, whose scalar
+ * reduction is an order of magnitude slower); the one exception is
+ * rows < minRows, which yields a single chunk of all rows (and
+ * rows == 0 the degenerate {0, 0}) — and there are at
+ * most @p maxChunks chunks (bounding the memory spent on per-chunk
+ * gradient partials). Depends only on the arguments — deliberately
+ * not on omp_get_max_threads() — so the partition is reproducible
+ * across thread counts.
+ */
+std::vector<size_t> deterministicBatchChunks(size_t rows,
+                                             size_t minRows,
+                                             size_t maxChunks);
+
+/**
+ * Pairwise tree reduction over @p count equally-sized partial
+ * buffers of @p len floats: parts[i] += parts[i + s] for
+ * s = 1, 2, 4, ... in a fixed stride-doubling order, leaving the
+ * total in parts[0]. O(log count) merge depth, and the summation
+ * tree is a function of count alone, so the result is bit-identical
+ * no matter how many threads execute it. count == 0 is a no-op.
+ */
+void treeReduceParts(float* const* parts, size_t count, size_t len);
+
+/**
+ * treeReduceParts followed by dst[j] += parts[0][j] — the one-call
+ * merge of per-chunk weight-gradient partials into a Param::grad.
+ * Leaves parts[0] holding the tree total; count == 0 leaves dst
+ * untouched.
+ */
+void treeReduceAcc(float* const* parts, size_t count, size_t len,
+                   float* dst);
+
 /**
  * One operand of a GEMM, packed into the blocked kernels' MR/NR
  * panel layout. Side::B plans hold op(B) [K x N] as KC x NC panels

@@ -19,6 +19,14 @@ kaimingStd(size_t fan_in)
     return std::sqrt(2.0 / double(std::max<size_t>(fan_in, 1)));
 }
 
+/**
+ * Upper bound on Conv2d backward batch chunks: each chunk carries a
+ * private copy of the weight gradient until the tree merge, so this
+ * bounds that memory at 16 weight-sized buffers while still feeding
+ * every core on the batch sizes the models train with.
+ */
+constexpr size_t kConvMaxGradChunks = 16;
+
 } // namespace
 
 // ---------------------------------------------------------------- Linear
@@ -180,20 +188,16 @@ Conv2d::backward(const Tensor& gy)
     Tensor gx(inShape_);
     wPlanBwd_.ensureA(w_.w.data(), ckk, outCh_, /*trans=*/true,
                       w_.version);
-    // Parallel over batch; per-thread weight gradients are merged
-    // after the loop to avoid atomics. gcols is per-thread scratch
-    // sized once, not a fresh heap allocation per batch item.
-    std::vector<Tensor> gw_parts;
+    // Input gradient: parallel over every batch item — disjoint
+    // writes, no reduction, so full item-parallelism costs nothing
+    // in determinism. gcols is per-thread scratch sized once, not a
+    // fresh heap allocation per batch item.
     #pragma omp parallel
     {
-        Tensor gw_local = Tensor::zeros(w_.grad.shape());
         std::vector<float> gcols(ckk * ohow);
-        #pragma omp for schedule(static) nowait
+        #pragma omp for schedule(static)
         for (long i = 0; i < long(n); ++i) {
             const float* g = gy.data() + size_t(i) * outCh_ * ohow;
-            const float* col = cols_.data() + size_t(i) * ckk * ohow;
-            // gW += g [outCh x ohow] * col^T [ohow x ckk]
-            gemmBTAcc(g, col, gw_local.data(), outCh_, ckk, ohow);
             // gcols = W^T [ckk x outCh] * g [outCh x ohow]
             gemmPackedA(wPlanBwd_, g, gcols.data(), ckk, ohow,
                         outCh_);
@@ -201,11 +205,34 @@ Conv2d::backward(const Tensor& gy)
             col2im(gcols.data(), inCh_, h, w, k_, k_, stride_, pad_,
                    gimg);
         }
-        #pragma omp critical
-        gw_parts.push_back(std::move(gw_local));
     }
-    for (const Tensor& part : gw_parts)
-        w_.grad.add(part);
+    // Weight gradient: parallel over fixed batch chunks, one
+    // private partial per chunk, merged by the fixed-order tree
+    // reduction. The chunking depends only on n — never on the
+    // thread count — so unlike the old per-thread gw_parts (whose
+    // merge followed thread scheduling order) the gradient is
+    // bit-identical for any OMP_NUM_THREADS. Only this reduction
+    // needs the chunk cap: each chunk carries a weight-sized buffer.
+    size_t wLen = w_.grad.size();
+    std::vector<size_t> bounds =
+        deterministicBatchChunks(n, 1, kConvMaxGradChunks);
+    size_t chunks = bounds.size() - 1;
+    std::vector<float> gwBuf(chunks * wLen, 0.0f);
+    std::vector<float*> gwP(chunks);
+    for (size_t ci = 0; ci < chunks; ++ci)
+        gwP[ci] = gwBuf.data() + ci * wLen;
+    #pragma omp parallel for schedule(static)
+    for (long ci = 0; ci < long(chunks); ++ci) {
+        float* gw = gwP[size_t(ci)];
+        for (size_t i = bounds[size_t(ci)];
+             i < bounds[size_t(ci) + 1]; ++i) {
+            const float* g = gy.data() + i * outCh_ * ohow;
+            const float* col = cols_.data() + i * ckk * ohow;
+            // gW += g [outCh x ohow] * col^T [ohow x ckk]
+            gemmBTAcc(g, col, gw, outCh_, ckk, ohow);
+        }
+    }
+    treeReduceAcc(gwP.data(), chunks, wLen, w_.grad.data());
 
     if (hasBias_) {
         for (size_t i = 0; i < n; ++i)

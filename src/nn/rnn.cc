@@ -19,7 +19,102 @@ rnnInitStd(size_t fan_in)
     return 1.0 / std::sqrt(double(std::max<size_t>(fan_in, 1)));
 }
 
+bool gRnnBatchParallel = true;
+
+/**
+ * Batch partition for one sequence pass. Every chunk has at least
+ * kGemmMR rows so the per-chunk gate GEMMs all stay on the
+ * blocked/packed path (a skinnier M would fall back to the naive
+ * kernel and stop using the sequence-level plans); at most
+ * kRnnMaxBatchChunks chunks so the per-chunk gradient partials stay
+ * bounded.
+ */
+std::vector<size_t>
+rnnBatchChunks(size_t n)
+{
+    return deterministicBatchChunks(n, kGemmMR, kRnnMaxBatchChunks);
+}
+
+/**
+ * Chunked-forward orchestration shared by Lstm and Gru: the slice
+ * callback over the fixed chunks in parallel, or one plain call for
+ * a single chunk. The caller passes the same frozenQuant decision
+ * either way — QAT semantics must follow the mode toggle, never the
+ * batch size.
+ */
+template <class SliceFn>
+void
+chunkedForward(const std::vector<size_t>& bounds, SliceFn&& slice)
+{
+    size_t chunks = bounds.size() - 1;
+    if (chunks > 1) {
+        #pragma omp parallel for schedule(static)
+        for (long ci = 0; ci < long(chunks); ++ci)
+            slice(bounds[size_t(ci)], bounds[size_t(ci) + 1]);
+    } else {
+        slice(bounds[0], bounds[chunks]);
+    }
+}
+
+/**
+ * Gather a batch slice [b0, b0 + nb) of every timestep of a
+ * [T, N, width] tensor into a contiguous [T*nb, width] buffer — the
+ * layout the batched weight-gradient GEMMs consume.
+ */
+void
+gatherSliceRows(float* dst, const float* src, size_t t, size_t n,
+                size_t b0, size_t nb, size_t width)
+{
+    for (size_t s = 0; s < t; ++s)
+        std::memcpy(dst + s * nb * width,
+                    src + (s * n + b0) * width,
+                    nb * width * sizeof(float));
+}
+
+/**
+ * Chunked-backward orchestration shared by Lstm and Gru: private
+ * (wx, wh, b) gradient partials per chunk, the slice callback run
+ * over the fixed chunks in parallel, then the fixed-order tree
+ * merge into the gradient buffers.
+ */
+template <class SliceFn>
+void
+chunkedBackward(const std::vector<size_t>& bounds, size_t wxLen,
+                size_t whLen, size_t bLen, float* gwx, float* gwh,
+                float* gb, SliceFn&& slice)
+{
+    size_t chunks = bounds.size() - 1;
+    std::vector<float> wxBuf(chunks * wxLen, 0.0f);
+    std::vector<float> whBuf(chunks * whLen, 0.0f);
+    std::vector<float> bBuf(chunks * bLen, 0.0f);
+    std::vector<float*> wxP(chunks), whP(chunks), bP(chunks);
+    for (size_t ci = 0; ci < chunks; ++ci) {
+        wxP[ci] = wxBuf.data() + ci * wxLen;
+        whP[ci] = whBuf.data() + ci * whLen;
+        bP[ci] = bBuf.data() + ci * bLen;
+    }
+    #pragma omp parallel for schedule(static)
+    for (long ci = 0; ci < long(chunks); ++ci)
+        slice(bounds[size_t(ci)], bounds[size_t(ci) + 1],
+              wxP[size_t(ci)], whP[size_t(ci)], bP[size_t(ci)]);
+    treeReduceAcc(wxP.data(), chunks, wxLen, gwx);
+    treeReduceAcc(whP.data(), chunks, whLen, gwh);
+    treeReduceAcc(bP.data(), chunks, bLen, gb);
+}
+
 } // namespace
+
+void
+setRnnBatchParallel(bool on)
+{
+    gRnnBatchParallel = on;
+}
+
+bool
+rnnBatchParallel()
+{
+    return gRnnBatchParallel;
+}
 
 // ------------------------------------------------------------ Embedding
 
@@ -117,38 +212,75 @@ Lstm::forward(const Tensor& x, bool train)
 
     // Pack the gate weights once for all T timesteps (and all later
     // sequences until the optimizer/quantizer bumps the versions).
+    // Must happen before the parallel region: ensure mutates the
+    // plan, while the workers only read it.
     wxPlanFwd_.ensureB(wx_.w.data(), i_, 4 * h_, /*trans=*/true,
                        wx_.version);
     whPlanFwd_.ensureB(wh_.w.data(), h_, 4 * h_, /*trans=*/true,
                        wh_.version);
 
-    std::vector<float> a(n * 4 * h_);
+    if (gRnnBatchParallel) {
+        // Frozen-alpha quantization + calibration replay even when
+        // the batch yields a single chunk, so the QAT semantics
+        // depend only on the toggle, never on the batch size (a
+        // ragged final batch must not quantize differently).
+        chunkedForward(rnnBatchChunks(n),
+                       [&](size_t b0, size_t b1) {
+                           forwardSlice(b0, b1, hOut,
+                                        /*frozenQuant=*/true);
+                       });
+        // The slices quantized h_{t-1} against a frozen clip range;
+        // replay the EMA calibration they skipped in timestep order
+        // over the raw h values, so alpha evolves deterministically.
+        if (ahq_.enabled()) {
+            for (size_t s = 0; s < t; ++s)
+                ahq_.observe(std::span<const float>(
+                    hPre_.data() + s * n * h_, n * h_));
+        }
+    } else {
+        forwardSlice(0, n, hOut, /*frozenQuant=*/false);
+    }
+    (void)train;
+    return hOut;
+}
+
+void
+Lstm::forwardSlice(size_t b0, size_t b1, Tensor& hOut,
+                   bool frozenQuant)
+{
+    size_t t = t_, n = n_, nb = b1 - b0;
+    std::vector<float> a(nb * 4 * h_);
     for (size_t s = 0; s < t; ++s) {
         // h_{t-1}: zero at s == 0, else previous output.
-        float* hprev = hPre_.data() + s * n * h_;
+        float* hprev = hPre_.data() + (s * n + b0) * h_;
         if (s == 0) {
-            std::memset(hprev, 0, n * h_ * sizeof(float));
+            std::memset(hprev, 0, nb * h_ * sizeof(float));
         } else {
-            std::memcpy(hprev, hOut.data() + (s - 1) * n * h_,
-                        n * h_ * sizeof(float));
+            std::memcpy(hprev, hOut.data() + ((s - 1) * n + b0) * h_,
+                        nb * h_ * sizeof(float));
         }
-        float* hqs = hq_.data() + s * n * h_;
-        std::memcpy(hqs, hprev, n * h_ * sizeof(float));
-        if (ahq_.enabled())
-            ahq_.forward(std::span<float>(hqs, n * h_));
+        float* hqs = hq_.data() + (s * n + b0) * h_;
+        std::memcpy(hqs, hprev, nb * h_ * sizeof(float));
+        if (ahq_.enabled()) {
+            std::span<float> hspan(hqs, nb * h_);
+            if (frozenQuant)
+                ahq_.quantizeOnly(hspan);
+            else
+                ahq_.forward(hspan);
+        }
 
         // Pre-activations a = xq Wx^T + hq Wh^T + b.
-        const float* xs = xq_.data() + s * n * i_;
-        gemmPackedB(xs, wxPlanFwd_, a.data(), n, 4 * h_, i_);
-        gemmPackedBAcc(hqs, whPlanFwd_, a.data(), n, 4 * h_, h_);
+        const float* xs = xq_.data() + (s * n + b0) * i_;
+        gemmPackedB(xs, wxPlanFwd_, a.data(), nb, 4 * h_, i_);
+        gemmPackedBAcc(hqs, whPlanFwd_, a.data(), nb, 4 * h_, h_);
 
-        float* g = gates_.data() + s * n * 4 * h_;
-        float* cs = c_.data() + s * n * h_;
+        float* g = gates_.data() + (s * n + b0) * 4 * h_;
+        float* cs = c_.data() + (s * n + b0) * h_;
         const float* cprev =
-            s == 0 ? nullptr : c_.data() + (s - 1) * n * h_;
-        float* th = tanhc_.data() + s * n * h_;
-        float* ho = hOut.data() + s * n * h_;
-        for (size_t b = 0; b < n; ++b) {
+            s == 0 ? nullptr : c_.data() + ((s - 1) * n + b0) * h_;
+        float* th = tanhc_.data() + (s * n + b0) * h_;
+        float* ho = hOut.data() + (s * n + b0) * h_;
+        for (size_t b = 0; b < nb; ++b) {
             const float* ab = a.data() + b * 4 * h_;
             float* gb = g + b * 4 * h_;
             for (size_t j = 0; j < h_; ++j) {
@@ -169,8 +301,6 @@ Lstm::forward(const Tensor& x, bool train)
             }
         }
     }
-    (void)train;
-    return hOut;
 }
 
 Tensor
@@ -182,29 +312,60 @@ Lstm::backward(const Tensor& gy)
 
     Tensor gx({t, n, i_});
     // Backward streams da against the un-transposed weights; the
-    // plans again pack once for all T steps.
+    // plans again pack once for all T steps, before any workers run.
     wxPlanBwd_.ensureB(wx_.w.data(), 4 * h_, i_, /*trans=*/false,
                        wx_.version);
     whPlanBwd_.ensureB(wh_.w.data(), 4 * h_, h_, /*trans=*/false,
                        wh_.version);
-    std::vector<float> dh_next(n * h_, 0.0f);
-    std::vector<float> dc_next(n * h_, 0.0f);
-    std::vector<float> da(n * 4 * h_);
+
+    std::vector<size_t> bounds = rnnBatchChunks(n);
+    if (gRnnBatchParallel && bounds.size() > 2) {
+        // Private weight-gradient partials per chunk, merged in the
+        // fixed tree order — never via concurrent accumulate.
+        chunkedBackward(bounds, 4 * h_ * i_, 4 * h_ * h_, 4 * h_,
+                        wx_.grad.data(), wh_.grad.data(),
+                        b_.grad.data(),
+                        [&](size_t b0, size_t b1, float* gwx,
+                            float* gwh, float* gb) {
+                            backwardSlice(b0, b1, gy, gx, gwx, gwh,
+                                          gb);
+                        });
+    } else {
+        backwardSlice(0, n, gy, gx, wx_.grad.data(), wh_.grad.data(),
+                      b_.grad.data());
+    }
+    if (axq_.enabled())
+        axq_.backwardSte(xPre_.span(), gx.span());
+    return gx;
+}
+
+void
+Lstm::backwardSlice(size_t b0, size_t b1, const Tensor& gy, Tensor& gx,
+                    float* gwx, float* gwh, float* gb)
+{
+    size_t t = t_, n = n_, nb = b1 - b0;
+    std::vector<float> dh_next(nb * h_, 0.0f);
+    std::vector<float> dc_next(nb * h_, 0.0f);
+    // da for every timestep of the slice, kept for the batched
+    // weight-gradient GEMM below (same order of magnitude as the
+    // forward caches already held per sequence).
+    std::vector<float> daAll(t * nb * 4 * h_);
 
     for (size_t s = t; s-- > 0;) {
-        const float* g = gates_.data() + s * n * 4 * h_;
-        const float* th = tanhc_.data() + s * n * h_;
+        const float* g = gates_.data() + (s * n + b0) * 4 * h_;
+        const float* th = tanhc_.data() + (s * n + b0) * h_;
         const float* cprev =
-            s == 0 ? nullptr : c_.data() + (s - 1) * n * h_;
-        const float* gys = gy.data() + s * n * h_;
+            s == 0 ? nullptr : c_.data() + ((s - 1) * n + b0) * h_;
+        const float* gys = gy.data() + (s * n + b0) * h_;
+        float* da = daAll.data() + s * nb * 4 * h_;
 
-        for (size_t b = 0; b < n; ++b) {
-            const float* gb = g + b * 4 * h_;
-            float* dab = da.data() + b * 4 * h_;
+        for (size_t b = 0; b < nb; ++b) {
+            const float* gbv = g + b * 4 * h_;
+            float* dab = da + b * 4 * h_;
             for (size_t j = 0; j < h_; ++j) {
                 float dh = gys[b * h_ + j] + dh_next[b * h_ + j];
-                float iv = gb[j], fv = gb[h_ + j];
-                float gv = gb[2 * h_ + j], ov = gb[3 * h_ + j];
+                float iv = gbv[j], fv = gbv[h_ + j];
+                float gv = gbv[2 * h_ + j], ov = gbv[3 * h_ + j];
                 float tv = th[b * h_ + j];
                 float dct = dh * ov * (1.0f - tv * tv) +
                             dc_next[b * h_ + j];
@@ -217,29 +378,35 @@ Lstm::backward(const Tensor& gy)
             }
         }
 
-        // Parameter gradients.
-        const float* xs = xq_.data() + s * n * i_;
-        const float* hqs = hq_.data() + s * n * h_;
-        gemmATAcc(da.data(), xs, wx_.grad.data(), 4 * h_, i_, n);
-        gemmATAcc(da.data(), hqs, wh_.grad.data(), 4 * h_, h_, n);
-        for (size_t b = 0; b < n; ++b)
+        // Bias gradient (into the caller's buffer).
+        for (size_t b = 0; b < nb; ++b)
             for (size_t j = 0; j < 4 * h_; ++j)
-                b_.grad[j] += da[b * 4 * h_ + j];
+                gb[j] += da[b * 4 * h_ + j];
 
         // Input and recurrent gradients.
-        float* gxs = gx.data() + s * n * i_;
-        gemmPackedB(da.data(), wxPlanBwd_, gxs, n, i_, 4 * h_);
-        gemmPackedB(da.data(), whPlanBwd_, dh_next.data(), n, h_,
+        float* gxs = gx.data() + (s * n + b0) * i_;
+        gemmPackedB(da, wxPlanBwd_, gxs, nb, i_, 4 * h_);
+        gemmPackedB(da, whPlanBwd_, dh_next.data(), nb, h_,
                     4 * h_);
         if (ahq_.enabled()) {
-            const float* hp = hPre_.data() + s * n * h_;
-            ahq_.backwardSte(std::span<const float>(hp, n * h_),
-                             std::span<float>(dh_next.data(), n * h_));
+            const float* hp = hPre_.data() + (s * n + b0) * h_;
+            ahq_.backwardSte(std::span<const float>(hp, nb * h_),
+                             std::span<float>(dh_next.data(),
+                                              nb * h_));
         }
     }
-    if (axq_.enabled())
-        axq_.backwardSte(xPre_.span(), gx.span());
-    return gx;
+
+    // Weight gradients, batched over the whole slice: gather the
+    // slice's strided xq/hq rows into contiguous [T*nb, ...] views
+    // and run one GEMM with k = T*nb instead of T GEMMs with k = nb.
+    // The reduction dimension is tiny per step, so per-step calls
+    // pay a full C-matrix pass per timestep; one call pays it once.
+    std::vector<float> xbuf(t * nb * i_);
+    std::vector<float> hbuf(t * nb * h_);
+    gatherSliceRows(xbuf.data(), xq_.data(), t, n, b0, nb, i_);
+    gatherSliceRows(hbuf.data(), hq_.data(), t, n, b0, nb, h_);
+    gemmATAcc(daAll.data(), xbuf.data(), gwx, 4 * h_, i_, t * nb);
+    gemmATAcc(daAll.data(), hbuf.data(), gwh, 4 * h_, h_, t * nb);
 }
 
 // ------------------------------------------------------------------ Gru
@@ -298,29 +465,59 @@ Gru::forward(const Tensor& x, bool train)
     whPlanFwd_.ensureB(wh_.w.data(), h_, 3 * h_, /*trans=*/true,
                        wh_.version);
 
-    std::vector<float> ax(n * 3 * h_);
-    std::vector<float> ah(n * 3 * h_);
-    for (size_t s = 0; s < t; ++s) {
-        float* hprev = hPre_.data() + s * n * h_;
-        if (s == 0) {
-            std::memset(hprev, 0, n * h_ * sizeof(float));
-        } else {
-            std::memcpy(hprev, hOut_.data() + (s - 1) * n * h_,
-                        n * h_ * sizeof(float));
+    if (gRnnBatchParallel) {
+        // Frozen-alpha + replay regardless of chunk count, so QAT
+        // semantics follow the toggle, not the batch size (see
+        // Lstm::forward).
+        chunkedForward(rnnBatchChunks(n),
+                       [&](size_t b0, size_t b1) {
+                           forwardSlice(b0, b1,
+                                        /*frozenQuant=*/true);
+                       });
+        if (ahq_.enabled()) {
+            for (size_t s = 0; s < t; ++s)
+                ahq_.observe(std::span<const float>(
+                    hPre_.data() + s * n * h_, n * h_));
         }
-        float* hqs = hq_.data() + s * n * h_;
-        std::memcpy(hqs, hprev, n * h_ * sizeof(float));
-        if (ahq_.enabled())
-            ahq_.forward(std::span<float>(hqs, n * h_));
+    } else {
+        forwardSlice(0, n, /*frozenQuant=*/false);
+    }
+    (void)train;
+    return hOut_;
+}
 
-        const float* xs = xq_.data() + s * n * i_;
-        gemmPackedB(xs, wxPlanFwd_, ax.data(), n, 3 * h_, i_);
-        gemmPackedB(hqs, whPlanFwd_, ah.data(), n, 3 * h_, h_);
+void
+Gru::forwardSlice(size_t b0, size_t b1, bool frozenQuant)
+{
+    size_t t = t_, n = n_, nb = b1 - b0;
+    std::vector<float> ax(nb * 3 * h_);
+    std::vector<float> ah(nb * 3 * h_);
+    for (size_t s = 0; s < t; ++s) {
+        float* hprev = hPre_.data() + (s * n + b0) * h_;
+        if (s == 0) {
+            std::memset(hprev, 0, nb * h_ * sizeof(float));
+        } else {
+            std::memcpy(hprev, hOut_.data() + ((s - 1) * n + b0) * h_,
+                        nb * h_ * sizeof(float));
+        }
+        float* hqs = hq_.data() + (s * n + b0) * h_;
+        std::memcpy(hqs, hprev, nb * h_ * sizeof(float));
+        if (ahq_.enabled()) {
+            std::span<float> hspan(hqs, nb * h_);
+            if (frozenQuant)
+                ahq_.quantizeOnly(hspan);
+            else
+                ahq_.forward(hspan);
+        }
 
-        float* g = gates_.data() + s * n * 3 * h_;
-        float* hu = ahn_.data() + s * n * h_;
-        float* ho = hOut_.data() + s * n * h_;
-        for (size_t b = 0; b < n; ++b) {
+        const float* xs = xq_.data() + (s * n + b0) * i_;
+        gemmPackedB(xs, wxPlanFwd_, ax.data(), nb, 3 * h_, i_);
+        gemmPackedB(hqs, whPlanFwd_, ah.data(), nb, 3 * h_, h_);
+
+        float* g = gates_.data() + (s * n + b0) * 3 * h_;
+        float* hu = ahn_.data() + (s * n + b0) * h_;
+        float* ho = hOut_.data() + (s * n + b0) * h_;
+        for (size_t b = 0; b < nb; ++b) {
             const float* axb = ax.data() + b * 3 * h_;
             const float* ahb = ah.data() + b * 3 * h_;
             float* gb = g + b * 3 * h_;
@@ -340,8 +537,6 @@ Gru::forward(const Tensor& x, bool train)
             }
         }
     }
-    (void)train;
-    return hOut_;
 }
 
 Tensor
@@ -356,29 +551,59 @@ Gru::backward(const Tensor& gy)
                        wx_.version);
     whPlanBwd_.ensureB(wh_.w.data(), 3 * h_, h_, /*trans=*/false,
                        wh_.version);
-    std::vector<float> dh_next(n * h_, 0.0f);
-    std::vector<float> dax(n * 3 * h_);
-    std::vector<float> dah(n * 3 * h_);
+
+    std::vector<size_t> bounds = rnnBatchChunks(n);
+    if (gRnnBatchParallel && bounds.size() > 2) {
+        chunkedBackward(bounds, 3 * h_ * i_, 3 * h_ * h_, 3 * h_,
+                        wx_.grad.data(), wh_.grad.data(),
+                        b_.grad.data(),
+                        [&](size_t b0, size_t b1, float* gwx,
+                            float* gwh, float* gb) {
+                            backwardSlice(b0, b1, gy, gx, gwx, gwh,
+                                          gb);
+                        });
+    } else {
+        backwardSlice(0, n, gy, gx, wx_.grad.data(), wh_.grad.data(),
+                      b_.grad.data());
+    }
+    if (axq_.enabled())
+        axq_.backwardSte(xPre_.span(), gx.span());
+    return gx;
+}
+
+void
+Gru::backwardSlice(size_t b0, size_t b1, const Tensor& gy, Tensor& gx,
+                   float* gwx, float* gwh, float* gb)
+{
+    size_t t = t_, n = n_, nb = b1 - b0;
+    std::vector<float> dh_next(nb * h_, 0.0f);
+    // dax/dah for every timestep of the slice, kept for the batched
+    // weight-gradient GEMMs below.
+    std::vector<float> daxAll(t * nb * 3 * h_);
+    std::vector<float> dahAll(t * nb * 3 * h_);
     // Per-step scratch hoisted out of the timestep loop: dh_prev is
     // re-zeroed each step (accumulated below); dh_rec is overwritten
     // by gemmPackedB.
-    std::vector<float> dh_prev(n * h_);
-    std::vector<float> dh_rec(n * h_);
+    std::vector<float> dh_prev(nb * h_);
+    std::vector<float> dh_rec(nb * h_);
 
     for (size_t s = t; s-- > 0;) {
-        const float* g = gates_.data() + s * n * 3 * h_;
-        const float* hu = ahn_.data() + s * n * h_;
-        const float* hprev = hPre_.data() + s * n * h_;
-        const float* gys = gy.data() + s * n * h_;
+        const float* g = gates_.data() + (s * n + b0) * 3 * h_;
+        const float* hu = ahn_.data() + (s * n + b0) * h_;
+        const float* hprev = hPre_.data() + (s * n + b0) * h_;
+        const float* gys = gy.data() + (s * n + b0) * h_;
+        float* dax = daxAll.data() + s * nb * 3 * h_;
+        float* dah = dahAll.data() + s * nb * 3 * h_;
 
         std::fill(dh_prev.begin(), dh_prev.end(), 0.0f);
-        for (size_t b = 0; b < n; ++b) {
-            const float* gb = g + b * 3 * h_;
-            float* daxb = dax.data() + b * 3 * h_;
-            float* dahb = dah.data() + b * 3 * h_;
+        for (size_t b = 0; b < nb; ++b) {
+            const float* gbv = g + b * 3 * h_;
+            float* daxb = dax + b * 3 * h_;
+            float* dahb = dah + b * 3 * h_;
             for (size_t j = 0; j < h_; ++j) {
                 float dh = gys[b * h_ + j] + dh_next[b * h_ + j];
-                float zv = gb[j], rv = gb[h_ + j], nv = gb[2 * h_ + j];
+                float zv = gbv[j], rv = gbv[h_ + j];
+                float nv = gbv[2 * h_ + j];
                 float hp = hprev[b * h_ + j];
                 float huv = hu[b * h_ + j];
 
@@ -401,29 +626,33 @@ Gru::backward(const Tensor& gy)
             }
         }
 
-        const float* xs = xq_.data() + s * n * i_;
-        const float* hqs = hq_.data() + s * n * h_;
-        gemmATAcc(dax.data(), xs, wx_.grad.data(), 3 * h_, i_, n);
-        gemmATAcc(dah.data(), hqs, wh_.grad.data(), 3 * h_, h_, n);
-        for (size_t b = 0; b < n; ++b)
+        // Bias gradient (applied on the input path).
+        for (size_t b = 0; b < nb; ++b)
             for (size_t j = 0; j < 3 * h_; ++j)
-                b_.grad[j] += dax[b * 3 * h_ + j];
+                gb[j] += dax[b * 3 * h_ + j];
 
-        float* gxs = gx.data() + s * n * i_;
-        gemmPackedB(dax.data(), wxPlanBwd_, gxs, n, i_, 3 * h_);
+        float* gxs = gx.data() + (s * n + b0) * i_;
+        gemmPackedB(dax, wxPlanBwd_, gxs, nb, i_, 3 * h_);
         // Recurrent gradient through the three Uh paths.
-        gemmPackedB(dah.data(), whPlanBwd_, dh_rec.data(), n, h_,
+        gemmPackedB(dah, whPlanBwd_, dh_rec.data(), nb, h_,
                     3 * h_);
         if (ahq_.enabled()) {
-            ahq_.backwardSte(std::span<const float>(hprev, n * h_),
-                             std::span<float>(dh_rec.data(), n * h_));
+            ahq_.backwardSte(std::span<const float>(hprev, nb * h_),
+                             std::span<float>(dh_rec.data(),
+                                              nb * h_));
         }
-        for (size_t k = 0; k < n * h_; ++k)
+        for (size_t k = 0; k < nb * h_; ++k)
             dh_next[k] = dh_prev[k] + dh_rec[k];
     }
-    if (axq_.enabled())
-        axq_.backwardSte(xPre_.span(), gx.span());
-    return gx;
+
+    // Batched weight gradients over the whole slice (see Lstm): one
+    // GEMM with k = T*nb pays the C-matrix pass once, not T times.
+    std::vector<float> xbuf(t * nb * i_);
+    std::vector<float> hbuf(t * nb * h_);
+    gatherSliceRows(xbuf.data(), xq_.data(), t, n, b0, nb, i_);
+    gatherSliceRows(hbuf.data(), hq_.data(), t, n, b0, nb, h_);
+    gemmATAcc(daxAll.data(), xbuf.data(), gwx, 3 * h_, i_, t * nb);
+    gemmATAcc(dahAll.data(), hbuf.data(), gwh, 3 * h_, h_, t * nb);
 }
 
 } // namespace mixq

@@ -12,6 +12,16 @@
  * timesteps of forward and backward — the host-side mirror of the
  * paper's weight-stationary buffers, and the difference between
  * packing wx/wh twice per sequence and 2T times.
+ *
+ * Batch-parallel training path: the timestep recurrence serializes T
+ * but not the batch — each sequence evolves independently — so
+ * forward and backward split the batch into fixed-size chunks
+ * (deterministicBatchChunks) and run the full timestep loop per chunk
+ * under OpenMP, every worker streaming activations past the same
+ * shared read-only plans. Each backward chunk accumulates private
+ * weight-gradient partials that are merged by the fixed-order tree
+ * reduction (treeReduceAcc), so gradients are bit-identical for any
+ * OMP_NUM_THREADS. See docs/ARCHITECTURE.md "Threading model".
  */
 
 #ifndef MIXQ_NN_RNN_HH
@@ -26,6 +36,34 @@
 namespace mixq {
 
 class Rng;
+
+/**
+ * Upper bound on batch chunks per RNN layer pass. Caps the memory
+ * spent on per-chunk weight-gradient partials (each chunk holds a
+ * private copy of the gate-weight gradients until the tree merge).
+ */
+constexpr size_t kRnnMaxBatchChunks = 16;
+
+/**
+ * Toggle the batch-parallel LSTM/GRU training path (default on).
+ * Off runs the single-sweep path: one timestep loop over the whole
+ * batch, gradients accumulated straight into Param::grad. With
+ * activation quantization disabled the two paths differ only in
+ * float summation order (per-chunk partials + tree merge vs one
+ * running sum), i.e. to rounding. With it enabled they also differ
+ * in calibration cadence: the serial path updates the hidden-state
+ * EMA clip range every timestep (and starts quantizing mid-sequence
+ * on the very first call), while the parallel path quantizes the
+ * whole sequence against the alpha frozen at sequence start and
+ * replays the EMA afterwards — up to a full quantization step of
+ * divergence, by design. Each path is individually
+ * bit-deterministic across thread counts. Not thread-safe against
+ * concurrent forward/backward calls — bench/test setup only.
+ */
+void setRnnBatchParallel(bool on);
+
+/** Current batch-parallel setting. */
+bool rnnBatchParallel();
 
 /** Token embedding: ids [T*N] -> [T, N, E]. */
 class Embedding
@@ -67,6 +105,24 @@ class Lstm : public Module
     size_t hidden() const { return h_; }
 
   private:
+    /**
+     * Full timestep loop (forward) for batch rows [b0, b1). With
+     * @p frozenQuant the hidden-state quantizer applies its current
+     * clip range without observing (the const path parallel workers
+     * share); the orchestrator replays calibration afterwards.
+     */
+    void forwardSlice(size_t b0, size_t b1, Tensor& hOut,
+                      bool frozenQuant);
+
+    /**
+     * Full reverse timestep loop for batch rows [b0, b1),
+     * accumulating weight/bias gradients into the caller's buffers
+     * (Param::grad on the serial path, a private per-chunk partial
+     * on the parallel path) and input gradients into @p gx.
+     */
+    void backwardSlice(size_t b0, size_t b1, const Tensor& gy,
+                       Tensor& gx, float* gwx, float* gwh, float* gb);
+
     size_t i_, h_;
     Param wx_;   //!< [4H, I]
     Param wh_;   //!< [4H, H]
@@ -101,6 +157,13 @@ class Gru : public Module
     size_t hidden() const { return h_; }
 
   private:
+    /** Forward timestep loop for batch rows [b0, b1) (see Lstm). */
+    void forwardSlice(size_t b0, size_t b1, bool frozenQuant);
+
+    /** Reverse timestep loop for batch rows [b0, b1) (see Lstm). */
+    void backwardSlice(size_t b0, size_t b1, const Tensor& gy,
+                       Tensor& gx, float* gwx, float* gwh, float* gb);
+
     size_t i_, h_;
     Param wx_;   //!< [3H, I]
     Param wh_;   //!< [3H, H]

@@ -7,6 +7,7 @@
 
 #include "nn/loss.hh"
 #include "nn/optim.hh"
+#include "nn/rnn.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -105,6 +106,7 @@ trainClassifier(Module& model, const LabeledImages& train,
                 const TrainCfg& cfg, QatContext* qat)
 {
     MIXQ_ASSERT(train.size() > 0, "empty training set");
+    setRnnBatchParallel(cfg.rnnBatchParallel);
     if (qat) {
         model.setActQuant(qat->config().quantizeActivations
                               ? qat->config().actBits : 8,

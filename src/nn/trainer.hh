@@ -42,6 +42,13 @@ struct TrainCfg
     int stepEvery = 10;        //!< step-decay period when !cosine
     uint64_t seed = 1;
     bool verbose = false;
+    /**
+     * Batch-parallel LSTM/GRU forward/backward (nn/rnn.hh
+     * setRnnBatchParallel). Applied for the whole run before the
+     * first batch; the deterministic tree-merged gradients make runs
+     * reproducible across OMP_NUM_THREADS either way.
+     */
+    bool rnnBatchParallel = true;
 };
 
 /**

@@ -34,7 +34,13 @@ ActFakeQuant::forward(std::span<float> x)
     if (!enabled_)
         return;
     observe(x);
-    if (!calibrated_)
+    quantizeOnly(x);
+}
+
+void
+ActFakeQuant::quantizeOnly(std::span<float> x) const
+{
+    if (!enabled_ || !calibrated_)
         return;
     // Unsigned: L = 2^n - 1 levels over [0, alpha].
     // Signed: L = 2^(n-1) - 1 magnitudes over [-alpha, alpha].

@@ -43,6 +43,18 @@ class ActFakeQuant
     void forward(std::span<float> x);
 
     /**
+     * Quantize in place with the current clip range, without updating
+     * the EMA. This is the const (thread-safe) path for parallel
+     * workers: each batch chunk quantizes against a frozen alpha, and
+     * the orchestrating thread replays observe() over the cached
+     * activations in timestep order afterwards, keeping calibration
+     * deterministic across thread counts. Uncalibrated quantizers
+     * pass values through, exactly like forward() before the first
+     * nonzero observation.
+     */
+    void quantizeOnly(std::span<float> x) const;
+
+    /**
      * Apply the clipped-STE mask to a gradient: entries whose forward
      * input fell outside the clip range are zeroed. @p x_pre must be
      * the pre-quantization input saved by the caller.

@@ -433,5 +433,94 @@ TEST(Im2colCol2im, AdjointProperty)
     EXPECT_NEAR(lhs, rhs, 1e-3);
 }
 
+// ------------------------------------------------------------------
+// Tree-shaped gradient merge: treeReduceParts/treeReduceAcc must
+// realize exactly the fixed stride-doubling summation tree — the
+// property the bit-identical-across-thread-counts layer tests stand
+// on — for every partial count, not just powers of two.
+// ------------------------------------------------------------------
+
+/** Serial reference of the fixed tree order (no OpenMP). */
+std::vector<float>
+serialTreeSum(std::vector<std::vector<float>> parts, size_t len)
+{
+    for (size_t stride = 1; stride < parts.size(); stride *= 2)
+        for (size_t i = 0; i + stride < parts.size(); i += 2 * stride)
+            for (size_t j = 0; j < len; ++j)
+                parts[i][j] += parts[i + stride][j];
+    return parts[0];
+}
+
+TEST(TreeReduce, MatchesFixedTreeOrderForEveryCount)
+{
+    const size_t len = 97; // odd, not a multiple of any vector width
+    for (size_t count = 1; count <= 33; ++count) {
+        std::vector<std::vector<float>> parts(count);
+        for (size_t i = 0; i < count; ++i)
+            parts[i] = randVec(len, 1000 + count * 64 + i);
+        std::vector<float> want = serialTreeSum(parts, len);
+
+        std::vector<float*> ptrs(count);
+        for (size_t i = 0; i < count; ++i)
+            ptrs[i] = parts[i].data();
+        std::vector<float> dst = randVec(len, 7);
+        std::vector<float> wantDst(dst);
+        for (size_t j = 0; j < len; ++j)
+            wantDst[j] += want[j];
+
+        treeReduceAcc(ptrs.data(), count, len, dst.data());
+        for (size_t j = 0; j < len; ++j) {
+            ASSERT_EQ(parts[0][j], want[j])
+                << "count " << count << " index " << j;
+            ASSERT_EQ(dst[j], wantDst[j])
+                << "count " << count << " index " << j;
+        }
+    }
+}
+
+TEST(TreeReduce, EmptyInputIsNoOp)
+{
+    std::vector<float> dst = randVec(16, 8);
+    std::vector<float> want(dst);
+    treeReduceAcc(nullptr, 0, 16, dst.data());
+    for (size_t j = 0; j < want.size(); ++j)
+        EXPECT_EQ(dst[j], want[j]) << "index " << j;
+}
+
+TEST(TreeReduce, BitIdenticalAcrossThreadCounts)
+{
+#ifndef _OPENMP
+    GTEST_SKIP() << "built without OpenMP";
+#else
+    // Big enough that the pair loop's parallel clause engages.
+    const size_t len = 8192;
+    const size_t count = 9;
+    auto make = [&] {
+        std::vector<std::vector<float>> parts(count);
+        for (size_t i = 0; i < count; ++i)
+            parts[i] = randVec(len, 9000 + i);
+        return parts;
+    };
+    int prev = omp_get_max_threads();
+    omp_set_num_threads(1);
+    auto p1 = make();
+    std::vector<float*> ptrs1(count);
+    for (size_t i = 0; i < count; ++i)
+        ptrs1[i] = p1[i].data();
+    treeReduceParts(ptrs1.data(), count, len);
+
+    omp_set_num_threads(4);
+    auto p4 = make();
+    std::vector<float*> ptrs4(count);
+    for (size_t i = 0; i < count; ++i)
+        ptrs4[i] = p4[i].data();
+    treeReduceParts(ptrs4.data(), count, len);
+    omp_set_num_threads(prev);
+
+    for (size_t j = 0; j < len; ++j)
+        ASSERT_EQ(p1[0][j], p4[0][j]) << "index " << j;
+#endif
+}
+
 } // namespace
 } // namespace mixq

@@ -5,8 +5,14 @@
  * Conv2d, Lstm, Gru. The PR 1 thread-local packing bug was only
  * caught at the gemm level — these tests pin OMP_NUM_THREADS-style
  * thread counts at the layer level so a regression in how layers
- * drive the backend (shared plans read from workers, per-thread
+ * drive the backend (shared plans read from workers, per-chunk
  * scratch, gradient merge order) is caught where it bites.
+ *
+ * Since the deterministic tree-merge of per-chunk weight-gradient
+ * partials (nn/gemm_backend.hh treeReduceAcc), gradients are not
+ * just close but *bit-identical* across thread counts — the Conv2d
+ * matrix test below asserts exactly that, and tests/rnn_mt_test.cc
+ * does the same for the batch-parallel LSTM/GRU path.
  *
  * Also: layer-level invalidation correctness for the pre-packed
  * weight plans — after an in-place weight update plus
@@ -54,9 +60,11 @@ expectNearVec(const std::vector<float>& got,
 
 /**
  * Run forward+backward at 1 thread and at @p threads threads and
- * compare the input gradient and every parameter gradient. The
- * gradient merge order across threads is nondeterministic, so the
- * comparison is tolerance-based, not bit-exact.
+ * compare the input gradient and every parameter gradient. Reuses
+ * one module instance across the runs (so stale per-layer state
+ * would be caught); the tolerance comparison dates from when merge
+ * order was thread-dependent and stays as a looser cross-check next
+ * to the bit-exact fresh-instance matrix tests.
  */
 void
 checkBackwardThreadEquivalence(Module& mod, const Tensor& x,
@@ -122,6 +130,60 @@ TEST(LayersMt, GruBackwardMatchesSingleThread)
     Gru gru(32, 64, rng);
     Tensor x = Tensor::randn({6, 8, 32}, rng, 1.0);
     checkBackwardThreadEquivalence(gru, x, 4);
+}
+
+// ------------------------------------------------------------------
+// Bitwise determinism matrix: Conv2d backward chunks the batch by
+// deterministicBatchChunks and tree-merges per-chunk weight-gradient
+// partials, so forward outputs AND weight gradients must be
+// bit-identical across OMP_NUM_THREADS — including batches smaller
+// than, equal to, and not divisible by the thread count. Fresh layer
+// per run so plan caches cannot leak between thread counts.
+// ------------------------------------------------------------------
+
+TEST(LayersMt, Conv2dBitIdenticalAcrossThreadCounts)
+{
+#ifndef _OPENMP
+    GTEST_SKIP() << "built without OpenMP";
+#else
+    for (size_t n : {size_t(3), size_t(8), size_t(13)}) {
+        SCOPED_TRACE(testing::Message() << "batch=" << n);
+        Rng dataRng(300 + n);
+        Tensor x = Tensor::randn({n, 3, 12, 12}, dataRng, 1.0);
+        Tensor gy = Tensor::randn({n, 16, 12, 12}, dataRng, 1.0);
+
+        auto runOnce = [&] {
+            Rng rng(21);
+            Conv2d conv(3, 16, 3, 1, 1, rng, /*bias=*/true);
+            Tensor y = conv.forward(x, true);
+            Tensor gx = conv.backward(gy);
+            std::vector<std::vector<float>> out;
+            out.emplace_back(y.data(), y.data() + y.size());
+            out.emplace_back(gx.data(), gx.data() + gx.size());
+            for (Param* p : conv.params())
+                out.emplace_back(p->grad.data(),
+                                 p->grad.data() + p->grad.size());
+            return out;
+        };
+
+        int prev = omp_get_max_threads();
+        omp_set_num_threads(1);
+        auto base = runOnce();
+        for (int threads : {4, 8}) {
+            omp_set_num_threads(threads);
+            auto got = runOnce();
+            SCOPED_TRACE(testing::Message() << "threads=" << threads);
+            ASSERT_EQ(got.size(), base.size());
+            for (size_t v = 0; v < base.size(); ++v) {
+                ASSERT_EQ(got[v].size(), base[v].size());
+                for (size_t i = 0; i < base[v].size(); ++i)
+                    ASSERT_EQ(got[v][i], base[v][i])
+                        << "vector " << v << " index " << i;
+            }
+        }
+        omp_set_num_threads(prev);
+    }
+#endif
 }
 
 // ------------------------------------------------------------------

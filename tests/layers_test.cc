@@ -202,7 +202,8 @@ TEST(GlobalAvgPool, ForwardBackward)
 TEST(Flatten, RoundTrip)
 {
     Flatten fl;
-    Tensor x = Tensor::randn({2, 3, 2, 2}, *(new Rng(13)), 1.0);
+    Rng rng(13);
+    Tensor x = Tensor::randn({2, 3, 2, 2}, rng, 1.0);
     Tensor y = fl.forward(x, true);
     EXPECT_EQ(y.shape(), (std::vector<size_t>{2, 12}));
     Tensor gx = fl.backward(y);

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Many-core determinism matrix for the batch-parallel RNN training
+ * path. The batch chunking (deterministicBatchChunks) and the
+ * tree-shaped weight-gradient merge (treeReduceAcc) are pure
+ * functions of the problem shape, so LSTM/GRU forward outputs, input
+ * gradients and — the headline claim — weight gradients must be
+ * *bit-identical* across OMP_NUM_THREADS, including ragged batches
+ * (smaller than, equal to, and not divisible by the thread count).
+ * A fresh layer is built per run so plan caches and activation-quant
+ * EMA state cannot leak between thread counts.
+ *
+ * Also here: tolerance-level equivalence between the batch-parallel
+ * path and the PR 2 serial path (they differ only in float summation
+ * order), and the guarantee under enabled activation quantizers
+ * (frozen-alpha workers + deterministic calibration replay).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "nn/rnn.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+/** Everything one forward+backward produces. */
+struct RunResult
+{
+    std::vector<float> y;
+    std::vector<float> gx;
+    std::vector<std::vector<float>> grads;
+};
+
+/** Build a fresh module, run forward+backward, snapshot outputs. */
+RunResult
+runOnce(const std::function<std::unique_ptr<Module>()>& make,
+        const Tensor& x, const Tensor& gy)
+{
+    std::unique_ptr<Module> mod = make();
+    Tensor y = mod->forward(x, true);
+    Tensor gx = mod->backward(gy);
+    RunResult r;
+    r.y.assign(y.data(), y.data() + y.size());
+    r.gx.assign(gx.data(), gx.data() + gx.size());
+    for (Param* p : mod->params())
+        r.grads.emplace_back(p->grad.data(),
+                             p->grad.data() + p->grad.size());
+    return r;
+}
+
+void
+expectBitEqual(const std::vector<float>& got,
+               const std::vector<float>& want, const char* what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (size_t i = 0; i < got.size(); ++i)
+        ASSERT_EQ(got[i], want[i]) << what << " index " << i;
+}
+
+/**
+ * Run the module factory at OMP_NUM_THREADS in {1, 4, 8} and demand
+ * bitwise-identical forward outputs, input gradients and parameter
+ * gradients from every thread count.
+ */
+void
+checkThreadCountInvariance(
+    const std::function<std::unique_ptr<Module>()>& make,
+    const Tensor& x, const Tensor& gy)
+{
+#ifndef _OPENMP
+    GTEST_SKIP() << "built without OpenMP";
+#else
+    int prev = omp_get_max_threads();
+    omp_set_num_threads(1);
+    RunResult base = runOnce(make, x, gy);
+    for (int threads : {4, 8}) {
+        omp_set_num_threads(threads);
+        RunResult got = runOnce(make, x, gy);
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        expectBitEqual(got.y, base.y, "forward output");
+        expectBitEqual(got.gx, base.gx, "input grad");
+        ASSERT_EQ(got.grads.size(), base.grads.size());
+        for (size_t p = 0; p < base.grads.size(); ++p) {
+            SCOPED_TRACE(testing::Message() << "param " << p);
+            expectBitEqual(got.grads[p], base.grads[p], "weight grad");
+        }
+    }
+    omp_set_num_threads(prev);
+#endif
+}
+
+// h=64 keeps the gate GEMMs (m >= kGemmMR chunks against 4H=256 /
+// 3H=192 columns) in the blocked/packed dispatch regime. Batch sizes:
+// 3 < both thread counts (single chunk, serial sweep), 8 == one
+// thread count, 13 and 20 divisible by neither thread count and
+// split into ragged chunks ({7, 6} and {7, 7, 6}).
+const size_t kBatches[] = {3, 8, 13, 20};
+
+TEST(RnnMtMatrix, LstmBitIdenticalAcrossThreadCounts)
+{
+    for (size_t n : kBatches) {
+        SCOPED_TRACE(testing::Message() << "batch=" << n);
+        Rng dataRng(100 + n);
+        Tensor x = Tensor::randn({6, n, 32}, dataRng, 1.0);
+        Tensor gy = Tensor::randn({6, n, 64}, dataRng, 1.0);
+        checkThreadCountInvariance(
+            [] {
+                Rng rng(11);
+                return std::make_unique<Lstm>(32, 64, rng);
+            },
+            x, gy);
+    }
+}
+
+TEST(RnnMtMatrix, GruBitIdenticalAcrossThreadCounts)
+{
+    for (size_t n : kBatches) {
+        SCOPED_TRACE(testing::Message() << "batch=" << n);
+        Rng dataRng(200 + n);
+        Tensor x = Tensor::randn({6, n, 32}, dataRng, 1.0);
+        Tensor gy = Tensor::randn({6, n, 64}, dataRng, 1.0);
+        checkThreadCountInvariance(
+            [] {
+                Rng rng(12);
+                return std::make_unique<Gru>(32, 64, rng);
+            },
+            x, gy);
+    }
+}
+
+TEST(RnnMtMatrix, LstmQuantizedBitIdenticalAcrossThreadCounts)
+{
+    // Enabled activation quantizers bring the frozen-alpha worker
+    // path plus the orchestrator's calibration replay into play.
+    Rng dataRng(42);
+    Tensor x = Tensor::randn({6, 13, 32}, dataRng, 1.0);
+    Tensor gy = Tensor::randn({6, 13, 64}, dataRng, 1.0);
+    checkThreadCountInvariance(
+        [] {
+            Rng rng(13);
+            auto lstm = std::make_unique<Lstm>(32, 64, rng);
+            lstm->setActQuant(4, true);
+            return lstm;
+        },
+        x, gy);
+}
+
+TEST(RnnMtMatrix, GruQuantizedBitIdenticalAcrossThreadCounts)
+{
+    Rng dataRng(43);
+    Tensor x = Tensor::randn({6, 13, 32}, dataRng, 1.0);
+    Tensor gy = Tensor::randn({6, 13, 64}, dataRng, 1.0);
+    checkThreadCountInvariance(
+        [] {
+            Rng rng(14);
+            auto gru = std::make_unique<Gru>(32, 64, rng);
+            gru->setActQuant(4, true);
+            return gru;
+        },
+        x, gy);
+}
+
+// ------------------------------------------------------------------
+// Batch-parallel vs serial: same math, different float summation
+// order (per-chunk partials + tree merge vs one running sum), so the
+// two paths must agree to rounding tolerance.
+// ------------------------------------------------------------------
+
+void
+expectNearVec(const std::vector<float>& got,
+              const std::vector<float>& want, double tol,
+              const char* what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (size_t i = 0; i < got.size(); ++i) {
+        double t = tol * (1.0 + std::fabs(double(want[i])));
+        EXPECT_NEAR(got[i], want[i], t) << what << " index " << i;
+    }
+}
+
+void
+checkParallelMatchesSerial(
+    const std::function<std::unique_ptr<Module>()>& make,
+    const Tensor& x, const Tensor& gy, double tol = 1e-3)
+{
+    ASSERT_TRUE(rnnBatchParallel()) << "default should be parallel";
+    setRnnBatchParallel(false);
+    RunResult serial = runOnce(make, x, gy);
+    setRnnBatchParallel(true);
+    RunResult par = runOnce(make, x, gy);
+    expectNearVec(par.y, serial.y, tol, "forward output");
+    expectNearVec(par.gx, serial.gx, tol, "input grad");
+    ASSERT_EQ(par.grads.size(), serial.grads.size());
+    for (size_t p = 0; p < serial.grads.size(); ++p) {
+        SCOPED_TRACE(testing::Message() << "param " << p);
+        expectNearVec(par.grads[p], serial.grads[p], tol,
+                      "weight grad");
+    }
+}
+
+TEST(RnnBatchParallel, LstmMatchesSerialPath)
+{
+    Rng dataRng(51);
+    Tensor x = Tensor::randn({6, 13, 32}, dataRng, 1.0);
+    Tensor gy = Tensor::randn({6, 13, 64}, dataRng, 1.0);
+    checkParallelMatchesSerial(
+        [] {
+            Rng rng(15);
+            return std::make_unique<Lstm>(32, 64, rng);
+        },
+        x, gy);
+}
+
+TEST(RnnBatchParallel, GruMatchesSerialPath)
+{
+    Rng dataRng(52);
+    Tensor x = Tensor::randn({6, 13, 32}, dataRng, 1.0);
+    Tensor gy = Tensor::randn({6, 13, 64}, dataRng, 1.0);
+    checkParallelMatchesSerial(
+        [] {
+            Rng rng(16);
+            return std::make_unique<Gru>(32, 64, rng);
+        },
+        x, gy);
+}
+
+} // namespace
+} // namespace mixq

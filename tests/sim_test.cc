@@ -4,6 +4,7 @@
 
 #include "quant/sp2_codec.hh"
 #include "sim/accelerator.hh"
+#include "sim/gemm_core.hh"
 #include "util/rng.hh"
 
 namespace mixq {
@@ -47,6 +48,56 @@ TEST(GemmSp2Core, StepMatchesCodecSemantics)
     core.step(w, a);
     // (5 * 8) + (-2 * 4) with the x8 denominator.
     EXPECT_EQ(core.acc()[0], 40 - 8);
+}
+
+/**
+ * Randomized cross-check of the two heterogeneous cores: encode
+ * random SP2-level weights through Sp2Codec, run the LUT core's
+ * shift-shift-add datapath and the DSP core's MAC datapath on the
+ * same activation tiles, and demand equal accumulators when the DSP
+ * core is fed the decoded integer magnitudes. This pins the "no
+ * multiply on the weight path" contract of sim/gemm_core.hh: the
+ * shift-add core computes exactly sum(sign * (2^j1 + 2^j2) * act),
+ * nothing approximated.
+ */
+TEST(GemmCores, Sp2ShiftAddMatchesFixedMacOnDecodedMagnitudes)
+{
+    Rng rng(17);
+    for (int round = 0; round < 20; ++round) {
+        size_t bat = size_t(rng.randint(1, 4));
+        size_t blkIn = size_t(rng.randint(1, 16));
+        size_t blkOut = size_t(rng.randint(1, 16));
+        Sp2Codec codec(4);
+        const auto& mags = codec.intMagnitudes();
+        double denom = double(1 << codec.denomLog2());
+
+        std::vector<Sp2Code> wS(blkOut * blkIn);
+        std::vector<int8_t> wF(blkOut * blkIn);
+        for (size_t i = 0; i < wS.size(); ++i) {
+            int32_t mag = mags[size_t(
+                rng.randint(0, int64_t(mags.size()) - 1))];
+            int32_t sign = rng.bernoulli(0.5) ? 1 : -1;
+            ASSERT_LE(mag, 127) << "magnitude must fit the DSP lane";
+            wS[i] = codec.encode(float(sign * mag / denom), 1.0f);
+            ASSERT_EQ(wS[i].intMagnitude(), mag);
+            wF[i] = int8_t(sign * mag);
+        }
+
+        GemmSp2Core sp2(bat, blkIn, blkOut);
+        GemmFixedCore fixed(bat, blkIn, blkOut);
+        size_t steps = size_t(rng.randint(1, 5));
+        std::vector<int8_t> acts(bat * blkIn);
+        for (size_t s = 0; s < steps; ++s) {
+            for (int8_t& v : acts)
+                v = int8_t(rng.randint(0, 15));
+            sp2.step(wS.data(), acts.data());
+            fixed.step(wF.data(), acts.data());
+        }
+        ASSERT_EQ(sp2.acc().size(), fixed.acc().size());
+        for (size_t i = 0; i < sp2.acc().size(); ++i)
+            ASSERT_EQ(sp2.acc()[i], fixed.acc()[i])
+                << "round " << round << " lane " << i;
+    }
 }
 
 TEST(GemmSp2Core, BatchLanesIndependent)

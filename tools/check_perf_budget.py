@@ -9,6 +9,12 @@ more stable on shared CI runners than absolute times, so the budget
 gates the *structure* of the hot path (blocked beats naive, a
 pre-packed plan beats repack-every-call) rather than the machine.
 
+Checks may carry ``min_cores``: on a machine with fewer CPU cores
+the check is reported as skipped instead of evaluated, because
+thread-scaling ratios (pinned 4-thread vs 1-thread runs) measure
+only oversubscription there. Skipping is a note, never a failure —
+the gate still runs on the CI runners that have the cores.
+
 Exit status is non-zero on any violated check unless --warn-only is
 given. Medians over --repetitions runs feed the ratios.
 
@@ -19,6 +25,7 @@ Usage:
 
 import argparse
 import json
+import os
 import re
 import subprocess
 import sys
@@ -69,8 +76,30 @@ def main():
     ap.add_argument("--warn-only", action="store_true",
                     help="report violations but exit 0")
     args = ap.parse_args()
+    if args.repetitions < 2:
+        sys.exit("error: --repetitions must be >= 2 (google-benchmark "
+                 "emits the median aggregate only for repeated runs)")
 
     checks = load_budget(args.budget)
+    # Available cores, not host cores: in a cgroup/affinity-limited
+    # container os.cpu_count() reports the host and would run
+    # thread-scaling checks that can only measure oversubscription.
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    runnable = []
+    for c in checks:
+        need = c.get("min_cores", 1)
+        if cores < need:
+            print(f"skip {c['name']}: needs {need} cores, "
+                  f"this machine has {cores}")
+        else:
+            runnable.append(c)
+    checks = runnable
+    if not checks:
+        print("all checks skipped on this machine")
+        return 0
     names = sorted({c["fast"] for c in checks}
                    | {c["slow"] for c in checks})
     report = run_bench(args.bench, names, args.repetitions)
