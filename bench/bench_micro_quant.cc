@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "quant/partition.hh"
 #include "quant/quantizer.hh"
 #include "quant/sp2_codec.hh"
@@ -31,33 +35,104 @@ void
 BM_FitAlpha(benchmark::State& state)
 {
     auto w = weights(size_t(state.range(0)));
-    auto mags = fixedMagnitudes(4);
+    const LevelSet& ls = levelSet(QuantScheme::Fixed, 4);
     for (auto _ : state)
-        benchmark::DoNotOptimize(fitAlpha(w, mags));
+        benchmark::DoNotOptimize(fitAlpha(w, ls));
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FitAlpha)->Arg(1024)->Arg(16384);
 
 void
-BM_QuantizeMatrix(benchmark::State& state)
+BM_FitAlphaRef(benchmark::State& state)
 {
+    auto w = weights(size_t(state.range(0)));
+    auto mags = fixedMagnitudes(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fitAlpha(w, mags));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FitAlphaRef)->Arg(1024)->Arg(16384);
+
+// Matrix quantization at the Conv3x3(64, 64) weight shape the paper's
+// per-epoch projection step sees. Args: (scheme, granularity). The
+// *Par1T/Par4T variants pin the OpenMP thread count (UseRealTime, as
+// the RNN benches do): the 1T run is the honest single-thread kernel
+// the fast-vs-reference budget gates, and Par4T/Par1T is the
+// row-parallel scaling ratio gated with min_cores: 4.
+template <bool Ref>
+void
+runQuantizeMatrix(benchmark::State& state, int threads)
+{
+#ifdef _OPENMP
+    int prevThreads = omp_get_max_threads();
+    if (threads > 0)
+        omp_set_num_threads(threads);
+#else
+    (void)threads;
+#endif
     QuantScheme scheme = QuantScheme(state.range(0));
     size_t rows = 64, cols = 576;
     auto w = weights(rows * cols);
     std::vector<float> out(w.size());
     QConfig cfg;
     cfg.scheme = scheme;
+    cfg.granularity = Granularity(state.range(1));
     for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            quantizeMatrix(w.data(), out.data(), rows, cols, cfg));
+        if constexpr (Ref) {
+            benchmark::DoNotOptimize(quantizeMatrixRef(
+                w.data(), out.data(), rows, cols, cfg));
+        } else {
+            benchmark::DoNotOptimize(
+                quantizeMatrix(w.data(), out.data(), rows, cols, cfg));
+        }
     }
     state.SetItemsProcessed(state.iterations() * rows * cols);
+#ifdef _OPENMP
+    omp_set_num_threads(prevThreads);
+#endif
+}
+
+void
+BM_QuantizeMatrix(benchmark::State& state)
+{
+    runQuantizeMatrix<false>(state, /*threads=*/0);
 }
 BENCHMARK(BM_QuantizeMatrix)
-    ->Arg(int(QuantScheme::Fixed))
-    ->Arg(int(QuantScheme::Pow2))
-    ->Arg(int(QuantScheme::Sp2))
-    ->Arg(int(QuantScheme::Mixed));
+    ->Args({int(QuantScheme::Fixed), int(Granularity::PerRow)})
+    ->Args({int(QuantScheme::Pow2), int(Granularity::PerRow)})
+    ->Args({int(QuantScheme::Sp2), int(Granularity::PerRow)})
+    ->Args({int(QuantScheme::Mixed), int(Granularity::PerRow)})
+    ->Args({int(QuantScheme::Mixed), int(Granularity::PerGroup)});
+
+void
+BM_QuantizeMatrixRef(benchmark::State& state)
+{
+    runQuantizeMatrix<true>(state, /*threads=*/1);
+}
+BENCHMARK(BM_QuantizeMatrixRef)
+    ->Args({int(QuantScheme::Mixed), int(Granularity::PerRow)})
+    ->Args({int(QuantScheme::Mixed), int(Granularity::PerGroup)})
+    ->UseRealTime();
+
+void
+BM_QuantizeMatrixPar1T(benchmark::State& state)
+{
+    runQuantizeMatrix<false>(state, /*threads=*/1);
+}
+BENCHMARK(BM_QuantizeMatrixPar1T)
+    ->Args({int(QuantScheme::Mixed), int(Granularity::PerRow)})
+    ->Args({int(QuantScheme::Mixed), int(Granularity::PerGroup)})
+    ->UseRealTime();
+
+void
+BM_QuantizeMatrixPar4T(benchmark::State& state)
+{
+    runQuantizeMatrix<false>(state, /*threads=*/4);
+}
+BENCHMARK(BM_QuantizeMatrixPar4T)
+    ->Args({int(QuantScheme::Mixed), int(Granularity::PerRow)})
+    ->Args({int(QuantScheme::Mixed), int(Granularity::PerGroup)})
+    ->UseRealTime();
 
 void
 BM_PartitionRows(benchmark::State& state)

@@ -23,12 +23,12 @@ uniformProject(Param& p, double alpha, int bits)
     }
 }
 
-/** Closed-form alternating MSE fit of a uniform step (LSQ-style). */
+/** Closed-form alternating MSE fit of a uniform step (LSQ-style),
+    on the cached Fixed level set (no per-call magnitude rebuild). */
 double
 fitUniformAlpha(const Param& p, int bits)
 {
-    std::vector<double> mags = fixedMagnitudes(bits);
-    return fitAlpha(p.w.span(), mags);
+    return fitAlpha(p.w.span(), levelSet(QuantScheme::Fixed, bits));
 }
 
 } // namespace

@@ -304,6 +304,16 @@ activeGemmKernel(size_t m, size_t n, size_t k)
     return chooseGemmKernel(m, n, k);
 }
 
+GemmKernel
+activePackedGemmKernel(size_t m, size_t n, size_t k)
+{
+    if (gForced != GemmKernel::Auto)
+        return gForced;
+    if (m * n * k <= kGemmBlockThreshold)
+        return GemmKernel::Naive;
+    return GemmKernel::Blocked;
+}
+
 void
 gemmNaiveAcc(const float* a, const float* b, float* c,
              size_t m, size_t n, size_t k)
@@ -534,9 +544,11 @@ gemmPackedBAcc(const float* a, const PackedMat& pb, float* c,
     MIXQ_ASSERT(pb.packed_ && pb.side_ == PackedMat::Side::B &&
                 pb.rows_ == k && pb.cols_ == n,
                 "gemmPackedBAcc: plan/shape mismatch");
-    // Same dispatch as the per-call path: naive-regime shapes run
-    // the naive kernel straight off the plan's source matrix.
-    if (activeGemmKernel(m, n, k) == GemmKernel::Naive) {
+    // Relaxed packed dispatch: only sub-threshold volumes fall back
+    // to the naive kernel, read straight off the plan's source
+    // matrix; skinny-m shapes stay on the padded microkernel since
+    // the plan already paid the pack.
+    if (activePackedGemmKernel(m, n, k) == GemmKernel::Naive) {
         if (pb.trans_)
             gemmNaiveBTAcc(a, pb.src_, c, m, n, k);
         else
@@ -574,7 +586,7 @@ gemmPackedAAcc(const PackedMat& pa, const float* b, float* c,
     MIXQ_ASSERT(pa.packed_ && pa.side_ == PackedMat::Side::A &&
                 pa.rows_ == m && pa.cols_ == k,
                 "gemmPackedAAcc: plan/shape mismatch");
-    if (activeGemmKernel(m, n, k) == GemmKernel::Naive) {
+    if (activePackedGemmKernel(m, n, k) == GemmKernel::Naive) {
         if (pa.trans_)
             gemmNaiveATAcc(pa.src_, b, c, m, n, k);
         else

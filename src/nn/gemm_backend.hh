@@ -47,12 +47,17 @@
  *     without a bump leaves plans silently stale — that is the
  *     contract, enforced by the packed-vs-naive equivalence tests.
  *
- * The packed entry points follow the same dispatch rules as the
- * per-call path: shapes that activeGemmKernel() sends to the naive
- * kernel are serviced by the naive kernel reading the plan's source
- * matrix directly (the plan keeps the pointer), so small problems
- * keep the row-saxpy fast path and packed results match the
- * dispatched per-call results bit for bit.
+ * The packed entry points use a *relaxed* dispatch
+ * (activePackedGemmKernel): sub-threshold volumes are serviced by
+ * the naive kernel reading the plan's source matrix directly (the
+ * plan keeps the pointer), so small problems keep the row-saxpy fast
+ * path — but the per-call skinny-m rule is dropped, because with the
+ * pack already paid the padded microkernel beats the naive
+ * scalar-reduction BT dot kernel by ~20x on skinny-m weight shapes
+ * (m=4, n=1024, k=256). Packed results therefore match the *blocked*
+ * kernel bit for bit wherever the packed dispatch is blocked, and
+ * the naive kernel bit for bit below the volume threshold
+ * (tests/gemm_test.cc pins this contract).
  */
 
 #ifndef MIXQ_NN_GEMM_BACKEND_HH
@@ -60,6 +65,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace mixq {
@@ -96,6 +102,16 @@ GemmKernel forcedGemmKernel();
 
 /** Kernel that will actually service an m x n x k call right now. */
 GemmKernel activeGemmKernel(size_t m, size_t n, size_t k);
+
+/**
+ * Kernel that services an m x n x k call through a *pre-packed* plan
+ * (gemmPackedA/gemmPackedB). Pre-packed plans already paid the pack,
+ * so the per-call skinny-m rule does not apply: the padded
+ * microkernel beats the naive BT dot kernel by an order of magnitude
+ * even at m < kGemmMR once packing is free. Only sub-threshold
+ * volumes (and a forced kernel) fall back to naive.
+ */
+GemmKernel activePackedGemmKernel(size_t m, size_t n, size_t k);
 
 // ------------------------------------------------------------------
 // Naive reference kernels (the seed's triple loops, kept both as the
@@ -206,6 +222,27 @@ void treeReduceParts(float* const* parts, size_t count, size_t len);
  */
 void treeReduceAcc(float* const* parts, size_t count, size_t len,
                    float* dst);
+
+/**
+ * In-place pairwise tree reduction over a span of scalar partials:
+ * v[i] += v[i + s] for s = 1, 2, 4, ... (the treeReduceParts merge
+ * shape applied to single values), returning the total left in v[0].
+ * Used by the quantizer's fitAlpha to merge per-chunk num/den
+ * accumulators in an order that depends only on the chunk count —
+ * never on the thread count — so the fitted alpha is bit-identical
+ * for any OMP_NUM_THREADS. Returns T{} for an empty span.
+ */
+template <typename T>
+T
+treeReduceValues(std::span<T> v)
+{
+    if (v.empty())
+        return T{};
+    for (size_t stride = 1; stride < v.size(); stride *= 2)
+        for (size_t i = 0; i + stride < v.size(); i += 2 * stride)
+            v[i] += v[i + stride];
+    return v[0];
+}
 
 /**
  * One operand of a GEMM, packed into the blocked kernels' MR/NR

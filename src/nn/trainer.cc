@@ -63,6 +63,15 @@ QatContext::attach(const std::vector<Param*>& params)
         entries_.push_back(Entry{p, AdmmState{}, MatrixQuantResult{}});
     }
     MIXQ_ASSERT(!entries_.empty(), "QatContext: nothing to quantize");
+    // Warm the LevelSet cache for every scheme this run can touch
+    // before the first projection: the one-time boundary bisection
+    // then never runs inside an epochUpdate/finalize hot path.
+    if (cfg_.scheme == QuantScheme::Mixed) {
+        levelSet(QuantScheme::Fixed, cfg_.bits);
+        levelSet(QuantScheme::Sp2, cfg_.bits);
+    } else {
+        levelSet(cfg_.scheme, cfg_.bits);
+    }
     for (Entry& e : entries_)
         e.admm.init(e.p->w.span(), makeProj(&e), cfg_.rho);
 }

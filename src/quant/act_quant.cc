@@ -44,14 +44,21 @@ ActFakeQuant::quantizeOnly(std::span<float> x) const
         return;
     // Unsigned: L = 2^n - 1 levels over [0, alpha].
     // Signed: L = 2^(n-1) - 1 magnitudes over [-alpha, alpha].
+    // This runs on every activation tensor of every forward pass, so
+    // the per-element double divides are hoisted into two precomputed
+    // float scales; clamp + mul + round + mul vectorizes cleanly.
     double levels = signed_ ? double((1 << (bits_ - 1)) - 1)
                             : double((1 << bits_) - 1);
-    float a = float(alpha_);
-    for (float& v : x) {
-        float c = signed_ ? std::clamp(v, -a, a)
-                          : std::clamp(v, 0.0f, a);
-        double t = double(c) / double(a) * levels;
-        v = float(std::nearbyint(t) / levels * double(a));
+    const float a = float(alpha_);
+    const float lo = signed_ ? -a : 0.0f;
+    const float scale = float(levels / alpha_);
+    const float invScale = float(alpha_ / levels);
+    float* p = x.data();
+    size_t n = x.size();
+    #pragma omp simd
+    for (size_t i = 0; i < n; ++i) {
+        float c = std::clamp(p[i], lo, a);
+        p[i] = std::nearbyint(c * scale) * invScale;
     }
 }
 

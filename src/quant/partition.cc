@@ -22,9 +22,13 @@ partitionRows(const float* w, size_t rows, size_t cols, double pr_sp2,
     PartitionResult res;
     res.rowScheme.assign(rows, QuantScheme::Fixed);
     res.rowVariance.resize(rows);
-    for (size_t r = 0; r < rows; ++r) {
-        res.rowVariance[r] =
-            variance(std::span<const float>(w + r * cols, cols));
+    // Each row's variance is computed serially by one worker, so the
+    // values (and the sort below) are thread-count invariant.
+    #pragma omp parallel for schedule(static) \
+        if (rows > 1 && rows * cols > 16384)
+    for (long r = 0; r < long(rows); ++r) {
+        res.rowVariance[size_t(r)] = variance(
+            std::span<const float>(w + size_t(r) * cols, cols));
     }
 
     size_t n_sp2 =

@@ -2,18 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "nn/gemm_backend.hh"
 #include "quant/partition.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace mixq {
 
 namespace {
 
-/** Nearest magnitude (by absolute distance) in a sorted set. */
+// Chunk specification shared by the kernel and reference fitAlpha
+// paths. The num/den accumulation order is part of the numeric
+// contract: sums are formed per chunk and tree-merged, with the
+// chunk boundaries a pure function of the element count (never the
+// thread count), so kernel == reference == any OMP_NUM_THREADS,
+// bit for bit.
+constexpr size_t kFitChunkElems = 4096;
+constexpr size_t kFitMaxChunks = 64;
+
+bool
+inParallel()
+{
+#ifdef _OPENMP
+    return omp_in_parallel() != 0;
+#else
+    return false;
+#endif
+}
+
+/** Nearest magnitude (by absolute distance) in a sorted set, lo on
+    tie — the retained scalar reference the LevelSet boundaries are
+    bisected against. */
 double
-nearestMag(double t, std::span<const double> mags)
+nearestMagRef(double t, std::span<const double> mags)
 {
     auto it = std::lower_bound(mags.begin(), mags.end(), t);
     if (it == mags.end())
@@ -25,47 +52,339 @@ nearestMag(double t, std::span<const double> mags)
     return (t - lo) <= (hi - t) ? lo : hi;
 }
 
+// ------------------------------------------------------- element views
+
+/**
+ * A group of elements: either a contiguous span (rows == nullptr) or
+ * the concatenation of whole matrix rows selected by an index list —
+ * the PerGroup index view that replaces the old per-call heap gather.
+ */
+struct GroupView
+{
+    const float* w = nullptr;
+    size_t cols = 0;
+    const uint32_t* rows = nullptr;
+    size_t total = 0;
+
+    static GroupView
+    contiguous(const float* w, size_t n)
+    {
+        return GroupView{w, 0, nullptr, n};
+    }
+
+    static GroupView
+    rowList(const float* w, size_t cols, const uint32_t* rows,
+            size_t nrows)
+    {
+        return GroupView{w, cols, rows, nrows * cols};
+    }
+};
+
+/** Invoke fn(ptr, len) on each contiguous run of elements in the
+    global element range [e0, e1) of the view, in order. */
+template <class Fn>
+void
+forEachRun(const GroupView& v, size_t e0, size_t e1, Fn&& fn)
+{
+    if (!v.rows) {
+        fn(v.w + e0, e1 - e0);
+        return;
+    }
+    size_t c0 = e0 % v.cols;
+    size_t e = e0;
+    for (size_t ri = e0 / v.cols; e < e1; ++ri) {
+        size_t take = std::min(v.cols - c0, e1 - e);
+        fn(v.w + size_t(v.rows[ri]) * v.cols + c0, take);
+        e += take;
+        c0 = 0;
+    }
+}
+
+// ------------------------------------------------- per-run inner loops
+
+/**
+ * Reference num/den accumulation over one run of prepared |x|
+ * values (the fit driver materializes them once per fit; storing
+ * and reloading a double is exact, so this changes nothing).
+ */
+void
+accumRunRef(const double* ax, size_t n, std::span<const double> mags,
+            double invAlpha, double& num, double& den)
+{
+    for (size_t i = 0; i < n; ++i) {
+        double a = ax[i];
+        double t = std::min(a * invAlpha, 1.0);
+        double q = nearestMagRef(t, mags);
+        num += a * q;
+        den += q * q;
+    }
+}
+
+/**
+ * Fused kernel accumulation: the branchless LevelProjector replaces
+ * the per-element lower_bound re-search, everything else matches
+ * accumRunRef operation for operation. The sums stay strictly in
+ * element order — a SIMD reduction would reorder them — but the
+ * projections of consecutive elements are independent, so the
+ * out-of-order core overlaps their predicated compare chains.
+ */
+void
+accumRunLs(const double* ax, size_t n, const LevelProjector lp,
+           double invAlpha, double& num, double& den)
+{
+    double lnum = num;
+    double lden = den;
+    for (size_t i = 0; i < n; ++i) {
+        double a = ax[i];
+        double q = lp.mags[lp.index(std::min(a * invAlpha, 1.0))];
+        lnum += a * q;
+        lden += q * q;
+    }
+    num = lnum;
+    den = lden;
+}
+
+/**
+ * Kernel projection of one contiguous run (out may alias x).
+ * Elements are independent, so no ordering care is needed. For the
+ * usual small level sets the per-element double multiply and float
+ * conversion are hoisted into a per-call output table:
+ * tab[k] = float(alpha * mags[k]) is exactly the reference's
+ * float((+-1) * alpha * q) because negation commutes with rounding.
+ */
+void
+projectRunLs(const float* x, float* out, size_t n,
+             const LevelProjector lp, double alpha, double invAlpha)
+{
+    constexpr size_t kTabMax = 256;
+    size_t nmags = lp.maxIdx + 1;
+    if (nmags <= kTabMax) {
+        float tab[kTabMax];
+        for (size_t k = 0; k < nmags; ++k)
+            tab[k] = float(alpha * lp.mags[k]);
+        for (size_t i = 0; i < n; ++i) {
+            float xi = x[i];
+            double t =
+                std::min(double(std::fabs(xi)) * invAlpha, 1.0);
+            float f = tab[lp.index(t)];
+            out[i] = xi < 0.0f ? -f : f;
+        }
+        return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        double xi = double(x[i]);
+        double t = std::min(double(std::fabs(x[i])) * invAlpha, 1.0);
+        double q = lp.mags[lp.index(t)];
+        out[i] = float((xi < 0.0 ? -1.0 : 1.0) * alpha * q);
+    }
+}
+
+// --------------------------------------------------- shared fit driver
+
+/** One alpha update from the merged num/den sums; returns true to
+    stop iterating. Shared convergence logic of every fit path. */
+bool
+alphaStep(double num, double den, double& alpha)
+{
+    if (den == 0.0) {
+        // alpha so large everything collapsed to the zero level
+        alpha *= 0.5;
+        return false;
+    }
+    double next = num / den;
+    bool converged = std::fabs(next - alpha) <= 1e-7 * alpha;
+    alpha = next;
+    return converged;
+}
+
+/**
+ * The alpha fit shared by the kernel and reference paths: chunked
+ * max-abs initialization, then alternating assignment / closed-form
+ * scale rounds with per-chunk num/den partials tree-merged in fixed
+ * order. @p accum walks one contiguous run; everything around it —
+ * chunking, merge order, convergence logic — is identical between
+ * the two paths, which is what makes them bit-identical.
+ *
+ * Groups of at most one chunk (every PerRow fit) take a dedicated
+ * serial path: a one-chunk tree merge is the plain serial sum, and
+ * skipping the chunk bookkeeping and OpenMP region entirely matters
+ * when the caller runs one fit per matrix row. The serial path and
+ * the chunked path at one chunk compute identical sums, and the
+ * branch depends only on the element count, so kernel and reference
+ * always take the same one.
+ */
+template <class Accum>
+double
+fitDriver(const GroupView& v, int iters, bool parallel, Accum&& accum)
+{
+    if (v.total == 0)
+        return 1.0;
+
+    // One prep pass materializes |x| (an exact store/reload) into a
+    // reused scratch buffer and finds alpha0 = max|x| on the way, so
+    // the fit rounds touch a flat double array instead of re-walking
+    // the view. Workers only read their own chunk's slice through a
+    // captured pointer (thread_local resolves to *their* empty
+    // buffers inside the parallel region, like the GEMM pack
+    // buffers).
+    static thread_local std::vector<double> scratch;
+    scratch.resize(v.total);
+    double* ax = scratch.data();
+
+    if (v.total <= kFitChunkElems) {
+        double amax = 0.0;
+        size_t off = 0;
+        forEachRun(v, 0, v.total, [&](const float* x, size_t n) {
+            for (size_t i = 0; i < n; ++i) {
+                double a = double(std::fabs(x[i]));
+                ax[off + i] = a;
+                amax = std::max(amax, a);
+            }
+            off += n;
+        });
+        if (amax == 0.0)
+            return 1.0;
+        double alpha = amax;
+        for (int i = 0; i < iters; ++i) {
+            double num = 0.0;
+            double den = 0.0;
+            accum(ax, v.total, 1.0 / alpha, num, den);
+            if (alphaStep(num, den, alpha))
+                break;
+        }
+        return std::max(alpha, 1e-12);
+    }
+
+    std::vector<size_t> bounds =
+        deterministicBatchChunks(v.total, kFitChunkElems, kFitMaxChunks);
+    long nchunks = long(bounds.size()) - 1;
+    bool par = parallel && nchunks > 1 && !inParallel();
+
+    std::vector<double> pnum(bounds.size() - 1);
+    std::vector<double> pden(bounds.size() - 1);
+
+    // Prep + alpha0 = max|w| per chunk. max is exact and
+    // associative, so the chunked merge equals the serial scan.
+    auto prepChunk = [&, ax](long c) {
+        double m = 0.0;
+        size_t off = bounds[size_t(c)];
+        forEachRun(v, bounds[size_t(c)], bounds[size_t(c) + 1],
+                   [&](const float* x, size_t n) {
+                       for (size_t i = 0; i < n; ++i) {
+                           double a = double(std::fabs(x[i]));
+                           ax[off + i] = a;
+                           m = std::max(m, a);
+                       }
+                       off += n;
+                   });
+        pnum[size_t(c)] = m;
+    };
+    if (par) {
+        #pragma omp parallel for schedule(static)
+        for (long c = 0; c < nchunks; ++c)
+            prepChunk(c);
+    } else {
+        for (long c = 0; c < nchunks; ++c)
+            prepChunk(c);
+    }
+    double amax = 0.0;
+    for (long c = 0; c < nchunks; ++c)
+        amax = std::max(amax, pnum[size_t(c)]);
+    if (amax == 0.0)
+        return 1.0;
+
+    double alpha = amax;
+    for (int i = 0; i < iters; ++i) {
+        double invAlpha = 1.0 / alpha;
+        auto accumChunk = [&, ax](long c) {
+            double num = 0.0;
+            double den = 0.0;
+            accum(ax + bounds[size_t(c)],
+                  bounds[size_t(c) + 1] - bounds[size_t(c)], invAlpha,
+                  num, den);
+            pnum[size_t(c)] = num;
+            pden[size_t(c)] = den;
+        };
+        if (par) {
+            #pragma omp parallel for schedule(static)
+            for (long c = 0; c < nchunks; ++c)
+                accumChunk(c);
+        } else {
+            for (long c = 0; c < nchunks; ++c)
+                accumChunk(c);
+        }
+        double num = treeReduceValues(std::span<double>(pnum));
+        double den = treeReduceValues(std::span<double>(pden));
+        if (alphaStep(num, den, alpha))
+            break;
+    }
+    return std::max(alpha, 1e-12);
+}
+
+double
+fitAlphaView(const GroupView& v, const LevelSet& ls, int iters)
+{
+    LevelProjector lp = ls.projector();
+    return fitDriver(v, iters, /*parallel=*/true,
+                     [lp](const double* ax, size_t n, double invAlpha,
+                          double& num, double& den) {
+                         accumRunLs(ax, n, lp, invAlpha, num, den);
+                     });
+}
+
 } // namespace
 
 double
 projectValue(double x, std::span<const double> mags, double alpha)
 {
     MIXQ_ASSERT(alpha > 0.0, "projectValue: non-positive alpha");
-    double t = std::fabs(x) / alpha;
-    t = std::min(t, 1.0); // Eq. (3) clip
-    double q = nearestMag(t, mags);
+    double t = std::min(std::fabs(x) * (1.0 / alpha), 1.0); // Eq. (3)
+    double q = nearestMagRef(t, mags);
     return (x < 0.0 ? -1.0 : 1.0) * alpha * q;
 }
 
 double
-fitAlpha(std::span<const float> w, std::span<const double> mags, int iters)
+fitAlpha(std::span<const float> w, std::span<const double> mags,
+         int iters)
 {
-    double amax = maxAbs(w);
-    if (amax == 0.0)
-        return 1.0;
-    double alpha = amax;
-    for (int i = 0; i < iters; ++i) {
-        double num = 0.0;
-        double den = 0.0;
-        for (float x : w) {
-            double t = std::min(double(std::fabs(x)) / alpha, 1.0);
-            double q = nearestMag(t, mags);
-            num += std::fabs(double(x)) * q;
-            den += q * q;
-        }
-        if (den == 0.0) {
-            // alpha so large everything collapsed to the zero level
-            alpha *= 0.5;
-            continue;
-        }
-        double next = num / den;
-        if (std::fabs(next - alpha) <= 1e-7 * alpha) {
-            alpha = next;
-            break;
-        }
-        alpha = next;
+    return fitDriver(GroupView::contiguous(w.data(), w.size()), iters,
+                     /*parallel=*/false,
+                     [&](const double* ax, size_t n, double invAlpha,
+                         double& num, double& den) {
+                         accumRunRef(ax, n, mags, invAlpha, num, den);
+                     });
+}
+
+double
+fitAlpha(std::span<const float> w, const LevelSet& ls, int iters)
+{
+    return fitAlphaView(GroupView::contiguous(w.data(), w.size()), ls,
+                        iters);
+}
+
+void
+projectGroup(std::span<const float> w, std::span<float> out,
+             const LevelSet& ls, double alpha)
+{
+    MIXQ_ASSERT(w.size() == out.size(), "projectGroup size mismatch");
+    MIXQ_ASSERT(alpha > 0.0, "projectGroup: non-positive alpha");
+    double invAlpha = 1.0 / alpha;
+    LevelProjector lp = ls.projector();
+    long blocks = long((w.size() + kFitChunkElems - 1) / kFitChunkElems);
+    if (blocks <= 1 || inParallel()) {
+        projectRunLs(w.data(), out.data(), w.size(), lp, alpha,
+                     invAlpha);
+        return;
     }
-    return std::max(alpha, 1e-12);
+    // Elementwise-independent, so parallel blocks cannot change any
+    // value; the block size only bounds scheduling overhead.
+    #pragma omp parallel for schedule(static)
+    for (long b = 0; b < blocks; ++b) {
+        size_t i0 = size_t(b) * kFitChunkElems;
+        size_t i1 = std::min(w.size(), i0 + kFitChunkElems);
+        projectRunLs(w.data() + i0, out.data() + i0, i1 - i0, lp,
+                     alpha, invAlpha);
+    }
 }
 
 double
@@ -73,22 +392,23 @@ quantizeGroup(std::span<const float> w, std::span<float> out,
               QuantScheme scheme, int bits)
 {
     MIXQ_ASSERT(w.size() == out.size(), "quantizeGroup size mismatch");
-    std::vector<double> mags = magnitudes(scheme, bits);
-    double alpha = fitAlpha(w, mags);
-    for (size_t i = 0; i < w.size(); ++i)
-        out[i] = float(projectValue(w[i], mags, alpha));
+    const LevelSet& ls = levelSet(scheme, bits);
+    double alpha = fitAlpha(w, ls);
+    projectGroup(w, out, ls, alpha);
     return alpha;
 }
 
+namespace {
+
+/** Partition + result scaffolding shared by the kernel and reference
+    matrix paths (the partitioner itself is already deterministic). */
 MatrixQuantResult
-quantizeMatrix(const float* w, float* out, size_t rows, size_t cols,
-               const QConfig& cfg, uint64_t rng_seed)
+initMatrixResult(const float* w, size_t rows, size_t cols,
+                 const QConfig& cfg, uint64_t rng_seed)
 {
-    MIXQ_ASSERT(rows > 0 && cols > 0, "empty matrix");
     MatrixQuantResult res;
     res.rowScheme.assign(rows, cfg.scheme);
     res.rowAlpha.assign(rows, 1.0f);
-
     if (cfg.scheme == QuantScheme::Mixed) {
         PartitionResult part =
             partitionRows(w, rows, cols, cfg.prSp2, cfg.policy, rng_seed);
@@ -96,6 +416,83 @@ quantizeMatrix(const float* w, float* out, size_t rows, size_t cols,
         res.threshold = part.threshold;
         res.numSp2 = part.numSp2;
     }
+    return res;
+}
+
+} // namespace
+
+MatrixQuantResult
+quantizeMatrix(const float* w, float* out, size_t rows, size_t cols,
+               const QConfig& cfg, uint64_t rng_seed)
+{
+    MIXQ_ASSERT(rows > 0 && cols > 0, "empty matrix");
+    MatrixQuantResult res = initMatrixResult(w, rows, cols, cfg, rng_seed);
+
+    // Resolve the (at most two) cached level sets before any parallel
+    // region: levelSet() takes a lock the workers should not contend
+    // on.
+    const LevelSet* sets[3] = {};
+    for (QuantScheme s : res.rowScheme) {
+        const LevelSet*& p = sets[int(s)];
+        if (!p)
+            p = &levelSet(s, cfg.bits);
+    }
+
+    if (cfg.granularity == Granularity::PerRow) {
+        // One worker owns each row end to end; per-row math is
+        // serial, so the outputs are bit-identical for any thread
+        // count and any schedule.
+        #pragma omp parallel for schedule(static) \
+            if (rows > 1 && !inParallel())
+        for (long r = 0; r < long(rows); ++r) {
+            const float* row = w + size_t(r) * cols;
+            const LevelSet& ls = *sets[int(res.rowScheme[size_t(r)])];
+            double alpha =
+                fitAlphaView(GroupView::contiguous(row, cols), ls, 8);
+            res.rowAlpha[size_t(r)] = float(alpha);
+            projectRunLs(row, out + size_t(r) * cols, cols,
+                         ls.projector(), alpha, 1.0 / alpha);
+        }
+        return res;
+    }
+
+    // PerGroup: fit one joint alpha per scheme group over an index
+    // view of its rows (no gather copy), then project the group's
+    // rows in parallel. The index view walks elements in the same
+    // order as the reference's gathered copy, so the chunked fit
+    // sums are bit-identical to quantizeMatrixRef.
+    for (QuantScheme s : {QuantScheme::Fixed, QuantScheme::Sp2,
+                          QuantScheme::Pow2}) {
+        std::vector<uint32_t> rl;
+        for (size_t r = 0; r < rows; ++r) {
+            if (res.rowScheme[r] == s)
+                rl.push_back(uint32_t(r));
+        }
+        if (rl.empty())
+            continue;
+        const LevelSet& ls = *sets[int(s)];
+        double alpha = fitAlphaView(
+            GroupView::rowList(w, cols, rl.data(), rl.size()), ls, 8);
+        double invAlpha = 1.0 / alpha;
+        LevelProjector lp = ls.projector();
+        #pragma omp parallel for schedule(static) \
+            if (rl.size() > 1 && !inParallel())
+        for (long i = 0; i < long(rl.size()); ++i) {
+            size_t r = rl[size_t(i)];
+            res.rowAlpha[r] = float(alpha);
+            projectRunLs(w + r * cols, out + r * cols, cols, lp, alpha,
+                         invAlpha);
+        }
+    }
+    return res;
+}
+
+MatrixQuantResult
+quantizeMatrixRef(const float* w, float* out, size_t rows, size_t cols,
+                  const QConfig& cfg, uint64_t rng_seed)
+{
+    MIXQ_ASSERT(rows > 0 && cols > 0, "empty matrix");
+    MatrixQuantResult res = initMatrixResult(w, rows, cols, cfg, rng_seed);
 
     std::vector<double> fixed_mags = fixedMagnitudes(cfg.bits);
     std::vector<double> sp2_mags = sp2Magnitudes(cfg.bits);

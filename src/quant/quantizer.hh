@@ -4,6 +4,27 @@
  * optimized scale alpha, plus the matrix-level MSQ projection that
  * combines the row partitioner with per-group or per-row scales.
  * This is the proj_S(.) operator used by Algorithms 1 and 2.
+ *
+ * Two implementations share one numeric specification:
+ *
+ *  - the *kernel* path (fitAlpha over a LevelSet, quantizeMatrix):
+ *    branchless cached-LevelSet projection fused into a single
+ *    num/den accumulation pass, rows/chunks parallelized with
+ *    OpenMP; and
+ *  - the *retained scalar reference* (projectValue, the mags-span
+ *    fitAlpha overload, quantizeMatrixRef): serial, per-element
+ *    lower_bound nearest-magnitude search, kept as the obvious
+ *    implementation the kernels are tested against.
+ *
+ * The two are bit-identical by construction: the LevelSet's
+ * precomputed boundaries reproduce the reference's lo-on-tie
+ * assignment exactly (see quant/scheme.hh), and both sides
+ * accumulate fitAlpha's num/den sums over the same deterministic
+ * element chunks merged in the same fixed tree order
+ * (deterministicBatchChunks + treeReduceValues from
+ * nn/gemm_backend.hh), which also makes every alpha, scheme
+ * assignment and projected weight bit-identical across
+ * OMP_NUM_THREADS. tests/quant_mt_test.cc pins both guarantees.
  */
 
 #ifndef MIXQ_QUANT_QUANTIZER_HH
@@ -18,25 +39,50 @@
 namespace mixq {
 
 /**
- * Project one value onto alpha * (sorted magnitude set), preserving
- * sign and clipping to [-alpha, alpha] per Eq. (3). @p mags must be
- * sorted ascending with mags.front() == 0 and mags.back() == max.
+ * Retained scalar reference of the single-value projection: clip
+ * |x| / alpha to [0, 1] per Eq. (3) (computed as |x| * (1 / alpha),
+ * matching the kernels), assign the nearest magnitude by lower_bound
+ * with the lo-on-tie rule, keep the sign. @p mags must be sorted
+ * ascending with mags.front() == 0. LevelSet::projectValue is the
+ * kernel equivalent and bit-identical.
  */
 double projectValue(double x, std::span<const double> mags, double alpha);
 
 /**
- * Fit the scale alpha for a weight group by alternating nearest-level
+ * Retained scalar reference of the alpha fit: alternate nearest-level
  * assignment and the closed-form least-squares scale
- * alpha = sum(|w| q) / sum(q^2). Returns the fitted alpha
- * (strictly positive; 1.0 for an all-zero group).
+ * alpha = sum(|w| q) / sum(q^2) for @p iters rounds (early exit on
+ * relative change <= 1e-7). The num/den sums are accumulated per
+ * deterministic element chunk and tree-merged — the shared numeric
+ * spec — but each chunk is walked with the scalar projector, serially.
+ * Returns the fitted alpha (strictly positive; 1.0 for an all-zero
+ * group).
  */
 double fitAlpha(std::span<const float> w, std::span<const double> mags,
                 int iters = 8);
 
 /**
- * Quantize a flat group of weights with one scheme and one alpha.
- * Writes the dequantized values (alpha * level) into @p out and
- * returns the fitted alpha.
+ * Kernel alpha fit over a cached LevelSet: same specification as the
+ * reference overload — bit-identical result — with the projection
+ * fused into the accumulation pass (no per-element re-search) and
+ * the chunks computed in parallel.
+ */
+double fitAlpha(std::span<const float> w, const LevelSet& ls,
+                int iters = 8);
+
+/**
+ * Project every element of @p w onto alpha * ls.mags() into @p out
+ * (may alias w), using the branchless kernel projector. Bit-identical
+ * to calling the scalar projectValue per element.
+ */
+void projectGroup(std::span<const float> w, std::span<float> out,
+                  const LevelSet& ls, double alpha);
+
+/**
+ * Quantize a flat group of weights with one scheme and one alpha via
+ * the cached LevelSet registry and the fused kernels. Writes the
+ * dequantized values (alpha * level) into @p out and returns the
+ * fitted alpha.
  */
 double quantizeGroup(std::span<const float> w, std::span<float> out,
                      QuantScheme scheme, int bits);
@@ -60,6 +106,13 @@ struct MatrixQuantResult
  * variance partition and projects each row group with its own scheme.
  * Granularity selects one alpha per scheme group or one per row.
  *
+ * Kernel path: PerRow parallelizes across rows (each row fitted and
+ * projected serially by one worker), PerGroup fits each scheme
+ * group's joint alpha over parallel deterministic chunks of an index
+ * view (no gather copy) and projects the group's rows in parallel.
+ * Results are bit-identical to quantizeMatrixRef and across
+ * OMP_NUM_THREADS.
+ *
  * @param w     input weights, row-major rows x cols
  * @param out   output dequantized weights, same layout (may alias w)
  * @param rng_seed  seed for the Random partition policy
@@ -67,6 +120,17 @@ struct MatrixQuantResult
 MatrixQuantResult quantizeMatrix(const float* w, float* out, size_t rows,
                                  size_t cols, const QConfig& cfg,
                                  uint64_t rng_seed = 1);
+
+/**
+ * Retained scalar reference of quantizeMatrix: same partition, same
+ * chunked fitAlpha specification, but serial throughout with the
+ * per-element lower_bound projector. The kernels are benchmarked
+ * (BM_QuantizeMatrix* in bench_micro_quant) and tested against it.
+ */
+MatrixQuantResult quantizeMatrixRef(const float* w, float* out,
+                                    size_t rows, size_t cols,
+                                    const QConfig& cfg,
+                                    uint64_t rng_seed = 1);
 
 /** Mean squared quantization error between two equal-size spans. */
 double quantMse(std::span<const float> a, std::span<const float> b);

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <utility>
 
 #include "util/logging.hh"
 
@@ -107,6 +112,112 @@ magnitudes(QuantScheme s, int bits)
         fatal("Mixed has no single level set; use per-row schemes");
     }
     panic("unknown scheme");
+}
+
+namespace {
+
+/**
+ * Smallest double t in (lo, hi] for which the scalar reference rule
+ * `(t - lo) <= (hi - t) ? lo : hi` picks hi. The predicate is
+ * monotone in t (t - lo rounds monotonically up, hi - t down), so
+ * the flip point is well defined and bisection over doubles finds it
+ * exactly: at t = lo the rule picks lo, at t = hi it picks hi.
+ */
+double
+flipPoint(double lo, double hi)
+{
+    double a = lo;
+    double b = hi;
+    while (std::nextafter(a, b) < b) {
+        double m = std::midpoint(a, b);
+        if ((m - lo) <= (hi - m))
+            a = m;
+        else
+            b = m;
+    }
+    return b;
+}
+
+} // namespace
+
+LevelSet::LevelSet(QuantScheme s, int bits)
+    : scheme_(s), bits_(bits), mags_(magnitudes(s, bits))
+{
+    MIXQ_ASSERT(mags_.size() >= 2, "level set needs >= 2 magnitudes");
+    magsF_.reserve(mags_.size());
+    for (double m : mags_)
+        magsF_.push_back(float(m));
+
+    bnd_.reserve(mags_.size() - 1);
+    for (size_t i = 0; i + 1 < mags_.size(); ++i)
+        bnd_.push_back(flipPoint(mags_[i], mags_[i + 1]));
+
+    // Pad to a power of two strictly greater than the boundary count
+    // so the predicated binary search can return any index in
+    // [0, mags-1]; +inf entries never compare <= t.
+    size_t p = 1;
+    while (p <= bnd_.size())
+        p *= 2;
+    pad_.assign(p, std::numeric_limits<double>::infinity());
+    std::copy(bnd_.begin(), bnd_.end(), pad_.begin());
+    search_ = p / 2;
+    maxIdx_ = mags_.size() - 1;
+
+    // Mode selection (all modes exact — this is purely measured
+    // cost): a predicated linear sweep wins on small sets (its
+    // compares are independent, the search's cmov chain is not), the
+    // binary search on mid-size sets, and the verified closed-form
+    // guess only once the search would need ~7 dependent steps.
+    mode_ = bnd_.size() <= 16 ? LevelProjector::Linear
+                              : LevelProjector::Search;
+
+    if (s == QuantScheme::Fixed) {
+        // The uniform grid admits the closed-form guess
+        // k0 = floor(t * L + 0.5); LevelProjector::index corrects it
+        // with two predicated comparisons against the exact
+        // thresholds, which is only sound when the guess is within
+        // one index of the reference assignment. Verify that at
+        // every threshold, one ulp below it, and at both ends of
+        // [0, 1]: the guess is monotone in t and the true index is a
+        // monotone step function flipping only at the thresholds, so
+        // the guess error on each constant-index interval is
+        // extremal at these checked points.
+        levels_ = double(mags_.size() - 1);
+        auto guess = [&](double t) {
+            return long(t * levels_ + 0.5);
+        };
+        auto within1 = [&](double t, long want) {
+            long g = guess(t);
+            return g >= want - 1 && g <= want + 1 && g >= 0 &&
+                   g <= long(maxIdx_);
+        };
+        bool ok = within1(0.0, 0) && within1(1.0, long(maxIdx_));
+        for (size_t i = 0; i < bnd_.size(); ++i) {
+            ok &= within1(bnd_[i], long(i) + 1);
+            ok &= within1(std::nextafter(bnd_[i], 0.0), long(i));
+        }
+        if (ok && bnd_.size() > 64)
+            mode_ = LevelProjector::Uniform;
+    }
+}
+
+const LevelSet&
+levelSet(QuantScheme s, int bits)
+{
+    MIXQ_ASSERT(s != QuantScheme::Mixed,
+                "Mixed has no single level set; use per-row schemes");
+    static std::mutex mu;
+    static std::map<std::pair<int, int>, LevelSet> cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto key = std::make_pair(int(s), bits);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache.emplace(std::piecewise_construct,
+                           std::forward_as_tuple(key),
+                           std::forward_as_tuple(s, bits))
+                 .first;
+    }
+    return it->second;
 }
 
 std::vector<double>

@@ -10,7 +10,9 @@
 #ifndef MIXQ_QUANT_SCHEME_HH
 #define MIXQ_QUANT_SCHEME_HH
 
+#include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "quant/qconfig.hh"
@@ -60,6 +62,157 @@ std::vector<double> magnitudes(QuantScheme s, int bits);
  * +magnitudes and -magnitudes with the shared zero de-duplicated.
  */
 std::vector<double> signedLevels(QuantScheme s, int bits);
+
+/**
+ * The by-value projection kernel of a LevelSet: a small POD holding
+ * the table pointers and search constants, so hot loops that copy it
+ * keep everything in registers instead of re-reading LevelSet
+ * members through a pointer each element.
+ */
+struct LevelProjector
+{
+    /** How index() counts the thresholds <= t. All three are exact;
+        construction picks the fastest for the set's size/shape. */
+    enum Mode : int {
+        Linear,  //!< predicated sweep: independent compares, tiny sets
+        Search,  //!< fixed-depth predicated binary search
+        Uniform, //!< verified round(t * L) guess + 2 predicated fixups
+    };
+
+    const double* mags;   //!< sorted magnitudes
+    const double* bnd;    //!< exact thresholds
+    const double* pad;    //!< thresholds padded to pow2 with +inf
+    size_t nbnd;          //!< threshold count (Linear sweep bound)
+    size_t search;        //!< first step of the predicated search
+    size_t maxIdx;        //!< mags count - 1
+    double levels;        //!< grid density L of the Uniform guess
+    int mode;             //!< one of Mode
+
+    /**
+     * Index of the magnitude nearest to t in [0, 1] (lo on tie),
+     * bit-identical to the scalar lower_bound reference: the true
+     * index is the number of exact thresholds <= t. No
+     * data-dependent branches in any mode.
+     */
+    size_t index(double t) const
+    {
+        if (mode == Linear) {
+            // Independent compares: the superscalar core retires
+            // several per cycle, beating the search's serially
+            // dependent cmov chain on small sets.
+            size_t idx = 0;
+            for (size_t i = 0; i < nbnd; ++i)
+                idx += bnd[i] <= t ? 1 : 0;
+            return idx;
+        }
+        if (mode == Uniform) {
+            // The >= 1.0 gate keeps NaN out of the float-to-long
+            // conversion (undefined behavior): NaN fails it, takes
+            // k = 0, fails both fixup compares, and lands on the
+            // zero magnitude — exactly where the scalar reference's
+            // lower_bound sends NaN, and what Linear/Search compute.
+            double g = t * levels + 0.5;
+            long k = g >= 1.0 ? long(g) : 0;
+            k -= long(k > 0 && t < bnd[k - 1]);
+            k += long(k < long(maxIdx) && t >= bnd[k]);
+            return size_t(k);
+        }
+        size_t idx = 0;
+        for (size_t step = search; step > 0; step >>= 1)
+            idx += pad[idx + step - 1] <= t ? step : 0;
+        return idx;
+    }
+
+    /** Magnitude value nearest to t (lo on tie), t in [0, 1]. */
+    double mag(double t) const { return mags[index(t)]; }
+};
+
+/**
+ * Immutable, cached level set of one (scheme, bits) pair, built once
+ * by levelSet() and shared by every projection call. Besides the
+ * sorted magnitudes (double, plus a float32 copy for float-domain
+ * consumers) it precomputes the *decision boundaries* of the
+ * nearest-magnitude assignment: boundary b[i] between mags[i] and
+ * mags[i+1] is the smallest double t for which the scalar reference
+ * rule `(t - lo) <= (hi - t) ? lo : hi` (lo wins ties at midpoints)
+ * picks hi, found by bisection over doubles at construction. The
+ * LevelProjector's predicated threshold counts therefore reproduce
+ * the reference assignment bit for bit — including ties — without
+ * per-element branches.
+ *
+ * For deep uniform Fixed grids, the projector uses the closed form
+ * round(t * L) as a *guess* and corrects it against the exact
+ * boundary array with two predicated comparisons. Construction
+ * verifies the guess lands within one index of the reference
+ * assignment at every threshold (both functions are monotone in t,
+ * so checking the thresholds bounds the error everywhere) and falls
+ * back to the boundary search if not — exactness is never traded
+ * for the shortcut.
+ */
+class LevelSet
+{
+  public:
+    LevelSet(QuantScheme s, int bits);
+
+    QuantScheme scheme() const { return scheme_; }
+    int bits() const { return bits_; }
+    /** Sorted magnitudes in [0, 1], identical to magnitudes(). */
+    std::span<const double> mags() const { return mags_; }
+    /** Float32 copies of mags() for float-domain consumers. */
+    std::span<const float> magsF() const { return magsF_; }
+    /** Exact assignment thresholds; boundaries()[i] is the smallest
+        t assigned to mags()[i + 1]. Size mags().size() - 1. */
+    std::span<const double> boundaries() const { return bnd_; }
+    /** The projector mode construction picked for this set. */
+    LevelProjector::Mode mode() const { return mode_; }
+    /** Grid density L = mags().size() - 1 of the Uniform guess. */
+    double levels() const { return levels_; }
+
+    /** The register-resident projection kernel for hot loops. */
+    LevelProjector projector() const
+    {
+        return {mags_.data(), bnd_.data(), pad_.data(), bnd_.size(),
+                search_,      maxIdx_,     levels_,     int(mode_)};
+    }
+
+    /** Index of the magnitude nearest to t (lo on tie), t in [0, 1],
+        bit-identical to the scalar lower_bound reference. */
+    size_t nearestIndex(double t) const { return projector().index(t); }
+
+    /** Magnitude value nearest to t (lo on tie), t in [0, 1]. */
+    double nearestMag(double t) const { return mags_[nearestIndex(t)]; }
+
+    /**
+     * Project one value onto alpha * mags() per Eq. (3): clip to
+     * [-alpha, alpha], assign the nearest magnitude, keep the sign.
+     * Bit-identical to the retained scalar projectValue() reference.
+     */
+    double projectValue(double x, double alpha) const
+    {
+        double t = std::min(double(std::fabs(x)) * (1.0 / alpha), 1.0);
+        return (x < 0.0 ? -1.0 : 1.0) * alpha * mags_[nearestIndex(t)];
+    }
+
+  private:
+    QuantScheme scheme_;
+    int bits_;
+    std::vector<double> mags_;
+    std::vector<float> magsF_;
+    std::vector<double> bnd_;  //!< exact thresholds, size mags-1
+    std::vector<double> pad_;  //!< bnd_ padded to pow2 with +inf
+    size_t search_ = 0;        //!< first step of the binary search
+    size_t maxIdx_ = 0;        //!< mags count - 1
+    LevelProjector::Mode mode_ = LevelProjector::Search;
+    double levels_ = 0.0;
+};
+
+/**
+ * The process-wide LevelSet cache: one immutable instance per
+ * (scheme, bits), built on first use and shared forever after
+ * (references stay valid for the process lifetime). Thread-safe.
+ * Mixed has no single level set and is rejected.
+ */
+const LevelSet& levelSet(QuantScheme s, int bits);
 
 } // namespace mixq
 

@@ -301,27 +301,61 @@ TEST(GemmPacked, PackedAMatchesNaiveAcrossShapes)
     }
 }
 
-TEST(GemmPacked, MatchesDispatchedEntryPointsBitExact)
+TEST(GemmPacked, RelaxedDispatchRules)
 {
-    // The packed path must be bit-identical to the per-call
-    // dispatched path in both regimes: it shares the naive kernels
-    // below the threshold and the exact sweep/panel layout above it.
+    // Pre-packed plans drop the per-call skinny-m rule: with the
+    // pack already paid, only sub-threshold volumes fall back to
+    // naive. 16384 = 32*32*16.
+    ASSERT_EQ(forcedGemmKernel(), GemmKernel::Auto);
+    EXPECT_EQ(activePackedGemmKernel(32, 32, 16), GemmKernel::Naive);
+    EXPECT_EQ(activePackedGemmKernel(32, 32, 17), GemmKernel::Blocked);
+    // The shape the per-call path sends to naive because of m alone
+    // stays blocked through a plan.
+    EXPECT_EQ(activeGemmKernel(kGemmMR - 1, 512, 512),
+              GemmKernel::Naive);
+    EXPECT_EQ(activePackedGemmKernel(kGemmMR - 1, 512, 512),
+              GemmKernel::Blocked);
+    // Forcing still overrides.
+    setGemmKernel(GemmKernel::Naive);
+    EXPECT_EQ(activePackedGemmKernel(kGemmMR - 1, 512, 512),
+              GemmKernel::Naive);
+    setGemmKernel(GemmKernel::Auto);
+}
+
+TEST(GemmPacked, MatchesServicingKernelBitExact)
+{
+    // The packed-path contract: bit-identical to whichever kernel
+    // activePackedGemmKernel() picks — the naive kernel below the
+    // volume threshold, the blocked kernel above it (including
+    // skinny-m shapes the *per-call* path would send to naive: the
+    // plan shares the blocked sweep/panel layout exactly).
     struct Case
     {
         size_t m, n, k;
     };
-    const Case cases[] = {{4, 8, 16}, {61, 300, 270}};
+    const Case cases[] = {
+        {4, 8, 16},      // sub-threshold: naive regime
+        {61, 300, 270},  // blocked regime
+        {4, 1024, 256},  // skinny-m, relaxed onto the blocked kernel
+    };
     uint64_t seed = 900;
     for (const Case& s : cases) {
+        SCOPED_TRACE(testing::Message()
+                     << s.m << "x" << s.n << "x" << s.k);
         auto a = randVec(s.m * s.k, seed++);
         auto bt = randVec(s.n * s.k, seed++);
-        std::vector<float> c1(s.m * s.n), c2(s.m * s.n);
-        gemmBT(a.data(), bt.data(), c1.data(), s.m, s.n, s.k);
+        std::vector<float> c1(s.m * s.n, 0.0f), c2(s.m * s.n);
+        if (activePackedGemmKernel(s.m, s.n, s.k) == GemmKernel::Naive)
+            gemmNaiveBTAcc(a.data(), bt.data(), c1.data(), s.m, s.n,
+                           s.k);
+        else
+            gemmBlockedBTAcc(a.data(), bt.data(), c1.data(), s.m, s.n,
+                             s.k);
         PackedMat plan;
         plan.ensureB(bt.data(), s.k, s.n, true, 1);
         gemmPackedB(a.data(), plan, c2.data(), s.m, s.n, s.k);
         for (size_t i = 0; i < c1.size(); ++i)
-            EXPECT_EQ(c1[i], c2[i]) << "index " << i;
+            ASSERT_EQ(c1[i], c2[i]) << "index " << i;
     }
 }
 

@@ -163,5 +163,54 @@ TEST(Levels, RatioHelper)
     EXPECT_DOUBLE_EQ(QConfig::fractionFromRatio(0.0, 1.0), 0.0);
 }
 
+TEST(LevelSetCache, RegistryReturnsOneSharedInstance)
+{
+    const LevelSet& a = levelSet(QuantScheme::Sp2, 4);
+    const LevelSet& b = levelSet(QuantScheme::Sp2, 4);
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &levelSet(QuantScheme::Sp2, 5));
+    EXPECT_NE(&a, &levelSet(QuantScheme::Pow2, 4));
+}
+
+TEST(LevelSetCache, MagnitudesAndFloatCopiesMatchBuilders)
+{
+    for (QuantScheme s : {QuantScheme::Fixed, QuantScheme::Pow2,
+                          QuantScheme::Sp2}) {
+        for (int bits = 2; bits <= 8; ++bits) {
+            const LevelSet& ls = levelSet(s, bits);
+            auto want = magnitudes(s, bits);
+            ASSERT_EQ(ls.mags().size(), want.size());
+            ASSERT_EQ(ls.magsF().size(), want.size());
+            for (size_t i = 0; i < want.size(); ++i) {
+                EXPECT_EQ(ls.mags()[i], want[i]);
+                EXPECT_EQ(ls.magsF()[i], float(want[i]));
+            }
+        }
+    }
+}
+
+TEST(LevelSetCache, BoundariesSeparateTheirIntervals)
+{
+    // b[i] lies in (mags[i], mags[i+1]] and is the first t assigned
+    // upward: t = b[i] projects to mags[i+1], one ulp below to
+    // mags[i]. This is the lo-on-tie rule as an exact threshold.
+    for (QuantScheme s : {QuantScheme::Fixed, QuantScheme::Pow2,
+                          QuantScheme::Sp2}) {
+        for (int bits = 2; bits <= 8; ++bits) {
+            const LevelSet& ls = levelSet(s, bits);
+            auto mags = ls.mags();
+            auto bnd = ls.boundaries();
+            ASSERT_EQ(bnd.size(), mags.size() - 1);
+            for (size_t i = 0; i < bnd.size(); ++i) {
+                EXPECT_GT(bnd[i], mags[i]);
+                EXPECT_LE(bnd[i], mags[i + 1]);
+                EXPECT_EQ(ls.nearestMag(bnd[i]), mags[i + 1]);
+                EXPECT_EQ(ls.nearestMag(std::nextafter(bnd[i], 0.0)),
+                          mags[i]);
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace mixq

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Bit-exactness and thread-invariance matrix for the cached-LevelSet
+ * quantization kernels. Two guarantees are pinned:
+ *
+ *  1. The kernel path (LevelSet projection, fused fitAlpha,
+ *     quantizeMatrix) is *bit-identical* to the retained scalar
+ *     reference (projectValue / the mags-span fitAlpha overload /
+ *     quantizeMatrixRef) on randomized matrices across every scheme,
+ *     bit width in {2..8} and granularity — including inputs placed
+ *     exactly on the assignment thresholds, where the lo-on-tie rule
+ *     decides.
+ *
+ *  2. quantizeMatrix and fitAlpha return bit-identical results for
+ *     OMP_NUM_THREADS in {1, 4, 8}: the fit accumulates per-chunk
+ *     partials over deterministicBatchChunks boundaries merged in a
+ *     fixed tree order, and row/group projection gives each worker
+ *     whole rows, so no float operation order depends on the thread
+ *     count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "quant/quantizer.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+const QuantScheme kConcrete[] = {QuantScheme::Fixed, QuantScheme::Pow2,
+                                 QuantScheme::Sp2};
+const QuantScheme kAll[] = {QuantScheme::Fixed, QuantScheme::Pow2,
+                            QuantScheme::Sp2, QuantScheme::Mixed};
+
+std::vector<float>
+randWeights(size_t n, uint64_t seed, double sigma = 0.3)
+{
+    Rng rng(seed);
+    std::vector<float> w(n);
+    for (float& x : w)
+        x = float(rng.normal(0.0, sigma));
+    return w;
+}
+
+void
+expectBitEqual(const std::vector<float>& got,
+               const std::vector<float>& want, const char* what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (size_t i = 0; i < got.size(); ++i)
+        ASSERT_EQ(got[i], want[i]) << what << " index " << i;
+}
+
+// ------------------------------------------------------------------
+// Kernel vs retained scalar reference, bit for bit.
+// ------------------------------------------------------------------
+
+TEST(QuantBitExact, ProjectorMatchesReferenceOnRandomValues)
+{
+    Rng rng(11);
+    for (QuantScheme s : kConcrete) {
+        for (int bits = 2; bits <= 8; ++bits) {
+            const LevelSet& ls = levelSet(s, bits);
+            std::vector<double> mags(ls.mags().begin(),
+                                     ls.mags().end());
+            for (int i = 0; i < 2000; ++i) {
+                double x = rng.normal(0.0, 0.5);
+                double alpha = rng.uniform(0.05, 2.0);
+                double fast = ls.projectValue(x, alpha);
+                double ref = projectValue(x, mags, alpha);
+                ASSERT_EQ(fast, ref)
+                    << toString(s) << " bits=" << bits << " x=" << x
+                    << " alpha=" << alpha;
+            }
+        }
+    }
+}
+
+TEST(QuantBitExact, ProjectorMatchesReferenceAtMidpointTies)
+{
+    // The decisive inputs: t exactly on every assignment threshold
+    // (and one ulp to either side), plus the arithmetic midpoints
+    // where the lo-on-tie rule fires. alpha = 1 keeps t == |x|
+    // exact, so these values reach the comparison unchanged.
+    for (QuantScheme s : kConcrete) {
+        for (int bits = 2; bits <= 8; ++bits) {
+            const LevelSet& ls = levelSet(s, bits);
+            std::vector<double> mags(ls.mags().begin(),
+                                     ls.mags().end());
+            auto check = [&](double t) {
+                for (double x : {t, -t}) {
+                    double fast = ls.projectValue(x, 1.0);
+                    double ref = projectValue(x, mags, 1.0);
+                    ASSERT_EQ(fast, ref)
+                        << toString(s) << " bits=" << bits
+                        << " x=" << x;
+                }
+            };
+            for (size_t i = 0; i < ls.boundaries().size(); ++i) {
+                double b = ls.boundaries()[i];
+                check(b);
+                check(std::nextafter(b, 0.0));
+                check(std::nextafter(b, 2.0));
+                check((mags[i] + mags[i + 1]) / 2.0);
+            }
+        }
+    }
+}
+
+TEST(QuantBitExact, ProjectorMatchesReferenceOnNonFiniteValues)
+{
+    // NaN weights (diverged training) and infinities must take the
+    // same path as the scalar reference in every projector mode —
+    // bits=8 Fixed reaches the Uniform closed-form guess, whose
+    // float-to-integer conversion would be UB on NaN without its
+    // finite gate. The reference maps NaN to the zero magnitude.
+    double bad[] = {std::nan(""), -std::nan(""),
+                    std::numeric_limits<double>::infinity(),
+                    -std::numeric_limits<double>::infinity()};
+    for (QuantScheme s : kConcrete) {
+        for (int bits = 2; bits <= 8; ++bits) {
+            const LevelSet& ls = levelSet(s, bits);
+            std::vector<double> mags(ls.mags().begin(),
+                                     ls.mags().end());
+            for (double x : bad) {
+                double fast = ls.projectValue(x, 0.7);
+                double ref = projectValue(x, mags, 0.7);
+                ASSERT_EQ(std::isnan(fast), std::isnan(ref));
+                if (!std::isnan(ref))
+                    ASSERT_EQ(fast, ref)
+                        << toString(s) << " bits=" << bits
+                        << " x=" << x;
+            }
+        }
+    }
+}
+
+TEST(QuantBitExact, FitAlphaMatchesReference)
+{
+    for (QuantScheme s : kConcrete) {
+        for (int bits = 2; bits <= 8; ++bits) {
+            const LevelSet& ls = levelSet(s, bits);
+            std::vector<double> mags(ls.mags().begin(),
+                                     ls.mags().end());
+            // Sizes on both sides of the single-chunk threshold.
+            for (size_t n : {7u, 576u, 5000u, 40000u}) {
+                auto w = randWeights(n, 31 * n + size_t(s) + bits);
+                double fast = fitAlpha(w, ls);
+                double ref = fitAlpha(w, mags);
+                ASSERT_EQ(fast, ref) << toString(s) << " bits=" << bits
+                                     << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(QuantBitExact, QuantizeMatrixMatchesReferenceEverywhere)
+{
+    for (QuantScheme s : kAll) {
+        for (int bits = 2; bits <= 8; ++bits) {
+            for (Granularity g :
+                 {Granularity::PerRow, Granularity::PerGroup}) {
+                QConfig cfg;
+                cfg.scheme = s;
+                cfg.bits = bits;
+                cfg.granularity = g;
+                size_t rows = 29, cols = 173; // ragged on purpose
+                auto w = randWeights(rows * cols,
+                                     1000 + size_t(s) * 64 +
+                                         size_t(bits) * 8 + size_t(g));
+                std::vector<float> fast(w.size()), ref(w.size());
+                auto rf = quantizeMatrix(w.data(), fast.data(), rows,
+                                         cols, cfg);
+                auto rr = quantizeMatrixRef(w.data(), ref.data(), rows,
+                                            cols, cfg);
+                SCOPED_TRACE(testing::Message()
+                             << toString(s) << " bits=" << bits
+                             << " gran=" << int(g));
+                expectBitEqual(fast, ref, "projected weights");
+                expectBitEqual(rf.rowAlpha, rr.rowAlpha, "row alpha");
+                ASSERT_EQ(rf.rowScheme, rr.rowScheme);
+                ASSERT_EQ(rf.numSp2, rr.numSp2);
+            }
+        }
+    }
+}
+
+TEST(QuantBitExact, QuantizeGroupOnCachedSetMatchesReference)
+{
+    for (QuantScheme s : kConcrete) {
+        auto w = randWeights(4096, 77 + size_t(s));
+        std::vector<float> fast(w.size()), ref(w.size());
+        double af = quantizeGroup(w, fast, s, 4);
+        std::vector<double> mags = magnitudes(s, 4);
+        double ar = fitAlpha(std::span<const float>(w), mags);
+        for (size_t i = 0; i < w.size(); ++i)
+            ref[i] = float(projectValue(w[i], mags, ar));
+        ASSERT_EQ(af, ar) << toString(s);
+        expectBitEqual(fast, ref, "group projection");
+    }
+}
+
+// ------------------------------------------------------------------
+// Thread-count invariance matrix.
+// ------------------------------------------------------------------
+
+#ifdef _OPENMP
+
+/** Run fn at 1, 4 and 8 threads; all results must be bit-equal. */
+template <class Fn>
+void
+checkThreadInvariance(Fn&& fn)
+{
+    int prev = omp_get_max_threads();
+    omp_set_num_threads(1);
+    auto base = fn();
+    for (int threads : {4, 8}) {
+        omp_set_num_threads(threads);
+        auto got = fn();
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        ASSERT_EQ(got.first.size(), base.first.size());
+        for (size_t i = 0; i < base.first.size(); ++i)
+            ASSERT_EQ(got.first[i], base.first[i]) << "out " << i;
+        ASSERT_EQ(got.second, base.second);
+    }
+    omp_set_num_threads(prev);
+}
+
+TEST(QuantMtMatrix, QuantizeMatrixBitIdenticalAcrossThreadCounts)
+{
+    // Ragged row counts (not divisible by 4 or 8) and both
+    // granularities; Mixed exercises the partition + both groups.
+    for (QuantScheme s : kAll) {
+        for (Granularity g :
+             {Granularity::PerRow, Granularity::PerGroup}) {
+            size_t rows = 37, cols = 576;
+            auto w = randWeights(rows * cols, 500 + size_t(s));
+            SCOPED_TRACE(testing::Message()
+                         << toString(s) << " gran=" << int(g));
+            checkThreadInvariance([&] {
+                QConfig cfg;
+                cfg.scheme = s;
+                cfg.granularity = g;
+                std::vector<float> out(w.size());
+                auto res = quantizeMatrix(w.data(), out.data(), rows,
+                                          cols, cfg);
+                return std::make_pair(std::move(out), res.rowAlpha);
+            });
+        }
+    }
+}
+
+TEST(QuantMtMatrix, FitAlphaBitIdenticalAcrossThreadCounts)
+{
+    // Sizes that land on 1, several, and the maximum chunk count.
+    for (size_t n : {576u, 40000u, 400000u}) {
+        auto w = randWeights(n, 900 + n);
+        const LevelSet& ls = levelSet(QuantScheme::Sp2, 4);
+        SCOPED_TRACE(testing::Message() << "n=" << n);
+        checkThreadInvariance([&] {
+            std::vector<float> alpha(1, float(fitAlpha(w, ls)));
+            return std::make_pair(std::move(alpha), 0);
+        });
+    }
+}
+
+#endif // _OPENMP
+
+} // namespace
+} // namespace mixq

@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
-"""CI gate for the GEMM microbenchmark perf budget.
+"""CI gate for the microbenchmark perf budget.
 
-Runs ``bench_micro_gemm`` (google-benchmark JSON output) on exactly
+Runs the bench binaries (google-benchmark JSON output) on exactly
 the benchmarks named by the budget file, then checks every ratio
 listed there: ``items_per_second(fast) / items_per_second(slow) >=
 min_ratio``. Ratios between two benchmarks from the same run are far
 more stable on shared CI runners than absolute times, so the budget
 gates the *structure* of the hot path (blocked beats naive, a
-pre-packed plan beats repack-every-call) rather than the machine.
+pre-packed plan beats repack-every-call, the fused quantizer beats
+the scalar reference) rather than the machine.
+
+Each check may carry a ``bench`` key naming which binary hosts its
+benchmarks (default ``bench_micro_gemm``); pass one ``--bench`` per
+binary as ``name=path`` (a bare path means its basename). Checks
+whose binary was not supplied are skipped with a note.
 
 Checks may carry ``min_cores``: on a machine with fewer CPU cores
 the check is reported as skipped instead of evaluated, because
@@ -20,6 +26,7 @@ given. Medians over --repetitions runs feed the ratios.
 
 Usage:
   tools/check_perf_budget.py --bench build/bench_micro_gemm \
+      --bench bench_micro_quant=build/bench_micro_quant \
       [--budget bench/perf_budget.json] [--repetitions 3] [--warn-only]
 """
 
@@ -31,12 +38,17 @@ import subprocess
 import sys
 
 
+DEFAULT_BENCH = "bench_micro_gemm"
+
+
 def load_budget(path):
     with open(path) as f:
         budget = json.load(f)
     checks = budget.get("checks", [])
     if not checks:
         sys.exit(f"error: no checks in budget file {path}")
+    for c in checks:
+        c.setdefault("bench", DEFAULT_BENCH)
     return checks
 
 
@@ -69,8 +81,9 @@ def median_items_per_second(report, name):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--bench", required=True,
-                    help="path to the bench_micro_gemm binary")
+    ap.add_argument("--bench", required=True, action="append",
+                    help="bench binary as name=path (bare path: name "
+                         "is its basename); repeatable")
     ap.add_argument("--budget", default="bench/perf_budget.json")
     ap.add_argument("--repetitions", type=int, default=3)
     ap.add_argument("--warn-only", action="store_true",
@@ -79,6 +92,14 @@ def main():
     if args.repetitions < 2:
         sys.exit("error: --repetitions must be >= 2 (google-benchmark "
                  "emits the median aggregate only for repeated runs)")
+
+    benches = {}
+    for spec in args.bench:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            path = spec
+            name = os.path.basename(spec)
+        benches[name] = path
 
     checks = load_budget(args.budget)
     # Available cores, not host cores: in a cgroup/affinity-limited
@@ -91,21 +112,31 @@ def main():
     runnable = []
     for c in checks:
         need = c.get("min_cores", 1)
+        bench = c["bench"]
         if cores < need:
             print(f"skip {c['name']}: needs {need} cores, "
                   f"this machine has {cores}")
+        elif bench not in benches:
+            print(f"skip {c['name']}: bench binary '{bench}' not "
+                  f"supplied via --bench")
         else:
             runnable.append(c)
     checks = runnable
     if not checks:
         print("all checks skipped on this machine")
         return 0
-    names = sorted({c["fast"] for c in checks}
-                   | {c["slow"] for c in checks})
-    report = run_bench(args.bench, names, args.repetitions)
+
+    reports = {}
+    for bench in sorted({c["bench"] for c in checks}):
+        names = sorted(
+            {c["fast"] for c in checks if c["bench"] == bench}
+            | {c["slow"] for c in checks if c["bench"] == bench})
+        reports[bench] = run_bench(benches[bench], names,
+                                   args.repetitions)
 
     failed = []
     for c in checks:
+        report = reports[c["bench"]]
         fast = median_items_per_second(report, c["fast"])
         slow = median_items_per_second(report, c["slow"])
         ratio = fast / slow
