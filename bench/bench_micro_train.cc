@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the non-layer half of the
+ * training step — the pieces that run per parameter per epoch/batch
+ * between the GEMM-backed layers:
+ *
+ *  - BM_AdmmEpochUpdate*: the fused quantizeMatrixBiased epoch update
+ *    (one pass: W + U assembly folded into the alpha-fit prep,
+ *    projection and the scaled-dual update in the same parallel
+ *    region, no wu scratch) vs the retained two-pass references —
+ *    epochUpdateRef over the PR4 kernel quantizer (TwoPass) and over
+ *    the scalar-reference quantizer (Ref, the perf-budget baseline).
+ *  - BM_PenaltyGrad*: the fused penalty-gradient + penalty pass vs
+ *    the two separate walks it replaced.
+ *  - BM_SgdStep*: the chunk-parallel elementwise optimizer step.
+ *  - BM_TrainStep*: one end-to-end QAT batch (gather-free: fixed
+ *    batch) — forward, fused loss, backward, fused penalty, step.
+ *
+ * The *1T/*4T variants pin the OpenMP thread count (UseRealTime, as
+ * the RNN and quant benches do); bench/perf_budget.json gates the
+ * fused-vs-reference ratio at one thread and the 4T/1T scaling with
+ * min_cores: 4.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "data/synth_images.hh"
+#include "nn/loss.hh"
+#include "nn/models.hh"
+#include "nn/optim.hh"
+#include "nn/trainer.hh"
+#include "quant/admm.hh"
+#include "quant/quantizer.hh"
+#include "util/rng.hh"
+
+using namespace mixq;
+
+namespace {
+
+std::vector<float>
+weights(size_t n, uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<float> w(n);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.25));
+    return w;
+}
+
+class ThreadPin
+{
+  public:
+    explicit ThreadPin(int threads)
+    {
+#ifdef _OPENMP
+        prev_ = omp_get_max_threads();
+        if (threads > 0)
+            omp_set_num_threads(threads);
+#else
+        (void)threads;
+#endif
+    }
+    ~ThreadPin()
+    {
+#ifdef _OPENMP
+        omp_set_num_threads(prev_);
+#endif
+    }
+
+  private:
+    int prev_ = 0;
+};
+
+// ------------------------------------------------ ADMM epoch update
+
+enum class EpochMode {
+    Fused,   //!< quantizeMatrixBiased single pass
+    TwoPass, //!< epochUpdateRef over the PR4 kernel quantizeMatrix
+    Ref,     //!< epochUpdateRef over the scalar quantizeMatrixRef
+};
+
+void
+runAdmmEpochUpdate(benchmark::State& state, EpochMode mode, int threads)
+{
+    ThreadPin pin(threads);
+    const size_t rows = 64, cols = 576;
+    QConfig cfg; // paper default: Mixed, 4-bit, PerRow
+    auto w = weights(rows * cols);
+
+    auto proj = [&](std::span<const float> in, std::span<float> out) {
+        quantizeMatrix(in.data(), out.data(), rows, cols, cfg);
+    };
+    auto projRef = [&](std::span<const float> in,
+                       std::span<float> out) {
+        quantizeMatrixRef(in.data(), out.data(), rows, cols, cfg);
+    };
+    auto biased = [&](std::span<const float> wv, std::span<float> u,
+                      std::span<float> z) {
+        quantizeMatrixBiased(wv.data(), u.data(), z.data(), rows, cols,
+                             cfg);
+    };
+
+    AdmmState st0;
+    st0.init(w, proj, 1e-2);
+    st0.epochUpdate(w, biased); // make U nonzero, like epoch >= 1
+    AdmmState st = st0;
+
+    for (auto _ : state) {
+        st = st0; // two vector copies, no allocation after the first
+        switch (mode) {
+          case EpochMode::Fused:   st.epochUpdate(w, biased); break;
+          case EpochMode::TwoPass: st.epochUpdateRef(w, proj); break;
+          case EpochMode::Ref:     st.epochUpdateRef(w, projRef); break;
+        }
+        benchmark::DoNotOptimize(st.u().data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+
+void
+BM_AdmmEpochUpdate(benchmark::State& state)
+{
+    runAdmmEpochUpdate(state, EpochMode::Fused, /*threads=*/0);
+}
+BENCHMARK(BM_AdmmEpochUpdate);
+
+void
+BM_AdmmEpochUpdate1T(benchmark::State& state)
+{
+    runAdmmEpochUpdate(state, EpochMode::Fused, 1);
+}
+BENCHMARK(BM_AdmmEpochUpdate1T)->UseRealTime();
+
+void
+BM_AdmmEpochUpdate4T(benchmark::State& state)
+{
+    runAdmmEpochUpdate(state, EpochMode::Fused, 4);
+}
+BENCHMARK(BM_AdmmEpochUpdate4T)->UseRealTime();
+
+void
+BM_AdmmEpochUpdateTwoPass1T(benchmark::State& state)
+{
+    runAdmmEpochUpdate(state, EpochMode::TwoPass, 1);
+}
+BENCHMARK(BM_AdmmEpochUpdateTwoPass1T)->UseRealTime();
+
+void
+BM_AdmmEpochUpdateRef1T(benchmark::State& state)
+{
+    runAdmmEpochUpdate(state, EpochMode::Ref, 1);
+}
+BENCHMARK(BM_AdmmEpochUpdateRef1T)->UseRealTime();
+
+// -------------------------------------------- penalty grad + penalty
+
+void
+runPenaltyGrad(benchmark::State& state, bool fused, int threads)
+{
+    ThreadPin pin(threads);
+    const size_t n = size_t(1) << 20;
+    auto w = weights(n);
+    std::vector<float> grad(n, 0.0f);
+    AdmmState st;
+    QConfig cfg;
+    cfg.scheme = QuantScheme::Fixed;
+    st.init(w,
+            [&](std::span<const float> in, std::span<float> out) {
+                quantizeMatrix(in.data(), out.data(), 1024, n / 1024,
+                               cfg);
+            },
+            1e-2);
+
+    double pen = 0.0;
+    for (auto _ : state) {
+        if (fused) {
+            pen = st.addPenaltyGradAndPenalty(w, grad);
+        } else {
+            st.addPenaltyGrad(w, grad);
+            pen = st.penalty(w);
+        }
+        benchmark::DoNotOptimize(pen);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void
+BM_PenaltyGradFused1T(benchmark::State& state)
+{
+    runPenaltyGrad(state, /*fused=*/true, 1);
+}
+BENCHMARK(BM_PenaltyGradFused1T)->UseRealTime();
+
+void
+BM_PenaltyGradFused4T(benchmark::State& state)
+{
+    runPenaltyGrad(state, /*fused=*/true, 4);
+}
+BENCHMARK(BM_PenaltyGradFused4T)->UseRealTime();
+
+void
+BM_PenaltyGradTwoPass1T(benchmark::State& state)
+{
+    runPenaltyGrad(state, /*fused=*/false, 1);
+}
+BENCHMARK(BM_PenaltyGradTwoPass1T)->UseRealTime();
+
+// ------------------------------------------------------ SGD step
+
+void
+runSgdStep(benchmark::State& state, int threads)
+{
+    ThreadPin pin(threads);
+    // A small CNN's worth of parameters: four weight matrices at the
+    // Conv3x3(64, 64) shape plus biases.
+    Rng rng(3);
+    std::vector<Param> storage;
+    storage.reserve(10);
+    std::vector<Param*> params;
+    for (int i = 0; i < 4; ++i) {
+        storage.emplace_back("w" + std::to_string(i),
+                             Tensor::randn({64, 576}, rng, 0.1), 64,
+                             576);
+        storage.emplace_back("b" + std::to_string(i),
+                             Tensor::randn({64}, rng, 0.1), 0, 0,
+                             false);
+    }
+    size_t total = 0;
+    for (Param& p : storage) {
+        for (size_t j = 0; j < p.grad.size(); ++j)
+            p.grad[j] = float(rng.normal(0.0, 0.01));
+        total += p.w.size();
+        params.push_back(&p);
+    }
+    Sgd sgd(params, /*lr=*/1e-4, 0.9, 5e-4);
+
+    for (auto _ : state) {
+        sgd.step();
+        benchmark::DoNotOptimize(params[0]->w.data());
+    }
+    state.SetItemsProcessed(state.iterations() * total);
+}
+
+void
+BM_SgdStep1T(benchmark::State& state)
+{
+    runSgdStep(state, 1);
+}
+BENCHMARK(BM_SgdStep1T)->UseRealTime();
+
+void
+BM_SgdStep4T(benchmark::State& state)
+{
+    runSgdStep(state, 4);
+}
+BENCHMARK(BM_SgdStep4T)->UseRealTime();
+
+// -------------------------------------------- end-to-end train step
+
+void
+runTrainStep(benchmark::State& state, int threads)
+{
+    ThreadPin pin(threads);
+    Rng rng(7);
+    auto model = makeMiniResNet(10, rng, /*base=*/8);
+    LabeledImages data = makeImageDataset(ImageTask::Easy, 16, 3);
+
+    QConfig qcfg; // Mixed, 4-bit, PerRow
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    model->setActQuant(qcfg.actBits, qcfg.quantizeActivations);
+    Sgd sgd(model->params(), /*lr=*/1e-3, 0.9, 5e-4);
+
+    for (auto _ : state) {
+        sgd.zeroGrad();
+        Tensor logits = model->forward(data.images, true);
+        Tensor dlogits;
+        double loss =
+            softmaxCrossEntropy(logits, data.labels, dlogits);
+        model->backward(dlogits);
+        loss += qat.addPenaltyGradsAndPenalty();
+        sgd.step();
+        benchmark::DoNotOptimize(loss);
+    }
+    state.SetItemsProcessed(state.iterations() * data.size());
+}
+
+void
+BM_TrainStep1T(benchmark::State& state)
+{
+    runTrainStep(state, 1);
+}
+BENCHMARK(BM_TrainStep1T)->UseRealTime();
+
+void
+BM_TrainStep4T(benchmark::State& state)
+{
+    runTrainStep(state, 4);
+}
+BENCHMARK(BM_TrainStep4T)->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -68,7 +68,28 @@
 #include <span>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace mixq {
+
+/**
+ * True when the caller already executes inside an OpenMP parallel
+ * region. The deterministic-parallel passes (quantizer fits, the
+ * fused ADMM penalty walk, SGD blocks, the loss rows) use this as
+ * their `if` clause so they never nest parallel regions — the chunk
+ * specs stay fixed either way, only the execution goes serial.
+ */
+inline bool
+inOmpParallel()
+{
+#ifdef _OPENMP
+    return omp_in_parallel() != 0;
+#else
+    return false;
+#endif
+}
 
 /** Which kernel family services a GEMM call. */
 enum class GemmKernel {

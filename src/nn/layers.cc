@@ -1,6 +1,7 @@
 #include "nn/layers.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 
@@ -26,6 +27,54 @@ kaimingStd(size_t fan_in)
  * every core on the batch sizes the models train with.
  */
 constexpr size_t kConvMaxGradChunks = 16;
+
+/**
+ * Upper bound on BatchNorm2d statistics chunks: each chunk carries
+ * one double accumulator per channel per statistic, merged by the
+ * fixed reduction tree. Like the Conv2d chunking, the boundaries are
+ * a pure function of the batch size, so the batch statistics — and
+ * with them every normalized activation and gradient — are
+ * bit-identical across OMP_NUM_THREADS.
+ */
+constexpr size_t kBnMaxStatChunks = 16;
+
+/**
+ * Chunk-parallel per-channel accumulation for BatchNorm2d: run
+ * fn(i, c, acc) over every batch item i of each chunk and channel c,
+ * where acc points at NStats per-(statistic, channel, chunk) double
+ * accumulators, then tree-merge the chunk partials per statistic and
+ * channel into out[s][c]. The merge order depends only on (n, chunk
+ * cap), never the thread count.
+ */
+template <size_t NStats, class Fn>
+void
+bnChunkedReduce(size_t n, size_t ch,
+                std::array<std::vector<double>, NStats>& out, Fn&& fn)
+{
+    std::vector<size_t> bounds =
+        deterministicBatchChunks(n, 1, kBnMaxStatChunks);
+    size_t chunks = bounds.size() - 1;
+    std::vector<double> part(NStats * ch * chunks, 0.0);
+    #pragma omp parallel for schedule(static)
+    for (long k = 0; k < long(chunks); ++k) {
+        for (size_t i = bounds[size_t(k)]; i < bounds[size_t(k) + 1];
+             ++i) {
+            for (size_t c = 0; c < ch; ++c) {
+                double* acc[NStats];
+                for (size_t s = 0; s < NStats; ++s)
+                    acc[s] =
+                        &part[(s * ch + c) * chunks + size_t(k)];
+                fn(i, c, acc);
+            }
+        }
+    }
+    for (size_t s = 0; s < NStats; ++s) {
+        out[s].resize(ch);
+        for (size_t c = 0; c < ch; ++c)
+            out[s][c] = treeReduceValues(std::span<double>(
+                part.data() + (s * ch + c) * chunks, chunks));
+    }
+}
 
 } // namespace
 
@@ -393,43 +442,72 @@ BatchNorm2d::forward(const Tensor& x, bool train)
         invStd_ = Tensor({ch_});
     }
 
-    for (size_t c = 0; c < ch_; ++c) {
-        double m, v;
-        if (train) {
-            double s = 0.0;
-            for (size_t i = 0; i < n; ++i)
-                for (size_t p = 0; p < plane; ++p)
-                    s += x.data()[(i * ch_ + c) * plane + p];
-            m = s / double(count);
-            double sv = 0.0;
-            for (size_t i = 0; i < n; ++i) {
-                for (size_t p = 0; p < plane; ++p) {
-                    double d =
-                        x.data()[(i * ch_ + c) * plane + p] - m;
-                    sv += d * d;
+    // Per-channel statistics: two chunk-parallel passes over the
+    // batch (sum, then squared deviation about the mean — same
+    // two-pass formula as the serial implementation) with the chunk
+    // partials tree-merged, so the statistics are bit-identical
+    // across OMP_NUM_THREADS.
+    std::vector<double> mean(ch_), var(ch_);
+    if (train) {
+        std::array<std::vector<double>, 1> sum;
+        bnChunkedReduce<1>(
+            n, ch_, sum, [&](size_t i, size_t c, double* const* acc) {
+                const float* p = x.data() + (i * ch_ + c) * plane;
+                double s = *acc[0];
+                for (size_t q = 0; q < plane; ++q)
+                    s += p[q];
+                *acc[0] = s;
+            });
+        for (size_t c = 0; c < ch_; ++c)
+            mean[c] = sum[0][c] / double(count);
+
+        std::array<std::vector<double>, 1> sqdev;
+        bnChunkedReduce<1>(
+            n, ch_, sqdev,
+            [&](size_t i, size_t c, double* const* acc) {
+                const float* p = x.data() + (i * ch_ + c) * plane;
+                double m = mean[c];
+                double s = *acc[0];
+                for (size_t q = 0; q < plane; ++q) {
+                    double d = p[q] - m;
+                    s += d * d;
                 }
-            }
-            v = sv / double(count);
+                *acc[0] = s;
+            });
+        for (size_t c = 0; c < ch_; ++c) {
+            var[c] = sqdev[0][c] / double(count);
             runMean_[c] = float((1.0 - momentum_) * runMean_[c] +
-                                momentum_ * m);
+                                momentum_ * mean[c]);
             runVar_[c] = float((1.0 - momentum_) * runVar_[c] +
-                               momentum_ * v);
-        } else {
-            m = runMean_[c];
-            v = runVar_[c];
+                               momentum_ * var[c]);
         }
-        float istd = float(1.0 / std::sqrt(v + eps_));
-        float g = gamma_.w[c], b = beta_.w[c];
+    } else {
+        for (size_t c = 0; c < ch_; ++c) {
+            mean[c] = runMean_[c];
+            var[c] = runVar_[c];
+        }
+    }
+
+    // Normalize: purely elementwise, parallel over (item, channel)
+    // planes — disjoint writes, no reduction, determinism is free.
+    std::vector<float> istd(ch_);
+    for (size_t c = 0; c < ch_; ++c) {
+        istd[c] = float(1.0 / std::sqrt(var[c] + eps_));
         if (train)
-            invStd_[c] = istd;
-        for (size_t i = 0; i < n; ++i) {
-            for (size_t p = 0; p < plane; ++p) {
-                size_t idx = (i * ch_ + c) * plane + p;
-                float xh = (x.data()[idx] - float(m)) * istd;
-                if (train)
-                    xhat_[idx] = xh;
-                y[idx] = g * xh + b;
-            }
+            invStd_[c] = istd[c];
+    }
+    #pragma omp parallel for schedule(static)
+    for (long ic = 0; ic < long(n * ch_); ++ic) {
+        size_t c = size_t(ic) % ch_;
+        float m = float(mean[c]);
+        float is = istd[c];
+        float g = gamma_.w[c], b = beta_.w[c];
+        size_t base = size_t(ic) * plane;
+        for (size_t q = 0; q < plane; ++q) {
+            float xh = (x.data()[base + q] - m) * is;
+            if (train)
+                xhat_[base + q] = xh;
+            y[base + q] = g * xh + b;
         }
     }
     return y;
@@ -443,27 +521,43 @@ BatchNorm2d::backward(const Tensor& gy)
     double count = double(n * plane);
     Tensor gx(inShape_);
 
-    for (size_t c = 0; c < ch_; ++c) {
-        double sum_gy = 0.0, sum_gy_xh = 0.0;
-        for (size_t i = 0; i < n; ++i) {
-            for (size_t p = 0; p < plane; ++p) {
-                size_t idx = (i * ch_ + c) * plane + p;
-                sum_gy += gy[idx];
-                sum_gy_xh += gy[idx] * xhat_[idx];
+    // One chunk-parallel walk accumulates both reductions (sum of gy
+    // and of gy * xhat per channel); tree-merged as in forward.
+    std::array<std::vector<double>, 2> sums;
+    bnChunkedReduce<2>(
+        n, ch_, sums, [&](size_t i, size_t c, double* const* acc) {
+            size_t base = (i * ch_ + c) * plane;
+            double s0 = *acc[0];
+            double s1 = *acc[1];
+            for (size_t q = 0; q < plane; ++q) {
+                double g = gy[base + q];
+                s0 += g;
+                s1 += g * double(xhat_[base + q]);
             }
-        }
-        gamma_.grad[c] += float(sum_gy_xh);
-        beta_.grad[c] += float(sum_gy);
+            *acc[0] = s0;
+            *acc[1] = s1;
+        });
+
+    std::vector<float> mean_gy(ch_), mean_gy_xh(ch_);
+    for (size_t c = 0; c < ch_; ++c) {
+        beta_.grad[c] += float(sums[0][c]);
+        gamma_.grad[c] += float(sums[1][c]);
+        mean_gy[c] = float(sums[0][c] / count);
+        mean_gy_xh[c] = float(sums[1][c] / count);
+    }
+
+    #pragma omp parallel for schedule(static)
+    for (long ic = 0; ic < long(n * ch_); ++ic) {
+        size_t c = size_t(ic) % ch_;
         float g = gamma_.w[c];
         float istd = invStd_[c];
-        float mean_gy = float(sum_gy / count);
-        float mean_gy_xh = float(sum_gy_xh / count);
-        for (size_t i = 0; i < n; ++i) {
-            for (size_t p = 0; p < plane; ++p) {
-                size_t idx = (i * ch_ + c) * plane + p;
-                gx[idx] = g * istd *
-                          (gy[idx] - mean_gy - xhat_[idx] * mean_gy_xh);
-            }
+        float mg = mean_gy[c];
+        float mgxh = mean_gy_xh[c];
+        size_t base = size_t(ic) * plane;
+        for (size_t q = 0; q < plane; ++q) {
+            gx[base + q] =
+                g * istd *
+                (gy[base + q] - mg - xhat_[base + q] * mgxh);
         }
     }
     return gx;

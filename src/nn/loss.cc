@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "nn/gemm_backend.hh"
 #include "util/logging.hh"
 
 namespace mixq {
@@ -44,29 +46,50 @@ softmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
     MIXQ_ASSERT(logits.ndim() == 2 && labels.size() == logits.dim(0),
                 "cross-entropy shape mismatch");
     size_t n = logits.dim(0), c = logits.dim(1);
-    dlogits = Tensor(logits.shape());
-    Tensor p = softmax(logits);
+    dlogits = Tensor(logits.shape()); // zero-filled (ignored rows)
 
     size_t valid = 0;
     for (int y : labels) {
-        if (y != ignore_index)
-            ++valid;
-    }
-    MIXQ_ASSERT(valid > 0, "cross-entropy: all labels ignored");
-
-    double loss = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-        int y = labels[i];
         if (y == ignore_index)
             continue;
         MIXQ_ASSERT(y >= 0 && size_t(y) < c, "label out of range");
-        loss -= std::log(std::max(double(p.at2(i, size_t(y))), 1e-12));
-        for (size_t j = 0; j < c; ++j) {
-            dlogits.at2(i, j) =
-                (p.at2(i, j) - (j == size_t(y) ? 1.0f : 0.0f)) /
-                float(valid);
-        }
+        ++valid;
     }
+    MIXQ_ASSERT(valid > 0, "cross-entropy: all labels ignored");
+    float validf = float(valid);
+
+    // Fused pass: softmax, dlogits and the per-row loss term in one
+    // row-parallel walk — no materialized softmax tensor. Rows are
+    // independent, so the parallel loop is trivially deterministic;
+    // the per-row loss terms are merged by the fixed reduction tree
+    // (a function of the batch size alone), so the total is
+    // bit-identical across OMP_NUM_THREADS. Per-element math matches
+    // the softmax()-based implementation: probabilities round through
+    // float before the log and the subtraction, exactly as the
+    // materialized tensor did.
+    std::vector<double> row_loss(n, 0.0);
+    #pragma omp parallel for schedule(static) \
+        if (n > 1 && !inOmpParallel())
+    for (long i = 0; i < long(n); ++i) {
+        int y = labels[size_t(i)];
+        if (y == ignore_index)
+            continue;
+        const float* row = logits.data() + size_t(i) * c;
+        float* drow = dlogits.data() + size_t(i) * c;
+        float m = *std::max_element(row, row + c);
+        double z = 0.0;
+        for (size_t j = 0; j < c; ++j)
+            z += std::exp(double(row[j] - m));
+        for (size_t j = 0; j < c; ++j) {
+            float pj = float(std::exp(double(row[j] - m)) / z);
+            drow[j] = (pj - (j == size_t(y) ? 1.0f : 0.0f)) /
+                      validf;
+        }
+        float py = float(std::exp(double(row[size_t(y)] - m)) / z);
+        row_loss[size_t(i)] =
+            -std::log(std::max(double(py), 1e-12));
+    }
+    double loss = treeReduceValues(std::span<double>(row_loss));
     return loss / double(valid);
 }
 

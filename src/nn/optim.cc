@@ -1,11 +1,23 @@
 #include "nn/optim.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "nn/gemm_backend.hh"
 #include "util/logging.hh"
 
 namespace mixq {
+
+namespace {
+
+/** Elements per parallel block of Sgd::step. The update is purely
+    elementwise — every block computes the same bits wherever it
+    runs — so the block size only bounds scheduling overhead; small
+    tensors (biases, BN affine params) stay serial. */
+constexpr size_t kSgdBlockElems = 4096;
+
+} // namespace
 
 Sgd::Sgd(std::vector<Param*> params, double lr, double momentum,
          double weight_decay)
@@ -22,13 +34,24 @@ Sgd::step()
 {
     for (size_t i = 0; i < params_.size(); ++i) {
         Param* p = params_[i];
-        Tensor& v = vel_[i];
         float lr = float(lr_), mu = float(momentum_);
         float wd = p->decay ? float(wd_) : 0.0f;
-        for (size_t j = 0; j < p->w.size(); ++j) {
-            float g = p->grad[j] + wd * p->w[j];
-            v[j] = mu * v[j] - lr * g;
-            p->w[j] += v[j];
+        size_t n = p->w.size();
+        float* w = p->w.data();
+        const float* g = p->grad.data();
+        float* v = vel_[i].data();
+        long blocks = long((n + kSgdBlockElems - 1) / kSgdBlockElems);
+        #pragma omp parallel for schedule(static) \
+            if (blocks > 1 && !inOmpParallel())
+        for (long b = 0; b < blocks; ++b) {
+            size_t j0 = size_t(b) * kSgdBlockElems;
+            size_t j1 = std::min(n, j0 + kSgdBlockElems);
+            #pragma omp simd
+            for (size_t j = j0; j < j1; ++j) {
+                float gj = g[j] + wd * w[j];
+                v[j] = mu * v[j] - lr * gj;
+                w[j] += v[j];
+            }
         }
         p->noteUpdated();
     }

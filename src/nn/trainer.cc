@@ -15,7 +15,9 @@ namespace mixq {
 
 namespace {
 
-/** Gather batch images/labels by shuffled index range. */
+/** Gather batch images/labels by shuffled index range. Row copies are
+    disjoint, so the parallel gather is trivially deterministic; tiny
+    batches stay serial to skip the region overhead. */
 void
 gatherBatch(const LabeledImages& data, const std::vector<size_t>& order,
             size_t b0, size_t b1, Tensor& x, std::vector<int>& y)
@@ -26,12 +28,32 @@ gatherBatch(const LabeledImages& data, const std::vector<size_t>& order,
     shape[0] = n;
     x = Tensor(shape);
     y.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-        size_t src = order[b0 + i];
-        std::memcpy(x.data() + i * item, data.images.data() + src * item,
+    #pragma omp parallel for schedule(static) \
+        if (n > 1 && n * item > 16384)
+    for (long i = 0; i < long(n); ++i) {
+        size_t src = order[b0 + size_t(i)];
+        std::memcpy(x.data() + size_t(i) * item,
+                    data.images.data() + src * item,
                     item * sizeof(float));
-        y[i] = data.labels[src];
+        y[size_t(i)] = data.labels[src];
     }
+}
+
+/**
+ * The one quantize-in-place helper behind QatContext::finalize and
+ * hardQuantize: hard-project the parameter's weights onto its
+ * constraint set and bump the plan-invalidation version. Keeping both
+ * callers on this helper means the projection call and the
+ * noteUpdated() bump (the packed-GEMM staleness contract) cannot
+ * drift apart.
+ */
+MatrixQuantResult
+quantizeParamInPlace(Param& p, const QConfig& cfg)
+{
+    MatrixQuantResult res = quantizeMatrix(p.w.data(), p.w.data(),
+                                           p.qRows, p.qCols, cfg);
+    p.noteUpdated();
+    return res;
 }
 
 } // namespace
@@ -48,6 +70,23 @@ QatContext::makeProj(Entry* e)
                     "projection size mismatch");
         e->proj = quantizeMatrix(in.data(), out.data(), rows, cols,
                                  *cfg);
+    };
+}
+
+AdmmState::BiasedProjectFn
+QatContext::makeBiasedProj(Entry* e)
+{
+    size_t rows = e->p->qRows;
+    size_t cols = e->p->qCols;
+    const QConfig* cfg = &cfg_;
+    return [e, rows, cols, cfg](std::span<const float> w,
+                                std::span<float> u,
+                                std::span<float> z) {
+        MIXQ_ASSERT(w.size() == rows * cols && u.size() == w.size() &&
+                        z.size() == w.size(),
+                    "projection size mismatch");
+        e->proj = quantizeMatrixBiased(w.data(), u.data(), z.data(),
+                                       rows, cols, *cfg);
     };
 }
 
@@ -80,7 +119,17 @@ void
 QatContext::epochUpdate()
 {
     for (Entry& e : entries_)
-        e.admm.epochUpdate(e.p->w.span(), makeProj(&e));
+        e.admm.epochUpdate(e.p->w.span(), makeBiasedProj(&e));
+}
+
+double
+QatContext::addPenaltyGradsAndPenalty()
+{
+    double s = 0.0;
+    for (Entry& e : entries_)
+        s += e.admm.addPenaltyGradAndPenalty(e.p->w.span(),
+                                             e.p->grad.span());
+    return s;
 }
 
 void
@@ -102,11 +151,8 @@ QatContext::penaltyTotal() const
 void
 QatContext::finalize()
 {
-    for (Entry& e : entries_) {
-        e.proj = quantizeMatrix(e.p->w.data(), e.p->w.data(),
-                                e.p->qRows, e.p->qCols, cfg_);
-        e.p->noteUpdated();
-    }
+    for (Entry& e : entries_)
+        e.proj = quantizeParamInPlace(*e.p, cfg_);
     finalized_ = true;
 }
 
@@ -149,18 +195,20 @@ trainClassifier(Module& model, const LabeledImages& train,
             Tensor dlogits;
             double loss = softmaxCrossEntropy(logits, y, dlogits);
             model.backward(dlogits);
-            if (qat) {
-                qat->addPenaltyGrads();
-                loss += qat->penaltyTotal();
-            }
+            if (qat)
+                loss += qat->addPenaltyGradsAndPenalty();
             sgd.step();
             loss_sum += loss;
             ++batches;
         }
+        double mean_loss =
+            loss_sum / double(std::max<size_t>(batches, 1));
+        if (cfg.epochLoss)
+            cfg.epochLoss->push_back(mean_loss);
         if (cfg.verbose) {
             std::ostringstream oss;
             oss << "epoch " << epoch << " lr " << lr << " loss "
-                << loss_sum / double(std::max<size_t>(batches, 1));
+                << mean_loss;
             inform(oss.str());
         }
     }
@@ -222,9 +270,7 @@ hardQuantize(const std::vector<Param*>& params, const QConfig& cfg)
     for (Param* p : params) {
         if (!p->quantizable())
             continue;
-        out.push_back(quantizeMatrix(p->w.data(), p->w.data(), p->qRows,
-                                     p->qCols, cfg));
-        p->noteUpdated();
+        out.push_back(quantizeParamInPlace(*p, cfg));
     }
     return out;
 }

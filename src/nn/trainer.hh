@@ -49,6 +49,14 @@ struct TrainCfg
      * reproducible across OMP_NUM_THREADS either way.
      */
     bool rnnBatchParallel = true;
+    /**
+     * Optional sink for the mean training loss of every epoch
+     * (appended in epoch order). The whole training step is
+     * thread-count deterministic, so the recorded trajectory is
+     * bit-identical across OMP_NUM_THREADS — which is exactly what
+     * tests/trainer_mt_test.cc pins with it.
+     */
+    std::vector<double>* epochLoss = nullptr;
 };
 
 /**
@@ -65,8 +73,22 @@ class QatContext
     /** Register all quantizable params and initialize Z = proj(W). */
     void attach(const std::vector<Param*>& params);
 
-    /** Per-epoch dual update (re-partitions rows under MSQ). */
+    /**
+     * Per-epoch dual update (re-partitions rows under MSQ). Runs the
+     * fused quantizeMatrixBiased pipeline per parameter: W + U
+     * assembly, projection and the scaled-dual update in one parallel
+     * pass with no matrix-sized scratch.
+     */
     void epochUpdate();
+
+    /**
+     * Fused per-batch penalty pass: adds rho (W - Z + U) to every
+     * attached parameter gradient and returns the summed penalty
+     * terms, one chunk-parallel walk per parameter (the trainer's
+     * replacement for addPenaltyGrads() + penaltyTotal(), which each
+     * re-walk every weight).
+     */
+    double addPenaltyGradsAndPenalty();
 
     /** Add rho (W - Z + U) to every attached parameter gradient. */
     void addPenaltyGrads();
@@ -91,6 +113,7 @@ class QatContext
 
   private:
     AdmmState::ProjectFn makeProj(Entry* e);
+    AdmmState::BiasedProjectFn makeBiasedProj(Entry* e);
 
     QConfig cfg_;
     std::vector<Entry> entries_;

@@ -1,8 +1,25 @@
 #include "quant/admm.hh"
 
+#include "nn/gemm_backend.hh"
 #include "util/logging.hh"
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace mixq {
+
+namespace {
+
+// Chunk specification of the fused penalty pass: like the quantizer's
+// fitAlpha chunks, the boundaries are a pure function of the element
+// count — never the thread count — and the per-chunk penalty partials
+// merge in the fixed treeReduceValues order, so the returned penalty
+// is bit-identical for any OMP_NUM_THREADS.
+constexpr size_t kPenaltyChunkElems = 4096;
+constexpr size_t kPenaltyMaxChunks = 64;
+
+} // namespace
 
 void
 AdmmState::init(std::span<const float> w, const ProjectFn& proj,
@@ -15,7 +32,19 @@ AdmmState::init(std::span<const float> w, const ProjectFn& proj,
 }
 
 void
-AdmmState::epochUpdate(std::span<const float> w, const ProjectFn& proj)
+AdmmState::epochUpdate(std::span<const float> w,
+                       const BiasedProjectFn& proj)
+{
+    MIXQ_ASSERT(w.size() == z_.size(), "AdmmState: size changed");
+    // The projector owns the whole fused pass: W + U assembly, the
+    // projection into Z, and the scaled-dual update of U. Nothing is
+    // allocated here — no wu scratch, no extra walks.
+    proj(w, u_, z_);
+}
+
+void
+AdmmState::epochUpdateRef(std::span<const float> w,
+                          const ProjectFn& proj)
 {
     MIXQ_ASSERT(w.size() == z_.size(), "AdmmState: size changed");
     std::vector<float> wu(w.size());
@@ -24,6 +53,47 @@ AdmmState::epochUpdate(std::span<const float> w, const ProjectFn& proj)
     proj(wu, z_);
     for (size_t i = 0; i < w.size(); ++i)
         u_[i] = w[i] - z_[i] + u_[i];
+}
+
+double
+AdmmState::addPenaltyGradAndPenalty(std::span<const float> w,
+                                    std::span<float> grad) const
+{
+    MIXQ_ASSERT(w.size() == z_.size() && grad.size() == z_.size(),
+                "AdmmState: size mismatch");
+    const float* wp = w.data();
+    float* gp = grad.data();
+    const float* zp = z_.data();
+    const float* up = u_.data();
+    float rho = float(rho_);
+
+    // One walk computes both halves: the float gradient update uses
+    // exactly addPenaltyGrad's expression, the double penalty term
+    // exactly penalty()'s. The simd reduction reorders only within a
+    // chunk — a function of the vector width, not the thread count.
+    auto runChunk = [&](size_t i0, size_t i1) {
+        double s = 0.0;
+        #pragma omp simd reduction(+ : s)
+        for (size_t i = i0; i < i1; ++i) {
+            gp[i] += rho * (wp[i] - zp[i] + up[i]);
+            double d = double(wp[i]) - double(zp[i]) + double(up[i]);
+            s += d * d;
+        }
+        return s;
+    };
+
+    std::vector<size_t> bounds = deterministicBatchChunks(
+        w.size(), kPenaltyChunkElems, kPenaltyMaxChunks);
+    long nchunks = long(bounds.size()) - 1;
+    if (nchunks <= 1)
+        return 0.5 * rho_ * runChunk(0, w.size());
+
+    std::vector<double> part(size_t(nchunks), 0.0);
+    #pragma omp parallel for schedule(static) if (!inOmpParallel())
+    for (long c = 0; c < nchunks; ++c)
+        part[size_t(c)] =
+            runChunk(bounds[size_t(c)], bounds[size_t(c) + 1]);
+    return 0.5 * rho_ * treeReduceValues(std::span<double>(part));
 }
 
 void

@@ -5,6 +5,23 @@
  * variables are refreshed with the projection of W + U, and each batch
  * the penalty gradient rho * (W - Z + U) is added to the weight
  * gradient, steering W toward the quantization constraint set.
+ *
+ * Both per-step operations come in a *fused* form — the training hot
+ * path — and a retained reference form the fused kernels are tested
+ * against:
+ *
+ *  - epochUpdate() hands W, U and Z to a fused projector (in practice
+ *    quant/quantizer's quantizeMatrixBiased) that assembles W + U on
+ *    the fly, projects, and updates the scaled dual in one parallel
+ *    pass with no matrix-sized scratch; epochUpdateRef() is the
+ *    obvious two-pass implementation (materialize wu, project, walk
+ *    again for U) and, driven by matching projectors, is
+ *    bit-identical.
+ *  - addPenaltyGradAndPenalty() fuses the per-batch penalty-gradient
+ *    accumulation and the penalty sum into one chunk-parallel pass
+ *    whose per-chunk partials merge in a fixed tree order
+ *    (bit-identical across OMP_NUM_THREADS); addPenaltyGrad() and
+ *    penalty() are the retained serial references.
  */
 
 #ifndef MIXQ_QUANT_ADMM_HH
@@ -28,20 +45,59 @@ class AdmmState
     using ProjectFn = std::function<void(std::span<const float>,
                                          std::span<float>)>;
 
+    /**
+     * Fused epoch-update projector: given (W, U, Z) of equal size,
+     * write Z = proj(W + U) and update U = W - Z + U in place —
+     * quantizeMatrixBiased wrapped over one parameter's matrix view.
+     */
+    using BiasedProjectFn = std::function<void(
+        std::span<const float>, std::span<float>, std::span<float>)>;
+
     AdmmState() = default;
 
     /** Initialize Z = proj(W), U = 0 for an n-element tensor. */
     void init(std::span<const float> w, const ProjectFn& proj,
               double rho);
 
-    /** Per-epoch dual update: Z = proj(W + U); U = W - Z + U. */
-    void epochUpdate(std::span<const float> w, const ProjectFn& proj);
+    /**
+     * Fused per-epoch dual update: the projector receives (W, U, Z)
+     * and performs Z = proj(W + U); U = W - Z + U in one pass. This
+     * method allocates nothing; with a quantizeMatrixBiased-backed
+     * projector the whole update is one fused parallel pass,
+     * bit-identical to epochUpdateRef with the matching plain
+     * projector.
+     */
+    void epochUpdate(std::span<const float> w,
+                     const BiasedProjectFn& proj);
 
-    /** Add rho * (W - Z + U) into an existing gradient. */
+    /**
+     * Retained two-pass reference of the epoch update: materialize
+     * wu = W + U, Z = proj(wu), then U = W - Z + U in a second walk.
+     * Kept as the specification epochUpdate is tested and benchmarked
+     * against.
+     */
+    void epochUpdateRef(std::span<const float> w,
+                        const ProjectFn& proj);
+
+    /**
+     * Fused per-batch penalty pass: add rho * (W - Z + U) into
+     * @p grad and return the penalty rho/2 * ||W - Z + U||^2, both
+     * computed in one chunk-parallel walk. The penalty sum is formed
+     * per deterministic element chunk and merged by the fixed
+     * reduction tree, so the value is bit-identical across
+     * OMP_NUM_THREADS (it differs from the serial penalty() at
+     * rounding level only).
+     */
+    double addPenaltyGradAndPenalty(std::span<const float> w,
+                                    std::span<float> grad) const;
+
+    /** Add rho * (W - Z + U) into an existing gradient (retained
+        serial reference of the fused pass's gradient half). */
     void addPenaltyGrad(std::span<const float> w,
                         std::span<float> grad) const;
 
-    /** The penalty term rho/2 * ||W - Z + U||^2 (for loss reporting). */
+    /** The penalty term rho/2 * ||W - Z + U||^2 (retained serial
+        reference of the fused pass's penalty half). */
     double penalty(std::span<const float> w) const;
 
     /** Auxiliary variable Z (the current projected target). */

@@ -11,9 +11,47 @@
 
 namespace mixq {
 
+namespace {
+
+/**
+ * Population variance of the biased row float(w[i] + b[i]),
+ * bit-identical to materializing the float sums into a buffer and
+ * calling variance(): the bias add happens in float, every
+ * accumulation in double, in the same order.
+ */
+double
+rowVarianceBiased(const float* w, const float* b, size_t n)
+{
+    if (n == 0)
+        return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        float x = w[i] + b[i];
+        s += x;
+    }
+    double m = s / double(n);
+    double sv = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        float x = w[i] + b[i];
+        sv += (x - m) * (x - m);
+    }
+    return sv / double(n);
+}
+
+} // namespace
+
 PartitionResult
 partitionRows(const float* w, size_t rows, size_t cols, double pr_sp2,
               PartitionPolicy policy, uint64_t rng_seed)
+{
+    return partitionRows(w, nullptr, rows, cols, pr_sp2, policy,
+                         rng_seed);
+}
+
+PartitionResult
+partitionRows(const float* w, const float* bias, size_t rows,
+              size_t cols, double pr_sp2, PartitionPolicy policy,
+              uint64_t rng_seed)
 {
     MIXQ_ASSERT(rows > 0 && cols > 0, "partition: empty matrix");
     MIXQ_ASSERT(pr_sp2 >= 0.0 && pr_sp2 <= 1.0,
@@ -27,8 +65,11 @@ partitionRows(const float* w, size_t rows, size_t cols, double pr_sp2,
     #pragma omp parallel for schedule(static) \
         if (rows > 1 && rows * cols > 16384)
     for (long r = 0; r < long(rows); ++r) {
-        res.rowVariance[size_t(r)] = variance(
-            std::span<const float>(w + size_t(r) * cols, cols));
+        res.rowVariance[size_t(r)] =
+            bias ? rowVarianceBiased(w + size_t(r) * cols,
+                                     bias + size_t(r) * cols, cols)
+                 : variance(std::span<const float>(
+                       w + size_t(r) * cols, cols));
     }
 
     size_t n_sp2 =

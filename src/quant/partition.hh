@@ -40,6 +40,20 @@ PartitionResult partitionRows(const float* w, size_t rows, size_t cols,
                                   PartitionPolicy::Variance,
                               uint64_t rng_seed = 1);
 
+/**
+ * Biased overload: partitions the logical matrix whose element (r, c)
+ * is float(w[r,c] + bias[r,c]) — the ADMM W + U view — without
+ * materializing it. Row variances (and therefore the assignment and
+ * theta) are bit-identical to gathering wu = w + bias into a buffer
+ * and calling the plain overload. bias == nullptr degrades to the
+ * plain overload.
+ */
+PartitionResult partitionRows(const float* w, const float* bias,
+                              size_t rows, size_t cols, double pr_sp2,
+                              PartitionPolicy policy =
+                                  PartitionPolicy::Variance,
+                              uint64_t rng_seed = 1);
+
 } // namespace mixq
 
 #endif // MIXQ_QUANT_PARTITION_HH

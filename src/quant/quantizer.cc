@@ -26,16 +26,6 @@ namespace {
 constexpr size_t kFitChunkElems = 4096;
 constexpr size_t kFitMaxChunks = 64;
 
-bool
-inParallel()
-{
-#ifdef _OPENMP
-    return omp_in_parallel() != 0;
-#else
-    return false;
-#endif
-}
-
 /** Nearest magnitude (by absolute distance) in a sorted set, lo on
     tie — the retained scalar reference the LevelSet boundaries are
     bisected against. */
@@ -58,43 +48,49 @@ nearestMagRef(double t, std::span<const double> mags)
  * A group of elements: either a contiguous span (rows == nullptr) or
  * the concatenation of whole matrix rows selected by an index list —
  * the PerGroup index view that replaces the old per-call heap gather.
+ * An optional bias array (same layout as w) makes the view's logical
+ * element float(w[i] + bias[i]) — the ADMM W + U assembly folded into
+ * whatever pass walks the view, instead of a materialized wu buffer.
  */
 struct GroupView
 {
     const float* w = nullptr;
+    const float* bias = nullptr;
     size_t cols = 0;
     const uint32_t* rows = nullptr;
     size_t total = 0;
 
     static GroupView
-    contiguous(const float* w, size_t n)
+    contiguous(const float* w, size_t n, const float* bias = nullptr)
     {
-        return GroupView{w, 0, nullptr, n};
+        return GroupView{w, bias, 0, nullptr, n};
     }
 
     static GroupView
     rowList(const float* w, size_t cols, const uint32_t* rows,
-            size_t nrows)
+            size_t nrows, const float* bias = nullptr)
     {
-        return GroupView{w, cols, rows, nrows * cols};
+        return GroupView{w, bias, cols, rows, nrows * cols};
     }
 };
 
-/** Invoke fn(ptr, len) on each contiguous run of elements in the
-    global element range [e0, e1) of the view, in order. */
+/** Invoke fn(ptr, biasPtr, len) on each contiguous run of elements in
+    the global element range [e0, e1) of the view, in order. biasPtr
+    is null for unbiased views, else aligned with ptr. */
 template <class Fn>
 void
 forEachRun(const GroupView& v, size_t e0, size_t e1, Fn&& fn)
 {
     if (!v.rows) {
-        fn(v.w + e0, e1 - e0);
+        fn(v.w + e0, v.bias ? v.bias + e0 : nullptr, e1 - e0);
         return;
     }
     size_t c0 = e0 % v.cols;
     size_t e = e0;
     for (size_t ri = e0 / v.cols; e < e1; ++ri) {
         size_t take = std::min(v.cols - c0, e1 - e);
-        fn(v.w + size_t(v.rows[ri]) * v.cols + c0, take);
+        size_t off = size_t(v.rows[ri]) * v.cols + c0;
+        fn(v.w + off, v.bias ? v.bias + off : nullptr, take);
         e += take;
         c0 = 0;
     }
@@ -179,6 +175,48 @@ projectRunLs(const float* x, float* out, size_t n,
     }
 }
 
+/**
+ * Fused ADMM projection + scaled-dual update over one contiguous run:
+ * z[i] = project(w[i] + u[i]) exactly as projectRunLs would project a
+ * materialized wu buffer (same float add, same table, same sign
+ * handling), then u[i] = (w[i] - z[i]) + u[i] with the reference's
+ * left-to-right float evaluation order — so both outputs are
+ * bit-identical to the retained two-pass epochUpdate. z must not
+ * alias w or u.
+ */
+void
+projectRunLsBiasedDual(const float* w, float* u, float* z, size_t n,
+                       const LevelProjector lp, double alpha,
+                       double invAlpha)
+{
+    constexpr size_t kTabMax = 256;
+    size_t nmags = lp.maxIdx + 1;
+    if (nmags <= kTabMax) {
+        float tab[kTabMax];
+        for (size_t k = 0; k < nmags; ++k)
+            tab[k] = float(alpha * lp.mags[k]);
+        for (size_t i = 0; i < n; ++i) {
+            float xi = w[i] + u[i];
+            double t =
+                std::min(double(std::fabs(xi)) * invAlpha, 1.0);
+            float f = tab[lp.index(t)];
+            float zi = xi < 0.0f ? -f : f;
+            z[i] = zi;
+            u[i] = (w[i] - zi) + u[i];
+        }
+        return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        float xf = w[i] + u[i];
+        double xi = double(xf);
+        double t = std::min(double(std::fabs(xf)) * invAlpha, 1.0);
+        double q = lp.mags[lp.index(t)];
+        float zi = float((xi < 0.0 ? -1.0 : 1.0) * alpha * q);
+        z[i] = zi;
+        u[i] = (w[i] - zi) + u[i];
+    }
+}
+
 // --------------------------------------------------- shared fit driver
 
 /** One alpha update from the merged num/den sums; returns true to
@@ -231,15 +269,35 @@ fitDriver(const GroupView& v, int iters, bool parallel, Accum&& accum)
     scratch.resize(v.total);
     double* ax = scratch.data();
 
+    // Prep inner loops: kept as two branch-free variants so the
+    // bias add (the fused W + U assembly — a float add *first*,
+    // identical to prepping a materialized float wu buffer)
+    // vectorizes as cleanly as the plain walk.
+    auto prepRun = [](const float* x, const float* b, double* dst,
+                      size_t n) {
+        double m = 0.0;
+        if (b) {
+            for (size_t i = 0; i < n; ++i) {
+                double a = double(std::fabs(x[i] + b[i]));
+                dst[i] = a;
+                m = std::max(m, a);
+            }
+        } else {
+            for (size_t i = 0; i < n; ++i) {
+                double a = double(std::fabs(x[i]));
+                dst[i] = a;
+                m = std::max(m, a);
+            }
+        }
+        return m;
+    };
+
     if (v.total <= kFitChunkElems) {
         double amax = 0.0;
         size_t off = 0;
-        forEachRun(v, 0, v.total, [&](const float* x, size_t n) {
-            for (size_t i = 0; i < n; ++i) {
-                double a = double(std::fabs(x[i]));
-                ax[off + i] = a;
-                amax = std::max(amax, a);
-            }
+        forEachRun(v, 0, v.total,
+                   [&](const float* x, const float* b, size_t n) {
+            amax = std::max(amax, prepRun(x, b, ax + off, n));
             off += n;
         });
         if (amax == 0.0)
@@ -258,7 +316,7 @@ fitDriver(const GroupView& v, int iters, bool parallel, Accum&& accum)
     std::vector<size_t> bounds =
         deterministicBatchChunks(v.total, kFitChunkElems, kFitMaxChunks);
     long nchunks = long(bounds.size()) - 1;
-    bool par = parallel && nchunks > 1 && !inParallel();
+    bool par = parallel && nchunks > 1 && !inOmpParallel();
 
     std::vector<double> pnum(bounds.size() - 1);
     std::vector<double> pden(bounds.size() - 1);
@@ -269,12 +327,8 @@ fitDriver(const GroupView& v, int iters, bool parallel, Accum&& accum)
         double m = 0.0;
         size_t off = bounds[size_t(c)];
         forEachRun(v, bounds[size_t(c)], bounds[size_t(c) + 1],
-                   [&](const float* x, size_t n) {
-                       for (size_t i = 0; i < n; ++i) {
-                           double a = double(std::fabs(x[i]));
-                           ax[off + i] = a;
-                           m = std::max(m, a);
-                       }
+                   [&](const float* x, const float* b, size_t n) {
+                       m = std::max(m, prepRun(x, b, ax + off, n));
                        off += n;
                    });
         pnum[size_t(c)] = m;
@@ -371,7 +425,7 @@ projectGroup(std::span<const float> w, std::span<float> out,
     double invAlpha = 1.0 / alpha;
     LevelProjector lp = ls.projector();
     long blocks = long((w.size() + kFitChunkElems - 1) / kFitChunkElems);
-    if (blocks <= 1 || inParallel()) {
+    if (blocks <= 1 || inOmpParallel()) {
         projectRunLs(w.data(), out.data(), w.size(), lp, alpha,
                      invAlpha);
         return;
@@ -401,17 +455,18 @@ quantizeGroup(std::span<const float> w, std::span<float> out,
 namespace {
 
 /** Partition + result scaffolding shared by the kernel and reference
-    matrix paths (the partitioner itself is already deterministic). */
+    matrix paths (the partitioner itself is already deterministic).
+    A non-null bias partitions the W + U view without gathering it. */
 MatrixQuantResult
-initMatrixResult(const float* w, size_t rows, size_t cols,
-                 const QConfig& cfg, uint64_t rng_seed)
+initMatrixResult(const float* w, const float* bias, size_t rows,
+                 size_t cols, const QConfig& cfg, uint64_t rng_seed)
 {
     MatrixQuantResult res;
     res.rowScheme.assign(rows, cfg.scheme);
     res.rowAlpha.assign(rows, 1.0f);
     if (cfg.scheme == QuantScheme::Mixed) {
-        PartitionResult part =
-            partitionRows(w, rows, cols, cfg.prSp2, cfg.policy, rng_seed);
+        PartitionResult part = partitionRows(
+            w, bias, rows, cols, cfg.prSp2, cfg.policy, rng_seed);
         res.rowScheme = std::move(part.rowScheme);
         res.threshold = part.threshold;
         res.numSp2 = part.numSp2;
@@ -426,7 +481,8 @@ quantizeMatrix(const float* w, float* out, size_t rows, size_t cols,
                const QConfig& cfg, uint64_t rng_seed)
 {
     MIXQ_ASSERT(rows > 0 && cols > 0, "empty matrix");
-    MatrixQuantResult res = initMatrixResult(w, rows, cols, cfg, rng_seed);
+    MatrixQuantResult res =
+        initMatrixResult(w, nullptr, rows, cols, cfg, rng_seed);
 
     // Resolve the (at most two) cached level sets before any parallel
     // region: levelSet() takes a lock the workers should not contend
@@ -443,7 +499,7 @@ quantizeMatrix(const float* w, float* out, size_t rows, size_t cols,
         // serial, so the outputs are bit-identical for any thread
         // count and any schedule.
         #pragma omp parallel for schedule(static) \
-            if (rows > 1 && !inParallel())
+            if (rows > 1 && !inOmpParallel())
         for (long r = 0; r < long(rows); ++r) {
             const float* row = w + size_t(r) * cols;
             const LevelSet& ls = *sets[int(res.rowScheme[size_t(r)])];
@@ -476,7 +532,7 @@ quantizeMatrix(const float* w, float* out, size_t rows, size_t cols,
         double invAlpha = 1.0 / alpha;
         LevelProjector lp = ls.projector();
         #pragma omp parallel for schedule(static) \
-            if (rl.size() > 1 && !inParallel())
+            if (rl.size() > 1 && !inOmpParallel())
         for (long i = 0; i < long(rl.size()); ++i) {
             size_t r = rl[size_t(i)];
             res.rowAlpha[r] = float(alpha);
@@ -488,11 +544,77 @@ quantizeMatrix(const float* w, float* out, size_t rows, size_t cols,
 }
 
 MatrixQuantResult
+quantizeMatrixBiased(const float* w, float* u, float* z, size_t rows,
+                     size_t cols, const QConfig& cfg, uint64_t rng_seed)
+{
+    MIXQ_ASSERT(rows > 0 && cols > 0, "empty matrix");
+    MIXQ_ASSERT(z != w && z != u, "z must not alias w or u");
+    MatrixQuantResult res =
+        initMatrixResult(w, u, rows, cols, cfg, rng_seed);
+
+    const LevelSet* sets[3] = {};
+    for (QuantScheme s : res.rowScheme) {
+        const LevelSet*& p = sets[int(s)];
+        if (!p)
+            p = &levelSet(s, cfg.bits);
+    }
+
+    if (cfg.granularity == Granularity::PerRow) {
+        // One worker per row, as in quantizeMatrix; the fused
+        // projection run writes that row's z and u slices, which no
+        // other worker touches.
+        #pragma omp parallel for schedule(static) \
+            if (rows > 1 && !inOmpParallel())
+        for (long r = 0; r < long(rows); ++r) {
+            size_t off = size_t(r) * cols;
+            const LevelSet& ls = *sets[int(res.rowScheme[size_t(r)])];
+            double alpha = fitAlphaView(
+                GroupView::contiguous(w + off, cols, u + off), ls, 8);
+            res.rowAlpha[size_t(r)] = float(alpha);
+            projectRunLsBiasedDual(w + off, u + off, z + off, cols,
+                                   ls.projector(), alpha, 1.0 / alpha);
+        }
+        return res;
+    }
+
+    // PerGroup: joint alpha per scheme group over the biased index
+    // view, then the group's rows projected (and their dual slices
+    // updated) in parallel.
+    for (QuantScheme s : {QuantScheme::Fixed, QuantScheme::Sp2,
+                          QuantScheme::Pow2}) {
+        std::vector<uint32_t> rl;
+        for (size_t r = 0; r < rows; ++r) {
+            if (res.rowScheme[r] == s)
+                rl.push_back(uint32_t(r));
+        }
+        if (rl.empty())
+            continue;
+        const LevelSet& ls = *sets[int(s)];
+        double alpha = fitAlphaView(
+            GroupView::rowList(w, cols, rl.data(), rl.size(), u), ls,
+            8);
+        double invAlpha = 1.0 / alpha;
+        LevelProjector lp = ls.projector();
+        #pragma omp parallel for schedule(static) \
+            if (rl.size() > 1 && !inOmpParallel())
+        for (long i = 0; i < long(rl.size()); ++i) {
+            size_t r = rl[size_t(i)];
+            size_t off = r * cols;
+            res.rowAlpha[r] = float(alpha);
+            projectRunLsBiasedDual(w + off, u + off, z + off, cols, lp,
+                                   alpha, invAlpha);
+        }
+    }
+    return res;
+}
+
+MatrixQuantResult
 quantizeMatrixRef(const float* w, float* out, size_t rows, size_t cols,
                   const QConfig& cfg, uint64_t rng_seed)
 {
     MIXQ_ASSERT(rows > 0 && cols > 0, "empty matrix");
-    MatrixQuantResult res = initMatrixResult(w, rows, cols, cfg, rng_seed);
+    MatrixQuantResult res =
+        initMatrixResult(w, nullptr, rows, cols, cfg, rng_seed);
 
     std::vector<double> fixed_mags = fixedMagnitudes(cfg.bits);
     std::vector<double> sp2_mags = sp2Magnitudes(cfg.bits);

@@ -122,6 +122,22 @@ MatrixQuantResult quantizeMatrix(const float* w, float* out, size_t rows,
                                  uint64_t rng_seed = 1);
 
 /**
+ * Fused ADMM epoch-update kernel: quantize the *biased* matrix
+ * W + U (assembled on the fly, never materialized) into @p z, then
+ * update the scaled dual in place, u[i] = (w[i] - z[i]) + u[i], in
+ * the same parallel pass. Performs no heap allocation proportional
+ * to the matrix. Bit-identical to gathering wu = w + u into a buffer
+ * and running quantizeMatrix(wu, z, ...) followed by the serial dual
+ * update (the reference's float evaluation order is preserved
+ * operation for operation), and bit-identical across
+ * OMP_NUM_THREADS. @p z must not alias @p w or @p u.
+ */
+MatrixQuantResult quantizeMatrixBiased(const float* w, float* u,
+                                       float* z, size_t rows,
+                                       size_t cols, const QConfig& cfg,
+                                       uint64_t rng_seed = 1);
+
+/**
  * Retained scalar reference of quantizeMatrix: same partition, same
  * chunked fitAlpha specification, but serial throughout with the
  * per-element lower_bound projector. The kernels are benchmarked

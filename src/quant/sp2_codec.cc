@@ -30,7 +30,7 @@ Sp2Code::apply(int32_t act) const
 }
 
 Sp2Codec::Sp2Codec(int bits)
-    : bits_(bits)
+    : bits_(bits), levels_(&levelSet(QuantScheme::Sp2, bits))
 {
     Sp2Split sp = sp2Split(bits);
     int k1 = (1 << sp.m1) - 1;
@@ -82,10 +82,31 @@ Sp2Codec::encode(float value, float alpha) const
 {
     MIXQ_ASSERT(alpha > 0.0f, "encode: non-positive alpha");
     double t = double(std::fabs(value)) / double(alpha);
+    // The cached LevelSet's boundary search assigns the nearest level
+    // index directly (codeForInt_ is parallel to the level set's
+    // magnitudes — the constructor cross-checks the correspondence);
+    // t > 1 can only be float32 rounding of alpha * 1.0 / alpha, so
+    // clipping it lands on the top level exactly like the reference's
+    // llround.
+    size_t idx = levels_->nearestIndex(std::min(t, 1.0));
+    // Levels are integers >= 1 apart on the 2^K1 grid; tolerate
+    // float32 rounding of value/alpha (relative 2^-23 scaled by the
+    // denominator) but reject values off the level set.
+    double scaled = t * double(1 << denomLog2_);
+    MIXQ_ASSERT(std::fabs(scaled - double(ints_[idx])) < 0.02,
+                "encode: value is not an SP2 level multiple");
+    Sp2Code code = codeForInt_[idx];
+    code.sign = value < 0.0f ? -1 : 1;
+    return code;
+}
+
+Sp2Code
+Sp2Codec::encodeRef(float value, float alpha) const
+{
+    MIXQ_ASSERT(alpha > 0.0f, "encode: non-positive alpha");
+    double t = double(std::fabs(value)) / double(alpha);
     double scaled = t * double(1 << denomLog2_);
     int32_t target = int32_t(std::llround(scaled));
-    // Levels are integers >= 1 apart; tolerate float32 rounding of
-    // value/alpha (relative 2^-23 scaled by the denominator).
     MIXQ_ASSERT(std::fabs(scaled - double(target)) < 0.02,
                 "encode: value is not an SP2 level multiple");
     auto it = std::lower_bound(ints_.begin(), ints_.end(), target);

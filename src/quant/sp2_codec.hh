@@ -58,10 +58,22 @@ class Sp2Codec
 
     /**
      * Encode a dequantized weight value (must be alpha * level for a
-     * level of the m-bit SP2 set, within tolerance). Exact-match
-     * lookup; calls panic() on a value outside the level set.
+     * level of the m-bit SP2 set, within tolerance). Routed through
+     * the cached LevelSet's branchless boundary search (the same
+     * kernel the quantizer projects with), then validated against the
+     * integer magnitude table; calls panic() on a value outside the
+     * level set. Bit-identical to encodeRef on every representable
+     * value.
      */
     Sp2Code encode(float value, float alpha) const;
+
+    /**
+     * Retained reference encoder: round value/alpha to the integer
+     * grid and find the magnitude by lower_bound over the integer
+     * table. encode() is cross-checked against it in
+     * tests/sp2_codec_test.cc.
+     */
+    Sp2Code encodeRef(float value, float alpha) const;
 
     /** Decode a code back to a dequantized float weight. */
     float decode(const Sp2Code& code, float alpha) const;
@@ -78,6 +90,7 @@ class Sp2Codec
     int maxShift2_;
     std::vector<int32_t> ints_;      //!< sorted distinct magnitudes
     std::vector<Sp2Code> codeForInt_; //!< parallel to ints_
+    const LevelSet* levels_;          //!< cached SP2 level set
 };
 
 /**

@@ -1,8 +1,13 @@
-/** @file ADMM state tests (Algorithm 1 mechanics). */
+/** @file ADMM state tests (Algorithm 1 mechanics), including the
+    fused epochUpdate / penalty passes vs their retained references. */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "quant/admm.hh"
 #include "quant/quantizer.hh"
@@ -16,6 +21,22 @@ fixedProj(int bits)
 {
     return [bits](std::span<const float> in, std::span<float> out) {
         quantizeGroup(in, out, QuantScheme::Fixed, bits);
+    };
+}
+
+/** Fused flat-group projector equivalent to fixedProj: one 1 x n
+    matrix row through the biased kernel. */
+AdmmState::BiasedProjectFn
+fixedBiasedProj(int bits)
+{
+    return [bits](std::span<const float> w, std::span<float> u,
+                  std::span<float> z) {
+        QConfig cfg;
+        cfg.scheme = QuantScheme::Fixed;
+        cfg.bits = bits;
+        cfg.granularity = Granularity::PerRow;
+        quantizeMatrixBiased(w.data(), u.data(), z.data(), 1, w.size(),
+                             cfg);
     };
 }
 
@@ -45,7 +66,7 @@ TEST(Admm, EpochUpdateInvariant)
     AdmmState st;
     st.init(w, fixedProj(4), 1e-2);
     std::vector<float> u_old(st.u().begin(), st.u().end());
-    st.epochUpdate(w, fixedProj(4));
+    st.epochUpdate(w, fixedBiasedProj(4));
     for (size_t i = 0; i < w.size(); ++i) {
         EXPECT_NEAR(st.u()[i], w[i] - st.z()[i] + u_old[i], 1e-6);
     }
@@ -94,12 +115,12 @@ TEST(Admm, GradientDescentWithPenaltyConvergesToConstraintSet)
     AdmmState st;
     st.init(w, fixedProj(4), 1.0);
     for (int epoch = 0; epoch < 80; ++epoch) {
-        st.epochUpdate(w, fixedProj(4));
+        st.epochUpdate(w, fixedBiasedProj(4));
         for (int it = 0; it < 20; ++it) {
             std::vector<float> g(w.size());
             for (size_t i = 0; i < w.size(); ++i)
                 g[i] = w[i] - target[i];
-            st.addPenaltyGrad(w, g);
+            st.addPenaltyGradAndPenalty(w, g);
             for (size_t i = 0; i < w.size(); ++i)
                 w[i] -= 0.2f * g[i];
         }
@@ -112,6 +133,138 @@ TEST(Admm, GradientDescentWithPenaltyConvergesToConstraintSet)
     quantizeGroup(target, proj_t, QuantScheme::Fixed, 4);
     double dist0 = quantMse(target, proj_t);
     EXPECT_LT(dist, 0.5 * dist0);
+}
+
+// ------------------------------------------------------------------
+// Fused epochUpdate vs the retained two-pass reference: same float
+// operations in the same order, so Z and U must match bit for bit —
+// per scheme, granularity, and across several epochs of drifting
+// weights (U accumulates, so one epoch would not catch drift in the
+// dual update).
+// ------------------------------------------------------------------
+
+TEST(Admm, FusedEpochUpdateMatchesTwoPassRefBitExact)
+{
+    struct Case
+    {
+        QuantScheme scheme;
+        Granularity gran;
+        size_t rows, cols;
+    };
+    // 16 x 96 groups stay on the single-chunk fit path; 32 x 512
+    // Mixed/PerGroup groups exceed kFitChunkElems, exercising the
+    // chunked biased prep and its tree merge.
+    for (Case cs :
+         {Case{QuantScheme::Fixed, Granularity::PerRow, 16, 96},
+          Case{QuantScheme::Mixed, Granularity::PerRow, 16, 96},
+          Case{QuantScheme::Mixed, Granularity::PerGroup, 16, 96},
+          Case{QuantScheme::Sp2, Granularity::PerGroup, 16, 96},
+          Case{QuantScheme::Mixed, Granularity::PerGroup, 32, 512},
+          Case{QuantScheme::Fixed, Granularity::PerGroup, 32, 512}}) {
+        SCOPED_TRACE(testing::Message()
+                     << "scheme=" << int(cs.scheme)
+                     << " gran=" << int(cs.gran) << " rows="
+                     << cs.rows << " cols=" << cs.cols);
+        const size_t rows = cs.rows, cols = cs.cols;
+        QConfig cfg;
+        cfg.scheme = cs.scheme;
+        cfg.granularity = cs.gran;
+
+        auto proj = [&](std::span<const float> in,
+                        std::span<float> out) {
+            quantizeMatrix(in.data(), out.data(), rows, cols, cfg);
+        };
+        auto biased = [&](std::span<const float> w, std::span<float> u,
+                          std::span<float> z) {
+            quantizeMatrixBiased(w.data(), u.data(), z.data(), rows,
+                                 cols, cfg);
+        };
+
+        Rng rng(11);
+        std::vector<float> w(rows * cols);
+        for (float& x : w)
+            x = float(rng.normal(0.0, 0.3));
+
+        AdmmState fused, ref;
+        fused.init(w, proj, 1e-2);
+        ref.init(w, proj, 1e-2);
+
+        for (int epoch = 0; epoch < 4; ++epoch) {
+            SCOPED_TRACE(testing::Message() << "epoch=" << epoch);
+            fused.epochUpdate(w, biased);
+            ref.epochUpdateRef(w, proj);
+            for (size_t i = 0; i < w.size(); ++i) {
+                ASSERT_EQ(fused.z()[i], ref.z()[i]) << "z index " << i;
+                ASSERT_EQ(fused.u()[i], ref.u()[i]) << "u index " << i;
+            }
+            // Drift the weights like an optimizer would between
+            // epochs, pulling them slightly toward Z.
+            for (size_t i = 0; i < w.size(); ++i)
+                w[i] += 0.1f * (fused.z()[i] - w[i]) +
+                        float(rng.normal(0.0, 0.01));
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Fused penalty pass: the gradient half must match addPenaltyGrad bit
+// for bit (identical float expression per element); the penalty half
+// matches penalty() to rounding (chunked + tree-merged vs one serial
+// sum) and must be bit-identical across thread counts.
+// ------------------------------------------------------------------
+
+TEST(Admm, FusedPenaltyGradMatchesTwoPass)
+{
+    Rng rng(12);
+    const size_t n = 3 * 4096 + 123; // several chunks plus a tail
+    std::vector<float> w(n);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.3));
+    AdmmState st;
+    st.init(w, fixedProj(4), 0.25);
+    // A couple of updates so U is nonzero.
+    st.epochUpdate(w, fixedBiasedProj(4));
+
+    std::vector<float> g_fused(n, 0.5f), g_ref(n, 0.5f);
+    double pen_fused = st.addPenaltyGradAndPenalty(w, g_fused);
+    st.addPenaltyGrad(w, g_ref);
+    double pen_ref = st.penalty(w);
+
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(g_fused[i], g_ref[i]) << "grad index " << i;
+    EXPECT_NEAR(pen_fused, pen_ref,
+                1e-12 * std::max(1.0, std::fabs(pen_ref)));
+}
+
+TEST(Admm, FusedPenaltyBitIdenticalAcrossThreadCounts)
+{
+#ifndef _OPENMP
+    GTEST_SKIP() << "built without OpenMP";
+#else
+    Rng rng(13);
+    const size_t n = 5 * 4096 + 77;
+    std::vector<float> w(n);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.3));
+    AdmmState st;
+    st.init(w, fixedProj(4), 0.25);
+    st.epochUpdate(w, fixedBiasedProj(4));
+
+    int prev = omp_get_max_threads();
+    omp_set_num_threads(1);
+    std::vector<float> g1(n, 0.0f);
+    double p1 = st.addPenaltyGradAndPenalty(w, g1);
+    for (int threads : {4, 8}) {
+        omp_set_num_threads(threads);
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        std::vector<float> gt(n, 0.0f);
+        double pt = st.addPenaltyGradAndPenalty(w, gt);
+        ASSERT_EQ(pt, p1);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(gt[i], g1[i]) << "grad index " << i;
+    }
+    omp_set_num_threads(prev);
+#endif
 }
 
 } // namespace

@@ -187,6 +187,64 @@ TEST(LayersMt, Conv2dBitIdenticalAcrossThreadCounts)
 }
 
 // ------------------------------------------------------------------
+// BatchNorm2d: the batch statistics are accumulated per fixed batch
+// chunk and tree-merged (nn/layers.cc bnChunkedReduce), so forward
+// outputs, running statistics, backward input gradients and the
+// gamma/beta gradients must all be bit-identical across
+// OMP_NUM_THREADS — including ragged batches.
+// ------------------------------------------------------------------
+
+TEST(LayersMt, BatchNormBitIdenticalAcrossThreadCounts)
+{
+#ifndef _OPENMP
+    GTEST_SKIP() << "built without OpenMP";
+#else
+    for (size_t n : {size_t(3), size_t(8), size_t(13)}) {
+        SCOPED_TRACE(testing::Message() << "batch=" << n);
+        Rng dataRng(400 + n);
+        Tensor x = Tensor::randn({n, 6, 7, 7}, dataRng, 2.0);
+        Tensor gy = Tensor::randn({n, 6, 7, 7}, dataRng, 1.0);
+
+        auto runOnce = [&] {
+            BatchNorm2d bn(6);
+            Tensor y = bn.forward(x, true);
+            Tensor gx = bn.backward(gy);
+            Tensor ye = bn.forward(x, false); // eval path too
+            std::vector<std::vector<float>> out;
+            out.emplace_back(y.data(), y.data() + y.size());
+            out.emplace_back(gx.data(), gx.data() + gx.size());
+            out.emplace_back(ye.data(), ye.data() + ye.size());
+            const Tensor& rm = bn.runningMean();
+            const Tensor& rv = bn.runningVar();
+            out.emplace_back(rm.data(), rm.data() + rm.size());
+            out.emplace_back(rv.data(), rv.data() + rv.size());
+            for (Param* p : bn.params())
+                out.emplace_back(p->grad.data(),
+                                 p->grad.data() + p->grad.size());
+            return out;
+        };
+
+        int prev = omp_get_max_threads();
+        omp_set_num_threads(1);
+        auto base = runOnce();
+        for (int threads : {4, 8}) {
+            omp_set_num_threads(threads);
+            auto got = runOnce();
+            SCOPED_TRACE(testing::Message() << "threads=" << threads);
+            ASSERT_EQ(got.size(), base.size());
+            for (size_t v = 0; v < base.size(); ++v) {
+                ASSERT_EQ(got[v].size(), base[v].size());
+                for (size_t i = 0; i < base[v].size(); ++i)
+                    ASSERT_EQ(got[v][i], base[v][i])
+                        << "vector " << v << " index " << i;
+            }
+        }
+        omp_set_num_threads(prev);
+    }
+#endif
+}
+
+// ------------------------------------------------------------------
 // Plan invalidation at the layer level: an in-place weight rewrite
 // plus noteUpdated() must be visible in the next forward.
 // ------------------------------------------------------------------

@@ -79,6 +79,44 @@ TEST_P(CodecBits, IntMagnitudesMatchLevelSet)
     }
 }
 
+TEST_P(CodecBits, LevelSetEncodeMatchesRefEncoder)
+{
+    // encode() routes through the cached LevelSet boundary search;
+    // encodeRef() is the retained llround + lower_bound reference.
+    // They must agree bit for bit on every representable value —
+    // every level, both signs, several alphas (including ones whose
+    // float32 dequantization rounds t = value/alpha off the exact
+    // grid point).
+    int m = GetParam();
+    Sp2Codec codec(m);
+    auto mags = sp2Magnitudes(m);
+    for (float alpha : {1.0f, 0.43f, 0.07361f, 2.625f}) {
+        for (double v : mags) {
+            for (double sign : {1.0, -1.0}) {
+                float x = float(sign * v * double(alpha));
+                Sp2Code fast = codec.encode(x, alpha);
+                Sp2Code ref = codec.encodeRef(x, alpha);
+                EXPECT_EQ(fast, ref)
+                    << "alpha " << alpha << " level " << v
+                    << " sign " << sign;
+            }
+        }
+    }
+}
+
+TEST(Sp2Codec, LevelSetEncodeMatchesRefOnQuantizedWeights)
+{
+    Rng rng(21);
+    std::vector<float> w(2048), q(2048);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.3));
+    double alpha = quantizeGroup(w, q, QuantScheme::Sp2, 4);
+    Sp2Codec codec(4);
+    for (float v : q)
+        EXPECT_EQ(codec.encode(v, float(alpha)),
+                  codec.encodeRef(v, float(alpha)));
+}
+
 INSTANTIATE_TEST_SUITE_P(BitSweep, CodecBits,
                          ::testing::Values(3, 4, 5, 6, 7, 8));
 

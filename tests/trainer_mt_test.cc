@@ -1,0 +1,168 @@
+/**
+ * @file
+ * End-to-end thread-count determinism of the training step. Every
+ * stage of a QAT epoch is individually deterministic across
+ * OMP_NUM_THREADS — deterministic batch gather, GEMM-backed layer
+ * forward/backward, chunked BatchNorm statistics, the fused
+ * row-parallel loss, the fused ADMM penalty and epoch-update passes,
+ * and the elementwise-parallel SGD step — so a whole
+ * trainClassifier() run must be *bit-identical* at 1, 4 and 8
+ * threads: final weights, the ADMM Z/U state, the per-epoch loss
+ * trajectory, and the projection metadata. This is the integration
+ * pin on top of the per-stage matrices in tests/quant_mt_test.cc,
+ * tests/layers_mt_test.cc and tests/rnn_mt_test.cc.
+ *
+ * Also here: the evalClassifierTopK tie-handling unit test ("better
+ * < k": ties with the true class never count against it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "data/synth_images.hh"
+#include "nn/layers.hh"
+#include "nn/models.hh"
+#include "nn/trainer.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+/** Everything a QAT training run produces that must be reproducible. */
+struct RunResult
+{
+    std::vector<std::vector<float>> weights;
+    std::vector<std::vector<float>> z;
+    std::vector<std::vector<float>> u;
+    std::vector<std::vector<float>> rowAlpha;
+    std::vector<double> epochLoss;
+};
+
+RunResult
+runQatTraining(Granularity gran)
+{
+    Rng rng(77);
+    auto model = makeMiniResNet(10, rng, /*base=*/4);
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 48, 5);
+
+    QConfig qcfg;
+    qcfg.scheme = QuantScheme::Mixed;
+    qcfg.bits = 4;
+    qcfg.granularity = gran;
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+
+    RunResult res;
+    TrainCfg cfg;
+    cfg.epochs = 2;
+    cfg.batch = 16;
+    cfg.lr = 0.05;
+    cfg.epochLoss = &res.epochLoss;
+    trainClassifier(*model, train, cfg, &qat);
+
+    for (Param* p : model->params())
+        res.weights.emplace_back(p->w.data(),
+                                 p->w.data() + p->w.size());
+    for (const QatContext::Entry& e : qat.entries()) {
+        res.z.emplace_back(e.admm.z().begin(), e.admm.z().end());
+        res.u.emplace_back(e.admm.u().begin(), e.admm.u().end());
+        res.rowAlpha.push_back(e.proj.rowAlpha);
+    }
+    return res;
+}
+
+void
+expectBitIdentical(const std::vector<std::vector<float>>& got,
+                   const std::vector<std::vector<float>>& want,
+                   const char* what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (size_t v = 0; v < want.size(); ++v) {
+        ASSERT_EQ(got[v].size(), want[v].size()) << what << " " << v;
+        for (size_t i = 0; i < want[v].size(); ++i)
+            ASSERT_EQ(got[v][i], want[v][i])
+                << what << " tensor " << v << " index " << i;
+    }
+}
+
+class TrainerMtGranularity
+    : public ::testing::TestWithParam<Granularity>
+{
+};
+
+TEST_P(TrainerMtGranularity, QatTrainingBitIdenticalAcrossThreadCounts)
+{
+#ifndef _OPENMP
+    GTEST_SKIP() << "built without OpenMP";
+#else
+    Granularity gran = GetParam();
+    int prev = omp_get_max_threads();
+    omp_set_num_threads(1);
+    RunResult base = runQatTraining(gran);
+    ASSERT_EQ(base.epochLoss.size(), 2u);
+
+    for (int threads : {4, 8}) {
+        omp_set_num_threads(threads);
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        RunResult got = runQatTraining(gran);
+        expectBitIdentical(got.weights, base.weights, "weights");
+        expectBitIdentical(got.z, base.z, "admm z");
+        expectBitIdentical(got.u, base.u, "admm u");
+        expectBitIdentical(got.rowAlpha, base.rowAlpha, "rowAlpha");
+        ASSERT_EQ(got.epochLoss.size(), base.epochLoss.size());
+        for (size_t e = 0; e < base.epochLoss.size(); ++e)
+            ASSERT_EQ(got.epochLoss[e], base.epochLoss[e])
+                << "epoch " << e;
+    }
+    omp_set_num_threads(prev);
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, TrainerMtGranularity,
+                         ::testing::Values(Granularity::PerRow,
+                                           Granularity::PerGroup));
+
+// ------------------------------------------------------------------
+// evalClassifierTopK counts strictly-better classes ("better < k"),
+// so a class tied with the truth never pushes it out of the top k.
+// A Flatten model turns [N, C, 1, 1] images directly into logits,
+// making the rows exactly controllable.
+// ------------------------------------------------------------------
+
+TEST(EvalTopK, TieHandlingCountsStrictlyBetterOnly)
+{
+    const size_t n = 4, c = 4;
+    LabeledImages data;
+    data.images = Tensor({n, c, 1, 1});
+    data.numClasses = c;
+    auto setRow = [&](size_t i, std::vector<float> row, int label) {
+        for (size_t j = 0; j < c; ++j)
+            data.images[i * c + j] = row[j];
+        data.labels.push_back(label);
+    };
+    // truth 3.0, nothing better, ties below truth irrelevant.
+    setRow(0, {3.0f, 1.0f, 1.0f, 0.0f}, 0);
+    // truth 1.0 tied with class 0 at the top: better == 0, so the
+    // tie does not cost top-1.
+    setRow(1, {1.0f, 1.0f, 0.0f, 0.0f}, 1);
+    // truth 1.0, one strictly better (2.0), one tie: better == 1 —
+    // out of top-1, inside top-2.
+    setRow(2, {2.0f, 1.0f, 1.0f, 0.0f}, 1);
+    // truth 0.0, three strictly better: only top-4 catches it.
+    setRow(3, {2.0f, 1.0f, 1.0f, 0.0f}, 3);
+
+    Flatten model;
+    EXPECT_DOUBLE_EQ(evalClassifierTopK(model, data, 1), 0.5);
+    EXPECT_DOUBLE_EQ(evalClassifierTopK(model, data, 2), 0.75);
+    EXPECT_DOUBLE_EQ(evalClassifierTopK(model, data, 3), 0.75);
+    EXPECT_DOUBLE_EQ(evalClassifierTopK(model, data, 4), 1.0);
+    EXPECT_DOUBLE_EQ(evalClassifier(model, data), 0.5); // top-1 alias
+}
+
+} // namespace
+} // namespace mixq

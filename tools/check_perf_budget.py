@@ -27,6 +27,7 @@ given. Medians over --repetitions runs feed the ratios.
 Usage:
   tools/check_perf_budget.py --bench build/bench_micro_gemm \
       --bench bench_micro_quant=build/bench_micro_quant \
+      --bench bench_micro_train=build/bench_micro_train \
       [--budget bench/perf_budget.json] [--repetitions 3] [--warn-only]
 """
 
