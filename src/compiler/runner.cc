@@ -108,6 +108,44 @@ referenceGemmInt(const QuantizedGemm& q)
     return out;
 }
 
+QuantizedGemm
+packedToQuantizedGemm(const PackedQMat& w,
+                      std::span<const int8_t> acts, size_t m,
+                      std::vector<size_t>& rowOrder)
+{
+    MIXQ_ASSERT(w.packed(), "packedToQuantizedGemm: not packed");
+    size_t k = w.cols();
+    MIXQ_ASSERT(acts.size() == m * k,
+                "packedToQuantizedGemm: acts size");
+    QuantizedGemm q;
+    q.m = m;
+    q.k = k;
+    q.ns = w.numSp2();
+    q.nf = w.rows() - q.ns;
+    q.acts.assign(acts.begin(), acts.end());
+    q.wF.reserve(q.nf * k);
+    q.wS.reserve(q.ns * k);
+    rowOrder.clear();
+    rowOrder.reserve(w.rows());
+    // Fixed-core channels first (the reference's output layout),
+    // each scheme group in packed row order.
+    for (size_t r = 0; r < w.rows(); ++r) {
+        if (w.rowScheme(r) == QuantScheme::Fixed) {
+            const int8_t* row = w.fixedCodes().data() + r * k;
+            q.wF.insert(q.wF.end(), row, row + k);
+            rowOrder.push_back(r);
+        }
+    }
+    for (size_t r = 0; r < w.rows(); ++r) {
+        if (w.rowScheme(r) == QuantScheme::Sp2) {
+            const Sp2Code* row = w.sp2Codes().data() + r * k;
+            q.wS.insert(q.wS.end(), row, row + k);
+            rowOrder.push_back(r);
+        }
+    }
+    return q;
+}
+
 std::vector<int32_t>
 runGemmFunctional(const QuantizedGemm& q, const DesignPoint& dp,
                   RunStats* stats, const SimKnobs& knobs)

@@ -13,10 +13,12 @@
 #define MIXQ_COMPILER_RUNNER_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "compiler/layer_spec.hh"
 #include "compiler/tiler.hh"
+#include "infer/qpack.hh"
 #include "sim/accelerator.hh"
 
 namespace mixq {
@@ -89,6 +91,22 @@ std::vector<int32_t> runGemmFunctional(const QuantizedGemm& q,
                                        const DesignPoint& dp,
                                        RunStats* stats = nullptr,
                                        const SimKnobs& knobs = {});
+
+/**
+ * Bridge a deploy-packed weight matrix (infer/qpack.hh) into the
+ * simulator's mixed-core problem layout: Fixed rows become the
+ * fixed-core channels (in packed row order), SP2 rows the SP2-core
+ * channels, and @p rowOrder records, for each output column c of
+ * referenceGemmInt/runGemmFunctional, the packed row it came from —
+ * the permutation the differential tests invert. @p acts are [m][k]
+ * activation codes within int8 range. Both sides accumulate SP2
+ * products in the same 2^K1-scaled units, so the outputs compare
+ * against qgemm accumulators with ==.
+ */
+QuantizedGemm packedToQuantizedGemm(const PackedQMat& w,
+                                    std::span<const int8_t> acts,
+                                    size_t m,
+                                    std::vector<size_t>& rowOrder);
 
 } // namespace mixq
 

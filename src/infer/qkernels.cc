@@ -1,0 +1,424 @@
+#include "infer/qkernels.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nn/gemm.hh"
+#include "nn/gemm_backend.hh"
+#include "quant/act_quant.hh"
+#include "util/logging.hh"
+
+namespace mixq {
+
+ActQuantParams
+actQuantParams(const ActFakeQuant& aq)
+{
+    MIXQ_ASSERT(aq.enabled() && aq.calibrated(),
+                "int backend needs an enabled, calibrated activation "
+                "quantizer (run a calibration forward pass first)");
+    // Same double-to-float conversion sequence as quantizeOnly, so
+    // code * invScale reproduces the fake-quantized float exactly.
+    double levels = aq.isSigned()
+                        ? double((1 << (aq.bits() - 1)) - 1)
+                        : double((1 << aq.bits()) - 1);
+    ActQuantParams p;
+    p.hi = float(aq.alpha());
+    p.lo = aq.isSigned() ? -p.hi : 0.0f;
+    p.scale = float(levels / aq.alpha());
+    p.invScale = float(aq.alpha() / levels);
+    p.maxAbs = int32_t(levels);
+    return p;
+}
+
+bool
+halfwordSafe(const ActQuantParams& p, size_t cols)
+{
+    MIXQ_ASSERT(p.maxAbs > 0, "halfwordSafe: empty code range");
+    return size_t(p.maxAbs) * cols <= size_t(INT16_MAX);
+}
+
+void
+quantizeActsInt(const float* x, int32_t* q, size_t n,
+                const ActQuantParams& p)
+{
+    const float lo = p.lo, hi = p.hi, scale = p.scale;
+    #pragma omp simd
+    for (size_t i = 0; i < n; ++i) {
+        float c = std::clamp(x[i], lo, hi);
+        q[i] = int32_t(std::nearbyint(c * scale));
+    }
+}
+
+void
+quantizeActsInt(const float* x, int16_t* q, size_t n,
+                const ActQuantParams& p)
+{
+    const float lo = p.lo, hi = p.hi, scale = p.scale;
+    #pragma omp simd
+    for (size_t i = 0; i < n; ++i) {
+        float c = std::clamp(x[i], lo, hi);
+        q[i] = int16_t(int32_t(std::nearbyint(c * scale)));
+    }
+}
+
+void
+transposeInt32(const int32_t* src, int32_t* dst, size_t rows,
+               size_t cols)
+{
+    for (size_t i = 0; i < rows; ++i)
+        for (size_t j = 0; j < cols; ++j)
+            dst[j * rows + i] = src[i * cols + j];
+}
+
+namespace {
+
+template <typename T>
+void
+quantizeTransposeActsT(const float* x, size_t n, size_t k,
+                       const ActQuantParams& p, T* qT)
+{
+    const float lo = p.lo, hi = p.hi, scale = p.scale;
+    for (size_t i = 0; i < n; ++i) {
+        const float* xi = x + i * k;
+        for (size_t j = 0; j < k; ++j) {
+            float c = std::clamp(xi[j], lo, hi);
+            qT[j * n + i] = T(int32_t(std::nearbyint(c * scale)));
+        }
+    }
+}
+
+template <typename T>
+void
+im2colIntT(const T* img, size_t c, size_t h, size_t w, size_t kh,
+           size_t kw, size_t stride, size_t pad, T* cols)
+{
+    size_t oh = convOut(h, kh, stride, pad);
+    size_t ow = convOut(w, kw, stride, pad);
+    size_t ncols = oh * ow;
+    size_t row = 0;
+    for (size_t ch = 0; ch < c; ++ch) {
+        for (size_t ki = 0; ki < kh; ++ki) {
+            for (size_t kj = 0; kj < kw; ++kj, ++row) {
+                T* dst = cols + row * ncols;
+                for (size_t oy = 0; oy < oh; ++oy) {
+                    long iy = long(oy * stride + ki) - long(pad);
+                    for (size_t ox = 0; ox < ow; ++ox) {
+                        long ix = long(ox * stride + kj) - long(pad);
+                        T v = 0;
+                        if (iy >= 0 && iy < long(h) && ix >= 0 &&
+                            ix < long(w)) {
+                            v = img[(ch * h + size_t(iy)) * w +
+                                    size_t(ix)];
+                        }
+                        dst[oy * ow + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+quantizeTransposeActs(const float* x, size_t n, size_t k,
+                      const ActQuantParams& p, int32_t* qT)
+{
+    quantizeTransposeActsT(x, n, k, p, qT);
+}
+
+void
+quantizeTransposeActs(const float* x, size_t n, size_t k,
+                      const ActQuantParams& p, int16_t* qT)
+{
+    quantizeTransposeActsT(x, n, k, p, qT);
+}
+
+void
+im2colInt(const int16_t* img, size_t c, size_t h, size_t w,
+          size_t kh, size_t kw, size_t stride, size_t pad,
+          int16_t* cols)
+{
+    im2colIntT(img, c, h, w, kh, kw, stride, pad, cols);
+}
+
+void
+im2colInt(const int32_t* img, size_t c, size_t h, size_t w,
+          size_t kh, size_t kw, size_t stride, size_t pad,
+          int32_t* cols)
+{
+    im2colIntT(img, c, h, w, kh, kw, stride, pad, cols);
+}
+
+namespace {
+
+/**
+ * One register-resident lane tile of the class traversal: P batch
+ * lanes of one output row. P is a compile-time width so the class
+ * sum and the row accumulator never leave registers — the column
+ * loop is then one vector load + one vector add per code. @p lda is
+ * the full batch stride of the transposed activations.
+ */
+template <size_t P>
+void
+qgemmRowTile(std::span<const QCodeClass> classes, const uint32_t* idx,
+             bool sp2, const int32_t* actsT, size_t lda,
+             int32_t* accRow)
+{
+    int32_t acc[P] = {};
+    for (const QCodeClass& c : classes) {
+        // Two interleaved partial sums keep both load ports busy;
+        // wrap-around integer addition is commutative, so merging
+        // them preserves bit-exactness. The simd pragmas pin
+        // vectorization to the P contiguous lanes (one vector load +
+        // add per column); without them the auto-vectorizer targets
+        // the column loop and emits per-lane gathers, an order of
+        // magnitude slower.
+        int32_t sum[P] = {}, sumB[P] = {};
+        uint32_t t = c.begin;
+        for (; t + 2 <= c.end; t += 2) {
+            const int32_t* a0 = actsT + size_t(idx[t]) * lda;
+            const int32_t* a1 = actsT + size_t(idx[t + 1]) * lda;
+            #pragma omp simd
+            for (size_t q = 0; q < P; ++q) {
+                sum[q] = int32_t(uint32_t(sum[q]) + uint32_t(a0[q]));
+                sumB[q] =
+                    int32_t(uint32_t(sumB[q]) + uint32_t(a1[q]));
+            }
+        }
+        if (t < c.end) {
+            const int32_t* a0 = actsT + size_t(idx[t]) * lda;
+            #pragma omp simd
+            for (size_t q = 0; q < P; ++q)
+                sum[q] = int32_t(uint32_t(sum[q]) + uint32_t(a0[q]));
+        }
+        #pragma omp simd
+        for (size_t q = 0; q < P; ++q)
+            sum[q] = int32_t(uint32_t(sum[q]) + uint32_t(sumB[q]));
+        if (sp2) {
+            uint32_t sh1 = uint32_t(c.s1);
+            uint32_t sh2 = uint32_t(c.s2);
+            for (size_t q = 0; q < P; ++q) {
+                uint32_t u = uint32_t(sum[q]);
+                uint32_t v =
+                    ((u << sh1) & c.m1) + ((u << sh2) & c.m2);
+                acc[q] = int32_t(uint32_t(acc[q]) +
+                                 ((v ^ c.neg) - c.neg));
+            }
+        } else {
+            uint32_t uw = uint32_t(c.fixedMag);
+            for (size_t q = 0; q < P; ++q)
+                acc[q] = int32_t(uint32_t(acc[q]) +
+                                 uw * uint32_t(sum[q]));
+        }
+    }
+    for (size_t q = 0; q < P; ++q)
+        accRow[q] = acc[q];
+}
+
+/**
+ * Halfword lane tile: same traversal as qgemmRowTile with the class
+ * sums carried in int16 — half the load traffic, twice the lanes per
+ * vector op. The caller guarantees (halfwordSafe) that no class sum
+ * can overflow int16; the exact sum then widens to int32 for the
+ * apply step, bit-identical to the int32 tile. The int16 adds go
+ * through int promotion and truncate back, which is wraparound-
+ * defined and never wraps under the caller's bound.
+ */
+template <size_t P>
+void
+qgemmRowTile16(std::span<const QCodeClass> classes,
+               const uint32_t* idx, bool sp2, const int16_t* actsT,
+               size_t lda, int32_t* accRow)
+{
+    int32_t acc[P] = {};
+    for (const QCodeClass& c : classes) {
+        int16_t sum[P] = {}, sumB[P] = {};
+        uint32_t t = c.begin;
+        for (; t + 2 <= c.end; t += 2) {
+            const int16_t* a0 = actsT + size_t(idx[t]) * lda;
+            const int16_t* a1 = actsT + size_t(idx[t + 1]) * lda;
+            #pragma omp simd
+            for (size_t q = 0; q < P; ++q) {
+                sum[q] = int16_t(sum[q] + a0[q]);
+                sumB[q] = int16_t(sumB[q] + a1[q]);
+            }
+        }
+        if (t < c.end) {
+            const int16_t* a0 = actsT + size_t(idx[t]) * lda;
+            #pragma omp simd
+            for (size_t q = 0; q < P; ++q)
+                sum[q] = int16_t(sum[q] + a0[q]);
+        }
+        // Widen the exact int16 class sum in its own pass: mixing
+        // the short->word conversion into the shift/mask apply loop
+        // defeats the vectorizer ("relevant stmt not supported"),
+        // while a lone conversion loop and the int32-only apply
+        // loops below each vectorize at full width.
+        int32_t wide[P];
+        #pragma omp simd
+        for (size_t q = 0; q < P; ++q)
+            wide[q] = int32_t(int16_t(sum[q] + sumB[q]));
+        if (sp2) {
+            uint32_t sh1 = uint32_t(c.s1);
+            uint32_t sh2 = uint32_t(c.s2);
+            #pragma omp simd
+            for (size_t q = 0; q < P; ++q) {
+                uint32_t u = uint32_t(wide[q]);
+                uint32_t v =
+                    ((u << sh1) & c.m1) + ((u << sh2) & c.m2);
+                acc[q] = int32_t(uint32_t(acc[q]) +
+                                 ((v ^ c.neg) - c.neg));
+            }
+        } else {
+            uint32_t uw = uint32_t(c.fixedMag);
+            #pragma omp simd
+            for (size_t q = 0; q < P; ++q)
+                acc[q] = int32_t(uint32_t(acc[q]) +
+                                 uw * uint32_t(wide[q]));
+        }
+    }
+    for (size_t q = 0; q < P; ++q)
+        accRow[q] = acc[q];
+}
+
+} // namespace
+
+void
+qgemmRow(const PackedQMat& w, size_t r, const int32_t* actsT,
+         size_t p, int32_t* accRow)
+{
+    // Weight-stationary class traversal (see qpack.hh): sum the
+    // activation columns of one code class with plain adds, then
+    // apply that class's code ONCE to the sum — two masked shifts
+    // and a sign flip for SP2 classes (Sp2Code::apply's value, no
+    // multiply), one signed multiply for Fixed classes (the DSP
+    // datapath). Integer addition is associative, so the regrouped,
+    // tiled traversal is bit-exact against the sim cores' per-code
+    // order for every lane split.
+    auto classes = w.rowClasses(r);
+    const uint32_t* idx = w.colIdx().data();
+    bool sp2 = w.rowScheme(r) == QuantScheme::Sp2;
+    size_t q0 = 0;
+    while (p - q0 >= 32) {
+        qgemmRowTile<32>(classes, idx, sp2, actsT + q0, p,
+                         accRow + q0);
+        q0 += 32;
+    }
+    if (p - q0 >= 16) {
+        qgemmRowTile<16>(classes, idx, sp2, actsT + q0, p,
+                         accRow + q0);
+        q0 += 16;
+    }
+    if (p - q0 >= 8) {
+        qgemmRowTile<8>(classes, idx, sp2, actsT + q0, p, accRow + q0);
+        q0 += 8;
+    }
+    if (p - q0 >= 4) {
+        qgemmRowTile<4>(classes, idx, sp2, actsT + q0, p, accRow + q0);
+        q0 += 4;
+    }
+    if (p - q0 >= 2) {
+        qgemmRowTile<2>(classes, idx, sp2, actsT + q0, p, accRow + q0);
+        q0 += 2;
+    }
+    if (p - q0 >= 1)
+        qgemmRowTile<1>(classes, idx, sp2, actsT + q0, p, accRow + q0);
+}
+
+void
+qgemmRow16(const PackedQMat& w, size_t r, const int16_t* actsT,
+           size_t p, int32_t* accRow)
+{
+    auto classes = w.rowClasses(r);
+    const uint32_t* idx = w.colIdx().data();
+    bool sp2 = w.rowScheme(r) == QuantScheme::Sp2;
+    size_t q0 = 0;
+    while (p - q0 >= 32) {
+        qgemmRowTile16<32>(classes, idx, sp2, actsT + q0, p,
+                           accRow + q0);
+        q0 += 32;
+    }
+    if (p - q0 >= 16) {
+        qgemmRowTile16<16>(classes, idx, sp2, actsT + q0, p,
+                           accRow + q0);
+        q0 += 16;
+    }
+    if (p - q0 >= 8) {
+        qgemmRowTile16<8>(classes, idx, sp2, actsT + q0, p,
+                          accRow + q0);
+        q0 += 8;
+    }
+    if (p - q0 >= 4) {
+        qgemmRowTile16<4>(classes, idx, sp2, actsT + q0, p,
+                          accRow + q0);
+        q0 += 4;
+    }
+    if (p - q0 >= 2) {
+        qgemmRowTile16<2>(classes, idx, sp2, actsT + q0, p,
+                          accRow + q0);
+        q0 += 2;
+    }
+    if (p - q0 >= 1)
+        qgemmRowTile16<1>(classes, idx, sp2, actsT + q0, p,
+                          accRow + q0);
+}
+
+void
+qgemm(const PackedQMat& w, const int32_t* actsT, size_t p,
+      int32_t* acc)
+{
+    MIXQ_ASSERT(w.packed(), "qgemm: weight matrix not packed");
+    long rows = long(w.rows());
+    #pragma omp parallel for schedule(static) if (!inOmpParallel())
+    for (long r = 0; r < rows; ++r)
+        qgemmRow(w, size_t(r), actsT, p, acc + size_t(r) * p);
+}
+
+void
+qgemm16(const PackedQMat& w, const int16_t* actsT, size_t p,
+        int32_t* acc)
+{
+    MIXQ_ASSERT(w.packed(), "qgemm16: weight matrix not packed");
+    long rows = long(w.rows());
+    #pragma omp parallel for schedule(static) if (!inOmpParallel())
+    for (long r = 0; r < rows; ++r)
+        qgemmRow16(w, size_t(r), actsT, p, acc + size_t(r) * p);
+}
+
+void
+rescaleLinear(const PackedQMat& w, const int32_t* acc, size_t p,
+              float actInvScale, const float* bias, float* y)
+{
+    size_t rows = w.rows();
+    std::vector<double> f(rows);
+    for (size_t r = 0; r < rows; ++r)
+        f[r] = w.rowDequant(r) * double(actInvScale);
+    #pragma omp parallel for schedule(static) if (!inOmpParallel())
+    for (long q = 0; q < long(p); ++q) {
+        float* yq = y + size_t(q) * rows;
+        for (size_t r = 0; r < rows; ++r) {
+            float v = float(double(acc[r * p + size_t(q)]) * f[r]);
+            yq[r] = bias ? v + bias[r] : v;
+        }
+    }
+}
+
+void
+rescaleConv(const PackedQMat& w, const int32_t* acc, size_t p,
+            float actInvScale, const float* bias, float* y)
+{
+    size_t rows = w.rows();
+    for (size_t r = 0; r < rows; ++r) {
+        double f = w.rowDequant(r) * double(actInvScale);
+        float b = bias ? bias[r] : 0.0f;
+        const int32_t* ar = acc + r * p;
+        float* yr = y + r * p;
+        #pragma omp simd
+        for (size_t q = 0; q < p; ++q)
+            yr[q] = float(double(ar[q]) * f) + b;
+    }
+}
+
+} // namespace mixq

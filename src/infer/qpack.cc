@@ -1,0 +1,152 @@
+#include "infer/qpack.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+void
+PackedQMat::ensure(const float* src, size_t rows, size_t cols,
+                   uint64_t version,
+                   std::span<const QuantScheme> rowScheme,
+                   std::span<const float> rowAlpha, int bits)
+{
+    MIXQ_ASSERT(rows > 0 && cols > 0, "PackedQMat: empty matrix");
+    MIXQ_ASSERT(bits >= 2 && bits <= 8,
+                "PackedQMat: weight bits out of the int8 deploy range");
+    MIXQ_ASSERT(rowScheme.size() == rows && rowAlpha.size() == rows,
+                "PackedQMat: projection metadata does not match rows");
+    if (packed_ && src_ == src && rows_ == rows && cols_ == cols &&
+        version_ == version && bits_ == bits)
+        return;
+    src_ = src;
+    rows_ = rows;
+    cols_ = cols;
+    version_ = version;
+    bits_ = bits;
+    repack(src, rowScheme, rowAlpha);
+    packed_ = true;
+    ++packCount_;
+}
+
+void
+PackedQMat::repack(const float* src,
+                   std::span<const QuantScheme> rowScheme,
+                   std::span<const float> rowAlpha)
+{
+    Sp2Codec codec(bits_);
+    denomLog2_ = codec.denomLog2();
+    size_t len = rows_ * cols_;
+    scheme_.assign(rowScheme.begin(), rowScheme.end());
+    alpha_.assign(rowAlpha.begin(), rowAlpha.end());
+    sp2_.assign(len, Sp2Code{});
+    fixed_.assign(len, 0);
+    s1_.assign(len, 0);
+    s2_.assign(len, 0);
+    m1_.assign(len, 0);
+    m2_.assign(len, 0);
+    neg_.assign(len, 0);
+    classes_.clear();
+    classOfs_.assign(rows_ + 1, 0);
+    colIdx_.clear();
+    numSp2_ = 0;
+    MIXQ_ASSERT(cols_ <= size_t(UINT32_MAX),
+                "PackedQMat: column index overflow");
+
+    // Per-row class grouping scratch: class key -> columns. Classes
+    // keep first-appearance order so the pack is a pure function of
+    // the codes (pack -> run -> repack byte-idempotence).
+    std::vector<QCodeClass> cls;
+    std::vector<std::vector<uint32_t>> clsCols;
+
+    for (size_t r = 0; r < rows_; ++r) {
+        float a = alpha_[r];
+        MIXQ_ASSERT(a > 0.0f, "PackedQMat: non-positive row alpha");
+        const float* w = src + r * cols_;
+        cls.clear();
+        clsCols.clear();
+        if (scheme_[r] == QuantScheme::Sp2) {
+            ++numSp2_;
+            for (size_t j = 0; j < cols_; ++j) {
+                size_t e = r * cols_ + j;
+                Sp2Code c = codec.encode(w[j], a);
+                sp2_[e] = c;
+                // Expand to the branch-free SoA form: an absent term
+                // (j = -1) becomes shift 0 under an all-zero mask, so
+                // a per-code (act << s) & m contributes exactly 0.
+                s1_[e] = c.j1 >= 0 ? c.j1 : 0;
+                s2_[e] = c.j2 >= 0 ? c.j2 : 0;
+                m1_[e] = c.j1 >= 0 ? int32_t(-1) : 0;
+                m2_[e] = c.j2 >= 0 ? int32_t(-1) : 0;
+                neg_[e] = c.sign < 0 ? int32_t(-1) : 0;
+                if (c.j1 < 0 && c.j2 < 0)
+                    continue; // zero code: in no class
+                size_t hit = cls.size();
+                for (size_t t = 0; t < cls.size(); ++t) {
+                    if (cls[t].s1 == s1_[e] && cls[t].s2 == s2_[e] &&
+                        cls[t].m1 == uint32_t(m1_[e]) &&
+                        cls[t].m2 == uint32_t(m2_[e]) &&
+                        cls[t].neg == uint32_t(neg_[e])) {
+                        hit = t;
+                        break;
+                    }
+                }
+                if (hit == cls.size()) {
+                    QCodeClass nc;
+                    nc.s1 = s1_[e];
+                    nc.s2 = s2_[e];
+                    nc.m1 = uint32_t(m1_[e]);
+                    nc.m2 = uint32_t(m2_[e]);
+                    nc.neg = uint32_t(neg_[e]);
+                    cls.push_back(nc);
+                    clsCols.emplace_back();
+                }
+                clsCols[hit].push_back(uint32_t(j));
+            }
+        } else if (scheme_[r] == QuantScheme::Fixed) {
+            for (size_t j = 0; j < cols_; ++j) {
+                int32_t k = encodeFixed(w[j], a, bits_);
+                fixed_[r * cols_ + j] = int8_t(k);
+                if (k == 0)
+                    continue;
+                size_t hit = cls.size();
+                for (size_t t = 0; t < cls.size(); ++t) {
+                    if (cls[t].fixedMag == k) {
+                        hit = t;
+                        break;
+                    }
+                }
+                if (hit == cls.size()) {
+                    QCodeClass nc;
+                    nc.fixedMag = k;
+                    cls.push_back(nc);
+                    clsCols.emplace_back();
+                }
+                clsCols[hit].push_back(uint32_t(j));
+            }
+        } else {
+            fatal("PackedQMat: row scheme must be Sp2 or Fixed");
+        }
+        for (size_t t = 0; t < cls.size(); ++t) {
+            cls[t].begin = uint32_t(colIdx_.size());
+            colIdx_.insert(colIdx_.end(), clsCols[t].begin(),
+                           clsCols[t].end());
+            cls[t].end = uint32_t(colIdx_.size());
+            classes_.push_back(cls[t]);
+        }
+        classOfs_[r + 1] = classes_.size();
+    }
+}
+
+double
+PackedQMat::rowDequant(size_t r) const
+{
+    MIXQ_ASSERT(packed_ && r < rows_, "PackedQMat: row out of range");
+    if (scheme_[r] == QuantScheme::Sp2)
+        return double(alpha_[r]) / double(1 << denomLog2_);
+    int levels = (1 << (bits_ - 1)) - 1;
+    return double(alpha_[r]) / double(levels);
+}
+
+} // namespace mixq

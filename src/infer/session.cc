@@ -1,0 +1,180 @@
+#include "infer/session.hh"
+
+#include "nn/layers.hh"
+#include "nn/rnn.hh"
+#include "util/logging.hh"
+
+namespace mixq {
+
+namespace {
+
+/**
+ * Resolve the projection record a layer's weight must have for the
+ * Int backend; panics when the model and the QAT context disagree.
+ */
+const MatrixQuantResult&
+requireProj(const QatContext* qat, const Param& p)
+{
+    MIXQ_ASSERT(qat != nullptr,
+                "Int backend needs the QatContext that projected the "
+                "weights");
+    MIXQ_ASSERT(qat->finalized(),
+                "Int backend needs hard-projected weights: call "
+                "QatContext::finalize() first");
+    const QatContext::Entry* e = findQatEntry(*qat, &p);
+    MIXQ_ASSERT(e != nullptr, "no QAT record for quantized weight");
+    return e->proj;
+}
+
+} // namespace
+
+const QatContext::Entry*
+findQatEntry(const QatContext& qat, const Param* p)
+{
+    for (const QatContext::Entry& e : qat.entries())
+        if (e.p == p)
+            return &e;
+    return nullptr;
+}
+
+void
+applyInferBackendLinear(Linear& l, InferBackend backend,
+                        const QatContext* qat)
+{
+    switch (backend) {
+    case InferBackend::Float:
+        l.disableIntInference();
+        l.actQuant().setEnabled(false);
+        break;
+    case InferBackend::FakeQuant:
+        l.disableIntInference();
+        l.actQuant().setEnabled(true);
+        break;
+    case InferBackend::Int:
+        l.actQuant().setEnabled(true);
+        l.enableIntInference(requireProj(qat, l.weight()),
+                             qat->config().bits);
+        break;
+    }
+}
+
+void
+applyInferBackendConv(Conv2d& c, InferBackend backend,
+                      const QatContext* qat)
+{
+    switch (backend) {
+    case InferBackend::Float:
+        c.disableIntInference();
+        c.actQuant().setEnabled(false);
+        break;
+    case InferBackend::FakeQuant:
+        c.disableIntInference();
+        c.actQuant().setEnabled(true);
+        break;
+    case InferBackend::Int:
+        c.actQuant().setEnabled(true);
+        c.enableIntInference(requireProj(qat, c.weight()),
+                             qat->config().bits);
+        break;
+    }
+}
+
+void
+applyInferBackendLstm(Lstm& l, InferBackend backend,
+                      const QatContext* qat)
+{
+    switch (backend) {
+    case InferBackend::Float:
+        l.disableIntInference();
+        l.inputQuant().setEnabled(false);
+        l.hiddenQuant().setEnabled(false);
+        break;
+    case InferBackend::FakeQuant:
+        l.disableIntInference();
+        l.inputQuant().setEnabled(true);
+        l.hiddenQuant().setEnabled(true);
+        break;
+    case InferBackend::Int:
+        l.inputQuant().setEnabled(true);
+        l.hiddenQuant().setEnabled(true);
+        l.enableIntInference(requireProj(qat, l.wxParam()),
+                             requireProj(qat, l.whParam()),
+                             qat->config().bits);
+        break;
+    }
+}
+
+void
+applyInferBackendGru(Gru& g, InferBackend backend,
+                     const QatContext* qat)
+{
+    switch (backend) {
+    case InferBackend::Float:
+        g.disableIntInference();
+        g.inputQuant().setEnabled(false);
+        g.hiddenQuant().setEnabled(false);
+        break;
+    case InferBackend::FakeQuant:
+        g.disableIntInference();
+        g.inputQuant().setEnabled(true);
+        g.hiddenQuant().setEnabled(true);
+        break;
+    case InferBackend::Int:
+        g.inputQuant().setEnabled(true);
+        g.hiddenQuant().setEnabled(true);
+        g.enableIntInference(requireProj(qat, g.wxParam()),
+                             requireProj(qat, g.whParam()),
+                             qat->config().bits);
+        break;
+    }
+}
+
+size_t
+applyInferBackend(Module& root, InferBackend backend,
+                  const QatContext* qat)
+{
+    size_t switched = 0;
+    if (auto* l = dynamic_cast<Linear*>(&root)) {
+        applyInferBackendLinear(*l, backend, qat);
+        ++switched;
+    } else if (auto* c = dynamic_cast<Conv2d*>(&root)) {
+        applyInferBackendConv(*c, backend, qat);
+        ++switched;
+    } else if (auto* lstm = dynamic_cast<Lstm*>(&root)) {
+        applyInferBackendLstm(*lstm, backend, qat);
+        ++switched;
+    } else if (auto* gru = dynamic_cast<Gru*>(&root)) {
+        applyInferBackendGru(*gru, backend, qat);
+        ++switched;
+    } else if (auto* dw = dynamic_cast<DwConv2d*>(&root)) {
+        // No packed int path for the depthwise kernel: it keeps the
+        // float forward over the projected weights and only follows
+        // the activation-quantizer toggle.
+        dw->actQuant().setEnabled(backend != InferBackend::Float);
+    }
+    for (Module* child : root.children())
+        switched += applyInferBackend(*child, backend, qat);
+    return switched;
+}
+
+InferenceSession::InferenceSession(Module& model, const QatContext* qat,
+                                   InferBackend backend)
+    : model_(&model), qat_(qat), backend_(backend)
+{
+    switched_ = applyInferBackend(*model_, backend_, qat_);
+}
+
+void
+InferenceSession::setBackend(InferBackend backend)
+{
+    backend_ = backend;
+    switched_ = applyInferBackend(*model_, backend_, qat_);
+}
+
+Tensor
+InferenceSession::run(const Tensor& x)
+{
+    return model_->forward(x, /*train=*/false);
+}
+
+} // namespace mixq

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Backend selection for deployment-style inference: walk a trained
+ * module tree and route every quantized layer onto one of three
+ * execution paths —
+ *
+ *  - Float: activation quantizers off, float GEMMs over whatever the
+ *    weights currently hold (hard-projected values after finalize).
+ *  - FakeQuant: the QAT eval path — float GEMMs over projected
+ *    weights with activations fake-quantized through the frozen
+ *    clip ranges.
+ *  - Int: the real thing — weights bit-packed into PackedQMat
+ *    panels, activations quantized to integer codes, shift-add /
+ *    int-MAC accumulation and a final rescale (infer/qkernels.hh).
+ *
+ * Switching backends never re-runs calibration: Float merely
+ * disables the activation quantizers (their observed alphas are
+ * kept), so a session can flip between all three backends on the
+ * same trained model and compare outputs. InferenceSession wraps the
+ * walk for the common run-eval-batches case; the free
+ * applyInferBackend is the building block the RNN task models (which
+ * are not Modules) reuse per cell.
+ */
+
+#ifndef MIXQ_INFER_SESSION_HH
+#define MIXQ_INFER_SESSION_HH
+
+#include <cstddef>
+
+#include "nn/module.hh"
+#include "nn/trainer.hh"
+
+namespace mixq {
+
+class Linear;
+class Conv2d;
+class Lstm;
+class Gru;
+
+/** Inference execution path (see file comment). */
+enum class InferBackend
+{
+    Float,     //!< float GEMMs, activation quantizers disabled
+    FakeQuant, //!< float GEMMs, fake-quantized activations
+    Int,       //!< packed shift-add integer backend
+};
+
+/**
+ * Find the QAT record of @p p, or null if the parameter was never
+ * attached (e.g. a bias). The Int backend needs the projection
+ * record (row schemes and alphas) that hard quantization produced.
+ */
+const QatContext::Entry* findQatEntry(const QatContext& qat,
+                                      const Param* p);
+
+/**
+ * Recursively apply @p backend to every quantized layer under
+ * @p root (Linear, Conv2d, Lstm, Gru; DwConv2d has no packed int
+ * path and only follows the activation-quantizer toggles). Returns
+ * the number of layers switched onto the requested backend.
+ *
+ * Int requires @p qat non-null and finalized — the packed panels
+ * encode the projection's row schemes/alphas, so the weights must
+ * already hold their hard-projected values. Panics if a quantizable
+ * layer has no QAT record.
+ */
+size_t applyInferBackend(Module& root, InferBackend backend,
+                         const QatContext* qat);
+
+/** Per-layer appliers (used by the recursion and the RNN models). */
+void applyInferBackendLinear(Linear& l, InferBackend backend,
+                             const QatContext* qat);
+void applyInferBackendConv(Conv2d& c, InferBackend backend,
+                           const QatContext* qat);
+void applyInferBackendLstm(Lstm& l, InferBackend backend,
+                           const QatContext* qat);
+void applyInferBackendGru(Gru& g, InferBackend backend,
+                          const QatContext* qat);
+
+/**
+ * A trained model plus a selected execution backend. Construction
+ * applies the backend; setBackend re-applies on the fly. run() is an
+ * eval forward (train == false), which on the Int backend executes
+ * the integer pipeline end to end.
+ */
+class InferenceSession
+{
+  public:
+    InferenceSession(Module& model, const QatContext* qat,
+                     InferBackend backend);
+
+    /** Re-route the model onto @p backend. */
+    void setBackend(InferBackend backend);
+    InferBackend backend() const { return backend_; }
+
+    /** Quantized layers switched by the last backend application. */
+    size_t layersSwitched() const { return switched_; }
+
+    /** Eval forward through the selected backend. */
+    Tensor run(const Tensor& x);
+
+  private:
+    Module* model_;
+    const QatContext* qat_;
+    InferBackend backend_;
+    size_t switched_ = 0;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_INFER_SESSION_HH

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "infer/qkernels.hh"
 #include "nn/gemm.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -27,6 +28,35 @@ kaimingStd(size_t fan_in)
  * every core on the batch sizes the models train with.
  */
 constexpr size_t kConvMaxGradChunks = 16;
+
+/**
+ * Upper bound on batch chunks of the DwConv2d backward and the Linear
+ * bias-gradient reduction: like kConvMaxGradChunks, each chunk holds
+ * a private gradient partial until the fixed-order tree merge, so the
+ * cap bounds that scratch while the chunk boundaries stay a pure
+ * function of the batch size (bit-identical gradients across
+ * OMP_NUM_THREADS; tests/layers_mt_test.cc pins both layers).
+ */
+constexpr size_t kLayerMaxGradChunks = 16;
+
+/**
+ * Quantize-or-freeze for an activation quantizer at a layer input:
+ * training forwards observe (EMA calibration) then quantize; eval
+ * forwards quantize against the frozen clip range only. Eval must
+ * never mutate calibration state — the int inference backend snapshots
+ * the same frozen alpha, so the float fake-quant forward it is
+ * tolerance-tested against has to be a pure function of the weights.
+ */
+void
+actQuantForward(ActFakeQuant& aq, std::span<float> x, bool train)
+{
+    if (!aq.enabled())
+        return;
+    if (train)
+        aq.forward(x);
+    else
+        aq.quantizeOnly(x);
+}
 
 /**
  * Upper bound on BatchNorm2d statistics chunks: each chunk carries
@@ -109,22 +139,60 @@ Tensor
 Linear::forward(const Tensor& x, bool train)
 {
     MIXQ_ASSERT(x.ndim() == 2 && x.dim(1) == in_, "Linear shape");
+    if (intBackend_ && !train)
+        return intForward(x);
     size_t n = x.dim(0);
     xq_ = x;
-    if (actq_.enabled()) {
+    if (train)
         xPre_ = x;
-        actq_.forward(xq_.span());
-    }
+    actQuantForward(actq_, xq_.span(), train);
     Tensor y({n, out_});
     wPlanFwd_.ensureB(w_.w.data(), in_, out_, /*trans=*/true,
                       w_.version);
     gemmPackedB(xq_.data(), wPlanFwd_, y.data(), n, out_, in_);
     if (hasBias_) {
-        for (size_t i = 0; i < n; ++i)
+        // Disjoint per-row writes: thread split cannot change a bit.
+        #pragma omp parallel for schedule(static) if (!inOmpParallel())
+        for (long i = 0; i < long(n); ++i)
             for (size_t j = 0; j < out_; ++j)
-                y.at2(i, j) += b_.w[j];
+                y.at2(size_t(i), j) += b_.w[j];
     }
-    (void)train;
+    return y;
+}
+
+void
+Linear::enableIntInference(const MatrixQuantResult& proj, int wbits)
+{
+    MIXQ_ASSERT(proj.rowScheme.size() == out_ &&
+                proj.rowAlpha.size() == out_,
+                "Linear: projection record does not match the layer");
+    qProj_ = proj;
+    qBits_ = wbits;
+    intBackend_ = true;
+}
+
+Tensor
+Linear::intForward(const Tensor& x)
+{
+    size_t n = x.dim(0);
+    // Pack once per weight version (PackedMat plan discipline); the
+    // panels then serve every eval batch unchanged.
+    qpack_.ensure(w_.w.data(), out_, in_, w_.version, qProj_.rowScheme,
+                  qProj_.rowAlpha, qBits_);
+    ActQuantParams ap = actQuantParams(actq_);
+    qAcc_.resize(out_ * n);
+    if (halfwordSafe(ap, in_)) {
+        qT16_.resize(in_ * n);
+        quantizeTransposeActs(x.data(), n, in_, ap, qT16_.data());
+        qgemm16(qpack_, qT16_.data(), n, qAcc_.data());
+    } else {
+        qT32_.resize(in_ * n);
+        quantizeTransposeActs(x.data(), n, in_, ap, qT32_.data());
+        qgemm(qpack_, qT32_.data(), n, qAcc_.data());
+    }
+    Tensor y({n, out_});
+    rescaleLinear(qpack_, qAcc_.data(), n, ap.invScale,
+                  hasBias_ ? b_.w.data() : nullptr, y.data());
     return y;
 }
 
@@ -136,9 +204,25 @@ Linear::backward(const Tensor& gy)
     // gW += gy^T x  (A = gy [N x out] read as [K x M], B = xq [N x in])
     gemmATAcc(gy.data(), xq_.data(), w_.grad.data(), out_, in_, n);
     if (hasBias_) {
-        for (size_t i = 0; i < n; ++i)
-            for (size_t j = 0; j < out_; ++j)
-                b_.grad[j] += gy.at2(i, j);
+        // Bias gradient over deterministic batch chunks with private
+        // partials, merged by the fixed-order tree — same scheme as
+        // the Conv2d weight gradient, bit-identical across threads.
+        std::vector<size_t> bounds =
+            deterministicBatchChunks(n, 1, kLayerMaxGradChunks);
+        size_t chunks = bounds.size() - 1;
+        std::vector<float> buf(chunks * out_, 0.0f);
+        std::vector<float*> bp(chunks);
+        for (size_t ci = 0; ci < chunks; ++ci)
+            bp[ci] = buf.data() + ci * out_;
+        #pragma omp parallel for schedule(static)
+        for (long ci = 0; ci < long(chunks); ++ci) {
+            float* gb = bp[size_t(ci)];
+            for (size_t i = bounds[size_t(ci)];
+                 i < bounds[size_t(ci) + 1]; ++i)
+                for (size_t j = 0; j < out_; ++j)
+                    gb[j] += gy.at2(i, j);
+        }
+        treeReduceAcc(bp.data(), chunks, out_, b_.grad.data());
     }
     Tensor gx({n, in_});
     wPlanBwd_.ensureB(w_.w.data(), out_, in_, /*trans=*/false,
@@ -183,6 +267,8 @@ Tensor
 Conv2d::forward(const Tensor& x, bool train)
 {
     MIXQ_ASSERT(x.ndim() == 4 && x.dim(1) == inCh_, "Conv2d shape");
+    if (intBackend_ && !train)
+        return intForward(x);
     inShape_ = x.shape();
     size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
     size_t oh = convOut(h, k_, stride_, pad_);
@@ -191,10 +277,9 @@ Conv2d::forward(const Tensor& x, bool train)
     size_t ohow = oh * ow;
 
     Tensor xq = x;
-    if (actq_.enabled()) {
+    if (train)
         xPre_ = x;
-        actq_.forward(xq.span());
-    }
+    actQuantForward(actq_, xq.span(), train);
 
     cols_ = Tensor({n, ckk, ohow});
     Tensor y({n, outCh_, oh, ow});
@@ -220,6 +305,78 @@ Conv2d::forward(const Tensor& x, bool train)
         }
     }
     (void)train;
+    return y;
+}
+
+void
+Conv2d::enableIntInference(const MatrixQuantResult& proj, int wbits)
+{
+    MIXQ_ASSERT(proj.rowScheme.size() == outCh_ &&
+                proj.rowAlpha.size() == outCh_,
+                "Conv2d: projection record does not match the layer");
+    qProj_ = proj;
+    qBits_ = wbits;
+    intBackend_ = true;
+}
+
+Tensor
+Conv2d::intForward(const Tensor& x)
+{
+    size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    size_t oh = convOut(h, k_, stride_, pad_);
+    size_t ow = convOut(w, k_, stride_, pad_);
+    size_t ckk = inCh_ * k_ * k_;
+    size_t ohow = oh * ow;
+    size_t chw = inCh_ * h * w;
+
+    qpack_.ensure(w_.w.data(), outCh_, ckk, w_.version,
+                  qProj_.rowScheme, qProj_.rowAlpha, qBits_);
+    ActQuantParams ap = actQuantParams(actq_);
+
+    Tensor y({n, outCh_, oh, ow});
+    // Quantize the whole batch to integer codes once; im2col then
+    // gathers codes, so padding zeros stay exact code zeros. Codes
+    // ride the halfword pipeline whenever the reduction depth admits
+    // it (halfwordSafe) — bit-identical accumulators, half the
+    // traffic. Item-parallel with per-thread scratch: every output
+    // element is a pure function of its own image, so the split never
+    // changes a bit. qgemm detects the enclosing region and stays
+    // serial.
+    if (halfwordSafe(ap, ckk)) {
+        std::vector<int16_t> qin(n * chw);
+        quantizeActsInt(x.data(), qin.data(), qin.size(), ap);
+        #pragma omp parallel
+        {
+            std::vector<int16_t> colsI(ckk * ohow);
+            std::vector<int32_t> acc(outCh_ * ohow);
+            #pragma omp for schedule(static)
+            for (long i = 0; i < long(n); ++i) {
+                im2colInt(qin.data() + size_t(i) * chw, inCh_, h, w,
+                          k_, k_, stride_, pad_, colsI.data());
+                qgemm16(qpack_, colsI.data(), ohow, acc.data());
+                rescaleConv(qpack_, acc.data(), ohow, ap.invScale,
+                            hasBias_ ? b_.w.data() : nullptr,
+                            y.data() + size_t(i) * outCh_ * ohow);
+            }
+        }
+        return y;
+    }
+    std::vector<int32_t> qin(n * chw);
+    quantizeActsInt(x.data(), qin.data(), qin.size(), ap);
+    #pragma omp parallel
+    {
+        std::vector<int32_t> colsI(ckk * ohow);
+        std::vector<int32_t> acc(outCh_ * ohow);
+        #pragma omp for schedule(static)
+        for (long i = 0; i < long(n); ++i) {
+            im2colInt(qin.data() + size_t(i) * chw, inCh_, h, w, k_,
+                      k_, stride_, pad_, colsI.data());
+            qgemm(qpack_, colsI.data(), ohow, acc.data());
+            rescaleConv(qpack_, acc.data(), ohow, ap.invScale,
+                        hasBias_ ? b_.w.data() : nullptr,
+                        y.data() + size_t(i) * outCh_ * ohow);
+        }
+    }
     return y;
 }
 
@@ -330,10 +487,9 @@ DwConv2d::forward(const Tensor& x, bool train)
     size_t ow = convOut(w, k_, stride_, pad_);
 
     xq_ = x;
-    if (actq_.enabled()) {
+    if (train)
         xPre_ = x;
-        actq_.forward(xq_.span());
-    }
+    actQuantForward(actq_, xq_.span(), train);
 
     Tensor y({n, ch_, oh, ow});
     #pragma omp parallel for schedule(static)
@@ -374,36 +530,58 @@ DwConv2d::backward(const Tensor& gy)
     size_t ow = convOut(w, k_, stride_, pad_);
     Tensor gx(inShape_);
 
-    for (size_t i = 0; i < n; ++i) {
-        for (size_t c = 0; c < ch_; ++c) {
-            const float* img = xq_.data() + (i * ch_ + c) * h * w;
-            const float* g = gy.data() + (i * ch_ + c) * oh * ow;
-            const float* ker = w_.w.data() + c * k_ * k_;
-            float* gk = w_.grad.data() + c * k_ * k_;
-            float* gi = gx.data() + (i * ch_ + c) * h * w;
-            for (size_t oy = 0; oy < oh; ++oy) {
-                for (size_t ox = 0; ox < ow; ++ox) {
-                    float gv = g[oy * ow + ox];
-                    if (gv == 0.0f)
-                        continue;
-                    for (size_t ki = 0; ki < k_; ++ki) {
-                        long iy = long(oy * stride_ + ki) - long(pad_);
-                        if (iy < 0 || iy >= long(h))
+    // Batch-chunked weight gradient: every chunk accumulates its own
+    // kernel-gradient partial in the serial image order, then the
+    // partials collapse through the fixed reduction tree — identical
+    // sums at any thread count. gx rows are disjoint per image, so
+    // they go straight to the output.
+    size_t wLen = w_.grad.size();
+    std::vector<size_t> bounds =
+        deterministicBatchChunks(n, 1, kLayerMaxGradChunks);
+    size_t nc = bounds.size() - 1;
+    std::vector<float> gkBuf(nc * wLen, 0.0f);
+    std::vector<float*> gkP(nc);
+    for (size_t t = 0; t < nc; ++t)
+        gkP[t] = gkBuf.data() + t * wLen;
+
+    #pragma omp parallel for schedule(static) if (!inOmpParallel())
+    for (long t = 0; t < long(nc); ++t) {
+        float* gkAll = gkP[size_t(t)];
+        for (size_t i = bounds[size_t(t)];
+             i < bounds[size_t(t) + 1]; ++i) {
+            for (size_t c = 0; c < ch_; ++c) {
+                const float* img = xq_.data() + (i * ch_ + c) * h * w;
+                const float* g = gy.data() + (i * ch_ + c) * oh * ow;
+                const float* ker = w_.w.data() + c * k_ * k_;
+                float* gk = gkAll + c * k_ * k_;
+                float* gi = gx.data() + (i * ch_ + c) * h * w;
+                for (size_t oy = 0; oy < oh; ++oy) {
+                    for (size_t ox = 0; ox < ow; ++ox) {
+                        float gv = g[oy * ow + ox];
+                        if (gv == 0.0f)
                             continue;
-                        for (size_t kj = 0; kj < k_; ++kj) {
-                            long ix =
-                                long(ox * stride_ + kj) - long(pad_);
-                            if (ix < 0 || ix >= long(w))
+                        for (size_t ki = 0; ki < k_; ++ki) {
+                            long iy =
+                                long(oy * stride_ + ki) - long(pad_);
+                            if (iy < 0 || iy >= long(h))
                                 continue;
-                            size_t ii = size_t(iy) * w + size_t(ix);
-                            gk[ki * k_ + kj] += gv * img[ii];
-                            gi[ii] += gv * ker[ki * k_ + kj];
+                            for (size_t kj = 0; kj < k_; ++kj) {
+                                long ix = long(ox * stride_ + kj) -
+                                          long(pad_);
+                                if (ix < 0 || ix >= long(w))
+                                    continue;
+                                size_t ii =
+                                    size_t(iy) * w + size_t(ix);
+                                gk[ki * k_ + kj] += gv * img[ii];
+                                gi[ii] += gv * ker[ki * k_ + kj];
+                            }
                         }
                     }
                 }
             }
         }
     }
+    treeReduceAcc(gkP.data(), nc, wLen, w_.grad.data());
     if (actq_.enabled())
         actq_.backwardSte(xPre_.span(), gx.span());
     return gx;

@@ -18,9 +18,11 @@
 #include <memory>
 #include <vector>
 
+#include "infer/qpack.hh"
 #include "nn/gemm_backend.hh"
 #include "nn/module.hh"
 #include "quant/act_quant.hh"
+#include "quant/quantizer.hh"
 
 namespace mixq {
 
@@ -39,8 +41,24 @@ class Linear : public Module
     void configureOwnActQuant(int bits, bool enable) override;
 
     Param& weight() { return w_; }
+    ActFakeQuant& actQuant() { return actq_; }
+
+    /**
+     * Route eval-time forwards onto the integer shift-add backend:
+     * pack the (already hard-projected) weights per @p proj and run
+     * quantize -> int accumulate -> rescale instead of the float
+     * GEMM. Training forwards are unaffected. The activation
+     * quantizer must be enabled and calibrated by the first int call.
+     */
+    void enableIntInference(const MatrixQuantResult& proj, int wbits);
+    void disableIntInference() { intBackend_ = false; }
+    bool intInferenceEnabled() const { return intBackend_; }
+    /** Packed panels of the int backend (test introspection). */
+    const PackedQMat& packedQWeights() const { return qpack_; }
 
   private:
+    Tensor intForward(const Tensor& x);
+
     size_t in_, out_;
     Param w_;
     Param b_;
@@ -50,6 +68,13 @@ class Linear : public Module
     Tensor xq_;     //!< quantized input (gradient computation)
     PackedMat wPlanFwd_; //!< packed W^T (forward x W^T)
     PackedMat wPlanBwd_; //!< packed W (backward gy W)
+    bool intBackend_ = false;
+    int qBits_ = 0;
+    MatrixQuantResult qProj_; //!< row schemes/alphas of the projection
+    PackedQMat qpack_;        //!< int backend weight panels
+    std::vector<int16_t> qT16_; //!< transposed act codes (halfword)
+    std::vector<int32_t> qT32_; //!< transposed act codes (fallback)
+    std::vector<int32_t> qAcc_; //!< int accumulators scratch
 };
 
 /** 2-D convolution via im2col; weight is [Cout, Cin*kh*kw]. */
@@ -66,8 +91,17 @@ class Conv2d : public Module
 
     Param& weight() { return w_; }
     size_t outChannels() const { return outCh_; }
+    ActFakeQuant& actQuant() { return actq_; }
+
+    /** Int-backend switch; see Linear::enableIntInference. */
+    void enableIntInference(const MatrixQuantResult& proj, int wbits);
+    void disableIntInference() { intBackend_ = false; }
+    bool intInferenceEnabled() const { return intBackend_; }
+    const PackedQMat& packedQWeights() const { return qpack_; }
 
   private:
+    Tensor intForward(const Tensor& x);
+
     size_t inCh_, outCh_, k_, stride_, pad_;
     Param w_;
     Param b_;
@@ -78,6 +112,10 @@ class Conv2d : public Module
     PackedMat wPlanFwd_; //!< packed W (forward W * cols)
     PackedMat wPlanBwd_; //!< packed W^T (backward W^T * gy)
     std::vector<size_t> inShape_;
+    bool intBackend_ = false;
+    int qBits_ = 0;
+    MatrixQuantResult qProj_;
+    PackedQMat qpack_;
 };
 
 /** Depthwise 3x3-style convolution; weight is [C, kh*kw]. */
@@ -93,6 +131,7 @@ class DwConv2d : public Module
     void configureOwnActQuant(int bits, bool enable) override;
 
     Param& weight() { return w_; }
+    ActFakeQuant& actQuant() { return actq_; }
 
   private:
     size_t ch_, k_, stride_, pad_;

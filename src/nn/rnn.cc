@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "infer/qkernels.hh"
 #include "nn/gemm.hh"
 #include "nn/loss.hh"
 #include "util/logging.hh"
@@ -102,6 +103,22 @@ chunkedBackward(const std::vector<size_t>& bounds, size_t wxLen,
     treeReduceAcc(bP.data(), chunks, bLen, gb);
 }
 
+/**
+ * Sequence-input quantizer step shared by the cells: training
+ * observes + quantizes (EMA calibration), eval applies the frozen
+ * clip range only, so eval outputs are a pure function of weights.
+ */
+void
+seqActQuant(ActFakeQuant& aq, std::span<float> x, bool train)
+{
+    if (!aq.enabled())
+        return;
+    if (train)
+        aq.forward(x);
+    else
+        aq.quantizeOnly(x);
+}
+
 } // namespace
 
 void
@@ -194,14 +211,16 @@ Tensor
 Lstm::forward(const Tensor& x, bool train)
 {
     MIXQ_ASSERT(x.ndim() == 3 && x.dim(2) == i_, "Lstm input shape");
+    if (intBackend_ && !train)
+        return intForward(x);
     t_ = x.dim(0);
     n_ = x.dim(1);
     size_t t = t_, n = n_;
 
-    xPre_ = x;
     xq_ = x;
-    if (axq_.enabled())
-        axq_.forward(xq_.span());
+    if (train)
+        xPre_ = x;
+    seqActQuant(axq_, xq_.span(), train);
 
     hq_ = Tensor({t, n, h_});
     hPre_ = Tensor({t, n, h_});
@@ -232,15 +251,15 @@ Lstm::forward(const Tensor& x, bool train)
         // The slices quantized h_{t-1} against a frozen clip range;
         // replay the EMA calibration they skipped in timestep order
         // over the raw h values, so alpha evolves deterministically.
-        if (ahq_.enabled()) {
+        // Eval never observes — the clip range stays frozen.
+        if (train && ahq_.enabled()) {
             for (size_t s = 0; s < t; ++s)
                 ahq_.observe(std::span<const float>(
                     hPre_.data() + s * n * h_, n * h_));
         }
     } else {
-        forwardSlice(0, n, hOut, /*frozenQuant=*/false);
+        forwardSlice(0, n, hOut, /*frozenQuant=*/!train);
     }
-    (void)train;
     return hOut;
 }
 
@@ -301,6 +320,88 @@ Lstm::forwardSlice(size_t b0, size_t b1, Tensor& hOut,
             }
         }
     }
+}
+
+void
+Lstm::enableIntInference(const MatrixQuantResult& projWx,
+                         const MatrixQuantResult& projWh, int wbits)
+{
+    MIXQ_ASSERT(projWx.rowScheme.size() == 4 * h_ &&
+                projWh.rowScheme.size() == 4 * h_,
+                "Lstm: projection records do not match the gates");
+    qProjWx_ = projWx;
+    qProjWh_ = projWh;
+    qBits_ = wbits;
+    intBackend_ = true;
+}
+
+Tensor
+Lstm::intForward(const Tensor& x)
+{
+    size_t t = x.dim(0), n = x.dim(1);
+    size_t rows = 4 * h_;
+    wxQ_.ensure(wx_.w.data(), rows, i_, wx_.version,
+                qProjWx_.rowScheme, qProjWx_.rowAlpha, qBits_);
+    whQ_.ensure(wh_.w.data(), rows, h_, wh_.version,
+                qProjWh_.rowScheme, qProjWh_.rowAlpha, qBits_);
+    ActQuantParams px = actQuantParams(axq_);
+    ActQuantParams ph = actQuantParams(ahq_);
+    // Per-gate-row rescale factors, carried in double like the
+    // Linear rescale so the only float rounding is at the gate
+    // pre-activation itself.
+    std::vector<double> fx(rows), fh(rows);
+    for (size_t r = 0; r < rows; ++r) {
+        fx[r] = wxQ_.rowDequant(r) * double(px.invScale);
+        fh[r] = whQ_.rowDequant(r) * double(ph.invScale);
+    }
+
+    Tensor hOut({t, n, h_});
+    // Sequences evolve independently, so the batch splits into the
+    // same fixed chunks as training; all state is per-slice, every
+    // output element a pure function of its own sequence — bitwise
+    // identical at any thread count. qgemm goes serial inside the
+    // region.
+    auto slice = [&](size_t b0, size_t b1) {
+        size_t nb = b1 - b0;
+        std::vector<int32_t> qx(nb * i_), qxT(i_ * nb);
+        std::vector<int32_t> qh(nb * h_), qhT(h_ * nb);
+        std::vector<int32_t> accX(rows * nb), accH(rows * nb);
+        std::vector<float> hprev(nb * h_, 0.0f);
+        std::vector<float> cprev(nb * h_, 0.0f);
+        for (size_t s = 0; s < t; ++s) {
+            const float* xs = x.data() + (s * n + b0) * i_;
+            quantizeActsInt(xs, qx.data(), nb * i_, px);
+            transposeInt32(qx.data(), qxT.data(), nb, i_);
+            qgemm(wxQ_, qxT.data(), nb, accX.data());
+            quantizeActsInt(hprev.data(), qh.data(), nb * h_, ph);
+            transposeInt32(qh.data(), qhT.data(), nb, h_);
+            qgemm(whQ_, qhT.data(), nb, accH.data());
+
+            float* ho = hOut.data() + (s * n + b0) * h_;
+            for (size_t b = 0; b < nb; ++b) {
+                for (size_t j = 0; j < h_; ++j) {
+                    auto pre = [&](size_t r) {
+                        return float(
+                            double(accX[r * nb + b]) * fx[r] +
+                            double(accH[r * nb + b]) * fh[r]);
+                    };
+                    float iv = sigmoidf(pre(j) + b_.w[j]);
+                    float fv = sigmoidf(pre(h_ + j) + b_.w[h_ + j]);
+                    float gv = std::tanh(pre(2 * h_ + j) +
+                                         b_.w[2 * h_ + j]);
+                    float ov = sigmoidf(pre(3 * h_ + j) +
+                                        b_.w[3 * h_ + j]);
+                    float cv = fv * cprev[b * h_ + j] + iv * gv;
+                    cprev[b * h_ + j] = cv;
+                    float hv = ov * std::tanh(cv);
+                    hprev[b * h_ + j] = hv;
+                    ho[b * h_ + j] = hv;
+                }
+            }
+        }
+    };
+    chunkedForward(rnnBatchChunks(n), slice);
+    return hOut;
 }
 
 Tensor
@@ -445,14 +546,16 @@ Tensor
 Gru::forward(const Tensor& x, bool train)
 {
     MIXQ_ASSERT(x.ndim() == 3 && x.dim(2) == i_, "Gru input shape");
+    if (intBackend_ && !train)
+        return intForward(x);
     t_ = x.dim(0);
     n_ = x.dim(1);
     size_t t = t_, n = n_;
 
-    xPre_ = x;
     xq_ = x;
-    if (axq_.enabled())
-        axq_.forward(xq_.span());
+    if (train)
+        xPre_ = x;
+    seqActQuant(axq_, xq_.span(), train);
 
     hq_ = Tensor({t, n, h_});
     hPre_ = Tensor({t, n, h_});
@@ -474,15 +577,14 @@ Gru::forward(const Tensor& x, bool train)
                            forwardSlice(b0, b1,
                                         /*frozenQuant=*/true);
                        });
-        if (ahq_.enabled()) {
+        if (train && ahq_.enabled()) {
             for (size_t s = 0; s < t; ++s)
                 ahq_.observe(std::span<const float>(
                     hPre_.data() + s * n * h_, n * h_));
         }
     } else {
-        forwardSlice(0, n, /*frozenQuant=*/false);
+        forwardSlice(0, n, /*frozenQuant=*/!train);
     }
-    (void)train;
     return hOut_;
 }
 
@@ -537,6 +639,84 @@ Gru::forwardSlice(size_t b0, size_t b1, bool frozenQuant)
             }
         }
     }
+}
+
+void
+Gru::enableIntInference(const MatrixQuantResult& projWx,
+                        const MatrixQuantResult& projWh, int wbits)
+{
+    MIXQ_ASSERT(projWx.rowScheme.size() == 3 * h_ &&
+                projWh.rowScheme.size() == 3 * h_,
+                "Gru: projection records do not match the gates");
+    qProjWx_ = projWx;
+    qProjWh_ = projWh;
+    qBits_ = wbits;
+    intBackend_ = true;
+}
+
+Tensor
+Gru::intForward(const Tensor& x)
+{
+    size_t t = x.dim(0), n = x.dim(1);
+    size_t rows = 3 * h_;
+    wxQ_.ensure(wx_.w.data(), rows, i_, wx_.version,
+                qProjWx_.rowScheme, qProjWx_.rowAlpha, qBits_);
+    whQ_.ensure(wh_.w.data(), rows, h_, wh_.version,
+                qProjWh_.rowScheme, qProjWh_.rowAlpha, qBits_);
+    ActQuantParams px = actQuantParams(axq_);
+    ActQuantParams ph = actQuantParams(ahq_);
+    std::vector<double> fx(rows), fh(rows);
+    for (size_t r = 0; r < rows; ++r) {
+        fx[r] = wxQ_.rowDequant(r) * double(px.invScale);
+        fh[r] = whQ_.rowDequant(r) * double(ph.invScale);
+    }
+
+    Tensor hOut({t, n, h_});
+    // Same batch-chunk shape as Lstm::intForward; the x and h
+    // contributions stay separate through rescale because the n~
+    // gate couples them through r, not by a plain sum.
+    auto slice = [&](size_t b0, size_t b1) {
+        size_t nb = b1 - b0;
+        std::vector<int32_t> qx(nb * i_), qxT(i_ * nb);
+        std::vector<int32_t> qh(nb * h_), qhT(h_ * nb);
+        std::vector<int32_t> accX(rows * nb), accH(rows * nb);
+        std::vector<float> hprev(nb * h_, 0.0f);
+        for (size_t s = 0; s < t; ++s) {
+            const float* xs = x.data() + (s * n + b0) * i_;
+            quantizeActsInt(xs, qx.data(), nb * i_, px);
+            transposeInt32(qx.data(), qxT.data(), nb, i_);
+            qgemm(wxQ_, qxT.data(), nb, accX.data());
+            quantizeActsInt(hprev.data(), qh.data(), nb * h_, ph);
+            transposeInt32(qh.data(), qhT.data(), nb, h_);
+            qgemm(whQ_, qhT.data(), nb, accH.data());
+
+            float* ho = hOut.data() + (s * n + b0) * h_;
+            for (size_t b = 0; b < nb; ++b) {
+                for (size_t j = 0; j < h_; ++j) {
+                    auto preX = [&](size_t r) {
+                        return float(double(accX[r * nb + b]) *
+                                     fx[r]);
+                    };
+                    auto preH = [&](size_t r) {
+                        return float(double(accH[r * nb + b]) *
+                                     fh[r]);
+                    };
+                    float zv = sigmoidf(preX(j) + preH(j) + b_.w[j]);
+                    float rv = sigmoidf(preX(h_ + j) +
+                                        preH(h_ + j) + b_.w[h_ + j]);
+                    float huv = preH(2 * h_ + j);
+                    float nv = std::tanh(preX(2 * h_ + j) +
+                                         b_.w[2 * h_ + j] + rv * huv);
+                    float hp = hprev[b * h_ + j];
+                    float hv = (1.0f - zv) * nv + zv * hp;
+                    hprev[b * h_ + j] = hv;
+                    ho[b * h_ + j] = hv;
+                }
+            }
+        }
+    };
+    chunkedForward(rnnBatchChunks(n), slice);
+    return hOut;
 }
 
 Tensor

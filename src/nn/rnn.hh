@@ -29,9 +29,11 @@
 
 #include <vector>
 
+#include "infer/qpack.hh"
 #include "nn/gemm_backend.hh"
 #include "nn/module.hh"
 #include "quant/act_quant.hh"
+#include "quant/quantizer.hh"
 
 namespace mixq {
 
@@ -104,7 +106,27 @@ class Lstm : public Module
 
     size_t hidden() const { return h_; }
 
+    /**
+     * Route eval-time forwards onto the integer shift-add backend:
+     * both gate matrices are packed per their projection records and
+     * every timestep runs quantize -> int accumulate -> rescale for
+     * the x and h paths. Training forwards are unaffected.
+     */
+    void enableIntInference(const MatrixQuantResult& projWx,
+                            const MatrixQuantResult& projWh,
+                            int wbits);
+    void disableIntInference() { intBackend_ = false; }
+    bool intInferenceEnabled() const { return intBackend_; }
+    ActFakeQuant& inputQuant() { return axq_; }
+    ActFakeQuant& hiddenQuant() { return ahq_; }
+    Param& wxParam() { return wx_; }
+    Param& whParam() { return wh_; }
+    const PackedQMat& packedQWx() const { return wxQ_; }
+    const PackedQMat& packedQWh() const { return whQ_; }
+
   private:
+    Tensor intForward(const Tensor& x);
+
     /**
      * Full timestep loop (forward) for batch rows [b0, b1). With
      * @p frozenQuant the hidden-state quantizer applies its current
@@ -139,6 +161,11 @@ class Lstm : public Module
     Tensor gates_;       //!< post-activation (i,f,g,o) [T, N, 4H]
     Tensor c_;           //!< cell states [T, N, H]
     Tensor tanhc_;       //!< tanh(c_t)
+
+    bool intBackend_ = false;
+    int qBits_ = 0;
+    MatrixQuantResult qProjWx_, qProjWh_;
+    PackedQMat wxQ_, whQ_; //!< int backend gate-weight panels
 };
 
 /** Unrolled GRU layer, gate order (z, r, n); bias applied on the
@@ -156,7 +183,22 @@ class Gru : public Module
 
     size_t hidden() const { return h_; }
 
+    /** Int-backend switch; see Lstm::enableIntInference. */
+    void enableIntInference(const MatrixQuantResult& projWx,
+                            const MatrixQuantResult& projWh,
+                            int wbits);
+    void disableIntInference() { intBackend_ = false; }
+    bool intInferenceEnabled() const { return intBackend_; }
+    ActFakeQuant& inputQuant() { return axq_; }
+    ActFakeQuant& hiddenQuant() { return ahq_; }
+    Param& wxParam() { return wx_; }
+    Param& whParam() { return wh_; }
+    const PackedQMat& packedQWx() const { return wxQ_; }
+    const PackedQMat& packedQWh() const { return whQ_; }
+
   private:
+    Tensor intForward(const Tensor& x);
+
     /** Forward timestep loop for batch rows [b0, b1) (see Lstm). */
     void forwardSlice(size_t b0, size_t b1, bool frozenQuant);
 
@@ -178,6 +220,11 @@ class Gru : public Module
     Tensor gates_;   //!< post-activation (z, r, n~) [T, N, 3H]
     Tensor ahn_;     //!< cached Un * h term [T, N, H]
     Tensor hOut_;    //!< produced hidden states [T, N, H]
+
+    bool intBackend_ = false;
+    int qBits_ = 0;
+    MatrixQuantResult qProjWx_, qProjWh_;
+    PackedQMat wxQ_, whQ_;
 };
 
 } // namespace mixq

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "infer/session.hh"
 #include "util/logging.hh"
 
 namespace mixq {
@@ -64,6 +65,16 @@ LstmLm::setActQuant(int bits, bool enable)
     head_.configureOwnActQuant(bits, enable);
 }
 
+void
+LstmLm::applyInferBackend(InferBackend backend, const QatContext* qat)
+{
+    // The embedding is a lookup, not a GEMM — it stays float on
+    // every backend (its rows are not weight-quantized).
+    for (auto& l : lstm_)
+        applyInferBackendLstm(*l, backend, qat);
+    applyInferBackendLinear(head_, backend, qat);
+}
+
 // ------------------------------------------------------------ GruTagger
 
 GruTagger::GruTagger(size_t features, size_t hidden, size_t layers,
@@ -116,6 +127,15 @@ GruTagger::setActQuant(int bits, bool enable)
     for (auto& l : gru_)
         l->configureOwnActQuant(bits, enable);
     head_.configureOwnActQuant(bits, enable);
+}
+
+void
+GruTagger::applyInferBackend(InferBackend backend,
+                             const QatContext* qat)
+{
+    for (auto& l : gru_)
+        applyInferBackendGru(*l, backend, qat);
+    applyInferBackendLinear(head_, backend, qat);
 }
 
 // ------------------------------------------------------- LstmClassifier
@@ -180,6 +200,15 @@ LstmClassifier::setActQuant(int bits, bool enable)
     for (auto& l : lstm_)
         l->configureOwnActQuant(bits, enable);
     head_.configureOwnActQuant(bits, enable);
+}
+
+void
+LstmClassifier::applyInferBackend(InferBackend backend,
+                                  const QatContext* qat)
+{
+    for (auto& l : lstm_)
+        applyInferBackendLstm(*l, backend, qat);
+    applyInferBackendLinear(head_, backend, qat);
 }
 
 } // namespace mixq

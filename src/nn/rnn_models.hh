@@ -18,6 +18,9 @@
 
 namespace mixq {
 
+enum class InferBackend;
+class QatContext;
+
 /** One BPTT batch of a language-model corpus: ids are [T, N] grids. */
 struct LmBatch
 {
@@ -40,6 +43,8 @@ class LstmLm
 
     std::vector<Param*> params();
     void setActQuant(int bits, bool enable);
+    /** Route cells + head onto an inference backend (infer/session.hh). */
+    void applyInferBackend(InferBackend backend, const QatContext* qat);
     size_t vocab() const { return vocab_; }
 
   private:
@@ -63,6 +68,8 @@ class GruTagger
 
     std::vector<Param*> params();
     void setActQuant(int bits, bool enable);
+    /** Route cells + head onto an inference backend (infer/session.hh). */
+    void applyInferBackend(InferBackend backend, const QatContext* qat);
     size_t phonemes() const { return phonemes_; }
 
   private:
@@ -86,6 +93,8 @@ class LstmClassifier
 
     std::vector<Param*> params();
     void setActQuant(int bits, bool enable);
+    /** Route cells + head onto an inference backend (infer/session.hh). */
+    void applyInferBackend(InferBackend backend, const QatContext* qat);
 
   private:
     Embedding emb_;

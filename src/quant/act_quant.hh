@@ -65,6 +65,11 @@ class ActFakeQuant
     double alpha() const { return alpha_; }
     int bits() const { return bits_; }
     bool isSigned() const { return signed_; }
+    /** True once observe() has seen a nonzero batch (alpha is live).
+     *  The integer inference backend requires a calibrated quantizer:
+     *  its activation codes are only meaningful against a real clip
+     *  range, while quantizeOnly() would silently pass floats through. */
+    bool calibrated() const { return calibrated_; }
 
   private:
     int bits_ = 4;

@@ -131,7 +131,14 @@ encodeFixed(float value, float alpha, int bits)
     int levels = (1 << (bits - 1)) - 1;
     double t = double(value) / double(alpha) * double(levels);
     int32_t k = int32_t(std::llround(t));
-    MIXQ_ASSERT(std::fabs(t - double(k)) < 1e-3,
+    // Grid tolerance must scale with the code magnitude: the input
+    // is float32, so a legitimate grid value k * alpha / levels
+    // carries up to ~|k| * 2^-24 relative error, which rescaled by
+    // levels exceeds a fixed 1e-3 once |k| is large (bits >= 14 in
+    // the worst case). Off-grid inputs are still caught — the
+    // nearest-code distance is 0.5.
+    double tol = std::max(1e-3, double(levels) * 5e-7);
+    MIXQ_ASSERT(std::fabs(t - double(k)) < tol,
                 "encodeFixed: value is not on the fixed grid");
     MIXQ_ASSERT(std::abs(k) <= levels, "encodeFixed: magnitude overflow");
     return k;

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Thread-count invariance of the integer inference backend. The int
+ * pipeline is integer accumulation plus per-element rescale — no
+ * float reductions — so its outputs must be *bit-identical* across
+ * OMP_NUM_THREADS, not merely close: the whole QAT-calibrate ->
+ * hard-quantize -> packed-int-eval pipeline is re-run fresh per
+ * thread count on a CNN (MiniResNet) and on RNN task models, and
+ * every output compared with ==. Also pins pack -> run -> repack
+ * byte-idempotence of the packed panels (the deploy image must not
+ * depend on execution history).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "infer/qkernels.hh"
+#include "infer/qpack.hh"
+#include "infer/session.hh"
+#include "nn/models.hh"
+#include "nn/rnn_models.hh"
+#include "nn/trainer.hh"
+#include "quant/quantizer.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+void
+expectBitEqual(const std::vector<std::vector<float>>& got,
+               const std::vector<std::vector<float>>& base)
+{
+    ASSERT_EQ(got.size(), base.size());
+    for (size_t v = 0; v < base.size(); ++v) {
+        ASSERT_EQ(got[v].size(), base[v].size());
+        for (size_t i = 0; i < base[v].size(); ++i)
+            ASSERT_EQ(got[v][i], base[v][i])
+                << "vector " << v << " index " << i;
+    }
+}
+
+template <class RunFn>
+void
+runAcrossThreadCounts(RunFn&& runOnce)
+{
+#ifndef _OPENMP
+    GTEST_SKIP() << "built without OpenMP";
+#else
+    int prev = omp_get_max_threads();
+    omp_set_num_threads(1);
+    auto base = runOnce();
+    for (int threads : {4, 8}) {
+        omp_set_num_threads(threads);
+        auto got = runOnce();
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        expectBitEqual(got, base);
+    }
+    omp_set_num_threads(prev);
+#endif
+}
+
+TEST(InferMt, MiniResNetIntBackendBitIdenticalAcrossThreadCounts)
+{
+    for (size_t n : {size_t(3), size_t(8)}) {
+        SCOPED_TRACE(testing::Message() << "batch=" << n);
+        Rng dataRng(900 + n);
+        Tensor x = Tensor::randn({n, 3, 12, 12}, dataRng, 1.0);
+        for (float& v : x.span())
+            v = v < 0.0f ? -v : v;
+
+        auto runOnce = [&] {
+            Rng rng(41);
+            auto model = makeMiniResNet(4, rng);
+            QConfig cfg;
+            QatContext qat(cfg);
+            qat.attach(model->params());
+            model->setActQuant(cfg.actBits, true);
+            model->forward(x, true); // calibrate
+            qat.finalize();
+
+            InferenceSession sess(*model, &qat, InferBackend::Int);
+            Tensor y = sess.run(x);
+            Tensor y2 = sess.run(x); // reused packed plans
+            std::vector<std::vector<float>> out;
+            out.emplace_back(y.data(), y.data() + y.size());
+            out.emplace_back(y2.data(), y2.data() + y2.size());
+            return out;
+        };
+        runAcrossThreadCounts(runOnce);
+    }
+}
+
+TEST(InferMt, LstmLmIntBackendBitIdenticalAcrossThreadCounts)
+{
+    size_t vocab = 20, t = 6;
+    for (size_t n : {size_t(3), size_t(8), size_t(13)}) {
+        SCOPED_TRACE(testing::Message() << "batch=" << n);
+        Rng dataRng(910 + n);
+        std::vector<int> ids(t * n);
+        for (int& id : ids)
+            id = int(dataRng.uniform(0.0, double(vocab) - 0.001));
+
+        auto runOnce = [&] {
+            Rng rng(43);
+            LstmLm lm(vocab, 10, 16, 2, rng);
+            QConfig cfg;
+            QatContext qat(cfg);
+            qat.attach(lm.params());
+            lm.setActQuant(cfg.actBits, true);
+            lm.forward(ids, t, n, true); // calibrate
+            qat.finalize();
+
+            lm.applyInferBackend(InferBackend::Int, &qat);
+            Tensor y = lm.forward(ids, t, n, false);
+            std::vector<std::vector<float>> out;
+            out.emplace_back(y.data(), y.data() + y.size());
+            return out;
+        };
+        runAcrossThreadCounts(runOnce);
+    }
+}
+
+TEST(InferMt, GruTaggerIntBackendBitIdenticalAcrossThreadCounts)
+{
+    size_t feat = 12, t = 6;
+    for (size_t n : {size_t(3), size_t(8), size_t(13)}) {
+        SCOPED_TRACE(testing::Message() << "batch=" << n);
+        Rng dataRng(920 + n);
+        Tensor x = Tensor::randn({t, n, feat}, dataRng, 1.0);
+
+        auto runOnce = [&] {
+            Rng rng(44);
+            GruTagger tagger(feat, 16, 2, 5, rng);
+            QConfig cfg;
+            QatContext qat(cfg);
+            qat.attach(tagger.params());
+            tagger.setActQuant(cfg.actBits, true);
+            tagger.forward(x, true); // calibrate
+            qat.finalize();
+
+            tagger.applyInferBackend(InferBackend::Int, &qat);
+            Tensor y = tagger.forward(x, false);
+            std::vector<std::vector<float>> out;
+            out.emplace_back(y.data(), y.data() + y.size());
+            return out;
+        };
+        runAcrossThreadCounts(runOnce);
+    }
+}
+
+// ------------------------------------------------------------------
+// Pack idempotence: packing the same projected weights twice — with
+// a qgemm run in between — must produce byte-identical canonical
+// codes and execution panels, and the plan must not repack on reuse.
+// ------------------------------------------------------------------
+
+template <class T>
+void
+expectBytesEqual(std::span<const T> a, std::span<const T> b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(T)),
+              0);
+}
+
+TEST(InferMt, PackRunRepackIsByteIdentical)
+{
+    Rng rng(45);
+    size_t rows = 14, cols = 18, m = 6;
+    std::vector<float> w(rows * cols), q(rows * cols);
+    for (float& x : w)
+        x = float(rng.normal(0.0, 0.4));
+    QConfig cfg; // Mixed, 4-bit, per-row
+    MatrixQuantResult res =
+        quantizeMatrix(w.data(), q.data(), rows, cols, cfg);
+
+    PackedQMat a;
+    a.ensure(q.data(), rows, cols, 1, res.rowScheme, res.rowAlpha,
+             cfg.bits);
+
+    // Run the kernel between the two packs.
+    std::vector<int32_t> actsT(cols * m, 3);
+    std::vector<int32_t> acc(rows * m);
+    qgemm(a, actsT.data(), m, acc.data());
+
+    a.ensure(q.data(), rows, cols, 1, res.rowScheme, res.rowAlpha,
+             cfg.bits);
+    EXPECT_EQ(a.packCount(), 1u) << "reuse must not repack";
+
+    PackedQMat b;
+    b.ensure(q.data(), rows, cols, 1, res.rowScheme, res.rowAlpha,
+             cfg.bits);
+
+    expectBytesEqual(a.sp2Codes(), b.sp2Codes());
+    expectBytesEqual(a.fixedCodes(), b.fixedCodes());
+    expectBytesEqual(a.shift1(), b.shift1());
+    expectBytesEqual(a.shift2(), b.shift2());
+    expectBytesEqual(a.mask1(), b.mask1());
+    expectBytesEqual(a.mask2(), b.mask2());
+    expectBytesEqual(a.signMask(), b.signMask());
+
+    std::vector<int32_t> acc2(rows * m);
+    qgemm(b, actsT.data(), m, acc2.data());
+    ASSERT_EQ(acc, acc2);
+}
+
+} // namespace
+} // namespace mixq

@@ -187,6 +187,110 @@ TEST(LayersMt, Conv2dBitIdenticalAcrossThreadCounts)
 }
 
 // ------------------------------------------------------------------
+// DwConv2d backward: batch-chunked kernel-gradient partials merged
+// through the fixed reduction tree (same scheme as Conv2d), so
+// forward outputs, input gradients and the kernel gradient must be
+// bit-identical across OMP_NUM_THREADS, ragged batches included.
+// ------------------------------------------------------------------
+
+TEST(LayersMt, DwConv2dBitIdenticalAcrossThreadCounts)
+{
+#ifndef _OPENMP
+    GTEST_SKIP() << "built without OpenMP";
+#else
+    for (size_t n : {size_t(3), size_t(8), size_t(13)}) {
+        SCOPED_TRACE(testing::Message() << "batch=" << n);
+        Rng dataRng(500 + n);
+        Tensor x = Tensor::randn({n, 6, 9, 9}, dataRng, 1.0);
+        Tensor gy = Tensor::randn({n, 6, 9, 9}, dataRng, 1.0);
+
+        auto runOnce = [&] {
+            Rng rng(23);
+            DwConv2d dw(6, 3, 1, 1, rng);
+            Tensor y = dw.forward(x, true);
+            Tensor gx = dw.backward(gy);
+            std::vector<std::vector<float>> out;
+            out.emplace_back(y.data(), y.data() + y.size());
+            out.emplace_back(gx.data(), gx.data() + gx.size());
+            for (Param* p : dw.params())
+                out.emplace_back(p->grad.data(),
+                                 p->grad.data() + p->grad.size());
+            return out;
+        };
+
+        int prev = omp_get_max_threads();
+        omp_set_num_threads(1);
+        auto base = runOnce();
+        for (int threads : {4, 8}) {
+            omp_set_num_threads(threads);
+            auto got = runOnce();
+            SCOPED_TRACE(testing::Message() << "threads=" << threads);
+            ASSERT_EQ(got.size(), base.size());
+            for (size_t v = 0; v < base.size(); ++v) {
+                ASSERT_EQ(got[v].size(), base[v].size());
+                for (size_t i = 0; i < base[v].size(); ++i)
+                    ASSERT_EQ(got[v][i], base[v][i])
+                        << "vector " << v << " index " << i;
+            }
+        }
+        omp_set_num_threads(prev);
+    }
+#endif
+}
+
+// ------------------------------------------------------------------
+// Linear bias gradient: accumulated over deterministic batch chunks
+// and tree-merged (nn/layers.cc), and the forward bias add runs
+// row-parallel — outputs and all gradients must be bit-identical
+// across OMP_NUM_THREADS.
+// ------------------------------------------------------------------
+
+TEST(LayersMt, LinearBiasGradBitIdenticalAcrossThreadCounts)
+{
+#ifndef _OPENMP
+    GTEST_SKIP() << "built without OpenMP";
+#else
+    for (size_t n : {size_t(3), size_t(8), size_t(13)}) {
+        SCOPED_TRACE(testing::Message() << "batch=" << n);
+        Rng dataRng(600 + n);
+        Tensor x = Tensor::randn({n, 48}, dataRng, 1.0);
+        Tensor gy = Tensor::randn({n, 32}, dataRng, 1.0);
+
+        auto runOnce = [&] {
+            Rng rng(25);
+            Linear lin(48, 32, rng, /*bias=*/true);
+            Tensor y = lin.forward(x, true);
+            Tensor gx = lin.backward(gy);
+            std::vector<std::vector<float>> out;
+            out.emplace_back(y.data(), y.data() + y.size());
+            out.emplace_back(gx.data(), gx.data() + gx.size());
+            for (Param* p : lin.params())
+                out.emplace_back(p->grad.data(),
+                                 p->grad.data() + p->grad.size());
+            return out;
+        };
+
+        int prev = omp_get_max_threads();
+        omp_set_num_threads(1);
+        auto base = runOnce();
+        for (int threads : {4, 8}) {
+            omp_set_num_threads(threads);
+            auto got = runOnce();
+            SCOPED_TRACE(testing::Message() << "threads=" << threads);
+            ASSERT_EQ(got.size(), base.size());
+            for (size_t v = 0; v < base.size(); ++v) {
+                ASSERT_EQ(got[v].size(), base[v].size());
+                for (size_t i = 0; i < base[v].size(); ++i)
+                    ASSERT_EQ(got[v][i], base[v][i])
+                        << "vector " << v << " index " << i;
+            }
+        }
+        omp_set_num_threads(prev);
+    }
+#endif
+}
+
+// ------------------------------------------------------------------
 // BatchNorm2d: the batch statistics are accumulated per fixed batch
 // chunk and tree-merged (nn/layers.cc bnChunkedReduce), so forward
 // outputs, running statistics, backward input gradients and the

@@ -149,6 +149,93 @@ TEST(FixedCodec, RoundTripAllLevels)
     }
 }
 
+// ------------------------------------------------------------------
+// Round-trip property tests with randomized scales: for every
+// representable level, encode -> decode -> encode must be stable (the
+// same code back, including the encodeRef tie rule), at alphas drawn
+// log-uniform across the range fitAlpha can produce (it clamps at
+// 1e-12) plus fixed extremes. These pin the 0.02 SP2 grid-tolerance
+// margin and the magnitude-scaled encodeFixed tolerance — the latter
+// used to be a fixed 1e-3, which rejected legitimate float32-rounded
+// grid values at bits >= 14.
+// ------------------------------------------------------------------
+
+TEST(CodecProperty, Sp2RoundTripStableAtRandomAlphas)
+{
+    Rng rng(77);
+    for (int bits = 2; bits <= 8; ++bits) {
+        SCOPED_TRACE(testing::Message() << "bits=" << bits);
+        Sp2Codec codec(bits);
+        auto mags = sp2Magnitudes(bits);
+        std::vector<float> alphas = {1e-12f, 1e-6f, 1.0f, 1e4f};
+        for (int i = 0; i < 12; ++i)
+            alphas.push_back(
+                float(std::exp(rng.uniform(std::log(1e-10),
+                                           std::log(1e3)))));
+        for (float alpha : alphas) {
+            SCOPED_TRACE(testing::Message() << "alpha=" << alpha);
+            for (double v : mags) {
+                for (double sign : {1.0, -1.0}) {
+                    if (v == 0.0 && sign < 0)
+                        continue;
+                    float x = float(sign * v * double(alpha));
+                    Sp2Code c1 = codec.encode(x, alpha);
+                    float d = codec.decode(c1, alpha);
+                    Sp2Code c2 = codec.encode(d, alpha);
+                    EXPECT_EQ(c1, c2) << "level " << v;
+                    EXPECT_EQ(codec.encodeRef(x, alpha), c1)
+                        << "level " << v;
+                    EXPECT_EQ(codec.decode(c2, alpha), d)
+                        << "level " << v;
+                }
+            }
+        }
+    }
+}
+
+TEST(CodecProperty, FixedRoundTripStableAtRandomAlphas)
+{
+    Rng rng(78);
+    for (int bits = 2; bits <= 16; ++bits) {
+        SCOPED_TRACE(testing::Message() << "bits=" << bits);
+        int levels = (1 << (bits - 1)) - 1;
+        std::vector<float> alphas = {1e-12f, 1e-6f, 1.0f, 1e4f};
+        for (int i = 0; i < 8; ++i)
+            alphas.push_back(
+                float(std::exp(rng.uniform(std::log(1e-10),
+                                           std::log(1e3)))));
+        // Every level up to 8 bits; corner + random codes above
+        // (the worst float32 rounding sits at large |k|).
+        std::vector<int> ks = {0, 1, 2, levels / 2, levels - 1,
+                               levels};
+        if (bits <= 8) {
+            ks.clear();
+            for (int k = 0; k <= levels; ++k)
+                ks.push_back(k);
+        } else {
+            for (int i = 0; i < 32; ++i)
+                ks.push_back(int(rng.uniform(0.0, double(levels))));
+        }
+        for (float alpha : alphas) {
+            SCOPED_TRACE(testing::Message() << "alpha=" << alpha);
+            for (int k : ks) {
+                for (int sign : {1, -1}) {
+                    if (k == 0 && sign < 0)
+                        continue;
+                    int sk = sign * k;
+                    float v = float(double(sk) / double(levels) *
+                                    double(alpha));
+                    EXPECT_EQ(encodeFixed(v, alpha, bits), sk)
+                        << "k=" << sk;
+                    float d = decodeFixed(sk, alpha, bits);
+                    EXPECT_EQ(encodeFixed(d, alpha, bits), sk)
+                        << "k=" << sk;
+                }
+            }
+        }
+    }
+}
+
 TEST(Codec, QuantizeThenEncodeConsistent)
 {
     // End-to-end: project random weights with the SP2 quantizer and
