@@ -77,7 +77,7 @@ lmEpoch(LstmLm& lm, const std::vector<LmBatch>& batches, Sgd& sgd,
         double loss = softmaxCrossEntropy(logits, b.target, d);
         lm.backward(d);
         if (qat)
-            qat->addPenaltyGrads();
+            loss += qat->addPenaltyGradsAndPenalty();
         sgd.step();
         loss_sum += loss;
     }
@@ -145,7 +145,7 @@ taggerEpoch(GruTagger& tg, const PhonemeDataset& data, Sgd& sgd,
         double loss = softmaxCrossEntropy(logits, data.labels[b], d);
         tg.backward(d);
         if (qat)
-            qat->addPenaltyGrads();
+            loss += qat->addPenaltyGradsAndPenalty();
         sgd.step();
         loss_sum += loss;
     }
@@ -224,7 +224,7 @@ sentimentEpoch(LstmClassifier& cls, const SentimentDataset& data,
         double loss = softmaxCrossEntropy(logits, data.labels[b], d);
         cls.backward(d);
         if (qat)
-            qat->addPenaltyGrads();
+            loss += qat->addPenaltyGradsAndPenalty();
         sgd.step();
         loss_sum += loss;
     }

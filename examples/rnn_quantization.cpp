@@ -34,7 +34,7 @@ epoch(LstmLm& lm, const std::vector<LmBatch>& batches, Sgd& sgd,
         loss += softmaxCrossEntropy(logits, b.target, d);
         lm.backward(d);
         if (qat)
-            qat->addPenaltyGrads();
+            loss += qat->addPenaltyGradsAndPenalty();
         sgd.step();
     }
     return loss / double(batches.size());

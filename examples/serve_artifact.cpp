@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Serve-many half of the train-once / serve-many pair. This process
+ * never sees float weights, a quantizer, or a QatContext: it builds
+ * the MiniResNet architecture fresh (random init), adopts the
+ * bit-packed deploy artifact straight into locked integer panels
+ * (InferenceSession's artifact constructor), and replays the probe
+ * batch saved by train_export — the outputs must match the training
+ * process's integer backend bit for bit. Exits nonzero on any
+ * mismatch, so the CI round-trip step can gate on it.
+ *
+ *   ./build/examples/train_export  [dir]
+ *   ./build/examples/serve_artifact [dir]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "infer/session.hh"
+#include "nn/models.hh"
+#include "serial/record_io.hh"
+#include "util/rng.hh"
+
+using namespace mixq;
+
+int
+main(int argc, char** argv)
+{
+    std::string dir = argc > 1 ? argv[1] : ".";
+    const std::string artifact = dir + "/mixq_msq_deploy.bin";
+    const std::string probe = dir + "/mixq_msq_probe.bin";
+
+    RecordFile pf(probe, "MIXQPROB", 1, "probe");
+    size_t classes = size_t(pf.require("probe/classes").f64()[0]);
+    const Record& rx = pf.require("probe/input");
+    const Record& ry = pf.require("probe/output");
+
+    // Fresh architecture, arbitrary init — every served value comes
+    // from the artifact.
+    Rng rng(12345);
+    auto model = makeMiniResNet(classes, rng, 8);
+    InferenceSession sess(*model, artifact);
+    std::printf("adopted %zu packed weight matrices from %s\n",
+                sess.layersSwitched(), artifact.c_str());
+
+    std::vector<size_t> xshape(rx.shape.begin(), rx.shape.end());
+    Tensor x(xshape);
+    std::memcpy(x.data(), rx.f32().data(),
+                rx.f32().size() * sizeof(float));
+    Tensor y = sess.run(x);
+
+    std::span<const float> want = ry.f32();
+    if (y.size() != want.size()) {
+        std::printf("FAIL: output shape differs (%zu vs %zu)\n",
+                    y.size(), want.size());
+        return 1;
+    }
+    size_t bad = 0;
+    for (size_t i = 0; i < want.size(); ++i)
+        if (std::memcmp(y.data() + i, &want[i], sizeof(float)) != 0)
+            ++bad;
+    if (bad) {
+        std::printf("FAIL: %zu of %zu outputs differ from the "
+                    "training process's integer backend\n",
+                    bad, want.size());
+        return 1;
+    }
+    std::printf("OK: %zu outputs bit-identical to the training "
+                "process's integer backend\n", want.size());
+    return 0;
+}

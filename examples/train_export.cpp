@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Train-once half of the train-once / serve-many pair. Trains a
+ * MiniResNet with MSQ quantization-aware training (Algorithm 1/2),
+ * then writes three files:
+ *
+ *   mixq_msq_ckpt.bin   — full float checkpoint (weights, BN stats,
+ *                         activation calibrations, ADMM state) for
+ *                         warm-restarting training;
+ *   mixq_msq_deploy.bin — bit-packed deploy artifact: 4-bit integer
+ *                         codes + per-row scales, loadable without
+ *                         any float weights or QatContext;
+ *   mixq_msq_probe.bin  — a probe batch and this process's integer
+ *                         backend outputs on it, so a serving process
+ *                         can prove bit-identical execution.
+ *
+ * Run serve_artifact afterwards from the same directory (or pass the
+ * shared directory to both):
+ *
+ *   ./build/examples/train_export  [dir]
+ *   ./build/examples/serve_artifact [dir]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "data/synth_images.hh"
+#include "infer/session.hh"
+#include "nn/models.hh"
+#include "nn/trainer.hh"
+#include "serial/checkpoint.hh"
+#include "serial/deploy.hh"
+#include "serial/record_io.hh"
+#include "util/rng.hh"
+
+using namespace mixq;
+
+namespace {
+
+long
+fileBytes(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return -1;
+    std::fseek(f, 0, SEEK_END);
+    long n = std::ftell(f);
+    std::fclose(f);
+    return n;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string dir = argc > 1 ? argv[1] : ".";
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 400, 1);
+
+    std::printf("training MiniResNet with MSQ QAT on %s...\n",
+                imageTaskName(ImageTask::Easy));
+    Rng rng(7);
+    auto model = makeMiniResNet(train.numClasses, rng, 8);
+    QConfig qcfg; // paper defaults: 4-bit MSQ, SP2:Fixed = 2:1
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    TrainCfg cfg;
+    cfg.epochs = 4;
+    cfg.lr = 0.05;
+    trainClassifier(*model, train, cfg, &qat);
+    double acc = evalClassifier(*model, train);
+    std::printf("trained; top-1 on the training set %.2f%%\n",
+                acc * 100);
+
+    const std::string ckpt = dir + "/mixq_msq_ckpt.bin";
+    const std::string artifact = dir + "/mixq_msq_deploy.bin";
+    const std::string probe = dir + "/mixq_msq_probe.bin";
+    saveCheckpoint(ckpt, *model, &qat);
+    saveDeployArtifact(artifact, *model, qat);
+
+    // Probe: a small batch plus this process's Int-backend outputs.
+    // serve_artifact replays it from the artifact alone and compares
+    // byte for byte.
+    InferenceSession sess(*model, &qat, InferBackend::Int);
+    LabeledImages probeSet = makeImageDataset(ImageTask::Easy, 8, 3);
+    Tensor y = sess.run(probeSet.images);
+    {
+        RecordWriter w(probe, "MIXQPROB", 1);
+        double meta[1] = {double(train.numClasses)};
+        uint64_t one = 1;
+        w.addF64("probe/classes", {&one, 1}, meta);
+        std::vector<uint64_t> xs, ys;
+        for (size_t d : probeSet.images.shape())
+            xs.push_back(d);
+        for (size_t d : y.shape())
+            ys.push_back(d);
+        w.addF32("probe/input", xs,
+                 {probeSet.images.data(), probeSet.images.size()});
+        w.addF32("probe/output", ys, {y.data(), y.size()});
+        w.close();
+    }
+
+    long cb = fileBytes(ckpt), ab = fileBytes(artifact);
+    std::printf("wrote %s (%ld bytes)\n", ckpt.c_str(), cb);
+    std::printf("wrote %s (%ld bytes, %.1fx smaller)\n",
+                artifact.c_str(), ab, double(cb) / double(ab));
+    std::printf("wrote %s\n", probe.c_str());
+    return 0;
+}

@@ -102,6 +102,12 @@ std::vector<int32_t> runGemmFunctional(const QuantizedGemm& q,
  * activation codes within int8 range. Both sides accumulate SP2
  * products in the same 2^K1-scaled units, so the outputs compare
  * against qgemm accumulators with ==.
+ *
+ * The pack may equally be one adopted from a deploy artifact
+ * (serial/deploy.hh, a locked loadFromCodes pack): the bridge reads
+ * only the canonical codes, which the artifact round-trips byte for
+ * byte, so the sim cores vet served models exactly like in-process
+ * ones.
  */
 QuantizedGemm packedToQuantizedGemm(const PackedQMat& w,
                                     std::span<const int8_t> acts,

@@ -15,6 +15,16 @@ PackedQMat::ensure(const float* src, size_t rows, size_t cols,
     MIXQ_ASSERT(rows > 0 && cols > 0, "PackedQMat: empty matrix");
     MIXQ_ASSERT(bits >= 2 && bits <= 8,
                 "PackedQMat: weight bits out of the int8 deploy range");
+    if (locked_) {
+        // Deploy-loaded panels have no float source: the Param behind
+        // @p src carries no trained weights, so the only meaningful
+        // check is that the caller's layer still has the artifact's
+        // shape.
+        MIXQ_ASSERT(rows_ == rows && cols_ == cols && bits_ == bits,
+                    "PackedQMat: locked pack reused with a different "
+                    "shape");
+        return;
+    }
     MIXQ_ASSERT(rowScheme.size() == rows && rowAlpha.size() == rows,
                 "PackedQMat: projection metadata does not match rows");
     if (packed_ && src_ == src && rows_ == rows && cols_ == cols &&
@@ -31,6 +41,47 @@ PackedQMat::ensure(const float* src, size_t rows, size_t cols,
 }
 
 void
+PackedQMat::loadFromCodes(size_t rows, size_t cols, int bits,
+                          std::span<const QuantScheme> rowScheme,
+                          std::span<const float> rowAlpha,
+                          std::span<const Sp2Code> sp2,
+                          std::span<const int8_t> fixed)
+{
+    MIXQ_ASSERT(rows > 0 && cols > 0, "PackedQMat: empty matrix");
+    MIXQ_ASSERT(bits >= 2 && bits <= 8,
+                "PackedQMat: weight bits out of the int8 deploy range");
+    MIXQ_ASSERT(rowScheme.size() == rows && rowAlpha.size() == rows,
+                "PackedQMat: code metadata does not match rows");
+    MIXQ_ASSERT(sp2.size() == rows * cols &&
+                    fixed.size() == rows * cols,
+                "PackedQMat: code panel size mismatch");
+    src_ = nullptr;
+    rows_ = rows;
+    cols_ = cols;
+    version_ = 0;
+    bits_ = bits;
+    denomLog2_ = Sp2Codec(bits).denomLog2();
+    scheme_.assign(rowScheme.begin(), rowScheme.end());
+    alpha_.assign(rowAlpha.begin(), rowAlpha.end());
+    sp2_.assign(sp2.begin(), sp2.end());
+    fixed_.assign(fixed.begin(), fixed.end());
+    numSp2_ = 0;
+    for (size_t r = 0; r < rows_; ++r) {
+        MIXQ_ASSERT(alpha_[r] > 0.0f,
+                    "PackedQMat: non-positive row alpha");
+        if (scheme_[r] == QuantScheme::Sp2)
+            ++numSp2_;
+        else
+            MIXQ_ASSERT(scheme_[r] == QuantScheme::Fixed,
+                        "PackedQMat: row scheme must be Sp2 or Fixed");
+    }
+    buildPanels();
+    packed_ = true;
+    locked_ = true;
+    ++packCount_;
+}
+
+void
 PackedQMat::repack(const float* src,
                    std::span<const QuantScheme> rowScheme,
                    std::span<const float> rowAlpha)
@@ -42,6 +93,34 @@ PackedQMat::repack(const float* src,
     alpha_.assign(rowAlpha.begin(), rowAlpha.end());
     sp2_.assign(len, Sp2Code{});
     fixed_.assign(len, 0);
+    numSp2_ = 0;
+
+    // Encode the canonical codes; the execution panels are derived
+    // from them afterwards (buildPanels), exactly as a deploy-loaded
+    // pack derives them — one code -> panel function for both paths.
+    for (size_t r = 0; r < rows_; ++r) {
+        float a = alpha_[r];
+        MIXQ_ASSERT(a > 0.0f, "PackedQMat: non-positive row alpha");
+        const float* w = src + r * cols_;
+        if (rowScheme[r] == QuantScheme::Sp2) {
+            ++numSp2_;
+            for (size_t j = 0; j < cols_; ++j)
+                sp2_[r * cols_ + j] = codec.encode(w[j], a);
+        } else if (rowScheme[r] == QuantScheme::Fixed) {
+            for (size_t j = 0; j < cols_; ++j)
+                fixed_[r * cols_ + j] =
+                    int8_t(encodeFixed(w[j], a, bits_));
+        } else {
+            fatal("PackedQMat: row scheme must be Sp2 or Fixed");
+        }
+    }
+    buildPanels();
+}
+
+void
+PackedQMat::buildPanels()
+{
+    size_t len = rows_ * cols_;
     s1_.assign(len, 0);
     s2_.assign(len, 0);
     m1_.assign(len, 0);
@@ -50,7 +129,6 @@ PackedQMat::repack(const float* src,
     classes_.clear();
     classOfs_.assign(rows_ + 1, 0);
     colIdx_.clear();
-    numSp2_ = 0;
     MIXQ_ASSERT(cols_ <= size_t(UINT32_MAX),
                 "PackedQMat: column index overflow");
 
@@ -61,17 +139,12 @@ PackedQMat::repack(const float* src,
     std::vector<std::vector<uint32_t>> clsCols;
 
     for (size_t r = 0; r < rows_; ++r) {
-        float a = alpha_[r];
-        MIXQ_ASSERT(a > 0.0f, "PackedQMat: non-positive row alpha");
-        const float* w = src + r * cols_;
         cls.clear();
         clsCols.clear();
         if (scheme_[r] == QuantScheme::Sp2) {
-            ++numSp2_;
             for (size_t j = 0; j < cols_; ++j) {
                 size_t e = r * cols_ + j;
-                Sp2Code c = codec.encode(w[j], a);
-                sp2_[e] = c;
+                const Sp2Code& c = sp2_[e];
                 // Expand to the branch-free SoA form: an absent term
                 // (j = -1) becomes shift 0 under an all-zero mask, so
                 // a per-code (act << s) & m contributes exactly 0.
@@ -104,10 +177,9 @@ PackedQMat::repack(const float* src,
                 }
                 clsCols[hit].push_back(uint32_t(j));
             }
-        } else if (scheme_[r] == QuantScheme::Fixed) {
+        } else {
             for (size_t j = 0; j < cols_; ++j) {
-                int32_t k = encodeFixed(w[j], a, bits_);
-                fixed_[r * cols_ + j] = int8_t(k);
+                int32_t k = fixed_[r * cols_ + j];
                 if (k == 0)
                     continue;
                 size_t hit = cls.size();
@@ -125,8 +197,6 @@ PackedQMat::repack(const float* src,
                 }
                 clsCols[hit].push_back(uint32_t(j));
             }
-        } else {
-            fatal("PackedQMat: row scheme must be Sp2 or Fixed");
         }
         for (size_t t = 0; t < cls.size(); ++t) {
             cls[t].begin = uint32_t(colIdx_.size());

@@ -42,6 +42,13 @@
  * only when the source pointer, shape, version, or bit width changed;
  * concurrent reads are safe, ensure() must run on the orchestrating
  * thread before any parallel region.
+ *
+ * A pack can also be built straight from canonical codes with
+ * loadFromCodes() — the deploy-artifact path (serial/deploy.hh),
+ * where no float weights exist in the process. Such a pack is
+ * *locked*: ensure() only validates the shape and never re-reads the
+ * (absent) float source, so the layers' intForward runs unchanged on
+ * top of it.
  */
 
 #ifndef MIXQ_INFER_QPACK_HH
@@ -97,7 +104,26 @@ class PackedQMat
                 uint64_t version, std::span<const QuantScheme> rowScheme,
                 std::span<const float> rowAlpha, int bits);
 
+    /**
+     * Build the pack directly from canonical codes (the deploy
+     * artifact's payload): SP2 rows read @p sp2, Fixed rows read
+     * @p fixed, both [rows x cols] row-major with the other scheme's
+     * slots ignored. The execution and code-class panels are derived
+     * from the codes exactly as repacking from floats would derive
+     * them, so a loadFromCodes() of codes saved from an ensure()-built
+     * pack reproduces that pack byte for byte. The result is locked:
+     * later ensure() calls only validate the shape (there is no float
+     * source to watch for staleness).
+     */
+    void loadFromCodes(size_t rows, size_t cols, int bits,
+                       std::span<const QuantScheme> rowScheme,
+                       std::span<const float> rowAlpha,
+                       std::span<const Sp2Code> sp2,
+                       std::span<const int8_t> fixed);
+
     bool packed() const { return packed_; }
+    /** True for packs adopted from a deploy artifact. */
+    bool locked() const { return locked_; }
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
     int bits() const { return bits_; }
@@ -157,12 +183,17 @@ class PackedQMat
                 std::span<const QuantScheme> rowScheme,
                 std::span<const float> rowAlpha);
 
+    /** Derive the SoA and code-class panels from the canonical codes
+        (sp2_/fixed_/scheme_ must already be in place). */
+    void buildPanels();
+
     const float* src_ = nullptr;
     size_t rows_ = 0, cols_ = 0;
     uint64_t version_ = 0;
     int bits_ = 0;
     int denomLog2_ = 0;
     bool packed_ = false;
+    bool locked_ = false;
     uint64_t packCount_ = 0;
     size_t numSp2_ = 0;
 

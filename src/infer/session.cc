@@ -2,6 +2,7 @@
 
 #include "nn/layers.hh"
 #include "nn/rnn.hh"
+#include "serial/deploy.hh"
 #include "util/logging.hh"
 
 namespace mixq {
@@ -164,10 +165,28 @@ InferenceSession::InferenceSession(Module& model, const QatContext* qat,
     switched_ = applyInferBackend(*model_, backend_, qat_);
 }
 
+InferenceSession::InferenceSession(Module& model,
+                                   const std::string& artifactPath)
+    : model_(&model), qat_(nullptr), backend_(InferBackend::Int),
+      artifactBacked_(true)
+{
+    // loadDeployArtifact adopts every packed matrix into its layer's
+    // locked panels and restores the activation calibrations — the
+    // layers already run the integer path, no backend walk needed.
+    switched_ = loadDeployArtifact(artifactPath, *model_);
+}
+
 void
 InferenceSession::setBackend(InferBackend backend)
 {
+    if (artifactBacked_ && backend != InferBackend::Int)
+        fatal("artifact-backed session is pinned to the Int backend: "
+              "the process holds packed integer codes only, no float "
+              "weights to serve " + std::string(backend ==
+              InferBackend::Float ? "Float" : "FakeQuant") + " from");
     backend_ = backend;
+    if (artifactBacked_)
+        return;
     switched_ = applyInferBackend(*model_, backend_, qat_);
 }
 

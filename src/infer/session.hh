@@ -16,10 +16,13 @@
  * Switching backends never re-runs calibration: Float merely
  * disables the activation quantizers (their observed alphas are
  * kept), so a session can flip between all three backends on the
- * same trained model and compare outputs. InferenceSession wraps the
- * walk for the common run-eval-batches case; the free
- * applyInferBackend is the building block the RNN task models (which
- * are not Modules) reuse per cell.
+ * same trained model and compare outputs.
+ *
+ * A session can also be built from a deploy artifact
+ * (serial/deploy.hh) and a freshly constructed model of the same
+ * architecture: the packed codes load directly into locked PackedQMat
+ * panels and the session is pinned to the Int backend — no float
+ * weights, quantizer, or QatContext exist in the process.
  */
 
 #ifndef MIXQ_INFER_SESSION_HH
@@ -89,7 +92,18 @@ class InferenceSession
     InferenceSession(Module& model, const QatContext* qat,
                      InferBackend backend);
 
-    /** Re-route the model onto @p backend. */
+    /**
+     * Serve-from-artifact construction: load the deploy artifact at
+     * @p artifactPath into the freshly built @p model
+     * (serial/deploy.hh loadDeployArtifact) and pin the session to
+     * the Int backend. layersSwitched() reports the number of packed
+     * weight matrices adopted. The session cannot leave Int — the
+     * process holds no float weights to fall back to.
+     */
+    InferenceSession(Module& model, const std::string& artifactPath);
+
+    /** Re-route the model onto @p backend (fatal when
+        artifact-backed and @p backend is not Int). */
     void setBackend(InferBackend backend);
     InferBackend backend() const { return backend_; }
 
@@ -104,6 +118,7 @@ class InferenceSession
     const QatContext* qat_;
     InferBackend backend_;
     size_t switched_ = 0;
+    bool artifactBacked_ = false;
 };
 
 } // namespace mixq

@@ -30,6 +30,20 @@ BasicBlock::children()
     return v;
 }
 
+std::vector<NamedChild>
+BasicBlock::namedChildren()
+{
+    std::vector<NamedChild> v = {{"conv1", &conv1_}, {"bn1", &bn1_},
+                                 {"relu1", &relu1_}, {"conv2", &conv2_},
+                                 {"bn2", &bn2_},
+                                 {"reluOut", &reluOut_}};
+    if (downConv_) {
+        v.push_back({"downConv", downConv_.get()});
+        v.push_back({"downBn", downBn_.get()});
+    }
+    return v;
+}
+
 Tensor
 BasicBlock::forward(const Tensor& x, bool train)
 {
@@ -92,6 +106,15 @@ InvertedResidual::children()
 {
     return {&expandConv_, &bn1_, &relu1_, &dw_, &bn2_, &relu2_,
             &projectConv_, &bn3_};
+}
+
+std::vector<NamedChild>
+InvertedResidual::namedChildren()
+{
+    return {{"expand", &expandConv_}, {"bn1", &bn1_},
+            {"relu1", &relu1_},       {"dw", &dw_},
+            {"bn2", &bn2_},           {"relu2", &relu2_},
+            {"project", &projectConv_}, {"bn3", &bn3_}};
 }
 
 Tensor

@@ -25,6 +25,7 @@ class BasicBlock : public Module
     Tensor forward(const Tensor& x, bool train) override;
     Tensor backward(const Tensor& gy) override;
     std::vector<Module*> children() override;
+    std::vector<NamedChild> namedChildren() override;
 
   private:
     Conv2d conv1_;
@@ -47,6 +48,7 @@ class InvertedResidual : public Module
     Tensor forward(const Tensor& x, bool train) override;
     Tensor backward(const Tensor& gy) override;
     std::vector<Module*> children() override;
+    std::vector<NamedChild> namedChildren() override;
 
     bool hasSkip() const { return skip_; }
 

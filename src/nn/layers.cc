@@ -171,6 +171,17 @@ Linear::enableIntInference(const MatrixQuantResult& proj, int wbits)
     intBackend_ = true;
 }
 
+void
+Linear::adoptDeployedWeights(PackedQMat pack, int wbits)
+{
+    MIXQ_ASSERT(pack.locked() && pack.rows() == out_ &&
+                    pack.cols() == in_,
+                "Linear: deployed panels do not match the layer");
+    qpack_ = std::move(pack);
+    qBits_ = wbits;
+    intBackend_ = true;
+}
+
 Tensor
 Linear::intForward(const Tensor& x)
 {
@@ -319,6 +330,17 @@ Conv2d::enableIntInference(const MatrixQuantResult& proj, int wbits)
     intBackend_ = true;
 }
 
+void
+Conv2d::adoptDeployedWeights(PackedQMat pack, int wbits)
+{
+    MIXQ_ASSERT(pack.locked() && pack.rows() == outCh_ &&
+                    pack.cols() == inCh_ * k_ * k_,
+                "Conv2d: deployed panels do not match the layer");
+    qpack_ = std::move(pack);
+    qBits_ = wbits;
+    intBackend_ = true;
+}
+
 Tensor
 Conv2d::intForward(const Tensor& x)
 {
@@ -338,44 +360,46 @@ Conv2d::intForward(const Tensor& x)
     // gathers codes, so padding zeros stay exact code zeros. Codes
     // ride the halfword pipeline whenever the reduction depth admits
     // it (halfwordSafe) — bit-identical accumulators, half the
-    // traffic. Item-parallel with per-thread scratch: every output
-    // element is a pure function of its own image, so the split never
-    // changes a bit. qgemm detects the enclosing region and stays
-    // serial.
+    // traffic. The code, im2col and accumulator buffers are
+    // persistent members (cols_-style) sliced per batch item: the
+    // weight panels already key on shape + Param::version via
+    // qpack_.ensure, and these buffers key on the same shape, so a
+    // steady-state eval loop re-fills storage allocated once instead
+    // of re-allocating per call. Item-parallel over disjoint slices:
+    // every output element is a pure function of its own image, so
+    // the split never changes a bit. qgemm detects the enclosing
+    // region and stays serial.
+    qAccI_.resize(n * outCh_ * ohow);
     if (halfwordSafe(ap, ckk)) {
-        std::vector<int16_t> qin(n * chw);
-        quantizeActsInt(x.data(), qin.data(), qin.size(), ap);
-        #pragma omp parallel
-        {
-            std::vector<int16_t> colsI(ckk * ohow);
-            std::vector<int32_t> acc(outCh_ * ohow);
-            #pragma omp for schedule(static)
-            for (long i = 0; i < long(n); ++i) {
-                im2colInt(qin.data() + size_t(i) * chw, inCh_, h, w,
-                          k_, k_, stride_, pad_, colsI.data());
-                qgemm16(qpack_, colsI.data(), ohow, acc.data());
-                rescaleConv(qpack_, acc.data(), ohow, ap.invScale,
-                            hasBias_ ? b_.w.data() : nullptr,
-                            y.data() + size_t(i) * outCh_ * ohow);
-            }
-        }
-        return y;
-    }
-    std::vector<int32_t> qin(n * chw);
-    quantizeActsInt(x.data(), qin.data(), qin.size(), ap);
-    #pragma omp parallel
-    {
-        std::vector<int32_t> colsI(ckk * ohow);
-        std::vector<int32_t> acc(outCh_ * ohow);
-        #pragma omp for schedule(static)
+        qIn16_.resize(n * chw);
+        qCols16_.resize(n * ckk * ohow);
+        quantizeActsInt(x.data(), qIn16_.data(), n * chw, ap);
+        #pragma omp parallel for schedule(static)
         for (long i = 0; i < long(n); ++i) {
-            im2colInt(qin.data() + size_t(i) * chw, inCh_, h, w, k_,
-                      k_, stride_, pad_, colsI.data());
-            qgemm(qpack_, colsI.data(), ohow, acc.data());
-            rescaleConv(qpack_, acc.data(), ohow, ap.invScale,
+            int16_t* colsI = qCols16_.data() + size_t(i) * ckk * ohow;
+            int32_t* acc = qAccI_.data() + size_t(i) * outCh_ * ohow;
+            im2colInt(qIn16_.data() + size_t(i) * chw, inCh_, h, w,
+                      k_, k_, stride_, pad_, colsI);
+            qgemm16(qpack_, colsI, ohow, acc);
+            rescaleConv(qpack_, acc, ohow, ap.invScale,
                         hasBias_ ? b_.w.data() : nullptr,
                         y.data() + size_t(i) * outCh_ * ohow);
         }
+        return y;
+    }
+    qIn32_.resize(n * chw);
+    qCols32_.resize(n * ckk * ohow);
+    quantizeActsInt(x.data(), qIn32_.data(), n * chw, ap);
+    #pragma omp parallel for schedule(static)
+    for (long i = 0; i < long(n); ++i) {
+        int32_t* colsI = qCols32_.data() + size_t(i) * ckk * ohow;
+        int32_t* acc = qAccI_.data() + size_t(i) * outCh_ * ohow;
+        im2colInt(qIn32_.data() + size_t(i) * chw, inCh_, h, w, k_,
+                  k_, stride_, pad_, colsI);
+        qgemm(qpack_, colsI, ohow, acc);
+        rescaleConv(qpack_, acc, ohow, ap.invScale,
+                    hasBias_ ? b_.w.data() : nullptr,
+                    y.data() + size_t(i) * outCh_ * ohow);
     }
     return y;
 }
@@ -603,6 +627,16 @@ BatchNorm2d::ownParams(std::vector<Param*>& out)
 {
     out.push_back(&gamma_);
     out.push_back(&beta_);
+}
+
+void
+BatchNorm2d::restoreRunningStats(std::span<const float> mean,
+                                 std::span<const float> var)
+{
+    MIXQ_ASSERT(mean.size() == ch_ && var.size() == ch_,
+                "BatchNorm2d: running-stat size mismatch");
+    std::memcpy(runMean_.data(), mean.data(), ch_ * sizeof(float));
+    std::memcpy(runVar_.data(), var.data(), ch_ * sizeof(float));
 }
 
 Tensor

@@ -56,6 +56,14 @@ class Linear : public Module
     /** Packed panels of the int backend (test introspection). */
     const PackedQMat& packedQWeights() const { return qpack_; }
 
+    /**
+     * Adopt deploy-artifact weight panels (serial/deploy.hh): eval
+     * forwards run the int backend on @p pack directly — the float
+     * Param never has to hold trained weights. @p pack must be locked
+     * (loadFromCodes) and match the layer's [out x in] shape.
+     */
+    void adoptDeployedWeights(PackedQMat pack, int wbits);
+
   private:
     Tensor intForward(const Tensor& x);
 
@@ -99,6 +107,9 @@ class Conv2d : public Module
     bool intInferenceEnabled() const { return intBackend_; }
     const PackedQMat& packedQWeights() const { return qpack_; }
 
+    /** Adopt deploy-artifact panels; see Linear. */
+    void adoptDeployedWeights(PackedQMat pack, int wbits);
+
   private:
     Tensor intForward(const Tensor& x);
 
@@ -116,6 +127,12 @@ class Conv2d : public Module
     int qBits_ = 0;
     MatrixQuantResult qProj_;
     PackedQMat qpack_;
+    // Persistent scratch of the int path (cols_-style allocation
+    // cache): whole-batch code, im2col and accumulator buffers,
+    // resized on shape change only — steady-state eval batches rerun
+    // the content (activations change per call) without heap churn.
+    std::vector<int16_t> qIn16_, qCols16_;
+    std::vector<int32_t> qIn32_, qCols32_, qAccI_;
 };
 
 /** Depthwise 3x3-style convolution; weight is [C, kh*kw]. */
@@ -156,6 +173,11 @@ class BatchNorm2d : public Module
     /** Running statistics (for export / folding). */
     const Tensor& runningMean() const { return runMean_; }
     const Tensor& runningVar() const { return runVar_; }
+
+    /** Restore serialized running statistics (checkpoint/artifact
+        load); sizes must match the channel count. */
+    void restoreRunningStats(std::span<const float> mean,
+                             std::span<const float> var);
 
   private:
     size_t ch_;

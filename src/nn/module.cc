@@ -1,5 +1,9 @@
 #include "nn/module.hh"
 
+#include <string>
+
+#include "util/logging.hh"
+
 namespace mixq {
 
 Param::Param(std::string name, Tensor init, size_t q_rows,
@@ -50,6 +54,16 @@ Module::collectParams(std::vector<Param*>& out)
         c->collectParams(out);
 }
 
+std::vector<NamedChild>
+Module::namedChildren()
+{
+    std::vector<NamedChild> out;
+    size_t i = 0;
+    for (Module* c : children())
+        out.push_back({std::to_string(i++), c});
+    return out;
+}
+
 size_t
 numParams(const std::vector<Param*>& ps)
 {
@@ -57,6 +71,75 @@ numParams(const std::vector<Param*>& ps)
     for (const Param* p : ps)
         n += p->w.size();
     return n;
+}
+
+std::string
+paramLeafName(const Param& p)
+{
+    size_t dot = p.name.rfind('.');
+    std::string leaf =
+        dot == std::string::npos ? p.name : p.name.substr(dot + 1);
+    MIXQ_ASSERT(!leaf.empty(), "parameter has no leaf name");
+    return leaf;
+}
+
+namespace {
+
+void
+collectNamed(Module& m, const std::string& prefix,
+             std::vector<NamedParam>& out)
+{
+    std::vector<Param*> own;
+    m.ownParams(own);
+    size_t first = out.size();
+    for (Param* p : own) {
+        std::string leaf = paramLeafName(*p);
+        for (size_t i = first; i < out.size(); ++i)
+            MIXQ_ASSERT(out[i].path != prefix + leaf,
+                        "duplicate parameter leaf name in one module");
+        out.push_back({prefix + leaf, p});
+    }
+    for (const NamedChild& c : m.namedChildren())
+        collectNamed(*c.mod, prefix + c.name + ".", out);
+}
+
+} // namespace
+
+std::vector<NamedParam>
+namedParams(Module& root)
+{
+    std::vector<NamedParam> out;
+    collectNamed(root, "", out);
+    return out;
+}
+
+Param*
+findParam(Module& root, const std::string& path)
+{
+    for (NamedParam& np : namedParams(root))
+        if (np.path == path)
+            return np.p;
+    return nullptr;
+}
+
+void
+forEachNamedModule(
+    Module& root,
+    const std::function<void(const std::string&, Module&)>& fn)
+{
+    struct Rec
+    {
+        static void walk(
+            Module& m, const std::string& path,
+            const std::function<void(const std::string&, Module&)>& f)
+        {
+            f(path, m);
+            for (const NamedChild& c : m.namedChildren())
+                walk(*c.mod,
+                     path.empty() ? c.name : path + "." + c.name, f);
+        }
+    };
+    Rec::walk(root, "", fn);
 }
 
 } // namespace mixq

@@ -4,12 +4,23 @@
  * parameters and implements forward/backward; composite modules
  * expose children so parameter collection and activation-quantizer
  * configuration recurse automatically.
+ *
+ * On top of the anonymous children() recursion sits the *named state
+ * tree*: namedChildren() gives every sub-module a stable name
+ * (semantic for hand-written blocks, positional for containers), and
+ * the namedParams()/forEachNamedModule() traversals join those names
+ * into dotted paths ("blocks.2.conv1.w") that identify every Param —
+ * and every piece of quant state hanging off it — across processes.
+ * The serialization layer (serial/checkpoint.hh, serial/deploy.hh)
+ * keys its records on these paths, so a checkpoint written by one
+ * binary loads into a structurally matching model built by another.
  */
 
 #ifndef MIXQ_NN_MODULE_HH
 #define MIXQ_NN_MODULE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +63,15 @@ struct Param
     void noteUpdated() { ++version; }
 };
 
+class Module;
+
+/** One edge of the named state tree: a sub-module and its name. */
+struct NamedChild
+{
+    std::string name;
+    Module* mod = nullptr;
+};
+
 /** Base class of all layers and blocks. */
 class Module
 {
@@ -73,6 +93,17 @@ class Module
 
     /** Direct sub-modules (for recursion); leaves return {}. */
     virtual std::vector<Module*> children() { return {}; }
+
+    /**
+     * Direct sub-modules with their tree names. The default wraps
+     * children() with positional names "0", "1", ... (the natural
+     * naming for Sequential-style containers); hand-written composite
+     * blocks override it with semantic names ("conv1", "bn1", ...).
+     * Overrides must list the same modules in the same order as
+     * children() — the named tree is a naming of the recursion, not a
+     * second topology.
+     */
+    virtual std::vector<NamedChild> namedChildren();
 
     /** Parameters owned directly by this module (not children's). */
     virtual void ownParams(std::vector<Param*>& out);
@@ -97,6 +128,43 @@ class Module
 
 /** Total number of scalar parameters in a param set. */
 size_t numParams(const std::vector<Param*>& ps);
+
+/** One parameter of the named state tree with its dotted path. */
+struct NamedParam
+{
+    std::string path;
+    Param* p = nullptr;
+};
+
+/**
+ * Leaf name of a parameter inside its owning module: the segment
+ * after the last '.' of Param::name ("lstm.wx" -> "wx"). Layer
+ * constructors keep these leaves unique per module by convention;
+ * namedParams() panics if a module breaks it.
+ */
+std::string paramLeafName(const Param& p);
+
+/**
+ * Every parameter under @p root with its stable dotted path: the
+ * namedChildren() names joined with '.', ending in the param's leaf
+ * name ("blocks.2.conv1.w"). Paths are the identity mechanism of the
+ * serialization layer — same architecture, same paths, in any
+ * process. Enumeration order matches Module::params().
+ */
+std::vector<NamedParam> namedParams(Module& root);
+
+/** Find a parameter by its dotted path; null when absent. */
+Param* findParam(Module& root, const std::string& path);
+
+/**
+ * Depth-first walk of the named module tree. @p fn receives each
+ * module's dotted path ("" for @p root itself) and the module;
+ * parents are visited before their children, in namedChildren()
+ * order.
+ */
+void forEachNamedModule(
+    Module& root,
+    const std::function<void(const std::string&, Module&)>& fn);
 
 } // namespace mixq
 

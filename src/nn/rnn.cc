@@ -159,7 +159,18 @@ Embedding::forward(const std::vector<int>& ids, size_t t, size_t n)
     return y;
 }
 
-void
+Tensor
+Embedding::forward(const Tensor& x, bool train)
+{
+    (void)train;
+    MIXQ_ASSERT(x.ndim() == 2, "Embedding: id grid must be [T, N]");
+    std::vector<int> ids(x.size());
+    for (size_t i = 0; i < ids.size(); ++i)
+        ids[i] = int(x.data()[i]);
+    return forward(ids, x.dim(0), x.dim(1));
+}
+
+Tensor
 Embedding::backward(const Tensor& gy)
 {
     MIXQ_ASSERT(gy.size() == ids_.size() * dim_,
@@ -170,6 +181,7 @@ Embedding::backward(const Tensor& gy)
         for (size_t d = 0; d < dim_; ++d)
             g[d] += src[d];
     }
+    return {};
 }
 
 // ----------------------------------------------------------------- Lstm
@@ -331,6 +343,19 @@ Lstm::enableIntInference(const MatrixQuantResult& projWx,
                 "Lstm: projection records do not match the gates");
     qProjWx_ = projWx;
     qProjWh_ = projWh;
+    qBits_ = wbits;
+    intBackend_ = true;
+}
+
+void
+Lstm::adoptDeployedWeights(PackedQMat wx, PackedQMat wh, int wbits)
+{
+    MIXQ_ASSERT(wx.locked() && wx.rows() == 4 * h_ && wx.cols() == i_ &&
+                    wh.locked() && wh.rows() == 4 * h_ &&
+                    wh.cols() == h_,
+                "Lstm: deployed panels do not match the gates");
+    wxQ_ = std::move(wx);
+    whQ_ = std::move(wh);
     qBits_ = wbits;
     intBackend_ = true;
 }
@@ -650,6 +675,19 @@ Gru::enableIntInference(const MatrixQuantResult& projWx,
                 "Gru: projection records do not match the gates");
     qProjWx_ = projWx;
     qProjWh_ = projWh;
+    qBits_ = wbits;
+    intBackend_ = true;
+}
+
+void
+Gru::adoptDeployedWeights(PackedQMat wx, PackedQMat wh, int wbits)
+{
+    MIXQ_ASSERT(wx.locked() && wx.rows() == 3 * h_ && wx.cols() == i_ &&
+                    wh.locked() && wh.rows() == 3 * h_ &&
+                    wh.cols() == h_,
+                "Gru: deployed panels do not match the gates");
+    wxQ_ = std::move(wx);
+    whQ_ = std::move(wh);
     qBits_ = wbits;
     intBackend_ = true;
 }

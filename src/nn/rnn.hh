@@ -67,8 +67,15 @@ void setRnnBatchParallel(bool on);
 /** Current batch-parallel setting. */
 bool rnnBatchParallel();
 
-/** Token embedding: ids [T*N] -> [T, N, E]. */
-class Embedding
+/**
+ * Token embedding: ids [T*N] -> [T, N, E]. A Module so the lookup
+ * table registers in the named state tree ("emb.w" in the task
+ * models); the Tensor-based Module::forward accepts a [T, N] grid of
+ * integer ids carried as floats (exact below 2^24) and is what the
+ * tree-walking callers use — the id-vector overload stays the primary
+ * training API.
+ */
+class Embedding : public Module
 {
   public:
     Embedding(size_t vocab, size_t dim, Rng& rng);
@@ -76,10 +83,17 @@ class Embedding
     /** Look up a [T, N] id grid into a [T, N, E] tensor. */
     Tensor forward(const std::vector<int>& ids, size_t t, size_t n);
 
-    /** Scatter-add gradient for the last forward. */
-    void backward(const Tensor& gy);
+    /** Module entry point: @p x is a [T, N] float grid of ids. */
+    Tensor forward(const Tensor& x, bool train) override;
 
-    void ownParams(std::vector<Param*>& out) { out.push_back(&w_); }
+    /** Scatter-add gradient for the last forward; returns {} (the
+        lookup has no input gradient). */
+    Tensor backward(const Tensor& gy) override;
+
+    void ownParams(std::vector<Param*>& out) override
+    {
+        out.push_back(&w_);
+    }
     size_t dim() const { return dim_; }
 
   private:
@@ -123,6 +137,10 @@ class Lstm : public Module
     Param& whParam() { return wh_; }
     const PackedQMat& packedQWx() const { return wxQ_; }
     const PackedQMat& packedQWh() const { return whQ_; }
+
+    /** Adopt deploy-artifact gate panels; see
+        Linear::adoptDeployedWeights. */
+    void adoptDeployedWeights(PackedQMat wx, PackedQMat wh, int wbits);
 
   private:
     Tensor intForward(const Tensor& x);
@@ -195,6 +213,10 @@ class Gru : public Module
     Param& whParam() { return wh_; }
     const PackedQMat& packedQWx() const { return wxQ_; }
     const PackedQMat& packedQWh() const { return whQ_; }
+
+    /** Adopt deploy-artifact gate panels; see
+        Linear::adoptDeployedWeights. */
+    void adoptDeployedWeights(PackedQMat wx, PackedQMat wh, int wbits);
 
   private:
     Tensor intForward(const Tensor& x);

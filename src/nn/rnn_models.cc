@@ -2,10 +2,25 @@
 
 #include <cstring>
 
-#include "infer/session.hh"
 #include "util/logging.hh"
 
 namespace mixq {
+
+namespace {
+
+/** Decode a [T, N] float grid of token ids back to the int vector the
+    primary forward consumes (exact for ids below 2^24). */
+std::vector<int>
+gridToIds(const Tensor& x)
+{
+    MIXQ_ASSERT(x.ndim() == 2, "id grid must be [T, N]");
+    std::vector<int> ids(x.size());
+    for (size_t i = 0; i < ids.size(); ++i)
+        ids[i] = int(x.data()[i]);
+    return ids;
+}
+
+} // namespace
 
 // --------------------------------------------------------------- LstmLm
 
@@ -35,44 +50,40 @@ LstmLm::forward(const std::vector<int>& ids, size_t t, size_t n,
     return head_.forward(h, train);
 }
 
-void
+Tensor
+LstmLm::forward(const Tensor& x, bool train)
+{
+    return forward(gridToIds(x), x.dim(0), x.dim(1), train);
+}
+
+Tensor
 LstmLm::backward(const Tensor& dlogits)
 {
     Tensor g = head_.backward(dlogits);
-    g.reshape({t_, n_, g.dim(1) / 1});
     g.reshape({t_, n_, g.size() / (t_ * n_)});
     for (size_t i = lstm_.size(); i-- > 0;)
         g = lstm_[i]->backward(g);
-    emb_.backward(g);
+    return emb_.backward(g);
 }
 
-std::vector<Param*>
-LstmLm::params()
+std::vector<Module*>
+LstmLm::children()
 {
-    std::vector<Param*> v;
-    emb_.ownParams(v);
+    std::vector<Module*> v = {&emb_};
     for (auto& l : lstm_)
-        l->ownParams(v);
-    head_.ownParams(v);
+        v.push_back(l.get());
+    v.push_back(&head_);
     return v;
 }
 
-void
-LstmLm::setActQuant(int bits, bool enable)
+std::vector<NamedChild>
+LstmLm::namedChildren()
 {
-    for (auto& l : lstm_)
-        l->configureOwnActQuant(bits, enable);
-    head_.configureOwnActQuant(bits, enable);
-}
-
-void
-LstmLm::applyInferBackend(InferBackend backend, const QatContext* qat)
-{
-    // The embedding is a lookup, not a GEMM — it stays float on
-    // every backend (its rows are not weight-quantized).
-    for (auto& l : lstm_)
-        applyInferBackendLstm(*l, backend, qat);
-    applyInferBackendLinear(head_, backend, qat);
+    std::vector<NamedChild> v = {{"emb", &emb_}};
+    for (size_t i = 0; i < lstm_.size(); ++i)
+        v.push_back({"lstm" + std::to_string(i), lstm_[i].get()});
+    v.push_back({"head", &head_});
+    return v;
 }
 
 // ------------------------------------------------------------ GruTagger
@@ -102,40 +113,34 @@ GruTagger::forward(const Tensor& x, bool train)
     return head_.forward(h, train);
 }
 
-void
+Tensor
 GruTagger::backward(const Tensor& dlogits)
 {
     Tensor g = head_.backward(dlogits);
     g.reshape({t_, n_, g.size() / (t_ * n_)});
     for (size_t i = gru_.size(); i-- > 0;)
         g = gru_[i]->backward(g);
+    return g;
 }
 
-std::vector<Param*>
-GruTagger::params()
+std::vector<Module*>
+GruTagger::children()
 {
-    std::vector<Param*> v;
+    std::vector<Module*> v;
     for (auto& l : gru_)
-        l->ownParams(v);
-    head_.ownParams(v);
+        v.push_back(l.get());
+    v.push_back(&head_);
     return v;
 }
 
-void
-GruTagger::setActQuant(int bits, bool enable)
+std::vector<NamedChild>
+GruTagger::namedChildren()
 {
-    for (auto& l : gru_)
-        l->configureOwnActQuant(bits, enable);
-    head_.configureOwnActQuant(bits, enable);
-}
-
-void
-GruTagger::applyInferBackend(InferBackend backend,
-                             const QatContext* qat)
-{
-    for (auto& l : gru_)
-        applyInferBackendGru(*l, backend, qat);
-    applyInferBackendLinear(head_, backend, qat);
+    std::vector<NamedChild> v;
+    for (size_t i = 0; i < gru_.size(); ++i)
+        v.push_back({"gru" + std::to_string(i), gru_[i].get()});
+    v.push_back({"head", &head_});
+    return v;
 }
 
 // ------------------------------------------------------- LstmClassifier
@@ -170,7 +175,13 @@ LstmClassifier::forward(const std::vector<int>& ids, size_t t, size_t n,
     return head_.forward(last, train);
 }
 
-void
+Tensor
+LstmClassifier::forward(const Tensor& x, bool train)
+{
+    return forward(gridToIds(x), x.dim(0), x.dim(1), train);
+}
+
+Tensor
 LstmClassifier::backward(const Tensor& dlogits)
 {
     Tensor glast = head_.backward(dlogits);
@@ -180,35 +191,27 @@ LstmClassifier::backward(const Tensor& dlogits)
                 n_ * hd * sizeof(float));
     for (size_t i = lstm_.size(); i-- > 0;)
         g = lstm_[i]->backward(g);
-    emb_.backward(g);
+    return emb_.backward(g);
 }
 
-std::vector<Param*>
-LstmClassifier::params()
+std::vector<Module*>
+LstmClassifier::children()
 {
-    std::vector<Param*> v;
-    emb_.ownParams(v);
+    std::vector<Module*> v = {&emb_};
     for (auto& l : lstm_)
-        l->ownParams(v);
-    head_.ownParams(v);
+        v.push_back(l.get());
+    v.push_back(&head_);
     return v;
 }
 
-void
-LstmClassifier::setActQuant(int bits, bool enable)
+std::vector<NamedChild>
+LstmClassifier::namedChildren()
 {
-    for (auto& l : lstm_)
-        l->configureOwnActQuant(bits, enable);
-    head_.configureOwnActQuant(bits, enable);
-}
-
-void
-LstmClassifier::applyInferBackend(InferBackend backend,
-                                  const QatContext* qat)
-{
-    for (auto& l : lstm_)
-        applyInferBackendLstm(*l, backend, qat);
-    applyInferBackendLinear(head_, backend, qat);
+    std::vector<NamedChild> v = {{"emb", &emb_}};
+    for (size_t i = 0; i < lstm_.size(); ++i)
+        v.push_back({"lstm" + std::to_string(i), lstm_[i].get()});
+    v.push_back({"head", &head_});
+    return v;
 }
 
 } // namespace mixq

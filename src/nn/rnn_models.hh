@@ -3,8 +3,11 @@
  * RNN task models for Table VI's three applications: an LSTM language
  * model (perplexity, PTB stand-in), a GRU frame tagger (PER, TIMIT
  * stand-in) and an LSTM sequence classifier (accuracy, IMDB
- * stand-in). Each exposes its parameter list so the model-agnostic
- * QatContext can attach ADMM quantization.
+ * stand-in). All three are Modules: their cells and heads register in
+ * the named state tree ("emb", "lstm0"..., "head"), so parameter
+ * collection, activation-quantizer setup, backend selection
+ * (infer/session.hh) and serialization (serial/) run the same
+ * tree walks as the CNN models instead of per-model helpers.
  */
 
 #ifndef MIXQ_NN_RNN_MODELS_HH
@@ -18,9 +21,6 @@
 
 namespace mixq {
 
-enum class InferBackend;
-class QatContext;
-
 /** One BPTT batch of a language-model corpus: ids are [T, N] grids. */
 struct LmBatch
 {
@@ -30,7 +30,7 @@ struct LmBatch
 };
 
 /** Word-level LSTM language model: Embedding -> LSTM stack -> FC. */
-class LstmLm
+class LstmLm : public Module
 {
   public:
     LstmLm(size_t vocab, size_t embed, size_t hidden, size_t layers,
@@ -39,12 +39,13 @@ class LstmLm
     /** Returns logits [T*N, V]. */
     Tensor forward(const std::vector<int>& ids, size_t t, size_t n,
                    bool train);
-    void backward(const Tensor& dlogits);
 
-    std::vector<Param*> params();
-    void setActQuant(int bits, bool enable);
-    /** Route cells + head onto an inference backend (infer/session.hh). */
-    void applyInferBackend(InferBackend backend, const QatContext* qat);
+    /** Module entry point: @p x is a [T, N] float grid of token ids. */
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& dlogits) override;
+    std::vector<Module*> children() override;
+    std::vector<NamedChild> namedChildren() override;
+
     size_t vocab() const { return vocab_; }
 
   private:
@@ -56,20 +57,18 @@ class LstmLm
 };
 
 /** GRU frame tagger over real-valued feature streams. */
-class GruTagger
+class GruTagger : public Module
 {
   public:
     GruTagger(size_t features, size_t hidden, size_t layers,
               size_t phonemes, Rng& rng);
 
     /** x is [T, N, F]; returns frame logits [T*N, P]. */
-    Tensor forward(const Tensor& x, bool train);
-    void backward(const Tensor& dlogits);
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& dlogits) override;
+    std::vector<Module*> children() override;
+    std::vector<NamedChild> namedChildren() override;
 
-    std::vector<Param*> params();
-    void setActQuant(int bits, bool enable);
-    /** Route cells + head onto an inference backend (infer/session.hh). */
-    void applyInferBackend(InferBackend backend, const QatContext* qat);
     size_t phonemes() const { return phonemes_; }
 
   private:
@@ -80,7 +79,7 @@ class GruTagger
 };
 
 /** LSTM sequence classifier (final hidden state -> FC). */
-class LstmClassifier
+class LstmClassifier : public Module
 {
   public:
     LstmClassifier(size_t vocab, size_t embed, size_t hidden,
@@ -89,12 +88,12 @@ class LstmClassifier
     /** Returns logits [N, classes]. */
     Tensor forward(const std::vector<int>& ids, size_t t, size_t n,
                    bool train);
-    void backward(const Tensor& dlogits);
 
-    std::vector<Param*> params();
-    void setActQuant(int bits, bool enable);
-    /** Route cells + head onto an inference backend (infer/session.hh). */
-    void applyInferBackend(InferBackend backend, const QatContext* qat);
+    /** Module entry point: @p x is a [T, N] float grid of token ids. */
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& dlogits) override;
+    std::vector<Module*> children() override;
+    std::vector<NamedChild> namedChildren() override;
 
   private:
     Embedding emb_;

@@ -91,7 +91,7 @@ QatContext::makeBiasedProj(Entry* e)
 }
 
 void
-QatContext::attach(const std::vector<Param*>& params)
+QatContext::registerEntries(const std::vector<Param*>& params)
 {
     MIXQ_ASSERT(entries_.empty(), "QatContext: already attached");
     for (Param* p : params) {
@@ -111,8 +111,37 @@ QatContext::attach(const std::vector<Param*>& params)
     } else {
         levelSet(cfg_.scheme, cfg_.bits);
     }
+}
+
+void
+QatContext::attach(const std::vector<Param*>& params)
+{
+    registerEntries(params);
     for (Entry& e : entries_)
         e.admm.init(e.p->w.span(), makeProj(&e), cfg_.rho);
+}
+
+void
+QatContext::attachForRestore(const std::vector<Param*>& params)
+{
+    registerEntries(params);
+}
+
+void
+QatContext::restoreEntryState(Param* p, std::span<const float> z,
+                              std::span<const float> u,
+                              MatrixQuantResult proj)
+{
+    for (Entry& e : entries_) {
+        if (e.p != p)
+            continue;
+        MIXQ_ASSERT(z.size() == p->w.size() && u.size() == z.size(),
+                    "QatContext: restored ADMM state size mismatch");
+        e.admm.restore(z, u, cfg_.rho);
+        e.proj = std::move(proj);
+        return;
+    }
+    panic("QatContext: restoring state for an unregistered parameter");
 }
 
 void

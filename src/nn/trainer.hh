@@ -74,6 +74,23 @@ class QatContext
     void attach(const std::vector<Param*>& params);
 
     /**
+     * Checkpoint-restore variant of attach(): register the
+     * quantizable params and warm the level-set caches, but run no
+     * initial projection — every entry's Z/U/projection is expected
+     * to arrive through restoreEntryState() from serialized records
+     * (serial/checkpoint.hh).
+     */
+    void attachForRestore(const std::vector<Param*>& params);
+
+    /** Fill one registered entry's serialized ADMM/projection state. */
+    void restoreEntryState(Param* p, std::span<const float> z,
+                           std::span<const float> u,
+                           MatrixQuantResult proj);
+
+    /** Restore the finalized flag (checkpoint load). */
+    void setFinalized(bool finalized) { finalized_ = finalized; }
+
+    /**
      * Per-epoch dual update (re-partitions rows under MSQ). Runs the
      * fused quantizeMatrixBiased pipeline per parameter: W + U
      * assembly, projection and the scaled-dual update in one parallel
@@ -114,6 +131,8 @@ class QatContext
   private:
     AdmmState::ProjectFn makeProj(Entry* e);
     AdmmState::BiasedProjectFn makeBiasedProj(Entry* e);
+    /** Shared registration half of attach()/attachForRestore(). */
+    void registerEntries(const std::vector<Param*>& params);
 
     QConfig cfg_;
     std::vector<Entry> entries_;

@@ -62,6 +62,19 @@ class ActFakeQuant
     void backwardSte(std::span<const float> x_pre,
                      std::span<float> grad) const;
 
+    /**
+     * Restore a serialized calibration snapshot (serial/checkpoint,
+     * serial/deploy): set the enable flag and the EMA state directly
+     * instead of replaying observations. Bits and signedness come
+     * from the constructor — they are architecture, not calibration.
+     */
+    void restore(bool enabled, bool calibrated, double alpha)
+    {
+        enabled_ = enabled;
+        calibrated_ = calibrated;
+        alpha_ = alpha;
+    }
+
     double alpha() const { return alpha_; }
     int bits() const { return bits_; }
     bool isSigned() const { return signed_; }

@@ -32,6 +32,17 @@ AdmmState::init(std::span<const float> w, const ProjectFn& proj,
 }
 
 void
+AdmmState::restore(std::span<const float> z, std::span<const float> u,
+                   double rho)
+{
+    MIXQ_ASSERT(z.size() == u.size() && !z.empty(),
+                "AdmmState: restore size mismatch");
+    rho_ = rho;
+    z_.assign(z.begin(), z.end());
+    u_.assign(u.begin(), u.end());
+}
+
+void
 AdmmState::epochUpdate(std::span<const float> w,
                        const BiasedProjectFn& proj)
 {

@@ -60,6 +60,14 @@ class AdmmState
               double rho);
 
     /**
+     * Restore serialized state (checkpoint load): overwrite Z and U
+     * with saved values of equal size and reset rho. Replaces init()
+     * for a state whose training history lives in a checkpoint.
+     */
+    void restore(std::span<const float> z, std::span<const float> u,
+                 double rho);
+
+    /**
      * Fused per-epoch dual update: the projector receives (W, U, Z)
      * and performs Z = proj(W + U); U = W - Z + U in one pass. This
      * method allocates nothing; with a quantizeMatrixBiased-backed

@@ -117,6 +117,23 @@ Sp2Codec::encodeRef(float value, float alpha) const
     return code;
 }
 
+Sp2Code
+Sp2Codec::codeForMagnitude(size_t idx) const
+{
+    MIXQ_ASSERT(idx < codeForInt_.size(),
+                "codeForMagnitude: index out of range");
+    return codeForInt_[idx];
+}
+
+size_t
+Sp2Codec::magnitudeIndex(int32_t intMag) const
+{
+    auto it = std::lower_bound(ints_.begin(), ints_.end(), intMag);
+    MIXQ_ASSERT(it != ints_.end() && *it == intMag,
+                "magnitudeIndex: magnitude not representable");
+    return size_t(it - ints_.begin());
+}
+
 float
 Sp2Codec::decode(const Sp2Code& code, float alpha) const
 {

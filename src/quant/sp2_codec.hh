@@ -57,6 +57,21 @@ class Sp2Codec
     const std::vector<int32_t>& intMagnitudes() const { return ints_; }
 
     /**
+     * Canonical (positive-sign) code of intMagnitudes()[idx]. The
+     * deploy artifact stores SP2 weights as sign + magnitude-index
+     * fields; this is the decode side of that packing, returning the
+     * same code encode() would pick for the dequantized value.
+     */
+    Sp2Code codeForMagnitude(size_t idx) const;
+
+    /**
+     * Index of @p intMag in intMagnitudes(); panics when the
+     * magnitude is not representable (the encode side of the deploy
+     * artifact's sign + magnitude-index packing).
+     */
+    size_t magnitudeIndex(int32_t intMag) const;
+
+    /**
      * Encode a dequantized weight value (must be alpha * level for a
      * level of the m-bit SP2 set, within tolerance). Routed through
      * the cached LevelSet's branchless boundary search (the same

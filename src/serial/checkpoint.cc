@@ -1,0 +1,170 @@
+#include "serial/checkpoint.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "serial/record_io.hh"
+#include "serial/state_records.hh"
+#include "util/logging.hh"
+
+namespace mixq {
+
+namespace {
+
+constexpr const char* kMagic = "MIXQCKPT";
+constexpr uint32_t kVersion = 1;
+constexpr const char* kKind = "checkpoint";
+
+} // namespace
+
+void
+saveCheckpoint(const std::string& path, Module& model,
+               const QatContext* qat)
+{
+    RecordWriter w(path, kMagic, kVersion);
+    std::vector<NamedParam> named = namedParams(model);
+
+    for (const NamedParam& np : named) {
+        std::vector<uint64_t> shape = recShape(np.p->w);
+        w.addF32("param/" + np.path, shape,
+                 {np.p->w.data(), np.p->w.size()});
+    }
+
+    addStateRecords(w, model);
+
+    if (qat) {
+        const QConfig& c = qat->config();
+        double cfg[9] = {double(int(c.scheme)), double(c.bits),
+                         c.prSp2, double(int(c.policy)),
+                         double(int(c.granularity)),
+                         c.quantizeActivations ? 1.0 : 0.0,
+                         double(c.actBits), c.rho,
+                         qat->finalized() ? 1.0 : 0.0};
+        uint64_t nine = 9;
+        w.addF64("qat/config", {&nine, 1}, cfg);
+
+        std::unordered_map<const Param*, std::string> pathOf;
+        for (const NamedParam& np : named)
+            pathOf[np.p] = np.path;
+        for (const QatContext::Entry& e : qat->entries()) {
+            auto it = pathOf.find(e.p);
+            MIXQ_ASSERT(it != pathOf.end(),
+                        "saveCheckpoint: QAT context is attached to a "
+                        "parameter outside this model");
+            MIXQ_ASSERT(e.admm.initialized(),
+                        "saveCheckpoint: QAT context was never "
+                        "attached (no ADMM state to save)");
+            MIXQ_ASSERT(e.proj.rowScheme.size() == e.p->qRows &&
+                            e.proj.rowAlpha.size() == e.p->qRows,
+                        "saveCheckpoint: projection metadata does not "
+                        "cover every row");
+            const std::string& pp = it->second;
+            uint64_t n = e.p->w.size();
+            uint64_t rows = e.p->qRows;
+            w.addF32("qat/" + pp + ".z", {&n, 1}, e.admm.z());
+            w.addF32("qat/" + pp + ".u", {&n, 1}, e.admm.u());
+            w.addF32("qat/" + pp + ".alpha", {&rows, 1},
+                     e.proj.rowAlpha);
+            std::vector<uint8_t> sch(e.proj.rowScheme.size());
+            for (size_t i = 0; i < sch.size(); ++i)
+                sch[i] = uint8_t(int(e.proj.rowScheme[i]));
+            w.addU8("qat/" + pp + ".scheme", {&rows, 1}, sch);
+            double meta[2] = {e.proj.threshold,
+                              double(e.proj.numSp2)};
+            uint64_t two = 2;
+            w.addF64("qat/" + pp + ".meta", {&two, 1}, meta);
+        }
+    }
+    w.close();
+}
+
+CheckpointLoadResult
+loadCheckpoint(const std::string& path, Module& model)
+{
+    RecordFile f(path, kMagic, kVersion, kKind);
+    CheckpointLoadResult res;
+    std::vector<NamedParam> named = namedParams(model);
+
+    // Strict both ways: every model param needs a record, and a file
+    // with leftover param records was written from a different
+    // architecture — catch that instead of silently ignoring it.
+    size_t paramRecs = 0;
+    for (const Record& r : f.records())
+        if (r.name.rfind("param/", 0) == 0)
+            ++paramRecs;
+    if (paramRecs != named.size())
+        fatal(f.path() + ": checkpoint holds " +
+              std::to_string(paramRecs) + " parameters but the model "
+              "has " + std::to_string(named.size()) +
+              " — the file does not match this model");
+
+    for (const NamedParam& np : named) {
+        const Record& r = f.require("param/" + np.path);
+        recCheckElems(f, r, np.p->w.size());
+        std::span<const float> v = recF32(f, r);
+        std::memcpy(np.p->w.data(), v.data(),
+                    v.size() * sizeof(float));
+        np.p->noteUpdated();
+    }
+    res.paramsLoaded = named.size();
+
+    restoreStateRecords(f, model);
+
+    if (const Record* rc = f.find("qat/config")) {
+        std::span<const double> v = recF64(f, *rc, 9);
+        int scheme = int(v[0]), policy = int(v[3]), gran = int(v[4]);
+        if (scheme < 0 || scheme > int(QuantScheme::Mixed) ||
+            policy < 0 || policy > int(PartitionPolicy::Inverted) ||
+            gran < 0 || gran > int(Granularity::PerRow))
+            fatal(f.path() + ": qat/config holds out-of-range enum "
+                  "values — the checkpoint file is corrupted");
+        QConfig c;
+        c.scheme = QuantScheme(scheme);
+        c.bits = int(v[1]);
+        c.prSp2 = v[2];
+        c.policy = PartitionPolicy(policy);
+        c.granularity = Granularity(gran);
+        c.quantizeActivations = v[5] != 0.0;
+        c.actBits = int(v[6]);
+        c.rho = v[7];
+
+        auto qat = std::make_unique<QatContext>(c);
+        qat->attachForRestore(model.params());
+        for (const NamedParam& np : named) {
+            if (!np.p->quantizable())
+                continue;
+            const Record& rz = f.require("qat/" + np.path + ".z");
+            const Record& ru = f.require("qat/" + np.path + ".u");
+            const Record& ra = f.require("qat/" + np.path + ".alpha");
+            const Record& rs = f.require("qat/" + np.path + ".scheme");
+            const Record& rm = f.require("qat/" + np.path + ".meta");
+            recCheckElems(f, rz, np.p->w.size());
+            recCheckElems(f, ru, np.p->w.size());
+            recCheckElems(f, ra, np.p->qRows);
+            recCheckElems(f, rs, np.p->qRows);
+
+            MatrixQuantResult proj;
+            std::span<const float> alpha = recF32(f, ra);
+            proj.rowAlpha.assign(alpha.begin(), alpha.end());
+            proj.rowScheme.resize(rs.elems());
+            for (size_t i = 0; i < rs.elems(); ++i) {
+                uint8_t s = rs.u8()[i];
+                if (s > uint8_t(QuantScheme::Mixed))
+                    fatal(f.path() + ": record \"" + rs.name +
+                          "\" holds an unknown scheme code — the "
+                          "checkpoint file is corrupted");
+                proj.rowScheme[i] = QuantScheme(s);
+            }
+            std::span<const double> meta = recF64(f, rm, 2);
+            proj.threshold = meta[0];
+            proj.numSp2 = size_t(meta[1]);
+            qat->restoreEntryState(np.p, recF32(f, rz), recF32(f, ru),
+                                   std::move(proj));
+        }
+        qat->setFinalized(v[8] != 0.0);
+        res.qat = std::move(qat);
+    }
+    return res;
+}
+
+} // namespace mixq

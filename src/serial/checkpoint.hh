@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Full-precision training checkpoints ("MIXQCKPT"): every Param
+ * tensor, the BatchNorm running statistics, every activation
+ * quantizer's calibration and — when a QatContext is handed in — the
+ * complete ADMM state (QConfig, per-parameter Z/U, the latest
+ * projection metadata). A load therefore warm-restarts training
+ * exactly: trainClassifier() resumed from a checkpoint reproduces the
+ * loss trajectory of the uninterrupted run bit for bit.
+ *
+ * Records are keyed on named-state-tree paths (nn/module.hh), so the
+ * loading process only needs to build a structurally equal model; the
+ * checkpoint carries no architecture. For the inference-only
+ * counterpart that ships bit-packed codes instead of floats, see
+ * serial/deploy.hh.
+ */
+
+#ifndef MIXQ_SERIAL_CHECKPOINT_HH
+#define MIXQ_SERIAL_CHECKPOINT_HH
+
+#include <memory>
+#include <string>
+
+#include "nn/module.hh"
+#include "nn/trainer.hh"
+
+namespace mixq {
+
+/**
+ * Write a checkpoint of @p model to @p path. With @p qat non-null the
+ * context's QConfig and per-parameter ADMM state are included, so the
+ * restored run can keep training mid-ADMM; the context must be
+ * attached to this model's parameters.
+ */
+void saveCheckpoint(const std::string& path, Module& model,
+                    const QatContext* qat = nullptr);
+
+/** What loadCheckpoint() restored. */
+struct CheckpointLoadResult
+{
+    /** Number of Param tensors overwritten from the file. */
+    size_t paramsLoaded = 0;
+    /**
+     * Reconstructed QAT context (null when the checkpoint was saved
+     * without one): attached to @p model's parameters with Z/U and
+     * projection state restored from the file — hand it straight back
+     * to trainClassifier() to resume.
+     */
+    std::unique_ptr<QatContext> qat;
+};
+
+/**
+ * Restore @p model (and its quant state) from a checkpoint written by
+ * saveCheckpoint(). The model must be structurally identical to the
+ * saved one; any mismatch — missing or extra parameters, different
+ * shapes, a foreign/corrupted/truncated file — is fatal() with a
+ * message naming the file and the offending record.
+ */
+CheckpointLoadResult loadCheckpoint(const std::string& path,
+                                    Module& model);
+
+} // namespace mixq
+
+#endif // MIXQ_SERIAL_CHECKPOINT_HH

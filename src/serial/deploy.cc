@@ -1,0 +1,383 @@
+#include "serial/deploy.hh"
+
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "infer/qpack.hh"
+#include "nn/layers.hh"
+#include "nn/rnn.hh"
+#include "quant/sp2_codec.hh"
+#include "serial/record_io.hh"
+#include "serial/state_records.hh"
+#include "util/logging.hh"
+
+namespace mixq {
+
+namespace {
+
+constexpr const char* kMagic = "MIXQDEPL";
+constexpr uint32_t kVersion = 1;
+constexpr const char* kKind = "deploy artifact";
+
+/*
+ * One "qw/<param path>" record packs a quantized weight matrix as
+ *
+ *   u32 rows | u32 cols | u32 bits
+ *   scheme bitmap, ceil(rows/8) bytes (bit r set = SP2 row)
+ *   f32 rowAlpha[rows]
+ *   rows x rowBytes code bytes, rowBytes = ceil(cols * bits / 8)
+ *
+ * Each element is one `bits`-wide little-endian field per column,
+ * rows byte-aligned: MSB = sign (1 = negative), low bits-1 bits =
+ * the SP2 magnitude index (Sp2Codec::intMagnitudes order) or the
+ * Fixed level magnitude |k|. At 4 bits that is 4 bits per weight
+ * plus one f32 scale per row — the artifact-vs-checkpoint size
+ * budget the CI check pins.
+ */
+
+void
+putField(std::vector<uint8_t>& buf, size_t base, size_t idx, int bits,
+         uint32_t field)
+{
+    size_t ofs = idx * size_t(bits);
+    size_t byte = base + (ofs >> 3);
+    int shift = int(ofs & 7);
+    buf[byte] |= uint8_t((field << shift) & 0xffu);
+    if (shift + bits > 8)
+        buf[byte + 1] |= uint8_t(field >> (8 - shift));
+}
+
+uint32_t
+getField(std::span<const uint8_t> buf, size_t base, size_t idx,
+         int bits)
+{
+    size_t ofs = idx * size_t(bits);
+    size_t byte = base + (ofs >> 3);
+    int shift = int(ofs & 7);
+    uint32_t v = uint32_t(buf[byte]) >> shift;
+    if (shift + bits > 8)
+        v |= uint32_t(buf[byte + 1]) << (8 - shift);
+    return v & ((1u << bits) - 1);
+}
+
+std::vector<uint8_t>
+packPayload(const PackedQMat& pk)
+{
+    size_t rows = pk.rows(), cols = pk.cols();
+    int bits = pk.bits();
+    Sp2Codec codec(bits);
+    size_t bitmapBytes = (rows + 7) / 8;
+    size_t rowBytes = (cols * size_t(bits) + 7) / 8;
+    std::vector<uint8_t> out(
+        12 + bitmapBytes + 4 * rows + rows * rowBytes, 0);
+
+    uint32_t hdr[3] = {uint32_t(rows), uint32_t(cols),
+                       uint32_t(bits)};
+    std::memcpy(out.data(), hdr, sizeof(hdr));
+    std::vector<float> alpha(rows);
+    for (size_t r = 0; r < rows; ++r)
+        alpha[r] = pk.rowAlpha(r);
+    std::memcpy(out.data() + 12 + bitmapBytes, alpha.data(),
+                4 * rows);
+
+    const uint32_t signBit = 1u << (bits - 1);
+    size_t codesBase = 12 + bitmapBytes + 4 * rows;
+    for (size_t r = 0; r < rows; ++r) {
+        bool sp2row = pk.rowScheme(r) == QuantScheme::Sp2;
+        if (sp2row)
+            out[12 + (r >> 3)] |= uint8_t(1u << (r & 7));
+        size_t base = codesBase + r * rowBytes;
+        for (size_t c = 0; c < cols; ++c) {
+            uint32_t field;
+            if (sp2row) {
+                const Sp2Code& code = pk.sp2Codes()[r * cols + c];
+                uint32_t idx = uint32_t(
+                    codec.magnitudeIndex(code.intMagnitude()));
+                MIXQ_ASSERT(idx < signBit,
+                            "deploy: SP2 magnitude index overflows "
+                            "the code field");
+                field = idx | (code.sign < 0 ? signBit : 0u);
+            } else {
+                int32_t k = pk.fixedCodes()[r * cols + c];
+                uint32_t mag = uint32_t(k < 0 ? -k : k);
+                MIXQ_ASSERT(mag < signBit,
+                            "deploy: fixed level overflows the code "
+                            "field");
+                field = mag | (k < 0 ? signBit : 0u);
+            }
+            putField(out, base, c, bits, field);
+        }
+    }
+    return out;
+}
+
+PackedQMat
+decodePayload(const RecordFile& f, const Record& r, size_t wantRows,
+              size_t wantCols)
+{
+    auto corrupt = [&](const std::string& why) {
+        fatal(f.path() + ": record \"" + r.name + "\" " + why +
+              " — the deploy artifact file is corrupted");
+    };
+    std::span<const uint8_t> b = r.u8();
+    if (r.dtype != RecDType::U8 || b.size() < 12)
+        corrupt("is not a packed weight record");
+    uint32_t hdr[3];
+    std::memcpy(hdr, b.data(), sizeof(hdr));
+    size_t rows = hdr[0], cols = hdr[1];
+    int bits = int(hdr[2]);
+    if (bits < 2 || bits > 8)
+        corrupt("holds an unsupported bit width");
+    if (rows != wantRows || cols != wantCols)
+        fatal(f.path() + ": record \"" + r.name + "\" packs a " +
+              std::to_string(rows) + "x" + std::to_string(cols) +
+              " matrix but the model expects " +
+              std::to_string(wantRows) + "x" +
+              std::to_string(wantCols) +
+              " — the file does not match this model");
+    size_t bitmapBytes = (rows + 7) / 8;
+    size_t rowBytes = (cols * size_t(bits) + 7) / 8;
+    if (b.size() != 12 + bitmapBytes + 4 * rows + rows * rowBytes)
+        corrupt("has a payload size inconsistent with its header");
+
+    Sp2Codec codec(bits);
+    const size_t numMags = codec.intMagnitudes().size();
+    std::vector<QuantScheme> scheme(rows);
+    std::vector<float> alpha(rows);
+    std::memcpy(alpha.data(), b.data() + 12 + bitmapBytes, 4 * rows);
+    std::vector<Sp2Code> sp2(rows * cols);
+    std::vector<int8_t> fixed(rows * cols, 0);
+
+    const uint32_t signBit = 1u << (bits - 1);
+    size_t codesBase = 12 + bitmapBytes + 4 * rows;
+    for (size_t row = 0; row < rows; ++row) {
+        bool sp2row = (b[12 + (row >> 3)] >> (row & 7)) & 1u;
+        scheme[row] = sp2row ? QuantScheme::Sp2 : QuantScheme::Fixed;
+        size_t base = codesBase + row * rowBytes;
+        for (size_t c = 0; c < cols; ++c) {
+            uint32_t field = getField(b, base, c, bits);
+            uint32_t mag = field & (signBit - 1);
+            bool neg = (field & signBit) != 0;
+            // The writer encodes zero with a clear sign bit (the
+            // canonical codes have no negative zero), so a set bit on
+            // a zero magnitude can only be damage.
+            if (neg && mag == 0)
+                corrupt("encodes a negative zero weight");
+            if (sp2row) {
+                if (mag >= numMags)
+                    corrupt("holds an SP2 magnitude index outside "
+                            "the codec's table");
+                Sp2Code code = codec.codeForMagnitude(mag);
+                if (neg)
+                    code.sign = -1;
+                sp2[row * cols + c] = code;
+            } else {
+                fixed[row * cols + c] =
+                    int8_t(neg ? -int32_t(mag) : int32_t(mag));
+            }
+        }
+    }
+    PackedQMat pk;
+    pk.loadFromCodes(rows, cols, bits, scheme, alpha, sp2, fixed);
+    return pk;
+}
+
+/** The module's own Param with the given leaf name, or null. */
+Param*
+ownParam(Module& m, const char* name)
+{
+    std::vector<Param*> own;
+    m.ownParams(own);
+    for (Param* p : own)
+        if (p->name == name)
+            return p;
+    return nullptr;
+}
+
+} // namespace
+
+void
+saveDeployArtifact(const std::string& path, Module& model,
+                   const QatContext& qat)
+{
+    if (!qat.finalized())
+        fatal("deploy artifact requires a finalized QAT context — "
+              "weights must be hard-projected before export");
+    if (qat.config().scheme == QuantScheme::Pow2)
+        fatal("Pow2 weights have no packed integer deploy form");
+
+    RecordWriter w(path, kMagic, kVersion);
+    std::vector<NamedParam> named = namedParams(model);
+    std::unordered_map<const Param*, std::string> pathOf;
+    for (const NamedParam& np : named)
+        pathOf[np.p] = np.path;
+    std::unordered_map<const Param*, const QatContext::Entry*> entryOf;
+    for (const QatContext::Entry& e : qat.entries())
+        entryOf[e.p] = &e;
+    std::unordered_set<const Param*> packedParams;
+    const int bits = qat.config().bits;
+
+    auto addPacked = [&](Param& p) {
+        auto it = entryOf.find(&p);
+        if (it == entryOf.end())
+            fatal("parameter \"" + pathOf[&p] + "\" was not "
+                  "quantized by the given QAT context — cannot "
+                  "export its packed codes");
+        const QatContext::Entry& e = *it->second;
+        // Encode through the same pack the in-process backend runs
+        // on: the saved codes are byte for byte the codes a live
+        // session would execute, which is what makes the served
+        // forward bit-identical.
+        PackedQMat pk;
+        pk.ensure(p.w.data(), p.qRows, p.qCols, p.version,
+                  e.proj.rowScheme, e.proj.rowAlpha, bits);
+        std::vector<uint8_t> payload = packPayload(pk);
+        uint64_t n = payload.size();
+        w.addU8("qw/" + pathOf[&p], {&n, 1}, payload);
+        packedParams.insert(&p);
+    };
+    auto requireCalibrated = [&](const ActFakeQuant& q,
+                                 const std::string& mp) {
+        if (!q.enabled() || !q.calibrated())
+            fatal("activation quantizer of \"" + mp + "\" is not "
+                  "calibrated — run a calibration forward pass "
+                  "before exporting the deploy artifact");
+    };
+
+    forEachNamedModule(model, [&](const std::string& mp, Module& m) {
+        if (auto* l = dynamic_cast<Linear*>(&m)) {
+            Param* p = ownParam(m, "linear.w");
+            if (p && p->quantizable()) {
+                requireCalibrated(l->actQuant(), mp);
+                addPacked(*p);
+            }
+        } else if (auto* c = dynamic_cast<Conv2d*>(&m)) {
+            Param* p = ownParam(m, "conv.w");
+            if (p && p->quantizable()) {
+                requireCalibrated(c->actQuant(), mp);
+                addPacked(*p);
+            }
+        } else if (auto* ls = dynamic_cast<Lstm*>(&m)) {
+            requireCalibrated(ls->inputQuant(), mp);
+            requireCalibrated(ls->hiddenQuant(), mp);
+            addPacked(*ownParam(m, "lstm.wx"));
+            addPacked(*ownParam(m, "lstm.wh"));
+        } else if (auto* g = dynamic_cast<Gru*>(&m)) {
+            requireCalibrated(g->inputQuant(), mp);
+            requireCalibrated(g->hiddenQuant(), mp);
+            addPacked(*ownParam(m, "gru.wx"));
+            addPacked(*ownParam(m, "gru.wh"));
+        }
+    });
+    MIXQ_ASSERT(!packedParams.empty(),
+                "saveDeployArtifact: model has no int-capable "
+                "quantized weights");
+
+    // Float-served leftovers: biases, BN affine params, depthwise
+    // weights (already hard-projected by finalize), embeddings.
+    for (const NamedParam& np : named) {
+        if (packedParams.count(np.p))
+            continue;
+        std::vector<uint64_t> shape = recShape(np.p->w);
+        w.addF32("f/" + np.path, shape,
+                 {np.p->w.data(), np.p->w.size()});
+    }
+
+    addStateRecords(w, model);
+    w.close();
+}
+
+size_t
+loadDeployArtifact(const std::string& path, Module& model)
+{
+    RecordFile f(path, kMagic, kVersion, kKind);
+    std::vector<NamedParam> named = namedParams(model);
+    std::unordered_map<const Param*, std::string> pathOf;
+    for (const NamedParam& np : named)
+        pathOf[np.p] = np.path;
+    std::unordered_set<const Param*> packedParams;
+    size_t adopted = 0;
+
+    auto decodeFor = [&](Param& p) {
+        const Record& r = f.require("qw/" + pathOf[&p]);
+        PackedQMat pk = decodePayload(f, r, p.qRows, p.qCols);
+        packedParams.insert(&p);
+        ++adopted;
+        return pk;
+    };
+
+    forEachNamedModule(model, [&](const std::string& mp, Module& m) {
+        if (auto* l = dynamic_cast<Linear*>(&m)) {
+            Param* p = ownParam(m, "linear.w");
+            if (p && p->quantizable()) {
+                PackedQMat pk = decodeFor(*p);
+                int bits = pk.bits();
+                l->adoptDeployedWeights(std::move(pk), bits);
+            }
+        } else if (auto* c = dynamic_cast<Conv2d*>(&m)) {
+            Param* p = ownParam(m, "conv.w");
+            if (p && p->quantizable()) {
+                PackedQMat pk = decodeFor(*p);
+                int bits = pk.bits();
+                c->adoptDeployedWeights(std::move(pk), bits);
+            }
+        } else if (auto* ls = dynamic_cast<Lstm*>(&m)) {
+            PackedQMat wx = decodeFor(*ownParam(m, "lstm.wx"));
+            PackedQMat wh = decodeFor(*ownParam(m, "lstm.wh"));
+            if (wx.bits() != wh.bits())
+                fatal(f.path() + ": LSTM \"" + mp + "\" packs its "
+                      "input and recurrent matrices at different bit "
+                      "widths — the file does not match this model");
+            int bits = wx.bits();
+            ls->adoptDeployedWeights(std::move(wx), std::move(wh),
+                                     bits);
+        } else if (auto* g = dynamic_cast<Gru*>(&m)) {
+            PackedQMat wx = decodeFor(*ownParam(m, "gru.wx"));
+            PackedQMat wh = decodeFor(*ownParam(m, "gru.wh"));
+            if (wx.bits() != wh.bits())
+                fatal(f.path() + ": GRU \"" + mp + "\" packs its "
+                      "input and recurrent matrices at different bit "
+                      "widths — the file does not match this model");
+            int bits = wx.bits();
+            g->adoptDeployedWeights(std::move(wx), std::move(wh),
+                                    bits);
+        }
+    });
+
+    // Strict record accounting both ways, mirroring the checkpoint
+    // loader: leftover qw/ or f/ records mean a different model.
+    size_t qwRecs = 0, fRecs = 0;
+    for (const Record& r : f.records()) {
+        if (r.name.rfind("qw/", 0) == 0)
+            ++qwRecs;
+        else if (r.name.rfind("f/", 0) == 0)
+            ++fRecs;
+    }
+    if (qwRecs != adopted)
+        fatal(f.path() + ": artifact packs " + std::to_string(qwRecs) +
+              " weight matrices but the model adopts " +
+              std::to_string(adopted) +
+              " — the file does not match this model");
+    if (fRecs != named.size() - packedParams.size())
+        fatal(f.path() + ": artifact holds " + std::to_string(fRecs) +
+              " float tensors but the model expects " +
+              std::to_string(named.size() - packedParams.size()) +
+              " — the file does not match this model");
+
+    for (const NamedParam& np : named) {
+        if (packedParams.count(np.p))
+            continue;
+        const Record& r = f.require("f/" + np.path);
+        recCheckElems(f, r, np.p->w.size());
+        std::span<const float> v = recF32(f, r);
+        std::memcpy(np.p->w.data(), v.data(),
+                    v.size() * sizeof(float));
+        np.p->noteUpdated();
+    }
+
+    restoreStateRecords(f, model);
+    return adopted;
+}
+
+} // namespace mixq

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deploy artifacts ("MIXQDEPL"): the inference-only counterpart of
+ * the training checkpoint. Every int-capable quantized weight matrix
+ * (Linear and Conv2d weights, LSTM/GRU input and recurrent matrices)
+ * is stored as its *canonical integer codes*, bit-packed to the
+ * quantization width — a 4-bit matrix costs about 4 bits per weight
+ * plus one f32 scale per row — alongside the float state the integer
+ * backend still serves from (biases, BatchNorm constants, depthwise
+ * weights, embeddings) and every activation quantizer's calibration.
+ *
+ * Loading adopts the codes straight into locked PackedQMat panels
+ * (infer/qpack.hh loadFromCodes) via the layers' adoptDeployedWeights
+ * hooks: the process never holds float weights, a QatContext, or the
+ * quantizer — and because the panels are a pure function of the
+ * codes, the served integer forward is bit-identical to the
+ * in-process backend the codes were saved from. Records are keyed on
+ * named-state-tree paths, so the serving binary only rebuilds the
+ * architecture (see examples/serve_artifact.cpp).
+ */
+
+#ifndef MIXQ_SERIAL_DEPLOY_HH
+#define MIXQ_SERIAL_DEPLOY_HH
+
+#include <string>
+
+#include "nn/module.hh"
+#include "nn/trainer.hh"
+
+namespace mixq {
+
+/**
+ * Write the deploy artifact of @p model to @p path. @p qat must be
+ * finalized (weights hard-projected) and attached to this model's
+ * parameters; every int-capable layer's activation quantizer must be
+ * calibrated and enabled, since the integer backend rescales against
+ * those clip ranges. Pow2 configurations have no packed integer form
+ * and are rejected.
+ */
+void saveDeployArtifact(const std::string& path, Module& model,
+                        const QatContext& qat);
+
+/**
+ * Restore @p model for integer serving from a deploy artifact: adopt
+ * every packed weight matrix into its layer's locked PackedQMat,
+ * load the float-served state, and restore activation calibrations.
+ * The model must be structurally identical to the saved one; any
+ * mismatch or file damage is fatal() with a message naming the file
+ * and the offending record. Returns the number of weight matrices
+ * adopted. After this the model's int-capable layers run the integer
+ * backend unconditionally; float forward of those layers no longer
+ * exists in the process.
+ */
+size_t loadDeployArtifact(const std::string& path, Module& model);
+
+} // namespace mixq
+
+#endif // MIXQ_SERIAL_DEPLOY_HH

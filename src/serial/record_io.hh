@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Versioned binary record streams — the container format shared by
+ * the model checkpoint (serial/checkpoint.hh) and the deploy
+ * artifact (serial/deploy.hh).
+ *
+ * Layout: an 8-byte magic, a u32 format version, a u64 record count
+ * and a u64 FNV-1a checksum of the record region (both patched on
+ * close), followed by the records. Each record is
+ *
+ *   u32 name length | name bytes | u8 dtype | u8 rank |
+ *   u64 dims[rank]  | u64 payload bytes | payload
+ *
+ * Names are the dotted paths of the named state tree (nn/module.hh)
+ * under a short kind prefix ("param/blocks.0.conv1.w"), which makes
+ * every record self-identifying: loading matches records to a
+ * structurally equal model by path, never by position.
+ *
+ * All file errors — missing, foreign magic, unsupported version,
+ * truncation, checksum mismatch — are user-correctable and go
+ * through fatal() with a message naming the file and the problem.
+ */
+
+#ifndef MIXQ_SERIAL_RECORD_IO_HH
+#define MIXQ_SERIAL_RECORD_IO_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mixq {
+
+/** Element type of one record's payload. */
+enum class RecDType : uint8_t
+{
+    F32 = 0,
+    F64 = 1,
+    U8 = 2,
+};
+
+/** One named record read back from a stream. */
+struct Record
+{
+    std::string name;
+    RecDType dtype = RecDType::U8;
+    std::vector<uint64_t> shape;
+    std::vector<uint8_t> bytes;
+
+    /** Element count implied by the shape (1 for rank 0). */
+    size_t elems() const;
+
+    std::span<const float> f32() const;
+    std::span<const double> f64() const;
+    std::span<const uint8_t> u8() const { return bytes; }
+};
+
+/**
+ * Streaming writer. Records append in call order; close() (or the
+ * destructor) patches the record count and checksum into the header.
+ * Write failures (disk full, unwritable path) are fatal().
+ */
+class RecordWriter
+{
+  public:
+    /** @p magic must be exactly 8 bytes. */
+    RecordWriter(const std::string& path, const char* magic,
+                 uint32_t version);
+    ~RecordWriter();
+
+    RecordWriter(const RecordWriter&) = delete;
+    RecordWriter& operator=(const RecordWriter&) = delete;
+
+    /** Append one record; @p data is elems(shape) elements of dtype. */
+    void add(const std::string& name, RecDType dtype,
+             std::span<const uint64_t> shape, const void* data,
+             size_t dataBytes);
+
+    void addF32(const std::string& name,
+                std::span<const uint64_t> shape,
+                std::span<const float> v);
+    void addF64(const std::string& name,
+                std::span<const uint64_t> shape,
+                std::span<const double> v);
+    void addU8(const std::string& name,
+               std::span<const uint64_t> shape,
+               std::span<const uint8_t> v);
+
+    /** Patch the header and close the file (idempotent). */
+    void close();
+
+  private:
+    void put(const void* data, size_t n);
+
+    std::string path_;
+    std::FILE* f_ = nullptr;
+    uint64_t count_ = 0;
+    uint64_t checksum_;
+};
+
+/**
+ * Whole-file reader: opens, validates magic/version/structure/
+ * checksum (fatal() on any mismatch) and holds every record in
+ * memory for by-name lookup.
+ */
+class RecordFile
+{
+  public:
+    /** @p kind names the format in error messages ("checkpoint"). */
+    RecordFile(const std::string& path, const char* magic,
+               uint32_t version, const std::string& kind);
+
+    const std::vector<Record>& records() const { return recs_; }
+
+    /** Find by name; null when absent. */
+    const Record* find(const std::string& name) const;
+
+    /** Find by name; fatal() with the file path when absent. */
+    const Record& require(const std::string& name) const;
+
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::vector<Record> recs_;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_SERIAL_RECORD_IO_HH

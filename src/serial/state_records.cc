@@ -1,0 +1,151 @@
+#include "serial/state_records.hh"
+
+#include "nn/layers.hh"
+#include "nn/rnn.hh"
+#include "util/logging.hh"
+
+namespace mixq {
+
+namespace {
+
+/** One activation-quantizer calibration record: F64
+    [bits, enabled, calibrated, alpha]. */
+void
+addActq(RecordWriter& w, const std::string& name,
+        const ActFakeQuant& q)
+{
+    double v[4] = {double(q.bits()), q.enabled() ? 1.0 : 0.0,
+                   q.calibrated() ? 1.0 : 0.0, q.alpha()};
+    uint64_t four = 4;
+    w.addF64(name, {&four, 1}, v);
+}
+
+struct ActqState
+{
+    int bits;
+    bool enabled, calibrated;
+    double alpha;
+};
+
+ActqState
+readActq(const RecordFile& f, const std::string& name)
+{
+    const Record& r = f.require(name);
+    std::span<const double> v = recF64(f, r, 4);
+    return {int(v[0]), v[1] != 0.0, v[2] != 0.0, v[3]};
+}
+
+} // namespace
+
+std::vector<uint64_t>
+recShape(const Tensor& t)
+{
+    std::vector<uint64_t> s;
+    for (size_t d : t.shape())
+        s.push_back(uint64_t(d));
+    return s;
+}
+
+std::span<const float>
+recF32(const RecordFile& f, const Record& r)
+{
+    if (r.dtype != RecDType::F32)
+        fatal(f.path() + ": record \"" + r.name + "\" has the wrong "
+              "dtype — the file does not match this model");
+    return r.f32();
+}
+
+std::span<const double>
+recF64(const RecordFile& f, const Record& r, size_t elems)
+{
+    if (r.dtype != RecDType::F64 || r.elems() != elems)
+        fatal(f.path() + ": record \"" + r.name + "\" has the wrong "
+              "dtype or size — the file does not match this model");
+    return r.f64();
+}
+
+void
+recCheckElems(const RecordFile& f, const Record& r, size_t elems)
+{
+    if (r.elems() != elems)
+        fatal(f.path() + ": record \"" + r.name + "\" holds " +
+              std::to_string(r.elems()) + " elements but the model "
+              "expects " + std::to_string(elems) +
+              " — the file does not match this model");
+}
+
+void
+addStateRecords(RecordWriter& w, Module& model)
+{
+    forEachNamedModule(model, [&](const std::string& mp, Module& m) {
+        if (auto* bn = dynamic_cast<BatchNorm2d*>(&m)) {
+            uint64_t ch = bn->runningMean().size();
+            w.addF32("bn/" + mp + ".mean", {&ch, 1},
+                     {bn->runningMean().data(), size_t(ch)});
+            w.addF32("bn/" + mp + ".var", {&ch, 1},
+                     {bn->runningVar().data(), size_t(ch)});
+        } else if (auto* l = dynamic_cast<Linear*>(&m)) {
+            addActq(w, "actq/" + mp, l->actQuant());
+        } else if (auto* c = dynamic_cast<Conv2d*>(&m)) {
+            addActq(w, "actq/" + mp, c->actQuant());
+        } else if (auto* d = dynamic_cast<DwConv2d*>(&m)) {
+            addActq(w, "actq/" + mp, d->actQuant());
+        } else if (auto* ls = dynamic_cast<Lstm*>(&m)) {
+            addActq(w, "actq/" + mp + ".x", ls->inputQuant());
+            addActq(w, "actq/" + mp + ".h", ls->hiddenQuant());
+        } else if (auto* g = dynamic_cast<Gru*>(&m)) {
+            addActq(w, "actq/" + mp + ".x", g->inputQuant());
+            addActq(w, "actq/" + mp + ".h", g->hiddenQuant());
+        }
+    });
+}
+
+void
+restoreStateRecords(const RecordFile& f, Module& model)
+{
+    forEachNamedModule(model, [&](const std::string& mp, Module& m) {
+        if (auto* bn = dynamic_cast<BatchNorm2d*>(&m)) {
+            const Record& rm = f.require("bn/" + mp + ".mean");
+            const Record& rv = f.require("bn/" + mp + ".var");
+            recCheckElems(f, rm, bn->runningMean().size());
+            recCheckElems(f, rv, bn->runningVar().size());
+            bn->restoreRunningStats(recF32(f, rm), recF32(f, rv));
+        } else if (dynamic_cast<Linear*>(&m) ||
+                   dynamic_cast<Conv2d*>(&m) ||
+                   dynamic_cast<DwConv2d*>(&m)) {
+            ActqState s = readActq(f, "actq/" + mp);
+            m.configureOwnActQuant(s.bits, s.enabled);
+            ActFakeQuant* q = nullptr;
+            if (auto* l = dynamic_cast<Linear*>(&m))
+                q = &l->actQuant();
+            else if (auto* c = dynamic_cast<Conv2d*>(&m))
+                q = &c->actQuant();
+            else
+                q = &dynamic_cast<DwConv2d&>(m).actQuant();
+            q->restore(s.enabled, s.calibrated, s.alpha);
+        } else if (dynamic_cast<Lstm*>(&m) ||
+                   dynamic_cast<Gru*>(&m)) {
+            ActqState sx = readActq(f, "actq/" + mp + ".x");
+            ActqState sh = readActq(f, "actq/" + mp + ".h");
+            if (sx.bits != sh.bits)
+                fatal(f.path() + ": RNN cell \"" + mp + "\" has "
+                      "mismatched x/h quantizer widths — the file is "
+                      "corrupted or does not match this model");
+            m.configureOwnActQuant(sx.bits, sx.enabled);
+            if (auto* ls = dynamic_cast<Lstm*>(&m)) {
+                ls->inputQuant().restore(sx.enabled, sx.calibrated,
+                                         sx.alpha);
+                ls->hiddenQuant().restore(sh.enabled, sh.calibrated,
+                                          sh.alpha);
+            } else {
+                auto& g = dynamic_cast<Gru&>(m);
+                g.inputQuant().restore(sx.enabled, sx.calibrated,
+                                       sx.alpha);
+                g.hiddenQuant().restore(sh.enabled, sh.calibrated,
+                                        sh.alpha);
+            }
+        }
+    });
+}
+
+} // namespace mixq

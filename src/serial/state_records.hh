@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared record encodings of the serialization layer: the helpers
+ * checkpoint (serial/checkpoint.hh) and deploy artifact
+ * (serial/deploy.hh) writers/loaders have in common — dtype/shape
+ * validation that fatal()s with the offending record's name, and the
+ * "bn/<path>.mean|.var" + "actq/<path>[.x|.h]" record walks for
+ * BatchNorm running statistics and activation-quantizer calibrations.
+ * Both formats emit these records identically, so a model restored
+ * from either serves activations against the same clip ranges.
+ */
+
+#ifndef MIXQ_SERIAL_STATE_RECORDS_HH
+#define MIXQ_SERIAL_STATE_RECORDS_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/module.hh"
+#include "serial/record_io.hh"
+
+namespace mixq {
+
+/** Tensor shape as the u64 dims a record header stores. */
+std::vector<uint64_t> recShape(const Tensor& t);
+
+/**
+ * Payload accessors that validate against the *model*: a structurally
+ * valid file for a different architecture is a user mistake, so a
+ * dtype or element-count mismatch is fatal() naming the record, never
+ * an assert.
+ */
+std::span<const float> recF32(const RecordFile& f, const Record& r);
+std::span<const double> recF64(const RecordFile& f, const Record& r,
+                               size_t elems);
+void recCheckElems(const RecordFile& f, const Record& r, size_t elems);
+
+/**
+ * Append the BatchNorm running statistics and every activation
+ * quantizer's calibration ([bits, enabled, calibrated, alpha] per
+ * site; RNN cells save their input/hidden pair as ".x"/".h") for
+ * every module in @p model's named tree.
+ */
+void addStateRecords(RecordWriter& w, Module& model);
+
+/**
+ * Restore what addStateRecords() saved: running statistics via
+ * BatchNorm2d::restoreRunningStats and quantizer calibrations via
+ * configureOwnActQuant + ActFakeQuant::restore. Missing or mismatched
+ * records are fatal().
+ */
+void restoreStateRecords(const RecordFile& f, Module& model);
+
+} // namespace mixq
+
+#endif // MIXQ_SERIAL_STATE_RECORDS_HH

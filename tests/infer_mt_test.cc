@@ -116,7 +116,7 @@ TEST(InferMt, LstmLmIntBackendBitIdenticalAcrossThreadCounts)
             lm.forward(ids, t, n, true); // calibrate
             qat.finalize();
 
-            lm.applyInferBackend(InferBackend::Int, &qat);
+            applyInferBackend(lm, InferBackend::Int, &qat);
             Tensor y = lm.forward(ids, t, n, false);
             std::vector<std::vector<float>> out;
             out.emplace_back(y.data(), y.data() + y.size());
@@ -144,7 +144,7 @@ TEST(InferMt, GruTaggerIntBackendBitIdenticalAcrossThreadCounts)
             tagger.forward(x, true); // calibrate
             qat.finalize();
 
-            tagger.applyInferBackend(InferBackend::Int, &qat);
+            applyInferBackend(tagger, InferBackend::Int, &qat);
             Tensor y = tagger.forward(x, false);
             std::vector<std::vector<float>> out;
             out.emplace_back(y.data(), y.data() + y.size());

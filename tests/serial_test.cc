@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Serialization layer tests (src/serial/): the named state tree that
+ * keys every record, checkpoint save -> load round trips (bit-equal
+ * state, bit-equal forward, bit-identical loss-trajectory resume),
+ * deploy artifact round trips (served integer outputs bit-identical
+ * to the in-process backend, CNN and RNN), and the rejection paths —
+ * truncation, corruption, foreign magic, version and architecture
+ * mismatches must all die with a message naming the problem.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/synth_images.hh"
+#include "infer/session.hh"
+#include "nn/models.hh"
+#include "nn/rnn_models.hh"
+#include "nn/trainer.hh"
+#include "serial/checkpoint.hh"
+#include "serial/deploy.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+std::string
+tmpPath(const std::string& name)
+{
+    return testing::TempDir() + "mixq_serial_" + name;
+}
+
+std::vector<uint8_t>
+readAll(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long n = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> buf;
+    buf.resize(size_t(n));
+    EXPECT_EQ(std::fread(buf.data(), 1, buf.size(), f), buf.size());
+    std::fclose(f);
+    return buf;
+}
+
+void
+writeAll(const std::string& path, const std::vector<uint8_t>& buf)
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(buf.data(), 1, buf.size(), f), buf.size());
+    std::fclose(f);
+}
+
+void
+expectParamsBitEqual(Module& a, Module& b)
+{
+    auto pa = a.params(), pb = b.params();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) {
+        ASSERT_EQ(pa[i]->w.size(), pb[i]->w.size());
+        EXPECT_EQ(std::memcmp(pa[i]->w.data(), pb[i]->w.data(),
+                              pa[i]->w.size() * sizeof(float)),
+                  0)
+            << "param " << i << " (" << pa[i]->name << ") differs";
+    }
+}
+
+// ------------------------------------------------------------------
+// Named state tree
+// ------------------------------------------------------------------
+
+TEST(NamedTree, PathsAreUniqueAndOrderMatchesParams)
+{
+    Rng rng(3);
+    auto model = makeMiniResNet(10, rng, 8);
+    std::vector<NamedParam> named = namedParams(*model);
+    std::vector<Param*> flat = model->params();
+
+    ASSERT_EQ(named.size(), flat.size());
+    std::set<std::string> seen;
+    for (size_t i = 0; i < named.size(); ++i) {
+        EXPECT_EQ(named[i].p, flat[i])
+            << "named traversal must visit params in params() order";
+        EXPECT_TRUE(seen.insert(named[i].path).second)
+            << "duplicate path " << named[i].path;
+        EXPECT_EQ(findParam(*model, named[i].path), named[i].p);
+    }
+
+    // Sequential children are positional, block children semantic.
+    bool sawBlockPath = false;
+    for (const NamedParam& np : named)
+        sawBlockPath |= np.path.find("conv1.") != std::string::npos;
+    EXPECT_TRUE(sawBlockPath)
+        << "BasicBlock sub-modules should carry semantic names";
+    EXPECT_EQ(findParam(*model, "no.such.param"), nullptr);
+}
+
+TEST(NamedTree, RnnTaskModelsAreNamedModules)
+{
+    Rng rng(4);
+    LstmLm lm(20, 8, 12, 2, rng);
+    std::vector<NamedParam> named = namedParams(lm);
+    std::set<std::string> paths;
+    for (const NamedParam& np : named)
+        EXPECT_TRUE(paths.insert(np.path).second);
+    EXPECT_NE(findParam(lm, "emb.w"), nullptr);
+    EXPECT_NE(findParam(lm, "lstm0.wx"), nullptr);
+    EXPECT_NE(findParam(lm, "lstm1.wh"), nullptr);
+    EXPECT_NE(findParam(lm, "head.w"), nullptr);
+    EXPECT_EQ(named.size(), lm.params().size());
+}
+
+// ------------------------------------------------------------------
+// Checkpoint round trip
+// ------------------------------------------------------------------
+
+TEST(Checkpoint, RoundTripRestoresStateAndForwardBitIdentical)
+{
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 64, 1);
+    Rng rng(11);
+    auto model = makeTinyConvNet(train.numClasses, rng, 4);
+    QConfig qcfg;
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    TrainCfg cfg;
+    cfg.epochs = 2;
+    cfg.batch = 16;
+    trainClassifier(*model, train, cfg, &qat);
+
+    const std::string path = tmpPath("ckpt_roundtrip.bin");
+    saveCheckpoint(path, *model, &qat);
+
+    Rng rng2(99); // different init — everything must come from disk
+    auto loaded = makeTinyConvNet(train.numClasses, rng2, 4);
+    CheckpointLoadResult res = loadCheckpoint(path, *loaded);
+    EXPECT_EQ(res.paramsLoaded, loaded->params().size());
+    ASSERT_NE(res.qat, nullptr);
+
+    expectParamsBitEqual(*model, *loaded);
+
+    // Same eval forward, bit for bit (BN running stats + activation
+    // calibrations restored).
+    Tensor x = makeImageDataset(ImageTask::Easy, 8, 5).images;
+    Tensor y0 = model->forward(x, false);
+    Tensor y1 = loaded->forward(x, false);
+    ASSERT_EQ(y0.size(), y1.size());
+    EXPECT_EQ(std::memcmp(y0.data(), y1.data(),
+                          y0.size() * sizeof(float)),
+              0);
+
+    // Full ADMM state restored.
+    EXPECT_EQ(res.qat->finalized(), qat.finalized());
+    EXPECT_EQ(int(res.qat->config().scheme), int(qat.config().scheme));
+    EXPECT_EQ(res.qat->config().bits, qat.config().bits);
+    EXPECT_EQ(res.qat->config().rho, qat.config().rho);
+    ASSERT_EQ(res.qat->entries().size(), qat.entries().size());
+    for (size_t i = 0; i < qat.entries().size(); ++i) {
+        const auto& a = qat.entries()[i];
+        const auto& b = res.qat->entries()[i];
+        ASSERT_EQ(a.admm.z().size(), b.admm.z().size());
+        EXPECT_EQ(std::memcmp(a.admm.z().data(), b.admm.z().data(),
+                              a.admm.z().size() * sizeof(float)),
+                  0);
+        EXPECT_EQ(std::memcmp(a.admm.u().data(), b.admm.u().data(),
+                              a.admm.u().size() * sizeof(float)),
+                  0);
+        EXPECT_EQ(a.proj.rowScheme, b.proj.rowScheme);
+        EXPECT_EQ(a.proj.rowAlpha, b.proj.rowAlpha);
+        EXPECT_EQ(a.proj.numSp2, b.proj.numSp2);
+        EXPECT_EQ(a.proj.threshold, b.proj.threshold);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumedTrainingReproducesLossTrajectory)
+{
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 64, 2);
+    QConfig qcfg;
+    TrainCfg stage;
+    stage.epochs = 2;
+    stage.batch = 16;
+    stage.seed = 7;
+
+    // Reference: train 2 epochs, checkpoint, keep training the same
+    // in-process objects for 2 more epochs.
+    Rng rng(21);
+    auto model = makeTinyConvNet(train.numClasses, rng, 4);
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    trainClassifier(*model, train, stage, &qat);
+    const std::string path = tmpPath("ckpt_resume.bin");
+    saveCheckpoint(path, *model, &qat);
+    std::vector<double> contLoss;
+    TrainCfg stage2 = stage;
+    stage2.epochLoss = &contLoss;
+    trainClassifier(*model, train, stage2, &qat);
+
+    // Resume: a fresh process stand-in restores the checkpoint and
+    // runs the same second stage. Same trajectory, bit for bit.
+    Rng rng2(77);
+    auto resumed = makeTinyConvNet(train.numClasses, rng2, 4);
+    CheckpointLoadResult res = loadCheckpoint(path, *resumed);
+    ASSERT_NE(res.qat, nullptr);
+    std::vector<double> resLoss;
+    TrainCfg stage3 = stage;
+    stage3.epochLoss = &resLoss;
+    trainClassifier(*resumed, train, stage3, res.qat.get());
+
+    ASSERT_EQ(contLoss.size(), resLoss.size());
+    for (size_t e = 0; e < contLoss.size(); ++e)
+        EXPECT_EQ(contLoss[e], resLoss[e]) << "epoch " << e;
+    expectParamsBitEqual(*model, *resumed);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------
+// Deploy artifact round trip
+// ------------------------------------------------------------------
+
+TEST(Deploy, ServedCnnForwardBitIdenticalToInProcessBackend)
+{
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 64, 3);
+    Rng rng(31);
+    auto model = makeTinyConvNet(train.numClasses, rng, 4);
+    QConfig qcfg;
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    TrainCfg cfg;
+    cfg.epochs = 2;
+    cfg.batch = 16;
+    trainClassifier(*model, train, cfg, &qat);
+
+    InferenceSession inProc(*model, &qat, InferBackend::Int);
+    Tensor x = makeImageDataset(ImageTask::Easy, 8, 6).images;
+    Tensor y0 = inProc.run(x);
+
+    const std::string path = tmpPath("deploy_cnn.bin");
+    saveDeployArtifact(path, *model, qat);
+
+    Rng rng2(555); // arbitrary init; serving uses codes only
+    auto served = makeTinyConvNet(train.numClasses, rng2, 4);
+    InferenceSession sess(*served, path);
+    EXPECT_EQ(sess.backend(), InferBackend::Int);
+    EXPECT_GT(sess.layersSwitched(), 0u);
+    Tensor y1 = sess.run(x);
+
+    ASSERT_EQ(y0.size(), y1.size());
+    EXPECT_EQ(std::memcmp(y0.data(), y1.data(),
+                          y0.size() * sizeof(float)),
+              0)
+        << "artifact-served int forward must be bit-identical";
+
+    // The served session holds no float weights to fall back to.
+    EXPECT_DEATH(sess.setBackend(InferBackend::Float),
+                 "pinned to the Int backend");
+    std::remove(path.c_str());
+}
+
+TEST(Deploy, ServedRnnForwardBitIdenticalToInProcessBackend)
+{
+    size_t vocab = 20, t = 6, n = 5;
+    Rng dataRng(41);
+    std::vector<int> ids(t * n);
+    for (int& id : ids)
+        id = int(dataRng.uniform(0.0, double(vocab) - 0.001));
+
+    Rng rng(43);
+    LstmLm lm(vocab, 10, 16, 2, rng);
+    QConfig qcfg;
+    QatContext qat(qcfg);
+    qat.attach(lm.params());
+    lm.setActQuant(qcfg.actBits, true);
+    lm.forward(ids, t, n, true); // calibrate
+    qat.finalize();
+    applyInferBackend(lm, InferBackend::Int, &qat);
+    Tensor y0 = lm.forward(ids, t, n, false);
+
+    const std::string path = tmpPath("deploy_rnn.bin");
+    saveDeployArtifact(path, lm, qat);
+
+    Rng rng2(999);
+    LstmLm served(vocab, 10, 16, 2, rng2);
+    size_t adopted = loadDeployArtifact(path, served);
+    EXPECT_EQ(adopted, 5u); // 2 cells x (wx, wh) + head
+    Tensor y1 = served.forward(ids, t, n, false);
+
+    ASSERT_EQ(y0.size(), y1.size());
+    EXPECT_EQ(std::memcmp(y0.data(), y1.data(),
+                          y0.size() * sizeof(float)),
+              0);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------
+// Rejection paths
+// ------------------------------------------------------------------
+
+TEST(SerialReject, DamagedAndMismatchedFilesAreFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 16, 4);
+    Rng rng(51);
+    auto model = makeTinyConvNet(train.numClasses, rng, 4);
+
+    const std::string ckpt = tmpPath("reject_ckpt.bin");
+    saveCheckpoint(ckpt, *model);
+
+    // Artifact fixture: projected weights + one calibration pass.
+    QConfig qcfg;
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    model->setActQuant(qcfg.actBits, true);
+    model->forward(train.images, true); // calibrate quantizers
+    qat.finalize();
+    const std::string artifact = tmpPath("reject_deploy.bin");
+    saveDeployArtifact(artifact, *model, qat);
+
+    auto loadCkpt = [&](const std::string& p) {
+        Rng r(1);
+        auto m = makeTinyConvNet(train.numClasses, r, 4);
+        loadCheckpoint(p, *m);
+    };
+
+    // Truncation: the record walk runs out of bytes.
+    std::vector<uint8_t> whole = readAll(ckpt);
+    const std::string cut = tmpPath("reject_cut.bin");
+    std::vector<uint8_t> cutBuf(whole.begin(),
+                                whole.begin() + whole.size() * 3 / 5);
+    writeAll(cut, cutBuf);
+    EXPECT_DEATH(loadCkpt(cut), "truncated checkpoint file");
+
+    // Bit damage in a structurally intact file: checksum mismatch.
+    std::vector<uint8_t> flip = whole;
+    flip.back() ^= 0x40;
+    const std::string bad = tmpPath("reject_flip.bin");
+    writeAll(bad, flip);
+    EXPECT_DEATH(loadCkpt(bad), "checksum mismatch");
+
+    // Foreign magic: a deploy artifact is not a checkpoint.
+    EXPECT_DEATH(loadCkpt(artifact), "not a mixq checkpoint file");
+
+    // Future format version.
+    std::vector<uint8_t> vers = whole;
+    vers[8] = 9; // u32 version lives right after the 8-byte magic
+    const std::string newer = tmpPath("reject_vers.bin");
+    writeAll(newer, vers);
+    EXPECT_DEATH(loadCkpt(newer),
+                 "unsupported checkpoint format version 9");
+
+    // Architecture mismatch: a valid checkpoint for another model.
+    EXPECT_DEATH(
+        {
+            Rng r(2);
+            auto other = makeMiniResNet(train.numClasses, r, 8);
+            loadCheckpoint(ckpt, *other);
+        },
+        "does not match this model");
+
+    // The artifact loader shares the container validation.
+    std::vector<uint8_t> awhole = readAll(artifact);
+    std::vector<uint8_t> acut(awhole.begin(),
+                              awhole.begin() + awhole.size() / 2);
+    const std::string acutPath = tmpPath("reject_acut.bin");
+    writeAll(acutPath, acut);
+    EXPECT_DEATH(
+        {
+            Rng r(3);
+            auto m = makeTinyConvNet(train.numClasses, r, 4);
+            loadDeployArtifact(acutPath, *m);
+        },
+        "truncated deploy artifact file");
+
+    for (const std::string& p :
+         {ckpt, artifact, cut, bad, newer, acutPath})
+        std::remove(p.c_str());
+}
+
+} // namespace
+} // namespace mixq

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI gate for the deploy-artifact size budget.
+
+Runs the train_export example into a scratch directory, then checks
+that the bit-packed deploy artifact is at most ``--max-ratio`` times
+the size of the float checkpoint written from the same model (default
+1/6). The checkpoint carries W, Z, U and the per-row metadata in f32
+(~3x the raw weights), while the 4-bit artifact packs 8 weights per
+f32 slot plus one scale per row — so a healthy packer lands near 1/13
+and the 1/6 gate only trips on a real format regression (codes stored
+wide, float tensors leaking into the artifact, headers ballooning).
+
+Also runs serve_artifact on the exported directory: it exits non-zero
+unless its integer outputs are bit-identical to the outputs the
+training process recorded, which gates the cross-process round trip
+itself, not just the file sizes.
+
+Usage:
+  tools/check_artifact_budget.py --train build/train_export \
+      --serve build/serve_artifact [--max-ratio 0.1667] [--keep]
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--train", required=True,
+                    help="path to the train_export binary")
+    ap.add_argument("--serve", required=True,
+                    help="path to the serve_artifact binary")
+    ap.add_argument("--max-ratio", type=float, default=1.0 / 6.0,
+                    help="max artifact/checkpoint size ratio")
+    ap.add_argument("--keep", action="store_true",
+                    help="keep the scratch directory")
+    args = ap.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="mixq_artifact_budget_")
+    print(f"exporting into {tmp} ...")
+    subprocess.run([args.train, tmp], check=True)
+
+    ckpt = os.path.join(tmp, "mixq_msq_ckpt.bin")
+    artifact = os.path.join(tmp, "mixq_msq_deploy.bin")
+    cb, ab = os.path.getsize(ckpt), os.path.getsize(artifact)
+    ratio = ab / cb
+    print(f"checkpoint {cb} bytes, artifact {ab} bytes "
+          f"(ratio {ratio:.4f}, budget {args.max_ratio:.4f})")
+    if ratio > args.max_ratio:
+        sys.exit(f"FAIL: artifact/checkpoint ratio {ratio:.4f} "
+                 f"exceeds budget {args.max_ratio:.4f}")
+
+    print("replaying the probe batch from the artifact alone ...")
+    subprocess.run([args.serve, tmp], check=True)
+
+    if not args.keep:
+        for name in os.listdir(tmp):
+            os.remove(os.path.join(tmp, name))
+        os.rmdir(tmp)
+    print("OK: artifact within budget and served bit-identically")
+
+
+if __name__ == "__main__":
+    main()
