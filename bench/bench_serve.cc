@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Load/latency bench of the batched inference server (serve/). Two
+ * modes share one binary:
+ *
+ * Open-loop mode (default): a Poisson arrival process submits
+ * single-item requests at --rate req/s for --seconds, independent of
+ * service times (so queueing delay is visible, unlike a closed loop
+ * that self-throttles). Reports p50/p99 settle latency and served
+ * items/s.
+ *
+ * Budget mode (--benchmark_format=json): speaks enough of the
+ * google-benchmark CLI/JSON protocol for tools/check_perf_budget.py
+ * to drive it like the bench_micro_* binaries — runs the requested
+ * repetitions of "serve/single" (closed loop, one request in flight,
+ * maxBatch 1) and "serve/batched" (saturated queue, maxBatch 8) and
+ * emits median items_per_second aggregates. The gated ratio is the
+ * whole point of dynamic batching: coalescing must beat one-at-a-time
+ * dispatch of the same request stream on the same worker.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "infer/session.hh"
+#include "nn/models.hh"
+#include "quant/qconfig.hh"
+#include "serve/server.hh"
+#include "util/rng.hh"
+
+using namespace mixq;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** One single-item CNN request tensor ({1, C, H, W}, nonnegative). */
+Tensor
+makeItem(Rng& rng)
+{
+    Tensor x = Tensor::randn({1, 3, 12, 12}, rng, 1.0);
+    for (float& v : x.span())
+        v = v < 0.0f ? -v : v;
+    return x;
+}
+
+/** MiniResNet calibrated and switched to the Int serving backend. */
+std::unique_ptr<Sequential>
+makeServableModel(uint64_t seed)
+{
+    Rng rng(seed);
+    auto model = makeMiniResNet(4, rng, 8);
+    QConfig cfg;
+    QatContext qat(cfg);
+    qat.attach(model->params());
+    model->setActQuant(cfg.actBits, true);
+    Rng calRng(seed + 1);
+    Tensor cal = Tensor::randn({8, 3, 12, 12}, calRng, 1.0);
+    for (float& v : cal.span())
+        v = v < 0.0f ? -v : v;
+    model->forward(cal, true); // calibrate activation ranges
+    qat.finalize();
+    applyInferBackend(*model, InferBackend::Int, &qat);
+    return model;
+}
+
+BatchTraits
+cnnTraits()
+{
+    BatchTraits t;
+    t.itemShape = {1, 3, 12, 12};
+    t.batchAxis = 0;
+    return t;
+}
+
+/**
+ * Closed loop, one request in flight, batches of one: the
+ * no-coalescing baseline every serving stack degenerates to when
+ * batching is off. Returns served items/s.
+ */
+double
+runSingle(Module& model, const std::vector<Tensor>& items)
+{
+    ServeOptions opt;
+    opt.maxBatch = 1;
+    opt.deadlineUs = 0;
+    BatchServer srv({&model}, cnnTraits(), opt);
+    for (size_t i = 0; i < 8; ++i) // warm the request path
+        srv.submit(items[i % items.size()]).get();
+    Clock::time_point t0 = Clock::now();
+    for (const Tensor& x : items)
+        srv.submit(x).get();
+    double secs = secondsSince(t0);
+    srv.stop(true);
+    return double(items.size()) / secs;
+}
+
+/**
+ * Saturated queue through the coalescing path: all requests are
+ * submitted up front, the worker forms maxBatch-item batches.
+ * Returns served items/s.
+ */
+double
+runBatched(Module& model, const std::vector<Tensor>& items,
+           size_t maxBatch)
+{
+    ServeOptions opt;
+    opt.maxBatch = maxBatch;
+    opt.deadlineUs = 500;
+    BatchServer srv({&model}, cnnTraits(), opt);
+    {
+        std::vector<std::future<Tensor>> warm;
+        for (size_t i = 0; i < 2 * maxBatch; ++i)
+            warm.push_back(srv.submit(items[i % items.size()]));
+        for (auto& f : warm)
+            f.get();
+    }
+    Clock::time_point t0 = Clock::now();
+    std::vector<std::future<Tensor>> futs;
+    futs.reserve(items.size());
+    for (const Tensor& x : items)
+        futs.push_back(srv.submit(x));
+    for (auto& f : futs)
+        f.get();
+    double secs = secondsSince(t0);
+    srv.stop(true);
+    return double(items.size()) / secs;
+}
+
+// ---------------------------------------------------------- budget mode
+
+struct BenchDef
+{
+    const char* name;
+    double (*run)(Module&, const std::vector<Tensor>&);
+};
+
+double
+runSingleBench(Module& m, const std::vector<Tensor>& items)
+{
+    return runSingle(m, items);
+}
+
+double
+runBatchedBench(Module& m, const std::vector<Tensor>& items)
+{
+    return runBatched(m, items, 16);
+}
+
+constexpr BenchDef kBenches[] = {
+    {"serve/single", runSingleBench},
+    {"serve/batched", runBatchedBench},
+};
+
+int
+runBudgetMode(const std::string& filter, int repetitions)
+{
+    std::regex re(filter.empty() ? std::string(".*") : filter);
+    auto model = makeServableModel(91);
+    Rng itemRng(92);
+    std::vector<Tensor> items;
+    for (int i = 0; i < 192; ++i)
+        items.push_back(makeItem(itemRng));
+
+    std::string out;
+    out += "{\n  \"context\": {\"executable\": \"bench_serve\"},\n";
+    out += "  \"benchmarks\": [\n";
+    bool first = true;
+    for (const BenchDef& b : kBenches) {
+        if (!std::regex_match(std::string(b.name), re))
+            continue;
+        std::vector<double> rates;
+        for (int r = 0; r < repetitions; ++r)
+            rates.push_back(b.run(*model, items));
+        std::sort(rates.begin(), rates.end());
+        double median = rates[rates.size() / 2];
+        if (rates.size() % 2 == 0)
+            median = 0.5 * (median + rates[rates.size() / 2 - 1]);
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s    {\"name\": \"%s_median\", \"run_name\": \"%s\",\n"
+            "     \"run_type\": \"aggregate\", "
+            "\"aggregate_name\": \"median\",\n"
+            "     \"iterations\": %zu, \"real_time\": %.1f,\n"
+            "     \"cpu_time\": %.1f, \"time_unit\": \"ns\",\n"
+            "     \"items_per_second\": %.3f}",
+            first ? "" : ",\n", b.name, b.name, items.size(),
+            1e9 / median, 1e9 / median, median);
+        out += buf;
+        first = false;
+    }
+    out += "\n  ]\n}\n";
+    std::fputs(out.c_str(), stdout);
+    return 0;
+}
+
+// -------------------------------------------------------- open-loop mode
+
+int
+runOpenLoop(double rate, double seconds, size_t maxBatch,
+            long deadlineUs)
+{
+    auto model = makeServableModel(91);
+    Rng itemRng(92);
+    std::vector<Tensor> pool;
+    for (int i = 0; i < 64; ++i)
+        pool.push_back(makeItem(itemRng));
+
+    ServeOptions opt;
+    opt.maxBatch = maxBatch;
+    opt.deadlineUs = deadlineUs;
+    BatchServer srv({model.get()}, cnnTraits(), opt);
+    for (size_t i = 0; i < 2 * maxBatch; ++i)
+        srv.submit(pool[i % pool.size()]).get();
+
+    struct Pending
+    {
+        std::future<Tensor> fut;
+        Clock::time_point submitted;
+    };
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending> inflight;
+    bool done = false;
+    std::vector<double> latencyUs;
+
+    // The collector settles futures in submission order; coalescing
+    // is FIFO, so by the time the queue front resolves its batchmates
+    // are resolved too and get() returns without a stale timestamp.
+    std::thread collector([&] {
+        for (;;) {
+            Pending p;
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                cv.wait(lk,
+                        [&] { return done || !inflight.empty(); });
+                if (inflight.empty())
+                    return;
+                p = std::move(inflight.front());
+                inflight.pop_front();
+            }
+            p.fut.get();
+            latencyUs.push_back(
+                std::chrono::duration<double, std::micro>(
+                    Clock::now() - p.submitted)
+                    .count());
+        }
+    });
+
+    // Poisson arrivals: exponential inter-arrival gaps, scheduled
+    // against absolute wall-clock targets so service time never
+    // throttles the offered load (open loop).
+    Rng arrivalRng(93);
+    Clock::time_point t0 = Clock::now();
+    Clock::time_point next = t0;
+    size_t submitted = 0;
+    while (secondsSince(t0) < seconds) {
+        double gap = -std::log(1.0 - arrivalRng.uniform()) / rate;
+        next += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(gap));
+        std::this_thread::sleep_until(next);
+        Pending p;
+        p.submitted = Clock::now();
+        p.fut = srv.submit(pool[submitted % pool.size()]);
+        ++submitted;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            inflight.push_back(std::move(p));
+        }
+        cv.notify_one();
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        done = true;
+    }
+    cv.notify_one();
+    collector.join();
+    double elapsed = secondsSince(t0);
+    srv.stop(true);
+
+    std::sort(latencyUs.begin(), latencyUs.end());
+    auto pct = [&](double q) {
+        if (latencyUs.empty())
+            return 0.0;
+        size_t i = size_t(q * double(latencyUs.size() - 1));
+        return latencyUs[i];
+    };
+    BatchServer::Stats st = srv.stats();
+    std::printf("open-loop Poisson: rate %.0f req/s for %.1f s, "
+                "maxBatch %zu, deadline %ld us\n",
+                rate, seconds, maxBatch, deadlineUs);
+    std::printf("served %zu requests in %zu batches "
+                "(%.2f items/batch)\n",
+                st.requests, st.batches,
+                st.batches ? double(st.items) / double(st.batches)
+                           : 0.0);
+    std::printf("throughput %.1f items/s\n",
+                double(latencyUs.size()) / elapsed);
+    std::printf("latency p50 %.0f us, p99 %.0f us\n", pct(0.50),
+                pct(0.99));
+    std::printf("arena: capacity %zu B, high water %zu B, "
+                "overflows %zu\n",
+                st.arenaCapacity, st.arenaHighWater,
+                st.arenaOverflows);
+    return 0;
+}
+
+double
+argValue(const std::string& arg, const char* key)
+{
+    return std::atof(arg.substr(std::strlen(key)).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool jsonMode = false;
+    std::string filter;
+    int repetitions = 1;
+    double rate = 1500.0, seconds = 3.0, deadlineUs = 1000.0;
+    double maxBatch = 8.0;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--benchmark_filter=", 0) == 0)
+            filter = a.substr(std::strlen("--benchmark_filter="));
+        else if (a.rfind("--benchmark_repetitions=", 0) == 0)
+            repetitions = int(argValue(a, "--benchmark_repetitions="));
+        else if (a.rfind("--benchmark_format=json", 0) == 0)
+            jsonMode = true;
+        else if (a.rfind("--benchmark_", 0) == 0)
+            continue; // aggregates-only etc.: always on here
+        else if (a.rfind("--rate=", 0) == 0)
+            rate = argValue(a, "--rate=");
+        else if (a.rfind("--seconds=", 0) == 0)
+            seconds = argValue(a, "--seconds=");
+        else if (a.rfind("--max-batch=", 0) == 0)
+            maxBatch = argValue(a, "--max-batch=");
+        else if (a.rfind("--deadline-us=", 0) == 0)
+            deadlineUs = argValue(a, "--deadline-us=");
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--rate=R] [--seconds=S] "
+                         "[--max-batch=B] [--deadline-us=D] | "
+                         "google-benchmark budget flags\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (jsonMode)
+        return runBudgetMode(filter, std::max(repetitions, 1));
+    return runOpenLoop(rate, seconds, size_t(maxBatch),
+                       long(deadlineUs));
+}

@@ -314,6 +314,8 @@ Conv2d::forward(const Tensor& x, bool train)
                     yrow[q] += b_.w[r];
             }
         }
+        if (!train && bnFold_)
+            applyBnEpilogue(out, ohow);
     }
     (void)train;
     return y;
@@ -339,6 +341,38 @@ Conv2d::adoptDeployedWeights(PackedQMat pack, int wbits)
     qpack_ = std::move(pack);
     qBits_ = wbits;
     intBackend_ = true;
+}
+
+void
+Conv2d::setBnEvalEpilogue(std::vector<float> mean,
+                          std::vector<float> invStd,
+                          std::vector<float> gamma,
+                          std::vector<float> beta)
+{
+    MIXQ_ASSERT(mean.size() == outCh_ && invStd.size() == outCh_ &&
+                    gamma.size() == outCh_ && beta.size() == outCh_,
+                "Conv2d: BN epilogue channel mismatch");
+    bnM_ = std::move(mean);
+    bnIs_ = std::move(invStd);
+    bnG_ = std::move(gamma);
+    bnB_ = std::move(beta);
+    bnFold_ = true;
+}
+
+void
+Conv2d::applyBnEpilogue(float* y, size_t ohow) const
+{
+    // Exactly BatchNorm2d's eval elementwise pass (same operation
+    // order per element), so folding cannot change a bit.
+    for (size_t c = 0; c < outCh_; ++c) {
+        float m = bnM_[c], is = bnIs_[c];
+        float g = bnG_[c], b = bnB_[c];
+        float* row = y + c * ohow;
+        for (size_t q = 0; q < ohow; ++q) {
+            float xh = (row[q] - m) * is;
+            row[q] = g * xh + b;
+        }
+    }
 }
 
 Tensor
@@ -384,6 +418,9 @@ Conv2d::intForward(const Tensor& x)
             rescaleConv(qpack_, acc, ohow, ap.invScale,
                         hasBias_ ? b_.w.data() : nullptr,
                         y.data() + size_t(i) * outCh_ * ohow);
+            if (bnFold_)
+                applyBnEpilogue(y.data() + size_t(i) * outCh_ * ohow,
+                                ohow);
         }
         return y;
     }
@@ -400,6 +437,9 @@ Conv2d::intForward(const Tensor& x)
         rescaleConv(qpack_, acc, ohow, ap.invScale,
                     hasBias_ ? b_.w.data() : nullptr,
                     y.data() + size_t(i) * outCh_ * ohow);
+        if (bnFold_)
+            applyBnEpilogue(y.data() + size_t(i) * outCh_ * ohow,
+                            ohow);
     }
     return y;
 }
@@ -643,6 +683,11 @@ Tensor
 BatchNorm2d::forward(const Tensor& x, bool train)
 {
     MIXQ_ASSERT(x.ndim() == 4 && x.dim(1) == ch_, "BatchNorm2d shape");
+    if (foldedEval_) {
+        MIXQ_ASSERT(!train, "BatchNorm2d: training forward while "
+                            "folded for eval (serve/bn_fold.hh)");
+        return x;
+    }
     inShape_ = x.shape();
     size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
     size_t plane = h * w;

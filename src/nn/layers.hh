@@ -42,6 +42,8 @@ class Linear : public Module
 
     Param& weight() { return w_; }
     ActFakeQuant& actQuant() { return actq_; }
+    size_t inFeatures() const { return in_; }
+    size_t outFeatures() const { return out_; }
 
     /**
      * Route eval-time forwards onto the integer shift-add backend:
@@ -98,7 +100,11 @@ class Conv2d : public Module
     void configureOwnActQuant(int bits, bool enable) override;
 
     Param& weight() { return w_; }
+    size_t inChannels() const { return inCh_; }
     size_t outChannels() const { return outCh_; }
+    size_t kernel() const { return k_; }
+    size_t stride() const { return stride_; }
+    size_t pad() const { return pad_; }
     ActFakeQuant& actQuant() { return actq_; }
 
     /** Int-backend switch; see Linear::enableIntInference. */
@@ -110,8 +116,27 @@ class Conv2d : public Module
     /** Adopt deploy-artifact panels; see Linear. */
     void adoptDeployedWeights(PackedQMat pack, int wbits);
 
+    /**
+     * Inference-only BatchNorm fold (serve/bn_fold.hh): after the
+     * conv epilogue (rescale + bias), apply the *exact* per-element
+     * affine of BatchNorm2d's eval path — xh = (y - mean) * invStd;
+     * y = gamma * xh + beta — per output channel. Replicating the
+     * operation order keeps folded eval forwards bit-identical to
+     * conv-then-BN on every backend. Eval forwards only; training
+     * forwards ignore the epilogue (the fold is a rewrite of a
+     * frozen model).
+     */
+    void setBnEvalEpilogue(std::vector<float> mean,
+                           std::vector<float> invStd,
+                           std::vector<float> gamma,
+                           std::vector<float> beta);
+    void clearBnEvalEpilogue() { bnFold_ = false; }
+    bool bnEvalFolded() const { return bnFold_; }
+
   private:
     Tensor intForward(const Tensor& x);
+    /** Apply the folded BN affine to one [outCh, ohow] image slice. */
+    void applyBnEpilogue(float* y, size_t ohow) const;
 
     size_t inCh_, outCh_, k_, stride_, pad_;
     Param w_;
@@ -133,6 +158,8 @@ class Conv2d : public Module
     // the content (activations change per call) without heap churn.
     std::vector<int16_t> qIn16_, qCols16_;
     std::vector<int32_t> qIn32_, qCols32_, qAccI_;
+    std::vector<float> bnM_, bnIs_, bnG_, bnB_; //!< folded BN affine
+    bool bnFold_ = false;
 };
 
 /** Depthwise 3x3-style convolution; weight is [C, kh*kw]. */
@@ -149,6 +176,10 @@ class DwConv2d : public Module
 
     Param& weight() { return w_; }
     ActFakeQuant& actQuant() { return actq_; }
+    size_t channels() const { return ch_; }
+    size_t kernel() const { return k_; }
+    size_t stride() const { return stride_; }
+    size_t pad() const { return pad_; }
 
   private:
     size_t ch_, k_, stride_, pad_;
@@ -179,6 +210,21 @@ class BatchNorm2d : public Module
     void restoreRunningStats(std::span<const float> mean,
                              std::span<const float> var);
 
+    size_t channels() const { return ch_; }
+    double eps() const { return eps_; }
+    const Tensor& gamma() const { return gamma_.w; }
+    const Tensor& beta() const { return beta_.w; }
+
+    /**
+     * Folded-identity mode (serve/bn_fold.hh): the layer's eval
+     * affine has been fused into the preceding convolution's
+     * epilogue, so eval forwards pass the input through unchanged.
+     * Training forwards are a hard error while folded — the fold is
+     * an inference-only rewrite of a frozen model.
+     */
+    void setFoldedEval(bool on) { foldedEval_ = on; }
+    bool foldedEval() const { return foldedEval_; }
+
   private:
     size_t ch_;
     double momentum_, eps_;
@@ -187,6 +233,7 @@ class BatchNorm2d : public Module
     Tensor xhat_;       //!< cached normalized input
     Tensor invStd_;     //!< cached per-channel 1/std
     std::vector<size_t> inShape_;
+    bool foldedEval_ = false;
 };
 
 /** ReLU, optionally capped at 6 (ReLU6 for the MobileNet blocks). */
@@ -211,6 +258,8 @@ class MaxPool2d : public Module
 
     Tensor forward(const Tensor& x, bool train) override;
     Tensor backward(const Tensor& gy) override;
+
+    size_t window() const { return k_; }
 
   private:
     size_t k_;

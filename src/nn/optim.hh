@@ -29,6 +29,14 @@ class Sgd
     void setLr(double lr) { lr_ = lr; }
     double lr() const { return lr_; }
 
+    /** Tracked parameters in registration order (serialization). */
+    const std::vector<Param*>& params() const { return params_; }
+    /** Momentum buffer of parameter @p i (checkpoint save/restore —
+        serial/checkpoint.hh carries these so a resumed run reproduces
+        the uninterrupted trajectory bit for bit). */
+    const Tensor& velocity(size_t i) const { return vel_[i]; }
+    Tensor& velocity(size_t i) { return vel_[i]; }
+
   private:
     std::vector<Param*> params_;
     std::vector<Tensor> vel_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <sstream>
 
@@ -187,7 +188,7 @@ QatContext::finalize()
 
 void
 trainClassifier(Module& model, const LabeledImages& train,
-                const TrainCfg& cfg, QatContext* qat)
+                const TrainCfg& cfg, QatContext* qat, Sgd* opt)
 {
     MIXQ_ASSERT(train.size() > 0, "empty training set");
     setRnnBatchParallel(cfg.rnnBatchParallel);
@@ -197,7 +198,15 @@ trainClassifier(Module& model, const LabeledImages& train,
                           qat->config().quantizeActivations);
     }
 
-    Sgd sgd(model.params(), cfg.lr, cfg.momentum, cfg.weightDecay);
+    // A caller-owned optimizer carries momentum across resume
+    // boundaries; otherwise the run owns a fresh one.
+    std::unique_ptr<Sgd> owned;
+    if (!opt) {
+        owned = std::make_unique<Sgd>(model.params(), cfg.lr,
+                                      cfg.momentum, cfg.weightDecay);
+        opt = owned.get();
+    }
+    Sgd& sgd = *opt;
     Rng rng(cfg.seed);
     std::vector<size_t> order(train.size());
     std::iota(order.begin(), order.end(), 0);

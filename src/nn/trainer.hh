@@ -139,13 +139,22 @@ class QatContext
     bool finalized_ = false;
 };
 
+class Sgd;
+
 /**
  * Train a classifier on a labeled image set. With @p qat non-null the
  * loop runs quantization-aware: activation quantizers are enabled,
  * ADMM penalties applied, and weights hard-projected at the end.
+ *
+ * With @p opt non-null the loop drives that optimizer (which must
+ * track this model's params()) instead of constructing its own —
+ * the caller keeps the momentum state across save/restore
+ * boundaries, so a resumed run continues the velocity trajectory
+ * instead of restarting it from zero (serial/checkpoint.hh).
  */
 void trainClassifier(Module& model, const LabeledImages& train,
-                     const TrainCfg& cfg, QatContext* qat = nullptr);
+                     const TrainCfg& cfg, QatContext* qat = nullptr,
+                     Sgd* opt = nullptr);
 
 /** Top-1 accuracy of a classifier on a labeled image set. */
 double evalClassifier(Module& model, const LabeledImages& data,

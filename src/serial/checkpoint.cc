@@ -3,6 +3,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "nn/optim.hh"
 #include "serial/record_io.hh"
 #include "serial/state_records.hh"
 #include "util/logging.hh"
@@ -19,10 +20,13 @@ constexpr const char* kKind = "checkpoint";
 
 void
 saveCheckpoint(const std::string& path, Module& model,
-               const QatContext* qat)
+               const QatContext* qat, const Sgd* opt)
 {
     RecordWriter w(path, kMagic, kVersion);
     std::vector<NamedParam> named = namedParams(model);
+    std::unordered_map<const Param*, std::string> pathOf;
+    for (const NamedParam& np : named)
+        pathOf[np.p] = np.path;
 
     for (const NamedParam& np : named) {
         std::vector<uint64_t> shape = recShape(np.p->w);
@@ -31,6 +35,20 @@ saveCheckpoint(const std::string& path, Module& model,
     }
 
     addStateRecords(w, model);
+
+    if (opt) {
+        const std::vector<Param*>& ps = opt->params();
+        for (size_t i = 0; i < ps.size(); ++i) {
+            auto it = pathOf.find(ps[i]);
+            MIXQ_ASSERT(it != pathOf.end(),
+                        "saveCheckpoint: optimizer tracks a parameter "
+                        "outside this model");
+            const Tensor& v = opt->velocity(i);
+            std::vector<uint64_t> shape = recShape(v);
+            w.addF32("opt/" + it->second + ".v", shape,
+                     {v.data(), v.size()});
+        }
+    }
 
     if (qat) {
         const QConfig& c = qat->config();
@@ -43,9 +61,6 @@ saveCheckpoint(const std::string& path, Module& model,
         uint64_t nine = 9;
         w.addF64("qat/config", {&nine, 1}, cfg);
 
-        std::unordered_map<const Param*, std::string> pathOf;
-        for (const NamedParam& np : named)
-            pathOf[np.p] = np.path;
         for (const QatContext::Entry& e : qat->entries()) {
             auto it = pathOf.find(e.p);
             MIXQ_ASSERT(it != pathOf.end(),
@@ -110,6 +125,25 @@ loadCheckpoint(const std::string& path, Module& model)
 
     restoreStateRecords(f, model);
 
+    // Optimizer momentum ("opt/<path>.v"): optional, additive —
+    // checkpoints written without an optimizer simply have none.
+    for (const Record& r : f.records()) {
+        if (r.name.rfind("opt/", 0) != 0 ||
+            r.name.size() < 6 ||
+            r.name.compare(r.name.size() - 2, 2, ".v") != 0)
+            continue;
+        std::string ppath =
+            r.name.substr(4, r.name.size() - 6);
+        Param* p = findParam(model, ppath);
+        if (!p)
+            fatal(f.path() + ": record \"" + r.name + "\" names a "
+                  "parameter this model does not have");
+        recCheckElems(f, r, p->w.size());
+        std::span<const float> v = recF32(f, r);
+        res.velocities.emplace_back(
+            std::move(ppath), std::vector<float>(v.begin(), v.end()));
+    }
+
     if (const Record* rc = f.find("qat/config")) {
         std::span<const double> v = recF64(f, *rc, 9);
         int scheme = int(v[0]), policy = int(v[3]), gran = int(v[4]);
@@ -165,6 +199,38 @@ loadCheckpoint(const std::string& path, Module& model)
         res.qat = std::move(qat);
     }
     return res;
+}
+
+size_t
+restoreOptimizerState(const CheckpointLoadResult& res, Module& model,
+                      Sgd& sgd)
+{
+    const std::vector<Param*>& ps = sgd.params();
+    std::unordered_map<const Param*, size_t> slotOf;
+    for (size_t i = 0; i < ps.size(); ++i)
+        slotOf[ps[i]] = i;
+
+    size_t restored = 0;
+    for (const auto& [ppath, v] : res.velocities) {
+        Param* p = findParam(model, ppath);
+        if (!p)
+            fatal("restoreOptimizerState: checkpoint velocity \"" +
+                  ppath + "\" names a parameter this model does not "
+                  "have");
+        auto it = slotOf.find(p);
+        if (it == slotOf.end())
+            fatal("restoreOptimizerState: the optimizer does not "
+                  "track parameter \"" + ppath + "\"");
+        Tensor& vel = sgd.velocity(it->second);
+        if (vel.size() != v.size())
+            fatal("restoreOptimizerState: velocity \"" + ppath +
+                  "\" holds " + std::to_string(v.size()) +
+                  " elements, the parameter has " +
+                  std::to_string(vel.size()));
+        std::memcpy(vel.data(), v.data(), v.size() * sizeof(float));
+        ++restored;
+    }
+    return restored;
 }
 
 } // namespace mixq

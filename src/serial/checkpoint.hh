@@ -20,20 +20,29 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "nn/module.hh"
 #include "nn/trainer.hh"
 
 namespace mixq {
 
+class Sgd;
+
 /**
  * Write a checkpoint of @p model to @p path. With @p qat non-null the
  * context's QConfig and per-parameter ADMM state are included, so the
  * restored run can keep training mid-ADMM; the context must be
- * attached to this model's parameters.
+ * attached to this model's parameters. With @p opt non-null the
+ * optimizer's momentum velocities are included as "opt/<path>.v"
+ * records — without them a resumed run restarts every velocity from
+ * zero and the loss trajectory diverges from the uninterrupted run
+ * (tests/serial_test.cc pins both directions).
  */
 void saveCheckpoint(const std::string& path, Module& model,
-                    const QatContext* qat = nullptr);
+                    const QatContext* qat = nullptr,
+                    const Sgd* opt = nullptr);
 
 /** What loadCheckpoint() restored. */
 struct CheckpointLoadResult
@@ -47,7 +56,21 @@ struct CheckpointLoadResult
      * to trainClassifier() to resume.
      */
     std::unique_ptr<QatContext> qat;
+    /**
+     * Momentum velocities keyed by parameter path (empty when the
+     * checkpoint was saved without an optimizer). Feed them into a
+     * freshly built Sgd with restoreOptimizerState().
+     */
+    std::vector<std::pair<std::string, std::vector<float>>> velocities;
 };
+
+/**
+ * Copy the loaded velocities into @p sgd (which must track
+ * @p model's parameters). Returns the number of buffers restored;
+ * fatal() on a path or size that does not match the model/optimizer.
+ */
+size_t restoreOptimizerState(const CheckpointLoadResult& res,
+                             Module& model, Sgd& sgd);
 
 /**
  * Restore @p model (and its quant state) from a checkpoint written by

@@ -1,0 +1,301 @@
+#include "serve/arena.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+namespace {
+
+/**
+ * Registry of live arena ranges, consulted by operator delete to
+ * decide whether a pointer is arena-backed (free becomes a no-op) or
+ * heap-backed (free as usual). Lock-free: the delete path is on
+ * every deallocation in the binary, so it must cost one atomic load
+ * when no arena exists and a short scan otherwise.
+ */
+constexpr int kMaxArenas = 64;
+std::atomic<char*> gArenaBase[kMaxArenas];
+std::atomic<size_t> gArenaSize[kMaxArenas];
+std::atomic<int> gLiveArenas{0};
+
+thread_local Arena* tlsArena = nullptr;
+thread_local uint64_t tlsHeapAllocs = 0;
+thread_local uint64_t tlsHeapBytes = 0;
+thread_local uint64_t tlsArenaAllocs = 0;
+
+bool
+inAnyArena(const void* p)
+{
+    if (gLiveArenas.load(std::memory_order_acquire) == 0)
+        return false;
+    const char* c = static_cast<const char*>(p);
+    for (int i = 0; i < kMaxArenas; ++i) {
+        char* b = gArenaBase[i].load(std::memory_order_acquire);
+        if (b && c >= b &&
+            c < b + gArenaSize[i].load(std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
+void*
+heapAlloc(size_t n, size_t align) noexcept
+{
+    ++tlsHeapAllocs;
+    tlsHeapBytes += n;
+    if (align > alignof(std::max_align_t)) {
+        void* p = nullptr;
+        if (posix_memalign(&p, align, n) != 0)
+            return nullptr;
+        return p;
+    }
+    return std::malloc(n);
+}
+
+void*
+allocImpl(size_t n, size_t align) noexcept
+{
+    if (n == 0)
+        n = 1;
+    if (Arena* a = tlsArena) {
+        if (void* p = a->alloc(n, align)) {
+            ++tlsArenaAllocs;
+            return p;
+        }
+        a->noteOverflow();
+    }
+    return heapAlloc(n, align);
+}
+
+void
+freeImpl(void* p) noexcept
+{
+    if (!p)
+        return;
+    if (inAnyArena(p))
+        return; // reclaimed wholesale by Arena::reset()
+    std::free(p);
+}
+
+} // namespace
+
+Arena::Arena(size_t capacityBytes) : cap_(capacityBytes)
+{
+    MIXQ_ASSERT(capacityBytes > 0, "Arena: zero capacity");
+    // Direct malloc, not operator new: the block itself must live on
+    // the real heap and never count as a tracked allocation.
+    base_ = static_cast<char*>(std::malloc(cap_));
+    MIXQ_ASSERT(base_ != nullptr, "Arena: block allocation failed");
+    for (int i = 0; i < kMaxArenas; ++i) {
+        char* expect = nullptr;
+        gArenaSize[i].store(cap_, std::memory_order_relaxed);
+        if (gArenaBase[i].compare_exchange_strong(
+                expect, base_, std::memory_order_release)) {
+            slot_ = i;
+            break;
+        }
+    }
+    MIXQ_ASSERT(slot_ >= 0, "Arena: registry full");
+    gLiveArenas.fetch_add(1, std::memory_order_release);
+}
+
+Arena::~Arena()
+{
+    gArenaBase[slot_].store(nullptr, std::memory_order_release);
+    gLiveArenas.fetch_sub(1, std::memory_order_release);
+    std::free(base_);
+}
+
+void*
+Arena::alloc(size_t bytes, size_t align)
+{
+    // Align the address, not just the offset — the malloc'd base is
+    // only max_align_t-aligned, requests may want more (e.g. 64).
+    uintptr_t cur = uintptr_t(base_) + off_;
+    uintptr_t aligned = (cur + (align - 1)) & ~uintptr_t(align - 1);
+    size_t off = off_ + size_t(aligned - cur);
+    if (off + bytes > cap_)
+        return nullptr;
+    void* p = base_ + off;
+    off_ = off + bytes;
+    if (off_ > hw_)
+        hw_ = off_;
+    ++allocs_;
+    return p;
+}
+
+bool
+Arena::contains(const void* p) const
+{
+    const char* c = static_cast<const char*>(p);
+    return c >= base_ && c < base_ + cap_;
+}
+
+void
+Arena::reset()
+{
+    off_ = 0;
+}
+
+ArenaScope::ArenaScope(Arena& a) : prev_(tlsArena)
+{
+    tlsArena = &a;
+}
+
+ArenaScope::~ArenaScope()
+{
+    tlsArena = prev_;
+}
+
+uint64_t
+heapAllocCount()
+{
+    return tlsHeapAllocs;
+}
+
+uint64_t
+heapAllocBytes()
+{
+    return tlsHeapBytes;
+}
+
+uint64_t
+arenaAllocCount()
+{
+    return tlsArenaAllocs;
+}
+
+} // namespace mixq
+
+// ------------------------------------------------------------------
+// Global operator new/delete replacements. Every form forwards to
+// allocImpl/freeImpl above; delete routes arena pointers to a no-op.
+// These live in the same translation unit as the Arena machinery, so
+// only binaries that reference serve/ symbols get them linked in.
+// ------------------------------------------------------------------
+
+void*
+operator new(std::size_t n)
+{
+    void* p = mixq::allocImpl(n, alignof(std::max_align_t));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void*
+operator new[](std::size_t n)
+{
+    void* p = mixq::allocImpl(n, alignof(std::max_align_t));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void*
+operator new(std::size_t n, const std::nothrow_t&) noexcept
+{
+    return mixq::allocImpl(n, alignof(std::max_align_t));
+}
+
+void*
+operator new[](std::size_t n, const std::nothrow_t&) noexcept
+{
+    return mixq::allocImpl(n, alignof(std::max_align_t));
+}
+
+void*
+operator new(std::size_t n, std::align_val_t al)
+{
+    void* p = mixq::allocImpl(n, static_cast<std::size_t>(al));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void*
+operator new[](std::size_t n, std::align_val_t al)
+{
+    void* p = mixq::allocImpl(n, static_cast<std::size_t>(al));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void*
+operator new(std::size_t n, std::align_val_t al,
+             const std::nothrow_t&) noexcept
+{
+    return mixq::allocImpl(n, static_cast<std::size_t>(al));
+}
+
+void*
+operator new[](std::size_t n, std::align_val_t al,
+               const std::nothrow_t&) noexcept
+{
+    return mixq::allocImpl(n, static_cast<std::size_t>(al));
+}
+
+void
+operator delete(void* p) noexcept
+{
+    mixq::freeImpl(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    mixq::freeImpl(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    mixq::freeImpl(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    mixq::freeImpl(p);
+}
+
+void
+operator delete(void* p, std::align_val_t) noexcept
+{
+    mixq::freeImpl(p);
+}
+
+void
+operator delete[](void* p, std::align_val_t) noexcept
+{
+    mixq::freeImpl(p);
+}
+
+void
+operator delete(void* p, std::size_t, std::align_val_t) noexcept
+{
+    mixq::freeImpl(p);
+}
+
+void
+operator delete[](void* p, std::size_t, std::align_val_t) noexcept
+{
+    mixq::freeImpl(p);
+}
+
+void
+operator delete(void* p, const std::nothrow_t&) noexcept
+{
+    mixq::freeImpl(p);
+}
+
+void
+operator delete[](void* p, const std::nothrow_t&) noexcept
+{
+    mixq::freeImpl(p);
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Steady-state allocation control for the serving runtime. An Arena
+ * is one malloc'd block carved by bump allocation; an ArenaScope
+ * redirects every operator-new on the *current thread* into an arena
+ * for its lifetime, so a warmed-up forward pass allocates all of its
+ * transient tensors and scratch out of the block and the matching
+ * deletes become no-ops (the block is recycled wholesale by
+ * Arena::reset() between batches).
+ *
+ * The redirect is deliberately thread-scoped: OpenMP worker threads
+ * inside a parallel region keep their normal heap, so the arena is
+ * single-owner and needs no synchronization. Per-thread counters
+ * (heapAllocCount / arenaAllocCount) are maintained unconditionally;
+ * ScopedHeapAllocCount reads them so tests — and the server's
+ * Debug-build self-check — can assert that a steady-state forward
+ * performs zero real-heap allocations on the calling thread.
+ *
+ * The operator new/delete replacements live in arena.cc; linking any
+ * serve/ symbol pulls them into the binary. Deletes of pointers
+ * inside a live arena are ignored (a global registry of arena ranges
+ * makes that check lock-free), everything else routes to malloc/free
+ * as usual, so binaries that never enter an ArenaScope behave
+ * exactly as before.
+ *
+ * Contract for arena-backed execution: any container that may *grow*
+ * during a scoped call must have reached steady-state capacity
+ * beforehand (run the same shape unscoped first — the server's
+ * warmup does exactly that). A buffer grown under the scope would
+ * live in arena memory past reset() and dangle.
+ */
+
+#ifndef MIXQ_SERVE_ARENA_HH
+#define MIXQ_SERVE_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mixq {
+
+/** One contiguous block, bump-allocated, recycled by reset(). */
+class Arena
+{
+  public:
+    explicit Arena(size_t capacityBytes);
+    ~Arena();
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /**
+     * Bump-allocate @p bytes at @p align, or null when the remaining
+     * capacity does not fit (the caller falls back to the heap).
+     * Only the owning thread may call this (see file comment).
+     */
+    void* alloc(size_t bytes, size_t align);
+
+    /** Whether @p p points into this arena's block. */
+    bool contains(const void* p) const;
+
+    /**
+     * Recycle the whole block: every pointer handed out since the
+     * last reset becomes invalid. The caller must ensure none are
+     * still reachable (the server drops its batch tensors first).
+     */
+    void reset();
+
+    size_t capacity() const { return cap_; }
+    size_t used() const { return off_; }
+    /** Largest used() ever observed (across resets). */
+    size_t highWater() const { return hw_; }
+    /** Allocations served from the block since construction. */
+    uint64_t allocCount() const { return allocs_; }
+    /** Allocations that did not fit and spilled to the heap. */
+    uint64_t overflowCount() const { return overflows_; }
+    void noteOverflow() { ++overflows_; }
+
+  private:
+    char* base_ = nullptr;
+    size_t cap_ = 0;
+    size_t off_ = 0;
+    size_t hw_ = 0;
+    uint64_t allocs_ = 0;
+    uint64_t overflows_ = 0;
+    int slot_ = -1; //!< registry slot for the delete-side range check
+};
+
+/**
+ * RAII thread-local redirect: while alive, operator new on this
+ * thread bump-allocates from @p a (heap fallback on overflow).
+ * Nests; restores the previous redirect on destruction.
+ */
+class ArenaScope
+{
+  public:
+    explicit ArenaScope(Arena& a);
+    ~ArenaScope();
+    ArenaScope(const ArenaScope&) = delete;
+    ArenaScope& operator=(const ArenaScope&) = delete;
+
+  private:
+    Arena* prev_;
+};
+
+/** Monotonic count of real-heap operator-new calls on this thread. */
+uint64_t heapAllocCount();
+/** Total bytes those heap allocations requested. */
+uint64_t heapAllocBytes();
+/** Monotonic count of arena-served operator-new calls on this thread. */
+uint64_t arenaAllocCount();
+
+/**
+ * Reads the thread's allocation counters on construction; count()
+ * and bytes() report real-heap allocations since then. This is the
+ * "scoped allocation counter" of the zero-allocation tests and of
+ * the server's Debug steady-state assert — arena-served allocations
+ * are by design not counted.
+ */
+class ScopedHeapAllocCount
+{
+  public:
+    ScopedHeapAllocCount()
+        : c0_(heapAllocCount()), b0_(heapAllocBytes())
+    {
+    }
+
+    uint64_t count() const { return heapAllocCount() - c0_; }
+    uint64_t bytes() const { return heapAllocBytes() - b0_; }
+
+  private:
+    uint64_t c0_, b0_;
+};
+
+} // namespace mixq
+
+#endif // MIXQ_SERVE_ARENA_HH

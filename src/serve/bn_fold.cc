@@ -1,0 +1,67 @@
+#include "serve/bn_fold.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "nn/layers.hh"
+
+namespace mixq {
+
+namespace {
+
+size_t
+foldUnder(Module& m, bool fold)
+{
+    size_t n = 0;
+    std::vector<Module*> kids = m.children();
+    for (size_t i = 0; i + 1 < kids.size(); ++i) {
+        auto* conv = dynamic_cast<Conv2d*>(kids[i]);
+        auto* bn = dynamic_cast<BatchNorm2d*>(kids[i + 1]);
+        if (!conv || !bn || conv->outChannels() != bn->channels())
+            continue;
+        if (fold) {
+            if (conv->bnEvalFolded())
+                continue;
+            size_t ch = bn->channels();
+            std::vector<float> mean(ch), istd(ch), g(ch), b(ch);
+            for (size_t c = 0; c < ch; ++c) {
+                // Same constant computation as BatchNorm2d eval:
+                // stats promoted to double, 1/sqrt in double, one
+                // rounding to float.
+                mean[c] = bn->runningMean()[c];
+                istd[c] = float(
+                    1.0 / std::sqrt(double(bn->runningVar()[c]) +
+                                    bn->eps()));
+                g[c] = bn->gamma()[c];
+                b[c] = bn->beta()[c];
+            }
+            conv->setBnEvalEpilogue(std::move(mean), std::move(istd),
+                                    std::move(g), std::move(b));
+            bn->setFoldedEval(true);
+            ++n;
+        } else if (conv->bnEvalFolded()) {
+            conv->clearBnEvalEpilogue();
+            bn->setFoldedEval(false);
+            ++n;
+        }
+    }
+    for (Module* k : kids)
+        n += foldUnder(*k, fold);
+    return n;
+}
+
+} // namespace
+
+size_t
+foldBatchNormForEval(Module& root)
+{
+    return foldUnder(root, true);
+}
+
+size_t
+unfoldBatchNormForEval(Module& root)
+{
+    return foldUnder(root, false);
+}
+
+} // namespace mixq

@@ -1,0 +1,352 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "util/logging.hh"
+
+namespace mixq {
+
+namespace {
+
+void
+atomicMax(std::atomic<size_t>& a, size_t v)
+{
+    size_t cur = a.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+        ;
+}
+
+} // namespace
+
+BatchServer::BatchServer(std::vector<Module*> replicas,
+                         BatchTraits traits, ServeOptions opt)
+    : replicas_(std::move(replicas)), traits_(std::move(traits)),
+      opt_(opt)
+{
+    MIXQ_ASSERT(!replicas_.empty(), "serve: no model replicas");
+    MIXQ_ASSERT(opt_.maxBatch >= 1, "serve: maxBatch must be >= 1");
+    MIXQ_ASSERT(traits_.batchAxis < traits_.itemShape.size() &&
+                    traits_.itemShape[traits_.batchAxis] == 1,
+                "serve: itemShape must have extent 1 on batchAxis");
+    MIXQ_ASSERT(traits_.batchAxis <= 1,
+                "serve: batchAxis must be 0 (NCHW) or 1 (TNC)");
+    if (opt_.planArena) {
+        std::vector<size_t> ws = traits_.itemShape;
+        ws[traits_.batchAxis] = opt_.maxBatch;
+        plan_ = planServeForward(*replicas_[0], ws);
+    }
+    workers_.reserve(replicas_.size());
+    for (size_t i = 0; i < replicas_.size(); ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+BatchServer::~BatchServer()
+{
+    stop(true);
+}
+
+std::future<Tensor>
+BatchServer::submit(Tensor x)
+{
+    std::promise<Tensor> p;
+    std::future<Tensor> f = p.get_future();
+
+    const std::vector<size_t>& is = traits_.itemShape;
+    std::string err;
+    size_t items = 0;
+    if (x.ndim() != is.size()) {
+        err = "request rank does not match the server's item shape";
+    } else {
+        items = x.dim(traits_.batchAxis);
+        for (size_t i = 0; i < is.size() && err.empty(); ++i)
+            if (i != traits_.batchAxis && x.dim(i) != is[i])
+                err = "request dims do not match the item shape";
+        if (err.empty() && items == 0)
+            err = "empty request";
+        if (err.empty() && items > opt_.maxBatch)
+            err = "request items exceed maxBatch";
+    }
+    if (!err.empty()) {
+        p.set_exception(std::make_exception_ptr(
+            std::invalid_argument("mixq serve: " + err)));
+        return f;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_) {
+            p.set_exception(std::make_exception_ptr(std::runtime_error(
+                "mixq serve: submit after stop")));
+            return f;
+        }
+        Request r;
+        r.x = std::move(x);
+        r.items = items;
+        r.result = std::move(p);
+        queue_.push_back(std::move(r));
+    }
+    cv_.notify_one();
+    return f;
+}
+
+void
+BatchServer::stop(bool drain)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!stopping_) {
+            stopping_ = true;
+            drain_ = drain;
+        }
+    }
+    cv_.notify_all();
+    {
+        std::lock_guard<std::mutex> jl(joinMu_);
+        for (std::thread& t : workers_)
+            if (t.joinable())
+                t.join();
+    }
+    std::deque<Request> leftovers;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        leftovers.swap(queue_);
+    }
+    for (Request& r : leftovers)
+        r.result.set_exception(std::make_exception_ptr(
+            std::runtime_error(
+                "mixq serve: server stopped before request ran")));
+}
+
+BatchServer::Stats
+BatchServer::stats() const
+{
+    Stats s;
+    s.requests = doneRequests_.load(std::memory_order_relaxed);
+    s.items = doneItems_.load(std::memory_order_relaxed);
+    s.batches = doneBatches_.load(std::memory_order_relaxed);
+    s.arenaCapacity = arenaCapacity_.load(std::memory_order_relaxed);
+    s.planPeakBytes = plan_.peakBytes;
+    s.arenaHighWater =
+        arenaHighWater_.load(std::memory_order_relaxed);
+    s.arenaOverflows =
+        arenaOverflows_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+BatchServer::workerLoop(size_t worker)
+{
+#ifdef _OPENMP
+    // omp_set_num_threads is a per-thread ICV: setting it on the
+    // constructing thread would not affect this worker.
+    if (opt_.ompThreads > 0)
+        omp_set_num_threads(opt_.ompThreads);
+#endif
+    Module& model = *replicas_[worker];
+    std::vector<size_t> ws = traits_.itemShape;
+    ws[traits_.batchAxis] = opt_.maxBatch;
+
+    // Warmup contract (serve/arena.hh): grow every layer-internal
+    // scratch container to its max-batch capacity on the real heap
+    // before the first scoped forward. Two passes reach the fixed
+    // point (first sizes, second verifies), the third measures the
+    // steady-state transient footprint for arena sizing.
+    size_t measured = 0;
+    {
+        Tensor wx(ws); // zeros: id 0 is valid for embedding models
+        model.forward(wx, false);
+        model.forward(wx, false);
+        ScopedHeapAllocCount m;
+        Tensor y = model.forward(wx, false);
+        measured = m.bytes();
+    }
+    size_t cap = opt_.arenaBytes;
+    cap = std::max(cap, 2 * measured + (size_t(64) << 10));
+    cap = std::max(cap, plan_.peakBytes + (size_t(64) << 10));
+    Arena arena(cap);
+    if (worker == 0)
+        arenaCapacity_.store(cap, std::memory_order_relaxed);
+
+    size_t batchesDone = 0;
+    for (;;) {
+        std::vector<Request> batch;
+        size_t items = 0;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk,
+                     [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                break; // stopping, nothing left (or drained)
+            if (stopping_ && !drain_)
+                break; // stop() fails the leftovers
+            items = queue_.front().items;
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            if (opt_.deadlineUs > 0 && items < opt_.maxBatch) {
+                auto dl = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(opt_.deadlineUs);
+                bool timedOut = false;
+                for (;;) {
+                    // FIFO coalesce: adjacent requests that fit. A
+                    // head that does not fit ships the batch as-is —
+                    // no reordering past it.
+                    while (!queue_.empty() &&
+                           items + queue_.front().items <=
+                               opt_.maxBatch) {
+                        items += queue_.front().items;
+                        batch.push_back(std::move(queue_.front()));
+                        queue_.pop_front();
+                    }
+                    if (items >= opt_.maxBatch || !queue_.empty() ||
+                        stopping_ || timedOut)
+                        break;
+                    timedOut = cv_.wait_until(lk, dl) ==
+                               std::cv_status::timeout;
+                }
+            }
+        }
+        runBatch(model, arena, batch, items, batchesDone);
+        ++batchesDone;
+    }
+}
+
+void
+BatchServer::runBatch(Module& model, Arena& arena,
+                      std::vector<Request>& batch, size_t items,
+                      size_t batchesDone)
+{
+    (void)batchesDone;
+    try {
+        Tensor xb, yb;
+#ifndef NDEBUG
+        const size_t overflowsBefore = arena.overflowCount();
+#endif
+        {
+            ArenaScope scope(arena);
+#ifndef NDEBUG
+            ScopedHeapAllocCount heap;
+#endif
+            xb = gather(batch, items);
+            yb = model.forward(xb, false);
+#ifndef NDEBUG
+            // Steady state: every transient lives in the arena. The
+            // first batches may still settle promise plumbing; an
+            // arena overflow falls back to the heap legitimately.
+            if (batchesDone >= 2 &&
+                arena.overflowCount() == overflowsBefore)
+                MIXQ_ASSERT(
+                    heap.count() == 0,
+                    "serve: steady-state forward allocated on the "
+                    "heap — a layer grew scratch outside warmup");
+#endif
+        }
+        // Responses are deep copies on the real heap: they outlive
+        // this batch's arena region. yb stays readable until reset.
+        scatter(yb, items, batch);
+        xb = Tensor(); // arena-backed; the frees are no-ops
+        yb = Tensor();
+        arena.reset();
+    } catch (...) {
+        std::exception_ptr e = std::current_exception();
+        for (Request& r : batch) {
+            try {
+                r.result.set_exception(e);
+            } catch (const std::future_error&) {
+                // already satisfied by a partial scatter
+            }
+        }
+        arena.reset();
+    }
+    atomicMax(arenaHighWater_, arena.highWater());
+    atomicMax(arenaOverflows_, arena.overflowCount());
+    doneBatches_.fetch_add(1, std::memory_order_relaxed);
+    doneItems_.fetch_add(items, std::memory_order_relaxed);
+    doneRequests_.fetch_add(batch.size(), std::memory_order_relaxed);
+}
+
+Tensor
+BatchServer::gather(const std::vector<Request>& batch,
+                    size_t items) const
+{
+    std::vector<size_t> bs = traits_.itemShape;
+    bs[traits_.batchAxis] = items;
+    Tensor xb(bs);
+    if (traits_.batchAxis == 0) {
+        const size_t itemElems = shapeSize(traits_.itemShape);
+        size_t off = 0;
+        for (const Request& r : batch) {
+            std::copy_n(r.x.data(), r.items * itemElems,
+                        xb.data() + off * itemElems);
+            off += r.items;
+        }
+    } else { // axis 1: [T, N, ...] — interleave per timestep
+        const size_t t = traits_.itemShape[0];
+        size_t inner = 1;
+        for (size_t i = 2; i < traits_.itemShape.size(); ++i)
+            inner *= traits_.itemShape[i];
+        size_t off = 0;
+        for (const Request& r : batch) {
+            for (size_t tt = 0; tt < t; ++tt)
+                std::copy_n(
+                    r.x.data() + tt * r.items * inner,
+                    r.items * inner,
+                    xb.data() + (tt * items + off) * inner);
+            off += r.items;
+        }
+    }
+    return xb;
+}
+
+void
+BatchServer::scatter(const Tensor& yb, size_t items,
+                     std::vector<Request>& batch) const
+{
+    std::vector<Tensor> outs;
+    outs.reserve(batch.size());
+    if (traits_.timeMajorOut) {
+        // yb rows are [T*B, C] grouped by timestep; a request's rows
+        // are t*k + i for its k items.
+        const size_t t = traits_.itemShape[0];
+        MIXQ_ASSERT(yb.dim(0) == t * items,
+                    "serve: time-major output row count mismatch");
+        const size_t cols = yb.size() / (t * items);
+        size_t off = 0;
+        for (const Request& r : batch) {
+            Tensor o({t * r.items, cols});
+            for (size_t tt = 0; tt < t; ++tt)
+                std::copy_n(
+                    yb.data() + (tt * items + off) * cols,
+                    r.items * cols, o.data() + tt * r.items * cols);
+            outs.push_back(std::move(o));
+            off += r.items;
+        }
+    } else {
+        MIXQ_ASSERT(yb.dim(0) == items,
+                    "serve: output row count mismatch");
+        const size_t rowElems = yb.size() / items;
+        const std::vector<size_t> tail(yb.shape().begin() + 1,
+                                       yb.shape().end());
+        size_t off = 0;
+        for (const Request& r : batch) {
+            std::vector<size_t> os;
+            os.push_back(r.items);
+            os.insert(os.end(), tail.begin(), tail.end());
+            Tensor o(std::move(os));
+            std::copy_n(yb.data() + off * rowElems,
+                        r.items * rowElems, o.data());
+            outs.push_back(std::move(o));
+            off += r.items;
+        }
+    }
+    for (size_t i = 0; i < batch.size(); ++i)
+        batch[i].result.set_value(std::move(outs[i]));
+}
+
+} // namespace mixq

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Batched inference server runtime. BatchServer owns a small pool of
+ * worker threads, each bound to one model replica; callers submit()
+ * single- or multi-item request tensors and get a future for the
+ * per-request output slice. Workers pull from one shared FIFO queue
+ * and coalesce adjacent requests into a batch of up to
+ * ServeOptions::maxBatch items, waiting at most deadlineUs for the
+ * batch to fill — the classic dynamic-batching latency/throughput
+ * trade. Coalescing never reorders: the queue head that does not fit
+ * ships the batch (a request is one unit; items of one request are
+ * never split across batches).
+ *
+ * Every worker runs its steady-state forwards inside an ArenaScope
+ * (serve/arena.hh): warmup sizes all layer-internal scratch at the
+ * max-batch shape on the real heap, the arena is sized from the
+ * measured transient footprint and the ahead-of-time plan
+ * (serve/planner.hh), and from then on each batch's activations are
+ * bump-allocated and released with one pointer reset. In Debug
+ * builds the worker asserts the steady state allocates nothing on
+ * the calling thread's heap.
+ *
+ * Batch composition does not change results: the Int backend's
+ * integer accumulation is per output column and every float epilogue
+ * is per-element, so a request served alone is bit-identical to the
+ * same request inside any coalesced batch (tests/serve_test.cc locks
+ * this in).
+ */
+
+#ifndef MIXQ_SERVE_SERVER_HH
+#define MIXQ_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nn/module.hh"
+#include "serve/arena.hh"
+#include "serve/planner.hh"
+
+namespace mixq {
+
+/** Tuning knobs of a BatchServer. */
+struct ServeOptions
+{
+    size_t maxBatch = 8;   //!< max coalesced items per forward
+    long deadlineUs = 1000; //!< max wait for a batch to fill; 0 =
+                            //!< never coalesce (batch of one request)
+    size_t arenaBytes = 0; //!< arena capacity floor; 0 = sized from
+                           //!< warmup measurement and the plan
+    int ompThreads = 0;    //!< omp_set_num_threads per worker; 0 =
+                           //!< inherit the environment
+    bool planArena = true; //!< run the ahead-of-time planner
+};
+
+/**
+ * How request items map onto the model's input/output tensors.
+ * itemShape is the full input shape of a single item (batch dim 1):
+ * {1, C, H, W} for the CNNs (batchAxis 0), {T, 1} / {T, 1, F} for
+ * the sequence models (batchAxis 1). timeMajorOut marks models whose
+ * output rows are [T*N, ...] grouped by timestep (LstmLm, GruTagger);
+ * off it is [N, ...] grouped by item.
+ */
+struct BatchTraits
+{
+    std::vector<size_t> itemShape;
+    size_t batchAxis = 0;
+    bool timeMajorOut = false;
+};
+
+/** Dynamic-batching inference server over per-worker model replicas. */
+class BatchServer
+{
+  public:
+    /** Running totals and sizing facts (test/bench introspection). */
+    struct Stats
+    {
+        size_t requests = 0; //!< requests completed
+        size_t items = 0;    //!< items completed
+        size_t batches = 0;  //!< forwards executed
+        size_t arenaCapacity = 0;  //!< worker 0's arena size
+        size_t planPeakBytes = 0;  //!< planner's analytic peak
+        size_t arenaHighWater = 0; //!< worker 0's observed peak
+        size_t arenaOverflows = 0; //!< heap-fallback allocations
+    };
+
+    /**
+     * Spawn one worker thread per replica. Replicas must be distinct
+     * Module trees of identical architecture and weights, already
+     * switched to the serving backend — layer forward passes use
+     * member scratch, so a replica must never be shared between
+     * workers. The server does not own the replicas.
+     */
+    BatchServer(std::vector<Module*> replicas, BatchTraits traits,
+                ServeOptions opt);
+
+    /** stop(true): drain the queue, then join the workers. */
+    ~BatchServer();
+
+    BatchServer(const BatchServer&) = delete;
+    BatchServer& operator=(const BatchServer&) = delete;
+
+    /**
+     * Enqueue one request of one or more items (dim batchAxis is the
+     * item count; every other dim must match itemShape). The future
+     * resolves to this request's output slice — bit-identical to
+     * running the request alone. Shape errors, oversize requests
+     * (items > maxBatch) and submission after stop() resolve the
+     * future to an exception instead of enqueueing.
+     */
+    std::future<Tensor> submit(Tensor x);
+
+    /**
+     * Stop the server. drain == true serves every queued request
+     * first; drain == false stops after in-flight batches and fails
+     * the remaining futures with std::runtime_error. Idempotent;
+     * subsequent submit() calls are rejected.
+     */
+    void stop(bool drain = true);
+
+    Stats stats() const;
+
+    /** The ahead-of-time plan ({} when planArena was off). */
+    const ServePlan& plan() const { return plan_; }
+
+  private:
+    struct Request
+    {
+        Tensor x;
+        size_t items = 0;
+        std::promise<Tensor> result;
+    };
+
+    void workerLoop(size_t worker);
+    void runBatch(Module& model, Arena& arena,
+                  std::vector<Request>& batch, size_t items,
+                  size_t batchesDone);
+    Tensor gather(const std::vector<Request>& batch,
+                  size_t items) const;
+    void scatter(const Tensor& yb, size_t items,
+                 std::vector<Request>& batch) const;
+
+    std::vector<Module*> replicas_;
+    BatchTraits traits_;
+    ServeOptions opt_;
+    ServePlan plan_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    bool stopping_ = false;
+    bool drain_ = true;
+    std::mutex joinMu_; //!< serializes the join in stop()
+    std::vector<std::thread> workers_;
+
+    std::atomic<size_t> doneRequests_{0};
+    std::atomic<size_t> doneItems_{0};
+    std::atomic<size_t> doneBatches_{0};
+    std::atomic<size_t> arenaCapacity_{0};
+    std::atomic<size_t> arenaHighWater_{0};
+    std::atomic<size_t> arenaOverflows_{0};
+};
+
+} // namespace mixq
+
+#endif // MIXQ_SERVE_SERVER_HH

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Arena allocator and ahead-of-time plan unit tests: bump-allocation
+ * mechanics, the thread-local operator-new redirect, the scoped
+ * heap-allocation counter, liveness-overlap rejection in
+ * ServePlan::validate(), the greedy offset assignment against an
+ * analytic hand case, plan byte-stability across replans, and the
+ * headline property — a warmed-up Int-backend forward under an
+ * ArenaScope performs zero real-heap allocations on the calling
+ * thread and still produces bit-identical outputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "infer/session.hh"
+#include "nn/models.hh"
+#include "nn/rnn_models.hh"
+#include "nn/trainer.hh"
+#include "serve/arena.hh"
+#include "serve/planner.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+TEST(Arena, BumpAllocAlignmentAndReset)
+{
+    Arena a(1024);
+    EXPECT_EQ(a.capacity(), 1024u);
+    EXPECT_EQ(a.used(), 0u);
+
+    void* p = a.alloc(10, 8);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(a.contains(p));
+    EXPECT_EQ(uintptr_t(p) % 8, 0u);
+
+    void* q = a.alloc(100, 64);
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(uintptr_t(q) % 64, 0u);
+    EXPECT_GT(a.used(), 100u);
+    size_t usedBefore = a.used();
+
+    // Over-capacity allocation fails (heap fallback is the caller's
+    // job) and leaves the arena untouched.
+    EXPECT_EQ(a.alloc(2048, 8), nullptr);
+    EXPECT_EQ(a.used(), usedBefore);
+
+    a.reset();
+    EXPECT_EQ(a.used(), 0u);
+    EXPECT_GE(a.highWater(), usedBefore);
+    EXPECT_EQ(a.allocCount(), 2u);
+
+    // The recycled block hands out the same addresses again.
+    void* p2 = a.alloc(10, 8);
+    EXPECT_EQ(p2, p);
+
+    int heap = 7;
+    EXPECT_FALSE(a.contains(&heap));
+}
+
+TEST(Arena, ScopeRedirectsCallingThreadAllocations)
+{
+    Arena a(1 << 16);
+    uint64_t heapBefore = heapAllocCount();
+    uint64_t arenaBefore = arenaAllocCount();
+
+    float* inArena = nullptr;
+    {
+        ArenaScope scope(a);
+        inArena = new float[32];
+        // The redirect served this from the arena, not the heap.
+    }
+    ASSERT_NE(inArena, nullptr);
+    EXPECT_TRUE(a.contains(inArena));
+    EXPECT_EQ(heapAllocCount(), heapBefore);
+    EXPECT_GT(arenaAllocCount(), arenaBefore);
+
+    // Deleting an arena pointer is a no-op (the block is recycled
+    // wholesale); deleting while the arena is live must not free.
+    delete[] inArena;
+    EXPECT_GT(a.used(), 0u);
+
+    // Outside the scope, new goes back to the real heap.
+    float* onHeap = new float[32];
+    EXPECT_FALSE(a.contains(onHeap));
+    EXPECT_GT(heapAllocCount(), heapBefore);
+    delete[] onHeap;
+}
+
+TEST(Arena, ScopedHeapAllocCountSeesHeapTraffic)
+{
+    ScopedHeapAllocCount c;
+    EXPECT_EQ(c.count(), 0u);
+    char* p = new char[100];
+    // Keep the pointer observable so the optimizer cannot elide the
+    // new/delete pair (C++14 allocation elision).
+    asm volatile("" : : "r"(p) : "memory");
+    EXPECT_GE(c.count(), 1u);
+    EXPECT_GE(c.bytes(), 100u);
+    delete[] p;
+}
+
+namespace {
+
+PlanBuffer
+buf(const char* name, size_t bytes, size_t def, size_t lastUse,
+    size_t offset = 0)
+{
+    PlanBuffer b;
+    b.name = name;
+    b.shape = {bytes / sizeof(float)};
+    b.bytes = bytes;
+    b.def = def;
+    b.lastUse = lastUse;
+    b.offset = offset;
+    return b;
+}
+
+} // namespace
+
+TEST(ServePlanValidate, RejectsOverlapOfLiveBuffers)
+{
+    ServePlan p;
+    p.buffers.push_back(buf("a", 256, 0, 1, 0));
+    p.buffers.push_back(buf("b", 256, 1, 2, 0)); // alive with a, same
+                                                 // bytes — invalid
+    p.peakBytes = 1024;
+    std::string why;
+    EXPECT_FALSE(p.validate(&why));
+    EXPECT_NE(why.find("overlap"), std::string::npos);
+
+    p.buffers[1].offset = 256; // disjoint ranges — valid
+    EXPECT_TRUE(p.validate(&why)) << why;
+
+    // Non-overlapping lifetimes may share bytes.
+    p.buffers[1].def = 2;
+    p.buffers[1].lastUse = 3;
+    p.buffers[1].offset = 0;
+    EXPECT_TRUE(p.validate(&why)) << why;
+
+    // A buffer past peakBytes is invalid even without overlap.
+    p.buffers[1].offset = 1000;
+    EXPECT_FALSE(p.validate(&why));
+    EXPECT_NE(why.find("peakBytes"), std::string::npos);
+}
+
+TEST(AssignArenaOffsets, MatchesAnalyticHandCase)
+{
+    // Chain a -> b -> c: a and b overlap, b and c overlap, a and c
+    // do not — c reuses a's bytes, b packs above the larger of them.
+    std::vector<PlanBuffer> bufs;
+    bufs.push_back(buf("a", 1000, 0, 1));
+    bufs.push_back(buf("b", 500, 1, 2));
+    bufs.push_back(buf("c", 900, 2, 2));
+    size_t peak = assignArenaOffsets(bufs);
+
+    EXPECT_EQ(bufs[0].offset, 0u);
+    EXPECT_EQ(bufs[2].offset, 0u); // reuses a's range
+    EXPECT_EQ(bufs[1].offset, 1024u); // align64(1000)
+    EXPECT_EQ(peak, 1536u); // align64(1024 + 500)
+
+    ServePlan p;
+    p.buffers = bufs;
+    p.peakBytes = peak;
+    std::string why;
+    EXPECT_TRUE(p.validate(&why)) << why;
+}
+
+TEST(Planner, MiniResNetPlanIsValidAndByteStable)
+{
+    Rng rng(71);
+    auto model = makeMiniResNet(4, rng);
+    ServePlan p1 = planServeForward(*model, {8, 3, 12, 12});
+
+    ASSERT_EQ(p1.outShape, (std::vector<size_t>{8, 4}));
+    EXPECT_GT(p1.peakBytes, 0u);
+    EXPECT_FALSE(p1.buffers.empty());
+    EXPECT_FALSE(p1.net.layers.empty());
+    std::string why;
+    EXPECT_TRUE(p1.validate(&why)) << why;
+    // The packed peak must beat keeping every buffer alive at once.
+    size_t total = 0;
+    for (const PlanBuffer& b : p1.buffers)
+        total += b.bytes;
+    EXPECT_LT(p1.peakBytes, total);
+
+    // Replanning is deterministic field for field.
+    ServePlan p2 = planServeForward(*model, {8, 3, 12, 12});
+    ASSERT_EQ(p2.buffers.size(), p1.buffers.size());
+    EXPECT_EQ(p2.peakBytes, p1.peakBytes);
+    for (size_t i = 0; i < p1.buffers.size(); ++i) {
+        EXPECT_EQ(p2.buffers[i].name, p1.buffers[i].name);
+        EXPECT_EQ(p2.buffers[i].shape, p1.buffers[i].shape);
+        EXPECT_EQ(p2.buffers[i].def, p1.buffers[i].def);
+        EXPECT_EQ(p2.buffers[i].lastUse, p1.buffers[i].lastUse);
+        EXPECT_EQ(p2.buffers[i].offset, p1.buffers[i].offset);
+    }
+}
+
+TEST(Planner, RnnModelsPlanWithTimeMajorShapes)
+{
+    Rng rng(72);
+    size_t vocab = 20, t = 6, n = 8;
+    LstmLm lm(vocab, 10, 16, 2, rng);
+    ServePlan lp = planServeForward(lm, {t, n});
+    EXPECT_EQ(lp.outShape, (std::vector<size_t>{t * n, vocab}));
+    std::string why;
+    EXPECT_TRUE(lp.validate(&why)) << why;
+
+    GruTagger tagger(12, 16, 2, 5, rng);
+    ServePlan gp = planServeForward(tagger, {t, n, 12});
+    EXPECT_EQ(gp.outShape, (std::vector<size_t>{t * n, 5}));
+    EXPECT_TRUE(gp.validate(&why)) << why;
+
+    LstmClassifier clf(vocab, 10, 16, 1, 2, rng);
+    ServePlan cp = planServeForward(clf, {t, n});
+    EXPECT_EQ(cp.outShape, (std::vector<size_t>{n, 2}));
+    EXPECT_TRUE(cp.validate(&why)) << why;
+}
+
+// The headline property: after unscoped warmup at the serving shape,
+// an Int-backend forward inside an ArenaScope allocates nothing on
+// the calling thread's real heap, and the arena-served run is
+// bit-identical to the heap-served one.
+TEST(Arena, SteadyStateIntForwardAllocatesZeroHeap)
+{
+    Rng dataRng(73);
+    Tensor x = Tensor::randn({8, 3, 12, 12}, dataRng, 1.0);
+    for (float& v : x.span())
+        v = v < 0.0f ? -v : v;
+
+    Rng rng(74);
+    auto model = makeMiniResNet(4, rng);
+    QConfig cfg;
+    QatContext qat(cfg);
+    qat.attach(model->params());
+    model->setActQuant(cfg.actBits, true);
+    model->forward(x, true); // calibrate
+    qat.finalize();
+    InferenceSession sess(*model, &qat, InferBackend::Int);
+
+    // Warmup: grow every layer scratch container to steady-state
+    // capacity on the real heap (the serve warmup contract).
+    sess.run(x);
+    Tensor ref = sess.run(x);
+
+    ServePlan plan = planServeForward(*model, {8, 3, 12, 12});
+    Arena arena(4 * plan.peakBytes + (1 << 20));
+    Tensor got;
+    uint64_t heapAllocs = 0, arenaAllocs = 0;
+    {
+        ArenaScope scope(arena);
+        ScopedHeapAllocCount heap;
+        uint64_t a0 = arenaAllocCount();
+        got = sess.run(x);
+        heapAllocs = heap.count();
+        arenaAllocs = arenaAllocCount() - a0;
+    }
+    EXPECT_EQ(heapAllocs, 0u)
+        << "steady-state forward hit the real heap";
+    EXPECT_GT(arenaAllocs, 0u);
+    EXPECT_EQ(arena.overflowCount(), 0u);
+    EXPECT_LE(arena.highWater(), arena.capacity());
+
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(got[i], ref[i]) << "index " << i;
+
+    // Drop the arena-backed tensor before the arena dies, then make
+    // sure the block recycles for another identical run.
+    got = Tensor();
+    arena.reset();
+    {
+        ArenaScope scope(arena);
+        got = sess.run(x);
+    }
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(got[i], ref[i]) << "after reset, index " << i;
+    got = Tensor();
+}
+
+} // namespace
+} // namespace mixq

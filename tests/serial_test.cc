@@ -20,6 +20,7 @@
 #include "data/synth_images.hh"
 #include "infer/session.hh"
 #include "nn/models.hh"
+#include "nn/optim.hh"
 #include "nn/rnn_models.hh"
 #include "nn/trainer.hh"
 #include "serial/checkpoint.hh"
@@ -218,6 +219,96 @@ TEST(Checkpoint, ResumedTrainingReproducesLossTrajectory)
     for (size_t e = 0; e < contLoss.size(); ++e)
         EXPECT_EQ(contLoss[e], resLoss[e]) << "epoch " << e;
     expectParamsBitEqual(*model, *resumed);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MomentumCarryingResumeReproducesTrajectory)
+{
+    // The test above restarts a fresh Sgd in both arms, so it never
+    // exercises momentum. Here the optimizer is caller-owned, its
+    // velocities are serialized ("opt/<path>.v"), and a restored run
+    // must continue the velocity trajectory bit for bit — while a
+    // cold optimizer (velocities back at zero) must diverge.
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 64, 9);
+    TrainCfg stage;
+    stage.epochs = 2;
+    stage.batch = 16;
+    stage.seed = 7;
+
+    Rng rng(22);
+    auto model = makeTinyConvNet(train.numClasses, rng, 4);
+    Sgd sgd(model->params(), stage.lr, stage.momentum,
+            stage.weightDecay);
+    trainClassifier(*model, train, stage, nullptr, &sgd);
+
+    // Two epochs of momentum-0.9 training leave real velocity state.
+    bool anyVelocity = false;
+    for (size_t i = 0; i < sgd.params().size(); ++i)
+        for (size_t j = 0; j < sgd.velocity(i).size(); ++j)
+            anyVelocity |= sgd.velocity(i)[j] != 0.0f;
+    ASSERT_TRUE(anyVelocity);
+
+    const std::string path = tmpPath("ckpt_momentum.bin");
+    saveCheckpoint(path, *model, nullptr, &sgd);
+    // Snapshot the velocities as of the checkpoint — continuing the
+    // in-process run below advances them past the saved state.
+    std::vector<std::vector<float>> velAtSave;
+    for (size_t i = 0; i < sgd.params().size(); ++i)
+        velAtSave.emplace_back(sgd.velocity(i).data(),
+                               sgd.velocity(i).data() +
+                                   sgd.velocity(i).size());
+
+    std::vector<double> contLoss;
+    TrainCfg stage2 = stage;
+    stage2.epochLoss = &contLoss;
+    trainClassifier(*model, train, stage2, nullptr, &sgd);
+
+    // Warm resume: restore params AND velocities.
+    Rng rng2(78);
+    auto resumed = makeTinyConvNet(train.numClasses, rng2, 4);
+    CheckpointLoadResult res = loadCheckpoint(path, *resumed);
+    Sgd sgd2(resumed->params(), stage.lr, stage.momentum,
+             stage.weightDecay);
+    size_t restored = restoreOptimizerState(res, *resumed, sgd2);
+    EXPECT_EQ(restored, sgd2.params().size());
+    for (size_t i = 0; i < velAtSave.size(); ++i) {
+        ASSERT_EQ(sgd2.velocity(i).size(), velAtSave[i].size());
+        EXPECT_EQ(std::memcmp(sgd2.velocity(i).data(),
+                              velAtSave[i].data(),
+                              velAtSave[i].size() * sizeof(float)),
+                  0)
+            << "velocity " << i << " did not round-trip";
+    }
+    std::vector<double> resLoss;
+    TrainCfg stage3 = stage;
+    stage3.epochLoss = &resLoss;
+    trainClassifier(*resumed, train, stage3, nullptr, &sgd2);
+
+    ASSERT_EQ(contLoss.size(), resLoss.size());
+    for (size_t e = 0; e < contLoss.size(); ++e)
+        EXPECT_EQ(contLoss[e], resLoss[e]) << "epoch " << e;
+    expectParamsBitEqual(*model, *resumed);
+
+    // Cold resume: params restored, velocities left at zero. The
+    // trajectory must diverge — this is exactly the silent drift a
+    // checkpoint without optimizer state causes.
+    Rng rng3(79);
+    auto cold = makeTinyConvNet(train.numClasses, rng3, 4);
+    loadCheckpoint(path, *cold);
+    Sgd sgdCold(cold->params(), stage.lr, stage.momentum,
+                stage.weightDecay);
+    std::vector<double> coldLoss;
+    TrainCfg stage4 = stage;
+    stage4.epochLoss = &coldLoss;
+    trainClassifier(*cold, train, stage4, nullptr, &sgdCold);
+
+    ASSERT_EQ(coldLoss.size(), contLoss.size());
+    bool differs = false;
+    for (size_t e = 0; e < contLoss.size(); ++e)
+        differs |= coldLoss[e] != contLoss[e];
+    EXPECT_TRUE(differs)
+        << "zero-velocity resume should not reproduce the "
+           "momentum-carrying trajectory";
     std::remove(path.c_str());
 }
 

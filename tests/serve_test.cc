@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Batched inference server tests. The heart is batching invariance:
+ * the Int backend's integer accumulation is per output column and
+ * every float epilogue is per-element, so a request served alone must
+ * be *bit-identical* to the same request inside any coalesced batch —
+ * checked for the CNN (MiniResNet, batch axis 0) and both time-major
+ * sequence models (LstmLm, GruTagger, batch axis 1) across worker
+ * OMP thread counts. Around it: concurrency (ragged producers, no
+ * lost or duplicated responses), shutdown mid-flight (every future
+ * settles), the deadline=0 degenerate case (one request per batch),
+ * request validation, and inference-only Conv+BN folding
+ * (serve/bn_fold.hh) staying bit-identical on the Int backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "infer/session.hh"
+#include "nn/models.hh"
+#include "nn/rnn_models.hh"
+#include "nn/trainer.hh"
+#include "serve/bn_fold.hh"
+#include "serve/server.hh"
+#include "util/rng.hh"
+
+namespace mixq {
+namespace {
+
+void
+expectBitEqual(const Tensor& got, const Tensor& ref)
+{
+    ASSERT_EQ(got.shape(), ref.shape());
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(got[i], ref[i]) << "index " << i;
+}
+
+/** Contiguous item slice of a batch-axis-0 tensor [N, ...]. */
+Tensor
+sliceAxis0(const Tensor& x, size_t off, size_t k)
+{
+    std::vector<size_t> s = x.shape();
+    s[0] = k;
+    Tensor o(std::move(s));
+    size_t row = x.size() / x.dim(0);
+    std::copy_n(x.data() + off * row, k * row, o.data());
+    return o;
+}
+
+/** Item-column slice of a batch-axis-1 tensor [T, N, ...]. */
+Tensor
+sliceAxis1(const Tensor& x, size_t off, size_t k)
+{
+    std::vector<size_t> s = x.shape();
+    s[1] = k;
+    Tensor o(std::move(s));
+    size_t t = x.dim(0), n = x.dim(1);
+    size_t inner = x.size() / (t * n);
+    for (size_t tt = 0; tt < t; ++tt)
+        std::copy_n(x.data() + (tt * n + off) * inner, k * inner,
+                    o.data() + tt * k * inner);
+    return o;
+}
+
+/** QAT-calibrate @p model on @p x and switch it to the Int backend. */
+void
+toIntBackend(Module& model, const Tensor& x)
+{
+    QConfig cfg;
+    QatContext qat(cfg);
+    qat.attach(model.params());
+    model.setActQuant(cfg.actBits, true);
+    model.forward(x, true); // calibrate
+    qat.finalize();
+    applyInferBackend(model, InferBackend::Int, &qat);
+}
+
+/**
+ * Serve every composition of @p data through a fresh one-worker
+ * server and require each response bit-identical to the same request
+ * run alone (@p refs, computed by direct forwards). Compositions are
+ * sized to sum to maxBatch so the worker coalesces them into one
+ * forward (a slow machine may split them — invariance must hold
+ * either way).
+ */
+void
+checkCompositions(Module& model, const BatchTraits& traits,
+                  const Tensor& data, int ompThreads,
+                  const std::vector<std::vector<size_t>>& comps)
+{
+    auto slice = traits.batchAxis == 0 ? sliceAxis0 : sliceAxis1;
+    for (const std::vector<size_t>& comp : comps) {
+        size_t total = 0;
+        for (size_t k : comp)
+            total += k;
+
+        std::vector<Tensor> reqs, refs;
+        size_t off = 0;
+        for (size_t k : comp) {
+            reqs.push_back(slice(data, off, k));
+            refs.push_back(model.forward(reqs.back(), false));
+            off += k;
+        }
+
+        ServeOptions opt;
+        opt.maxBatch = total;
+        opt.deadlineUs = 2'000'000; // settled by the batch filling
+        opt.ompThreads = ompThreads;
+        BatchServer server({&model}, traits, opt);
+        std::vector<std::future<Tensor>> futs;
+        for (Tensor& r : reqs)
+            futs.push_back(server.submit(std::move(r)));
+        for (size_t i = 0; i < futs.size(); ++i) {
+            SCOPED_TRACE(testing::Message()
+                         << "request " << i << " of "
+                         << comp.size() << ", threads "
+                         << ompThreads);
+            Tensor got = futs[i].get();
+            expectBitEqual(got, refs[i]);
+        }
+        server.stop(true);
+        BatchServer::Stats st = server.stats();
+        EXPECT_EQ(st.requests, comp.size());
+        EXPECT_EQ(st.items, total);
+        EXPECT_EQ(st.arenaOverflows, 0u);
+    }
+}
+
+std::vector<int>
+threadCounts()
+{
+#ifdef _OPENMP
+    return {1, 4, 8};
+#else
+    return {0};
+#endif
+}
+
+const std::vector<std::vector<size_t>> kComps = {
+    {1, 1},                     // pair of singles
+    {3, 1, 2, 1},               // ragged batch of 7
+    {1, 1, 1, 1, 1, 1, 1, 1},   // full batch of 8 singles
+};
+
+TEST(ServeBatching, MiniResNetRequestInvariantToCoalescing)
+{
+    Rng dataRng(81);
+    Tensor x = Tensor::randn({8, 3, 12, 12}, dataRng, 1.0);
+    for (float& v : x.span())
+        v = v < 0.0f ? -v : v;
+
+    for (int threads : threadCounts()) {
+#ifdef _OPENMP
+        omp_set_num_threads(threads); // for the reference forwards
+#endif
+        Rng rng(82);
+        auto model = makeMiniResNet(4, rng);
+        toIntBackend(*model, x);
+
+        BatchTraits traits;
+        traits.itemShape = {1, 3, 12, 12};
+        checkCompositions(*model, traits, x, threads, kComps);
+    }
+}
+
+TEST(ServeBatching, LstmLmRequestInvariantToCoalescing)
+{
+    size_t vocab = 20, t = 6;
+    Rng dataRng(83);
+    Tensor x({t, 8});
+    for (float& v : x.span())
+        v = float(int(dataRng.uniform(0.0, double(vocab) - 0.001)));
+
+    for (int threads : threadCounts()) {
+#ifdef _OPENMP
+        omp_set_num_threads(threads);
+#endif
+        Rng rng(84);
+        LstmLm lm(vocab, 10, 16, 2, rng);
+        toIntBackend(lm, x);
+
+        BatchTraits traits;
+        traits.itemShape = {t, 1};
+        traits.batchAxis = 1;
+        traits.timeMajorOut = true;
+        checkCompositions(lm, traits, x, threads, kComps);
+    }
+}
+
+TEST(ServeBatching, GruTaggerRequestInvariantToCoalescing)
+{
+    size_t feat = 12, t = 6;
+    Rng dataRng(85);
+    Tensor x = Tensor::randn({t, 8, feat}, dataRng, 1.0);
+
+    for (int threads : threadCounts()) {
+#ifdef _OPENMP
+        omp_set_num_threads(threads);
+#endif
+        Rng rng(86);
+        GruTagger tagger(feat, 16, 2, 5, rng);
+        toIntBackend(tagger, x);
+
+        BatchTraits traits;
+        traits.itemShape = {t, 1, feat};
+        traits.batchAxis = 1;
+        traits.timeMajorOut = true;
+        checkCompositions(tagger, traits, x, threads, kComps);
+    }
+}
+
+TEST(ServeConcurrency, RaggedProducersAllSettleCorrectly)
+{
+    Rng dataRng(87);
+    Tensor pool = Tensor::randn({16, 3, 12, 12}, dataRng, 1.0);
+    for (float& v : pool.span())
+        v = v < 0.0f ? -v : v;
+
+    Rng rng(88);
+    auto model = makeMiniResNet(4, rng);
+    toIntBackend(*model, pool);
+
+    // Pre-compute the alone-served reference of every request the
+    // producers will send (the model belongs to the worker once the
+    // server is up).
+    constexpr size_t kProducers = 4, kPerProducer = 12;
+    std::vector<std::vector<Tensor>> reqs(kProducers);
+    std::vector<std::vector<Tensor>> refs(kProducers);
+    for (size_t p = 0; p < kProducers; ++p) {
+        for (size_t i = 0; i < kPerProducer; ++i) {
+            size_t k = 1 + (p + i) % 3; // ragged 1..3
+            size_t off = (3 * i + p) % (16 - k);
+            reqs[p].push_back(sliceAxis0(pool, off, k));
+            refs[p].push_back(
+                model->forward(reqs[p].back(), false));
+        }
+    }
+
+    ServeOptions opt;
+    opt.maxBatch = 8;
+    opt.deadlineUs = 300;
+    BatchServer server({model.get()},
+                       BatchTraits{{1, 3, 12, 12}, 0, false}, opt);
+
+    std::vector<std::vector<std::future<Tensor>>> futs(kProducers);
+    std::vector<std::thread> producers;
+    for (size_t p = 0; p < kProducers; ++p)
+        producers.emplace_back([&, p] {
+            for (size_t i = 0; i < kPerProducer; ++i)
+                futs[p].push_back(
+                    server.submit(std::move(reqs[p][i])));
+        });
+    for (std::thread& t : producers)
+        t.join();
+
+    size_t totalItems = 0;
+    for (size_t p = 0; p < kProducers; ++p)
+        for (size_t i = 0; i < kPerProducer; ++i) {
+            SCOPED_TRACE(testing::Message()
+                         << "producer " << p << " request " << i);
+            ASSERT_EQ(futs[p][i].wait_for(std::chrono::seconds(30)),
+                      std::future_status::ready)
+                << "lost response";
+            Tensor got = futs[p][i].get();
+            expectBitEqual(got, refs[p][i]);
+            totalItems += got.dim(0);
+        }
+
+    server.stop(true);
+    BatchServer::Stats st = server.stats();
+    EXPECT_EQ(st.requests, kProducers * kPerProducer);
+    EXPECT_EQ(st.items, totalItems);
+    EXPECT_GE(st.batches, 1u);
+    EXPECT_LE(st.batches, st.requests);
+}
+
+TEST(ServeShutdown, StopMidFlightSettlesEveryFuture)
+{
+    Rng dataRng(89);
+    Tensor x = Tensor::randn({1, 3, 12, 12}, dataRng, 1.0);
+    Rng rng(90);
+    auto model = makeMiniResNet(4, rng);
+    toIntBackend(*model, x);
+
+    ServeOptions opt;
+    opt.maxBatch = 4;
+    opt.deadlineUs = 50'000; // keep requests queued at stop time
+    BatchServer server({model.get()},
+                       BatchTraits{{1, 3, 12, 12}, 0, false}, opt);
+
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < 40; ++i)
+        futs.push_back(server.submit(sliceAxis0(x, 0, 1)));
+    server.stop(/*drain=*/false);
+
+    size_t served = 0, rejected = 0;
+    for (size_t i = 0; i < futs.size(); ++i) {
+        // stop() joined the workers, so every future must already be
+        // settled — a zero-wait poll is the no-hang guard.
+        ASSERT_EQ(futs[i].wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready)
+            << "future " << i << " left hanging";
+        try {
+            Tensor got = futs[i].get();
+            EXPECT_EQ(got.dim(0), 1u);
+            ++served;
+        } catch (const std::runtime_error&) {
+            ++rejected;
+        }
+    }
+    EXPECT_EQ(served + rejected, futs.size());
+
+    // Submissions after stop are rejected, not enqueued.
+    std::future<Tensor> late = server.submit(sliceAxis0(x, 0, 1));
+    EXPECT_THROW(late.get(), std::runtime_error);
+}
+
+TEST(ServeDeadline, ZeroDeadlineServesOneRequestPerBatch)
+{
+    Rng dataRng(91);
+    Tensor x = Tensor::randn({2, 3, 12, 12}, dataRng, 1.0);
+    Rng rng(92);
+    auto model = makeMiniResNet(4, rng);
+    toIntBackend(*model, x);
+
+    ServeOptions opt;
+    opt.maxBatch = 8;
+    opt.deadlineUs = 0; // degenerate: never coalesce
+    BatchServer server({model.get()},
+                       BatchTraits{{1, 3, 12, 12}, 0, false}, opt);
+
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < 6; ++i)
+        futs.push_back(server.submit(sliceAxis0(x, i % 2, 1)));
+    for (std::future<Tensor>& f : futs)
+        f.get();
+    server.stop(true);
+
+    BatchServer::Stats st = server.stats();
+    EXPECT_EQ(st.requests, 6u);
+    EXPECT_EQ(st.batches, 6u) << "deadline 0 must not coalesce";
+}
+
+TEST(ServeValidation, BadRequestsFailTheirFutureOnly)
+{
+    Rng dataRng(93);
+    Tensor x = Tensor::randn({1, 3, 12, 12}, dataRng, 1.0);
+    Rng rng(94);
+    auto model = makeMiniResNet(4, rng);
+    toIntBackend(*model, x);
+
+    ServeOptions opt;
+    opt.maxBatch = 4;
+    BatchServer server({model.get()},
+                       BatchTraits{{1, 3, 12, 12}, 0, false}, opt);
+
+    EXPECT_THROW(
+        server.submit(Tensor({1, 3, 10, 10})).get(), // wrong dims
+        std::invalid_argument);
+    EXPECT_THROW(
+        server.submit(Tensor({3, 12, 12})).get(), // wrong rank
+        std::invalid_argument);
+    EXPECT_THROW(
+        server.submit(Tensor({5, 3, 12, 12})).get(), // > maxBatch
+        std::invalid_argument);
+
+    // The server still serves good requests afterwards.
+    Tensor got = server.submit(sliceAxis0(x, 0, 1)).get();
+    EXPECT_EQ(got.dim(0), 1u);
+    server.stop(true);
+}
+
+// ------------------------------------------------------------------
+// Conv+BN folding: the fold replicates BatchNorm2d's eval arithmetic
+// per element inside the conv epilogue, so outputs stay bit-identical
+// on every backend; unfolding restores the original graph.
+// ------------------------------------------------------------------
+
+TEST(ServeBnFold, FoldIsBitIdenticalOnIntAndFakeQuant)
+{
+    Rng dataRng(95);
+    Tensor x = Tensor::randn({5, 3, 12, 12}, dataRng, 1.0);
+    for (float& v : x.span())
+        v = v < 0.0f ? -v : v;
+
+    Rng rng(96);
+    auto model = makeMiniResNet(4, rng);
+    // Give the BN layers non-trivial running stats before folding.
+    model->forward(x, true);
+    QConfig cfg;
+    QatContext qat(cfg);
+    qat.attach(model->params());
+    model->setActQuant(cfg.actBits, true);
+    model->forward(x, true); // calibrate
+    qat.finalize();
+
+    InferenceSession sess(*model, &qat, InferBackend::Int);
+    Tensor intRef = sess.run(x);
+    sess.setBackend(InferBackend::FakeQuant);
+    Tensor fqRef = sess.run(x);
+    sess.setBackend(InferBackend::Int);
+
+    size_t folded = foldBatchNormForEval(*model);
+    EXPECT_GT(folded, 0u);
+    EXPECT_EQ(foldBatchNormForEval(*model), 0u) << "must be idempotent";
+
+    Tensor intFolded = sess.run(x);
+    expectBitEqual(intFolded, intRef);
+
+    sess.setBackend(InferBackend::FakeQuant);
+    Tensor fqFolded = sess.run(x);
+    ASSERT_EQ(fqFolded.shape(), fqRef.shape());
+    for (size_t i = 0; i < fqRef.size(); ++i)
+        ASSERT_NEAR(fqFolded[i], fqRef[i], 1e-5f) << "index " << i;
+
+    size_t unfolded = unfoldBatchNormForEval(*model);
+    EXPECT_EQ(unfolded, folded);
+    Tensor fqBack = sess.run(x);
+    expectBitEqual(fqBack, fqRef);
+    sess.setBackend(InferBackend::Int);
+    Tensor intBack = sess.run(x);
+    expectBitEqual(intBack, intRef);
+}
+
+TEST(ServeBnFold, FoldedModelServesBitIdentically)
+{
+    Rng dataRng(97);
+    Tensor x = Tensor::randn({8, 3, 12, 12}, dataRng, 1.0);
+    for (float& v : x.span())
+        v = v < 0.0f ? -v : v;
+
+    Rng rng(98);
+    auto model = makeMiniResNet(4, rng);
+    toIntBackend(*model, x);
+    ASSERT_GT(foldBatchNormForEval(*model), 0u);
+
+    BatchTraits traits;
+    traits.itemShape = {1, 3, 12, 12};
+    checkCompositions(*model, traits, x, 0, {{3, 1, 2, 1}});
+}
+
+} // namespace
+} // namespace mixq
