@@ -136,6 +136,15 @@ BENCHMARK(BM_LinearIntEval4T)
     ->Args({32, 256, 256})
     ->UseRealTime();
 
+// 8-thread scaling point of the same int eval (gated vs 4T on
+// runners with >= 8 cores; 32 rows still give 4 rows per thread).
+void
+BM_LinearIntEval8T(benchmark::State& state)
+{
+    runLinearEval(state, /*integer=*/true, 8);
+}
+BENCHMARK(BM_LinearIntEval8T)->Args({32, 256, 256})->UseRealTime();
+
 // Conv2d int eval — informational (the im2col + per-image split
 // dominates; no budget gate).
 void

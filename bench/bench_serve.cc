@@ -13,10 +13,23 @@
  * google-benchmark CLI/JSON protocol for tools/check_perf_budget.py
  * to drive it like the bench_micro_* binaries — runs the requested
  * repetitions of "serve/single" (closed loop, one request in flight,
- * maxBatch 1) and "serve/batched" (saturated queue, maxBatch 8) and
- * emits median items_per_second aggregates. The gated ratio is the
- * whole point of dynamic batching: coalescing must beat one-at-a-time
- * dispatch of the same request stream on the same worker.
+ * maxBatch 1), "serve/batched" (saturated queue, maxBatch 16,
+ * per-batch scoped-arena allocation) and "serve/planned" (same
+ * saturated workload through the shared-model plan-executing ctor:
+ * statically placed slab, zero steady-state allocation) and emits
+ * median items_per_second aggregates. Two gated ratios: coalescing
+ * must beat one-at-a-time dispatch, and plan execution must beat the
+ * scoped-arena batch path it replaces.
+ *
+ * Memory-report mode (--memory-report): builds a deliberately
+ * weight-heavy model (three Linears, ~20 MB of float weights),
+ * stands up two successive single-worker plan-executing servers over
+ * the SAME model object, and prints one JSON object with the plan /
+ * slab / scratch byte counts and VmRSS after each step. The point is
+ * the replica memory contract tools/check_serve_memory.py gates in
+ * CI: because replicas share one immutable model (locked PackedQMat
+ * panels packed once), the marginal cost of the second server is a
+ * slab + scratch, not a second copy of the weights.
  */
 
 #include <algorithm>
@@ -113,19 +126,13 @@ runSingle(Module& model, const std::vector<Tensor>& items)
     return double(items.size()) / secs;
 }
 
-/**
- * Saturated queue through the coalescing path: all requests are
- * submitted up front, the worker forms maxBatch-item batches.
- * Returns served items/s.
- */
+/** Warm @p srv, then push every item through the saturated queue
+    (all submitted up front, the worker forms maxBatch-item batches)
+    and return served items/s. */
 double
-runBatched(Module& model, const std::vector<Tensor>& items,
-           size_t maxBatch)
+pumpSaturated(BatchServer& srv, const std::vector<Tensor>& items,
+              size_t maxBatch)
 {
-    ServeOptions opt;
-    opt.maxBatch = maxBatch;
-    opt.deadlineUs = 500;
-    BatchServer srv({&model}, cnnTraits(), opt);
     {
         std::vector<std::future<Tensor>> warm;
         for (size_t i = 0; i < 2 * maxBatch; ++i)
@@ -140,9 +147,42 @@ runBatched(Module& model, const std::vector<Tensor>& items,
         futs.push_back(srv.submit(x));
     for (auto& f : futs)
         f.get();
-    double secs = secondsSince(t0);
+    return double(items.size()) / secondsSince(t0);
+}
+
+/**
+ * Saturated queue through the legacy coalescing path (per-batch
+ * Tensors placed in a scoped arena). Returns served items/s.
+ */
+double
+runBatched(Module& model, const std::vector<Tensor>& items,
+           size_t maxBatch)
+{
+    ServeOptions opt;
+    opt.maxBatch = maxBatch;
+    opt.deadlineUs = 500;
+    BatchServer srv({&model}, cnnTraits(), opt);
+    double rate = pumpSaturated(srv, items, maxBatch);
     srv.stop(true);
-    return double(items.size()) / secs;
+    return rate;
+}
+
+/**
+ * The same saturated workload through the plan-executing shared-model
+ * ctor: activations land at planner offsets in one pre-faulted slab,
+ * steady-state batches allocate nothing. Returns served items/s.
+ */
+double
+runPlanned(Module& model, const std::vector<Tensor>& items,
+           size_t maxBatch)
+{
+    ServeOptions opt;
+    opt.maxBatch = maxBatch;
+    opt.deadlineUs = 500;
+    BatchServer srv(model, /*replicas=*/1, cnnTraits(), opt);
+    double rate = pumpSaturated(srv, items, maxBatch);
+    srv.stop(true);
+    return rate;
 }
 
 // ---------------------------------------------------------- budget mode
@@ -165,9 +205,16 @@ runBatchedBench(Module& m, const std::vector<Tensor>& items)
     return runBatched(m, items, 16);
 }
 
+double
+runPlannedBench(Module& m, const std::vector<Tensor>& items)
+{
+    return runPlanned(m, items, 16);
+}
+
 constexpr BenchDef kBenches[] = {
     {"serve/single", runSingleBench},
     {"serve/batched", runBatchedBench},
+    {"serve/planned", runPlannedBench},
 };
 
 int
@@ -210,6 +257,99 @@ runBudgetMode(const std::string& filter, int repetitions)
     }
     out += "\n  ]\n}\n";
     std::fputs(out.c_str(), stdout);
+    return 0;
+}
+
+// ---------------------------------------------------- memory-report mode
+
+/** Resident set size from /proc/self/status, in kB (0 off-Linux). */
+size_t
+vmRssKb()
+{
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    char line[256];
+    size_t kb = 0;
+    while (std::fgets(line, sizeof(line), f))
+        if (std::sscanf(line, "VmRSS: %zu", &kb) == 1)
+            break;
+    std::fclose(f);
+    return kb;
+}
+
+/**
+ * A deliberately weight-heavy servable MLP (~20 MB of float weights
+ * across three Linears) on the CNN item shape, calibrated and
+ * switched to the Int backend. Activations are tiny next to the
+ * weights, so RSS deltas between servers isolate the per-replica
+ * cost (slab + scratch) from the shared model.
+ */
+std::unique_ptr<Sequential>
+makeWeightHeavyModel(uint64_t seed)
+{
+    Rng rng(seed);
+    auto model = std::make_unique<Sequential>();
+    model->add(std::make_unique<Flatten>());
+    model->add(std::make_unique<Linear>(432, 2048, rng));
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<Linear>(2048, 2048, rng));
+    model->add(std::make_unique<ReLU>());
+    model->add(std::make_unique<Linear>(2048, 10, rng));
+    QConfig cfg;
+    QatContext qat(cfg);
+    qat.attach(model->params());
+    model->setActQuant(cfg.actBits, true);
+    Rng calRng(seed + 1);
+    Tensor cal = Tensor::randn({8, 3, 12, 12}, calRng, 1.0);
+    for (float& v : cal.span())
+        v = v < 0.0f ? -v : v;
+    model->forward(cal, true);
+    qat.finalize();
+    applyInferBackend(*model, InferBackend::Int, &qat);
+    return model;
+}
+
+int
+runMemoryReport()
+{
+    auto model = makeWeightHeavyModel(95);
+    size_t modelBytes = 0;
+    for (const Param* p : model->params())
+        modelBytes += p->w.size() * sizeof(float);
+    Rng itemRng(96);
+    Tensor item = makeItem(itemRng);
+
+    ServeOptions opt;
+    opt.maxBatch = 16;
+    opt.deadlineUs = 0;
+    // First served request forces panel packing (first server) /
+    // reuse (second server) plus the warmup batches, so each RSS
+    // sample sees that server fully faulted in.
+    size_t rssModelKb = vmRssKb();
+    auto first = std::make_unique<BatchServer>(*model, size_t(1),
+                                               cnnTraits(), opt);
+    first->submit(item).get();
+    size_t rssFirstKb = vmRssKb();
+    auto second = std::make_unique<BatchServer>(*model, size_t(1),
+                                                cnnTraits(), opt);
+    second->submit(item).get();
+    size_t rssSecondKb = vmRssKb();
+
+    BatchServer::Stats st = first->stats();
+    std::printf("{\n"
+                "  \"model_bytes\": %zu,\n"
+                "  \"plan_peak_bytes\": %zu,\n"
+                "  \"slab_bytes\": %zu,\n"
+                "  \"scratch_bytes\": %zu,\n"
+                "  \"rss_model_kb\": %zu,\n"
+                "  \"rss_after_first_kb\": %zu,\n"
+                "  \"rss_after_second_kb\": %zu\n"
+                "}\n",
+                modelBytes, st.planPeakBytes, st.arenaCapacity,
+                st.scratchBytes, rssModelKb, rssFirstKb, rssSecondKb);
+    second->stop(true);
+    first->stop(true);
     return 0;
 }
 
@@ -336,6 +476,7 @@ int
 main(int argc, char** argv)
 {
     bool jsonMode = false;
+    bool memoryReport = false;
     std::string filter;
     int repetitions = 1;
     double rate = 1500.0, seconds = 3.0, deadlineUs = 1000.0;
@@ -348,6 +489,8 @@ main(int argc, char** argv)
             repetitions = int(argValue(a, "--benchmark_repetitions="));
         else if (a.rfind("--benchmark_format=json", 0) == 0)
             jsonMode = true;
+        else if (a == "--memory-report")
+            memoryReport = true;
         else if (a.rfind("--benchmark_", 0) == 0)
             continue; // aggregates-only etc.: always on here
         else if (a.rfind("--rate=", 0) == 0)
@@ -362,11 +505,14 @@ main(int argc, char** argv)
             std::fprintf(stderr,
                          "usage: %s [--rate=R] [--seconds=S] "
                          "[--max-batch=B] [--deadline-us=D] | "
+                         "--memory-report | "
                          "google-benchmark budget flags\n",
                          argv[0]);
             return 2;
         }
     }
+    if (memoryReport)
+        return runMemoryReport();
     if (jsonMode)
         return runBudgetMode(filter, std::max(repetitions, 1));
     return runOpenLoop(rate, seconds, size_t(maxBatch),

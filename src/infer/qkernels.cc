@@ -393,6 +393,16 @@ rescaleLinear(const PackedQMat& w, const int32_t* acc, size_t p,
 {
     size_t rows = w.rows();
     std::vector<double> f(rows);
+    rescaleLinear(w, acc, p, actInvScale, bias, y, f.data());
+}
+
+void
+rescaleLinear(const PackedQMat& w, const int32_t* acc, size_t p,
+              float actInvScale, const float* bias, float* y,
+              double* fScratch)
+{
+    size_t rows = w.rows();
+    double* f = fScratch;
     for (size_t r = 0; r < rows; ++r)
         f[r] = w.rowDequant(r) * double(actInvScale);
     #pragma omp parallel for schedule(static) if (!inOmpParallel())

@@ -152,6 +152,16 @@ void rescaleLinear(const PackedQMat& w, const int32_t* acc, size_t p,
                    float actInvScale, const float* bias, float* y);
 
 /**
+ * Allocation-free rescaleLinear: @p fScratch must hold w.rows()
+ * doubles (the per-row dequant factors are staged there instead of a
+ * per-call vector). Bit-identical to the allocating overload — the
+ * serving executor's steady-state path.
+ */
+void rescaleLinear(const PackedQMat& w, const int32_t* acc, size_t p,
+                   float actInvScale, const float* bias, float* y,
+                   double* fScratch);
+
+/**
  * Rescale conv-shaped accumulators [rows x P] into channel-major
  * floats y [rows x P] (rows = output channels, P = OH*OW).
  */

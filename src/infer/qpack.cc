@@ -219,4 +219,16 @@ PackedQMat::rowDequant(size_t r) const
     return double(alpha_[r]) / double(levels);
 }
 
+size_t
+PackedQMat::byteSize() const
+{
+    auto bytes = [](const auto& v) {
+        return v.size() * sizeof(v[0]);
+    };
+    return bytes(scheme_) + bytes(alpha_) + bytes(sp2_) +
+           bytes(fixed_) + bytes(s1_) + bytes(s2_) + bytes(m1_) +
+           bytes(m2_) + bytes(neg_) + bytes(classes_) +
+           bytes(classOfs_) + bytes(colIdx_);
+}
+
 } // namespace mixq

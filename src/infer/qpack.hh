@@ -132,6 +132,14 @@ class PackedQMat
     /** Times the source was actually packed (reuse observability). */
     uint64_t packCount() const { return packCount_; }
 
+    /**
+     * Total bytes of the pack's owned storage (canonical codes,
+     * execution panels, code classes, column indices). The serving
+     * memory report sums this over a model's panels to price the
+     * shared immutable state replicas reuse.
+     */
+    size_t byteSize() const;
+
     QuantScheme rowScheme(size_t r) const { return scheme_[r]; }
     float rowAlpha(size_t r) const { return alpha_[r]; }
     /** Number of SP2-encoded rows. */

@@ -81,6 +81,27 @@ applyInferBackendConv(Conv2d& c, InferBackend backend,
 }
 
 void
+applyInferBackendDwConv(DwConv2d& d, InferBackend backend,
+                        const QatContext* qat)
+{
+    switch (backend) {
+    case InferBackend::Float:
+        d.disableIntInference();
+        d.actQuant().setEnabled(false);
+        break;
+    case InferBackend::FakeQuant:
+        d.disableIntInference();
+        d.actQuant().setEnabled(true);
+        break;
+    case InferBackend::Int:
+        d.actQuant().setEnabled(true);
+        d.enableIntInference(requireProj(qat, d.weight()),
+                             qat->config().bits);
+        break;
+    }
+}
+
+void
 applyInferBackendLstm(Lstm& l, InferBackend backend,
                       const QatContext* qat)
 {
@@ -148,10 +169,8 @@ applyInferBackend(Module& root, InferBackend backend,
         applyInferBackendGru(*gru, backend, qat);
         ++switched;
     } else if (auto* dw = dynamic_cast<DwConv2d*>(&root)) {
-        // No packed int path for the depthwise kernel: it keeps the
-        // float forward over the projected weights and only follows
-        // the activation-quantizer toggle.
-        dw->actQuant().setEnabled(backend != InferBackend::Float);
+        applyInferBackendDwConv(*dw, backend, qat);
+        ++switched;
     }
     for (Module* child : root.children())
         switched += applyInferBackend(*child, backend, qat);

@@ -37,6 +37,7 @@ namespace mixq {
 
 class Linear;
 class Conv2d;
+class DwConv2d;
 class Lstm;
 class Gru;
 
@@ -58,9 +59,8 @@ const QatContext::Entry* findQatEntry(const QatContext& qat,
 
 /**
  * Recursively apply @p backend to every quantized layer under
- * @p root (Linear, Conv2d, Lstm, Gru; DwConv2d has no packed int
- * path and only follows the activation-quantizer toggles). Returns
- * the number of layers switched onto the requested backend.
+ * @p root (Linear, Conv2d, DwConv2d, Lstm, Gru). Returns the number
+ * of layers switched onto the requested backend.
  *
  * Int requires @p qat non-null and finalized — the packed panels
  * encode the projection's row schemes/alphas, so the weights must
@@ -75,6 +75,8 @@ void applyInferBackendLinear(Linear& l, InferBackend backend,
                              const QatContext* qat);
 void applyInferBackendConv(Conv2d& c, InferBackend backend,
                            const QatContext* qat);
+void applyInferBackendDwConv(DwConv2d& d, InferBackend backend,
+                             const QatContext* qat);
 void applyInferBackendLstm(Lstm& l, InferBackend backend,
                            const QatContext* qat);
 void applyInferBackendGru(Gru& g, InferBackend backend,

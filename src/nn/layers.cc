@@ -207,6 +207,71 @@ Linear::intForward(const Tensor& x)
     return y;
 }
 
+void
+Linear::prepareServe(LinearServeScratch& s, size_t maxRows)
+{
+    MIXQ_ASSERT(maxRows > 0, "Linear: empty serve batch");
+    if (intBackend_) {
+        qpack_.ensure(w_.w.data(), out_, in_, w_.version,
+                      qProj_.rowScheme, qProj_.rowAlpha, qBits_);
+        ActQuantParams ap = actQuantParams(actq_);
+        if (halfwordSafe(ap, in_))
+            s.qT16.resize(in_ * maxRows);
+        else
+            s.qT32.resize(in_ * maxRows);
+        s.qAcc.resize(out_ * maxRows);
+        s.f.resize(out_);
+        return;
+    }
+    wPlanFwd_.ensureB(w_.w.data(), in_, out_, /*trans=*/true,
+                      w_.version);
+    if (actq_.enabled())
+        s.xq.resize(maxRows * in_);
+}
+
+void
+Linear::forwardServe(const TensorView& x, const TensorView& y,
+                     LinearServeScratch& s) const
+{
+    // The planner hands RNN-shaped inputs [T, n, in] to a head Linear
+    // as flat rows (rnn_models reshape in place), so the row count is
+    // whatever the view holds, not dim(0).
+    size_t n = x.size() / in_;
+    MIXQ_ASSERT(n * in_ == x.size() && y.size() == n * out_,
+                "Linear: serve view shape");
+    if (intBackend_) {
+        ActQuantParams ap = actQuantParams(actq_);
+        if (halfwordSafe(ap, in_)) {
+            quantizeTransposeActs(x.data, n, in_, ap, s.qT16.data());
+            qgemm16(qpack_, s.qT16.data(), n, s.qAcc.data());
+        } else {
+            quantizeTransposeActs(x.data, n, in_, ap, s.qT32.data());
+            qgemm(qpack_, s.qT32.data(), n, s.qAcc.data());
+        }
+        rescaleLinear(qpack_, s.qAcc.data(), n, ap.invScale,
+                      hasBias_ ? b_.w.data() : nullptr, y.data,
+                      s.f.data());
+        return;
+    }
+    // Quantize into replica scratch, never the plan buffer: residual
+    // consumers may re-read the input view after this layer runs.
+    const float* src = x.data;
+    if (actq_.enabled()) {
+        std::memcpy(s.xq.data(), x.data, n * in_ * sizeof(float));
+        actq_.quantizeOnly({s.xq.data(), n * in_});
+        src = s.xq.data();
+    }
+    gemmPackedB(src, wPlanFwd_, y.data, n, out_, in_);
+    if (hasBias_) {
+        #pragma omp parallel for schedule(static) if (!inOmpParallel())
+        for (long i = 0; i < long(n); ++i) {
+            float* yr = y.data + size_t(i) * out_;
+            for (size_t j = 0; j < out_; ++j)
+                yr[j] += b_.w[j];
+        }
+    }
+}
+
 Tensor
 Linear::backward(const Tensor& gy)
 {
@@ -444,6 +509,119 @@ Conv2d::intForward(const Tensor& x)
     return y;
 }
 
+void
+Conv2d::prepareServe(ConvServeScratch& s,
+                     const std::vector<size_t>& inShape)
+{
+    MIXQ_ASSERT(inShape.size() == 4 && inShape[1] == inCh_,
+                "Conv2d: serve input shape");
+    size_t n = inShape[0], h = inShape[2], w = inShape[3];
+    size_t oh = convOut(h, k_, stride_, pad_);
+    size_t ow = convOut(w, k_, stride_, pad_);
+    size_t ckk = inCh_ * k_ * k_;
+    size_t ohow = oh * ow;
+    size_t chw = inCh_ * h * w;
+    if (intBackend_) {
+        qpack_.ensure(w_.w.data(), outCh_, ckk, w_.version,
+                      qProj_.rowScheme, qProj_.rowAlpha, qBits_);
+        ActQuantParams ap = actQuantParams(actq_);
+        s.qAcc.resize(n * outCh_ * ohow);
+        if (halfwordSafe(ap, ckk)) {
+            s.qIn16.resize(n * chw);
+            s.qCols16.resize(n * ckk * ohow);
+        } else {
+            s.qIn32.resize(n * chw);
+            s.qCols32.resize(n * ckk * ohow);
+        }
+        return;
+    }
+    wPlanFwd_.ensureA(w_.w.data(), outCh_, ckk, /*trans=*/false,
+                      w_.version);
+    if (actq_.enabled())
+        s.xq.resize(n * chw);
+    s.cols.resize(n * ckk * ohow);
+}
+
+void
+Conv2d::forwardServe(const TensorView& x, const TensorView& y,
+                     ConvServeScratch& s) const
+{
+    MIXQ_ASSERT(x.ndim() == 4 && x.dim(1) == inCh_,
+                "Conv2d: serve view shape");
+    size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    size_t oh = convOut(h, k_, stride_, pad_);
+    size_t ow = convOut(w, k_, stride_, pad_);
+    size_t ckk = inCh_ * k_ * k_;
+    size_t ohow = oh * ow;
+    size_t chw = inCh_ * h * w;
+    MIXQ_ASSERT(y.size() == n * outCh_ * ohow,
+                "Conv2d: serve out shape");
+    if (intBackend_) {
+        ActQuantParams ap = actQuantParams(actq_);
+        if (halfwordSafe(ap, ckk)) {
+            quantizeActsInt(x.data, s.qIn16.data(), n * chw, ap);
+            #pragma omp parallel for schedule(static)
+            for (long i = 0; i < long(n); ++i) {
+                int16_t* colsI =
+                    s.qCols16.data() + size_t(i) * ckk * ohow;
+                int32_t* acc =
+                    s.qAcc.data() + size_t(i) * outCh_ * ohow;
+                im2colInt(s.qIn16.data() + size_t(i) * chw, inCh_, h,
+                          w, k_, k_, stride_, pad_, colsI);
+                qgemm16(qpack_, colsI, ohow, acc);
+                rescaleConv(qpack_, acc, ohow, ap.invScale,
+                            hasBias_ ? b_.w.data() : nullptr,
+                            y.data + size_t(i) * outCh_ * ohow);
+                if (bnFold_)
+                    applyBnEpilogue(
+                        y.data + size_t(i) * outCh_ * ohow, ohow);
+            }
+            return;
+        }
+        quantizeActsInt(x.data, s.qIn32.data(), n * chw, ap);
+        #pragma omp parallel for schedule(static)
+        for (long i = 0; i < long(n); ++i) {
+            int32_t* colsI = s.qCols32.data() + size_t(i) * ckk * ohow;
+            int32_t* acc = s.qAcc.data() + size_t(i) * outCh_ * ohow;
+            im2colInt(s.qIn32.data() + size_t(i) * chw, inCh_, h, w,
+                      k_, k_, stride_, pad_, colsI);
+            qgemm(qpack_, colsI, ohow, acc);
+            rescaleConv(qpack_, acc, ohow, ap.invScale,
+                        hasBias_ ? b_.w.data() : nullptr,
+                        y.data + size_t(i) * outCh_ * ohow);
+            if (bnFold_)
+                applyBnEpilogue(y.data + size_t(i) * outCh_ * ohow,
+                                ohow);
+        }
+        return;
+    }
+    // Quantize into replica scratch, never the plan buffer (residual
+    // consumers may re-read the input view).
+    const float* src = x.data;
+    if (actq_.enabled()) {
+        std::memcpy(s.xq.data(), x.data, n * chw * sizeof(float));
+        actq_.quantizeOnly({s.xq.data(), n * chw});
+        src = s.xq.data();
+    }
+    #pragma omp parallel for schedule(static)
+    for (long i = 0; i < long(n); ++i) {
+        const float* img = src + size_t(i) * chw;
+        float* col = s.cols.data() + size_t(i) * ckk * ohow;
+        im2col(img, inCh_, h, w, k_, k_, stride_, pad_, col);
+        float* out = y.data + size_t(i) * outCh_ * ohow;
+        gemmPackedA(wPlanFwd_, col, out, outCh_, ohow, ckk);
+        if (hasBias_) {
+            for (size_t r = 0; r < outCh_; ++r) {
+                float* yrow = out + r * ohow;
+                for (size_t q = 0; q < ohow; ++q)
+                    yrow[q] += b_.w[r];
+            }
+        }
+        if (bnFold_)
+            applyBnEpilogue(out, ohow);
+    }
+}
+
 Tensor
 Conv2d::backward(const Tensor& gy)
 {
@@ -545,6 +723,8 @@ Tensor
 DwConv2d::forward(const Tensor& x, bool train)
 {
     MIXQ_ASSERT(x.ndim() == 4 && x.dim(1) == ch_, "DwConv2d shape");
+    if (intBackend_ && !train)
+        return intForward(x);
     inShape_ = x.shape();
     size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
     size_t oh = convOut(h, k_, stride_, pad_);
@@ -584,6 +764,217 @@ DwConv2d::forward(const Tensor& x, bool train)
     }
     (void)train;
     return y;
+}
+
+void
+DwConv2d::enableIntInference(const MatrixQuantResult& proj, int wbits)
+{
+    MIXQ_ASSERT(proj.rowScheme.size() == ch_ &&
+                proj.rowAlpha.size() == ch_,
+                "DwConv2d: projection record does not match the layer");
+    qProj_ = proj;
+    qBits_ = wbits;
+    intBackend_ = true;
+}
+
+void
+DwConv2d::adoptDeployedWeights(PackedQMat pack, int wbits)
+{
+    MIXQ_ASSERT(pack.locked() && pack.rows() == ch_ &&
+                    pack.cols() == k_ * k_,
+                "DwConv2d: deployed panels do not match the layer");
+    qpack_ = std::move(pack);
+    qBits_ = wbits;
+    intBackend_ = true;
+}
+
+Tensor
+DwConv2d::intForward(const Tensor& x)
+{
+    size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    size_t oh = convOut(h, k_, stride_, pad_);
+    size_t ow = convOut(w, k_, stride_, pad_);
+    size_t kk = k_ * k_;
+    size_t ohow = oh * ow;
+    size_t chw = ch_ * h * w;
+
+    // One [C, kh*kw] pack: each channel's kernel is one code row, so
+    // the depthwise product reuses the row microkernel over a
+    // single-channel im2col — the same shift-add datapath as Conv2d,
+    // one row at a time.
+    qpack_.ensure(w_.w.data(), ch_, kk, w_.version, qProj_.rowScheme,
+                  qProj_.rowAlpha, qBits_);
+    ActQuantParams ap = actQuantParams(actq_);
+
+    Tensor y({n, ch_, oh, ow});
+    // Whole-batch quantize once; per-image columns and one
+    // accumulator row are persistent members (cols_-style) sliced per
+    // batch item. Item-parallel over disjoint outputs — every output
+    // element is a pure function of its own image and channel, so the
+    // split never changes a bit.
+    qAccI_.resize(n * ohow);
+    if (halfwordSafe(ap, kk)) {
+        qIn16_.resize(n * chw);
+        qCols16_.resize(n * kk * ohow);
+        quantizeActsInt(x.data(), qIn16_.data(), n * chw, ap);
+        #pragma omp parallel for schedule(static)
+        for (long i = 0; i < long(n); ++i) {
+            int16_t* cols = qCols16_.data() + size_t(i) * kk * ohow;
+            int32_t* acc = qAccI_.data() + size_t(i) * ohow;
+            for (size_t c = 0; c < ch_; ++c) {
+                im2colInt(qIn16_.data() + (size_t(i) * ch_ + c) * h * w,
+                          1, h, w, k_, k_, stride_, pad_, cols);
+                qgemmRow16(qpack_, c, cols, ohow, acc);
+                double f = qpack_.rowDequant(c) * double(ap.invScale);
+                float* out = y.data() + (size_t(i) * ch_ + c) * ohow;
+                #pragma omp simd
+                for (size_t q = 0; q < ohow; ++q)
+                    out[q] = float(double(acc[q]) * f);
+            }
+        }
+        return y;
+    }
+    qIn32_.resize(n * chw);
+    qCols32_.resize(n * kk * ohow);
+    quantizeActsInt(x.data(), qIn32_.data(), n * chw, ap);
+    #pragma omp parallel for schedule(static)
+    for (long i = 0; i < long(n); ++i) {
+        int32_t* cols = qCols32_.data() + size_t(i) * kk * ohow;
+        int32_t* acc = qAccI_.data() + size_t(i) * ohow;
+        for (size_t c = 0; c < ch_; ++c) {
+            im2colInt(qIn32_.data() + (size_t(i) * ch_ + c) * h * w,
+                      1, h, w, k_, k_, stride_, pad_, cols);
+            qgemmRow(qpack_, c, cols, ohow, acc);
+            double f = qpack_.rowDequant(c) * double(ap.invScale);
+            float* out = y.data() + (size_t(i) * ch_ + c) * ohow;
+            #pragma omp simd
+            for (size_t q = 0; q < ohow; ++q)
+                out[q] = float(double(acc[q]) * f);
+        }
+    }
+    return y;
+}
+
+void
+DwConv2d::prepareServe(ConvServeScratch& s,
+                       const std::vector<size_t>& inShape)
+{
+    MIXQ_ASSERT(inShape.size() == 4 && inShape[1] == ch_,
+                "DwConv2d: serve input shape");
+    size_t n = inShape[0], h = inShape[2], w = inShape[3];
+    size_t oh = convOut(h, k_, stride_, pad_);
+    size_t ow = convOut(w, k_, stride_, pad_);
+    size_t kk = k_ * k_;
+    size_t ohow = oh * ow;
+    size_t chw = ch_ * h * w;
+    if (intBackend_) {
+        qpack_.ensure(w_.w.data(), ch_, kk, w_.version,
+                      qProj_.rowScheme, qProj_.rowAlpha, qBits_);
+        ActQuantParams ap = actQuantParams(actq_);
+        s.qAcc.resize(n * ohow);
+        if (halfwordSafe(ap, kk)) {
+            s.qIn16.resize(n * chw);
+            s.qCols16.resize(n * kk * ohow);
+        } else {
+            s.qIn32.resize(n * chw);
+            s.qCols32.resize(n * kk * ohow);
+        }
+        return;
+    }
+    if (actq_.enabled())
+        s.xq.resize(n * chw);
+}
+
+void
+DwConv2d::forwardServe(const TensorView& x, const TensorView& y,
+                       ConvServeScratch& s) const
+{
+    MIXQ_ASSERT(x.ndim() == 4 && x.dim(1) == ch_,
+                "DwConv2d: serve view shape");
+    size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    size_t oh = convOut(h, k_, stride_, pad_);
+    size_t ow = convOut(w, k_, stride_, pad_);
+    size_t kk = k_ * k_;
+    size_t ohow = oh * ow;
+    size_t chw = ch_ * h * w;
+    MIXQ_ASSERT(y.size() == n * ch_ * ohow,
+                "DwConv2d: serve out shape");
+    if (intBackend_) {
+        ActQuantParams ap = actQuantParams(actq_);
+        if (halfwordSafe(ap, kk)) {
+            quantizeActsInt(x.data, s.qIn16.data(), n * chw, ap);
+            #pragma omp parallel for schedule(static)
+            for (long i = 0; i < long(n); ++i) {
+                int16_t* cols =
+                    s.qCols16.data() + size_t(i) * kk * ohow;
+                int32_t* acc = s.qAcc.data() + size_t(i) * ohow;
+                for (size_t c = 0; c < ch_; ++c) {
+                    im2colInt(s.qIn16.data() +
+                                  (size_t(i) * ch_ + c) * h * w,
+                              1, h, w, k_, k_, stride_, pad_, cols);
+                    qgemmRow16(qpack_, c, cols, ohow, acc);
+                    double f =
+                        qpack_.rowDequant(c) * double(ap.invScale);
+                    float* out =
+                        y.data + (size_t(i) * ch_ + c) * ohow;
+                    #pragma omp simd
+                    for (size_t q = 0; q < ohow; ++q)
+                        out[q] = float(double(acc[q]) * f);
+                }
+            }
+            return;
+        }
+        quantizeActsInt(x.data, s.qIn32.data(), n * chw, ap);
+        #pragma omp parallel for schedule(static)
+        for (long i = 0; i < long(n); ++i) {
+            int32_t* cols = s.qCols32.data() + size_t(i) * kk * ohow;
+            int32_t* acc = s.qAcc.data() + size_t(i) * ohow;
+            for (size_t c = 0; c < ch_; ++c) {
+                im2colInt(s.qIn32.data() +
+                              (size_t(i) * ch_ + c) * h * w,
+                          1, h, w, k_, k_, stride_, pad_, cols);
+                qgemmRow(qpack_, c, cols, ohow, acc);
+                double f = qpack_.rowDequant(c) * double(ap.invScale);
+                float* out = y.data + (size_t(i) * ch_ + c) * ohow;
+                #pragma omp simd
+                for (size_t q = 0; q < ohow; ++q)
+                    out[q] = float(double(acc[q]) * f);
+            }
+        }
+        return;
+    }
+    const float* src = x.data;
+    if (actq_.enabled()) {
+        std::memcpy(s.xq.data(), x.data, n * chw * sizeof(float));
+        actq_.quantizeOnly({s.xq.data(), n * chw});
+        src = s.xq.data();
+    }
+    #pragma omp parallel for schedule(static)
+    for (long idx = 0; idx < long(n * ch_); ++idx) {
+        size_t i = size_t(idx) / ch_;
+        size_t c = size_t(idx) % ch_;
+        const float* img = src + (i * ch_ + c) * h * w;
+        const float* ker = w_.w.data() + c * kk;
+        float* out = y.data + (i * ch_ + c) * ohow;
+        for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+                float sum = 0.0f;
+                for (size_t ki = 0; ki < k_; ++ki) {
+                    long iy = long(oy * stride_ + ki) - long(pad_);
+                    if (iy < 0 || iy >= long(h))
+                        continue;
+                    for (size_t kj = 0; kj < k_; ++kj) {
+                        long ix = long(ox * stride_ + kj) - long(pad_);
+                        if (ix < 0 || ix >= long(w))
+                            continue;
+                        sum += ker[ki * k_ + kj] *
+                               img[size_t(iy) * w + size_t(ix)];
+                    }
+                }
+                out[oy * ow + ox] = sum;
+            }
+        }
+    }
 }
 
 Tensor
@@ -770,6 +1161,50 @@ BatchNorm2d::forward(const Tensor& x, bool train)
     return y;
 }
 
+void
+BatchNorm2d::prepareServe(BnServeScratch& s)
+{
+    if (foldedEval_)
+        return;
+    // Stage the frozen eval affine exactly as forward(eval) stages it
+    // per call: running stats widened to double, then the float
+    // inverse-std — identical rounding chain, computed once.
+    s.mean.resize(ch_);
+    s.var.resize(ch_);
+    s.istd.resize(ch_);
+    for (size_t c = 0; c < ch_; ++c) {
+        s.mean[c] = runMean_[c];
+        s.var[c] = runVar_[c];
+        s.istd[c] = float(1.0 / std::sqrt(s.var[c] + eps_));
+    }
+}
+
+void
+BatchNorm2d::forwardServe(const TensorView& x, const TensorView& y,
+                          BnServeScratch& s) const
+{
+    MIXQ_ASSERT(x.ndim() == 4 && x.dim(1) == ch_,
+                "BatchNorm2d: serve view shape");
+    if (foldedEval_) {
+        std::memcpy(y.data, x.data, x.size() * sizeof(float));
+        return;
+    }
+    size_t n = x.dim(0), plane = x.dim(2) * x.dim(3);
+    #pragma omp parallel for schedule(static)
+    for (long ic = 0; ic < long(n * ch_); ++ic) {
+        size_t c = size_t(ic) % ch_;
+        float m = float(s.mean[c]);
+        float is = s.istd[c];
+        float g = gamma_.w[c], b = beta_.w[c];
+        const float* xin = x.data + size_t(ic) * plane;
+        float* yout = y.data + size_t(ic) * plane;
+        for (size_t q = 0; q < plane; ++q) {
+            float xh = (xin[q] - m) * is;
+            yout[q] = g * xh + b;
+        }
+    }
+}
+
 Tensor
 BatchNorm2d::backward(const Tensor& gy)
 {
@@ -840,6 +1275,21 @@ ReLU::forward(const Tensor& x, bool train)
     return y;
 }
 
+void
+ReLU::forwardServe(const TensorView& x, const TensorView& y) const
+{
+    float cap = float(cap_);
+    size_t len = x.size();
+    for (size_t i = 0; i < len; ++i) {
+        float v = x.data[i];
+        if (v < 0.0f)
+            v = 0.0f;
+        else if (cap_ != 0.0 && v > cap)
+            v = cap;
+        y.data[i] = v;
+    }
+}
+
 Tensor
 ReLU::backward(const Tensor& gy)
 {
@@ -890,6 +1340,34 @@ MaxPool2d::forward(const Tensor& x, bool train)
     return y;
 }
 
+void
+MaxPool2d::forwardServe(const TensorView& x, const TensorView& y) const
+{
+    MIXQ_ASSERT(x.ndim() == 4, "MaxPool2d: serve view shape");
+    size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    size_t oh = h / k_, ow = w / k_;
+    MIXQ_ASSERT(y.size() == n * c * oh * ow,
+                "MaxPool2d: serve out shape");
+    for (size_t i = 0; i < n * c; ++i) {
+        const float* img = x.data + i * h * w;
+        float* out = y.data + i * oh * ow;
+        for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+                float best = -1e30f;
+                for (size_t ki = 0; ki < k_; ++ki) {
+                    for (size_t kj = 0; kj < k_; ++kj) {
+                        size_t idx =
+                            (oy * k_ + ki) * w + (ox * k_ + kj);
+                        if (img[idx] > best)
+                            best = img[idx];
+                    }
+                }
+                out[oy * ow + ox] = best;
+            }
+        }
+    }
+}
+
 Tensor
 MaxPool2d::backward(const Tensor& gy)
 {
@@ -925,6 +1403,22 @@ GlobalAvgPool::forward(const Tensor& x, bool train)
     }
     (void)train;
     return y;
+}
+
+void
+GlobalAvgPool::forwardServe(const TensorView& x,
+                            const TensorView& y) const
+{
+    MIXQ_ASSERT(x.ndim() == 4, "GlobalAvgPool: serve view shape");
+    size_t n = x.dim(0), c = x.dim(1), plane = x.dim(2) * x.dim(3);
+    MIXQ_ASSERT(y.size() == n * c, "GlobalAvgPool: serve out shape");
+    for (size_t i = 0; i < n * c; ++i) {
+        const float* img = x.data + i * plane;
+        double s = 0.0;
+        for (size_t p = 0; p < plane; ++p)
+            s += img[p];
+        y.data[i] = float(s / double(plane));
+    }
 }
 
 Tensor

@@ -28,6 +28,69 @@ namespace mixq {
 
 class Rng;
 
+// ------------------------------------------------------------------
+// Plan-execution scratch. The serving executor (serve/executor.hh)
+// runs eval forwards that read and write planner-placed TensorViews
+// instead of allocating activations; everything a forward would
+// otherwise allocate per call lives in one of these per-replica
+// structs, sized once at the plan's maximum batch by the layer's
+// prepareServe(). The layer itself stays immutable during
+// forwardServe() (const), so n replicas share one model — packed
+// weight panels, folded BN, float weights — and own only their
+// scratch. Each struct's bytes() prices that per-replica state for
+// the serving memory report.
+// ------------------------------------------------------------------
+
+/** Scratch of Linear::forwardServe (both float and int backends). */
+struct LinearServeScratch
+{
+    std::vector<float> xq;      //!< quantized input copy (float path)
+    std::vector<int16_t> qT16;  //!< transposed act codes (halfword)
+    std::vector<int32_t> qT32;  //!< transposed act codes (fallback)
+    std::vector<int32_t> qAcc;  //!< int accumulators
+    std::vector<double> f;      //!< per-row rescale factors
+
+    size_t bytes() const
+    {
+        return xq.size() * sizeof(float) +
+               qT16.size() * sizeof(int16_t) +
+               qT32.size() * sizeof(int32_t) +
+               qAcc.size() * sizeof(int32_t) +
+               f.size() * sizeof(double);
+    }
+};
+
+/** Scratch of Conv2d::forwardServe and DwConv2d::forwardServe. */
+struct ConvServeScratch
+{
+    std::vector<float> xq;   //!< quantized input copy (float path)
+    std::vector<float> cols; //!< im2col columns (float path)
+    std::vector<int16_t> qIn16, qCols16; //!< halfword code pipeline
+    std::vector<int32_t> qIn32, qCols32; //!< int32 code pipeline
+    std::vector<int32_t> qAcc;           //!< int accumulators
+
+    size_t bytes() const
+    {
+        return (xq.size() + cols.size()) * sizeof(float) +
+               (qIn16.size() + qCols16.size()) * sizeof(int16_t) +
+               (qIn32.size() + qCols32.size() + qAcc.size()) *
+                   sizeof(int32_t);
+    }
+};
+
+/** Scratch of BatchNorm2d::forwardServe (unfolded eval affine). */
+struct BnServeScratch
+{
+    std::vector<double> mean, var;
+    std::vector<float> istd;
+
+    size_t bytes() const
+    {
+        return (mean.size() + var.size()) * sizeof(double) +
+               istd.size() * sizeof(float);
+    }
+};
+
 /** Fully connected layer: y = x W^T + b, x is [N, in]. */
 class Linear : public Module
 {
@@ -65,6 +128,24 @@ class Linear : public Module
      * (loadFromCodes) and match the layer's [out x in] shape.
      */
     void adoptDeployedWeights(PackedQMat pack, int wbits);
+
+    /**
+     * Pack the active backend's weight plan and size @p s for eval
+     * batches of up to @p maxRows input rows. Must run on the
+     * orchestrating thread before any forwardServe call (PackedMat /
+     * PackedQMat ensure discipline); idempotent per weight version.
+     */
+    void prepareServe(LinearServeScratch& s, size_t maxRows);
+
+    /**
+     * Plan-executed eval forward: read x [rows, in], write y [rows,
+     * out], both placed by the caller, allocating nothing —
+     * bit-identical to forward(x, false) on the active backend. The
+     * layer is immutable here (replica-shared); all mutable state is
+     * in @p s.
+     */
+    void forwardServe(const TensorView& x, const TensorView& y,
+                      LinearServeScratch& s) const;
 
   private:
     Tensor intForward(const Tensor& x);
@@ -133,6 +214,16 @@ class Conv2d : public Module
     void clearBnEvalEpilogue() { bnFold_ = false; }
     bool bnEvalFolded() const { return bnFold_; }
 
+    /** Pack + size scratch for batches up to @p inShape (the plan's
+        max-batch input shape); see Linear::prepareServe. */
+    void prepareServe(ConvServeScratch& s,
+                      const std::vector<size_t>& inShape);
+
+    /** Plan-executed eval forward (see Linear::forwardServe):
+        x [n, Cin, H, W] -> y [n, Cout, OH, OW]. */
+    void forwardServe(const TensorView& x, const TensorView& y,
+                      ConvServeScratch& s) const;
+
   private:
     Tensor intForward(const Tensor& x);
     /** Apply the folded BN affine to one [outCh, ohow] image slice. */
@@ -181,13 +272,48 @@ class DwConv2d : public Module
     size_t stride() const { return stride_; }
     size_t pad() const { return pad_; }
 
+    /**
+     * Int-backend switch (see Linear::enableIntInference). The
+     * depthwise weight packs as a [C, kh*kw] PackedQMat — each
+     * channel's kernel is one row — and eval forwards run
+     * quantize -> per-channel shift-add row kernel -> rescale over
+     * single-channel im2col columns.
+     */
+    void enableIntInference(const MatrixQuantResult& proj, int wbits);
+    void disableIntInference() { intBackend_ = false; }
+    bool intInferenceEnabled() const { return intBackend_; }
+    const PackedQMat& packedQWeights() const { return qpack_; }
+
+    /** Adopt deploy-artifact panels; see Linear. */
+    void adoptDeployedWeights(PackedQMat pack, int wbits);
+
+    /** Pack + size scratch for batches up to @p inShape; see
+        Linear::prepareServe. */
+    void prepareServe(ConvServeScratch& s,
+                      const std::vector<size_t>& inShape);
+
+    /** Plan-executed eval forward (see Linear::forwardServe):
+        x [n, C, H, W] -> y [n, C, OH, OW]. */
+    void forwardServe(const TensorView& x, const TensorView& y,
+                      ConvServeScratch& s) const;
+
   private:
+    Tensor intForward(const Tensor& x);
+
     size_t ch_, k_, stride_, pad_;
     Param w_;
     ActFakeQuant actq_;
     Tensor xPre_;
     Tensor xq_;
     std::vector<size_t> inShape_;
+    bool intBackend_ = false;
+    int qBits_ = 0;
+    MatrixQuantResult qProj_;
+    PackedQMat qpack_;
+    // Persistent int-path scratch (see Conv2d): whole-batch codes,
+    // per-image single-channel columns and one accumulator row.
+    std::vector<int16_t> qIn16_, qCols16_;
+    std::vector<int32_t> qIn32_, qCols32_, qAccI_;
 };
 
 /** Batch normalization over NCHW channels with running statistics. */
@@ -225,6 +351,14 @@ class BatchNorm2d : public Module
     void setFoldedEval(bool on) { foldedEval_ = on; }
     bool foldedEval() const { return foldedEval_; }
 
+    /** Size @p s for the eval affine (per-channel staging). */
+    void prepareServe(BnServeScratch& s);
+
+    /** Plan-executed eval forward: the running-stat affine (or a
+        pass-through copy when folded); see Linear::forwardServe. */
+    void forwardServe(const TensorView& x, const TensorView& y,
+                      BnServeScratch& s) const;
+
   private:
     size_t ch_;
     double momentum_, eps_;
@@ -245,6 +379,10 @@ class ReLU : public Module
     Tensor forward(const Tensor& x, bool train) override;
     Tensor backward(const Tensor& gy) override;
 
+    /** Plan-executed eval forward: clamp x into y without touching
+        the STE mask; see Linear::forwardServe. */
+    void forwardServe(const TensorView& x, const TensorView& y) const;
+
   private:
     double cap_;
     std::vector<uint8_t> mask_;
@@ -261,6 +399,9 @@ class MaxPool2d : public Module
 
     size_t window() const { return k_; }
 
+    /** Plan-executed eval forward (skips the argmax cache). */
+    void forwardServe(const TensorView& x, const TensorView& y) const;
+
   private:
     size_t k_;
     std::vector<size_t> argmax_;
@@ -273,6 +414,9 @@ class GlobalAvgPool : public Module
   public:
     Tensor forward(const Tensor& x, bool train) override;
     Tensor backward(const Tensor& gy) override;
+
+    /** Plan-executed eval forward. */
+    void forwardServe(const TensorView& x, const TensorView& y) const;
 
   private:
     std::vector<size_t> inShape_;

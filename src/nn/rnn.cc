@@ -170,6 +170,23 @@ Embedding::forward(const Tensor& x, bool train)
     return forward(ids, x.dim(0), x.dim(1));
 }
 
+void
+Embedding::forwardServe(const TensorView& x, const TensorView& y) const
+{
+    MIXQ_ASSERT(x.ndim() == 2, "Embedding: serve id grid must be [T, N]");
+    size_t count = x.size();
+    MIXQ_ASSERT(y.size() == count * dim_,
+                "Embedding: serve out shape");
+    for (size_t i = 0; i < count; ++i) {
+        int id = int(x.data[i]);
+        MIXQ_ASSERT(id >= 0 && size_t(id) < vocab_,
+                    "Embedding: id out of range");
+        std::memcpy(y.data + i * dim_,
+                    w_.w.data() + size_t(id) * dim_,
+                    dim_ * sizeof(float));
+    }
+}
+
 Tensor
 Embedding::backward(const Tensor& gy)
 {
@@ -427,6 +444,116 @@ Lstm::intForward(const Tensor& x)
     };
     chunkedForward(rnnBatchChunks(n), slice);
     return hOut;
+}
+
+void
+Lstm::prepareServe(RnnServeScratch& s, size_t maxN)
+{
+    MIXQ_ASSERT(intBackend_,
+                "Lstm: planned serving requires the int inference "
+                "backend — the float train-path forward mutates "
+                "member caches and cannot run replica-shared");
+    MIXQ_ASSERT(maxN > 0, "Lstm: empty serve batch");
+    size_t rows = 4 * h_;
+    wxQ_.ensure(wx_.w.data(), rows, i_, wx_.version,
+                qProjWx_.rowScheme, qProjWx_.rowAlpha, qBits_);
+    whQ_.ensure(wh_.w.data(), rows, h_, wh_.version,
+                qProjWh_.rowScheme, qProjWh_.rowAlpha, qBits_);
+    ActQuantParams px = actQuantParams(axq_);
+    ActQuantParams ph = actQuantParams(ahq_);
+    s.fx.resize(rows);
+    s.fh.resize(rows);
+    for (size_t r = 0; r < rows; ++r) {
+        s.fx[r] = wxQ_.rowDequant(r) * double(px.invScale);
+        s.fh[r] = whQ_.rowDequant(r) * double(ph.invScale);
+    }
+    // Chunk bounds are a pure function of n; tabulating every batch
+    // size up to the maximum keeps the live path free of even the
+    // bounds vector's allocation.
+    s.boundsByN.assign(maxN + 1, {});
+    for (size_t nn = 1; nn <= maxN; ++nn)
+        s.boundsByN[nn] = rnnBatchChunks(nn);
+    // Slots sized for the widest chunk (a chunk never exceeds the
+    // whole batch); live batches index with their actual nb.
+    s.slots.resize(kRnnMaxBatchChunks);
+    for (auto& sl : s.slots) {
+        sl.qx.resize(maxN * i_);
+        sl.qxT.resize(i_ * maxN);
+        sl.qh.resize(maxN * h_);
+        sl.qhT.resize(h_ * maxN);
+        sl.accX.resize(rows * maxN);
+        sl.accH.resize(rows * maxN);
+        sl.hprev.resize(maxN * h_);
+        sl.cprev.resize(maxN * h_);
+    }
+}
+
+void
+Lstm::forwardServe(const TensorView& x, const TensorView& y,
+                   RnnServeScratch& s) const
+{
+    MIXQ_ASSERT(x.ndim() == 3 && x.dim(2) == i_,
+                "Lstm: serve view shape");
+    size_t t = x.dim(0), n = x.dim(1);
+    MIXQ_ASSERT(n > 0 && n < s.boundsByN.size() &&
+                    !s.boundsByN[n].empty(),
+                "Lstm: serve batch exceeds the prepared plan");
+    MIXQ_ASSERT(y.size() == t * n * h_, "Lstm: serve out shape");
+    ActQuantParams px = actQuantParams(axq_);
+    ActQuantParams ph = actQuantParams(ahq_);
+
+    // Same chunked slice as intForward, with every per-slice buffer a
+    // pre-sized Slot of the replica scratch; arithmetic and chunk
+    // partition are identical, so outputs match the eval path bit for
+    // bit at any thread count.
+    const std::vector<size_t>& bounds = s.boundsByN[n];
+    size_t chunks = bounds.size() - 1;
+    auto slice = [&](size_t ci, size_t b0, size_t b1) {
+        size_t nb = b1 - b0;
+        RnnServeScratch::Slot& sl = s.slots[ci];
+        std::fill_n(sl.hprev.data(), nb * h_, 0.0f);
+        std::fill_n(sl.cprev.data(), nb * h_, 0.0f);
+        for (size_t st = 0; st < t; ++st) {
+            const float* xs = x.data + (st * n + b0) * i_;
+            quantizeActsInt(xs, sl.qx.data(), nb * i_, px);
+            transposeInt32(sl.qx.data(), sl.qxT.data(), nb, i_);
+            qgemm(wxQ_, sl.qxT.data(), nb, sl.accX.data());
+            quantizeActsInt(sl.hprev.data(), sl.qh.data(), nb * h_,
+                            ph);
+            transposeInt32(sl.qh.data(), sl.qhT.data(), nb, h_);
+            qgemm(whQ_, sl.qhT.data(), nb, sl.accH.data());
+
+            float* ho = y.data + (st * n + b0) * h_;
+            for (size_t b = 0; b < nb; ++b) {
+                for (size_t j = 0; j < h_; ++j) {
+                    auto pre = [&](size_t r) {
+                        return float(
+                            double(sl.accX[r * nb + b]) * s.fx[r] +
+                            double(sl.accH[r * nb + b]) * s.fh[r]);
+                    };
+                    float iv = sigmoidf(pre(j) + b_.w[j]);
+                    float fv = sigmoidf(pre(h_ + j) + b_.w[h_ + j]);
+                    float gv = std::tanh(pre(2 * h_ + j) +
+                                         b_.w[2 * h_ + j]);
+                    float ov = sigmoidf(pre(3 * h_ + j) +
+                                        b_.w[3 * h_ + j]);
+                    float cv = fv * sl.cprev[b * h_ + j] + iv * gv;
+                    sl.cprev[b * h_ + j] = cv;
+                    float hv = ov * std::tanh(cv);
+                    sl.hprev[b * h_ + j] = hv;
+                    ho[b * h_ + j] = hv;
+                }
+            }
+        }
+    };
+    if (chunks > 1) {
+        #pragma omp parallel for schedule(static)
+        for (long ci = 0; ci < long(chunks); ++ci)
+            slice(size_t(ci), bounds[size_t(ci)],
+                  bounds[size_t(ci) + 1]);
+    } else {
+        slice(0, bounds[0], bounds[chunks]);
+    }
 }
 
 Tensor
@@ -755,6 +882,109 @@ Gru::intForward(const Tensor& x)
     };
     chunkedForward(rnnBatchChunks(n), slice);
     return hOut;
+}
+
+void
+Gru::prepareServe(RnnServeScratch& s, size_t maxN)
+{
+    MIXQ_ASSERT(intBackend_,
+                "Gru: planned serving requires the int inference "
+                "backend — the float train-path forward mutates "
+                "member caches and cannot run replica-shared");
+    MIXQ_ASSERT(maxN > 0, "Gru: empty serve batch");
+    size_t rows = 3 * h_;
+    wxQ_.ensure(wx_.w.data(), rows, i_, wx_.version,
+                qProjWx_.rowScheme, qProjWx_.rowAlpha, qBits_);
+    whQ_.ensure(wh_.w.data(), rows, h_, wh_.version,
+                qProjWh_.rowScheme, qProjWh_.rowAlpha, qBits_);
+    ActQuantParams px = actQuantParams(axq_);
+    ActQuantParams ph = actQuantParams(ahq_);
+    s.fx.resize(rows);
+    s.fh.resize(rows);
+    for (size_t r = 0; r < rows; ++r) {
+        s.fx[r] = wxQ_.rowDequant(r) * double(px.invScale);
+        s.fh[r] = whQ_.rowDequant(r) * double(ph.invScale);
+    }
+    s.boundsByN.assign(maxN + 1, {});
+    for (size_t nn = 1; nn <= maxN; ++nn)
+        s.boundsByN[nn] = rnnBatchChunks(nn);
+    s.slots.resize(kRnnMaxBatchChunks);
+    for (auto& sl : s.slots) {
+        sl.qx.resize(maxN * i_);
+        sl.qxT.resize(i_ * maxN);
+        sl.qh.resize(maxN * h_);
+        sl.qhT.resize(h_ * maxN);
+        sl.accX.resize(rows * maxN);
+        sl.accH.resize(rows * maxN);
+        sl.hprev.resize(maxN * h_);
+    }
+}
+
+void
+Gru::forwardServe(const TensorView& x, const TensorView& y,
+                  RnnServeScratch& s) const
+{
+    MIXQ_ASSERT(x.ndim() == 3 && x.dim(2) == i_,
+                "Gru: serve view shape");
+    size_t t = x.dim(0), n = x.dim(1);
+    MIXQ_ASSERT(n > 0 && n < s.boundsByN.size() &&
+                    !s.boundsByN[n].empty(),
+                "Gru: serve batch exceeds the prepared plan");
+    MIXQ_ASSERT(y.size() == t * n * h_, "Gru: serve out shape");
+    ActQuantParams px = actQuantParams(axq_);
+    ActQuantParams ph = actQuantParams(ahq_);
+
+    // intForward's chunked slice over pre-sized Slot buffers; see
+    // Lstm::forwardServe.
+    const std::vector<size_t>& bounds = s.boundsByN[n];
+    size_t chunks = bounds.size() - 1;
+    auto slice = [&](size_t ci, size_t b0, size_t b1) {
+        size_t nb = b1 - b0;
+        RnnServeScratch::Slot& sl = s.slots[ci];
+        std::fill_n(sl.hprev.data(), nb * h_, 0.0f);
+        for (size_t st = 0; st < t; ++st) {
+            const float* xs = x.data + (st * n + b0) * i_;
+            quantizeActsInt(xs, sl.qx.data(), nb * i_, px);
+            transposeInt32(sl.qx.data(), sl.qxT.data(), nb, i_);
+            qgemm(wxQ_, sl.qxT.data(), nb, sl.accX.data());
+            quantizeActsInt(sl.hprev.data(), sl.qh.data(), nb * h_,
+                            ph);
+            transposeInt32(sl.qh.data(), sl.qhT.data(), nb, h_);
+            qgemm(whQ_, sl.qhT.data(), nb, sl.accH.data());
+
+            float* ho = y.data + (st * n + b0) * h_;
+            for (size_t b = 0; b < nb; ++b) {
+                for (size_t j = 0; j < h_; ++j) {
+                    auto preX = [&](size_t r) {
+                        return float(double(sl.accX[r * nb + b]) *
+                                     s.fx[r]);
+                    };
+                    auto preH = [&](size_t r) {
+                        return float(double(sl.accH[r * nb + b]) *
+                                     s.fh[r]);
+                    };
+                    float zv = sigmoidf(preX(j) + preH(j) + b_.w[j]);
+                    float rv = sigmoidf(preX(h_ + j) +
+                                        preH(h_ + j) + b_.w[h_ + j]);
+                    float huv = preH(2 * h_ + j);
+                    float nv = std::tanh(preX(2 * h_ + j) +
+                                         b_.w[2 * h_ + j] + rv * huv);
+                    float hp = sl.hprev[b * h_ + j];
+                    float hv = (1.0f - zv) * nv + zv * hp;
+                    sl.hprev[b * h_ + j] = hv;
+                    ho[b * h_ + j] = hv;
+                }
+            }
+        }
+    };
+    if (chunks > 1) {
+        #pragma omp parallel for schedule(static)
+        for (long ci = 0; ci < long(chunks); ++ci)
+            slice(size_t(ci), bounds[size_t(ci)],
+                  bounds[size_t(ci) + 1]);
+    } else {
+        slice(0, bounds[0], bounds[chunks]);
+    }
 }
 
 Tensor

@@ -47,6 +47,48 @@ class Rng;
 constexpr size_t kRnnMaxBatchChunks = 16;
 
 /**
+ * Per-replica scratch of the plan-executed LSTM/GRU forwards
+ * (serve/executor.hh). prepareServe() sizes one Slot per possible
+ * batch chunk at the plan's maximum batch, precomputes the per-row
+ * rescale factors and the chunk bounds for every batch size up to the
+ * maximum, so forwardServe() touches the heap exactly never: the
+ * chunk partition a live batch uses is a table lookup, and each
+ * chunk's code/accumulator/state buffers are pre-sized slices of its
+ * Slot. The layer itself stays immutable (const forwardServe), so
+ * replicas share the packed gate panels and own only this scratch.
+ */
+struct RnnServeScratch
+{
+    /** Buffers of one batch chunk (indexed by chunk position). */
+    struct Slot
+    {
+        std::vector<int32_t> qx, qxT;   //!< input codes / transposed
+        std::vector<int32_t> qh, qhT;   //!< hidden codes / transposed
+        std::vector<int32_t> accX, accH; //!< gate accumulators
+        std::vector<float> hprev;        //!< running hidden state
+        std::vector<float> cprev;        //!< running cell state (LSTM)
+    };
+
+    std::vector<Slot> slots;
+    std::vector<double> fx, fh; //!< per-gate-row rescale factors
+    /** boundsByN[n] = chunk bounds for a batch of n sequences. */
+    std::vector<std::vector<size_t>> boundsByN;
+
+    size_t bytes() const
+    {
+        size_t b = (fx.size() + fh.size()) * sizeof(double);
+        for (const Slot& s : slots)
+            b += (s.qx.size() + s.qxT.size() + s.qh.size() +
+                  s.qhT.size() + s.accX.size() + s.accH.size()) *
+                     sizeof(int32_t) +
+                 (s.hprev.size() + s.cprev.size()) * sizeof(float);
+        for (const auto& v : boundsByN)
+            b += v.size() * sizeof(size_t);
+        return b;
+    }
+};
+
+/**
  * Toggle the batch-parallel LSTM/GRU training path (default on).
  * Off runs the single-sweep path: one timestep loop over the whole
  * batch, gradients accumulated straight into Param::grad. With
@@ -96,6 +138,10 @@ class Embedding : public Module
     }
     size_t dim() const { return dim_; }
 
+    /** Plan-executed eval lookup: x is a [T, N] float id grid, y a
+        [T, N, E] view; allocation-free and const (replica-shared). */
+    void forwardServe(const TensorView& x, const TensorView& y) const;
+
   private:
     size_t vocab_, dim_;
     Param w_;
@@ -141,6 +187,23 @@ class Lstm : public Module
     /** Adopt deploy-artifact gate panels; see
         Linear::adoptDeployedWeights. */
     void adoptDeployedWeights(PackedQMat wx, PackedQMat wh, int wbits);
+
+    /**
+     * Pack the gate panels and size @p s for sequences of up to
+     * @p maxN batch rows. Panics unless the int backend is active:
+     * the float train-path forward mutates member caches per call
+     * and cannot run replica-shared. Orchestrating thread only.
+     */
+    void prepareServe(RnnServeScratch& s, size_t maxN);
+
+    /**
+     * Plan-executed eval forward: x [T, n, I] -> y [T, n, H] with
+     * n <= the prepared maximum, allocating nothing — bit-identical
+     * to forward(x, false) on the int backend. The layer is
+     * immutable here; all mutable state is in @p s.
+     */
+    void forwardServe(const TensorView& x, const TensorView& y,
+                      RnnServeScratch& s) const;
 
   private:
     Tensor intForward(const Tensor& x);
@@ -217,6 +280,15 @@ class Gru : public Module
     /** Adopt deploy-artifact gate panels; see
         Linear::adoptDeployedWeights. */
     void adoptDeployedWeights(PackedQMat wx, PackedQMat wh, int wbits);
+
+    /** Pack + size scratch for serve batches up to @p maxN; see
+        Lstm::prepareServe. */
+    void prepareServe(RnnServeScratch& s, size_t maxN);
+
+    /** Plan-executed eval forward x [T, n, I] -> y [T, n, H]; see
+        Lstm::forwardServe. */
+    void forwardServe(const TensorView& x, const TensorView& y,
+                      RnnServeScratch& s) const;
 
   private:
     Tensor intForward(const Tensor& x);

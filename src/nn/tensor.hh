@@ -91,6 +91,23 @@ class Tensor
 /** Product of all dims. */
 size_t shapeSize(const std::vector<size_t>& shape);
 
+/**
+ * Non-owning view of externally placed tensor storage — the handle
+ * the plan-execution forwards (serve/executor.hh) pass around.
+ * `data` points at `shapeSize(shape)` floats the caller placed (a
+ * planner-assigned offset inside the serving slab); the view never
+ * allocates, frees, or reshapes.
+ */
+struct TensorView
+{
+    float* data = nullptr;
+    std::vector<size_t> shape;
+
+    size_t size() const { return shapeSize(shape); }
+    size_t dim(size_t i) const { return shape[i]; }
+    size_t ndim() const { return shape.size(); }
+};
+
 } // namespace mixq
 
 #endif // MIXQ_NN_TENSOR_HH

@@ -258,6 +258,12 @@ saveDeployArtifact(const std::string& path, Module& model,
                 requireCalibrated(c->actQuant(), mp);
                 addPacked(*p);
             }
+        } else if (auto* d = dynamic_cast<DwConv2d*>(&m)) {
+            Param* p = ownParam(m, "dwconv.w");
+            if (p && p->quantizable()) {
+                requireCalibrated(d->actQuant(), mp);
+                addPacked(*p);
+            }
         } else if (auto* ls = dynamic_cast<Lstm*>(&m)) {
             requireCalibrated(ls->inputQuant(), mp);
             requireCalibrated(ls->hiddenQuant(), mp);
@@ -274,8 +280,7 @@ saveDeployArtifact(const std::string& path, Module& model,
                 "saveDeployArtifact: model has no int-capable "
                 "quantized weights");
 
-    // Float-served leftovers: biases, BN affine params, depthwise
-    // weights (already hard-projected by finalize), embeddings.
+    // Float-served leftovers: biases, BN affine params, embeddings.
     for (const NamedParam& np : named) {
         if (packedParams.count(np.p))
             continue;
@@ -321,6 +326,13 @@ loadDeployArtifact(const std::string& path, Module& model)
                 PackedQMat pk = decodeFor(*p);
                 int bits = pk.bits();
                 c->adoptDeployedWeights(std::move(pk), bits);
+            }
+        } else if (auto* d = dynamic_cast<DwConv2d*>(&m)) {
+            Param* p = ownParam(m, "dwconv.w");
+            if (p && p->quantizable()) {
+                PackedQMat pk = decodeFor(*p);
+                int bits = pk.bits();
+                d->adoptDeployedWeights(std::move(pk), bits);
             }
         } else if (auto* ls = dynamic_cast<Lstm*>(&m)) {
             PackedQMat wx = decodeFor(*ownParam(m, "lstm.wx"));

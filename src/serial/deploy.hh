@@ -2,12 +2,12 @@
  * @file
  * Deploy artifacts ("MIXQDEPL"): the inference-only counterpart of
  * the training checkpoint. Every int-capable quantized weight matrix
- * (Linear and Conv2d weights, LSTM/GRU input and recurrent matrices)
- * is stored as its *canonical integer codes*, bit-packed to the
- * quantization width — a 4-bit matrix costs about 4 bits per weight
- * plus one f32 scale per row — alongside the float state the integer
- * backend still serves from (biases, BatchNorm constants, depthwise
- * weights, embeddings) and every activation quantizer's calibration.
+ * (Linear, Conv2d and DwConv2d weights, LSTM/GRU input and recurrent
+ * matrices) is stored as its *canonical integer codes*, bit-packed
+ * to the quantization width — a 4-bit matrix costs about 4 bits per
+ * weight plus one f32 scale per row — alongside the float state the
+ * integer backend still serves from (biases, BatchNorm constants,
+ * embeddings) and every activation quantizer's calibration.
  *
  * Loading adopts the codes straight into locked PackedQMat panels
  * (infer/qpack.hh loadFromCodes) via the layers' adoptDeployedWeights

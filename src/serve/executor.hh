@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Plan execution: run a model's eval forward as the recorded step
+ * list of its ServePlan, writing every activation into one pre-
+ * faulted slab at the planner's precomputed offsets. A PlanExecutor
+ * is the per-replica half of the serving split — it owns the slab
+ * and every layer's mutable serve scratch (sized once, at the plan's
+ * maximum batch), while the model it executes stays immutable and
+ * replica-shared: packed weight panels, folded BN and float weights
+ * are read concurrently by any number of executors, so n replicas
+ * cost one model plus n plans.
+ *
+ * Steady-state run() calls allocate nothing — not from the heap and
+ * not from a bump arena: activations land at fixed offsets that are
+ * stable across requests, and per-step scratch was pre-sized by
+ * prepareServe. Variable batch sizes are handled without replanning
+ * by planning twice (unit batch and maximum batch) and interpolating
+ * every buffer dimension affinely in the item count; the walk is
+ * deterministic, so the two plans are structurally identical and the
+ * interpolation is exact (asserted).
+ *
+ * Construction and run() are single-threaded from the caller's view
+ * (one worker thread per replica); the layer forwards open their own
+ * OpenMP regions exactly as the scope-path eval forward does, so
+ * outputs are bit-identical to Module::forward(x, false) at every
+ * thread count.
+ */
+
+#ifndef MIXQ_SERVE_EXECUTOR_HH
+#define MIXQ_SERVE_EXECUTOR_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hh"
+#include "nn/rnn.hh"
+#include "serve/planner.hh"
+
+namespace mixq {
+
+/** Executes one ServePlan against a shared, immutable model. */
+class PlanExecutor
+{
+  public:
+    /**
+     * Plan @p root at @p itemShape (a single item: the batch axis
+     * @p batchAxis must be 1) and at the same shape with the batch
+     * axis widened to @p maxItems, allocate and pre-fault the slab,
+     * and size every step's scratch for the maximum batch. Packs
+     * weight panels via the layers' prepareServe — idempotent per
+     * weight version, so building a second executor over the same
+     * model packs nothing and shares the first one's panels.
+     */
+    PlanExecutor(Module& root, const std::vector<size_t>& itemShape,
+                 size_t batchAxis, size_t maxItems);
+    ~PlanExecutor();
+    PlanExecutor(const PlanExecutor&) = delete;
+    PlanExecutor& operator=(const PlanExecutor&) = delete;
+
+    /**
+     * Execute the plan for @p items (1 <= items <= maxItems). The
+     * caller has written the input into inputData() in the runtime
+     * input shape; the output lands at outputData(). Allocation-free
+     * in steady state (first call included — scratch is ctor-sized).
+     */
+    void run(size_t items);
+
+    /** Slab address of the input buffer (gather target). */
+    float* inputData() { return buf(0); }
+    /** Slab address of the output buffer (scatter source). */
+    const float* outputData() const { return buf(plan_.outIndex); }
+    /** Byte size of the input buffer at the maximum batch. */
+    size_t inputBytes() const { return plan_.buffers[0].bytes; }
+    /** Runtime shape of the input buffer for @p items. */
+    std::vector<size_t> inputShape(size_t items) const
+    {
+        return runtimeShape(0, items);
+    }
+    /** Runtime shape of the output buffer for @p items. */
+    std::vector<size_t> outputShape(size_t items) const
+    {
+        return runtimeShape(plan_.outIndex, items);
+    }
+
+    /** The executed (maximum-batch) plan. */
+    const ServePlan& plan() const { return plan_; }
+    size_t maxItems() const { return maxItems_; }
+    /** Allocated slab size (the plan's peak, page-rounded up). */
+    size_t slabBytes() const { return slabBytes_; }
+    /** Total bytes of this replica's per-step serve scratch. */
+    size_t scratchBytes() const;
+
+  private:
+    /** Resolved step: the plan step plus its serve lowering. */
+    enum class Op
+    {
+        Linear,
+        Conv,
+        DwConv,
+        Bn,
+        Relu,
+        MaxPool,
+        Gap,
+        Flatten,
+        Embedding,
+        Lstm,
+        Gru,
+        ResidualAdd,
+        SliceLast
+    };
+
+    struct StepExec
+    {
+        Op op = Op::ResidualAdd;
+        Module* mod = nullptr;
+        std::unique_ptr<LinearServeScratch> lin;
+        std::unique_ptr<ConvServeScratch> conv;
+        std::unique_ptr<BnServeScratch> bn;
+        std::unique_ptr<RnnServeScratch> rnn;
+    };
+
+    /** Prebuilt input/output views of one step at one batch size. */
+    struct StepViews
+    {
+        TensorView in, out;
+    };
+
+    float* buf(size_t i) const
+    {
+        return slab_ + plan_.buffers[i].offset / sizeof(float);
+    }
+    std::vector<size_t> runtimeShape(size_t bufIdx, size_t n) const;
+
+    ServePlan unit_; //!< plan at batch 1 (shape interpolation anchor)
+    ServePlan plan_; //!< plan at maxItems (offsets, scratch sizing)
+    size_t maxItems_ = 1;
+    float* slab_ = nullptr;
+    size_t slabBytes_ = 0;
+    std::vector<StepExec> steps_;
+    std::vector<std::vector<StepViews>> viewsByN_; //!< [items][step]
+};
+
+} // namespace mixq
+
+#endif // MIXQ_SERVE_EXECUTOR_HH

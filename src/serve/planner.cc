@@ -48,6 +48,17 @@ use(Ctx& c, size_t idx, size_t consumer)
         b.lastUse = consumer;
 }
 
+void
+step(Ctx& c, PlanStep::Kind kind, Module* mod, size_t in, size_t out)
+{
+    PlanStep s;
+    s.kind = kind;
+    s.mod = mod;
+    s.in = in;
+    s.out = out;
+    c.plan.steps.push_back(s);
+}
+
 size_t
 convOutDim(size_t h, size_t k, size_t s, size_t p)
 {
@@ -108,14 +119,17 @@ walk(Ctx& c, Module& m, const std::string& path, size_t in)
         // h.add(s) runs in place right before reluOut: the shortcut
         // buffer stays live until reluOut's output is defined.
         use(c, s, c.plan.buffers.size());
+        step(c, PlanStep::Kind::ResidualAdd, nullptr, s, h);
         return walkNamed(c, *bb, path, "reluOut", h);
     }
     if (auto* ir = dynamic_cast<InvertedResidual*>(&m)) {
         size_t h = walkChain(c, *ir, path, in);
         // Skip connection (stride 1, equal channels): in-place add
         // into the bn3 output keeps the block input live until then.
-        if (c.plan.buffers[h].shape == shape)
+        if (c.plan.buffers[h].shape == shape) {
             use(c, in, c.plan.buffers[h].def);
+            step(c, PlanStep::Kind::ResidualAdd, nullptr, in, h);
+        }
         return h;
     }
     if (auto* lc = dynamic_cast<LstmClassifier*>(&m)) {
@@ -130,6 +144,7 @@ walk(Ctx& c, Module& m, const std::string& path, size_t in)
         const std::vector<size_t>& hs = c.plan.buffers[h].shape;
         size_t last = emit(c, joinPath(path, "last"), {hs[1], hs[2]});
         use(c, h, last);
+        step(c, PlanStep::Kind::SliceLast, nullptr, h, last);
         return walkNamed(c, *lc, path, "head", last);
     }
     if (dynamic_cast<LstmLm*>(&m) || dynamic_cast<GruTagger*>(&m) ||
@@ -149,6 +164,7 @@ walk(Ctx& c, Module& m, const std::string& path, size_t in)
         size_t out = emit(c, path,
                           {shape[0], cv->outChannels(), oh, ow});
         use(c, in, out);
+        step(c, PlanStep::Kind::Layer, &m, in, out);
         LayerSpec ls;
         ls.name = path;
         ls.kind = LayerKind::Conv;
@@ -168,6 +184,7 @@ walk(Ctx& c, Module& m, const std::string& path, size_t in)
         size_t out = emit(c, path,
                           {shape[0], dw->channels(), oh, ow});
         use(c, in, out);
+        step(c, PlanStep::Kind::Layer, &m, in, out);
         LayerSpec ls;
         ls.name = path;
         ls.kind = LayerKind::DwConv;
@@ -181,6 +198,7 @@ walk(Ctx& c, Module& m, const std::string& path, size_t in)
         // Elementwise; folded BN still passes through as a copy.
         size_t out = emit(c, path, shape);
         use(c, in, out);
+        step(c, PlanStep::Kind::Layer, &m, in, out);
         return out;
     }
     if (auto* mp = dynamic_cast<MaxPool2d*>(&m)) {
@@ -190,12 +208,14 @@ walk(Ctx& c, Module& m, const std::string& path, size_t in)
                            shape[2] / mp->window(),
                            shape[3] / mp->window()});
         use(c, in, out);
+        step(c, PlanStep::Kind::Layer, &m, in, out);
         return out;
     }
     if (dynamic_cast<GlobalAvgPool*>(&m)) {
         MIXQ_ASSERT(shape.size() == 4, "planner: GlobalAvgPool input");
         size_t out = emit(c, path, {shape[0], shape[1]});
         use(c, in, out);
+        step(c, PlanStep::Kind::Layer, &m, in, out);
         return out;
     }
     if (dynamic_cast<Flatten*>(&m)) {
@@ -203,6 +223,7 @@ walk(Ctx& c, Module& m, const std::string& path, size_t in)
             c, path,
             {shape[0], shapeSize(shape) / shape[0]});
         use(c, in, out);
+        step(c, PlanStep::Kind::Layer, &m, in, out);
         return out;
     }
     if (auto* ln = dynamic_cast<Linear*>(&m)) {
@@ -212,6 +233,7 @@ walk(Ctx& c, Module& m, const std::string& path, size_t in)
         size_t rows = shapeSize(shape) / shape.back();
         size_t out = emit(c, path, {rows, ln->outFeatures()});
         use(c, in, out);
+        step(c, PlanStep::Kind::Layer, &m, in, out);
         LayerSpec ls;
         ls.name = path;
         ls.kind = LayerKind::Linear;
@@ -225,6 +247,7 @@ walk(Ctx& c, Module& m, const std::string& path, size_t in)
         MIXQ_ASSERT(shape.size() == 2, "planner: Embedding input");
         size_t out = emit(c, path, {shape[0], shape[1], e->dim()});
         use(c, in, out);
+        step(c, PlanStep::Kind::Layer, &m, in, out);
         return out;
     }
     if (auto* l = dynamic_cast<Lstm*>(&m)) {
@@ -232,6 +255,7 @@ walk(Ctx& c, Module& m, const std::string& path, size_t in)
         size_t out =
             emit(c, path, {shape[0], shape[1], l->hidden()});
         use(c, in, out);
+        step(c, PlanStep::Kind::Layer, &m, in, out);
         c.plan.net.layers.push_back(rnnInputGemm(
             path + ".wx", shape[2], 4 * l->hidden(), shape[0],
             shape[1]));
@@ -245,6 +269,7 @@ walk(Ctx& c, Module& m, const std::string& path, size_t in)
         size_t out =
             emit(c, path, {shape[0], shape[1], g->hidden()});
         use(c, in, out);
+        step(c, PlanStep::Kind::Layer, &m, in, out);
         c.plan.net.layers.push_back(rnnInputGemm(
             path + ".wx", shape[2], 3 * g->hidden(), shape[0],
             shape[1]));
@@ -346,6 +371,7 @@ planServeForward(Module& root, const std::vector<size_t>& inShape)
     size_t inBuf = emit(c, "input", inShape);
     size_t outBuf = walk(c, root, "", inBuf);
     c.plan.outShape = c.plan.buffers[outBuf].shape;
+    c.plan.outIndex = outBuf;
     c.plan.peakBytes = assignArenaOffsets(c.plan.buffers);
     std::string why;
     MIXQ_ASSERT(c.plan.validate(&why),

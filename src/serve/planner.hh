@@ -44,11 +44,32 @@ struct PlanBuffer
     size_t offset = 0;         //!< assigned arena offset
 };
 
+/**
+ * One executable step of the planned forward. Layer steps run a leaf
+ * module's forwardServe from buffer @p in into buffer @p out;
+ * ResidualAdd replicates the blocks' in-place `h.add(s)` (out += in);
+ * SliceLast copies the last timestep of a [T, N, H] buffer into an
+ * [N, H] buffer (LstmClassifier's pre-head slice). The step list is
+ * what makes the plan an executed contract (serve/executor.hh) rather
+ * than an arena-sizing hint.
+ */
+struct PlanStep
+{
+    enum class Kind { Layer, ResidualAdd, SliceLast };
+
+    Kind kind = Kind::Layer;
+    Module* mod = nullptr; //!< leaf to run (Layer steps only)
+    size_t in = 0;         //!< input buffer index
+    size_t out = 0;        //!< output buffer index
+};
+
 /** The full ahead-of-time plan for one (model, input shape) pair. */
 struct ServePlan
 {
     std::vector<PlanBuffer> buffers; //!< buffers[0] is the input
+    std::vector<PlanStep> steps;     //!< executable forward recipe
     std::vector<size_t> outShape;    //!< forward output shape
+    size_t outIndex = 0;             //!< buffer index of the output
     size_t peakBytes = 0;            //!< extent of the offset layout
     NetworkSpec net;                 //!< GEMM-form view (simulator)
 

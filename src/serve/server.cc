@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <stdexcept>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
+#include "serve/executor.hh"
 #include "util/logging.hh"
 
 namespace mixq {
@@ -44,6 +46,38 @@ BatchServer::BatchServer(std::vector<Module*> replicas,
     }
     workers_.reserve(replicas_.size());
     for (size_t i = 0; i < replicas_.size(); ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+BatchServer::BatchServer(Module& model, size_t replicas,
+                         const BatchTraits& traits,
+                         const ServeOptions& opt)
+    : traits_(traits), opt_(opt), planned_(true)
+{
+    MIXQ_ASSERT(replicas >= 1, "serve: need at least one replica");
+    MIXQ_ASSERT(opt_.maxBatch >= 1, "serve: maxBatch must be >= 1");
+    MIXQ_ASSERT(traits_.batchAxis < traits_.itemShape.size() &&
+                    traits_.itemShape[traits_.batchAxis] == 1,
+                "serve: itemShape must have extent 1 on batchAxis");
+    MIXQ_ASSERT(traits_.batchAxis <= 1,
+                "serve: batchAxis must be 0 (NCHW) or 1 (TNC)");
+    // Built sequentially on this thread: the first executor packs the
+    // shared model's weight panels (PackedQMat/PackedMat ensure), the
+    // rest find them current and pack nothing — one weight copy for
+    // all replicas.
+    execs_.reserve(replicas);
+    for (size_t i = 0; i < replicas; ++i)
+        execs_.push_back(std::make_unique<PlanExecutor>(
+            model, traits_.itemShape, traits_.batchAxis,
+            opt_.maxBatch));
+    plan_ = execs_[0]->plan();
+    arenaCapacity_.store(execs_[0]->slabBytes(),
+                         std::memory_order_relaxed);
+    arenaHighWater_.store(plan_.peakBytes, std::memory_order_relaxed);
+    scratchBytes_.store(execs_[0]->scratchBytes(),
+                        std::memory_order_relaxed);
+    workers_.reserve(replicas);
+    for (size_t i = 0; i < replicas; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
@@ -137,7 +171,44 @@ BatchServer::stats() const
         arenaHighWater_.load(std::memory_order_relaxed);
     s.arenaOverflows =
         arenaOverflows_.load(std::memory_order_relaxed);
+    s.scratchBytes = scratchBytes_.load(std::memory_order_relaxed);
     return s;
+}
+
+bool
+BatchServer::nextBatch(std::vector<Request>& batch, size_t& items)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty())
+        return false; // stopping, nothing left (or drained)
+    if (stopping_ && !drain_)
+        return false; // stop() fails the leftovers
+    items = queue_.front().items;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    if (opt_.deadlineUs > 0 && items < opt_.maxBatch) {
+        auto dl = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(opt_.deadlineUs);
+        bool timedOut = false;
+        for (;;) {
+            // FIFO coalesce: adjacent requests that fit. A head that
+            // does not fit ships the batch as-is — no reordering
+            // past it.
+            while (!queue_.empty() &&
+                   items + queue_.front().items <= opt_.maxBatch) {
+                items += queue_.front().items;
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            if (items >= opt_.maxBatch || !queue_.empty() ||
+                stopping_ || timedOut)
+                break;
+            timedOut =
+                cv_.wait_until(lk, dl) == std::cv_status::timeout;
+        }
+    }
+    return true;
 }
 
 void
@@ -149,6 +220,10 @@ BatchServer::workerLoop(size_t worker)
     if (opt_.ompThreads > 0)
         omp_set_num_threads(opt_.ompThreads);
 #endif
+    if (planned_) {
+        plannedWorkerLoop(worker);
+        return;
+    }
     Module& model = *replicas_[worker];
     std::vector<size_t> ws = traits_.itemShape;
     ws[traits_.batchAxis] = opt_.maxBatch;
@@ -178,41 +253,39 @@ BatchServer::workerLoop(size_t worker)
     for (;;) {
         std::vector<Request> batch;
         size_t items = 0;
-        {
-            std::unique_lock<std::mutex> lk(mu_);
-            cv_.wait(lk,
-                     [&] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty())
-                break; // stopping, nothing left (or drained)
-            if (stopping_ && !drain_)
-                break; // stop() fails the leftovers
-            items = queue_.front().items;
-            batch.push_back(std::move(queue_.front()));
-            queue_.pop_front();
-            if (opt_.deadlineUs > 0 && items < opt_.maxBatch) {
-                auto dl = std::chrono::steady_clock::now() +
-                          std::chrono::microseconds(opt_.deadlineUs);
-                bool timedOut = false;
-                for (;;) {
-                    // FIFO coalesce: adjacent requests that fit. A
-                    // head that does not fit ships the batch as-is —
-                    // no reordering past it.
-                    while (!queue_.empty() &&
-                           items + queue_.front().items <=
-                               opt_.maxBatch) {
-                        items += queue_.front().items;
-                        batch.push_back(std::move(queue_.front()));
-                        queue_.pop_front();
-                    }
-                    if (items >= opt_.maxBatch || !queue_.empty() ||
-                        stopping_ || timedOut)
-                        break;
-                    timedOut = cv_.wait_until(lk, dl) ==
-                               std::cv_status::timeout;
-                }
-            }
-        }
+        if (!nextBatch(batch, items))
+            break;
         runBatch(model, arena, batch, items, batchesDone);
+        ++batchesDone;
+    }
+}
+
+void
+BatchServer::plannedWorkerLoop(size_t worker)
+{
+    PlanExecutor& exec = *execs_[worker];
+
+    // Warmup: the slab is already pre-faulted and every serve scratch
+    // ctor-sized, but this thread's lazily-grown state — the GEMM
+    // backend's thread_local packing buffers, the OpenMP runtime's
+    // team — must reach steady capacity before the Debug zero-alloc
+    // window opens. Two max-batch runs on zeroed input (id 0 is a
+    // valid token for the embedding models) get there. The input
+    // buffer's slab range is recycled by later buffers (liveness
+    // packing), so each run re-zeroes it — the per-batch gatherInto
+    // plays that role in steady state.
+    std::memset(exec.inputData(), 0, exec.inputBytes());
+    exec.run(opt_.maxBatch);
+    std::memset(exec.inputData(), 0, exec.inputBytes());
+    exec.run(opt_.maxBatch);
+
+    size_t batchesDone = 0;
+    for (;;) {
+        std::vector<Request> batch;
+        size_t items = 0;
+        if (!nextBatch(batch, items))
+            break;
+        runBatchPlanned(exec, batch, items, batchesDone);
         ++batchesDone;
     }
 }
@@ -271,6 +344,55 @@ BatchServer::runBatch(Module& model, Arena& arena,
     doneRequests_.fetch_add(batch.size(), std::memory_order_relaxed);
 }
 
+void
+BatchServer::runBatchPlanned(PlanExecutor& exec,
+                             std::vector<Request>& batch,
+                             size_t items, size_t batchesDone)
+{
+    (void)batchesDone;
+    try {
+#ifndef NDEBUG
+        const uint64_t arenaBefore = arenaAllocCount();
+        ScopedHeapAllocCount heap;
+#endif
+        gatherInto(batch, items, exec.inputData());
+        exec.run(items);
+#ifndef NDEBUG
+        // The executed plan's contract is stronger than the arena
+        // path's: a steady-state batch touches neither the heap nor
+        // any bump arena — every activation lands at its planned
+        // slab offset and all scratch was ctor-sized. The first
+        // batches may still settle promise plumbing.
+        if (batchesDone >= 2) {
+            MIXQ_ASSERT(
+                heap.count() == 0,
+                "serve: steady-state planned batch allocated on the "
+                "heap — a layer grew scratch outside prepareServe");
+            MIXQ_ASSERT(
+                arenaAllocCount() == arenaBefore,
+                "serve: planned batch took a bump-arena allocation — "
+                "activations must come from the plan slab");
+        }
+#endif
+        // Responses are deep copies: the slab's buffers are reused
+        // verbatim by the next batch.
+        scatterRaw(exec.outputData(), exec.outputShape(items), items,
+                   batch);
+    } catch (...) {
+        std::exception_ptr e = std::current_exception();
+        for (Request& r : batch) {
+            try {
+                r.result.set_exception(e);
+            } catch (const std::future_error&) {
+                // already satisfied by a partial scatter
+            }
+        }
+    }
+    doneBatches_.fetch_add(1, std::memory_order_relaxed);
+    doneItems_.fetch_add(items, std::memory_order_relaxed);
+    doneRequests_.fetch_add(batch.size(), std::memory_order_relaxed);
+}
+
 Tensor
 BatchServer::gather(const std::vector<Request>& batch,
                     size_t items) const
@@ -278,12 +400,20 @@ BatchServer::gather(const std::vector<Request>& batch,
     std::vector<size_t> bs = traits_.itemShape;
     bs[traits_.batchAxis] = items;
     Tensor xb(bs);
+    gatherInto(batch, items, xb.data());
+    return xb;
+}
+
+void
+BatchServer::gatherInto(const std::vector<Request>& batch,
+                        size_t items, float* dst) const
+{
     if (traits_.batchAxis == 0) {
         const size_t itemElems = shapeSize(traits_.itemShape);
         size_t off = 0;
         for (const Request& r : batch) {
             std::copy_n(r.x.data(), r.items * itemElems,
-                        xb.data() + off * itemElems);
+                        dst + off * itemElems);
             off += r.items;
         }
     } else { // axis 1: [T, N, ...] — interleave per timestep
@@ -294,53 +424,59 @@ BatchServer::gather(const std::vector<Request>& batch,
         size_t off = 0;
         for (const Request& r : batch) {
             for (size_t tt = 0; tt < t; ++tt)
-                std::copy_n(
-                    r.x.data() + tt * r.items * inner,
-                    r.items * inner,
-                    xb.data() + (tt * items + off) * inner);
+                std::copy_n(r.x.data() + tt * r.items * inner,
+                            r.items * inner,
+                            dst + (tt * items + off) * inner);
             off += r.items;
         }
     }
-    return xb;
 }
 
 void
 BatchServer::scatter(const Tensor& yb, size_t items,
                      std::vector<Request>& batch) const
 {
+    scatterRaw(yb.data(), yb.shape(), items, batch);
+}
+
+void
+BatchServer::scatterRaw(const float* yb,
+                        const std::vector<size_t>& ys, size_t items,
+                        std::vector<Request>& batch) const
+{
+    const size_t total = shapeSize(ys);
     std::vector<Tensor> outs;
     outs.reserve(batch.size());
     if (traits_.timeMajorOut) {
         // yb rows are [T*B, C] grouped by timestep; a request's rows
         // are t*k + i for its k items.
         const size_t t = traits_.itemShape[0];
-        MIXQ_ASSERT(yb.dim(0) == t * items,
+        MIXQ_ASSERT(ys[0] == t * items,
                     "serve: time-major output row count mismatch");
-        const size_t cols = yb.size() / (t * items);
+        const size_t cols = total / (t * items);
         size_t off = 0;
         for (const Request& r : batch) {
             Tensor o({t * r.items, cols});
             for (size_t tt = 0; tt < t; ++tt)
-                std::copy_n(
-                    yb.data() + (tt * items + off) * cols,
-                    r.items * cols, o.data() + tt * r.items * cols);
+                std::copy_n(yb + (tt * items + off) * cols,
+                            r.items * cols,
+                            o.data() + tt * r.items * cols);
             outs.push_back(std::move(o));
             off += r.items;
         }
     } else {
-        MIXQ_ASSERT(yb.dim(0) == items,
+        MIXQ_ASSERT(ys[0] == items,
                     "serve: output row count mismatch");
-        const size_t rowElems = yb.size() / items;
-        const std::vector<size_t> tail(yb.shape().begin() + 1,
-                                       yb.shape().end());
+        const size_t rowElems = total / items;
+        const std::vector<size_t> tail(ys.begin() + 1, ys.end());
         size_t off = 0;
         for (const Request& r : batch) {
             std::vector<size_t> os;
             os.push_back(r.items);
             os.insert(os.end(), tail.begin(), tail.end());
             Tensor o(std::move(os));
-            std::copy_n(yb.data() + off * rowElems,
-                        r.items * rowElems, o.data());
+            std::copy_n(yb + off * rowElems, r.items * rowElems,
+                        o.data());
             outs.push_back(std::move(o));
             off += r.items;
         }

@@ -11,7 +11,10 @@
  * ships the batch (a request is one unit; items of one request are
  * never split across batches).
  *
- * Every worker runs its steady-state forwards inside an ArenaScope
+ * Two execution modes share the queue/coalescing front end:
+ *
+ * Replica mode (legacy): each worker owns a full model replica and
+ * runs its steady-state forwards inside an ArenaScope
  * (serve/arena.hh): warmup sizes all layer-internal scratch at the
  * max-batch shape on the real heap, the arena is sized from the
  * measured transient footprint and the ahead-of-time plan
@@ -19,6 +22,17 @@
  * bump-allocated and released with one pointer reset. In Debug
  * builds the worker asserts the steady state allocates nothing on
  * the calling thread's heap.
+ *
+ * Planned mode (shared model): the plan is *executed*, not just a
+ * sizing hint. One immutable model is shared by every worker; each
+ * worker owns only a PlanExecutor (serve/executor.hh) — a pre-
+ * faulted slab plus per-step serve scratch — and gathers requests
+ * straight into the slab's input buffer, runs the recorded step
+ * list at the planner's fixed offsets, and scatters from the output
+ * buffer. Steady state allocates nothing at all: no heap *and* no
+ * bump-pointer traffic (Debug builds assert both), and activation
+ * addresses are stable across requests. n replicas cost one model
+ * plus n plans.
  *
  * Batch composition does not change results: the Int backend's
  * integer accumulation is per output column and every float epilogue
@@ -35,6 +49,7 @@
 #include <cstddef>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -44,6 +59,8 @@
 #include "serve/planner.hh"
 
 namespace mixq {
+
+class PlanExecutor;
 
 /** Tuning knobs of a BatchServer. */
 struct ServeOptions
@@ -83,10 +100,12 @@ class BatchServer
         size_t requests = 0; //!< requests completed
         size_t items = 0;    //!< items completed
         size_t batches = 0;  //!< forwards executed
-        size_t arenaCapacity = 0;  //!< worker 0's arena size
+        size_t arenaCapacity = 0;  //!< worker 0's arena / slab size
         size_t planPeakBytes = 0;  //!< planner's analytic peak
         size_t arenaHighWater = 0; //!< worker 0's observed peak
         size_t arenaOverflows = 0; //!< heap-fallback allocations
+        size_t scratchBytes = 0;   //!< worker 0's per-replica serve
+                                   //!< scratch (planned mode only)
     };
 
     /**
@@ -98,6 +117,21 @@ class BatchServer
      */
     BatchServer(std::vector<Module*> replicas, BatchTraits traits,
                 ServeOptions opt);
+
+    /**
+     * Plan-executed shared-model mode: spawn @p replicas workers over
+     * ONE immutable @p model. Each worker owns only a PlanExecutor
+     * (activation slab + per-step serve scratch); the model — packed
+     * weight panels, folded BN, float weights — is read concurrently
+     * by all of them, so n replicas cost one model plus n plans. The
+     * model must already be switched to its serving backend and must
+     * not be mutated while the server runs. Steady-state batches
+     * allocate nothing (no heap, no arena; Debug builds assert both)
+     * and are bit-identical to replica-mode serving.
+     * ServeOptions::arenaBytes and planArena are ignored here.
+     */
+    BatchServer(Module& model, size_t replicas,
+                const BatchTraits& traits, const ServeOptions& opt);
 
     /** stop(true): drain the queue, then join the workers. */
     ~BatchServer();
@@ -137,15 +171,30 @@ class BatchServer
     };
 
     void workerLoop(size_t worker);
+    void plannedWorkerLoop(size_t worker);
+    /** Dequeue + coalesce the next batch; false = shut down. */
+    bool nextBatch(std::vector<Request>& batch, size_t& items);
     void runBatch(Module& model, Arena& arena,
                   std::vector<Request>& batch, size_t items,
                   size_t batchesDone);
+    void runBatchPlanned(PlanExecutor& exec,
+                         std::vector<Request>& batch, size_t items,
+                         size_t batchesDone);
     Tensor gather(const std::vector<Request>& batch,
                   size_t items) const;
+    /** Gather straight into a planned input buffer (no Tensor). */
+    void gatherInto(const std::vector<Request>& batch, size_t items,
+                    float* dst) const;
     void scatter(const Tensor& yb, size_t items,
                  std::vector<Request>& batch) const;
+    /** Scatter from a raw output of shape @p ys (planned mode; the
+        Tensor overload delegates here). */
+    void scatterRaw(const float* yb, const std::vector<size_t>& ys,
+                    size_t items, std::vector<Request>& batch) const;
 
     std::vector<Module*> replicas_;
+    bool planned_ = false;
+    std::vector<std::unique_ptr<PlanExecutor>> execs_;
     BatchTraits traits_;
     ServeOptions opt_;
     ServePlan plan_;
@@ -164,6 +213,7 @@ class BatchServer
     std::atomic<size_t> arenaCapacity_{0};
     std::atomic<size_t> arenaHighWater_{0};
     std::atomic<size_t> arenaOverflows_{0};
+    std::atomic<size_t> scratchBytes_{0};
 };
 
 } // namespace mixq

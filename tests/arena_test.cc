@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "nn/rnn_models.hh"
 #include "nn/trainer.hh"
 #include "serve/arena.hh"
+#include "serve/executor.hh"
 #include "serve/planner.hh"
 #include "util/rng.hh"
 
@@ -280,6 +282,135 @@ TEST(Arena, SteadyStateIntForwardAllocatesZeroHeap)
     for (size_t i = 0; i < ref.size(); ++i)
         ASSERT_EQ(got[i], ref[i]) << "after reset, index " << i;
     got = Tensor();
+}
+
+// The executed plan's stronger property: a steady-state PlanExecutor
+// run allocates nothing at all — zero real-heap allocations AND zero
+// bump-arena traffic — because every activation lands at its planned
+// slab offset and all scratch was ctor-sized. Offsets are stable
+// across requests, and the result is bit-identical to the scope-path
+// eval forward.
+TEST(PlanExecutor, SteadyStateRunAllocatesNothingAtAll)
+{
+    Rng dataRng(75);
+    Tensor x = Tensor::randn({8, 3, 12, 12}, dataRng, 1.0);
+    for (float& v : x.span())
+        v = v < 0.0f ? -v : v;
+
+    Rng rng(76);
+    auto model = makeMiniResNet(4, rng);
+    QConfig cfg;
+    QatContext qat(cfg);
+    qat.attach(model->params());
+    model->setActQuant(cfg.actBits, true);
+    model->forward(x, true); // calibrate
+    qat.finalize();
+    applyInferBackend(*model, InferBackend::Int, &qat);
+    Tensor ref = model->forward(x, false);
+
+    PlanExecutor exec(*model, {1, 3, 12, 12}, 0, 8);
+    // The input buffer's slab range is recycled by later buffers
+    // (liveness packing), so every run re-gathers its input — the
+    // same contract the server's gatherInto follows.
+    // Warmup: the GEMM backend's thread_local packing buffers reach
+    // steady capacity on this thread during the first runs.
+    std::copy_n(x.data(), x.size(), exec.inputData());
+    exec.run(8);
+    std::copy_n(x.data(), x.size(), exec.inputData());
+    exec.run(8);
+    const float* outBefore = exec.outputData();
+
+    ScopedHeapAllocCount heap;
+    uint64_t a0 = arenaAllocCount();
+    std::copy_n(x.data(), x.size(), exec.inputData());
+    exec.run(8);
+    EXPECT_EQ(heap.count(), 0u)
+        << "steady-state planned run hit the real heap";
+    EXPECT_EQ(arenaAllocCount(), a0)
+        << "planned run must not touch any bump arena";
+
+    // Offsets are the planner's — stable across requests.
+    EXPECT_EQ(exec.outputData(), outBefore);
+
+    ASSERT_EQ(exec.outputShape(8), ref.shape());
+    const float* got = exec.outputData();
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(got[i], ref[i]) << "index " << i;
+}
+
+// Weight sharing: a second executor over the same model packs
+// nothing — both read the very same PackedQMat panel storage — so n
+// replicas cost one model plus n (slab + scratch) plans.
+TEST(PlanExecutor, ReplicasShareOneWeightCopy)
+{
+    Rng dataRng(77);
+    Tensor x = Tensor::randn({4, 3, 12, 12}, dataRng, 1.0);
+    for (float& v : x.span())
+        v = v < 0.0f ? -v : v;
+
+    Rng rng(78);
+    auto model = makeMiniResNet(4, rng);
+    QConfig cfg;
+    QatContext qat(cfg);
+    qat.attach(model->params());
+    model->setActQuant(cfg.actBits, true);
+    model->forward(x, true); // calibrate
+    qat.finalize();
+    applyInferBackend(*model, InferBackend::Int, &qat);
+
+    std::vector<const PackedQMat*> packs;
+    forEachNamedModule(*model, [&](const std::string&, Module& m) {
+        if (auto* c = dynamic_cast<Conv2d*>(&m))
+            packs.push_back(&c->packedQWeights());
+        else if (auto* l = dynamic_cast<Linear*>(&m))
+            packs.push_back(&l->packedQWeights());
+    });
+    ASSERT_FALSE(packs.empty());
+
+    PlanExecutor a(*model, {1, 3, 12, 12}, 0, 4);
+    std::vector<uint64_t> counts;
+    for (const PackedQMat* p : packs) {
+        EXPECT_GE(p->packCount(), 1u);
+        counts.push_back(p->packCount());
+    }
+
+    // The second replica finds every panel current: zero repacks.
+    PlanExecutor b(*model, {1, 3, 12, 12}, 0, 4);
+    for (size_t i = 0; i < packs.size(); ++i)
+        EXPECT_EQ(packs[i]->packCount(), counts[i])
+            << "second executor repacked panel " << i;
+
+    // Private slabs, shared weights, identical bits.
+    EXPECT_NE(a.inputData(), b.inputData());
+    std::copy_n(x.data(), x.size(), a.inputData());
+    std::copy_n(x.data(), x.size(), b.inputData());
+    a.run(4);
+    b.run(4);
+    const float* ya = a.outputData();
+    const float* yb = b.outputData();
+    size_t n = shapeSize(a.outputShape(4));
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(ya[i], yb[i]) << "index " << i;
+}
+
+/** A module the planner has no shape-transfer rule for. */
+struct UnmodeledModule : Module
+{
+    Tensor forward(const Tensor& x, bool) override { return x; }
+    Tensor backward(const Tensor& gy) override { return gy; }
+};
+
+// The planner refuses silently-wrong plans: an unmodeled module
+// panics with its dotted path so the failure names the offender.
+TEST(PlannerDeath, UnmodeledModulePanicsWithDottedPath)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Rng rng(79);
+    Sequential seq;
+    seq.add(std::make_unique<Linear>(8, 8, rng));
+    seq.add(std::make_unique<UnmodeledModule>());
+    EXPECT_DEATH(planServeForward(seq, {2, 8}),
+                 "unmodeled module type .* at '1'");
 }
 
 } // namespace

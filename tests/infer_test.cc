@@ -311,6 +311,36 @@ TEST(InferDiff, Conv2dIntForwardMatchesFloatEval)
     expectNearRel(got, want, 5e-5);
 }
 
+TEST(InferDiff, DwConv2dIntForwardMatchesFloatEval)
+{
+    Rng rng(26);
+    size_t n = 3, ch = 6;
+    DwConv2d dw(ch, 3, 1, 1, rng);
+    dw.configureOwnActQuant(4, true);
+    Tensor x = Tensor::randn({n, ch, 9, 9}, rng, 1.0);
+    for (float& v : x.span())
+        v = std::fabs(v);
+    dw.forward(x, true); // calibrate
+
+    QConfig cfg; // Mixed, 4-bit, per-row: one row per channel kernel
+    MatrixQuantResult res = quantizeMatrix(
+        dw.weight().w.data(), dw.weight().w.data(), ch, 3 * 3, cfg);
+    dw.weight().noteUpdated();
+
+    Tensor want = dw.forward(x, false); // fake-quant float path
+    dw.enableIntInference(res, cfg.bits);
+    Tensor got = dw.forward(x, false); // packed shift-add path
+    ASSERT_TRUE(dw.intInferenceEnabled());
+    EXPECT_EQ(dw.packedQWeights().packCount(), 1u);
+    expectNearRel(got, want, 5e-5);
+
+    // Backend toggles switch cleanly back.
+    dw.disableIntInference();
+    Tensor back = dw.forward(x, false);
+    for (size_t i = 0; i < back.size(); ++i)
+        ASSERT_EQ(back[i], want[i]);
+}
+
 TEST(InferDiff, LstmIntForwardMatchesFloatEval)
 {
     Rng rng(23);

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -91,12 +92,16 @@ toIntBackend(Module& model, const Tensor& x)
  * run alone (@p refs, computed by direct forwards). Compositions are
  * sized to sum to maxBatch so the worker coalesces them into one
  * forward (a slow machine may split them — invariance must hold
- * either way).
+ * either way). With @p planned the server runs the shared-model
+ * plan-execution path instead of the replica/arena path — the
+ * references are still direct (scope-path) forwards, so this is also
+ * the planned-vs-scope bit-equality check.
  */
 void
 checkCompositions(Module& model, const BatchTraits& traits,
                   const Tensor& data, int ompThreads,
-                  const std::vector<std::vector<size_t>>& comps)
+                  const std::vector<std::vector<size_t>>& comps,
+                  bool planned = false)
 {
     auto slice = traits.batchAxis == 0 ? sliceAxis0 : sliceAxis1;
     for (const std::vector<size_t>& comp : comps) {
@@ -116,23 +121,34 @@ checkCompositions(Module& model, const BatchTraits& traits,
         opt.maxBatch = total;
         opt.deadlineUs = 2'000'000; // settled by the batch filling
         opt.ompThreads = ompThreads;
-        BatchServer server({&model}, traits, opt);
+        std::unique_ptr<BatchServer> server;
+        if (planned)
+            server = std::make_unique<BatchServer>(model, size_t(1),
+                                                   traits, opt);
+        else
+            server = std::make_unique<BatchServer>(
+                std::vector<Module*>{&model}, traits, opt);
         std::vector<std::future<Tensor>> futs;
         for (Tensor& r : reqs)
-            futs.push_back(server.submit(std::move(r)));
+            futs.push_back(server->submit(std::move(r)));
         for (size_t i = 0; i < futs.size(); ++i) {
             SCOPED_TRACE(testing::Message()
-                         << "request " << i << " of "
-                         << comp.size() << ", threads "
-                         << ompThreads);
+                         << "request " << i << " of " << comp.size()
+                         << ", threads " << ompThreads << ", planned "
+                         << planned);
             Tensor got = futs[i].get();
             expectBitEqual(got, refs[i]);
         }
-        server.stop(true);
-        BatchServer::Stats st = server.stats();
+        server->stop(true);
+        BatchServer::Stats st = server->stats();
         EXPECT_EQ(st.requests, comp.size());
         EXPECT_EQ(st.items, total);
         EXPECT_EQ(st.arenaOverflows, 0u);
+        if (planned) {
+            EXPECT_GT(st.planPeakBytes, 0u);
+            EXPECT_GE(st.arenaCapacity, st.planPeakBytes);
+            EXPECT_GT(st.scratchBytes, 0u);
+        }
     }
 }
 
@@ -169,7 +185,9 @@ TEST(ServeBatching, MiniResNetRequestInvariantToCoalescing)
 
         BatchTraits traits;
         traits.itemShape = {1, 3, 12, 12};
-        checkCompositions(*model, traits, x, threads, kComps);
+        for (bool planned : {false, true})
+            checkCompositions(*model, traits, x, threads, kComps,
+                              planned);
     }
 }
 
@@ -193,7 +211,9 @@ TEST(ServeBatching, LstmLmRequestInvariantToCoalescing)
         traits.itemShape = {t, 1};
         traits.batchAxis = 1;
         traits.timeMajorOut = true;
-        checkCompositions(lm, traits, x, threads, kComps);
+        for (bool planned : {false, true})
+            checkCompositions(lm, traits, x, threads, kComps,
+                              planned);
     }
 }
 
@@ -215,7 +235,9 @@ TEST(ServeBatching, GruTaggerRequestInvariantToCoalescing)
         traits.itemShape = {t, 1, feat};
         traits.batchAxis = 1;
         traits.timeMajorOut = true;
-        checkCompositions(tagger, traits, x, threads, kComps);
+        for (bool planned : {false, true})
+            checkCompositions(tagger, traits, x, threads, kComps,
+                              planned);
     }
 }
 
@@ -446,7 +468,49 @@ TEST(ServeBnFold, FoldedModelServesBitIdentically)
 
     BatchTraits traits;
     traits.itemShape = {1, 3, 12, 12};
-    checkCompositions(*model, traits, x, 0, {{3, 1, 2, 1}});
+    for (bool planned : {false, true})
+        checkCompositions(*model, traits, x, 0, {{3, 1, 2, 1}},
+                          planned);
+}
+
+TEST(ServePlanned, TwoReplicasOverOneModelServeConcurrently)
+{
+    Rng dataRng(99);
+    Tensor pool = Tensor::randn({16, 3, 12, 12}, dataRng, 1.0);
+    for (float& v : pool.span())
+        v = v < 0.0f ? -v : v;
+
+    Rng rng(100);
+    auto model = makeMiniResNet(4, rng);
+    toIntBackend(*model, pool);
+
+    std::vector<Tensor> reqs, refs;
+    for (size_t i = 0; i < 24; ++i) {
+        size_t k = 1 + i % 3;
+        size_t off = (5 * i) % (16 - k);
+        reqs.push_back(sliceAxis0(pool, off, k));
+        refs.push_back(model->forward(reqs.back(), false));
+    }
+
+    // Two planned workers share the one model; both read its packed
+    // panels concurrently while owning private slabs and scratch.
+    ServeOptions opt;
+    opt.maxBatch = 4;
+    opt.deadlineUs = 200;
+    BatchServer server(*model, 2, BatchTraits{{1, 3, 12, 12}, 0, false},
+                       opt);
+    std::vector<std::future<Tensor>> futs;
+    for (Tensor& r : reqs)
+        futs.push_back(server.submit(std::move(r)));
+    for (size_t i = 0; i < futs.size(); ++i) {
+        SCOPED_TRACE(testing::Message() << "request " << i);
+        Tensor got = futs[i].get();
+        expectBitEqual(got, refs[i]);
+    }
+    server.stop(true);
+    BatchServer::Stats st = server.stats();
+    EXPECT_EQ(st.requests, reqs.size());
+    EXPECT_EQ(st.arenaOverflows, 0u);
 }
 
 } // namespace

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""CI gate for the serving replica memory contract.
+
+Runs ``bench_serve --memory-report``, which builds one weight-heavy
+int-backend model (~20 MB of float weights plus its locked packed
+panels), then stands up two successive single-worker plan-executing
+``BatchServer``s over the SAME model object and samples VmRSS after
+each server has served a request. The JSON it prints carries the
+planner's analytic peak (``plan_peak_bytes``), the allocated slab
+(``slab_bytes``), and the prepacked per-replica serve scratch
+(``scratch_bytes``).
+
+The contract being gated: replicas share one immutable model, so the
+marginal footprint of a replica is its statically placed activation
+slab plus its serve scratch — NOT a second copy of the weights. Two
+checks on ``delta2``, the RSS growth from adding the second server:
+
+ 1. ``delta2 <= slab + scratch + slack``: the second replica costs
+    what the plan says it costs, up to an allocator/thread-stack
+    slack (default 4 MiB — worker stack pages, glibc arena padding).
+ 2. ``delta2 <= model_bytes / 4``: an absolute backstop that fails
+    loudly if weight sharing ever breaks (a duplicated model would
+    add ~20 MB of floats plus repacked panels, far over the line),
+    while staying insensitive to slack tuning.
+
+Plus a consistency check that the slab covers the planner's peak.
+RSS is page-granular and subject to allocator reuse — the first
+server may even make delta2 slightly negative-looking via freed
+calibration pages — so delta2 is clamped at zero before gating.
+
+Usage:
+  tools/check_serve_memory.py --bench build/bench_serve \
+      [--slack-mib 4] [--warn-only]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+REQUIRED = [
+    "model_bytes",
+    "plan_peak_bytes",
+    "slab_bytes",
+    "scratch_bytes",
+    "rss_model_kb",
+    "rss_after_first_kb",
+    "rss_after_second_kb",
+]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True,
+                    help="path to the bench_serve binary")
+    ap.add_argument("--slack-mib", type=float, default=4.0,
+                    help="allocator/thread-stack slack for check 1")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report violations but exit 0")
+    args = ap.parse_args()
+
+    cmd = [args.bench, "--memory-report"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"error: memory report failed: {' '.join(cmd)}")
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        sys.stderr.write(proc.stdout)
+        sys.exit(f"error: bad memory-report JSON: {e}")
+    missing = [k for k in REQUIRED if k not in report]
+    if missing:
+        sys.exit(f"error: memory report missing {missing}")
+    if report["rss_after_first_kb"] == 0:
+        print("skip: VmRSS unavailable on this platform")
+        return 0
+
+    model = report["model_bytes"]
+    slab = report["slab_bytes"]
+    scratch = report["scratch_bytes"]
+    peak = report["plan_peak_bytes"]
+    delta2 = max(
+        0,
+        (report["rss_after_second_kb"] - report["rss_after_first_kb"])
+        * 1024)
+    slack = int(args.slack_mib * 1024 * 1024)
+    plan_budget = slab + scratch + slack
+    share_budget = model // 4
+
+    def mib(n):
+        return f"{n / (1024 * 1024):.2f} MiB"
+
+    print(f"model {mib(model)}, plan peak {mib(peak)}, "
+          f"slab {mib(slab)}, scratch {mib(scratch)}")
+    print(f"rss: model {report['rss_model_kb']} kB, "
+          f"+first {report['rss_after_first_kb']} kB, "
+          f"+second {report['rss_after_second_kb']} kB "
+          f"(delta2 {mib(delta2)})")
+
+    failed = []
+    if slab < peak:
+        failed.append(f"slab {mib(slab)} < planner peak {mib(peak)}")
+    if delta2 > plan_budget:
+        failed.append(f"second replica grew RSS {mib(delta2)} > "
+                      f"slab+scratch+slack {mib(plan_budget)}")
+    if delta2 > share_budget:
+        failed.append(f"second replica grew RSS {mib(delta2)} > "
+                      f"model/4 {mib(share_budget)} — weight "
+                      "sharing broken?")
+    for f in failed:
+        print(f"FAIL {f}")
+    if not failed:
+        print("ok   second replica fits the plan; weights shared")
+        return 0
+    msg = "serve memory contract violated"
+    if args.warn_only:
+        print(f"warning: {msg} (--warn-only, not failing)")
+        return 0
+    sys.exit(msg)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
