@@ -30,6 +30,14 @@
  * CI: because replicas share one immutable model (locked PackedQMat
  * panels packed once), the marginal cost of the second server is a
  * slab + scratch, not a second copy of the weights.
+ *
+ * Overload mode (--overload): measures the saturated closed-loop
+ * capacity, then offers 3x that rate open-loop against a bounded
+ * queue under the Shed policy and prints one JSON object with the
+ * baseline rate, offered rate, goodput, shed/expired counts and the
+ * queue high-water mark. tools/check_serve_goodput.py gates on it:
+ * goodput under 3x overload must stay within 10% of the no-overload
+ * rate and the queue must respect its bound.
  */
 
 #include <algorithm>
@@ -117,10 +125,10 @@ runSingle(Module& model, const std::vector<Tensor>& items)
     opt.deadlineUs = 0;
     BatchServer srv({&model}, cnnTraits(), opt);
     for (size_t i = 0; i < 8; ++i) // warm the request path
-        srv.submit(items[i % items.size()]).get();
+        srv.submit(items[i % items.size()]).future.get();
     Clock::time_point t0 = Clock::now();
     for (const Tensor& x : items)
-        srv.submit(x).get();
+        srv.submit(x).future.get();
     double secs = secondsSince(t0);
     srv.stop(true);
     return double(items.size()) / secs;
@@ -136,7 +144,7 @@ pumpSaturated(BatchServer& srv, const std::vector<Tensor>& items,
     {
         std::vector<std::future<Tensor>> warm;
         for (size_t i = 0; i < 2 * maxBatch; ++i)
-            warm.push_back(srv.submit(items[i % items.size()]));
+            warm.push_back(srv.submit(items[i % items.size()]).future);
         for (auto& f : warm)
             f.get();
     }
@@ -144,7 +152,7 @@ pumpSaturated(BatchServer& srv, const std::vector<Tensor>& items,
     std::vector<std::future<Tensor>> futs;
     futs.reserve(items.size());
     for (const Tensor& x : items)
-        futs.push_back(srv.submit(x));
+        futs.push_back(srv.submit(x).future);
     for (auto& f : futs)
         f.get();
     return double(items.size()) / secondsSince(t0);
@@ -329,11 +337,11 @@ runMemoryReport()
     size_t rssModelKb = vmRssKb();
     auto first = std::make_unique<BatchServer>(*model, size_t(1),
                                                cnnTraits(), opt);
-    first->submit(item).get();
+    first->submit(item).future.get();
     size_t rssFirstKb = vmRssKb();
     auto second = std::make_unique<BatchServer>(*model, size_t(1),
                                                 cnnTraits(), opt);
-    second->submit(item).get();
+    second->submit(item).future.get();
     size_t rssSecondKb = vmRssKb();
 
     BatchServer::Stats st = first->stats();
@@ -350,6 +358,85 @@ runMemoryReport()
                 st.scratchBytes, rssModelKb, rssFirstKb, rssSecondKb);
     second->stop(true);
     first->stop(true);
+    return 0;
+}
+
+// --------------------------------------------------------- overload mode
+
+/**
+ * Goodput under overload (--overload): measure the server's saturated
+ * capacity closed-loop, then offer 3x that rate open-loop against a
+ * bounded queue (maxQueueItems, Shed policy) and report both as one
+ * JSON object for tools/check_serve_goodput.py. The gated contract:
+ * admission control must protect throughput — the worker stays busy
+ * serving the requests it keeps, so goodput (items/s that actually
+ * settle with a value) under 3x overload stays within 10% of the
+ * no-overload rate, while the queue never outgrows its bound.
+ */
+int
+runOverloadReport(double seconds)
+{
+    auto model = makeServableModel(91);
+    Rng itemRng(92);
+    std::vector<Tensor> items;
+    for (int i = 0; i < 512; ++i)
+        items.push_back(makeItem(itemRng));
+
+    // Baseline: saturated, unbounded queue, no shedding.
+    double baseline = runBatched(*model, items, 16);
+
+    constexpr size_t kMaxQueueItems = 64;
+    ServeOptions opt;
+    opt.maxBatch = 16;
+    opt.deadlineUs = 500;
+    opt.maxQueueItems = kMaxQueueItems;
+    opt.overload = OverloadPolicy::Shed;
+    BatchServer srv({model.get()}, cnnTraits(), opt);
+    for (size_t i = 0; i < 32; ++i) // warm the request path
+        srv.submit(items[i % items.size()]).future.get();
+
+    // Open loop at 3x capacity, paced in 1ms bursts so the offered
+    // rate holds even when per-request gaps drop below scheduler
+    // resolution.
+    double offered = 3.0 * baseline;
+    std::vector<std::future<Tensor>> futs;
+    futs.reserve(size_t(offered * seconds) + 16);
+    Clock::time_point t0 = Clock::now();
+    size_t submitted = 0;
+    while (secondsSince(t0) < seconds) {
+        size_t due = size_t(secondsSince(t0) * offered);
+        for (; submitted < due; ++submitted)
+            futs.push_back(
+                srv.submit(items[submitted % items.size()]).future);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    size_t served = 0, shedSeen = 0;
+    for (auto& f : futs) {
+        try {
+            f.get();
+            ++served;
+        } catch (const ServeError&) {
+            ++shedSeen;
+        }
+    }
+    double elapsed = secondsSince(t0);
+    srv.stop(true);
+    BatchServer::Stats st = srv.stats();
+
+    std::printf("{\n"
+                "  \"baseline_items_per_second\": %.3f,\n"
+                "  \"offered_items_per_second\": %.3f,\n"
+                "  \"goodput_items_per_second\": %.3f,\n"
+                "  \"submitted\": %zu,\n"
+                "  \"served\": %zu,\n"
+                "  \"shed\": %zu,\n"
+                "  \"expired\": %zu,\n"
+                "  \"queue_peak_items\": %zu,\n"
+                "  \"max_queue_items\": %zu\n"
+                "}\n",
+                baseline, double(submitted) / elapsed,
+                double(served) / elapsed, submitted, served, shedSeen,
+                st.expired, st.queuePeakItems, kMaxQueueItems);
     return 0;
 }
 
@@ -370,7 +457,7 @@ runOpenLoop(double rate, double seconds, size_t maxBatch,
     opt.deadlineUs = deadlineUs;
     BatchServer srv({model.get()}, cnnTraits(), opt);
     for (size_t i = 0; i < 2 * maxBatch; ++i)
-        srv.submit(pool[i % pool.size()]).get();
+        srv.submit(pool[i % pool.size()]).future.get();
 
     struct Pending
     {
@@ -420,7 +507,7 @@ runOpenLoop(double rate, double seconds, size_t maxBatch,
         std::this_thread::sleep_until(next);
         Pending p;
         p.submitted = Clock::now();
-        p.fut = srv.submit(pool[submitted % pool.size()]);
+        p.fut = srv.submit(pool[submitted % pool.size()]).future;
         ++submitted;
         {
             std::lock_guard<std::mutex> lk(mu);
@@ -477,6 +564,7 @@ main(int argc, char** argv)
 {
     bool jsonMode = false;
     bool memoryReport = false;
+    bool overload = false;
     std::string filter;
     int repetitions = 1;
     double rate = 1500.0, seconds = 3.0, deadlineUs = 1000.0;
@@ -491,6 +579,8 @@ main(int argc, char** argv)
             jsonMode = true;
         else if (a == "--memory-report")
             memoryReport = true;
+        else if (a == "--overload")
+            overload = true;
         else if (a.rfind("--benchmark_", 0) == 0)
             continue; // aggregates-only etc.: always on here
         else if (a.rfind("--rate=", 0) == 0)
@@ -506,6 +596,7 @@ main(int argc, char** argv)
                          "usage: %s [--rate=R] [--seconds=S] "
                          "[--max-batch=B] [--deadline-us=D] | "
                          "--memory-report | "
+                         "--overload [--seconds=S] | "
                          "google-benchmark budget flags\n",
                          argv[0]);
             return 2;
@@ -513,6 +604,8 @@ main(int argc, char** argv)
     }
     if (memoryReport)
         return runMemoryReport();
+    if (overload)
+        return runOverloadReport(seconds);
     if (jsonMode)
         return runBudgetMode(filter, std::max(repetitions, 1));
     return runOpenLoop(rate, seconds, size_t(maxBatch),

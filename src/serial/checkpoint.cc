@@ -93,10 +93,12 @@ saveCheckpoint(const std::string& path, Module& model,
     w.close();
 }
 
+namespace {
+
+/** The load body; throws RecordLoadError on any mismatch. */
 CheckpointLoadResult
-loadCheckpoint(const std::string& path, Module& model)
+loadCheckpointFrom(const RecordFile& f, Module& model)
 {
-    RecordFile f(path, kMagic, kVersion, kKind);
     CheckpointLoadResult res;
     std::vector<NamedParam> named = namedParams(model);
 
@@ -108,10 +110,13 @@ loadCheckpoint(const std::string& path, Module& model)
         if (r.name.rfind("param/", 0) == 0)
             ++paramRecs;
     if (paramRecs != named.size())
-        fatal(f.path() + ": checkpoint holds " +
-              std::to_string(paramRecs) + " parameters but the model "
-              "has " + std::to_string(named.size()) +
-              " — the file does not match this model");
+        throw RecordLoadError(
+            LoadStatus::Mismatch,
+            f.path() + ": checkpoint holds " +
+                std::to_string(paramRecs) + " parameters but the model "
+                                            "has " +
+                std::to_string(named.size()) +
+                " — the file does not match this model");
 
     for (const NamedParam& np : named) {
         const Record& r = f.require("param/" + np.path);
@@ -136,8 +141,10 @@ loadCheckpoint(const std::string& path, Module& model)
             r.name.substr(4, r.name.size() - 6);
         Param* p = findParam(model, ppath);
         if (!p)
-            fatal(f.path() + ": record \"" + r.name + "\" names a "
-                  "parameter this model does not have");
+            throw RecordLoadError(LoadStatus::Mismatch,
+                                  f.path() + ": record \"" + r.name +
+                                      "\" names a parameter this model "
+                                      "does not have");
         recCheckElems(f, r, p->w.size());
         std::span<const float> v = recF32(f, r);
         res.velocities.emplace_back(
@@ -150,8 +157,10 @@ loadCheckpoint(const std::string& path, Module& model)
         if (scheme < 0 || scheme > int(QuantScheme::Mixed) ||
             policy < 0 || policy > int(PartitionPolicy::Inverted) ||
             gran < 0 || gran > int(Granularity::PerRow))
-            fatal(f.path() + ": qat/config holds out-of-range enum "
-                  "values — the checkpoint file is corrupted");
+            throw RecordLoadError(
+                LoadStatus::Corrupt,
+                f.path() + ": qat/config holds out-of-range enum "
+                "values — the checkpoint file is corrupted");
         QConfig c;
         c.scheme = QuantScheme(scheme);
         c.bits = int(v[1]);
@@ -184,9 +193,11 @@ loadCheckpoint(const std::string& path, Module& model)
             for (size_t i = 0; i < rs.elems(); ++i) {
                 uint8_t s = rs.u8()[i];
                 if (s > uint8_t(QuantScheme::Mixed))
-                    fatal(f.path() + ": record \"" + rs.name +
-                          "\" holds an unknown scheme code — the "
-                          "checkpoint file is corrupted");
+                    throw RecordLoadError(
+                        LoadStatus::Corrupt,
+                        f.path() + ": record \"" + rs.name +
+                            "\" holds an unknown scheme code — the "
+                            "checkpoint file is corrupted");
                 proj.rowScheme[i] = QuantScheme(s);
             }
             std::span<const double> meta = recF64(f, rm, 2);
@@ -198,6 +209,35 @@ loadCheckpoint(const std::string& path, Module& model)
         qat->setFinalized(v[8] != 0.0);
         res.qat = std::move(qat);
     }
+    return res;
+}
+
+} // namespace
+
+LoadResult
+tryLoadCheckpoint(const std::string& path, Module& model,
+                  CheckpointLoadResult& out)
+{
+    LoadResult err;
+    std::unique_ptr<RecordFile> f =
+        RecordFile::tryOpen(path, kMagic, kVersion, kKind, err);
+    if (!f)
+        return err;
+    try {
+        out = loadCheckpointFrom(*f, model);
+    } catch (const RecordLoadError& e) {
+        return {e.status(), e.what()};
+    }
+    return {};
+}
+
+CheckpointLoadResult
+loadCheckpoint(const std::string& path, Module& model)
+{
+    CheckpointLoadResult res;
+    LoadResult r = tryLoadCheckpoint(path, model, res);
+    if (!r.ok())
+        fatal(r.message);
     return res;
 }
 

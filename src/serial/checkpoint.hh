@@ -25,6 +25,7 @@
 
 #include "nn/module.hh"
 #include "nn/trainer.hh"
+#include "serial/record_io.hh"
 
 namespace mixq {
 
@@ -81,6 +82,24 @@ size_t restoreOptimizerState(const CheckpointLoadResult& res,
  */
 CheckpointLoadResult loadCheckpoint(const std::string& path,
                                     Module& model);
+
+/**
+ * Recoverable variant: on success fills @p out and returns Ok; on
+ * any failure returns the precise class (open-failed / foreign /
+ * version-mismatch / truncated / checksum-mismatch / corrupt /
+ * mismatch) with the message loadCheckpoint() would have aborted
+ * with. Never aborts the process.
+ *
+ * Weaker guarantee than the deploy loader: parameter tensors are
+ * restored as records validate, so on a Mismatch failure @p model may
+ * be partially overwritten — reload a known-good checkpoint before
+ * using it. (File-level failures are detected before any restore
+ * touches the model.) Checkpoints are a training-time format; the
+ * serve-time hot-swap path uses deploy artifacts, whose loader is
+ * all-or-nothing.
+ */
+LoadResult tryLoadCheckpoint(const std::string& path, Module& model,
+                             CheckpointLoadResult& out);
 
 } // namespace mixq
 

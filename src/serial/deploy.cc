@@ -117,8 +117,11 @@ decodePayload(const RecordFile& f, const Record& r, size_t wantRows,
               size_t wantCols)
 {
     auto corrupt = [&](const std::string& why) {
-        fatal(f.path() + ": record \"" + r.name + "\" " + why +
-              " — the deploy artifact file is corrupted");
+        throw RecordLoadError(LoadStatus::Corrupt,
+                              f.path() + ": record \"" + r.name +
+                                  "\" " + why +
+                                  " — the deploy artifact file is "
+                                  "corrupted");
     };
     std::span<const uint8_t> b = r.u8();
     if (r.dtype != RecDType::U8 || b.size() < 12)
@@ -130,12 +133,14 @@ decodePayload(const RecordFile& f, const Record& r, size_t wantRows,
     if (bits < 2 || bits > 8)
         corrupt("holds an unsupported bit width");
     if (rows != wantRows || cols != wantCols)
-        fatal(f.path() + ": record \"" + r.name + "\" packs a " +
-              std::to_string(rows) + "x" + std::to_string(cols) +
-              " matrix but the model expects " +
-              std::to_string(wantRows) + "x" +
-              std::to_string(wantCols) +
-              " — the file does not match this model");
+        throw RecordLoadError(
+            LoadStatus::Mismatch,
+            f.path() + ": record \"" + r.name + "\" packs a " +
+                std::to_string(rows) + "x" + std::to_string(cols) +
+                " matrix but the model expects " +
+                std::to_string(wantRows) + "x" +
+                std::to_string(wantCols) +
+                " — the file does not match this model");
     size_t bitmapBytes = (rows + 7) / 8;
     size_t rowBytes = (cols * size_t(bits) + 7) / 8;
     if (b.size() != 12 + bitmapBytes + 4 * rows + rows * rowBytes)
@@ -293,10 +298,122 @@ saveDeployArtifact(const std::string& path, Module& model,
     w.close();
 }
 
-size_t
-loadDeployArtifact(const std::string& path, Module& model)
+LoadResult
+stageDeployArtifact(const std::string& path, Module& model,
+                    DeployStage& out)
 {
-    RecordFile f(path, kMagic, kVersion, kKind);
+    DeployStage stage;
+    LoadResult err;
+    stage.file_ = RecordFile::tryOpen(path, kMagic, kVersion, kKind,
+                                      err);
+    if (!stage.file_)
+        return err;
+    const RecordFile& f = *stage.file_;
+
+    try {
+        std::vector<NamedParam> named = namedParams(model);
+        std::unordered_map<const Param*, std::string> pathOf;
+        for (const NamedParam& np : named)
+            pathOf[np.p] = np.path;
+        std::unordered_set<const Param*> packedParams;
+
+        // Decode every packed matrix into the stage, validating
+        // against the model's shapes — no layer is touched.
+        auto decodeFor = [&](Param& p) -> const PackedQMat& {
+            const std::string& pp = pathOf[&p];
+            const Record& r = f.require("qw/" + pp);
+            PackedQMat pk = decodePayload(f, r, p.qRows, p.qCols);
+            packedParams.insert(&p);
+            return stage.packs_.emplace(pp, std::move(pk))
+                .first->second;
+        };
+        auto checkRnnBits = [&](const PackedQMat& wx,
+                                const PackedQMat& wh,
+                                const char* kindName,
+                                const std::string& mp) {
+            if (wx.bits() != wh.bits())
+                throw RecordLoadError(
+                    LoadStatus::Mismatch,
+                    f.path() + ": " + kindName + " \"" + mp +
+                        "\" packs its input and recurrent matrices "
+                        "at different bit widths — the file does not "
+                        "match this model");
+        };
+
+        forEachNamedModule(model, [&](const std::string& mp,
+                                      Module& m) {
+            if (dynamic_cast<Linear*>(&m)) {
+                Param* p = ownParam(m, "linear.w");
+                if (p && p->quantizable())
+                    decodeFor(*p);
+            } else if (dynamic_cast<Conv2d*>(&m)) {
+                Param* p = ownParam(m, "conv.w");
+                if (p && p->quantizable())
+                    decodeFor(*p);
+            } else if (dynamic_cast<DwConv2d*>(&m)) {
+                Param* p = ownParam(m, "dwconv.w");
+                if (p && p->quantizable())
+                    decodeFor(*p);
+            } else if (dynamic_cast<Lstm*>(&m)) {
+                const PackedQMat& wx = decodeFor(*ownParam(m, "lstm.wx"));
+                const PackedQMat& wh = decodeFor(*ownParam(m, "lstm.wh"));
+                checkRnnBits(wx, wh, "LSTM", mp);
+            } else if (dynamic_cast<Gru*>(&m)) {
+                const PackedQMat& wx = decodeFor(*ownParam(m, "gru.wx"));
+                const PackedQMat& wh = decodeFor(*ownParam(m, "gru.wh"));
+                checkRnnBits(wx, wh, "GRU", mp);
+            }
+        });
+
+        // Strict record accounting both ways, mirroring the
+        // checkpoint loader: leftover qw/ or f/ records mean a
+        // different model.
+        size_t qwRecs = 0, fRecs = 0;
+        for (const Record& r : f.records()) {
+            if (r.name.rfind("qw/", 0) == 0)
+                ++qwRecs;
+            else if (r.name.rfind("f/", 0) == 0)
+                ++fRecs;
+        }
+        if (qwRecs != stage.packs_.size())
+            throw RecordLoadError(
+                LoadStatus::Mismatch,
+                f.path() + ": artifact packs " +
+                    std::to_string(qwRecs) +
+                    " weight matrices but the model adopts " +
+                    std::to_string(stage.packs_.size()) +
+                    " — the file does not match this model");
+        if (fRecs != named.size() - packedParams.size())
+            throw RecordLoadError(
+                LoadStatus::Mismatch,
+                f.path() + ": artifact holds " + std::to_string(fRecs) +
+                    " float tensors but the model expects " +
+                    std::to_string(named.size() - packedParams.size()) +
+                    " — the file does not match this model");
+
+        // Validate the float-served tensors and the state records
+        // without writing them; apply() restores them for real.
+        for (const NamedParam& np : named) {
+            if (packedParams.count(np.p))
+                continue;
+            const Record& r = f.require("f/" + np.path);
+            recCheckElems(f, r, np.p->w.size());
+            recF32(f, r);
+        }
+        checkStateRecords(f, model);
+    } catch (const RecordLoadError& e) {
+        return {e.status(), e.what()};
+    }
+
+    out = std::move(stage);
+    return {};
+}
+
+size_t
+DeployStage::apply(Module& model) const
+{
+    MIXQ_ASSERT(staged(), "DeployStage::apply on an empty stage");
+    const RecordFile& f = *file_;
     std::vector<NamedParam> named = namedParams(model);
     std::unordered_map<const Param*, std::string> pathOf;
     for (const NamedParam& np : named)
@@ -304,78 +421,54 @@ loadDeployArtifact(const std::string& path, Module& model)
     std::unordered_set<const Param*> packedParams;
     size_t adopted = 0;
 
-    auto decodeFor = [&](Param& p) {
-        const Record& r = f.require("qw/" + pathOf[&p]);
-        PackedQMat pk = decodePayload(f, r, p.qRows, p.qCols);
+    // Each target gets its own copy of the staged panels: replicas
+    // applied from one stage stay independently owned.
+    auto packFor = [&](Param& p) {
+        auto it = packs_.find(pathOf[&p]);
+        MIXQ_ASSERT(it != packs_.end(),
+                    "DeployStage::apply: model does not match the "
+                    "staged artifact");
         packedParams.insert(&p);
         ++adopted;
-        return pk;
+        return it->second;
     };
 
-    forEachNamedModule(model, [&](const std::string& mp, Module& m) {
+    forEachNamedModule(model, [&](const std::string&, Module& m) {
         if (auto* l = dynamic_cast<Linear*>(&m)) {
             Param* p = ownParam(m, "linear.w");
             if (p && p->quantizable()) {
-                PackedQMat pk = decodeFor(*p);
+                PackedQMat pk = packFor(*p);
                 int bits = pk.bits();
                 l->adoptDeployedWeights(std::move(pk), bits);
             }
         } else if (auto* c = dynamic_cast<Conv2d*>(&m)) {
             Param* p = ownParam(m, "conv.w");
             if (p && p->quantizable()) {
-                PackedQMat pk = decodeFor(*p);
+                PackedQMat pk = packFor(*p);
                 int bits = pk.bits();
                 c->adoptDeployedWeights(std::move(pk), bits);
             }
         } else if (auto* d = dynamic_cast<DwConv2d*>(&m)) {
             Param* p = ownParam(m, "dwconv.w");
             if (p && p->quantizable()) {
-                PackedQMat pk = decodeFor(*p);
+                PackedQMat pk = packFor(*p);
                 int bits = pk.bits();
                 d->adoptDeployedWeights(std::move(pk), bits);
             }
         } else if (auto* ls = dynamic_cast<Lstm*>(&m)) {
-            PackedQMat wx = decodeFor(*ownParam(m, "lstm.wx"));
-            PackedQMat wh = decodeFor(*ownParam(m, "lstm.wh"));
-            if (wx.bits() != wh.bits())
-                fatal(f.path() + ": LSTM \"" + mp + "\" packs its "
-                      "input and recurrent matrices at different bit "
-                      "widths — the file does not match this model");
+            PackedQMat wx = packFor(*ownParam(m, "lstm.wx"));
+            PackedQMat wh = packFor(*ownParam(m, "lstm.wh"));
             int bits = wx.bits();
             ls->adoptDeployedWeights(std::move(wx), std::move(wh),
                                      bits);
         } else if (auto* g = dynamic_cast<Gru*>(&m)) {
-            PackedQMat wx = decodeFor(*ownParam(m, "gru.wx"));
-            PackedQMat wh = decodeFor(*ownParam(m, "gru.wh"));
-            if (wx.bits() != wh.bits())
-                fatal(f.path() + ": GRU \"" + mp + "\" packs its "
-                      "input and recurrent matrices at different bit "
-                      "widths — the file does not match this model");
+            PackedQMat wx = packFor(*ownParam(m, "gru.wx"));
+            PackedQMat wh = packFor(*ownParam(m, "gru.wh"));
             int bits = wx.bits();
             g->adoptDeployedWeights(std::move(wx), std::move(wh),
                                     bits);
         }
     });
-
-    // Strict record accounting both ways, mirroring the checkpoint
-    // loader: leftover qw/ or f/ records mean a different model.
-    size_t qwRecs = 0, fRecs = 0;
-    for (const Record& r : f.records()) {
-        if (r.name.rfind("qw/", 0) == 0)
-            ++qwRecs;
-        else if (r.name.rfind("f/", 0) == 0)
-            ++fRecs;
-    }
-    if (qwRecs != adopted)
-        fatal(f.path() + ": artifact packs " + std::to_string(qwRecs) +
-              " weight matrices but the model adopts " +
-              std::to_string(adopted) +
-              " — the file does not match this model");
-    if (fRecs != named.size() - packedParams.size())
-        fatal(f.path() + ": artifact holds " + std::to_string(fRecs) +
-              " float tensors but the model expects " +
-              std::to_string(named.size() - packedParams.size()) +
-              " — the file does not match this model");
 
     for (const NamedParam& np : named) {
         if (packedParams.count(np.p))
@@ -389,6 +482,28 @@ loadDeployArtifact(const std::string& path, Module& model)
     }
 
     restoreStateRecords(f, model);
+    return adopted;
+}
+
+LoadResult
+tryLoadDeployArtifact(const std::string& path, Module& model,
+                      size_t& adopted)
+{
+    DeployStage stage;
+    LoadResult r = stageDeployArtifact(path, model, stage);
+    if (!r.ok())
+        return r;
+    adopted = stage.apply(model);
+    return {};
+}
+
+size_t
+loadDeployArtifact(const std::string& path, Module& model)
+{
+    size_t adopted = 0;
+    LoadResult r = tryLoadDeployArtifact(path, model, adopted);
+    if (!r.ok())
+        fatal(r.message);
     return adopted;
 }
 

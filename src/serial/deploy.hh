@@ -17,15 +17,31 @@
  * in-process backend the codes were saved from. Records are keyed on
  * named-state-tree paths, so the serving binary only rebuilds the
  * architecture (see examples/serve_artifact.cpp).
+ *
+ * Loading is two-phase. The *stage* phase (stageDeployArtifact) reads
+ * the file, decodes every packed matrix and runs every validation the
+ * load performs — touching only the file, never the model. The
+ * *apply* phase (DeployStage::apply) installs the staged panels and
+ * float state; after a successful stage it cannot fail. This is the
+ * all-or-nothing guarantee the serving hot-swap relies on: a damaged
+ * or mismatched artifact is rejected at stage time with the model —
+ * and the traffic it is serving — completely untouched
+ * (serve/server.hh reloadArtifact). One stage can apply to several
+ * structurally identical replicas; each gets its own copy of the
+ * panels.
  */
 
 #ifndef MIXQ_SERIAL_DEPLOY_HH
 #define MIXQ_SERIAL_DEPLOY_HH
 
+#include <map>
+#include <memory>
 #include <string>
 
+#include "infer/qpack.hh"
 #include "nn/module.hh"
 #include "nn/trainer.hh"
+#include "serial/record_io.hh"
 
 namespace mixq {
 
@@ -35,10 +51,70 @@ namespace mixq {
  * parameters; every int-capable layer's activation quantizer must be
  * calibrated and enabled, since the integer backend rescales against
  * those clip ranges. Pow2 configurations have no packed integer form
- * and are rejected.
+ * and are rejected. The file appears at @p path atomically (see
+ * RecordWriter): a writer killed mid-save leaves any previous
+ * artifact at @p path intact.
  */
 void saveDeployArtifact(const std::string& path, Module& model,
                         const QatContext& qat);
+
+/**
+ * A fully decoded and validated deploy artifact, ready to install.
+ * Produced by stageDeployArtifact(); holds the decoded PackedQMat
+ * panels and the parsed record file, shares nothing with any model.
+ */
+class DeployStage
+{
+  public:
+    DeployStage() = default;
+    DeployStage(DeployStage&&) = default;
+    DeployStage& operator=(DeployStage&&) = default;
+
+    /** Whether a stage succeeded into this object. */
+    bool staged() const { return file_ != nullptr; }
+
+    /** Number of packed weight matrices the artifact carries. */
+    size_t adopted() const { return packs_.size(); }
+
+    /**
+     * Install the staged artifact into @p model: adopt a copy of
+     * every packed panel, copy the float-served tensors, restore the
+     * activation calibrations. @p model must be structurally
+     * identical to the model the stage validated against (replicas
+     * qualify). Cannot fail after a successful stage. Returns the
+     * number of weight matrices adopted.
+     */
+    size_t apply(Module& model) const;
+
+  private:
+    friend LoadResult stageDeployArtifact(const std::string& path,
+                                          Module& model,
+                                          DeployStage& out);
+
+    std::unique_ptr<RecordFile> file_;
+    /** Decoded panels keyed by parameter path. */
+    std::map<std::string, PackedQMat> packs_;
+};
+
+/**
+ * Stage a deploy artifact against @p model: open, decode and validate
+ * everything apply() will need, without modifying @p model. On
+ * success fills @p out and returns Ok; on failure returns the precise
+ * class (open-failed / foreign / version-mismatch / truncated /
+ * checksum-mismatch / corrupt / mismatch) with the message
+ * loadDeployArtifact() would have aborted with, and @p model is
+ * untouched. Never aborts the process.
+ */
+LoadResult stageDeployArtifact(const std::string& path, Module& model,
+                               DeployStage& out);
+
+/**
+ * Recoverable load: stage + apply. On failure @p model is untouched
+ * and keeps serving whatever it held. @p adopted receives the number
+ * of weight matrices adopted on success.
+ */
+LoadResult tryLoadDeployArtifact(const std::string& path, Module& model,
+                                 size_t& adopted);
 
 /**
  * Restore @p model for integer serving from a deploy artifact: adopt

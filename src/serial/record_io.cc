@@ -1,7 +1,13 @@
 #include "serial/record_io.hh"
 
+#include <cstdio>
 #include <cstring>
 
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "serve/fault.hh"
 #include "util/logging.hh"
 
 namespace mixq {
@@ -44,6 +50,34 @@ dtypeSize(RecDType t)
 
 } // namespace
 
+const char*
+loadStatusName(LoadStatus s)
+{
+    switch (s) {
+    case LoadStatus::Ok:
+        return "ok";
+    case LoadStatus::OpenFailed:
+        return "open-failed";
+    case LoadStatus::Foreign:
+        return "foreign";
+    case LoadStatus::VersionMismatch:
+        return "version-mismatch";
+    case LoadStatus::Truncated:
+        return "truncated";
+    case LoadStatus::ChecksumMismatch:
+        return "checksum-mismatch";
+    case LoadStatus::Corrupt:
+        return "corrupt";
+    case LoadStatus::Mismatch:
+        return "mismatch";
+    case LoadStatus::WriteFailed:
+        return "write-failed";
+    case LoadStatus::Unavailable:
+        return "unavailable";
+    }
+    panic("record: unknown load status");
+}
+
 size_t
 Record::elems() const
 {
@@ -73,15 +107,19 @@ Record::f64() const
 
 RecordWriter::RecordWriter(const std::string& path, const char* magic,
                            uint32_t version)
-    : path_(path), checksum_(kFnvOffset)
+    : path_(path), tmpPath_(path + ".tmp"), checksum_(kFnvOffset)
 {
     MIXQ_ASSERT(std::strlen(magic) == kMagicLen,
                 "record magic must be 8 bytes");
-    f_ = std::fopen(path.c_str(), "wb");
+    // Stream into a sibling temp file; close() renames it onto the
+    // final path. A same-directory temp keeps the rename atomic
+    // (same filesystem) and means a crash leaves the old artifact —
+    // if any — untouched at the final path.
+    f_ = std::fopen(tmpPath_.c_str(), "wb");
     if (!f_)
-        fatal("cannot open " + path + " for writing");
+        fatal("cannot open " + tmpPath_ + " for writing");
     if (std::fwrite(magic, 1, kMagicLen, f_) != kMagicLen)
-        fatal("write failed on " + path);
+        fatal("write failed on " + tmpPath_);
     uint32_t v = version;
     uint64_t zero = 0;
     put(&v, sizeof(v));
@@ -91,14 +129,14 @@ RecordWriter::RecordWriter(const std::string& path, const char* magic,
 
 RecordWriter::~RecordWriter()
 {
-    close();
+    abandon();
 }
 
 void
 RecordWriter::put(const void* data, size_t n)
 {
     if (std::fwrite(data, 1, n, f_) != n)
-        fatal("write failed on " + path_);
+        fatal("write failed on " + tmpPath_);
 }
 
 void
@@ -107,6 +145,7 @@ RecordWriter::add(const std::string& name, RecDType dtype,
                   size_t dataBytes)
 {
     MIXQ_ASSERT(f_ != nullptr, "record writer already closed");
+    faultOnRecordWrite(count_);
     size_t elems = 1;
     for (uint64_t d : shape)
         elems *= size_t(d);
@@ -164,25 +203,75 @@ RecordWriter::close()
     if (!f_)
         return;
     if (std::fseek(f_, kCountOfs, SEEK_SET) != 0)
-        fatal("seek failed on " + path_);
+        fatal("seek failed on " + tmpPath_);
     put(&count_, sizeof(count_));
     put(&checksum_, sizeof(checksum_));
+    // Commit point: everything the rename publishes must be durable
+    // first, or a crash after the rename could still expose a torn
+    // file through the final path.
+    if (std::fflush(f_) != 0)
+        fatal("flush failed on " + tmpPath_);
+#ifdef __unix__
+    ::fsync(::fileno(f_));
+#endif
     if (std::fclose(f_) != 0)
-        fatal("close failed on " + path_);
+        fatal("close failed on " + tmpPath_);
     f_ = nullptr;
+    if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0)
+        fatal("cannot rename " + tmpPath_ + " to " + path_);
+}
+
+void
+RecordWriter::abandon()
+{
+    if (!f_)
+        return;
+    std::fclose(f_);
+    f_ = nullptr;
+    std::remove(tmpPath_.c_str());
 }
 
 // ------------------------------------------------------------ RecordFile
 
 RecordFile::RecordFile(const std::string& path, const char* magic,
                        uint32_t version, const std::string& kind)
-    : path_(path)
+{
+    try {
+        parse(path, magic, version, kind);
+    } catch (const RecordLoadError& e) {
+        fatal(e.what());
+    }
+}
+
+std::unique_ptr<RecordFile>
+RecordFile::tryOpen(const std::string& path, const char* magic,
+                    uint32_t version, const std::string& kind,
+                    LoadResult& err)
+{
+    std::unique_ptr<RecordFile> rf(new RecordFile());
+    try {
+        rf->parse(path, magic, version, kind);
+    } catch (const RecordLoadError& e) {
+        err = {e.status(), e.what()};
+        return nullptr;
+    }
+    err = {};
+    return rf;
+}
+
+void
+RecordFile::parse(const std::string& path, const char* magic,
+                  uint32_t version, const std::string& kind)
 {
     MIXQ_ASSERT(std::strlen(magic) == kMagicLen,
                 "record magic must be 8 bytes");
+    path_ = path;
+    recs_.clear();
+
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (!f)
-        fatal("cannot open " + path);
+        throw RecordLoadError(LoadStatus::OpenFailed,
+                              "cannot open " + path);
     std::fseek(f, 0, SEEK_END);
     long fsize = std::ftell(f);
     std::fseek(f, 0, SEEK_SET);
@@ -190,19 +279,24 @@ RecordFile::RecordFile(const std::string& path, const char* magic,
     buf.resize(size_t(fsize));
     if (std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
         std::fclose(f);
-        fatal("read failed on " + path);
+        throw RecordLoadError(LoadStatus::OpenFailed,
+                              "read failed on " + path);
     }
     std::fclose(f);
+    faultOnRecordFileRead(buf);
 
     if (buf.size() < kMagicLen + 4 + 8 + 8 ||
         std::memcmp(buf.data(), magic, kMagicLen) != 0)
-        fatal(path + " is not a mixq " + kind + " file");
+        throw RecordLoadError(LoadStatus::Foreign,
+                              path + " is not a mixq " + kind + " file");
     uint32_t v;
     std::memcpy(&v, buf.data() + kMagicLen, 4);
     if (v != version)
-        fatal(path + ": unsupported " + kind + " format version " +
-              std::to_string(v) + " (this build reads version " +
-              std::to_string(version) + ")");
+        throw RecordLoadError(
+            LoadStatus::VersionMismatch,
+            path + ": unsupported " + kind + " format version " +
+                std::to_string(v) + " (this build reads version " +
+                std::to_string(version) + ")");
     uint64_t count, checksum;
     std::memcpy(&count, buf.data() + kCountOfs, 8);
     std::memcpy(&checksum, buf.data() + kChecksumOfs, 8);
@@ -216,7 +310,9 @@ RecordFile::RecordFile(const std::string& path, const char* magic,
 
     auto need = [&](size_t n) {
         if (buf.size() - pos < n)
-            fatal(path + ": truncated " + kind + " file");
+            throw RecordLoadError(LoadStatus::Truncated,
+                                  path + ": truncated " + kind +
+                                      " file");
     };
     for (uint64_t r = 0; r < count; ++r) {
         Record rec;
@@ -232,8 +328,9 @@ RecordFile::RecordFile(const std::string& path, const char* magic,
         uint8_t dt = buf[pos++];
         uint8_t rank = buf[pos++];
         if (dt > uint8_t(RecDType::U8))
-            fatal(path + ": unknown record dtype — the " + kind +
-                  " file is corrupted");
+            throw RecordLoadError(LoadStatus::Corrupt,
+                                  path + ": unknown record dtype — the " +
+                                      kind + " file is corrupted");
         rec.dtype = RecDType(dt);
         need(size_t(rank) * 8);
         rec.shape.resize(rank);
@@ -245,22 +342,29 @@ RecordFile::RecordFile(const std::string& path, const char* magic,
         std::memcpy(&payload, buf.data() + pos, 8);
         pos += 8;
         if (payload != rec.elems() * dtypeSize(rec.dtype))
-            fatal(path + ": record payload does not match its shape — "
-                  "the " + kind + " file is corrupted");
+            throw RecordLoadError(
+                LoadStatus::Corrupt,
+                path + ": record payload does not match its shape — "
+                       "the " +
+                    kind + " file is corrupted");
         need(size_t(payload));
         rec.bytes.assign(buf.data() + pos, buf.data() + pos + payload);
         pos += size_t(payload);
         recs_.push_back(std::move(rec));
     }
     if (pos != buf.size())
-        fatal(path + ": trailing bytes after the last record — the " +
-              kind + " file is corrupted");
+        throw RecordLoadError(LoadStatus::Corrupt,
+                              path +
+                                  ": trailing bytes after the last "
+                                  "record — the " +
+                                  kind + " file is corrupted");
 
     uint64_t h = fnv1a(kFnvOffset, buf.data() + regionStart,
                        buf.size() - regionStart);
     if (h != checksum)
-        fatal(path + ": checksum mismatch — the " + kind +
-              " file is corrupted");
+        throw RecordLoadError(LoadStatus::ChecksumMismatch,
+                              path + ": checksum mismatch — the " +
+                                  kind + " file is corrupted");
 }
 
 const Record*
@@ -277,8 +381,10 @@ RecordFile::require(const std::string& name) const
 {
     const Record* r = find(name);
     if (!r)
-        fatal(path_ + ": missing record \"" + name +
-              "\" — the file does not match this model");
+        throw RecordLoadError(LoadStatus::Mismatch,
+                              path_ + ": missing record \"" + name +
+                                  "\" — the file does not match this "
+                                  "model");
     return *r;
 }
 

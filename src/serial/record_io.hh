@@ -16,9 +16,24 @@
  * every record self-identifying: loading matches records to a
  * structurally equal model by path, never by position.
  *
- * All file errors — missing, foreign magic, unsupported version,
- * truncation, checksum mismatch — are user-correctable and go
- * through fatal() with a message naming the file and the problem.
+ * Crash-safe writes: a RecordWriter streams into "<path>.tmp" and
+ * close() flushes, fsyncs and atomically renames it over the final
+ * path. A writer that dies mid-stream — process kill, injected write
+ * failure, an exception unwinding past the writer — never leaves a
+ * half-written file at the final path, and re-saving over an
+ * existing artifact can never clobber the old one with a torn file.
+ * Committing is explicit: a destructed-but-never-closed writer
+ * discards its temp file instead of publishing a truncated stream.
+ *
+ * File errors come in two flavors. The fatal()ing entry points
+ * (RecordFile's public constructor, used by the load*() loaders)
+ * treat every problem — missing, foreign magic, unsupported version,
+ * truncation, checksum mismatch — as a user-correctable abort with a
+ * message naming the file and the problem. The recoverable entry
+ * point RecordFile::tryOpen() reports the same problems as a typed
+ * LoadResult instead, so a serving process can refuse a damaged
+ * artifact and keep running (serial/deploy.hh tryLoadDeployArtifact,
+ * serve/server.hh reloadArtifact).
  */
 
 #ifndef MIXQ_SERIAL_RECORD_IO_HH
@@ -26,11 +41,68 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace mixq {
+
+/**
+ * Precise failure class of a recoverable load. The file classes
+ * (OpenFailed..Corrupt) mirror the container validation order;
+ * Mismatch means a structurally valid file that does not describe
+ * this model; WriteFailed is the writer-side counterpart;
+ * Unavailable means the operation could not be attempted at all
+ * (e.g. a hot reload on a stopped server).
+ */
+enum class LoadStatus
+{
+    Ok = 0,
+    OpenFailed,       //!< missing / unreadable path
+    Foreign,          //!< magic does not match (not this format)
+    VersionMismatch,  //!< format version this build does not read
+    Truncated,        //!< record walk ran out of bytes
+    ChecksumMismatch, //!< structurally intact, bytes damaged
+    Corrupt,          //!< structurally inconsistent record content
+    Mismatch,         //!< valid file for a different model
+    WriteFailed,      //!< write-side failure (injected or real)
+    Unavailable,      //!< operation refused before touching the file
+};
+
+/** Stable lowercase name of @p s ("checksum-mismatch"). */
+const char* loadStatusName(LoadStatus s);
+
+/** Outcome of a tryLoad or tryOpen call: a status and, when not Ok,
+    the message the fatal path would have printed. */
+struct LoadResult
+{
+    LoadStatus status = LoadStatus::Ok;
+    std::string message;
+
+    bool ok() const { return status == LoadStatus::Ok; }
+};
+
+/**
+ * Internal transport of recoverable load/save failures: thrown by
+ * the parsing/decoding layers, caught at the tryLoad*() boundary and
+ * converted to a LoadResult (or re-raised as fatal() by the strict
+ * loaders). Carries the precise LoadStatus class.
+ */
+class RecordLoadError : public std::runtime_error
+{
+  public:
+    RecordLoadError(LoadStatus status, const std::string& msg)
+        : std::runtime_error(msg), status_(status)
+    {
+    }
+
+    LoadStatus status() const { return status_; }
+
+  private:
+    LoadStatus status_;
+};
 
 /** Element type of one record's payload. */
 enum class RecDType : uint8_t
@@ -57,9 +129,14 @@ struct Record
 };
 
 /**
- * Streaming writer. Records append in call order; close() (or the
- * destructor) patches the record count and checksum into the header.
- * Write failures (disk full, unwritable path) are fatal().
+ * Streaming writer. Records append in call order into "<path>.tmp";
+ * close() patches the record count and checksum into the header,
+ * flushes, fsyncs and atomically renames the temp file onto @p path
+ * — the commit point. A writer destroyed without close() abandons
+ * the temp file (crash semantics: nothing is published). Write
+ * failures (disk full, unwritable path) are fatal(); an injected
+ * write fault (serve/fault.hh) throws instead so tests can observe
+ * the untouched final path.
  */
 class RecordWriter
 {
@@ -87,13 +164,22 @@ class RecordWriter
                std::span<const uint64_t> shape,
                std::span<const uint8_t> v);
 
-    /** Patch the header and close the file (idempotent). */
+    /** Patch the header, flush and rename onto the final path
+        (idempotent). This is the only call that publishes the file. */
     void close();
+
+    /** Discard the stream: delete the temp file, leave the final
+        path untouched (idempotent; the destructor's default). */
+    void abandon();
+
+    /** The temp path records stream into before close(). */
+    const std::string& tempPath() const { return tmpPath_; }
 
   private:
     void put(const void* data, size_t n);
 
     std::string path_;
+    std::string tmpPath_;
     std::FILE* f_ = nullptr;
     uint64_t count_ = 0;
     uint64_t checksum_;
@@ -101,8 +187,9 @@ class RecordWriter
 
 /**
  * Whole-file reader: opens, validates magic/version/structure/
- * checksum (fatal() on any mismatch) and holds every record in
- * memory for by-name lookup.
+ * checksum and holds every record in memory for by-name lookup. The
+ * public constructor fatal()s on any problem; tryOpen() reports the
+ * failure class in a LoadResult instead and returns null.
  */
 class RecordFile
 {
@@ -111,17 +198,35 @@ class RecordFile
     RecordFile(const std::string& path, const char* magic,
                uint32_t version, const std::string& kind);
 
+    /**
+     * Recoverable open: returns the parsed file, or null with @p err
+     * holding the precise failure class and the message the fatal
+     * path would have printed. Never aborts the process.
+     */
+    static std::unique_ptr<RecordFile> tryOpen(const std::string& path,
+                                               const char* magic,
+                                               uint32_t version,
+                                               const std::string& kind,
+                                               LoadResult& err);
+
     const std::vector<Record>& records() const { return recs_; }
 
     /** Find by name; null when absent. */
     const Record* find(const std::string& name) const;
 
-    /** Find by name; fatal() with the file path when absent. */
+    /** Find by name; throws RecordLoadError(Mismatch) when absent
+        (fatal() at the strict loader boundary). */
     const Record& require(const std::string& name) const;
 
     const std::string& path() const { return path_; }
 
   private:
+    RecordFile() = default;
+
+    /** Read + validate @p path; throws RecordLoadError. */
+    void parse(const std::string& path, const char* magic,
+               uint32_t version, const std::string& kind);
+
     std::string path_;
     std::vector<Record> recs_;
 };

@@ -50,8 +50,10 @@ std::span<const float>
 recF32(const RecordFile& f, const Record& r)
 {
     if (r.dtype != RecDType::F32)
-        fatal(f.path() + ": record \"" + r.name + "\" has the wrong "
-              "dtype — the file does not match this model");
+        throw RecordLoadError(LoadStatus::Mismatch,
+                              f.path() + ": record \"" + r.name +
+                                  "\" has the wrong dtype — the file "
+                                  "does not match this model");
     return r.f32();
 }
 
@@ -59,8 +61,10 @@ std::span<const double>
 recF64(const RecordFile& f, const Record& r, size_t elems)
 {
     if (r.dtype != RecDType::F64 || r.elems() != elems)
-        fatal(f.path() + ": record \"" + r.name + "\" has the wrong "
-              "dtype or size — the file does not match this model");
+        throw RecordLoadError(LoadStatus::Mismatch,
+                              f.path() + ": record \"" + r.name +
+                                  "\" has the wrong dtype or size — "
+                                  "the file does not match this model");
     return r.f64();
 }
 
@@ -68,10 +72,13 @@ void
 recCheckElems(const RecordFile& f, const Record& r, size_t elems)
 {
     if (r.elems() != elems)
-        fatal(f.path() + ": record \"" + r.name + "\" holds " +
-              std::to_string(r.elems()) + " elements but the model "
-              "expects " + std::to_string(elems) +
-              " — the file does not match this model");
+        throw RecordLoadError(
+            LoadStatus::Mismatch,
+            f.path() + ": record \"" + r.name + "\" holds " +
+                std::to_string(r.elems()) + " elements but the model "
+                                            "expects " +
+                std::to_string(elems) +
+                " — the file does not match this model");
 }
 
 void
@@ -96,6 +103,38 @@ addStateRecords(RecordWriter& w, Module& model)
         } else if (auto* g = dynamic_cast<Gru*>(&m)) {
             addActq(w, "actq/" + mp + ".x", g->inputQuant());
             addActq(w, "actq/" + mp + ".h", g->hiddenQuant());
+        }
+    });
+}
+
+void
+checkStateRecords(const RecordFile& f, Module& model)
+{
+    // Same walk as restoreStateRecords, reads only: every require()
+    // and shape/dtype check fires here, none of the restore calls do.
+    // A deploy stage runs this so apply can restore unconditionally.
+    forEachNamedModule(model, [&](const std::string& mp, Module& m) {
+        if (auto* bn = dynamic_cast<BatchNorm2d*>(&m)) {
+            const Record& rm = f.require("bn/" + mp + ".mean");
+            const Record& rv = f.require("bn/" + mp + ".var");
+            recCheckElems(f, rm, bn->runningMean().size());
+            recCheckElems(f, rv, bn->runningVar().size());
+            recF32(f, rm);
+            recF32(f, rv);
+        } else if (dynamic_cast<Linear*>(&m) ||
+                   dynamic_cast<Conv2d*>(&m) ||
+                   dynamic_cast<DwConv2d*>(&m)) {
+            readActq(f, "actq/" + mp);
+        } else if (dynamic_cast<Lstm*>(&m) ||
+                   dynamic_cast<Gru*>(&m)) {
+            ActqState sx = readActq(f, "actq/" + mp + ".x");
+            ActqState sh = readActq(f, "actq/" + mp + ".h");
+            if (sx.bits != sh.bits)
+                throw RecordLoadError(
+                    LoadStatus::Mismatch,
+                    f.path() + ": RNN cell \"" + mp + "\" has "
+                    "mismatched x/h quantizer widths — the file is "
+                    "corrupted or does not match this model");
         }
     });
 }
@@ -128,9 +167,11 @@ restoreStateRecords(const RecordFile& f, Module& model)
             ActqState sx = readActq(f, "actq/" + mp + ".x");
             ActqState sh = readActq(f, "actq/" + mp + ".h");
             if (sx.bits != sh.bits)
-                fatal(f.path() + ": RNN cell \"" + mp + "\" has "
-                      "mismatched x/h quantizer widths — the file is "
-                      "corrupted or does not match this model");
+                throw RecordLoadError(
+                    LoadStatus::Mismatch,
+                    f.path() + ": RNN cell \"" + mp + "\" has "
+                    "mismatched x/h quantizer widths — the file is "
+                    "corrupted or does not match this model");
             m.configureOwnActQuant(sx.bits, sx.enabled);
             if (auto* ls = dynamic_cast<Lstm*>(&m)) {
                 ls->inputQuant().restore(sx.enabled, sx.calibrated,

@@ -28,8 +28,9 @@ std::vector<uint64_t> recShape(const Tensor& t);
 /**
  * Payload accessors that validate against the *model*: a structurally
  * valid file for a different architecture is a user mistake, so a
- * dtype or element-count mismatch is fatal() naming the record, never
- * an assert.
+ * dtype or element-count mismatch throws RecordLoadError(Mismatch)
+ * naming the record, never an assert. The strict load*() entry points
+ * convert that to fatal(); the tryLoad*() ones to a LoadResult.
  */
 std::span<const float> recF32(const RecordFile& f, const Record& r);
 std::span<const double> recF64(const RecordFile& f, const Record& r,
@@ -45,10 +46,19 @@ void recCheckElems(const RecordFile& f, const Record& r, size_t elems);
 void addStateRecords(RecordWriter& w, Module& model);
 
 /**
+ * Read-only validation pass over what addStateRecords() saved: runs
+ * every require() and dtype/shape check restoreStateRecords() would,
+ * without touching the model. Throws RecordLoadError on any problem;
+ * after it returns, restoreStateRecords() on the same file and model
+ * cannot fail — the stage half of a stage/apply deploy load.
+ */
+void checkStateRecords(const RecordFile& f, Module& model);
+
+/**
  * Restore what addStateRecords() saved: running statistics via
  * BatchNorm2d::restoreRunningStats and quantizer calibrations via
  * configureOwnActQuant + ActFakeQuant::restore. Missing or mismatched
- * records are fatal().
+ * records throw RecordLoadError.
  */
 void restoreStateRecords(const RecordFile& f, Module& model);
 

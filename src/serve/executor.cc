@@ -140,6 +140,45 @@ PlanExecutor::~PlanExecutor()
     std::free(slab_);
 }
 
+void
+PlanExecutor::restage()
+{
+    for (size_t si = 0; si < plan_.steps.size(); ++si) {
+        const PlanStep& ps = plan_.steps[si];
+        StepExec& se = steps_[si];
+        const std::vector<size_t>& inMax = plan_.buffers[ps.in].shape;
+        switch (se.op) {
+        case Op::Linear: {
+            auto* ln = static_cast<Linear*>(se.mod);
+            ln->prepareServe(*se.lin,
+                             shapeSize(inMax) / ln->inFeatures());
+            break;
+        }
+        case Op::Conv:
+            static_cast<Conv2d*>(se.mod)->prepareServe(*se.conv,
+                                                       inMax);
+            break;
+        case Op::DwConv:
+            static_cast<DwConv2d*>(se.mod)->prepareServe(*se.conv,
+                                                         inMax);
+            break;
+        case Op::Bn:
+            static_cast<BatchNorm2d*>(se.mod)->prepareServe(*se.bn);
+            break;
+        case Op::Lstm:
+            static_cast<Lstm*>(se.mod)->prepareServe(*se.rnn,
+                                                     inMax[1]);
+            break;
+        case Op::Gru:
+            static_cast<Gru*>(se.mod)->prepareServe(*se.rnn,
+                                                    inMax[1]);
+            break;
+        default:
+            break; // stateless steps stage nothing
+        }
+    }
+}
+
 std::vector<size_t> PlanExecutor::runtimeShape(size_t bufIdx,
                                                size_t n) const
 {

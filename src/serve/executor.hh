@@ -83,6 +83,17 @@ class PlanExecutor
         return runtimeShape(plan_.outIndex, items);
     }
 
+    /**
+     * Re-run every step's prepareServe against the model's current
+     * state. Needed after a hot weight swap (BatchServer::
+     * reloadArtifact): prepareServe stages per-layer eval constants —
+     * BatchNorm's frozen running-stat affine, panel packs keyed by
+     * weight version — that would otherwise keep serving the old
+     * model. Shapes are unchanged, so scratch never regrows; must not
+     * race run() (the server calls it with every worker quiesced).
+     */
+    void restage();
+
     /** The executed (maximum-batch) plan. */
     const ServePlan& plan() const { return plan_; }
     size_t maxItems() const { return maxItems_; }

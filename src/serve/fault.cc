@@ -1,0 +1,132 @@
+#include "serve/fault.hh"
+
+#include <atomic>
+#include <chrono>
+#include <new>
+#include <thread>
+
+namespace mixq {
+
+#ifndef MIXQ_NO_FAULT_INJECTION
+
+namespace {
+
+// Armed is the fast-path gate: every hook loads it once and returns
+// when clear. The plan itself is only read while armed, and arming
+// is test-scoped (no concurrent arm vs hook execution), so the plan
+// needs no lock of its own.
+std::atomic<bool> gArmed{false};
+FaultPlan gPlan;
+
+} // namespace
+
+void
+armFaultPlan(const FaultPlan& plan)
+{
+    gPlan = plan;
+    gArmed.store(true, std::memory_order_release);
+}
+
+void
+disarmFaultPlan()
+{
+    gArmed.store(false, std::memory_order_release);
+}
+
+bool
+faultPlanArmed()
+{
+    return gArmed.load(std::memory_order_acquire);
+}
+
+void
+faultOnBatch(uint64_t batchIndex)
+{
+    if (!gArmed.load(std::memory_order_acquire))
+        return;
+    long k = long(batchIndex);
+    if (gPlan.stallEveryBatchUs > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(gPlan.stallEveryBatchUs));
+    if (gPlan.stallAtBatch == k && gPlan.stallUs > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(gPlan.stallUs));
+    if (gPlan.killWorkerAtBatch == k)
+        throw WorkerKillFault();
+    if (gPlan.throwInForwardAtBatch == k)
+        throw FaultInjected("injected forward fault at batch " +
+                            std::to_string(k));
+}
+
+void
+faultOnWarmup()
+{
+    if (!gArmed.load(std::memory_order_acquire))
+        return;
+    if (gPlan.failWarmupAlloc)
+        throw std::bad_alloc();
+}
+
+void
+faultOnRecordFileRead(std::vector<uint8_t>& fileBytes)
+{
+    if (!gArmed.load(std::memory_order_acquire))
+        return;
+    // Flip one bit of the last payload byte: the file stays
+    // structurally parseable, so the reader's checksum verification
+    // is what must catch it.
+    if (gPlan.corruptOnRead && !fileBytes.empty())
+        fileBytes.back() ^= 0x01;
+}
+
+void
+faultOnRecordWrite(uint64_t recordIndex)
+{
+    if (!gArmed.load(std::memory_order_acquire))
+        return;
+    if (gPlan.failWriteAtRecord == long(recordIndex))
+        throw FaultInjected("injected write failure at record " +
+                            std::to_string(recordIndex));
+}
+
+#else // MIXQ_NO_FAULT_INJECTION
+
+void
+armFaultPlan(const FaultPlan&)
+{
+}
+
+void
+disarmFaultPlan()
+{
+}
+
+bool
+faultPlanArmed()
+{
+    return false;
+}
+
+void
+faultOnBatch(uint64_t)
+{
+}
+
+void
+faultOnWarmup()
+{
+}
+
+void
+faultOnRecordFileRead(std::vector<uint8_t>&)
+{
+}
+
+void
+faultOnRecordWrite(uint64_t)
+{
+}
+
+#endif // MIXQ_NO_FAULT_INJECTION
+
+} // namespace mixq

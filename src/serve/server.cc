@@ -9,7 +9,9 @@
 #include <omp.h>
 #endif
 
+#include "serial/deploy.hh"
 #include "serve/executor.hh"
+#include "serve/fault.hh"
 #include "util/logging.hh"
 
 namespace mixq {
@@ -23,6 +25,12 @@ atomicMax(std::atomic<size_t>& a, size_t v)
     while (cur < v &&
            !a.compare_exchange_weak(cur, v, std::memory_order_relaxed))
         ;
+}
+
+std::exception_ptr
+serveError(ServeError::Code code, const char* msg)
+{
+    return std::make_exception_ptr(ServeError(code, msg));
 }
 
 } // namespace
@@ -39,11 +47,17 @@ BatchServer::BatchServer(std::vector<Module*> replicas,
                 "serve: itemShape must have extent 1 on batchAxis");
     MIXQ_ASSERT(traits_.batchAxis <= 1,
                 "serve: batchAxis must be 0 (NCHW) or 1 (TNC)");
+    MIXQ_ASSERT(opt_.maxQueueItems == 0 ||
+                    opt_.maxQueueItems >= opt_.maxBatch,
+                "serve: maxQueueItems must be 0 (unbounded) or >= "
+                "maxBatch — else a full-size request can never be "
+                "admitted");
     if (opt_.planArena) {
         std::vector<size_t> ws = traits_.itemShape;
         ws[traits_.batchAxis] = opt_.maxBatch;
         plan_ = planServeForward(*replicas_[0], ws);
     }
+    liveWorkers_ = replicas_.size();
     workers_.reserve(replicas_.size());
     for (size_t i = 0; i < replicas_.size(); ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
@@ -52,7 +66,7 @@ BatchServer::BatchServer(std::vector<Module*> replicas,
 BatchServer::BatchServer(Module& model, size_t replicas,
                          const BatchTraits& traits,
                          const ServeOptions& opt)
-    : traits_(traits), opt_(opt), planned_(true)
+    : planned_(true), sharedModel_(&model), traits_(traits), opt_(opt)
 {
     MIXQ_ASSERT(replicas >= 1, "serve: need at least one replica");
     MIXQ_ASSERT(opt_.maxBatch >= 1, "serve: maxBatch must be >= 1");
@@ -61,6 +75,11 @@ BatchServer::BatchServer(Module& model, size_t replicas,
                 "serve: itemShape must have extent 1 on batchAxis");
     MIXQ_ASSERT(traits_.batchAxis <= 1,
                 "serve: batchAxis must be 0 (NCHW) or 1 (TNC)");
+    MIXQ_ASSERT(opt_.maxQueueItems == 0 ||
+                    opt_.maxQueueItems >= opt_.maxBatch,
+                "serve: maxQueueItems must be 0 (unbounded) or >= "
+                "maxBatch — else a full-size request can never be "
+                "admitted");
     // Built sequentially on this thread: the first executor packs the
     // shared model's weight panels (PackedQMat/PackedMat ensure), the
     // rest find them current and pack nothing — one weight copy for
@@ -76,6 +95,7 @@ BatchServer::BatchServer(Module& model, size_t replicas,
     arenaHighWater_.store(plan_.peakBytes, std::memory_order_relaxed);
     scratchBytes_.store(execs_[0]->scratchBytes(),
                         std::memory_order_relaxed);
+    liveWorkers_ = replicas;
     workers_.reserve(replicas);
     for (size_t i = 0; i < replicas; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
@@ -86,11 +106,12 @@ BatchServer::~BatchServer()
     stop(true);
 }
 
-std::future<Tensor>
-BatchServer::submit(Tensor x)
+SubmitResult
+BatchServer::submit(Tensor x, long deadlineUs)
 {
     std::promise<Tensor> p;
-    std::future<Tensor> f = p.get_future();
+    SubmitResult res;
+    res.future = p.get_future();
 
     const std::vector<size_t>& is = traits_.itemShape;
     std::string err;
@@ -108,26 +129,93 @@ BatchServer::submit(Tensor x)
             err = "request items exceed maxBatch";
     }
     if (!err.empty()) {
+        res.status = ServeStatus::Rejected;
         p.set_exception(std::make_exception_ptr(
             std::invalid_argument("mixq serve: " + err)));
-        return f;
+        return res;
+    }
+
+    Request r;
+    r.x = std::move(x);
+    r.items = items;
+    if (deadlineUs > 0) {
+        r.hasDeadline = true;
+        r.expiry = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(deadlineUs);
     }
 
     {
-        std::lock_guard<std::mutex> lk(mu_);
-        if (stopping_) {
-            p.set_exception(std::make_exception_ptr(std::runtime_error(
-                "mixq serve: submit after stop")));
-            return f;
+        std::unique_lock<std::mutex> lk(mu_);
+        if (stopping_ || dead_) {
+            const char* msg = dead_
+                                  ? "mixq serve: no live workers"
+                                  : "mixq serve: submit after stop";
+            lk.unlock();
+            res.status = ServeStatus::Rejected;
+            p.set_exception(
+                serveError(ServeError::Code::Stopped, msg));
+            return res;
         }
-        Request r;
-        r.x = std::move(x);
-        r.items = items;
+
+        if (opt_.maxQueueItems > 0 &&
+            queuedItems_ + items > opt_.maxQueueItems) {
+            switch (opt_.overload) {
+            case OverloadPolicy::Block:
+                // Backpressure: park the producer until workers make
+                // room. stop()/worker death releases it with a
+                // rejection rather than hanging it forever.
+                roomCv_.wait(lk, [&] {
+                    return stopping_ || dead_ ||
+                           queuedItems_ + items <= opt_.maxQueueItems;
+                });
+                if (stopping_ || dead_) {
+                    const char* msg =
+                        dead_ ? "mixq serve: no live workers"
+                              : "mixq serve: submit after stop";
+                    lk.unlock();
+                    res.status = ServeStatus::Rejected;
+                    p.set_exception(
+                        serveError(ServeError::Code::Stopped, msg));
+                    return res;
+                }
+                break;
+            case OverloadPolicy::Shed:
+                // Freshest-first: evict from the queue head (the
+                // oldest requests — the ones a deadline would reap
+                // next anyway) until the newcomer fits. The ctor
+                // guarantees maxQueueItems >= maxBatch >= items, so
+                // an empty queue always has room.
+                while (queuedItems_ + items > opt_.maxQueueItems &&
+                       !queue_.empty()) {
+                    Request victim = std::move(queue_.front());
+                    queue_.pop_front();
+                    queuedItems_ -= victim.items;
+                    shed_.fetch_add(1, std::memory_order_relaxed);
+                    victim.result.set_exception(serveError(
+                        ServeError::Code::Shed,
+                        "mixq serve: request shed under overload"));
+                }
+                break;
+            case OverloadPolicy::FailFast:
+                shed_.fetch_add(1, std::memory_order_relaxed);
+                lk.unlock();
+                res.status = ServeStatus::Shed;
+                p.set_exception(serveError(
+                    ServeError::Code::Shed,
+                    "mixq serve: queue full — request shed"));
+                return res;
+            }
+        }
+
         r.result = std::move(p);
         queue_.push_back(std::move(r));
+        queuedItems_ += items;
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        atomicMax(queuePeakItems_, queuedItems_);
     }
     cv_.notify_one();
-    return f;
+    res.status = ServeStatus::Accepted;
+    return res;
 }
 
 void
@@ -141,6 +229,8 @@ BatchServer::stop(bool drain)
         }
     }
     cv_.notify_all();
+    roomCv_.notify_all();
+    pauseCv_.notify_all();
     {
         std::lock_guard<std::mutex> jl(joinMu_);
         for (std::thread& t : workers_)
@@ -151,11 +241,63 @@ BatchServer::stop(bool drain)
     {
         std::lock_guard<std::mutex> lk(mu_);
         leftovers.swap(queue_);
+        queuedItems_ = 0;
     }
-    for (Request& r : leftovers)
-        r.result.set_exception(std::make_exception_ptr(
-            std::runtime_error(
-                "mixq serve: server stopped before request ran")));
+    for (Request& r : leftovers) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        r.result.set_exception(serveError(
+            ServeError::Code::Stopped,
+            "mixq serve: server stopped before request ran"));
+    }
+}
+
+LoadResult
+BatchServer::reloadArtifact(const std::string& path)
+{
+    std::lock_guard<std::mutex> rl(reloadMu_);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_ || dead_)
+            return {LoadStatus::Unavailable,
+                    "mixq serve: reload refused — server is not "
+                    "serving"};
+    }
+
+    // Stage read-only while traffic keeps flowing: decode + validate
+    // everything, touch nothing. Any failure returns here with the
+    // old weights still serving.
+    Module& probe = planned_ ? *sharedModel_ : *replicas_[0];
+    DeployStage stage;
+    LoadResult r = stageDeployArtifact(path, probe, stage);
+    if (!r.ok())
+        return r;
+
+    // Quiesce: park every live worker between batches, then install
+    // the staged panels. Workers never observe a half-swapped model —
+    // a batch runs entirely on the old weights or entirely on the
+    // new ones.
+    std::unique_lock<std::mutex> lk(mu_);
+    pauseRequested_ = true;
+    cv_.notify_all();
+    pauseCv_.wait(lk, [&] {
+        return pausedWorkers_ == liveWorkers_ || stopping_;
+    });
+    if (planned_) {
+        stage.apply(*sharedModel_);
+        // The executors staged per-layer eval constants (BN's frozen
+        // affine, pack versions) at construction — re-stage them
+        // against the swapped model while everyone is parked.
+        for (auto& exec : execs_)
+            exec->restage();
+    } else {
+        for (Module* m : replicas_)
+            stage.apply(*m);
+    }
+    reloadGen_.fetch_add(1, std::memory_order_relaxed);
+    pauseRequested_ = false;
+    lk.unlock();
+    cv_.notify_all();
+    return {};
 }
 
 BatchServer::Stats
@@ -172,6 +314,17 @@ BatchServer::stats() const
     s.arenaOverflows =
         arenaOverflows_.load(std::memory_order_relaxed);
     s.scratchBytes = scratchBytes_.load(std::memory_order_relaxed);
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.shed = shed_.load(std::memory_order_relaxed);
+    s.expired = expired_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.faults = faults_.load(std::memory_order_relaxed);
+    s.queuePeakItems =
+        queuePeakItems_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        s.workersAlive = liveWorkers_;
+    }
     return s;
 }
 
@@ -179,14 +332,57 @@ bool
 BatchServer::nextBatch(std::vector<Request>& batch, size_t& items)
 {
     std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty())
-        return false; // stopping, nothing left (or drained)
-    if (stopping_ && !drain_)
-        return false; // stop() fails the leftovers
+
+    auto isExpired = [](const Request& r) {
+        return r.hasDeadline &&
+               std::chrono::steady_clock::now() >= r.expiry;
+    };
+    // Settle an expired queue head: its future fails with Expired,
+    // its items leave the admission budget.
+    auto dropExpiredFront = [&] {
+        Request victim = std::move(queue_.front());
+        queue_.pop_front();
+        queuedItems_ -= victim.items;
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        roomCv_.notify_all();
+        victim.result.set_exception(serveError(
+            ServeError::Code::Expired,
+            "mixq serve: request deadline expired before serving"));
+    };
+
+    for (;;) {
+        cv_.wait(lk, [&] {
+            return stopping_ || pauseRequested_ || !queue_.empty();
+        });
+        if (pauseRequested_ && !stopping_) {
+            // reloadArtifact() wants the model to itself: park here
+            // between batches until the swap is done.
+            ++pausedWorkers_;
+            pauseCv_.notify_all();
+            cv_.wait(lk,
+                     [&] { return !pauseRequested_ || stopping_; });
+            --pausedWorkers_;
+            pauseCv_.notify_all();
+            continue;
+        }
+        while (!queue_.empty() && isExpired(queue_.front()))
+            dropExpiredFront();
+        if (queue_.empty()) {
+            if (stopping_)
+                return false; // nothing left (or drained)
+            continue;         // heads all expired; wait for more
+        }
+        if (stopping_ && !drain_)
+            return false; // stop() fails the leftovers
+        break;
+    }
+
     items = queue_.front().items;
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
+    queuedItems_ -= items;
+    roomCv_.notify_all();
+
     if (opt_.deadlineUs > 0 && items < opt_.maxBatch) {
         auto dl = std::chrono::steady_clock::now() +
                   std::chrono::microseconds(opt_.deadlineUs);
@@ -194,15 +390,25 @@ BatchServer::nextBatch(std::vector<Request>& batch, size_t& items)
         for (;;) {
             // FIFO coalesce: adjacent requests that fit. A head that
             // does not fit ships the batch as-is — no reordering
-            // past it.
-            while (!queue_.empty() &&
-                   items + queue_.front().items <= opt_.maxBatch) {
-                items += queue_.front().items;
+            // past it. Expired heads are reaped, not gathered.
+            for (;;) {
+                if (queue_.empty())
+                    break;
+                if (isExpired(queue_.front())) {
+                    dropExpiredFront();
+                    continue;
+                }
+                size_t fi = queue_.front().items;
+                if (items + fi > opt_.maxBatch)
+                    break;
+                items += fi;
                 batch.push_back(std::move(queue_.front()));
                 queue_.pop_front();
+                queuedItems_ -= fi;
+                roomCv_.notify_all();
             }
             if (items >= opt_.maxBatch || !queue_.empty() ||
-                stopping_ || timedOut)
+                stopping_ || pauseRequested_ || timedOut)
                 break;
             timedOut =
                 cv_.wait_until(lk, dl) == std::cv_status::timeout;
@@ -220,10 +426,54 @@ BatchServer::workerLoop(size_t worker)
     if (opt_.ompThreads > 0)
         omp_set_num_threads(opt_.ompThreads);
 #endif
-    if (planned_) {
-        plannedWorkerLoop(worker);
-        return;
+    bool abnormal = false;
+    try {
+        if (planned_)
+            plannedWorkerBody(worker);
+        else
+            replicaWorkerBody(worker);
+    } catch (...) {
+        // Permanent worker death: warmup failure or an injected
+        // kill. The batch (if any) already settled its futures; the
+        // exit bookkeeping below keeps the rest of the server
+        // serving — or sweeps the queue when this was the last one.
+        abnormal = true;
     }
+    workerExit(abnormal);
+}
+
+void
+BatchServer::workerExit(bool abnormal)
+{
+    std::deque<Request> orphans;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        MIXQ_ASSERT(liveWorkers_ > 0, "serve: worker exit underflow");
+        --liveWorkers_;
+        if (abnormal && liveWorkers_ == 0 && !stopping_) {
+            // Last worker died with the server still open: nothing
+            // will ever drain the queue, so fail it now and refuse
+            // everything after — futures must settle, not hang.
+            dead_ = true;
+            orphans.swap(queue_);
+            queuedItems_ = 0;
+        }
+    }
+    cv_.notify_all();
+    roomCv_.notify_all();
+    pauseCv_.notify_all();
+    for (Request& r : orphans) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        r.result.set_exception(serveError(
+            ServeError::Code::WorkerFault,
+            "mixq serve: every worker died — request cannot be "
+            "served"));
+    }
+}
+
+void
+BatchServer::replicaWorkerBody(size_t worker)
+{
     Module& model = *replicas_[worker];
     std::vector<size_t> ws = traits_.itemShape;
     ws[traits_.batchAxis] = opt_.maxBatch;
@@ -232,7 +482,10 @@ BatchServer::workerLoop(size_t worker)
     // scratch container to its max-batch capacity on the real heap
     // before the first scoped forward. Two passes reach the fixed
     // point (first sizes, second verifies), the third measures the
-    // steady-state transient footprint for arena sizing.
+    // steady-state transient footprint for arena sizing. A warmup
+    // failure (real OOM or the injected one) is a permanent worker
+    // death — it propagates to workerLoop.
+    faultOnWarmup();
     size_t measured = 0;
     {
         Tensor wx(ws); // zeros: id 0 is valid for embedding models
@@ -250,18 +503,29 @@ BatchServer::workerLoop(size_t worker)
         arenaCapacity_.store(cap, std::memory_order_relaxed);
 
     size_t batchesDone = 0;
+    uint64_t myGen = reloadGen_.load(std::memory_order_relaxed);
     for (;;) {
         std::vector<Request> batch;
         size_t items = 0;
         if (!nextBatch(batch, items))
             break;
-        runBatch(model, arena, batch, items, batchesDone);
+        uint64_t gen = reloadGen_.load(std::memory_order_relaxed);
+        if (gen != myGen) {
+            // Weights were hot-swapped: give the zero-alloc steady-
+            // state assertion its settling grace again (fresh panels
+            // may lazily repack on first touch).
+            myGen = gen;
+            batchesDone = 0;
+        }
+        uint64_t seq = batchSeq_.fetch_add(1, std::memory_order_relaxed);
+        if (!runBatch(model, arena, batch, items, batchesDone, seq))
+            throw WorkerKillFault();
         ++batchesDone;
     }
 }
 
 void
-BatchServer::plannedWorkerLoop(size_t worker)
+BatchServer::plannedWorkerBody(size_t worker)
 {
     PlanExecutor& exec = *execs_[worker];
 
@@ -274,29 +538,53 @@ BatchServer::plannedWorkerLoop(size_t worker)
     // buffer's slab range is recycled by later buffers (liveness
     // packing), so each run re-zeroes it — the per-batch gatherInto
     // plays that role in steady state.
+    faultOnWarmup();
     std::memset(exec.inputData(), 0, exec.inputBytes());
     exec.run(opt_.maxBatch);
     std::memset(exec.inputData(), 0, exec.inputBytes());
     exec.run(opt_.maxBatch);
 
     size_t batchesDone = 0;
+    uint64_t myGen = reloadGen_.load(std::memory_order_relaxed);
     for (;;) {
         std::vector<Request> batch;
         size_t items = 0;
         if (!nextBatch(batch, items))
             break;
-        runBatchPlanned(exec, batch, items, batchesDone);
+        uint64_t gen = reloadGen_.load(std::memory_order_relaxed);
+        if (gen != myGen) {
+            myGen = gen;
+            batchesDone = 0;
+        }
+        uint64_t seq = batchSeq_.fetch_add(1, std::memory_order_relaxed);
+        if (!runBatchPlanned(exec, batch, items, batchesDone, seq))
+            throw WorkerKillFault();
         ++batchesDone;
     }
 }
 
 void
+BatchServer::failBatch(std::vector<Request>& batch,
+                       std::exception_ptr e)
+{
+    for (Request& r : batch) {
+        try {
+            r.result.set_exception(e);
+        } catch (const std::future_error&) {
+            // already satisfied by a partial scatter
+        }
+    }
+}
+
+bool
 BatchServer::runBatch(Module& model, Arena& arena,
                       std::vector<Request>& batch, size_t items,
-                      size_t batchesDone)
+                      size_t batchesDone, uint64_t seq)
 {
     (void)batchesDone;
+    bool keepRunning = true;
     try {
+        faultOnBatch(seq);
         Tensor xb, yb;
 #ifndef NDEBUG
         const size_t overflowsBefore = arena.overflowCount();
@@ -326,31 +614,41 @@ BatchServer::runBatch(Module& model, Arena& arena,
         xb = Tensor(); // arena-backed; the frees are no-ops
         yb = Tensor();
         arena.reset();
+        doneItems_.fetch_add(items, std::memory_order_relaxed);
+        doneRequests_.fetch_add(batch.size(),
+                                std::memory_order_relaxed);
+    } catch (const WorkerKillFault&) {
+        // Permanent death: fail this batch, then tell the loop to
+        // retire this worker. Survivors keep draining the queue.
+        faults_.fetch_add(1, std::memory_order_relaxed);
+        failed_.fetch_add(batch.size(), std::memory_order_relaxed);
+        failBatch(batch, std::current_exception());
+        arena.reset();
+        keepRunning = false;
     } catch (...) {
-        std::exception_ptr e = std::current_exception();
-        for (Request& r : batch) {
-            try {
-                r.result.set_exception(e);
-            } catch (const std::future_error&) {
-                // already satisfied by a partial scatter
-            }
-        }
+        // Contained fault: only this batch's futures fail; the
+        // worker and the model replica keep serving.
+        faults_.fetch_add(1, std::memory_order_relaxed);
+        failed_.fetch_add(batch.size(), std::memory_order_relaxed);
+        failBatch(batch, std::current_exception());
         arena.reset();
     }
     atomicMax(arenaHighWater_, arena.highWater());
     atomicMax(arenaOverflows_, arena.overflowCount());
     doneBatches_.fetch_add(1, std::memory_order_relaxed);
-    doneItems_.fetch_add(items, std::memory_order_relaxed);
-    doneRequests_.fetch_add(batch.size(), std::memory_order_relaxed);
+    return keepRunning;
 }
 
-void
+bool
 BatchServer::runBatchPlanned(PlanExecutor& exec,
                              std::vector<Request>& batch,
-                             size_t items, size_t batchesDone)
+                             size_t items, size_t batchesDone,
+                             uint64_t seq)
 {
     (void)batchesDone;
+    bool keepRunning = true;
     try {
+        faultOnBatch(seq);
 #ifndef NDEBUG
         const uint64_t arenaBefore = arenaAllocCount();
         ScopedHeapAllocCount heap;
@@ -378,19 +676,21 @@ BatchServer::runBatchPlanned(PlanExecutor& exec,
         // verbatim by the next batch.
         scatterRaw(exec.outputData(), exec.outputShape(items), items,
                    batch);
+        doneItems_.fetch_add(items, std::memory_order_relaxed);
+        doneRequests_.fetch_add(batch.size(),
+                                std::memory_order_relaxed);
+    } catch (const WorkerKillFault&) {
+        faults_.fetch_add(1, std::memory_order_relaxed);
+        failed_.fetch_add(batch.size(), std::memory_order_relaxed);
+        failBatch(batch, std::current_exception());
+        keepRunning = false;
     } catch (...) {
-        std::exception_ptr e = std::current_exception();
-        for (Request& r : batch) {
-            try {
-                r.result.set_exception(e);
-            } catch (const std::future_error&) {
-                // already satisfied by a partial scatter
-            }
-        }
+        faults_.fetch_add(1, std::memory_order_relaxed);
+        failed_.fetch_add(batch.size(), std::memory_order_relaxed);
+        failBatch(batch, std::current_exception());
     }
     doneBatches_.fetch_add(1, std::memory_order_relaxed);
-    doneItems_.fetch_add(items, std::memory_order_relaxed);
-    doneRequests_.fetch_add(batch.size(), std::memory_order_relaxed);
+    return keepRunning;
 }
 
 Tensor

@@ -25,6 +25,7 @@
 #include "nn/trainer.hh"
 #include "serial/checkpoint.hh"
 #include "serial/deploy.hh"
+#include "serve/fault.hh"
 #include "util/rng.hh"
 
 namespace mixq {
@@ -471,6 +472,187 @@ TEST(SerialReject, DamagedAndMismatchedFilesAreFatal)
 
     for (const std::string& p :
          {ckpt, artifact, cut, bad, newer, acutPath})
+        std::remove(p.c_str());
+}
+
+// ------------------------------------------------------------------
+// Crash-safe writes and recoverable loads
+// ------------------------------------------------------------------
+
+TEST(SerialAtomicWrite, FailedSaveLeavesThePublishedFileUntouched)
+{
+    Rng rng(61);
+    auto model = makeTinyConvNet(4, rng, 4);
+    const std::string path = tmpPath("atomic_ckpt.bin");
+    saveCheckpoint(path, *model);
+    const std::vector<uint8_t> before = readAll(path);
+
+    // A save that dies mid-stream — here an injected write failure at
+    // record 3, standing in for a crash or full disk — must leave the
+    // previously published file byte-identical and no temp debris.
+    model->params()[0]->w[0] += 1.0f; // make the new state different
+    FaultPlan plan;
+    plan.failWriteAtRecord = 3;
+    armFaultPlan(plan);
+    EXPECT_THROW(saveCheckpoint(path, *model), FaultInjected);
+    disarmFaultPlan();
+
+    EXPECT_EQ(readAll(path), before)
+        << "a failed save must not touch the committed file";
+    std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr) << "abandoned temp file left behind";
+    if (tmp)
+        std::fclose(tmp);
+
+    // The same save without the fault commits the new state.
+    saveCheckpoint(path, *model);
+    EXPECT_NE(readAll(path), before);
+    Rng rng2(62);
+    auto loaded = makeTinyConvNet(4, rng2, 4);
+    loadCheckpoint(path, *loaded);
+    expectParamsBitEqual(*model, *loaded);
+    std::remove(path.c_str());
+}
+
+TEST(SerialRecoverable, TryLoadCheckpointReportsPreciseFailureClass)
+{
+    Rng rng(63);
+    auto model = makeTinyConvNet(4, rng, 4);
+    const std::string ckpt = tmpPath("try_ckpt.bin");
+    saveCheckpoint(ckpt, *model);
+    const std::vector<uint8_t> whole = readAll(ckpt);
+
+    auto classify = [&](const std::string& p) {
+        Rng r(1);
+        auto m = makeTinyConvNet(4, r, 4);
+        CheckpointLoadResult out;
+        LoadResult res = tryLoadCheckpoint(p, *m, out);
+        EXPECT_FALSE(res.ok());
+        EXPECT_FALSE(res.message.empty());
+        return res.status;
+    };
+
+    EXPECT_EQ(classify(tmpPath("try_absent.bin")),
+              LoadStatus::OpenFailed);
+
+    const std::string cut = tmpPath("try_cut.bin");
+    writeAll(cut, {whole.begin(), whole.begin() + whole.size() / 2});
+    EXPECT_EQ(classify(cut), LoadStatus::Truncated);
+
+    std::vector<uint8_t> flip = whole;
+    flip.back() ^= 0x40;
+    const std::string bad = tmpPath("try_flip.bin");
+    writeAll(bad, flip);
+    EXPECT_EQ(classify(bad), LoadStatus::ChecksumMismatch);
+
+    std::vector<uint8_t> vers = whole;
+    vers[8] = 9;
+    const std::string newer = tmpPath("try_vers.bin");
+    writeAll(newer, vers);
+    EXPECT_EQ(classify(newer), LoadStatus::VersionMismatch);
+
+    // Architecture mismatch: valid container, wrong model.
+    {
+        Rng r(2);
+        auto other = makeMiniResNet(4, r, 8);
+        CheckpointLoadResult out;
+        LoadResult res = tryLoadCheckpoint(ckpt, *other, out);
+        EXPECT_EQ(res.status, LoadStatus::Mismatch) << res.message;
+    }
+
+    // And the happy path still loads through the recoverable API.
+    {
+        Rng r(3);
+        auto m = makeTinyConvNet(4, r, 4);
+        CheckpointLoadResult out;
+        LoadResult res = tryLoadCheckpoint(ckpt, *m, out);
+        EXPECT_TRUE(res.ok()) << res.message;
+        EXPECT_EQ(out.paramsLoaded, m->params().size());
+        expectParamsBitEqual(*model, *m);
+    }
+
+    EXPECT_STREQ(loadStatusName(LoadStatus::ChecksumMismatch),
+                 "checksum-mismatch");
+    for (const std::string& p : {ckpt, cut, bad, newer})
+        std::remove(p.c_str());
+}
+
+TEST(SerialRecoverable, FailedArtifactStageLeavesTheModelUntouched)
+{
+    LabeledImages train = makeImageDataset(ImageTask::Easy, 16, 8);
+    Rng rng(64);
+    auto model = makeTinyConvNet(train.numClasses, rng, 4);
+    QConfig qcfg;
+    QatContext qat(qcfg);
+    qat.attach(model->params());
+    model->setActQuant(qcfg.actBits, true);
+    model->forward(train.images, true);
+    qat.finalize();
+    const std::string artifact = tmpPath("try_deploy.bin");
+    saveDeployArtifact(artifact, *model, qat);
+
+    // The victim model keeps serving its own (float) weights while
+    // every failed tryLoad leaves its forward bit-identical.
+    Rng rng2(65);
+    auto victim = makeTinyConvNet(train.numClasses, rng2, 4);
+    Tensor x = makeImageDataset(ImageTask::Easy, 4, 9).images;
+    Tensor y0 = victim->forward(x, false);
+    auto expectUntouched = [&] {
+        Tensor y1 = victim->forward(x, false);
+        ASSERT_EQ(y0.size(), y1.size());
+        EXPECT_EQ(std::memcmp(y0.data(), y1.data(),
+                              y0.size() * sizeof(float)),
+                  0)
+            << "a refused artifact must not mutate the model";
+    };
+
+    size_t adopted = 0;
+    LoadResult res =
+        tryLoadDeployArtifact(tmpPath("try_no_artifact.bin"), *victim,
+                              adopted);
+    EXPECT_EQ(res.status, LoadStatus::OpenFailed);
+    expectUntouched();
+
+    // A checkpoint is a foreign file to the artifact loader.
+    const std::string ckpt = tmpPath("try_foreign_ckpt.bin");
+    saveCheckpoint(ckpt, *model);
+    res = tryLoadDeployArtifact(ckpt, *victim, adopted);
+    EXPECT_EQ(res.status, LoadStatus::Foreign) << res.message;
+    expectUntouched();
+
+    // Bytes damaged in flight (injected on read): checksum catches it.
+    FaultPlan plan;
+    plan.corruptOnRead = true;
+    armFaultPlan(plan);
+    res = tryLoadDeployArtifact(artifact, *victim, adopted);
+    disarmFaultPlan();
+    EXPECT_EQ(res.status, LoadStatus::ChecksumMismatch) << res.message;
+    expectUntouched();
+
+    // Wrong architecture: staging fails after decoding, still no
+    // mutation — the stage/apply split is what guarantees this.
+    {
+        Rng r(4);
+        auto other = makeMiniResNet(train.numClasses, r, 8);
+        DeployStage stage;
+        LoadResult sr = stageDeployArtifact(artifact, *other, stage);
+        EXPECT_EQ(sr.status, LoadStatus::Mismatch) << sr.message;
+        EXPECT_FALSE(stage.staged());
+    }
+
+    // The good artifact loads recoverably and flips the backend.
+    res = tryLoadDeployArtifact(artifact, *victim, adopted);
+    EXPECT_TRUE(res.ok()) << res.message;
+    EXPECT_GT(adopted, 0u);
+    InferenceSession inProc(*model, &qat, InferBackend::Int);
+    Tensor yInt = inProc.run(x);
+    Tensor yServed = victim->forward(x, false);
+    ASSERT_EQ(yInt.size(), yServed.size());
+    EXPECT_EQ(std::memcmp(yInt.data(), yServed.data(),
+                          yInt.size() * sizeof(float)),
+              0);
+
+    for (const std::string& p : {artifact, ckpt})
         std::remove(p.c_str());
 }
 

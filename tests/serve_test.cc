@@ -130,7 +130,7 @@ checkCompositions(Module& model, const BatchTraits& traits,
                 std::vector<Module*>{&model}, traits, opt);
         std::vector<std::future<Tensor>> futs;
         for (Tensor& r : reqs)
-            futs.push_back(server->submit(std::move(r)));
+            futs.push_back(server->submit(std::move(r)).future);
         for (size_t i = 0; i < futs.size(); ++i) {
             SCOPED_TRACE(testing::Message()
                          << "request " << i << " of " << comp.size()
@@ -280,7 +280,7 @@ TEST(ServeConcurrency, RaggedProducersAllSettleCorrectly)
         producers.emplace_back([&, p] {
             for (size_t i = 0; i < kPerProducer; ++i)
                 futs[p].push_back(
-                    server.submit(std::move(reqs[p][i])));
+                    server.submit(std::move(reqs[p][i])).future);
         });
     for (std::thread& t : producers)
         t.join();
@@ -322,7 +322,7 @@ TEST(ServeShutdown, StopMidFlightSettlesEveryFuture)
 
     std::vector<std::future<Tensor>> futs;
     for (int i = 0; i < 40; ++i)
-        futs.push_back(server.submit(sliceAxis0(x, 0, 1)));
+        futs.push_back(server.submit(sliceAxis0(x, 0, 1)).future);
     server.stop(/*drain=*/false);
 
     size_t served = 0, rejected = 0;
@@ -343,8 +343,75 @@ TEST(ServeShutdown, StopMidFlightSettlesEveryFuture)
     EXPECT_EQ(served + rejected, futs.size());
 
     // Submissions after stop are rejected, not enqueued.
-    std::future<Tensor> late = server.submit(sliceAxis0(x, 0, 1));
+    std::future<Tensor> late = server.submit(sliceAxis0(x, 0, 1)).future;
     EXPECT_THROW(late.get(), std::runtime_error);
+}
+
+TEST(ServeShutdown, SubmitVsStopHammerIsDeterministic)
+{
+    // Producers race submit() against stop(): whatever interleaving
+    // the scheduler picks, each submit must come back with a coherent
+    // verdict — Accepted (the future settles with a value or a
+    // structured stop error) or Rejected (the future already failed,
+    // nothing was enqueued) — and nothing may hang, crash, or settle
+    // twice. Several rounds shake out different interleavings.
+    Rng dataRng(101);
+    Tensor x = Tensor::randn({1, 3, 12, 12}, dataRng, 1.0);
+    Rng rng(102);
+    auto model = makeMiniResNet(4, rng);
+    toIntBackend(*model, x);
+
+    constexpr size_t kProducers = 4;
+    constexpr size_t kPerProducer = 25;
+    for (int round = 0; round < 3; ++round) {
+        ServeOptions opt;
+        opt.maxBatch = 4;
+        opt.deadlineUs = 200;
+        BatchServer server({model.get()},
+                           BatchTraits{{1, 3, 12, 12}, 0, false}, opt);
+
+        std::vector<std::vector<SubmitResult>> results(kProducers);
+        std::vector<std::thread> producers;
+        for (size_t p = 0; p < kProducers; ++p)
+            producers.emplace_back([&, p] {
+                for (size_t i = 0; i < kPerProducer; ++i)
+                    results[p].push_back(
+                        server.submit(sliceAxis0(x, 0, 1)));
+            });
+        // Stop mid-burst, racing the producers.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1 + round * 2));
+        server.stop(/*drain=*/false);
+        for (std::thread& t : producers)
+            t.join();
+
+        size_t served = 0, stopped = 0, rejected = 0;
+        for (size_t p = 0; p < kProducers; ++p)
+            for (size_t i = 0; i < results[p].size(); ++i) {
+                SubmitResult& r = results[p][i];
+                SCOPED_TRACE(testing::Message()
+                             << "round " << round << " producer " << p
+                             << " request " << i);
+                ASSERT_EQ(r.future.wait_for(std::chrono::seconds(30)),
+                          std::future_status::ready)
+                    << "future left hanging across stop()";
+                try {
+                    Tensor got = r.future.get();
+                    EXPECT_EQ(r.status, ServeStatus::Accepted);
+                    EXPECT_EQ(got.dim(0), 1u);
+                    ++served;
+                } catch (const ServeError& e) {
+                    EXPECT_EQ(e.code(), ServeError::Code::Stopped);
+                    (r.status == ServeStatus::Rejected ? rejected
+                                                       : stopped)++;
+                }
+            }
+        EXPECT_EQ(served + stopped + rejected,
+                  kProducers * kPerProducer);
+        BatchServer::Stats st = server.stats();
+        EXPECT_EQ(st.requests, served);
+        EXPECT_EQ(st.accepted, served + stopped);
+    }
 }
 
 TEST(ServeDeadline, ZeroDeadlineServesOneRequestPerBatch)
@@ -363,7 +430,7 @@ TEST(ServeDeadline, ZeroDeadlineServesOneRequestPerBatch)
 
     std::vector<std::future<Tensor>> futs;
     for (int i = 0; i < 6; ++i)
-        futs.push_back(server.submit(sliceAxis0(x, i % 2, 1)));
+        futs.push_back(server.submit(sliceAxis0(x, i % 2, 1)).future);
     for (std::future<Tensor>& f : futs)
         f.get();
     server.stop(true);
@@ -387,17 +454,17 @@ TEST(ServeValidation, BadRequestsFailTheirFutureOnly)
                        BatchTraits{{1, 3, 12, 12}, 0, false}, opt);
 
     EXPECT_THROW(
-        server.submit(Tensor({1, 3, 10, 10})).get(), // wrong dims
+        server.submit(Tensor({1, 3, 10, 10})).future.get(), // wrong dims
         std::invalid_argument);
     EXPECT_THROW(
-        server.submit(Tensor({3, 12, 12})).get(), // wrong rank
+        server.submit(Tensor({3, 12, 12})).future.get(), // wrong rank
         std::invalid_argument);
     EXPECT_THROW(
-        server.submit(Tensor({5, 3, 12, 12})).get(), // > maxBatch
+        server.submit(Tensor({5, 3, 12, 12})).future.get(), // > maxBatch
         std::invalid_argument);
 
     // The server still serves good requests afterwards.
-    Tensor got = server.submit(sliceAxis0(x, 0, 1)).get();
+    Tensor got = server.submit(sliceAxis0(x, 0, 1)).future.get();
     EXPECT_EQ(got.dim(0), 1u);
     server.stop(true);
 }
@@ -501,7 +568,7 @@ TEST(ServePlanned, TwoReplicasOverOneModelServeConcurrently)
                        opt);
     std::vector<std::future<Tensor>> futs;
     for (Tensor& r : reqs)
-        futs.push_back(server.submit(std::move(r)));
+        futs.push_back(server.submit(std::move(r)).future);
     for (size_t i = 0; i < futs.size(); ++i) {
         SCOPED_TRACE(testing::Message() << "request " << i);
         Tensor got = futs[i].get();
